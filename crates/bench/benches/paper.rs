@@ -1,0 +1,119 @@
+//! Criterion benches: one per paper figure/table, at `quick` scale.
+//!
+//! These measure the wall-clock of regenerating each experiment (the
+//! *results* — the figures and tables themselves — come from the `repro_*`
+//! binaries, which default to the paper's problem sizes). Keeping every
+//! experiment under `cargo bench` guards the harness against rot and gives
+//! a stable performance baseline for the simulator itself.
+
+use ccsim_bench::{fig3, fig4, fig5, fig6, fig7, tab4, table2, table3, variation, Scale};
+use ccsim_engine::SimBuilder;
+use ccsim_types::{MachineConfig, ProtocolKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(12));
+
+    g.bench_function("fig3_mp3d", |b| {
+        b.iter(|| black_box(fig3(Scale::Quick).runs.len()));
+    });
+    g.bench_function("fig4_cholesky", |b| {
+        b.iter(|| black_box(fig4(Scale::Quick).runs.len()));
+    });
+    g.bench_function("fig5_cholesky_scale", |b| {
+        b.iter(|| black_box(fig5(Scale::Quick).len()));
+    });
+    g.bench_function("fig6_lu", |b| {
+        b.iter(|| black_box(fig6(Scale::Quick).runs.len()));
+    });
+    g.bench_function("fig7_oltp", |b| {
+        b.iter(|| black_box(fig7(Scale::Quick).runs.len()));
+    });
+    g.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(12));
+
+    g.bench_function("tab2_tab3_oltp_occurrence_coverage", |b| {
+        b.iter(|| {
+            let f = fig7(Scale::Quick);
+            black_box((table2(&f).len(), table3(&f).len()))
+        });
+    });
+    g.bench_function("tab4_false_sharing_sweep", |b| {
+        b.iter(|| black_box(tab4(Scale::Quick).len()));
+    });
+    g.bench_function("variation_analysis", |b| {
+        b.iter(|| black_box(variation(Scale::Quick).entries.len()));
+    });
+    g.finish();
+}
+
+/// Extension experiments: static hints, consistency, topology, sweeps.
+fn bench_extensions(c: &mut Criterion) {
+    use ccsim_bench::{
+        block_size_sweep, cache_size_sweep, consistency_ablation, static_comparison,
+        topology_ablation,
+    };
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(12));
+    g.bench_function("static_vs_dynamic", |b| {
+        b.iter(|| black_box(static_comparison(Scale::Quick).len()));
+    });
+    g.bench_function("dsi_vs_dynamic", |b| {
+        b.iter(|| black_box(ccsim_bench::dsi_comparison(Scale::Quick).len()));
+    });
+    g.bench_function("consistency_ablation", |b| {
+        b.iter(|| black_box(consistency_ablation(Scale::Quick).len()));
+    });
+    g.bench_function("topology_ablation", |b| {
+        b.iter(|| black_box(topology_ablation(Scale::Quick).len()));
+    });
+    g.bench_function("cache_size_sweep", |b| {
+        b.iter(|| black_box(cache_size_sweep(Scale::Quick).len()));
+    });
+    g.bench_function("block_size_sweep", |b| {
+        b.iter(|| black_box(block_size_sweep(Scale::Quick).len()));
+    });
+    g.finish();
+}
+
+/// Microbenchmarks of the simulator substrate itself (ablation baseline:
+/// how much does the protocol choice cost in *simulation* throughput?).
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+
+    for kind in ProtocolKind::ALL {
+        g.bench_function(format!("migratory_counter_{}", kind.label()), |b| {
+            b.iter(|| {
+                let mut sim = SimBuilder::new(MachineConfig::splash_baseline(kind));
+                let a = sim.alloc().alloc_words(1);
+                for _ in 0..4 {
+                    sim.spawn(move |p| {
+                        for _ in 0..200 {
+                            p.fetch_add(a, 1);
+                            p.busy(17);
+                        }
+                    });
+                }
+                black_box(sim.run().exec_cycles)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_tables, bench_engine, bench_extensions);
+criterion_main!(benches);

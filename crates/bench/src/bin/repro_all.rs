@@ -1,0 +1,60 @@
+//! Run the full reproduction: every figure and table, in paper order.
+use ccsim_bench::*;
+fn main() {
+    let scale = Scale::from_env(Scale::Paper);
+    println!("ccsim reproduction — scale: {scale:?}\n");
+    print!("{}", render_table1());
+    println!();
+    for (f, tag) in [(fig3(scale), "fig3_mp3d"), (fig4(scale), "fig4_cholesky")] {
+        print!("{}", f.render());
+        f.export(tag);
+        println!();
+    }
+    let rows = fig5(scale);
+    print!("{}", ccsim_stats::render_fig5(&rows));
+    for (p, runs) in &rows {
+        export_summaries(&format!("fig5_cholesky_p{p}"), runs);
+    }
+    println!();
+    let f6 = fig6(scale);
+    print!("{}", f6.render());
+    f6.export("fig6_lu");
+    println!();
+    let f7 = fig7(scale);
+    print!("{}", f7.render());
+    println!();
+    print!("{}", table2(&f7));
+    println!();
+    print!("{}", table3(&f7));
+    f7.export("fig7_oltp");
+    println!();
+    let rows = tab4(scale);
+    print!("{}", ccsim_stats::render_table4(&rows));
+    let runs: Vec<_> = rows.into_iter().map(|(_, r)| r).collect();
+    export_summaries("tab4_false_sharing", &runs);
+    println!();
+    let v = variation(scale);
+    print!("{}", render_variation(&v));
+    println!();
+    let runs = static_comparison(scale);
+    print!("{}", render_static_comparison(&runs));
+    export_summaries("static_comparison", &runs);
+    println!();
+    let runs = dsi_comparison(scale);
+    print!("{}", render_dsi(&runs));
+    export_summaries("dsi_comparison", &runs);
+    println!();
+    let entries = consistency_ablation(scale);
+    print!("{}", render_consistency(&entries));
+    println!();
+    let entries = topology_ablation(scale);
+    print!("{}", render_topology(&entries));
+    println!();
+    print!(
+        "{}",
+        render_sweep("Cholesky vs L2 size (§5.2 gap-closing claim)", "L2 kB",
+                     &cache_size_sweep(scale))
+    );
+    println!();
+    print!("{}", render_sweep("MP3D vs block size", "blk B", &block_size_sweep(scale)));
+}

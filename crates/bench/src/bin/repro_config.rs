@@ -1,0 +1,4 @@
+//! Print the Table 1 machine parameters (with derived latencies).
+fn main() {
+    print!("{}", ccsim_bench::render_table1());
+}

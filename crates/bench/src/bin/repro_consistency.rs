@@ -1,0 +1,6 @@
+//! §6 ablation: the LS/AD gains under SC vs an idealized relaxed model.
+use ccsim_bench::{consistency_ablation, render_consistency, Scale};
+fn main() {
+    let entries = consistency_ablation(Scale::from_env(Scale::Paper));
+    print!("{}", render_consistency(&entries));
+}

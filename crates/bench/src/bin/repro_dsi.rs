@@ -1,0 +1,7 @@
+//! §6 related-work comparison: dynamic self-invalidation vs AD vs LS.
+use ccsim_bench::{dsi_comparison, export_summaries, render_dsi, Scale};
+fn main() {
+    let runs = dsi_comparison(Scale::from_env(Scale::Paper));
+    print!("{}", render_dsi(&runs));
+    export_summaries("dsi_comparison", &runs);
+}

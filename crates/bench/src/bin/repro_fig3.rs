@@ -1,0 +1,7 @@
+//! Reproduce Figure 3: MP3D under Baseline/AD/LS.
+use ccsim_bench::{fig3, Scale};
+fn main() {
+    let f = fig3(Scale::from_env(Scale::Paper));
+    print!("{}", f.render());
+    f.export("fig3_mp3d");
+}

@@ -1,0 +1,7 @@
+//! Reproduce Figure 4: Cholesky at 4 processors.
+use ccsim_bench::{fig4, Scale};
+fn main() {
+    let f = fig4(Scale::from_env(Scale::Paper));
+    print!("{}", f.render());
+    f.export("fig4_cholesky");
+}

@@ -1,0 +1,9 @@
+//! Reproduce Figure 5: Cholesky invalidation traffic vs processor count.
+use ccsim_bench::{export_summaries, fig5, Scale};
+fn main() {
+    let rows = fig5(Scale::from_env(Scale::Paper));
+    print!("{}", ccsim_stats::render_fig5(&rows));
+    for (p, runs) in &rows {
+        export_summaries(&format!("fig5_cholesky_p{p}"), runs);
+    }
+}

@@ -1,0 +1,7 @@
+//! Reproduce Figure 6: LU.
+use ccsim_bench::{fig6, Scale};
+fn main() {
+    let f = fig6(Scale::from_env(Scale::Paper));
+    print!("{}", f.render());
+    f.export("fig6_lu");
+}

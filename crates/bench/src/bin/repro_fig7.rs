@@ -1,0 +1,11 @@
+//! Reproduce Figure 7 plus Tables 2 and 3: OLTP.
+use ccsim_bench::{fig7, table2, table3, Scale};
+fn main() {
+    let f = fig7(Scale::from_env(Scale::Paper));
+    print!("{}", f.render());
+    println!();
+    print!("{}", table2(&f));
+    println!();
+    print!("{}", table3(&f));
+    f.export("fig7_oltp");
+}

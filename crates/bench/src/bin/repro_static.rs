@@ -1,0 +1,8 @@
+//! Static load-exclusive (compiler technique) vs AD vs LS on OLTP —
+//! the §2.1/§6 comparison backed by the paper's prior study \[12\].
+use ccsim_bench::{export_summaries, render_static_comparison, static_comparison, Scale};
+fn main() {
+    let runs = static_comparison(Scale::from_env(Scale::Paper));
+    print!("{}", render_static_comparison(&runs));
+    export_summaries("static_comparison", &runs);
+}

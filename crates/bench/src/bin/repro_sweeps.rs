@@ -1,0 +1,12 @@
+//! §4.2/§5.5 variation sweeps: L2 size (Cholesky) and block size (MP3D).
+use ccsim_bench::{block_size_sweep, cache_size_sweep, render_sweep, Scale};
+fn main() {
+    let scale = Scale::from_env(Scale::Paper);
+    print!(
+        "{}",
+        render_sweep("Cholesky vs L2 size (§5.2 gap-closing claim)", "L2 kB",
+                     &cache_size_sweep(scale))
+    );
+    println!();
+    print!("{}", render_sweep("MP3D vs block size", "blk B", &block_size_sweep(scale)));
+}

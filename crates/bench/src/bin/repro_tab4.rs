@@ -1,0 +1,8 @@
+//! Reproduce Table 4: false-sharing misses vs cache block size (OLTP).
+use ccsim_bench::{export_summaries, tab4, Scale};
+fn main() {
+    let rows = tab4(Scale::from_env(Scale::Paper));
+    print!("{}", ccsim_stats::render_table4(&rows));
+    let runs: Vec<_> = rows.into_iter().map(|(_, r)| r).collect();
+    export_summaries("tab4_false_sharing", &runs);
+}

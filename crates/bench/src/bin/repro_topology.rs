@@ -1,0 +1,7 @@
+//! Interconnect ablation (extension): fixed-delay point-to-point vs 2-D
+//! mesh at 16 processors.
+use ccsim_bench::{render_topology, topology_ablation, Scale};
+fn main() {
+    let entries = topology_ablation(Scale::from_env(Scale::Paper));
+    print!("{}", render_topology(&entries));
+}

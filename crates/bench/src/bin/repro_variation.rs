@@ -1,0 +1,7 @@
+//! Reproduce the §5.5 variation analysis (default tagging, de-tag
+//! heuristics, hysteresis).
+use ccsim_bench::{render_variation, variation, Scale};
+fn main() {
+    let v = variation(Scale::from_env(Scale::Paper));
+    print!("{}", render_variation(&v));
+}

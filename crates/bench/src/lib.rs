@@ -1,0 +1,15 @@
+//! The reproduction harness: one driver per paper figure/table.
+//!
+//! Every function builds the paper's experiment — workload, machine
+//! configuration, protocol sweep — runs it, and returns the raw
+//! `RunStats` plus rendered output. The `repro_*` binaries print the
+//! figures/tables; the Criterion benches exercise the same drivers at
+//! `quick` scale.
+//!
+//! Scale selection: `CCSIM_SCALE=paper` (default for the binaries) runs the
+//! paper's problem sizes; `CCSIM_SCALE=quick` runs the scaled-down test
+//! sizes. Results are also written as JSON to `target/repro/`.
+
+pub mod experiments;
+
+pub use experiments::*;

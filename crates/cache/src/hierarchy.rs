@@ -1,0 +1,245 @@
+//! Two-level inclusive cache hierarchy.
+//!
+//! Invariants maintained:
+//!
+//! * **Inclusion** — every L1-resident block is L2-resident.
+//! * **State agreement** — a block present in both levels has the same
+//!   coherence state in both (states change only through [`Hierarchy`]
+//!   methods, which update both levels).
+//!
+//! Consequences: an L1 eviction needs no external action (the L2 still holds
+//! the line in the same state); an L2 eviction back-invalidates the L1 and is
+//! reported to the caller as an [`Eviction`] so the engine can notify the
+//! home node (replacement writeback for `Modified`, replacement hint for
+//! `Shared`/`Excl` — the latter is what lets the LS protocol keep the LS-bit
+//! across replacements, §3.1 case 3).
+
+use crate::sa::{Cache, LineState};
+use ccsim_types::{BlockAddr, MachineConfig};
+
+/// Where an access hit, if anywhere.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Probe {
+    L1(LineState),
+    L2(LineState),
+    Miss,
+}
+
+impl Probe {
+    pub fn state(self) -> Option<LineState> {
+        match self {
+            Probe::L1(s) | Probe::L2(s) => Some(s),
+            Probe::Miss => None,
+        }
+    }
+}
+
+/// A block displaced from the hierarchy (always reported at L2 granularity).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Eviction {
+    pub block: BlockAddr,
+    pub state: LineState,
+}
+
+/// One node's L1+L2 stack.
+pub struct Hierarchy {
+    l1: Cache,
+    l2: Cache,
+}
+
+impl Hierarchy {
+    pub fn new(cfg: &MachineConfig) -> Self {
+        Hierarchy { l1: Cache::new(&cfg.l1), l2: Cache::new(&cfg.l2) }
+    }
+
+    /// Probe for `block`, updating LRU at the level that hits and promoting
+    /// L2 hits into the L1 (an L1 victim silently folds back into the L2,
+    /// which still holds it, by inclusion).
+    pub fn probe(&mut self, block: BlockAddr) -> Probe {
+        if let Some(s) = self.l1.touch(block) {
+            debug_assert_eq!(self.l2.peek(block), Some(s), "inclusion/state agreement");
+            self.l2.touch(block); // keep the L2 copy warm too
+            return Probe::L1(s);
+        }
+        if let Some(s) = self.l2.touch(block) {
+            // Promote into L1. The displaced L1 line is still in L2 with an
+            // identical state, so nothing escapes the hierarchy.
+            let _victim = self.l1.insert(block, s);
+            return Probe::L2(s);
+        }
+        Probe::Miss
+    }
+
+    /// Coherence state of `block` as seen by the protocol (L2 authoritative).
+    pub fn state(&self, block: BlockAddr) -> Option<LineState> {
+        self.l2.peek(block)
+    }
+
+    /// Install `block` with `state` into both levels, returning any L2
+    /// evictions (at most one) that the home must be told about.
+    pub fn fill(&mut self, block: BlockAddr, state: LineState) -> Option<Eviction> {
+        let l2_victim = self.l2.insert(block, state);
+        let evicted = l2_victim.map(|(vb, vs)| {
+            // Back-invalidate L1 to preserve inclusion.
+            self.l1.invalidate(vb);
+            Eviction { block: vb, state: vs }
+        });
+        let _ = self.l1.insert(block, state); // L1 victim stays in L2
+        debug_assert!(
+            evicted.map(|e| e.block != block).unwrap_or(true),
+            "fill cannot evict itself"
+        );
+        evicted
+    }
+
+    /// Change the coherence state of a resident block in both levels.
+    /// Returns false if the block is not resident.
+    pub fn set_state(&mut self, block: BlockAddr, state: LineState) -> bool {
+        let in_l2 = self.l2.set_state(block, state);
+        if in_l2 {
+            self.l1.set_state(block, state);
+        }
+        in_l2
+    }
+
+    /// Remove `block` from both levels; returns the state it held.
+    pub fn invalidate(&mut self, block: BlockAddr) -> Option<LineState> {
+        self.l1.invalidate(block);
+        self.l2.invalidate(block)
+    }
+
+    /// Direct access to the levels (diagnostics/tests).
+    pub fn l1(&self) -> &Cache {
+        &self.l1
+    }
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// Check the inclusion + state-agreement invariants (test support).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (b, s1) in self.l1.iter() {
+            match self.l2.peek(b) {
+                None => return Err(format!("{b} in L1 but not L2")),
+                Some(s2) if s2 != s1 => {
+                    return Err(format!("{b} state mismatch: L1 {s1:?} vs L2 {s2:?}"))
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsim_types::{Addr, CacheConfig, ProtocolKind};
+
+    fn tiny_cfg() -> MachineConfig {
+        let mut c = MachineConfig::splash_baseline(ProtocolKind::Baseline);
+        // L1: 2 blocks direct-mapped; L2: 8 blocks direct-mapped; 16B lines.
+        c.l1 = CacheConfig { size_bytes: 32, assoc: 1, block_bytes: 16, access_cycles: 1 };
+        c.l2 = CacheConfig { size_bytes: 128, assoc: 1, block_bytes: 16, access_cycles: 10 };
+        c
+    }
+
+    fn blk(a: u64) -> BlockAddr {
+        Addr(a).block(16)
+    }
+
+    #[test]
+    fn fill_then_probe_hits_l1() {
+        let mut h = Hierarchy::new(&tiny_cfg());
+        assert_eq!(h.fill(blk(0), LineState::Shared), None);
+        assert_eq!(h.probe(blk(0)), Probe::L1(LineState::Shared));
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn l1_conflict_falls_back_to_l2() {
+        let mut h = Hierarchy::new(&tiny_cfg());
+        // L1 has 2 sets; 0x00 and 0x20 collide in L1 set 0 but live in
+        // different L2 sets (L2 has 8 sets).
+        h.fill(blk(0x00), LineState::Shared);
+        h.fill(blk(0x20), LineState::Shared);
+        // 0x00 was displaced from L1 by 0x20 but must still hit in L2.
+        assert_eq!(h.probe(blk(0x00)), Probe::L2(LineState::Shared));
+        // And is now promoted back into L1.
+        assert_eq!(h.probe(blk(0x00)), Probe::L1(LineState::Shared));
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn l2_eviction_back_invalidates_l1() {
+        let mut h = Hierarchy::new(&tiny_cfg());
+        // Fill L2 set 0 (addresses stepping by 128 = 8 sets * 16B).
+        h.fill(blk(0x000), LineState::Modified);
+        let ev = h.fill(blk(0x080), LineState::Shared);
+        assert_eq!(ev, Some(Eviction { block: blk(0x000), state: LineState::Modified }));
+        assert_eq!(h.probe(blk(0x000)), Probe::Miss);
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn set_state_updates_both_levels() {
+        let mut h = Hierarchy::new(&tiny_cfg());
+        h.fill(blk(0), LineState::Excl);
+        assert!(h.set_state(blk(0), LineState::Modified));
+        assert_eq!(h.l1().peek(blk(0)), Some(LineState::Modified));
+        assert_eq!(h.l2().peek(blk(0)), Some(LineState::Modified));
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn set_state_after_l1_displacement_still_succeeds() {
+        let mut h = Hierarchy::new(&tiny_cfg());
+        h.fill(blk(0x00), LineState::Shared);
+        h.fill(blk(0x20), LineState::Shared); // displaces 0x00 from L1
+        assert!(h.set_state(blk(0x00), LineState::Modified));
+        assert_eq!(h.state(blk(0x00)), Some(LineState::Modified));
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn invalidate_clears_both_levels() {
+        let mut h = Hierarchy::new(&tiny_cfg());
+        h.fill(blk(0), LineState::Modified);
+        assert_eq!(h.invalidate(blk(0)), Some(LineState::Modified));
+        assert_eq!(h.probe(blk(0)), Probe::Miss);
+        assert_eq!(h.invalidate(blk(0)), None);
+    }
+
+    #[test]
+    fn probe_state_accessor() {
+        assert_eq!(Probe::L1(LineState::Shared).state(), Some(LineState::Shared));
+        assert_eq!(Probe::L2(LineState::Modified).state(), Some(LineState::Modified));
+        assert_eq!(Probe::Miss.state(), None);
+    }
+
+    #[test]
+    fn stress_inclusion_invariant() {
+        let mut h = Hierarchy::new(&tiny_cfg());
+        // Deterministic pseudo-random walk over 64 blocks.
+        let mut x = 0x12345678u64;
+        for i in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let b = blk((x >> 16) % 64 * 16);
+            match i % 5 {
+                0 | 1 => {
+                    h.probe(b);
+                }
+                2 => {
+                    h.fill(b, LineState::Shared);
+                }
+                3 => {
+                    h.fill(b, LineState::Modified);
+                }
+                _ => {
+                    h.invalidate(b);
+                }
+            }
+            h.check_invariants().unwrap();
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Cache models for the `ccsim` multiprocessor.
+//!
+//! A node's cache hierarchy is two inclusive levels of set-associative,
+//! LRU-replaced caches ([`Hierarchy`]). Lines carry one of three present
+//! states (absence is Invalid):
+//!
+//! * [`LineState::Shared`] — clean, possibly replicated.
+//! * [`LineState::Excl`] — exclusive *clean*: the paper's `LStemp` state
+//!   under LS, or a migratory grant under AD. A store hits this state and
+//!   silently promotes it to `Modified` with **no global action** — this is
+//!   the entire point of the optimization.
+//! * [`LineState::Modified`] — exclusive dirty.
+//!
+//! The caches track tags and states only; data values live in the flat
+//! backing store (`ccsim-mem`), which is exact because the engine serializes
+//! all accesses in simulated-time order.
+
+pub mod hierarchy;
+pub mod sa;
+
+pub use hierarchy::{Eviction, Hierarchy, Probe};
+pub use sa::{Cache, LineState};

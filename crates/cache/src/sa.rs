@@ -1,0 +1,268 @@
+//! One level of set-associative cache (tags + states, LRU replacement).
+
+use ccsim_types::{BlockAddr, CacheConfig};
+
+/// Coherence state of a present cache line. Absent lines are Invalid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LineState {
+    /// Clean, possibly replicated in other caches.
+    Shared,
+    /// Exclusive clean: `LStemp` (LS protocol) or a migratory grant (AD).
+    /// A local store silently promotes this to `Modified`. Memory is
+    /// current; replacement needs no writeback.
+    Excl,
+    /// Exclusive *dirty* handoff: this cache received modified data
+    /// directly from the previous owner (the migratory/LS transfer) and has
+    /// not written it yet. Behaves like `Modified` for coherence (memory is
+    /// stale, replacement writes back) but the anticipated first store is
+    /// still pending — when it lands it completes silently and counts as an
+    /// eliminated ownership acquisition.
+    ExclDirty,
+    /// Exclusive dirty, written by this processor.
+    Modified,
+}
+
+impl LineState {
+    /// Memory does not hold the current data; replacement must write back.
+    #[inline]
+    pub fn is_dirty(self) -> bool {
+        matches!(self, LineState::ExclDirty | LineState::Modified)
+    }
+
+    /// The line is held exclusively (a local store needs no global action).
+    #[inline]
+    pub fn is_exclusive(self) -> bool {
+        !matches!(self, LineState::Shared)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Line {
+    block: BlockAddr,
+    state: LineState,
+    last_use: u64,
+}
+
+/// A set-associative cache over block addresses.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    sets: Vec<Vec<Line>>,
+    assoc: usize,
+    block_bytes: u64,
+    tick: u64,
+}
+
+impl Cache {
+    pub fn new(cfg: &CacheConfig) -> Self {
+        cfg.validate().expect("invalid cache config");
+        let num_sets = cfg.num_sets() as usize;
+        Cache {
+            sets: vec![Vec::with_capacity(cfg.assoc as usize); num_sets],
+            assoc: cfg.assoc as usize,
+            block_bytes: cfg.block_bytes,
+            tick: 0,
+        }
+    }
+
+    #[inline]
+    fn set_index(&self, block: BlockAddr) -> usize {
+        ((block.0 / self.block_bytes) % self.sets.len() as u64) as usize
+    }
+
+    #[inline]
+    fn bump(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// State of `block` if present; does not affect LRU order.
+    pub fn peek(&self, block: BlockAddr) -> Option<LineState> {
+        let si = self.set_index(block);
+        self.sets[si].iter().find(|l| l.block == block).map(|l| l.state)
+    }
+
+    /// State of `block` if present, marking it most-recently-used.
+    pub fn touch(&mut self, block: BlockAddr) -> Option<LineState> {
+        let si = self.set_index(block);
+        let t = self.bump();
+        let set = &mut self.sets[si];
+        set.iter_mut().find(|l| l.block == block).map(|l| {
+            l.last_use = t;
+            l.state
+        })
+    }
+
+    /// Overwrite the state of a present line; returns false if absent.
+    pub fn set_state(&mut self, block: BlockAddr, state: LineState) -> bool {
+        let si = self.set_index(block);
+        match self.sets[si].iter_mut().find(|l| l.block == block) {
+            Some(l) => {
+                l.state = state;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove `block`; returns its state if it was present.
+    pub fn invalidate(&mut self, block: BlockAddr) -> Option<LineState> {
+        let si = self.set_index(block);
+        let set = &mut self.sets[si];
+        set.iter().position(|l| l.block == block).map(|i| set.swap_remove(i).state)
+    }
+
+    /// Insert `block` with `state`, evicting the LRU victim of the set when
+    /// full. Returns the victim `(block, state)` if one was displaced.
+    /// Inserting an already-present block just updates state + LRU.
+    pub fn insert(
+        &mut self,
+        block: BlockAddr,
+        state: LineState,
+    ) -> Option<(BlockAddr, LineState)> {
+        let si = self.set_index(block);
+        let t = self.bump();
+        let assoc = self.assoc;
+        let set = &mut self.sets[si];
+        if let Some(l) = set.iter_mut().find(|l| l.block == block) {
+            l.state = state;
+            l.last_use = t;
+            return None;
+        }
+        let victim = if set.len() == assoc {
+            let (vi, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_use)
+                .expect("full set has a victim");
+            let v = set.swap_remove(vi);
+            Some((v.block, v.state))
+        } else {
+            None
+        };
+        set.push(Line { block, state, last_use: t });
+        victim
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate over resident `(block, state)` pairs (test/diagnostic use).
+    pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, LineState)> + '_ {
+        self.sets.iter().flatten().map(|l| (l.block, l.state))
+    }
+
+    /// Block size this cache was built with.
+    pub fn block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsim_types::Addr;
+
+    fn tiny() -> Cache {
+        // 4 blocks total, 2-way, 16B lines -> 2 sets.
+        Cache::new(&CacheConfig { size_bytes: 64, assoc: 2, block_bytes: 16, access_cycles: 1 })
+    }
+
+    fn blk(a: u64) -> BlockAddr {
+        Addr(a).block(16)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.touch(blk(0)), None);
+        assert_eq!(c.insert(blk(0), LineState::Shared), None);
+        assert_eq!(c.touch(blk(0)), Some(LineState::Shared));
+        assert_eq!(c.peek(blk(0)), Some(LineState::Shared));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny();
+        // Set 0 holds blocks whose (addr/16) is even: 0x00, 0x20, 0x40...
+        c.insert(blk(0x00), LineState::Shared);
+        c.insert(blk(0x20), LineState::Shared);
+        // Touch 0x00 so 0x20 becomes LRU.
+        c.touch(blk(0x00));
+        let victim = c.insert(blk(0x40), LineState::Modified);
+        assert_eq!(victim, Some((blk(0x20), LineState::Shared)));
+        assert!(c.peek(blk(0x00)).is_some());
+        assert!(c.peek(blk(0x20)).is_none());
+    }
+
+    #[test]
+    fn insert_existing_updates_in_place() {
+        let mut c = tiny();
+        c.insert(blk(0), LineState::Shared);
+        assert_eq!(c.insert(blk(0), LineState::Modified), None);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.peek(blk(0)), Some(LineState::Modified));
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny();
+        // 0x00 -> set 0; 0x10 -> set 1.
+        c.insert(blk(0x00), LineState::Shared);
+        c.insert(blk(0x20), LineState::Shared);
+        c.insert(blk(0x10), LineState::Shared);
+        c.insert(blk(0x30), LineState::Shared);
+        assert_eq!(c.len(), 4);
+        // Filling set 0 further does not evict set 1.
+        c.insert(blk(0x40), LineState::Shared);
+        assert!(c.peek(blk(0x10)).is_some());
+        assert!(c.peek(blk(0x30)).is_some());
+    }
+
+    #[test]
+    fn invalidate_returns_state() {
+        let mut c = tiny();
+        c.insert(blk(0), LineState::Modified);
+        assert_eq!(c.invalidate(blk(0)), Some(LineState::Modified));
+        assert_eq!(c.invalidate(blk(0)), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn set_state_on_absent_line_is_false() {
+        let mut c = tiny();
+        assert!(!c.set_state(blk(0), LineState::Modified));
+        c.insert(blk(0), LineState::Shared);
+        assert!(c.set_state(blk(0), LineState::Excl));
+        assert_eq!(c.peek(blk(0)), Some(LineState::Excl));
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        let mut c = Cache::new(&CacheConfig {
+            size_bytes: 32,
+            assoc: 1,
+            block_bytes: 16,
+            access_cycles: 1,
+        });
+        c.insert(blk(0x00), LineState::Shared);
+        // 0x40 maps to the same set in a 2-set direct-mapped cache.
+        let v = c.insert(blk(0x40), LineState::Shared);
+        assert_eq!(v, Some((blk(0x00), LineState::Shared)));
+    }
+
+    #[test]
+    fn iter_lists_residents() {
+        let mut c = tiny();
+        c.insert(blk(0x00), LineState::Shared);
+        c.insert(blk(0x10), LineState::Excl);
+        let mut got: Vec<_> = c.iter().collect();
+        got.sort();
+        assert_eq!(got, vec![(blk(0x00), LineState::Shared), (blk(0x10), LineState::Excl)]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the cache hierarchy.
+
+use ccsim_cache::{Hierarchy, LineState, Probe};
+use ccsim_types::{Addr, BlockAddr, CacheConfig, MachineConfig, ProtocolKind};
+use proptest::prelude::*;
+
+fn cfg(l1_blocks: u64, l2_blocks: u64, assoc: u32) -> MachineConfig {
+    let mut c = MachineConfig::splash_baseline(ProtocolKind::Baseline);
+    c.l1 = CacheConfig {
+        size_bytes: l1_blocks * 16,
+        assoc,
+        block_bytes: 16,
+        access_cycles: 1,
+    };
+    c.l2 = CacheConfig {
+        size_bytes: l2_blocks * 16,
+        assoc: 1,
+        block_bytes: 16,
+        access_cycles: 10,
+    };
+    c
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Probe(u8),
+    FillS(u8),
+    FillM(u8),
+    FillX(u8),
+    SetM(u8),
+    Invalidate(u8),
+}
+
+fn ops() -> impl Strategy<Value = Op> {
+    (0..64u8, 0..6u8).prop_map(|(b, k)| match k {
+        0 => Op::Probe(b),
+        1 => Op::FillS(b),
+        2 => Op::FillM(b),
+        3 => Op::FillX(b),
+        4 => Op::SetM(b),
+        _ => Op::Invalidate(b),
+    })
+}
+
+fn blk(b: u8) -> BlockAddr {
+    Addr(b as u64 * 16).block(16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Inclusion and state agreement hold under arbitrary operation
+    /// sequences, for several geometries including direct-mapped and
+    /// set-associative L1s.
+    #[test]
+    fn hierarchy_invariants_hold(
+        seq in proptest::collection::vec(ops(), 1..300),
+        geom in 0..3usize,
+    ) {
+        let c = match geom {
+            0 => cfg(2, 8, 1),
+            1 => cfg(4, 16, 2),
+            _ => cfg(8, 8, 1), // L1 as big as L2
+        };
+        let mut h = Hierarchy::new(&c);
+        for op in seq {
+            match op {
+                Op::Probe(b) => {
+                    let before = h.state(blk(b));
+                    let p = h.probe(blk(b));
+                    // A probe never changes the coherence state.
+                    prop_assert_eq!(h.state(blk(b)), before);
+                    prop_assert_eq!(p.state(), before);
+                }
+                Op::FillS(b) => {
+                    h.fill(blk(b), LineState::Shared);
+                }
+                Op::FillM(b) => {
+                    h.fill(blk(b), LineState::Modified);
+                }
+                Op::FillX(b) => {
+                    h.fill(blk(b), LineState::Excl);
+                }
+                Op::SetM(b) => {
+                    let present = h.state(blk(b)).is_some();
+                    prop_assert_eq!(h.set_state(blk(b), LineState::Modified), present);
+                }
+                Op::Invalidate(b) => {
+                    h.invalidate(blk(b));
+                    prop_assert_eq!(h.state(blk(b)), None);
+                }
+            }
+            h.check_invariants().map_err(TestCaseError::fail)?;
+        }
+    }
+
+    /// A filled block is immediately probeable with the state it was given,
+    /// and capacity never exceeds the configured number of blocks.
+    #[test]
+    fn fill_then_probe_and_capacity(
+        seq in proptest::collection::vec(0..64u8, 1..200)
+    ) {
+        let c = cfg(2, 8, 1);
+        let mut h = Hierarchy::new(&c);
+        for b in seq {
+            h.fill(blk(b), LineState::Shared);
+            match h.probe(blk(b)) {
+                Probe::L1(LineState::Shared) => {}
+                other => return Err(TestCaseError::fail(format!("expected L1 hit, got {other:?}"))),
+            }
+            prop_assert!(h.l2().len() <= 8);
+            prop_assert!(h.l1().len() <= 2);
+        }
+    }
+
+    /// An eviction reported by fill really is gone, and it is never the
+    /// block just filled.
+    #[test]
+    fn evictions_are_real(
+        seq in proptest::collection::vec((0..64u8, any::<bool>()), 1..200)
+    ) {
+        let c = cfg(2, 4, 1);
+        let mut h = Hierarchy::new(&c);
+        for (b, dirty) in seq {
+            let st = if dirty { LineState::Modified } else { LineState::Shared };
+            if let Some(ev) = h.fill(blk(b), st) {
+                prop_assert_ne!(ev.block, blk(b));
+                prop_assert_eq!(h.state(ev.block), None, "victim still resident");
+            }
+            prop_assert_eq!(h.state(blk(b)), Some(st));
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Per-block directory entries: sharer sets, home states, LS/AD metadata.
+
+use ccsim_types::NodeId;
+
+/// Full-map sharer set as a bitmask (systems up to 64 nodes; the paper
+/// evaluates 4-32).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SharerSet(u64);
+
+impl SharerSet {
+    pub const EMPTY: SharerSet = SharerSet(0);
+
+    pub fn single(n: NodeId) -> Self {
+        SharerSet(1 << n.0)
+    }
+
+    #[inline]
+    pub fn insert(&mut self, n: NodeId) {
+        self.0 |= 1 << n.0;
+    }
+
+    #[inline]
+    pub fn remove(&mut self, n: NodeId) {
+        self.0 &= !(1 << n.0);
+    }
+
+    #[inline]
+    pub fn contains(self, n: NodeId) -> bool {
+        self.0 & (1 << n.0) != 0
+    }
+
+    #[inline]
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterate member node ids in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = NodeId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros() as u16;
+                bits &= bits - 1;
+                Some(NodeId(i))
+            }
+        })
+    }
+
+    /// Members other than `n`.
+    pub fn others(self, n: NodeId) -> impl Iterator<Item = NodeId> {
+        self.iter().filter(move |&m| m != n)
+    }
+}
+
+/// Home-side coherence state of a block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HomeState {
+    /// No cached copies; memory is current.
+    Uncached,
+    /// One or more clean copies; memory is current.
+    Shared,
+    /// Exactly one cached copy held with write permission (granted by a
+    /// write, or exclusively by a read of a tagged block). Memory may be
+    /// stale; only the owner knows.
+    Owned(NodeId),
+}
+
+/// The four-state view of the paper's Figure 1 (for docs, tests, and
+/// diagnostics): `Owned` splits into `Dirty` / `LoadStore` on the tag bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fig1State {
+    Uncached,
+    Shared,
+    Dirty,
+    LoadStore,
+}
+
+/// One block's directory entry.
+#[derive(Clone, Copy, Debug)]
+pub struct DirEntry {
+    pub state: HomeState,
+    pub sharers: SharerSet,
+    /// Last reader (LS protocol): set on every global read, invalidated on
+    /// every ownership acquisition.
+    pub lr: Option<NodeId>,
+    /// The LS-bit (LS protocol) or migratory bit (AD protocol). Baseline
+    /// never sets it.
+    pub tagged: bool,
+    /// Last node granted ownership (AD detection input).
+    pub last_writer: Option<NodeId>,
+    /// §5.5 hysteresis: consecutive tag observations so far.
+    pub tag_votes: u8,
+    /// §5.5 hysteresis: consecutive de-tag observations so far.
+    pub detag_votes: u8,
+    /// DSI: the block has shown the read-shared-then-written pattern;
+    /// reads are served as uncached tear-off copies.
+    pub tear: bool,
+    /// DSI: consecutive tear-off reads without an intervening write (the
+    /// adaptivity counter — enough patience and the block recovers normal
+    /// caching).
+    pub tear_reads: u8,
+}
+
+impl DirEntry {
+    pub fn new(default_tagged: bool) -> Self {
+        DirEntry {
+            state: HomeState::Uncached,
+            sharers: SharerSet::EMPTY,
+            lr: None,
+            tagged: default_tagged,
+            last_writer: None,
+            tag_votes: 0,
+            detag_votes: 0,
+            tear: false,
+            tear_reads: 0,
+        }
+    }
+
+    /// The paper's Figure 1 view of this entry.
+    pub fn fig1(&self) -> Fig1State {
+        match self.state {
+            HomeState::Uncached => Fig1State::Uncached,
+            HomeState::Shared => Fig1State::Shared,
+            HomeState::Owned(_) if self.tagged => Fig1State::LoadStore,
+            HomeState::Owned(_) => Fig1State::Dirty,
+        }
+    }
+
+    /// Internal consistency between `state` and `sharers`.
+    pub fn check(&self) -> Result<(), String> {
+        match self.state {
+            HomeState::Uncached => {
+                if !self.sharers.is_empty() {
+                    return Err("Uncached with sharers".into());
+                }
+            }
+            HomeState::Shared => {
+                if self.sharers.is_empty() {
+                    return Err("Shared with no sharers".into());
+                }
+            }
+            HomeState::Owned(o) => {
+                if self.sharers.len() != 1 || !self.sharers.contains(o) {
+                    return Err("Owned but sharer set != {owner}".into());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharer_set_basics() {
+        let mut s = SharerSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(NodeId(0));
+        s.insert(NodeId(3));
+        s.insert(NodeId(3));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(NodeId(0)));
+        assert!(s.contains(NodeId(3)));
+        assert!(!s.contains(NodeId(1)));
+        s.remove(NodeId(0));
+        assert_eq!(s.len(), 1);
+        s.remove(NodeId(0)); // idempotent
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn sharer_set_iteration_order() {
+        let mut s = SharerSet::EMPTY;
+        for n in [5u16, 1, 63, 0] {
+            s.insert(NodeId(n));
+        }
+        let got: Vec<u16> = s.iter().map(|n| n.0).collect();
+        assert_eq!(got, vec![0, 1, 5, 63]);
+        let others: Vec<u16> = s.others(NodeId(1)).map(|n| n.0).collect();
+        assert_eq!(others, vec![0, 5, 63]);
+    }
+
+    #[test]
+    fn single_constructor() {
+        let s = SharerSet::single(NodeId(7));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(NodeId(7)));
+    }
+
+    #[test]
+    fn fig1_view_splits_owned_on_tag() {
+        let mut e = DirEntry::new(false);
+        assert_eq!(e.fig1(), Fig1State::Uncached);
+        e.state = HomeState::Shared;
+        e.sharers = SharerSet::single(NodeId(0));
+        assert_eq!(e.fig1(), Fig1State::Shared);
+        e.state = HomeState::Owned(NodeId(0));
+        assert_eq!(e.fig1(), Fig1State::Dirty);
+        e.tagged = true;
+        assert_eq!(e.fig1(), Fig1State::LoadStore);
+    }
+
+    #[test]
+    fn entry_check_catches_inconsistency() {
+        let mut e = DirEntry::new(false);
+        e.check().unwrap();
+        e.sharers.insert(NodeId(1));
+        assert!(e.check().is_err()); // Uncached with sharers
+        e.state = HomeState::Shared;
+        e.check().unwrap();
+        e.state = HomeState::Owned(NodeId(2));
+        assert!(e.check().is_err()); // owner not the sharer
+        e.sharers = SharerSet::single(NodeId(2));
+        e.check().unwrap();
+    }
+
+    #[test]
+    fn default_tagging_respected() {
+        assert!(!DirEntry::new(false).tagged);
+        assert!(DirEntry::new(true).tagged);
+    }
+}

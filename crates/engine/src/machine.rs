@@ -1,0 +1,694 @@
+//! One simulated machine: caches, directories, network, memory, and the
+//! transaction orchestration between them.
+//!
+//! Every method takes and returns simulated time explicitly; the threaded
+//! runner (`run`) serializes calls in simulated-time order, so `&mut self`
+//! access is exact — there are no protocol races to model beyond the
+//! busy-block retry mechanism (`Retry` messages, the paper's "Other"
+//! traffic).
+
+use ccsim_cache::{Hierarchy, LineState, Probe};
+use ccsim_core::{Directory, GrantKind, OwnerAction, ReadStep, WriteStep};
+use ccsim_mem::{pages, Store};
+use ccsim_network::Network;
+use ccsim_types::{Addr, BlockAddr, Consistency, MachineConfig, MsgKind, NodeId};
+use rustc_hash::FxHashMap;
+
+use crate::oracle::{Component, FalseSharing, LsOracle};
+
+/// How the time an operation took should be attributed in the execution-time
+/// breakdown (Figures 3/4/6/7, left diagrams).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StallKind {
+    /// Cache hit: counts as busy time.
+    None,
+    /// Global read: the processor stalls for the whole miss (SC).
+    Read,
+    /// Ownership acquisition: write stall.
+    Write,
+}
+
+/// Engine-level counters not covered by the directory or the network.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MachineCounters {
+    pub l1_hits: u64,
+    pub l2_hits: u64,
+    /// Stores completed silently on an exclusive-clean line — ownership
+    /// acquisitions the optimization eliminated.
+    pub silent_stores: u64,
+    /// Stores that hit a Modified line (always local, all protocols).
+    pub dirty_hits: u64,
+    /// Transactions bounced off a busy block.
+    pub retries: u64,
+}
+
+/// Why a processor asks the home for ownership.
+#[derive(Clone, Copy, Debug)]
+enum Acquire {
+    /// An actual store (SC write stall, oracle global write).
+    Store(Component),
+    /// A static load-exclusive hint (read stall, oracle global read; the
+    /// line lands exclusive-clean).
+    ReadExclusive,
+}
+
+/// The simulated multiprocessor.
+pub struct Machine {
+    cfg: MachineConfig,
+    store: Store,
+    net: Network,
+    dirs: Vec<Directory>,
+    caches: Vec<Hierarchy>,
+    /// Per-block home-side busy window: a transaction arriving before this
+    /// time is bounced with a `Retry`.
+    block_busy: FxHashMap<BlockAddr, u64>,
+    oracle: LsOracle,
+    fs: FalseSharing,
+    counters: MachineCounters,
+}
+
+impl Machine {
+    pub fn new(cfg: MachineConfig) -> Self {
+        cfg.validate().expect("invalid machine config");
+        Machine {
+            store: Store::new(),
+            net: Network::with_topology(cfg.nodes, cfg.latency, cfg.block_bytes(), cfg.topology),
+            dirs: (0..cfg.nodes).map(|_| Directory::new(cfg.protocol)).collect(),
+            caches: (0..cfg.nodes).map(|_| Hierarchy::new(&cfg)).collect(),
+            block_busy: FxHashMap::default(),
+            oracle: LsOracle::new(),
+            fs: FalseSharing::new(cfg.nodes, cfg.block_bytes()),
+            counters: MachineCounters::default(),
+            cfg,
+        }
+    }
+
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Home node of the block containing `addr` (round-robin pages, §4.2).
+    pub fn home(&self, addr: Addr) -> NodeId {
+        pages::home_node(addr, self.cfg.page_bytes, self.cfg.nodes)
+    }
+
+    fn block_of(&self, addr: Addr) -> BlockAddr {
+        addr.block(self.cfg.block_bytes())
+    }
+
+    /// Directly read a word (no coherence action; used by the runner to
+    /// return load values and by tests).
+    pub fn peek(&self, addr: Addr) -> u64 {
+        self.store.load(addr)
+    }
+
+    /// Directly initialize a word before simulation starts.
+    pub fn poke(&mut self, addr: Addr, value: u64) {
+        self.store.store(addr, value);
+    }
+
+    // --- internals ----------------------------------------------------------
+
+    /// One network hop: traversal plus the receiving controller's occupancy
+    /// (`net + mc` remote, free intra-node) — the `hop` term of the latency
+    /// model in `LatencyConfig`.
+    fn hop(&mut self, t: u64, from: NodeId, to: NodeId, kind: MsgKind) -> u64 {
+        let t2 = self.net.send(t, from, to, kind);
+        if from == to {
+            t2
+        } else {
+            t2 + self.cfg.latency.mc
+        }
+    }
+
+    /// Serialize transactions per block: a request arriving inside another
+    /// transaction's window is retried.
+    fn wait_for_block(&mut self, block: BlockAddr, t: u64, home: NodeId, p: NodeId) -> u64 {
+        match self.block_busy.get(&block) {
+            Some(&busy) if t < busy => {
+                self.counters.retries += 1;
+                self.net.send_background(t, home, p, MsgKind::Retry);
+                busy
+            }
+            _ => t,
+        }
+    }
+
+    /// Install a block in `p`'s hierarchy, handling the L2 victim: notify
+    /// the victim's home (replacement hint or writeback) and update the
+    /// false-sharing tracker.
+    fn fill(&mut self, p: NodeId, block: BlockAddr, state: LineState, t: u64) {
+        if let Some(ev) = self.caches[p.idx()].fill(block, state) {
+            let vhome = self.home(ev.block.addr());
+            self.dirs[vhome.idx()].replacement(ev.block, p);
+            self.fs.on_replaced(ev.block, p);
+            let kind =
+                if ev.state.is_dirty() { MsgKind::ReplWriteback } else { MsgKind::ReplHint };
+            self.net.send_background(t, p, vhome, kind);
+        }
+    }
+
+    /// (owner_wrote, owner_dirty) for a forwarded request.
+    fn owner_state(&self, owner: NodeId, block: BlockAddr) -> (bool, bool) {
+        match self.caches[owner.idx()].state(block) {
+            Some(LineState::Modified) => (true, true),
+            Some(LineState::ExclDirty) => (false, true),
+            Some(LineState::Excl) => (false, false),
+            other => panic!("directory believes {owner} owns {block}, cache says {other:?}"),
+        }
+    }
+
+    // --- the two memory operations -------------------------------------------
+
+    /// A load by processor `p` starting at time `t0`. Returns the loaded
+    /// value, the completion time, and the stall attribution.
+    pub fn load(&mut self, p: NodeId, addr: Addr, t0: u64) -> (u64, u64, StallKind) {
+        let block = self.block_of(addr);
+        let lat = self.cfg.latency;
+        let value = self.store.load(addr);
+        match self.caches[p.idx()].probe(block) {
+            Probe::L1(_) => {
+                self.counters.l1_hits += 1;
+                (value, t0 + lat.l1_hit, StallKind::None)
+            }
+            Probe::L2(_) => {
+                self.counters.l2_hits += 1;
+                (value, t0 + lat.l1_hit + lat.l2_hit, StallKind::None)
+            }
+            Probe::Miss => {
+                let t = self.global_read(p, addr, block, t0);
+                (value, t, StallKind::Read)
+            }
+        }
+    }
+
+    fn global_read(&mut self, p: NodeId, addr: Addr, block: BlockAddr, t0: u64) -> u64 {
+        let lat = self.cfg.latency;
+        let home = self.home(addr);
+        let mut t = t0 + lat.l1_hit + lat.l2_hit;
+        t = self.hop(t, p, home, MsgKind::ReadReq);
+        t += lat.mc;
+        t = self.wait_for_block(block, t, home, p);
+        self.oracle.global_read(block, p);
+        self.fs.on_miss(block, addr, p);
+        match self.dirs[home.idx()].read(block, p) {
+            ReadStep::Memory { grant, .. } => {
+                t += lat.mem;
+                let kind = match grant {
+                    GrantKind::Shared | GrantKind::TearOff => MsgKind::ReadReply,
+                    GrantKind::Exclusive => MsgKind::ReadExclReply,
+                };
+                t = self.hop(t, home, p, kind);
+                t += lat.mc + lat.node_bus;
+                match grant {
+                    GrantKind::Shared => self.fill(p, block, LineState::Shared, t),
+                    GrantKind::Exclusive => self.fill(p, block, LineState::Excl, t),
+                    // DSI tear-off: consume the data without caching it —
+                    // the copy self-invalidated at grant time.
+                    GrantKind::TearOff => {}
+                }
+            }
+            ReadStep::Forward { owner } => {
+                t = self.hop(t, home, owner, MsgKind::ReadForward);
+                let (wrote, dirty) = self.owner_state(owner, block);
+                let res = self.dirs[home.idx()].read_forward_result(block, p, wrote, dirty);
+                t += lat.owner_access;
+                t = self.hop(t, owner, p, MsgKind::OwnerReply);
+                t += lat.mc + lat.node_bus;
+                match res.owner_action {
+                    OwnerAction::Downgrade => {
+                        self.caches[owner.idx()].set_state(block, LineState::Shared);
+                    }
+                    OwnerAction::Invalidate => {
+                        self.caches[owner.idx()].invalidate(block);
+                        self.fs.on_invalidated(block, owner);
+                    }
+                }
+                if res.sharing_writeback {
+                    self.net.send_background(t, owner, home, MsgKind::SharingWriteback);
+                }
+                if res.notls {
+                    self.net.send_background(t, owner, home, MsgKind::NotLs);
+                }
+                let state = match (res.grant, res.requester_dirty) {
+                    (GrantKind::Shared, _) => LineState::Shared,
+                    (GrantKind::Exclusive, true) => LineState::ExclDirty,
+                    (GrantKind::Exclusive, false) => LineState::Excl,
+                    (GrantKind::TearOff, _) => {
+                        unreachable!("forwarded reads never grant tear-off")
+                    }
+                };
+                self.fill(p, block, state, t);
+            }
+        }
+        self.block_busy.insert(block, t);
+        t
+    }
+
+    /// A *load-exclusive* by processor `p`: a load carrying a static
+    /// compiler hint that a store to the same address follows soon, so the
+    /// read request is combined with an ownership acquisition (the
+    /// instruction-centric technique of Skeppstedt & Stenström that §2.1
+    /// compares LS against). The line is installed exclusive-clean (`X`),
+    /// letting the upcoming store complete silently.
+    ///
+    /// Statistics note: at the directory this is an ownership acquisition
+    /// (it invalidates sharers and is counted with the write misses /
+    /// upgrades), matching what a fictive exclusive load does in hardware.
+    /// The oracle records the *read* here; the later silent store is the
+    /// eliminated global write.
+    pub fn load_exclusive(&mut self, p: NodeId, addr: Addr, t0: u64) -> (u64, u64, StallKind) {
+        let block = self.block_of(addr);
+        let lat = self.cfg.latency;
+        let value = self.store.load(addr);
+        match self.caches[p.idx()].probe(block) {
+            Probe::L1(s) | Probe::L2(s) if s.is_exclusive() => {
+                self.counters.l1_hits += 1;
+                (value, t0 + lat.l1_hit, StallKind::None)
+            }
+            Probe::L1(LineState::Shared) | Probe::L2(LineState::Shared) => {
+                let t = self.global_acquire(p, addr, block, t0, true, Acquire::ReadExclusive);
+                (value, t, StallKind::Read)
+            }
+            _ => {
+                let t = self.global_acquire(p, addr, block, t0, false, Acquire::ReadExclusive);
+                (value, t, StallKind::Read)
+            }
+        }
+    }
+
+    /// A store by processor `p` starting at time `t0`. Returns the
+    /// completion time and the stall attribution.
+    pub fn write(
+        &mut self,
+        p: NodeId,
+        addr: Addr,
+        value: u64,
+        t0: u64,
+        comp: Component,
+    ) -> (u64, StallKind) {
+        let block = self.block_of(addr);
+        let lat = self.cfg.latency;
+        self.store.store(addr, value);
+        self.fs.on_store(block, addr, p);
+        match self.caches[p.idx()].probe(block) {
+            Probe::L1(LineState::Modified) | Probe::L2(LineState::Modified) => {
+                self.counters.dirty_hits += 1;
+                (t0 + lat.l1_hit, StallKind::None)
+            }
+            Probe::L1(LineState::Excl | LineState::ExclDirty)
+            | Probe::L2(LineState::Excl | LineState::ExclDirty) => {
+                // The optimization fires: the anticipated write completes
+                // locally, with no ownership acquisition and no
+                // invalidations (§3).
+                self.counters.silent_stores += 1;
+                self.caches[p.idx()].set_state(block, LineState::Modified);
+                self.oracle.global_write(block, p, comp, true);
+                (t0 + lat.l1_hit, StallKind::None)
+            }
+            Probe::L1(LineState::Shared) | Probe::L2(LineState::Shared) => {
+                let t = self.global_acquire(p, addr, block, t0, true, Acquire::Store(comp));
+                self.retire_store(t0, t)
+            }
+            Probe::Miss => {
+                let t = self.global_acquire(p, addr, block, t0, false, Acquire::Store(comp));
+                self.retire_store(t0, t)
+            }
+        }
+    }
+
+    /// How a global store occupies the processor: under SC it stalls until
+    /// the ownership acquisition completes (§4.2); under the relaxed model
+    /// it retires into an idealized write buffer after the issue cost, and
+    /// the acquisition proceeds in the background (§6's discussion — the
+    /// coherence actions and traffic are identical, only the stall
+    /// disappears).
+    fn retire_store(&self, t0: u64, t_complete: u64) -> (u64, StallKind) {
+        match self.cfg.consistency {
+            Consistency::Sc => (t_complete, StallKind::Write),
+            Consistency::Relaxed => (t0 + self.cfg.latency.l1_hit + 1, StallKind::None),
+        }
+    }
+
+    fn global_acquire(
+        &mut self,
+        p: NodeId,
+        addr: Addr,
+        block: BlockAddr,
+        t0: u64,
+        has_copy: bool,
+        purpose: Acquire,
+    ) -> u64 {
+        let lat = self.cfg.latency;
+        let home = self.home(addr);
+        let mut t = t0 + lat.l1_hit + lat.l2_hit;
+        let req = if has_copy { MsgKind::UpgradeReq } else { MsgKind::WriteMissReq };
+        t = self.hop(t, p, home, req);
+        t += lat.mc;
+        t = self.wait_for_block(block, t, home, p);
+        match purpose {
+            Acquire::Store(comp) => self.oracle.global_write(block, p, comp, false),
+            Acquire::ReadExclusive => self.oracle.global_read(block, p),
+        }
+        match self.dirs[home.idx()].write(block, p) {
+            WriteStep::Memory { invalidate, data_needed } => {
+                debug_assert_eq!(data_needed, !has_copy);
+                let mut done = if data_needed {
+                    self.fs.on_miss(block, addr, p);
+                    let tm = t + lat.mem;
+                    self.hop(tm, home, p, MsgKind::WriteMissReply) + lat.mc + lat.node_bus
+                } else {
+                    self.hop(t, home, p, MsgKind::UpgradeAck) + lat.mc
+                };
+                // Invalidations fan out from the home; acknowledgements
+                // return to the requester, which stalls until the last one
+                // (sequential consistency).
+                for s in invalidate {
+                    let ta = self.hop(t, home, s, MsgKind::Inval) + lat.mc;
+                    self.caches[s.idx()].invalidate(block);
+                    self.fs.on_invalidated(block, s);
+                    let ta = self.hop(ta, s, p, MsgKind::InvalAck) + lat.mc;
+                    done = done.max(ta);
+                }
+                t = done;
+            }
+            WriteStep::Forward { owner } => {
+                t = self.hop(t, home, owner, MsgKind::WriteForward);
+                let (_, dirty) = self.owner_state(owner, block);
+                self.dirs[home.idx()].write_forward_result(block, p, dirty);
+                t += lat.owner_access;
+                self.caches[owner.idx()].invalidate(block);
+                self.fs.on_invalidated(block, owner);
+                t = self.hop(t, owner, p, MsgKind::OwnerWriteReply);
+                t += lat.mc + lat.node_bus;
+                self.fs.on_miss(block, addr, p);
+            }
+        }
+        let final_state = match purpose {
+            Acquire::Store(_) => LineState::Modified,
+            Acquire::ReadExclusive => LineState::Excl,
+        };
+        if has_copy {
+            self.caches[p.idx()].set_state(block, final_state);
+        } else {
+            self.fill(p, block, final_state, t);
+        }
+        self.block_busy.insert(block, t);
+        t
+    }
+
+    // --- stats ---------------------------------------------------------------
+
+    pub fn counters(&self) -> MachineCounters {
+        self.counters
+    }
+
+    pub fn traffic(&self) -> &ccsim_network::Traffic {
+        self.net.traffic()
+    }
+
+    /// Merged directory statistics over all homes.
+    pub fn dir_stats(&self) -> ccsim_core::DirStats {
+        let mut s = ccsim_core::DirStats::default();
+        for d in &self.dirs {
+            s.merge(d.stats());
+        }
+        s
+    }
+
+    pub fn oracle_stats(&self) -> &crate::oracle::OracleStats {
+        self.oracle.stats()
+    }
+
+    pub fn false_sharing_stats(&self) -> &crate::oracle::FalseSharingStats {
+        self.fs.stats()
+    }
+
+    /// Check cache/directory cross-invariants for a block (test support).
+    pub fn check_block(&self, addr: Addr) -> Result<(), String> {
+        let block = self.block_of(addr);
+        let home = self.home(addr);
+        let dir = &self.dirs[home.idx()];
+        for d in &self.dirs {
+            d.check_invariants()?;
+        }
+        let holders: Vec<(NodeId, LineState)> = (0..self.cfg.nodes)
+            .filter_map(|n| {
+                self.caches[n as usize].state(block).map(|s| (NodeId(n), s))
+            })
+            .collect();
+        match dir.entry(block).map(|e| e.state) {
+            None | Some(ccsim_core::HomeState::Uncached) => {
+                if !holders.is_empty() {
+                    return Err(format!("{block}: uncached at home but held by {holders:?}"));
+                }
+            }
+            Some(ccsim_core::HomeState::Shared) => {
+                for (n, s) in &holders {
+                    if *s != LineState::Shared {
+                        return Err(format!("{block}: home Shared but {n} holds {s:?}"));
+                    }
+                }
+                if holders.is_empty() {
+                    return Err(format!("{block}: home Shared but no holders"));
+                }
+            }
+            Some(ccsim_core::HomeState::Owned(o)) => {
+                if holders.len() != 1 || holders[0].0 != o || holders[0].1 == LineState::Shared {
+                    return Err(format!("{block}: home Owned({o}) but held by {holders:?}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsim_types::ProtocolKind;
+
+    const P0: NodeId = NodeId(0);
+    const P1: NodeId = NodeId(1);
+    const P2: NodeId = NodeId(2);
+    const APP: Component = Component::App;
+
+    fn machine(kind: ProtocolKind) -> Machine {
+        Machine::new(MachineConfig::splash_baseline(kind))
+    }
+
+    /// An address homed at node 0 (page 0 of a 4-node round-robin layout).
+    const A0: Addr = Addr(0x100);
+    /// An address homed at node 1.
+    const A1: Addr = Addr(4096 + 0x100);
+
+    #[test]
+    fn local_read_miss_costs_100_cycles() {
+        let mut m = machine(ProtocolKind::Baseline);
+        let (_, t, stall) = m.load(P0, A0, 0);
+        assert_eq!(t, 100, "Table 1: local access");
+        assert_eq!(stall, StallKind::Read);
+    }
+
+    #[test]
+    fn remote_clean_read_miss_costs_220_cycles() {
+        let mut m = machine(ProtocolKind::Baseline);
+        let (_, t, _) = m.load(P0, A1, 0);
+        assert_eq!(t, 220, "Table 1: home access");
+    }
+
+    #[test]
+    fn read_on_dirty_costs_420_cycles() {
+        let mut m = machine(ProtocolKind::Baseline);
+        // P1 dirties a block homed at node 0.
+        m.load(P1, A0, 0);
+        let (t1, _) = m.write(P1, A0, 7, 1000, APP);
+        // P2 reads it: request -> home 0 -> owner 1 -> P2 (4 hops).
+        let (v, t2, stall) = m.load(P2, A0, t1 + 1000);
+        assert_eq!(v, 7, "load sees the dirty value");
+        assert_eq!(t2 - (t1 + 1000), 420, "Table 1: remote access");
+        assert_eq!(stall, StallKind::Read);
+        m.check_block(A0).unwrap();
+    }
+
+    #[test]
+    fn l1_hit_costs_one_cycle() {
+        let mut m = machine(ProtocolKind::Baseline);
+        let (_, t, _) = m.load(P0, A0, 0);
+        let (_, t2, stall) = m.load(P0, A0, t);
+        assert_eq!(t2 - t, 1);
+        assert_eq!(stall, StallKind::None);
+        assert_eq!(m.counters().l1_hits, 1);
+    }
+
+    #[test]
+    fn store_then_load_round_trip_through_caches() {
+        let mut m = machine(ProtocolKind::Baseline);
+        let (t, _) = m.write(P0, A0, 42, 0, APP);
+        let (v, _, stall) = m.load(P0, A0, t);
+        assert_eq!(v, 42);
+        assert_eq!(stall, StallKind::None);
+    }
+
+    #[test]
+    fn upgrade_invalidates_remote_sharers() {
+        let mut m = machine(ProtocolKind::Baseline);
+        let (_, t, _) = m.load(P0, A0, 0);
+        let (_, t, _) = m.load(P1, A0, t);
+        let (_, t, _) = m.load(P2, A0, t);
+        let (t, stall) = m.write(P0, A0, 1, t + 1000, APP);
+        assert_eq!(stall, StallKind::Write);
+        // Sharers lost their copies: their next loads miss.
+        let (_, t2, s1) = m.load(P1, A0, t + 1000);
+        assert_eq!(s1, StallKind::Read);
+        let (_, _, s2) = m.load(P2, A0, t2 + 1000);
+        assert_eq!(s2, StallKind::Read);
+        assert_eq!(m.traffic().invalidations(), 2);
+        m.check_block(A0).unwrap();
+    }
+
+    #[test]
+    fn ls_protocol_eliminates_second_ownership_acquisition() {
+        let mut m = machine(ProtocolKind::Ls);
+        let mut t = 0;
+        // First load-store sequence: global read + upgrade (tags the block).
+        let r = m.load(P0, A0, t);
+        t = r.1 + 10;
+        let w = m.write(P0, A0, 1, t, APP);
+        assert_eq!(w.1, StallKind::Write);
+        t = w.0 + 10;
+        // Simulate losing the block to a foreign reader and re-running the
+        // sequence: this time the read grants exclusively and the store is
+        // silent. (Use another node: migration.)
+        let r = m.load(P1, A0, t);
+        t = r.1 + 10;
+        let w = m.write(P1, A0, 2, t, APP);
+        assert_eq!(w.1, StallKind::None, "store completed silently on LStemp");
+        assert_eq!(m.counters().silent_stores, 1);
+        m.check_block(A0).unwrap();
+    }
+
+    #[test]
+    fn baseline_never_produces_silent_stores() {
+        let mut m = machine(ProtocolKind::Baseline);
+        let mut t = 0;
+        for i in 0..3u16 {
+            let p = NodeId(i);
+            let r = m.load(p, A0, t);
+            t = r.1 + 5;
+            let w = m.write(p, A0, i as u64, t, APP);
+            assert_eq!(w.1, StallKind::Write);
+            t = w.0 + 5;
+        }
+        assert_eq!(m.counters().silent_stores, 0);
+    }
+
+    #[test]
+    fn retry_when_block_transaction_in_flight() {
+        let mut m = machine(ProtocolKind::Baseline);
+        let (_, t_end, _) = m.load(P0, A0, 0);
+        // P1 arrives in the middle of P0's transaction window.
+        let (_, t2, _) = m.load(P1, A0, 5);
+        assert!(t2 > t_end, "P1 serialized after P0's transaction");
+        assert_eq!(m.counters().retries, 1);
+    }
+
+    #[test]
+    fn capacity_eviction_notifies_home() {
+        let mut cfg = MachineConfig::splash_baseline(ProtocolKind::Ls);
+        // Tiny caches: 2 L1 blocks, 4 L2 blocks.
+        cfg.l1.size_bytes = 32;
+        cfg.l2.size_bytes = 64;
+        let mut m = Machine::new(cfg);
+        let mut t = 0;
+        // Touch 5 blocks mapping over the 4-block L2: at least one eviction.
+        for i in 0..5u64 {
+            let (_, t2, _) = m.load(P0, Addr(i * 16), t);
+            t = t2 + 1;
+        }
+        // The directory saw the replacement: no stale sharers.
+        for i in 0..5u64 {
+            m.check_block(Addr(i * 16)).unwrap();
+        }
+    }
+
+    #[test]
+    fn oracle_sees_migratory_handoffs() {
+        let mut m = machine(ProtocolKind::Ls);
+        let mut t = 0;
+        for round in 0..4u64 {
+            for i in 0..2u16 {
+                let p = NodeId(i);
+                let r = m.load(p, A0, t);
+                t = r.1 + 5;
+                let w = m.write(p, A0, round, t, APP);
+                t = w.0 + 5;
+            }
+        }
+        let o = m.oracle_stats().total();
+        assert_eq!(o.global_writes, 8);
+        assert_eq!(o.ls_writes, 8);
+        assert_eq!(o.migratory_writes, 7, "all but the first sequence migrate");
+        assert!(o.eliminated > 0, "LS eliminated some ownership acquisitions");
+    }
+
+    #[test]
+    fn load_exclusive_combines_read_and_ownership() {
+        let mut m = machine(ProtocolKind::Baseline);
+        // Even under Baseline, the static hint gets an exclusive copy.
+        let (v, t, stall) = m.load_exclusive(P0, A0, 0);
+        assert_eq!(v, 0);
+        assert_eq!(stall, StallKind::Read);
+        assert_eq!(t, 100, "one combined transaction, not read+upgrade");
+        // The anticipated store completes silently.
+        let (t2, stall2) = m.write(P0, A0, 5, t, APP);
+        assert_eq!(stall2, StallKind::None);
+        assert_eq!(t2 - t, 1);
+        assert_eq!(m.counters().silent_stores, 1);
+        m.check_block(A0).unwrap();
+    }
+
+    #[test]
+    fn load_exclusive_invalidates_sharers() {
+        let mut m = machine(ProtocolKind::Baseline);
+        let (_, t, _) = m.load(P1, A0, 0);
+        let (_, t, _) = m.load(P2, A0, t);
+        let (_, t, _) = m.load_exclusive(P0, A0, t + 100);
+        // P1/P2 lost their copies.
+        let (_, _, s1) = m.load(P1, A0, t + 100);
+        assert_eq!(s1, StallKind::Read);
+        assert_eq!(m.traffic().invalidations(), 2);
+        m.check_block(A0).unwrap();
+    }
+
+    #[test]
+    fn load_exclusive_hits_are_local() {
+        let mut m = machine(ProtocolKind::Baseline);
+        let (_, t, _) = m.load_exclusive(P0, A0, 0);
+        let (_, t2, stall) = m.load_exclusive(P0, A0, t);
+        assert_eq!(stall, StallKind::None);
+        assert_eq!(t2 - t, 1);
+    }
+
+    #[test]
+    fn unwritten_load_exclusive_downgrades_on_foreign_read() {
+        let mut m = machine(ProtocolKind::Baseline);
+        // P0 hints but never stores; P1's read must still get clean data
+        // and a shared copy (prediction failure handled like LStemp).
+        m.poke(A0, 42);
+        let (_, t, _) = m.load_exclusive(P0, A0, 0);
+        let (v, _, _) = m.load(P1, A0, t + 10);
+        assert_eq!(v, 42);
+        m.check_block(A0).unwrap();
+    }
+
+    #[test]
+    fn peek_poke_bypass_coherence() {
+        let mut m = machine(ProtocolKind::Baseline);
+        m.poke(A0, 99);
+        assert_eq!(m.peek(A0), 99);
+        assert_eq!(m.traffic().total_messages(), 0);
+        let (v, _, _) = m.load(P0, A0, 0);
+        assert_eq!(v, 99);
+    }
+}

@@ -1,0 +1,682 @@
+//! Deterministic threaded simulation runner.
+//!
+//! Each simulated processor runs a real Rust closure on its own OS thread.
+//! Every memory operation traps into the engine under one lock, and the
+//! engine admits exactly one processor at a time, chosen purely from
+//! simulated state: the lowest-numbered active processor whose clock lies in
+//! the current scheduling window (`schedule_quantum` cycles wide; width 1 ⇒
+//! strict lowest-clock-first order). Host thread scheduling therefore cannot
+//! influence results — runs are bit-for-bit reproducible.
+//!
+//! Synchronization in workloads (spinlocks, barriers — see `ccsim-sync`) is
+//! built from the atomic read-modify-write operations below, which execute
+//! their global read and global write back-to-back with no intervening
+//! access: exactly the load-store sequences of §2 of the paper.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use ccsim_mem::Allocator;
+use ccsim_types::{Addr, MachineConfig, NodeId};
+
+use crate::machine::{Machine, StallKind};
+use crate::oracle::Component;
+use crate::stats::{ProcTimes, RunStats};
+use crate::trace::{Trace, TraceEvent, TraceOp};
+
+struct Inner {
+    machine: Machine,
+    clocks: Vec<u64>,
+    times: Vec<ProcTimes>,
+    active: Vec<bool>,
+    comp: Vec<Component>,
+    quantum: u64,
+    max_cycles: u64,
+    /// Captured access stream (None = capture disabled).
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl Inner {
+    /// The unique processor allowed to execute next: the lowest-numbered
+    /// active processor inside the current scheduling window.
+    fn next_runner(&self) -> Option<usize> {
+        let min = self
+            .clocks
+            .iter()
+            .zip(&self.active)
+            .filter(|(_, &a)| a)
+            .map(|(&c, _)| c)
+            .min()?;
+        let window_end = (min / self.quantum) * self.quantum + self.quantum;
+        (0..self.clocks.len()).find(|&q| self.active[q] && self.clocks[q] < window_end)
+    }
+
+    fn record(&mut self, proc: u16, op: TraceOp) {
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent { proc, op });
+        }
+    }
+
+    fn attribute(&mut self, p: usize, t0: u64, t1: u64, stall: StallKind) {
+        let dt = t1 - t0;
+        match stall {
+            StallKind::None => self.times[p].busy += dt,
+            StallKind::Read => self.times[p].read_stall += dt,
+            StallKind::Write => self.times[p].write_stall += dt,
+        }
+    }
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    cvs: Vec<Condvar>,
+}
+
+impl Shared {
+    fn wake_next(&self, g: &Inner, me: usize) {
+        if let Some(next) = g.next_runner() {
+            if next != me {
+                self.cvs[next].notify_one();
+            }
+        }
+    }
+}
+
+/// Handle through which a workload closure touches simulated memory.
+///
+/// All operations advance this processor's simulated clock and may block the
+/// host thread until it is this processor's simulated turn.
+pub struct Proc {
+    shared: Arc<Shared>,
+    id: NodeId,
+    nodes: u16,
+}
+
+impl Proc {
+    fn turn<R>(&self, f: impl FnOnce(&mut Inner) -> R) -> R {
+        let me = self.id.idx();
+        let mut g = self.shared.inner.lock();
+        while g.next_runner() != Some(me) {
+            debug_assert!(g.active[me], "inactive processor issued an operation");
+            self.shared.cvs[me].wait(&mut g);
+        }
+        let r = f(&mut g);
+        assert!(
+            g.clocks[me] <= g.max_cycles,
+            "{} exceeded the simulation cycle limit ({}) — livelocked workload?",
+            self.id,
+            g.max_cycles
+        );
+        self.shared.wake_next(&g, me);
+        r
+    }
+
+    /// This processor's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Number of nodes in the machine.
+    pub fn nodes(&self) -> u16 {
+        self.nodes
+    }
+
+    /// Spend `cycles` of pure compute time.
+    pub fn busy(&self, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        let me = self.id.idx();
+        self.turn(|g| {
+            g.record(me as u16, TraceOp::Busy(cycles));
+            g.clocks[me] += cycles;
+            g.times[me].busy += cycles;
+        });
+    }
+
+    /// Attribute subsequent accesses to a workload component (Table 2's
+    /// application / library / OS split).
+    pub fn set_component(&self, c: Component) {
+        let me = self.id.idx();
+        self.turn(|g| {
+            g.record(me as u16, TraceOp::SetComponent(c));
+            g.comp[me] = c;
+        });
+    }
+
+    /// Current simulated time of this processor.
+    pub fn now(&self) -> u64 {
+        let me = self.id.idx();
+        self.turn(|g| g.clocks[me])
+    }
+
+    /// Load the word at `addr`.
+    pub fn load(&self, addr: Addr) -> u64 {
+        let me = self.id.idx();
+        self.turn(|g| {
+            g.record(me as u16, TraceOp::Load(addr));
+            let t0 = g.clocks[me];
+            let (v, t1, stall) = g.machine.load(NodeId(me as u16), addr, t0);
+            g.attribute(me, t0, t1, stall);
+            g.clocks[me] = t1;
+            v
+        })
+    }
+
+    /// Store `value` to the word at `addr`.
+    pub fn store(&self, addr: Addr, value: u64) {
+        let me = self.id.idx();
+        self.turn(|g| {
+            g.record(me as u16, TraceOp::Store(addr, value));
+            let t0 = g.clocks[me];
+            let comp = g.comp[me];
+            let (t1, stall) = g.machine.write(NodeId(me as u16), addr, value, t0, comp);
+            g.attribute(me, t0, t1, stall);
+            g.clocks[me] = t1;
+        });
+    }
+
+    /// Load with a static *load-exclusive* hint: the compiler (here: the
+    /// workload author) asserts a store to the same address follows, so the
+    /// read is combined with an ownership acquisition (§2.1's
+    /// instruction-centric technique). Works under every protocol,
+    /// including Baseline — that combination is the "static" comparison
+    /// point for LS.
+    pub fn load_exclusive(&self, addr: Addr) -> u64 {
+        let me = self.id.idx();
+        self.turn(|g| {
+            g.record(me as u16, TraceOp::LoadExclusive(addr));
+            let t0 = g.clocks[me];
+            let (v, t1, stall) = g.machine.load_exclusive(NodeId(me as u16), addr, t0);
+            g.attribute(me, t0, t1, stall);
+            g.clocks[me] = t1;
+            v
+        })
+    }
+
+    /// Atomic read-modify-write whose load carries the static
+    /// load-exclusive hint (a compiler-transformed `A = A + 1`). The store
+    /// half always completes silently on the exclusive copy.
+    pub fn rmw_hinted(&self, addr: Addr, f: impl FnOnce(u64) -> Option<u64>) -> u64 {
+        let me = self.id.idx();
+        self.turn(|g| {
+            g.record(me as u16, TraceOp::LoadExclusive(addr));
+            let t0 = g.clocks[me];
+            let (v, t1, stall) = g.machine.load_exclusive(NodeId(me as u16), addr, t0);
+            g.attribute(me, t0, t1, stall);
+            let mut t = t1;
+            if let Some(new) = f(v) {
+                g.record(me as u16, TraceOp::Store(addr, new));
+                let comp = g.comp[me];
+                let (t2, stall2) = g.machine.write(NodeId(me as u16), addr, new, t1, comp);
+                g.attribute(me, t1, t2, stall2);
+                t = t2;
+            }
+            g.clocks[me] = t;
+            v
+        })
+    }
+
+    /// Atomic fetch-add with the static load-exclusive hint.
+    pub fn fetch_add_hinted(&self, addr: Addr, delta: u64) -> u64 {
+        self.rmw_hinted(addr, |v| Some(v.wrapping_add(delta)))
+    }
+
+    /// Atomic read-modify-write: load, apply `f`, store if `f` returns
+    /// `Some`. The two halves execute with no intervening access from any
+    /// other processor. Returns the loaded (old) value.
+    pub fn rmw(&self, addr: Addr, f: impl FnOnce(u64) -> Option<u64>) -> u64 {
+        let me = self.id.idx();
+        self.turn(|g| {
+            g.record(me as u16, TraceOp::Load(addr));
+            let t0 = g.clocks[me];
+            let (v, t1, stall) = g.machine.load(NodeId(me as u16), addr, t0);
+            g.attribute(me, t0, t1, stall);
+            let mut t = t1;
+            if let Some(new) = f(v) {
+                g.record(me as u16, TraceOp::Store(addr, new));
+                let comp = g.comp[me];
+                let (t2, stall2) = g.machine.write(NodeId(me as u16), addr, new, t1, comp);
+                g.attribute(me, t1, t2, stall2);
+                t = t2;
+            }
+            g.clocks[me] = t;
+            v
+        })
+    }
+
+    /// Load the word at `addr` as an `f64` (bit-cast; numeric workloads
+    /// store float bits in simulated words).
+    pub fn load_f64(&self, addr: Addr) -> f64 {
+        f64::from_bits(self.load(addr))
+    }
+
+    /// Store an `f64` (bit-cast) to the word at `addr`.
+    pub fn store_f64(&self, addr: Addr, value: f64) {
+        self.store(addr, value.to_bits());
+    }
+
+    /// Atomic swap; returns the old value.
+    pub fn swap(&self, addr: Addr, value: u64) -> u64 {
+        self.rmw(addr, |_| Some(value))
+    }
+
+    /// Atomic fetch-add; returns the old value.
+    pub fn fetch_add(&self, addr: Addr, delta: u64) -> u64 {
+        self.rmw(addr, |v| Some(v.wrapping_add(delta)))
+    }
+
+    /// Atomic compare-and-swap; stores `new` iff the current value equals
+    /// `expect`. Returns the old value (success ⇔ old == expect). A failed
+    /// comparison performs only the global read, like LL/SC.
+    pub fn cas(&self, addr: Addr, expect: u64, new: u64) -> u64 {
+        self.rmw(addr, move |v| if v == expect { Some(new) } else { None })
+    }
+}
+
+/// Builds and runs one simulation: configure the machine, lay out simulated
+/// memory, seed initial data, spawn one program per processor, run to
+/// completion, collect [`RunStats`].
+pub struct SimBuilder {
+    machine: Machine,
+    alloc: Allocator,
+    #[allow(clippy::type_complexity)]
+    programs: Vec<Box<dyn FnOnce(Proc) + Send + 'static>>,
+    max_cycles: u64,
+    capture: bool,
+}
+
+impl SimBuilder {
+    pub fn new(cfg: MachineConfig) -> Self {
+        cfg.validate().expect("invalid machine config");
+        SimBuilder {
+            machine: Machine::new(cfg),
+            alloc: Allocator::new(0x1000, cfg.page_bytes, cfg.nodes),
+            programs: Vec::new(),
+            max_cycles: u64::MAX,
+            capture: false,
+        }
+    }
+
+    /// The shared-memory allocator for laying out workload data structures.
+    pub fn alloc(&mut self) -> &mut Allocator {
+        &mut self.alloc
+    }
+
+    /// Initialize a word of simulated memory before the run (no coherence
+    /// action, no cost).
+    pub fn init(&mut self, addr: Addr, value: u64) {
+        self.machine.poke(addr, value);
+    }
+
+    /// Abort if any processor's clock exceeds `cycles` (guards against
+    /// livelocked workloads in tests).
+    pub fn max_cycles(&mut self, cycles: u64) {
+        self.max_cycles = cycles;
+    }
+
+    /// Record the global access stream for trace-driven replay
+    /// (see [`crate::trace`]).
+    pub fn capture_trace(&mut self) {
+        self.capture = true;
+    }
+
+    /// Add the program for the next processor (processor ids are assigned in
+    /// spawn order). At most one program per node.
+    pub fn spawn(&mut self, f: impl FnOnce(Proc) + Send + 'static) {
+        assert!(
+            self.programs.len() < self.machine.config().nodes as usize,
+            "more programs than nodes"
+        );
+        self.programs.push(Box::new(f));
+    }
+
+    /// Run the simulation to completion and return the collected statistics.
+    pub fn run(self) -> RunStats {
+        self.run_full().stats
+    }
+
+    /// Like [`SimBuilder::run`], but also keeps the final machine state so
+    /// callers can inspect simulated memory (workload result verification).
+    pub fn run_full(self) -> FinishedSim {
+        let cfg = *self.machine.config();
+        let n = cfg.nodes as usize;
+        let num = self.programs.len();
+        let inner = Inner {
+            machine: self.machine,
+            clocks: vec![0; n],
+            times: vec![ProcTimes::default(); n],
+            active: (0..n).map(|i| i < num).collect(),
+            comp: vec![Component::App; n],
+            quantum: cfg.schedule_quantum,
+            max_cycles: self.max_cycles,
+            trace: if self.capture { Some(Vec::new()) } else { None },
+        };
+        let shared =
+            Arc::new(Shared { inner: Mutex::new(inner), cvs: (0..n).map(|_| Condvar::new()).collect() });
+
+        let handles: Vec<_> = self
+            .programs
+            .into_iter()
+            .enumerate()
+            .map(|(i, prog)| {
+                let proc_handle =
+                    Proc { shared: Arc::clone(&shared), id: NodeId(i as u16), nodes: cfg.nodes };
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ccsim-p{i}"))
+                    .spawn(move || {
+                        let result = catch_unwind(AssertUnwindSafe(|| prog(proc_handle)));
+                        // Retire this processor and hand the turn on, even on
+                        // panic, so sibling threads can finish or fail fast.
+                        {
+                            let g = &mut *shared.inner.lock();
+                            g.active[i] = false;
+                            if let Some(next) = g.next_runner() {
+                                shared.cvs[next].notify_one();
+                            }
+                        }
+                        if let Err(e) = result {
+                            resume_unwind(e);
+                        }
+                    })
+                    .expect("spawn simulation thread")
+            })
+            .collect();
+
+        let mut first_panic = None;
+        for h in handles {
+            if let Err(e) = h.join() {
+                first_panic.get_or_insert(e);
+            }
+        }
+        if let Some(e) = first_panic {
+            resume_unwind(e);
+        }
+
+        let inner = Arc::try_unwrap(shared)
+            .map_err(|_| "simulation threads leaked a Proc handle")
+            .unwrap_or_else(|m| panic!("{m}"))
+            .inner
+            .into_inner();
+        let mut inner = inner;
+        let trace =
+            inner.trace.take().map(|events| Trace { events, procs: num as u16 });
+        let exec_cycles = inner.clocks.iter().take(num).copied().max().unwrap_or(0);
+        let stats = RunStats {
+            protocol: cfg.protocol.kind,
+            config: cfg,
+            exec_cycles,
+            per_proc: inner.times.into_iter().take(num).collect(),
+            traffic: inner.machine.traffic().clone(),
+            dir: inner.machine.dir_stats(),
+            machine: inner.machine.counters(),
+            oracle: *inner.machine.oracle_stats(),
+            false_sharing: *inner.machine.false_sharing_stats(),
+        };
+        FinishedSim { stats, machine: inner.machine, trace }
+    }
+}
+
+/// A completed simulation: statistics plus the final machine state.
+pub struct FinishedSim {
+    pub stats: RunStats,
+    machine: Machine,
+    trace: Option<Trace>,
+}
+
+impl FinishedSim {
+    /// Read a word of final simulated memory.
+    pub fn peek(&self, addr: Addr) -> u64 {
+        self.machine.peek(addr)
+    }
+
+    /// Read a word as an `f64` (workloads store float bits).
+    pub fn peek_f64(&self, addr: Addr) -> f64 {
+        f64::from_bits(self.machine.peek(addr))
+    }
+
+    /// Take the captured trace (if `capture_trace` was enabled).
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsim_types::ProtocolKind;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::splash_baseline(ProtocolKind::Baseline)
+    }
+
+    #[test]
+    fn empty_simulation_completes() {
+        let s = SimBuilder::new(cfg()).run();
+        assert_eq!(s.exec_cycles, 0);
+        assert_eq!(s.per_proc.len(), 0);
+    }
+
+    #[test]
+    fn single_processor_busy_time() {
+        let mut b = SimBuilder::new(cfg());
+        b.spawn(|p| p.busy(1000));
+        let s = b.run();
+        assert_eq!(s.exec_cycles, 1000);
+        assert_eq!(s.busy(), 1000);
+        assert_eq!(s.read_stall(), 0);
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip() {
+        let mut b = SimBuilder::new(cfg());
+        let a = b.alloc().alloc_words(4);
+        b.init(a, 5);
+        b.spawn(move |p| {
+            assert_eq!(p.load(a), 5);
+            p.store(a, 6);
+            assert_eq!(p.load(a), 6);
+        });
+        let s = b.run();
+        assert!(s.read_stall() > 0, "first load misses");
+        assert!(s.write_stall() > 0, "store upgrades");
+    }
+
+    #[test]
+    fn concurrent_fetch_add_is_atomic() {
+        let mut b = SimBuilder::new(cfg());
+        let ctr = b.alloc().alloc_words(1);
+        for _ in 0..4 {
+            b.spawn(move |p| {
+                for _ in 0..250 {
+                    p.fetch_add(ctr, 1);
+                    p.busy(7);
+                }
+            });
+        }
+        let mut check = SimBuilder::new(cfg());
+        let s = b.run();
+        // Re-read the final value through a fresh simulation? No — verify
+        // via the oracle instead: 1000 increments happened.
+        assert_eq!(s.oracle.total().global_writes, 1000);
+        let _ = &mut check;
+    }
+
+    #[test]
+    fn spinlock_mutual_exclusion() {
+        // A raw test-and-set lock protecting a non-atomic two-word invariant.
+        let mut b = SimBuilder::new(cfg());
+        let lock = b.alloc().alloc_words(1);
+        let x = b.alloc().alloc_words(1);
+        let y = b.alloc().alloc_words(1);
+        for _ in 0..4 {
+            b.spawn(move |p| {
+                for _ in 0..50 {
+                    while p.swap(lock, 1) != 0 {
+                        while p.load(lock) != 0 {
+                            p.busy(4);
+                        }
+                    }
+                    // Critical section: x and y must move together.
+                    let vx = p.load(x);
+                    let vy = p.load(y);
+                    assert_eq!(vx, vy, "mutual exclusion violated");
+                    p.store(x, vx + 1);
+                    p.busy(3);
+                    p.store(y, vy + 1);
+                    p.store(lock, 0);
+                }
+            });
+        }
+        let s = b.run();
+        assert!(s.exec_cycles > 0);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let mut b = SimBuilder::new(cfg());
+        let a = b.alloc().alloc_words(1);
+        b.init(a, 10);
+        b.spawn(move |p| {
+            assert_eq!(p.cas(a, 10, 11), 10); // success
+            assert_eq!(p.cas(a, 10, 12), 11); // failure: value stays
+            assert_eq!(p.load(a), 11);
+        });
+        b.run();
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        fn one_run(seed_protocol: ProtocolKind) -> (u64, u64, u64, u64, u64) {
+            let mut b = SimBuilder::new(MachineConfig::splash_baseline(seed_protocol));
+            let ctr = b.alloc().alloc_words(1);
+            let data = b.alloc().alloc_words(64);
+            for id in 0..4u64 {
+                b.spawn(move |p| {
+                    for i in 0..200u64 {
+                        p.fetch_add(ctr, 1);
+                        let a = Addr(data.0 + ((i * 7 + id * 13) % 64) * 8);
+                        let v = p.load(a);
+                        p.store(a, v + 1);
+                        p.busy(3 + (i % 5));
+                    }
+                });
+            }
+            let s = b.run();
+            (
+                s.exec_cycles,
+                s.busy(),
+                s.read_stall() + s.write_stall(),
+                s.traffic.total_bytes(),
+                s.dir.global_reads,
+            )
+        }
+        for kind in ProtocolKind::ALL {
+            assert_eq!(one_run(kind), one_run(kind), "{kind:?} run not deterministic");
+        }
+    }
+
+    #[test]
+    fn ls_beats_baseline_on_a_migratory_counter() {
+        fn run(kind: ProtocolKind) -> RunStats {
+            let mut b = SimBuilder::new(MachineConfig::splash_baseline(kind));
+            let ctr = b.alloc().alloc_words(1);
+            for _ in 0..4 {
+                b.spawn(move |p| {
+                    for _ in 0..100 {
+                        p.fetch_add(ctr, 1);
+                        p.busy(50);
+                    }
+                });
+            }
+            b.run()
+        }
+        let base = run(ProtocolKind::Baseline);
+        let ls = run(ProtocolKind::Ls);
+        assert!(
+            ls.write_stall() < base.write_stall() / 2,
+            "LS write stall {} vs baseline {}",
+            ls.write_stall(),
+            base.write_stall()
+        );
+        assert!(ls.traffic.total_bytes() < base.traffic.total_bytes());
+        assert!(ls.machine.silent_stores > 0);
+    }
+
+    #[test]
+    fn component_attribution_reaches_oracle() {
+        let mut b = SimBuilder::new(cfg());
+        let a = b.alloc().alloc_words(1);
+        b.spawn(move |p| {
+            p.set_component(Component::Os);
+            let v = p.load(a);
+            p.store(a, v + 1);
+        });
+        let s = b.run();
+        assert_eq!(s.oracle.component(Component::Os).global_writes, 1);
+        assert_eq!(s.oracle.component(Component::Os).ls_writes, 1);
+        assert_eq!(s.oracle.component(Component::App).global_writes, 0);
+    }
+
+    #[test]
+    fn quantum_variants_still_deterministic() {
+        fn run_q(q: u64) -> (u64, u64) {
+            let mut c = cfg();
+            c.schedule_quantum = q;
+            let mut b = SimBuilder::new(c);
+            let ctr = b.alloc().alloc_words(1);
+            for _ in 0..4 {
+                b.spawn(move |p| {
+                    for _ in 0..100 {
+                        p.fetch_add(ctr, 1);
+                        p.busy(9);
+                    }
+                });
+            }
+            let s = b.run();
+            (s.exec_cycles, s.traffic.total_messages())
+        }
+        assert_eq!(run_q(64), run_q(64));
+        assert_eq!(run_q(1), run_q(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle limit")]
+    fn livelock_guard_fires() {
+        let mut b = SimBuilder::new(cfg());
+        b.max_cycles(10_000);
+        b.spawn(|p| loop {
+            p.busy(100);
+        });
+        b.run();
+    }
+
+    #[test]
+    fn f64_helpers_round_trip() {
+        let mut b = SimBuilder::new(cfg());
+        let a = b.alloc().alloc_words(1);
+        b.spawn(move |p| {
+            p.store_f64(a, -3.25e17);
+            assert_eq!(p.load_f64(a), -3.25e17);
+            p.store_f64(a, f64::MIN_POSITIVE);
+            assert_eq!(p.load_f64(a), f64::MIN_POSITIVE);
+        });
+        b.run();
+    }
+
+    #[test]
+    fn now_reports_clock() {
+        let mut b = SimBuilder::new(cfg());
+        b.spawn(|p| {
+            assert_eq!(p.now(), 0);
+            p.busy(123);
+            assert_eq!(p.now(), 123);
+            assert_eq!(p.id(), NodeId(0));
+            assert_eq!(p.nodes(), 4);
+        });
+        b.run();
+    }
+}

@@ -1,0 +1,149 @@
+//! Bump allocator for simulated shared memory.
+//!
+//! Workloads lay out their data structures through this allocator. It never
+//! frees (the workloads are batch programs), supports alignment, can pad
+//! allocations out to a full coherence block (to *avoid* false sharing where
+//! the original program did), and can target a specific home node by skipping
+//! forward to the next page that round-robin assigns to that node (mirroring
+//! first-touch-style placement studies).
+
+use crate::pages::home_node;
+use ccsim_types::{Addr, NodeId};
+
+/// Bump allocator over the simulated physical address space.
+#[derive(Debug, Clone)]
+pub struct Allocator {
+    next: u64,
+    page_bytes: u64,
+    nodes: u16,
+}
+
+impl Allocator {
+    /// Start allocating at address `base` (commonly 0x1000 to keep null
+    /// distinguishable).
+    pub fn new(base: u64, page_bytes: u64, nodes: u16) -> Self {
+        assert!(page_bytes.is_power_of_two());
+        assert!(nodes > 0);
+        Allocator { next: base, page_bytes, nodes }
+    }
+
+    fn align_up(x: u64, align: u64) -> u64 {
+        debug_assert!(align.is_power_of_two());
+        (x + align - 1) & !(align - 1)
+    }
+
+    /// Allocate `bytes` with the given power-of-two alignment.
+    pub fn alloc(&mut self, bytes: u64, align: u64) -> Addr {
+        assert!(bytes > 0);
+        let at = Self::align_up(self.next, align);
+        self.next = at + bytes;
+        Addr(at)
+    }
+
+    /// Allocate a contiguous array of `n` 8-byte words.
+    pub fn alloc_words(&mut self, n: u64) -> Addr {
+        self.alloc(n * ccsim_types::WORD_BYTES, ccsim_types::WORD_BYTES)
+    }
+
+    /// Allocate `bytes` aligned *and padded* to `block_bytes`, guaranteeing
+    /// the allocation shares no coherence block with any other allocation.
+    pub fn alloc_padded(&mut self, bytes: u64, block_bytes: u64) -> Addr {
+        let at = self.alloc(Self::align_up(bytes, block_bytes), block_bytes);
+        debug_assert_eq!(at.0 % block_bytes, 0);
+        at
+    }
+
+    /// Allocate `bytes` (aligned to `align`) inside pages homed at `node`.
+    /// The allocation must fit within one page.
+    pub fn alloc_on_node(&mut self, bytes: u64, align: u64, node: NodeId) -> Addr {
+        assert!(bytes <= self.page_bytes, "node-targeted allocation exceeds a page");
+        loop {
+            let at = Self::align_up(self.next, align);
+            let end = at + bytes - 1;
+            let fits_in_page = at / self.page_bytes == end / self.page_bytes;
+            if fits_in_page && home_node(Addr(at), self.page_bytes, self.nodes) == node {
+                self.next = at + bytes;
+                return Addr(at);
+            }
+            // Skip to the start of the next page and try again.
+            self.next = (self.next / self.page_bytes + 1) * self.page_bytes;
+        }
+    }
+
+    /// Current high-water mark of the allocated address space.
+    pub fn high_water(&self) -> Addr {
+        Addr(self.next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk() -> Allocator {
+        Allocator::new(0x1000, 4096, 4)
+    }
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        let mut a = mk();
+        let x = a.alloc(100, 8);
+        let y = a.alloc(100, 8);
+        assert!(y.0 >= x.0 + 100);
+    }
+
+    #[test]
+    fn alignment_respected() {
+        let mut a = mk();
+        a.alloc(3, 1); // misalign the bump pointer
+        let x = a.alloc(64, 64);
+        assert_eq!(x.0 % 64, 0);
+        let y = a.alloc(8, 256);
+        assert_eq!(y.0 % 256, 0);
+    }
+
+    #[test]
+    fn padded_allocations_never_share_a_block() {
+        let mut a = mk();
+        let bb = 64;
+        let x = a.alloc_padded(10, bb);
+        let y = a.alloc_padded(10, bb);
+        assert_ne!(x.block(bb), y.block(bb));
+        assert_ne!(x.offset(9).block(bb), y.block(bb));
+    }
+
+    #[test]
+    fn node_targeted_allocation_lands_on_node() {
+        let mut a = mk();
+        for want in 0..4u16 {
+            let at = a.alloc_on_node(128, 8, NodeId(want));
+            assert_eq!(home_node(at, 4096, 4), NodeId(want));
+            // Whole allocation inside one page, hence one home.
+            assert_eq!(home_node(at.offset(127), 4096, 4), NodeId(want));
+        }
+    }
+
+    #[test]
+    fn node_targeted_allocation_advances_monotonically() {
+        let mut a = mk();
+        let x = a.alloc_on_node(64, 8, NodeId(3));
+        let y = a.alloc_on_node(64, 8, NodeId(3));
+        assert!(y.0 > x.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds a page")]
+    fn node_targeted_allocation_rejects_multi_page() {
+        mk().alloc_on_node(8192, 8, NodeId(0));
+    }
+
+    #[test]
+    fn alloc_words_is_word_aligned() {
+        let mut a = mk();
+        a.alloc(3, 1);
+        let x = a.alloc_words(4);
+        assert_eq!(x.0 % 8, 0);
+        let y = a.alloc_words(1);
+        assert_eq!(y.0, x.0 + 32);
+    }
+}

@@ -1,0 +1,19 @@
+//! Simulated physical memory for the `ccsim` multiprocessor.
+//!
+//! Three pieces:
+//!
+//! * [`store::Store`] — the word-granular backing store holding actual data
+//!   values (the single source of truth; the cache model tracks only tags
+//!   and coherence states).
+//! * [`pages`] — round-robin distribution of physical pages over node
+//!   memories, as §4.2 of the paper specifies.
+//! * [`alloc::Allocator`] — a bump allocator workloads use to lay out their
+//!   shared data structures, with node-targeted and padding-aware variants.
+
+pub mod alloc;
+pub mod pages;
+pub mod store;
+
+pub use alloc::Allocator;
+pub use pages::home_node;
+pub use store::Store;

@@ -1,0 +1,78 @@
+//! Property tests for the memory substrate.
+
+use ccsim_mem::{pages, Allocator, Store};
+use ccsim_types::{Addr, NodeId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The store behaves as a map from word-aligned addresses to values.
+    #[test]
+    fn store_is_a_word_map(writes in proptest::collection::vec((0u64..1 << 20, any::<u64>()), 1..200)) {
+        let mut s = Store::new();
+        let mut model = std::collections::HashMap::new();
+        for (w, v) in &writes {
+            let addr = Addr(w * 8);
+            s.store(addr, *v);
+            model.insert(*w, *v);
+        }
+        for (w, v) in &model {
+            prop_assert_eq!(s.load(Addr(w * 8)), *v);
+        }
+    }
+
+    /// Sub-word addresses alias onto their containing word.
+    #[test]
+    fn byte_addresses_alias_words(base in 0u64..1 << 16, off in 0u64..8, v: u64) {
+        let mut s = Store::new();
+        s.store(Addr(base * 8), v);
+        prop_assert_eq!(s.load(Addr(base * 8 + off)), v);
+    }
+
+    /// Allocations never overlap, whatever the interleaving of plain,
+    /// padded, and node-targeted requests.
+    #[test]
+    fn allocations_never_overlap(
+        reqs in proptest::collection::vec((1u64..300, 0..3u8, 0..4u16), 1..100)
+    ) {
+        let mut a = Allocator::new(0x1000, 4096, 4);
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for (bytes, kind, node) in reqs {
+            let at = match kind {
+                0 => a.alloc(bytes, 8),
+                1 => a.alloc_padded(bytes, 64),
+                _ => a.alloc_on_node(bytes.min(4096), 8, NodeId(node)),
+            };
+            let span = (at.0, at.0 + bytes);
+            for &(s0, s1) in &spans {
+                prop_assert!(span.1 <= s0 || span.0 >= s1,
+                    "overlap: [{:#x},{:#x}) vs [{s0:#x},{s1:#x})", span.0, span.1);
+            }
+            spans.push(span);
+        }
+    }
+
+    /// Node-targeted allocations land entirely on pages of that node.
+    #[test]
+    fn node_alloc_is_homed_correctly(
+        reqs in proptest::collection::vec((1u64..2048, 0..4u16), 1..50)
+    ) {
+        let mut a = Allocator::new(0x1000, 4096, 4);
+        for (bytes, node) in reqs {
+            let at = a.alloc_on_node(bytes, 8, NodeId(node));
+            prop_assert_eq!(pages::home_node(at, 4096, 4), NodeId(node));
+            prop_assert_eq!(pages::home_node(at.offset(bytes - 1), 4096, 4), NodeId(node));
+        }
+    }
+
+    /// Page homing is a pure round-robin function of the page index.
+    #[test]
+    fn homing_is_round_robin(addr in 0u64..1 << 40, nodes in 1u16..64) {
+        let h = pages::home_node(Addr(addr), 4096, nodes);
+        prop_assert_eq!(h.0 as u64, (addr / 4096) % nodes as u64);
+        // Stable within a page.
+        let page_start = addr / 4096 * 4096;
+        prop_assert_eq!(pages::home_node(Addr(page_start), 4096, nodes), h);
+    }
+}

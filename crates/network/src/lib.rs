@@ -1,0 +1,350 @@
+//! Point-to-point interconnection network model.
+//!
+//! §4.2: "The processor nodes are connected in a point-to-point network with
+//! a fixed delay. Contention is accurately modeled in the network."
+//!
+//! Model: every node has a network interface (NI) that injects messages
+//! serially. A message occupies the sender's NI for `size_bytes /
+//! LINK_BYTES_PER_CYCLE` cycles (minimum 1) and then travels for the fixed
+//! `net` traversal delay; the receiving controller adds its `mc` occupancy
+//! (charged by the latency model at the endpoint). Contention therefore
+//! appears as queueing delay at busy NIs. Intra-node "messages" (home ==
+//! requester) bypass the network entirely and are not counted as traffic.
+//!
+//! All traffic counters live here, split by [`MsgKind`] and by the paper's
+//! read/write/other [`MsgClass`] categories.
+
+use ccsim_types::{LatencyConfig, MsgClass, MsgKind, NodeId, Topology};
+
+/// Injection bandwidth of a network interface (bytes per cycle).
+pub const LINK_BYTES_PER_CYCLE: u64 = 8;
+
+/// Per-class message and byte counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassCounters {
+    pub messages: u64,
+    pub bytes: u64,
+}
+
+/// Network traffic statistics.
+#[derive(Clone, Debug, Default)]
+pub struct Traffic {
+    read: ClassCounters,
+    write: ClassCounters,
+    other: ClassCounters,
+    invalidations: u64,
+    by_kind: std::collections::BTreeMap<&'static str, u64>,
+}
+
+impl Traffic {
+    fn class_mut(&mut self, c: MsgClass) -> &mut ClassCounters {
+        match c {
+            MsgClass::Read => &mut self.read,
+            MsgClass::Write => &mut self.write,
+            MsgClass::Other => &mut self.other,
+        }
+    }
+
+    /// Counters for one class.
+    pub fn class(&self, c: MsgClass) -> ClassCounters {
+        match c {
+            MsgClass::Read => self.read,
+            MsgClass::Write => self.write,
+            MsgClass::Other => self.other,
+        }
+    }
+
+    /// Total messages across classes.
+    pub fn total_messages(&self) -> u64 {
+        self.read.messages + self.write.messages + self.other.messages
+    }
+
+    /// Total bytes across classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.read.bytes + self.write.bytes + self.other.bytes
+    }
+
+    /// Home-to-sharer invalidation messages (Figure 5's "Invalidations").
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// Count of one message kind (diagnostics).
+    pub fn kind_count(&self, kind: MsgKind) -> u64 {
+        *self.by_kind.get(kind_name(kind)).unwrap_or(&0)
+    }
+
+    fn record(&mut self, kind: MsgKind, block_bytes: u64) {
+        let c = self.class_mut(kind.class());
+        c.messages += 1;
+        c.bytes += kind.size_bytes(block_bytes);
+        if kind.is_invalidation() {
+            self.invalidations += 1;
+        }
+        *self.by_kind.entry(kind_name(kind)).or_insert(0) += 1;
+    }
+
+    /// Merge another traffic tally into this one.
+    pub fn merge(&mut self, other: &Traffic) {
+        for c in MsgClass::ALL {
+            let o = other.class(c);
+            let m = self.class_mut(c);
+            m.messages += o.messages;
+            m.bytes += o.bytes;
+        }
+        self.invalidations += other.invalidations;
+        for (k, v) in &other.by_kind {
+            *self.by_kind.entry(k).or_insert(0) += v;
+        }
+    }
+}
+
+fn kind_name(kind: MsgKind) -> &'static str {
+    use MsgKind::*;
+    match kind {
+        ReadReq => "ReadReq",
+        ReadReply => "ReadReply",
+        ReadExclReply => "ReadExclReply",
+        ReadForward => "ReadForward",
+        OwnerReply => "OwnerReply",
+        SharingWriteback => "SharingWriteback",
+        UpgradeReq => "UpgradeReq",
+        UpgradeAck => "UpgradeAck",
+        WriteMissReq => "WriteMissReq",
+        WriteMissReply => "WriteMissReply",
+        WriteForward => "WriteForward",
+        OwnerWriteReply => "OwnerWriteReply",
+        Inval => "Inval",
+        InvalAck => "InvalAck",
+        ReplWriteback => "ReplWriteback",
+        ReplHint => "ReplHint",
+        NotLs => "NotLs",
+        Retry => "Retry",
+    }
+}
+
+/// The interconnect: topology-routed links with per-NI and per-link
+/// queueing.
+pub struct Network {
+    latency: LatencyConfig,
+    block_bytes: u64,
+    topology: Topology,
+    /// Cycle until which each node's NI is busy injecting.
+    ni_busy_until: Vec<u64>,
+    /// Cycle until which each directed link is busy (mesh contention).
+    link_busy_until: std::collections::HashMap<(NodeId, NodeId), u64>,
+    traffic: Traffic,
+}
+
+impl Network {
+    pub fn new(nodes: u16, latency: LatencyConfig, block_bytes: u64) -> Self {
+        Self::with_topology(nodes, latency, block_bytes, Topology::PointToPoint)
+    }
+
+    pub fn with_topology(
+        nodes: u16,
+        latency: LatencyConfig,
+        block_bytes: u64,
+        topology: Topology,
+    ) -> Self {
+        topology.validate(nodes).expect("invalid topology");
+        Network {
+            latency,
+            block_bytes,
+            topology,
+            ni_busy_until: vec![0; nodes as usize],
+            link_busy_until: std::collections::HashMap::new(),
+            traffic: Traffic::default(),
+        }
+    }
+
+    /// Send one message at simulated time `now`; returns its arrival time at
+    /// the destination NI (before the receiving controller's `mc` occupancy,
+    /// which the latency model charges separately).
+    ///
+    /// Cut-through model: the message's own serialization overlaps its
+    /// traversal (arrival = injection start + `net`), but it occupies the
+    /// sender's NI for its full serialization time, delaying later messages
+    /// — that queueing is where contention shows up.
+    ///
+    /// Intra-node transfers (`from == to`) are free and uncounted.
+    pub fn send(&mut self, now: u64, from: NodeId, to: NodeId, kind: MsgKind) -> u64 {
+        if from == to {
+            return now;
+        }
+        self.traffic.record(kind, self.block_bytes);
+        let occupancy = (kind.size_bytes(self.block_bytes) / LINK_BYTES_PER_CYCLE).max(1);
+        let ni = &mut self.ni_busy_until[from.idx()];
+        let mut t = (*ni).max(now);
+        *ni = t + occupancy;
+        // Traverse the route, booking each link (wormhole cut-through: the
+        // header advances one `net` delay per link; the body's occupancy
+        // trails behind and is what later messages queue on).
+        for link in self.topology.route(from, to) {
+            let busy = self.link_busy_until.entry(link).or_insert(0);
+            let start = (*busy).max(t);
+            *busy = start + occupancy;
+            t = start + self.latency.net;
+        }
+        t
+    }
+
+    /// Account a message without modeling its timing (used for messages that
+    /// travel in parallel with the critical path, e.g. sharing writebacks,
+    /// or fire-and-forget hints).
+    pub fn send_background(&mut self, now: u64, from: NodeId, to: NodeId, kind: MsgKind) {
+        if from == to {
+            return;
+        }
+        self.traffic.record(kind, self.block_bytes);
+        // Background messages still occupy the sender's NI.
+        let occupancy = (kind.size_bytes(self.block_bytes) / LINK_BYTES_PER_CYCLE).max(1);
+        let ni = &mut self.ni_busy_until[from.idx()];
+        let start = (*ni).max(now);
+        *ni = start + occupancy;
+    }
+
+    pub fn traffic(&self) -> &Traffic {
+        &self.traffic
+    }
+
+    /// Earliest cycle at which `node`'s NI is free (diagnostics).
+    pub fn ni_free_at(&self, node: NodeId) -> u64 {
+        self.ni_busy_until[node.idx()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Network {
+        Network::new(4, LatencyConfig::default(), 16)
+    }
+
+    #[test]
+    fn intra_node_send_is_free_and_uncounted() {
+        let mut n = net();
+        let t = n.send(100, NodeId(1), NodeId(1), MsgKind::ReadReq);
+        assert_eq!(t, 100);
+        assert_eq!(n.traffic().total_messages(), 0);
+    }
+
+    #[test]
+    fn remote_send_takes_traversal_delay() {
+        let mut n = net();
+        // Cut-through: arrival = injection + 40-cycle traversal.
+        let t = n.send(100, NodeId(0), NodeId(1), MsgKind::ReadReq);
+        assert_eq!(t, 100 + 40);
+        assert_eq!(n.traffic().total_messages(), 1);
+        assert_eq!(n.traffic().class(MsgClass::Read).messages, 1);
+        assert_eq!(n.traffic().class(MsgClass::Read).bytes, 8);
+    }
+
+    #[test]
+    fn data_messages_occupy_the_ni_longer() {
+        let mut n = net();
+        // 8 + 16 bytes = 3 cycles occupancy; own arrival still now + net.
+        let t = n.send(0, NodeId(0), NodeId(1), MsgKind::ReadReply);
+        assert_eq!(t, 40);
+        assert_eq!(n.ni_free_at(NodeId(0)), 3);
+        assert_eq!(n.traffic().class(MsgClass::Read).bytes, 24);
+    }
+
+    #[test]
+    fn contention_queues_at_the_sender_ni() {
+        let mut n = net();
+        let t1 = n.send(0, NodeId(0), NodeId(1), MsgKind::ReadReply); // NI busy [0,3)
+        let t2 = n.send(0, NodeId(0), NodeId(2), MsgKind::ReadReq); // queued behind
+        assert_eq!(t1, 40);
+        assert_eq!(t2, 3 + 40);
+        // A different node's NI is unaffected.
+        let t3 = n.send(0, NodeId(3), NodeId(0), MsgKind::ReadReq);
+        assert_eq!(t3, 40);
+    }
+
+    #[test]
+    fn idle_ni_does_not_queue() {
+        let mut n = net();
+        n.send(0, NodeId(0), NodeId(1), MsgKind::ReadReq);
+        // Much later, no queueing.
+        let t = n.send(1000, NodeId(0), NodeId(1), MsgKind::ReadReq);
+        assert_eq!(t, 1040);
+    }
+
+    #[test]
+    fn invalidations_counted_separately() {
+        let mut n = net();
+        n.send(0, NodeId(0), NodeId(1), MsgKind::Inval);
+        n.send(0, NodeId(0), NodeId(2), MsgKind::Inval);
+        n.send(0, NodeId(1), NodeId(0), MsgKind::InvalAck);
+        assert_eq!(n.traffic().invalidations(), 2);
+        assert_eq!(n.traffic().class(MsgClass::Write).messages, 3);
+    }
+
+    #[test]
+    fn background_sends_counted_but_untimed() {
+        let mut n = net();
+        n.send_background(0, NodeId(0), NodeId(1), MsgKind::SharingWriteback);
+        assert_eq!(n.traffic().total_messages(), 1);
+        // It still occupies the NI.
+        assert!(n.ni_free_at(NodeId(0)) > 0);
+        // Intra-node background is free.
+        n.send_background(0, NodeId(2), NodeId(2), MsgKind::ReplHint);
+        assert_eq!(n.traffic().total_messages(), 1);
+    }
+
+    #[test]
+    fn mesh_distance_costs_hops() {
+        // 4x1 mesh (a line): 0-1-2-3.
+        let mut n = Network::with_topology(
+            4,
+            LatencyConfig::default(),
+            16,
+            Topology::Mesh2D { width: 4 },
+        );
+        let t1 = n.send(0, NodeId(0), NodeId(1), MsgKind::ReadReq);
+        assert_eq!(t1, 40, "one hop");
+        let t3 = n.send(1000, NodeId(0), NodeId(3), MsgKind::ReadReq);
+        assert_eq!(t3, 1000 + 3 * 40, "three hops");
+    }
+
+    #[test]
+    fn mesh_links_contend_independently() {
+        let mut n = Network::with_topology(
+            4,
+            LatencyConfig::default(),
+            16,
+            Topology::Mesh2D { width: 4 },
+        );
+        // A long message 1->2 occupies link (1,2).
+        n.send(0, NodeId(1), NodeId(2), MsgKind::ReadReply); // occupancy 3
+        // A message 0->3 must cross (1,2) and queues behind it there.
+        let t = n.send(0, NodeId(0), NodeId(3), MsgKind::ReadReq);
+        // Link (0,1): start 0, arrive 40. Link (1,2): busy until 3 but we
+        // arrive at 40 anyway -> 80. Link (2,3): -> 120.
+        assert_eq!(t, 120);
+        // Now saturate (1,2) far into the future and observe queueing.
+        for _ in 0..50 {
+            n.send(200, NodeId(1), NodeId(2), MsgKind::ReadReply);
+        }
+        let t2 = n.send(200, NodeId(0), NodeId(3), MsgKind::ReadReq);
+        assert!(t2 > 200 + 120, "congested middle link must delay the route");
+    }
+
+    #[test]
+    fn traffic_merge_adds_counters() {
+        let mut a = net();
+        let mut b = net();
+        a.send(0, NodeId(0), NodeId(1), MsgKind::ReadReq);
+        b.send(0, NodeId(0), NodeId(1), MsgKind::Inval);
+        b.send(0, NodeId(0), NodeId(1), MsgKind::Retry);
+        let mut t = a.traffic().clone();
+        t.merge(b.traffic());
+        assert_eq!(t.total_messages(), 3);
+        assert_eq!(t.invalidations(), 1);
+        assert_eq!(t.class(MsgClass::Other).messages, 1);
+        assert_eq!(t.kind_count(MsgKind::ReadReq), 1);
+        assert_eq!(t.kind_count(MsgKind::Inval), 1);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the interconnect.
+
+use ccsim_network::Network;
+use ccsim_types::{LatencyConfig, MsgKind, NodeId, Topology};
+use proptest::prelude::*;
+
+const KINDS: [MsgKind; 6] = [
+    MsgKind::ReadReq,
+    MsgKind::ReadReply,
+    MsgKind::Inval,
+    MsgKind::InvalAck,
+    MsgKind::WriteMissReply,
+    MsgKind::Retry,
+];
+
+fn msgs() -> impl Strategy<Value = (u64, u16, u16, usize)> {
+    (0u64..10_000, 0u16..8, 0u16..8, 0usize..KINDS.len())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arrivals never precede sends, and remote arrivals pay at least one
+    /// full traversal — under both topologies.
+    #[test]
+    fn arrival_bounds(seq in proptest::collection::vec(msgs(), 1..200), mesh: bool) {
+        let topo = if mesh { Topology::Mesh2D { width: 4 } } else { Topology::PointToPoint };
+        let mut n = Network::with_topology(8, LatencyConfig::default(), 32, topo);
+        for (now, from, to, k) in seq {
+            let t = n.send(now, NodeId(from), NodeId(to), KINDS[k]);
+            if from == to {
+                prop_assert_eq!(t, now, "intra-node transfers are free");
+            } else {
+                let hops = topo.hops(NodeId(from), NodeId(to));
+                prop_assert!(t >= now + 40 * hops,
+                    "arrival {t} earlier than {hops} uncongested hops from {now}");
+            }
+        }
+    }
+
+    /// Traffic accounting: total bytes equal the sum of per-message sizes,
+    /// and message counts match the number of remote sends.
+    #[test]
+    fn traffic_accounting_is_exact(seq in proptest::collection::vec(msgs(), 1..200)) {
+        let mut n = Network::new(8, LatencyConfig::default(), 32);
+        let mut bytes = 0u64;
+        let mut remote = 0u64;
+        let mut invals = 0u64;
+        for (now, from, to, k) in seq {
+            n.send(now, NodeId(from), NodeId(to), KINDS[k]);
+            if from != to {
+                remote += 1;
+                bytes += KINDS[k].size_bytes(32);
+                if KINDS[k].is_invalidation() {
+                    invals += 1;
+                }
+            }
+        }
+        prop_assert_eq!(n.traffic().total_messages(), remote);
+        prop_assert_eq!(n.traffic().total_bytes(), bytes);
+        prop_assert_eq!(n.traffic().invalidations(), invals);
+    }
+
+    /// NI busy time is monotone: sending more never frees the NI earlier.
+    #[test]
+    fn ni_occupancy_is_monotone(seq in proptest::collection::vec(msgs(), 1..100)) {
+        let mut n = Network::new(8, LatencyConfig::default(), 32);
+        let mut last = [0u64; 8];
+        for (now, from, to, k) in seq {
+            n.send(now, NodeId(from), NodeId(to), KINDS[k]);
+            for node in 0..8u16 {
+                let free = n.ni_free_at(NodeId(node));
+                prop_assert!(free >= last[node as usize]);
+                last[node as usize] = free;
+            }
+        }
+    }
+
+    /// Mesh routes always reach their destination through adjacent links
+    /// and cost exactly the Manhattan distance.
+    #[test]
+    fn mesh_routes_are_shortest(from in 0u16..16, to in 0u16..16, width in 1u16..5) {
+        prop_assume!(16 % width == 0);
+        let t = Topology::Mesh2D { width };
+        let route = t.route(NodeId(from), NodeId(to));
+        prop_assert_eq!(route.len() as u64, t.hops(NodeId(from), NodeId(to)));
+        let mut cur = NodeId(from);
+        for (a, b) in route {
+            prop_assert_eq!(a, cur);
+            prop_assert_eq!(t.hops(a, b), 1);
+            cur = b;
+        }
+        if from != to {
+            prop_assert_eq!(cur, NodeId(to));
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Machine-readable export of run statistics (JSON via serde), consumed by
+//! the reproduction harness to assemble EXPERIMENTS.md.
+
+use ccsim_engine::{Component, RunStats};
+use ccsim_types::MsgClass;
+use serde::{Deserialize, Serialize};
+
+/// Flat, serializable summary of one run.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct RunSummary {
+    pub protocol: String,
+    pub nodes: u16,
+    pub block_bytes: u64,
+    pub exec_cycles: u64,
+    pub busy: u64,
+    pub read_stall: u64,
+    pub write_stall: u64,
+    pub traffic_read_bytes: u64,
+    pub traffic_write_bytes: u64,
+    pub traffic_other_bytes: u64,
+    pub traffic_messages: u64,
+    pub global_reads: u64,
+    pub read_class: [u64; 4],
+    pub upgrades: u64,
+    pub write_misses: u64,
+    pub invalidations: u64,
+    pub invalidations_per_shared_write: f64,
+    pub exclusive_grants: u64,
+    pub silent_stores: u64,
+    pub retries: u64,
+    /// Oracle: [global_writes, ls_writes, migratory_writes] per component
+    /// App/Lib/Os and total.
+    pub oracle_app: [u64; 3],
+    pub oracle_lib: [u64; 3],
+    pub oracle_os: [u64; 3],
+    pub ls_fraction: f64,
+    pub migratory_fraction: f64,
+    pub ls_coverage: f64,
+    pub migratory_coverage: f64,
+    pub false_sharing_fraction: f64,
+}
+
+impl RunSummary {
+    pub fn from_stats(r: &RunStats) -> Self {
+        let comp = |c: Component| {
+            let k = r.oracle.component(c);
+            [k.global_writes, k.ls_writes, k.migratory_writes]
+        };
+        RunSummary {
+            protocol: r.protocol.label().to_string(),
+            nodes: r.config.nodes,
+            block_bytes: r.config.block_bytes(),
+            exec_cycles: r.exec_cycles,
+            busy: r.busy(),
+            read_stall: r.read_stall(),
+            write_stall: r.write_stall(),
+            traffic_read_bytes: r.traffic.class(MsgClass::Read).bytes,
+            traffic_write_bytes: r.traffic.class(MsgClass::Write).bytes,
+            traffic_other_bytes: r.traffic.class(MsgClass::Other).bytes,
+            traffic_messages: r.traffic.total_messages(),
+            global_reads: r.dir.global_reads,
+            read_class: r.dir.read_class,
+            upgrades: r.dir.upgrades,
+            write_misses: r.dir.write_misses,
+            invalidations: r.dir.invalidations_requested,
+            invalidations_per_shared_write: r.invalidations_per_shared_write(),
+            exclusive_grants: r.dir.exclusive_grants,
+            silent_stores: r.machine.silent_stores,
+            retries: r.machine.retries,
+            oracle_app: comp(Component::App),
+            oracle_lib: comp(Component::Lib),
+            oracle_os: comp(Component::Os),
+            ls_fraction: r.oracle.ls_fraction(None),
+            migratory_fraction: r.oracle.migratory_fraction(None),
+            ls_coverage: r.oracle.ls_coverage(),
+            migratory_coverage: r.oracle.migratory_coverage(),
+            false_sharing_fraction: r.false_sharing.false_fraction(),
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("summary serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsim_engine::SimBuilder;
+    use ccsim_types::{MachineConfig, ProtocolKind};
+
+    fn toy_run() -> RunStats {
+        let mut b = SimBuilder::new(MachineConfig::splash_baseline(ProtocolKind::Ls));
+        let a = b.alloc().alloc_words(1);
+        b.spawn(move |p| {
+            let v = p.load(a);
+            p.store(a, v + 1);
+        });
+        b.run()
+    }
+
+    #[test]
+    fn summary_round_trips_through_json() {
+        let s = RunSummary::from_stats(&toy_run());
+        let json = s.to_json();
+        let back: RunSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+        assert_eq!(back.protocol, "LS");
+        assert_eq!(back.nodes, 4);
+    }
+
+    #[test]
+    fn summary_is_consistent_with_stats() {
+        let r = toy_run();
+        let s = RunSummary::from_stats(&r);
+        assert_eq!(s.exec_cycles, r.exec_cycles);
+        assert_eq!(s.busy + s.read_stall + s.write_stall, r.total_cycles());
+        assert_eq!(s.global_reads, 1);
+        assert_eq!(s.oracle_app[0], 1, "one global write");
+        assert_eq!(s.oracle_app[1], 1, "which was a load-store sequence");
+    }
+}

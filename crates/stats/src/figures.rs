@@ -1,0 +1,230 @@
+//! ASCII renderings of the paper's figures and tables.
+
+use crate::normalized::Triptych;
+use ccsim_engine::{Component, RunStats};
+use ccsim_types::ProtocolKind;
+use std::fmt::Write as _;
+
+fn bar(width_per_unit: f64, value: f64) -> String {
+    let n = (value * width_per_unit).round().max(0.0) as usize;
+    "█".repeat(n)
+}
+
+/// Render one application's triptych (Figures 3, 4, 6, 7): three stacked
+/// sections — execution time, traffic, global read misses — each with one
+/// row per protocol, normalized to Baseline = 100.
+pub fn render_triptych(t: &Triptych) -> String {
+    let mut s = String::new();
+    let w = 0.35; // chars per percentage point
+    let _ = writeln!(s, "== {} ==", t.workload);
+    let _ = writeln!(s, "-- Normalized execution time (busy | read stall | write stall) --");
+    for r in &t.runs {
+        let _ = writeln!(
+            s,
+            "{:>8} {:6.1} = busy {:5.1} + read {:5.1} + write {:5.1}  {}{}{}",
+            r.protocol.label(),
+            r.time_total(),
+            r.busy,
+            r.read_stall,
+            r.write_stall,
+            bar(w, r.busy),
+            "▒".repeat((r.read_stall * w).round().max(0.0) as usize),
+            "░".repeat((r.write_stall * w).round().max(0.0) as usize),
+        );
+    }
+    let _ = writeln!(s, "-- Normalized traffic bytes (read | write | other) --");
+    for r in &t.runs {
+        let _ = writeln!(
+            s,
+            "{:>8} {:6.1} = read {:5.1} + write {:5.1} + other {:5.1}  {}{}{}",
+            r.protocol.label(),
+            r.traffic_total(),
+            r.traffic_read,
+            r.traffic_write,
+            r.traffic_other,
+            bar(w, r.traffic_read),
+            "▒".repeat((r.traffic_write * w).round().max(0.0) as usize),
+            "░".repeat((r.traffic_other * w).round().max(0.0) as usize),
+        );
+    }
+    let _ = writeln!(
+        s,
+        "-- Normalized global read misses (clean | dirty | clean-excl | dirty-excl) --"
+    );
+    for r in &t.runs {
+        let _ = writeln!(
+            s,
+            "{:>8} {:6.1} = C {:5.1} + D {:5.1} + CX {:5.1} + DX {:5.1}",
+            r.protocol.label(),
+            r.read_miss_total(),
+            r.read_class[0],
+            r.read_class[1],
+            r.read_class[2],
+            r.read_class[3],
+        );
+    }
+    s
+}
+
+/// Figure 5: invalidation traffic split into ownership acquisitions
+/// ("Global Inv's" — upgrades) and invalidation messages, for several
+/// processor counts, normalized to each count's Baseline total.
+pub fn render_fig5(rows: &[(u16, Vec<RunStats>)]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== Cholesky invalidation traffic (Figure 5) ==");
+    let _ = writeln!(
+        s,
+        "{:>6} {:>9} | {:>12} {:>13} {:>7}",
+        "procs", "protocol", "global-inv's", "invalidations", "total"
+    );
+    for (procs, runs) in rows {
+        let base = &runs[0];
+        let base_total = base.dir.upgrades + base.dir.invalidations_requested;
+        for r in runs {
+            let gi = 100.0 * r.dir.upgrades as f64 / base_total.max(1) as f64;
+            let iv = 100.0 * r.dir.invalidations_requested as f64 / base_total.max(1) as f64;
+            let _ = writeln!(
+                s,
+                "{:>6} {:>9} | {:>12.1} {:>13.1} {:>7.1}",
+                procs,
+                r.protocol.label(),
+                gi,
+                iv,
+                gi + iv
+            );
+        }
+    }
+    s
+}
+
+/// Table 2: occurrence of load-store sequences and migratory behaviour in
+/// the OLTP workload, split by component.
+pub fn render_table2(base: &RunStats) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== Table 2: load-store occurrence in OLTP (Baseline run) ==");
+    let _ = writeln!(
+        s,
+        "{:<38} {:>8} {:>10} {:>8} {:>8}",
+        "fraction of accesses", "App", "Libraries", "OS", "Total"
+    );
+    let row1: Vec<f64> = Component::ALL
+        .iter()
+        .map(|&c| 100.0 * base.oracle.ls_fraction(Some(c)))
+        .chain([100.0 * base.oracle.ls_fraction(None)])
+        .collect();
+    let row2: Vec<f64> = Component::ALL
+        .iter()
+        .map(|&c| 100.0 * base.oracle.migratory_fraction(Some(c)))
+        .chain([100.0 * base.oracle.migratory_fraction(None)])
+        .collect();
+    let _ = writeln!(
+        s,
+        "{:<38} {:>7.1}% {:>9.1}% {:>7.1}% {:>7.1}%",
+        "load-store of all global write actions", row1[0], row1[1], row1[2], row1[3]
+    );
+    let _ = writeln!(
+        s,
+        "{:<38} {:>7.1}% {:>9.1}% {:>7.1}% {:>7.1}%",
+        "migratory of load-store sequences", row2[0], row2[1], row2[2], row2[3]
+    );
+    s
+}
+
+/// Table 3: coverage of LS and AD for load-store and migratory sequences.
+pub fn render_table3(ls: &RunStats, ad: &RunStats) -> String {
+    assert_eq!(ls.protocol, ProtocolKind::Ls);
+    assert_eq!(ad.protocol, ProtocolKind::Ad);
+    let mut s = String::new();
+    let _ = writeln!(s, "== Table 3: removed ownership acquisitions (coverage) ==");
+    let _ = writeln!(s, "{:<10} {:>12} {:>11}", "Technique", "Load-Store", "Migratory");
+    for r in [ls, ad] {
+        let _ = writeln!(
+            s,
+            "{:<10} {:>11.1}% {:>10.1}%",
+            r.protocol.label(),
+            100.0 * r.oracle.ls_coverage(),
+            100.0 * r.oracle.migratory_coverage()
+        );
+    }
+    s
+}
+
+/// Table 4: impact of cache block size on the fraction of false-sharing
+/// misses. Each row pairs a block size with a Baseline run at that size.
+pub fn render_table4(rows: &[(u64, RunStats)]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== Table 4: false-sharing misses vs block size (OLTP) ==");
+    let mut top = String::from("Block size (Bytes)   ");
+    let mut bot = String::from("False sharing misses ");
+    for (bs, r) in rows {
+        let _ = write!(top, "{:>8}", bs);
+        let _ = write!(bot, "{:>7.1}%", 100.0 * r.false_sharing.false_fraction());
+    }
+    let _ = writeln!(s, "{top}");
+    let _ = writeln!(s, "{bot}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalized::Triptych;
+    use ccsim_engine::SimBuilder;
+    use ccsim_types::MachineConfig;
+
+    fn toy_run(kind: ProtocolKind) -> RunStats {
+        let mut b = SimBuilder::new(MachineConfig::splash_baseline(kind));
+        let a = b.alloc().alloc_words(4);
+        for _ in 0..2 {
+            b.spawn(move |p| {
+                for _ in 0..20 {
+                    p.fetch_add(a, 1);
+                    p.busy(20);
+                }
+            });
+        }
+        b.run()
+    }
+
+    #[test]
+    fn triptych_renders_all_protocols() {
+        let runs: Vec<RunStats> = ProtocolKind::ALL.iter().map(|&k| toy_run(k)).collect();
+        let t = Triptych::new("TOY", &runs);
+        let out = render_triptych(&t);
+        assert!(out.contains("== TOY =="));
+        assert!(out.contains("Baseline"));
+        assert!(out.contains("AD"));
+        assert!(out.contains("LS"));
+        assert!(out.contains("Normalized execution time"));
+        assert!(out.contains("Normalized traffic bytes"));
+        assert!(out.contains("Normalized global read misses"));
+    }
+
+    #[test]
+    fn fig5_renders_rows_per_proc_count() {
+        let runs: Vec<RunStats> = ProtocolKind::ALL.iter().map(|&k| toy_run(k)).collect();
+        let out = render_fig5(&[(4, runs)]);
+        assert!(out.contains("global-inv's"));
+        assert_eq!(out.lines().filter(|l| l.contains("| ")).count(), 3 + 1);
+    }
+
+    #[test]
+    fn table_renders_do_not_panic() {
+        let base = toy_run(ProtocolKind::Baseline);
+        let ad = toy_run(ProtocolKind::Ad);
+        let ls = toy_run(ProtocolKind::Ls);
+        let t2 = render_table2(&base);
+        assert!(t2.contains("Total"));
+        let t3 = render_table3(&ls, &ad);
+        assert!(t3.contains("Load-Store"));
+        let t4 = render_table4(&[(16, base)]);
+        assert!(t4.contains("16"));
+    }
+
+    #[test]
+    fn bar_scales_with_value() {
+        assert_eq!(bar(1.0, 3.0).chars().count(), 3);
+        assert_eq!(bar(0.5, 10.0).chars().count(), 5);
+        assert_eq!(bar(1.0, 0.0).chars().count(), 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Normalization of run statistics against the Baseline run.
+
+use ccsim_engine::RunStats;
+use ccsim_types::{MsgClass, ProtocolKind};
+
+/// One protocol's results normalized so Baseline totals are 100.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NormalizedRun {
+    pub protocol: ProtocolKind,
+    /// Execution-time components, % of Baseline total (busy, read, write).
+    pub busy: f64,
+    pub read_stall: f64,
+    pub write_stall: f64,
+    /// Traffic components, % of Baseline total bytes (read, write, other).
+    pub traffic_read: f64,
+    pub traffic_write: f64,
+    pub traffic_other: f64,
+    /// Global read misses per home-state class, % of Baseline total
+    /// (Clean, Dirty, CleanExclusive, DirtyExclusive).
+    pub read_class: [f64; 4],
+}
+
+impl NormalizedRun {
+    pub fn time_total(&self) -> f64 {
+        self.busy + self.read_stall + self.write_stall
+    }
+
+    pub fn traffic_total(&self) -> f64 {
+        self.traffic_read + self.traffic_write + self.traffic_other
+    }
+
+    pub fn read_miss_total(&self) -> f64 {
+        self.read_class.iter().sum()
+    }
+}
+
+/// The three runs of one paper figure, normalized to the first (Baseline).
+#[derive(Clone, Debug)]
+pub struct Triptych {
+    pub workload: String,
+    pub runs: Vec<NormalizedRun>,
+}
+
+fn pct(x: u64, base: u64) -> f64 {
+    if base == 0 {
+        0.0
+    } else {
+        100.0 * x as f64 / base as f64
+    }
+}
+
+impl Triptych {
+    /// Normalize `[baseline, ad, ls]` (any number ≥1; the first run is the
+    /// normalization base and is conventionally the Baseline protocol).
+    pub fn new(workload: impl Into<String>, runs: &[RunStats]) -> Self {
+        assert!(!runs.is_empty());
+        let base = &runs[0];
+        let base_time = base.total_cycles();
+        let base_bytes = base.traffic.total_bytes();
+        let base_misses = base.dir.global_reads;
+        let normalized = runs
+            .iter()
+            .map(|r| NormalizedRun {
+                protocol: r.protocol,
+                busy: pct(r.busy(), base_time),
+                read_stall: pct(r.read_stall(), base_time),
+                write_stall: pct(r.write_stall(), base_time),
+                traffic_read: pct(r.traffic.class(MsgClass::Read).bytes, base_bytes),
+                traffic_write: pct(r.traffic.class(MsgClass::Write).bytes, base_bytes),
+                traffic_other: pct(r.traffic.class(MsgClass::Other).bytes, base_bytes),
+                read_class: [
+                    pct(r.dir.read_class[0], base_misses),
+                    pct(r.dir.read_class[1], base_misses),
+                    pct(r.dir.read_class[2], base_misses),
+                    pct(r.dir.read_class[3], base_misses),
+                ],
+            })
+            .collect();
+        Triptych { workload: workload.into(), runs: normalized }
+    }
+
+    /// The run for one protocol, if present.
+    pub fn run(&self, p: ProtocolKind) -> Option<&NormalizedRun> {
+        self.runs.iter().find(|r| r.protocol == p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsim_engine::SimBuilder;
+    use ccsim_types::MachineConfig;
+
+    fn toy_run(kind: ProtocolKind) -> RunStats {
+        let mut b = SimBuilder::new(MachineConfig::splash_baseline(kind));
+        let a = b.alloc().alloc_words(8);
+        for _ in 0..2 {
+            b.spawn(move |p| {
+                for i in 0..40u64 {
+                    let x = p.load(ccsim_types::Addr(a.0 + (i % 8) * 8));
+                    p.store(ccsim_types::Addr(a.0 + (i % 8) * 8), x + 1);
+                    p.busy(10);
+                }
+            });
+        }
+        b.run()
+    }
+
+    #[test]
+    fn baseline_normalizes_to_100() {
+        let base = toy_run(ProtocolKind::Baseline);
+        let t = Triptych::new("toy", &[base]);
+        let n = &t.runs[0];
+        assert!((n.time_total() - 100.0).abs() < 1e-9);
+        assert!((n.traffic_total() - 100.0).abs() < 1e-9);
+        assert!((n.read_miss_total() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ls_run_normalizes_below_baseline() {
+        let base = toy_run(ProtocolKind::Baseline);
+        let ls = toy_run(ProtocolKind::Ls);
+        let t = Triptych::new("toy", &[base, ls]);
+        let n = t.run(ProtocolKind::Ls).unwrap();
+        assert!(n.time_total() < 100.0, "LS should beat baseline on a migratory toy");
+        assert!(n.write_stall < t.run(ProtocolKind::Baseline).unwrap().write_stall);
+    }
+
+    #[test]
+    fn pct_of_zero_base_is_zero() {
+        assert_eq!(pct(5, 0), 0.0);
+        assert_eq!(pct(0, 10), 0.0);
+        assert_eq!(pct(5, 10), 50.0);
+    }
+}

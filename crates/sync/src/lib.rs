@@ -1,0 +1,539 @@
+//! Synchronization primitives built **on simulated memory**.
+//!
+//! These generate exactly the coherence traffic real lock implementations
+//! would: a test-and-test-and-set acquire spins *in cache* (the spin loads
+//! hit locally until the holder's release invalidates the line), the release
+//! is an ownership acquisition, and lock handoff is the canonical migratory
+//! pattern the paper's workloads exhibit around critical sections.
+//!
+//! All primitives are `Copy` descriptors of simulated addresses; state lives
+//! in simulated memory, never in host memory.
+
+use ccsim_engine::Proc;
+use ccsim_mem::Allocator;
+use ccsim_types::Addr;
+
+/// Test-and-test-and-set spinlock with proportional backoff.
+#[derive(Clone, Copy, Debug)]
+pub struct SpinLock {
+    word: Addr,
+}
+
+impl SpinLock {
+    /// Allocate the lock word, padded to its own coherence block so lock
+    /// traffic never false-shares with data.
+    pub fn new(alloc: &mut Allocator, block_bytes: u64) -> Self {
+        SpinLock { word: alloc.alloc_padded(8, block_bytes) }
+    }
+
+    /// Wrap an existing word (for embedding in larger structures).
+    pub fn at(word: Addr) -> Self {
+        SpinLock { word }
+    }
+
+    pub fn addr(&self) -> Addr {
+        self.word
+    }
+
+    /// Acquire: atomic test-and-set, then spin on local loads while held.
+    pub fn lock(&self, p: &Proc) {
+        let mut backoff = 4u64;
+        loop {
+            if p.swap(self.word, 1) == 0 {
+                return;
+            }
+            // Spin in cache until the line is invalidated by the release.
+            while p.load(self.word) != 0 {
+                p.busy(backoff);
+                backoff = (backoff * 2).min(64);
+            }
+        }
+    }
+
+    /// Try once; true on success.
+    pub fn try_lock(&self, p: &Proc) -> bool {
+        p.swap(self.word, 1) == 0
+    }
+
+    /// Release (plain store; SC makes it globally visible immediately).
+    pub fn unlock(&self, p: &Proc) {
+        p.store(self.word, 0);
+    }
+
+    /// Run `f` under the lock.
+    pub fn with<R>(&self, p: &Proc, f: impl FnOnce() -> R) -> R {
+        self.lock(p);
+        let r = f();
+        self.unlock(p);
+        r
+    }
+}
+
+/// FIFO ticket lock: fair handoff, classic for run queues.
+#[derive(Clone, Copy, Debug)]
+pub struct TicketLock {
+    next: Addr,
+    serving: Addr,
+}
+
+impl TicketLock {
+    pub fn new(alloc: &mut Allocator, block_bytes: u64) -> Self {
+        // Separate blocks: the ticket counter is write-hot, the serving
+        // word is read-spun.
+        TicketLock {
+            next: alloc.alloc_padded(8, block_bytes),
+            serving: alloc.alloc_padded(8, block_bytes),
+        }
+    }
+
+    pub fn lock(&self, p: &Proc) {
+        let my = p.fetch_add(self.next, 1);
+        while p.load(self.serving) != my {
+            p.busy(8);
+        }
+    }
+
+    pub fn unlock(&self, p: &Proc) {
+        let s = p.load(self.serving);
+        p.store(self.serving, s + 1);
+    }
+
+    pub fn with<R>(&self, p: &Proc, f: impl FnOnce() -> R) -> R {
+        self.lock(p);
+        let r = f();
+        self.unlock(p);
+        r
+    }
+}
+
+/// MCS queue lock (Mellor-Crummey & Scott) — the canonical NUMA-friendly
+/// lock of the paper's era: each waiter spins on its *own* cache block, so
+/// a release invalidates exactly one spinner instead of the whole pack.
+///
+/// Queue nodes live in simulated memory, one padded block per (lock,
+/// processor) pair.
+#[derive(Clone, Copy, Debug)]
+pub struct McsLock {
+    /// Tail pointer: 0 = free, otherwise 1 + owner node id.
+    tail: Addr,
+    /// Per-processor queue nodes: [locked-flag, next-pointer] words.
+    nodes: Addr,
+    node_stride: u64,
+}
+
+impl McsLock {
+    pub fn new(alloc: &mut Allocator, block_bytes: u64, procs: u16) -> Self {
+        let stride = (2 * 8).max(block_bytes);
+        let nodes = alloc.alloc_padded(stride * procs as u64, block_bytes);
+        McsLock { tail: alloc.alloc_padded(8, block_bytes), nodes, node_stride: stride }
+    }
+
+    fn node(&self, id: u16) -> Addr {
+        Addr(self.nodes.0 + id as u64 * self.node_stride)
+    }
+
+    pub fn lock(&self, p: &Proc) {
+        let me = p.id().0;
+        let my = self.node(me);
+        p.store(my, 1); // locked = true
+        p.store(my.offset(8), 0); // next = null
+        let prev = p.swap(self.tail, 1 + me as u64);
+        if prev != 0 {
+            // Link behind the predecessor and spin on OUR flag only.
+            let pred = self.node((prev - 1) as u16);
+            p.store(pred.offset(8), 1 + me as u64);
+            while p.load(my) != 0 {
+                p.busy(6);
+            }
+        }
+    }
+
+    pub fn unlock(&self, p: &Proc) {
+        let me = p.id().0;
+        let my = self.node(me);
+        let next = p.load(my.offset(8));
+        if next == 0 {
+            // No known successor: try to swing the tail back to free.
+            if p.cas(self.tail, 1 + me as u64, 0) == 1 + me as u64 {
+                return;
+            }
+            // A successor is linking itself; wait for the pointer.
+            let mut n = p.load(my.offset(8));
+            while n == 0 {
+                p.busy(4);
+                n = p.load(my.offset(8));
+            }
+            p.store(self.node((n - 1) as u16), 0);
+        } else {
+            p.store(self.node((next - 1) as u16), 0);
+        }
+    }
+
+    pub fn with<R>(&self, p: &Proc, f: impl FnOnce() -> R) -> R {
+        self.lock(p);
+        let r = f();
+        self.unlock(p);
+        r
+    }
+}
+
+/// Combining-tree barrier: arrivals propagate up a binary tree of counters
+/// and the release fans down sense flags — O(log P) contention per node
+/// instead of one hot counter.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeBarrier {
+    /// Per-internal-node arrival counters (padded blocks).
+    counts: Addr,
+    /// Per-node release sense flags (padded blocks).
+    senses: Addr,
+    stride: u64,
+    parties: u64,
+}
+
+impl TreeBarrier {
+    pub fn new(alloc: &mut Allocator, block_bytes: u64, parties: u64) -> Self {
+        assert!(parties > 0);
+        let stride = block_bytes.max(8);
+        TreeBarrier {
+            counts: alloc.alloc_padded(stride * parties, block_bytes),
+            senses: alloc.alloc_padded(stride * parties, block_bytes),
+            stride,
+            parties,
+        }
+    }
+
+    fn count(&self, node: u64) -> Addr {
+        Addr(self.counts.0 + node * self.stride)
+    }
+
+    fn sense(&self, node: u64) -> Addr {
+        Addr(self.senses.0 + node * self.stride)
+    }
+
+    /// Expected arrivals at internal node `n`: itself plus children that
+    /// exist in the binary tree over `parties` leaves-as-nodes.
+    fn fan_in(&self, n: u64) -> u64 {
+        let mut k = 1;
+        if 2 * n + 1 < self.parties {
+            k += 1;
+        }
+        if 2 * n + 2 < self.parties {
+            k += 1;
+        }
+        k
+    }
+
+    pub fn wait(&self, p: &Proc, s: &mut BarrierSense) {
+        s.local ^= 1;
+        let me = p.id().0 as u64;
+        // Arrive: children first bump their parent chain.
+        let mut node = me;
+        loop {
+            let arrived = p.fetch_add(self.count(node), 1) + 1;
+            if arrived < self.fan_in(node) {
+                break; // not the last at this node; wait for release below
+            }
+            p.store(self.count(node), 0);
+            if node == 0 {
+                // Root complete: release the whole tree.
+                for n in 0..self.parties {
+                    p.store(self.sense(n), s.local);
+                }
+                return;
+            }
+            node = (node - 1) / 2;
+        }
+        while p.load(self.sense(me)) != s.local {
+            p.busy(10);
+        }
+    }
+}
+
+/// Sense-reversing centralized barrier.
+///
+/// The caller keeps the per-processor sense in host-local state
+/// ([`BarrierSense`]), mirroring how real implementations keep it in a
+/// register or private memory.
+#[derive(Clone, Copy, Debug)]
+pub struct Barrier {
+    count: Addr,
+    sense: Addr,
+    parties: u64,
+}
+
+/// Per-processor barrier sense (host-local; no coherence traffic).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BarrierSense {
+    local: u64,
+}
+
+impl Barrier {
+    pub fn new(alloc: &mut Allocator, block_bytes: u64, parties: u64) -> Self {
+        assert!(parties > 0);
+        Barrier {
+            count: alloc.alloc_padded(8, block_bytes),
+            sense: alloc.alloc_padded(8, block_bytes),
+            parties,
+        }
+    }
+
+    /// Wait until all `parties` processors arrive.
+    pub fn wait(&self, p: &Proc, s: &mut BarrierSense) {
+        s.local ^= 1;
+        let arrived = p.fetch_add(self.count, 1) + 1;
+        if arrived == self.parties {
+            p.store(self.count, 0);
+            p.store(self.sense, s.local);
+        } else {
+            while p.load(self.sense) != s.local {
+                p.busy(12);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsim_engine::SimBuilder;
+    use ccsim_types::{MachineConfig, ProtocolKind};
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::splash_baseline(ProtocolKind::Baseline)
+    }
+
+    #[test]
+    fn spinlock_protects_a_counter() {
+        let mut b = SimBuilder::new(cfg());
+        let lock = SpinLock::new(b.alloc(), 16);
+        let x = b.alloc().alloc_padded(8, 16);
+        let y = b.alloc().alloc_padded(8, 16);
+        for _ in 0..4 {
+            b.spawn(move |p| {
+                for _ in 0..60 {
+                    lock.with(&p, || {
+                        let vx = p.load(x);
+                        p.busy(5);
+                        let vy = p.load(y);
+                        assert_eq!(vx, vy, "lock failed to serialize");
+                        p.store(x, vx + 1);
+                        p.store(y, vy + 1);
+                    });
+                    p.busy(11);
+                }
+            });
+        }
+        b.run();
+    }
+
+    #[test]
+    fn try_lock_fails_when_held() {
+        let mut b = SimBuilder::new(cfg());
+        let lock = SpinLock::new(b.alloc(), 16);
+        let flag = b.alloc().alloc_padded(8, 16);
+        b.spawn(move |p| {
+            assert!(lock.try_lock(&p));
+            p.store(flag, 1); // signal holder
+            while p.load(flag) != 2 {
+                p.busy(8);
+            }
+            lock.unlock(&p);
+        });
+        b.spawn(move |p| {
+            while p.load(flag) != 1 {
+                p.busy(8);
+            }
+            assert!(!lock.try_lock(&p), "lock is held by P0");
+            p.store(flag, 2);
+        });
+        b.run();
+    }
+
+    #[test]
+    fn ticket_lock_is_safe() {
+        let mut b = SimBuilder::new(cfg());
+        let lock = TicketLock::new(b.alloc(), 16);
+        let ctr = b.alloc().alloc_padded(8, 16);
+        let order = b.alloc().alloc_padded(8 * 64, 16);
+        for _ in 0..4 {
+            b.spawn(move |p| {
+                for _ in 0..10 {
+                    lock.with(&p, || {
+                        let n = p.load(ctr);
+                        // Record who held the lock n-th.
+                        p.store(Addr(order.0 + n * 8), p.id().0 as u64 + 1);
+                        p.store(ctr, n + 1);
+                    });
+                    p.busy(23);
+                }
+            });
+        }
+        let s = b.run();
+        assert!(s.exec_cycles > 0);
+        // 40 total acquisitions happened without losing any.
+        assert!(s.oracle.total().global_writes > 0);
+    }
+
+    #[test]
+    fn barrier_separates_phases() {
+        let mut b = SimBuilder::new(cfg());
+        let bar = Barrier::new(b.alloc(), 16, 4);
+        let cells = b.alloc().alloc_padded(8 * 4, 16);
+        for i in 0..4u64 {
+            b.spawn(move |p| {
+                let mut sense = BarrierSense::default();
+                let my = Addr(cells.0 + i * 8);
+                // Phase 1: everyone writes its own cell.
+                p.store(my, i + 100);
+                bar.wait(&p, &mut sense);
+                // Phase 2: everyone must see all phase-1 writes.
+                for j in 0..4u64 {
+                    let v = p.load(Addr(cells.0 + j * 8));
+                    assert_eq!(v, j + 100, "phase-1 write not visible after barrier");
+                }
+                bar.wait(&p, &mut sense);
+            });
+        }
+        b.run();
+    }
+
+    #[test]
+    fn barrier_reusable_many_rounds() {
+        let mut b = SimBuilder::new(cfg());
+        let bar = Barrier::new(b.alloc(), 16, 4);
+        let round_cell = b.alloc().alloc_padded(8, 16);
+        for i in 0..4u64 {
+            b.spawn(move |p| {
+                let mut sense = BarrierSense::default();
+                for r in 0..8u64 {
+                    if i == r % 4 {
+                        p.store(round_cell, r);
+                    }
+                    bar.wait(&p, &mut sense);
+                    assert_eq!(p.load(round_cell), r);
+                    bar.wait(&p, &mut sense);
+                }
+            });
+        }
+        b.run();
+    }
+
+    #[test]
+    fn mcs_lock_mutual_exclusion() {
+        let mut b = SimBuilder::new(cfg());
+        let lock = McsLock::new(b.alloc(), 16, 4);
+        let x = b.alloc().alloc_padded(8, 16);
+        let y = b.alloc().alloc_padded(8, 16);
+        for _ in 0..4 {
+            b.spawn(move |p| {
+                for _ in 0..50 {
+                    lock.with(&p, || {
+                        let vx = p.load(x);
+                        p.busy(7);
+                        let vy = p.load(y);
+                        assert_eq!(vx, vy, "MCS mutual exclusion violated");
+                        p.store(x, vx + 1);
+                        p.store(y, vy + 1);
+                    });
+                    p.busy(13);
+                }
+            });
+        }
+        let done = b.run_full();
+        assert_eq!(done.peek(x), 200);
+        assert_eq!(done.peek(y), 200);
+    }
+
+    #[test]
+    fn mcs_waiters_spin_on_distinct_blocks() {
+        // The defining MCS property: every processor's spin flag lives in
+        // its own coherence block, so a release invalidates exactly one
+        // waiter's copy (never the whole pack, as a test-and-set lock does).
+        let mut b = SimBuilder::new(cfg());
+        let lock = McsLock::new(b.alloc(), 16, 4);
+        let mut blocks = std::collections::HashSet::new();
+        for id in 0..4u16 {
+            assert!(blocks.insert(lock.node(id).block(16)), "node {id} shares a spin block");
+            // The tail pointer is isolated from every spin flag too.
+            assert_ne!(lock.node(id).block(16), lock.tail.block(16));
+        }
+        // And the lock still works under full contention with long queues.
+        let work = b.alloc().alloc_padded(8, 16);
+        for _ in 0..4 {
+            b.spawn(move |p| {
+                for _ in 0..40 {
+                    lock.with(&p, || {
+                        let v = p.load(work);
+                        p.busy(150); // long critical section: queue forms
+                        p.store(work, v + 1);
+                    });
+                }
+            });
+        }
+        let done = b.run_full();
+        assert_eq!(done.peek(work), 160);
+    }
+
+    #[test]
+    fn tree_barrier_separates_phases() {
+        let mut b = SimBuilder::new(cfg());
+        let bar = TreeBarrier::new(b.alloc(), 16, 4);
+        let cells = b.alloc().alloc_padded(8 * 4, 64);
+        for i in 0..4u64 {
+            b.spawn(move |p| {
+                let mut sense = BarrierSense::default();
+                for round in 0..6u64 {
+                    p.store(Addr(cells.0 + i * 8), round * 10 + i);
+                    bar.wait(&p, &mut sense);
+                    for j in 0..4u64 {
+                        assert_eq!(
+                            p.load(Addr(cells.0 + j * 8)),
+                            round * 10 + j,
+                            "tree barrier leaked a phase"
+                        );
+                    }
+                    bar.wait(&p, &mut sense);
+                }
+            });
+        }
+        b.run();
+    }
+
+    #[test]
+    fn tree_barrier_single_party() {
+        let mut b = SimBuilder::new(cfg());
+        let bar = TreeBarrier::new(b.alloc(), 16, 1);
+        b.spawn(move |p| {
+            let mut sense = BarrierSense::default();
+            for _ in 0..5 {
+                bar.wait(&p, &mut sense); // must not deadlock
+            }
+        });
+        b.run();
+    }
+
+    #[test]
+    fn lock_handoff_is_migratory_for_the_oracle() {
+        // Lock word + protected counter bounce between processors: the
+        // canonical migratory pattern (§2) as seen by the oracle.
+        let mut b = SimBuilder::new(MachineConfig::splash_baseline(ProtocolKind::Ls));
+        let lock = SpinLock::new(b.alloc(), 16);
+        let ctr = b.alloc().alloc_padded(8, 16);
+        for _ in 0..4 {
+            b.spawn(move |p| {
+                for _ in 0..40 {
+                    lock.with(&p, || {
+                        let v = p.load(ctr);
+                        p.store(ctr, v + 1);
+                    });
+                    p.busy(97);
+                }
+            });
+        }
+        let s = b.run();
+        let t = s.oracle.total();
+        assert!(t.ls_writes > 0);
+        assert!(t.migratory_writes > 0, "lock handoff should migrate");
+        assert!(s.machine.silent_stores > 0, "LS should fire on the handoffs");
+    }
+}

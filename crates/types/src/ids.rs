@@ -1,0 +1,157 @@
+//! Node, address and memory-block identifiers.
+
+use serde::{Deserialize, Serialize};
+
+/// Size of one machine word in bytes. All simulated memory accesses are
+/// word-granular; workloads address memory in bytes but read/write whole
+/// 8-byte words, matching the 64-bit SPARC data accesses the original study
+/// traced.
+pub const WORD_BYTES: u64 = 8;
+
+/// Identifier of a node (processor + caches + memory slice + directory).
+///
+/// The paper's LR ("last reader") directory field is `log2 N` bits wide;
+/// a `u16` comfortably covers the 4-32 node systems evaluated.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Index usable for `Vec` lookups.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A byte address in the simulated physical address space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The memory block this address falls into, for a given block size.
+    ///
+    /// `block_bytes` must be a power of two (enforced by config validation).
+    #[inline]
+    pub fn block(self, block_bytes: u64) -> BlockAddr {
+        debug_assert!(block_bytes.is_power_of_two());
+        BlockAddr(self.0 & !(block_bytes - 1))
+    }
+
+    /// Index of the word within its block.
+    #[inline]
+    pub fn word_in_block(self, block_bytes: u64) -> u32 {
+        ((self.0 & (block_bytes - 1)) / WORD_BYTES) as u32
+    }
+
+    /// Word-aligned address containing this byte.
+    #[inline]
+    pub fn word_aligned(self) -> Addr {
+        Addr(self.0 & !(WORD_BYTES - 1))
+    }
+
+    /// Global word index (address / 8).
+    #[inline]
+    pub fn word_index(self) -> u64 {
+        self.0 / WORD_BYTES
+    }
+
+    /// Byte offset addition.
+    #[inline]
+    pub fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+}
+
+impl std::fmt::Display for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// The base byte address of a memory block (aligned to the block size).
+///
+/// A `BlockAddr` is only meaningful together with the block size it was
+/// derived from; the simulator uses a single machine-wide block size
+/// (Table 1), so this is unambiguous in practice.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct BlockAddr(pub u64);
+
+impl BlockAddr {
+    /// Base address of the block as a plain address.
+    #[inline]
+    pub fn addr(self) -> Addr {
+        Addr(self.0)
+    }
+
+    /// Word-granular bitmask with the bit for `addr`'s word set.
+    /// Blocks are at most 256 bytes = 32 words in the evaluated systems,
+    /// so a `u64` mask always suffices.
+    #[inline]
+    pub fn word_mask(self, addr: Addr, block_bytes: u64) -> u64 {
+        debug_assert_eq!(addr.block(block_bytes), self);
+        1u64 << addr.word_in_block(block_bytes)
+    }
+}
+
+impl std::fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "B{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_of_address_masks_low_bits() {
+        let a = Addr(0x1234);
+        assert_eq!(a.block(16), BlockAddr(0x1230));
+        assert_eq!(a.block(32), BlockAddr(0x1220));
+        assert_eq!(a.block(64), BlockAddr(0x1200));
+        assert_eq!(a.block(256), BlockAddr(0x1200));
+    }
+
+    #[test]
+    fn word_in_block_is_word_granular() {
+        // 0x1234 is byte 0x34 = 52 into its 64B block -> word 6.
+        assert_eq!(Addr(0x1234).word_in_block(64), 6);
+        assert_eq!(Addr(0x1200).word_in_block(64), 0);
+        assert_eq!(Addr(0x1238).word_in_block(64), 7);
+    }
+
+    #[test]
+    fn word_alignment() {
+        assert_eq!(Addr(0x1234).word_aligned(), Addr(0x1230));
+        assert_eq!(Addr(0x1230).word_aligned(), Addr(0x1230));
+        assert_eq!(Addr(17).word_index(), 2);
+    }
+
+    #[test]
+    fn word_mask_within_block() {
+        let b = Addr(0x100).block(32);
+        assert_eq!(b.word_mask(Addr(0x100), 32), 0b0001);
+        assert_eq!(b.word_mask(Addr(0x108), 32), 0b0010);
+        assert_eq!(b.word_mask(Addr(0x118), 32), 0b1000);
+    }
+
+    #[test]
+    fn node_display_and_idx() {
+        assert_eq!(NodeId(3).to_string(), "P3");
+        assert_eq!(NodeId(3).idx(), 3);
+    }
+
+    #[test]
+    fn addr_offset_and_display() {
+        assert_eq!(Addr(0x10).offset(0x8), Addr(0x18));
+        assert_eq!(Addr(0x10).to_string(), "0x10");
+        assert_eq!(BlockAddr(0x40).to_string(), "B0x40");
+        assert_eq!(BlockAddr(0x40).addr(), Addr(0x40));
+    }
+}

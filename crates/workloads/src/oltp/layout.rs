@@ -1,0 +1,247 @@
+//! Simulated-memory layout of the mini-DBMS.
+//!
+//! TPC-B schema (scaled): `branches` × branch records, 10 tellers per
+//! branch, `accounts` account records, an append-only history, plus the
+//! DBMS machinery the paper's MySQL workload exercises — a buffer-pool
+//! descriptor table, a read-mostly catalog with hot statistics words, a
+//! write-ahead-log ring, a lock table, and the OS structures (run queue,
+//! PID table, tick counter).
+//!
+//! Record layout choices follow the original database, not cache-friendly
+//! practice: records are *not* padded to coherence blocks, so neighbouring
+//! records written by different processors false-share — increasingly so at
+//! larger block sizes, which is exactly what Table 4 measures.
+
+use ccsim_engine::SimBuilder;
+use ccsim_sync::{SpinLock, TicketLock};
+use ccsim_types::Addr;
+
+/// Words per branch/teller/account record (32 bytes: balance + 3 fields).
+pub const RECORD_WORDS: u64 = 4;
+/// Words per history entry.
+pub const HISTORY_WORDS: u64 = 4;
+/// Words per buffer-pool page descriptor.
+pub const DESC_WORDS: u64 = 2;
+
+/// All simulated-memory addresses of the database.
+#[derive(Clone, Copy, Debug)]
+pub struct DbLayout {
+    pub branches: u64,
+    pub tellers: u64,
+    pub accounts: u64,
+
+    pub branch_base: Addr,
+    pub teller_base: Addr,
+    pub account_base: Addr,
+    /// History ring: `history_cap` entries.
+    pub history_base: Addr,
+    pub history_cap: u64,
+    /// Global history tail counter (fetch-add allocated).
+    pub history_tail: Addr,
+
+    /// Buffer-pool page descriptors (read-shared headers, LRU counters).
+    pub bufpool_base: Addr,
+    pub bufpool_descs: u64,
+
+    /// Catalog: read-mostly schema blocks every transaction consults.
+    pub catalog_base: Addr,
+    pub catalog_words: u64,
+    /// Hot statistics words inside the catalog (written periodically while
+    /// read-shared by everyone — the multi-invalidation writes behind the
+    /// paper's "1.4 invalidations per write").
+    pub stats_base: Addr,
+    pub stats_words: u64,
+
+    /// Write-ahead-log ring + tail counter.
+    pub log_base: Addr,
+    pub log_cap: u64,
+    pub log_tail: Addr,
+
+    /// Per-branch lock words.
+    pub branch_locks: Addr,
+
+    /// OS: run-queue lock, queue slots, PID table, global tick.
+    pub runq_lock: TicketLock,
+    pub runq_slots: Addr,
+    pub pid_base: Addr,
+    pub tick: Addr,
+
+    /// Table headers (row counts etc.): read by every transaction,
+    /// occasionally updated — multi-invalidation writes.
+    pub headers_base: Addr,
+    pub header_blocks: u64,
+    /// Global server status counters (queries served, bytes sent, …):
+    /// incremented by every transaction — the hottest migratory blocks.
+    pub status_base: Addr,
+    pub status_counters: u64,
+
+    /// Per-processor scratch arenas (transaction-local buffers).
+    pub scratch_base: Addr,
+    pub scratch_words_per_proc: u64,
+    /// Per-processor statement-cache arenas (cold application-side RMWs).
+    pub stmt_base: Addr,
+    pub stmt_words_per_proc: u64,
+}
+
+impl DbLayout {
+    pub fn branch_lock(&self, b: u64) -> SpinLock {
+        SpinLock::at(Addr(self.branch_locks.0 + b * 64))
+    }
+
+    pub fn branch(&self, b: u64) -> Addr {
+        Addr(self.branch_base.0 + b * RECORD_WORDS * 8)
+    }
+
+    pub fn teller(&self, t: u64) -> Addr {
+        Addr(self.teller_base.0 + t * RECORD_WORDS * 8)
+    }
+
+    pub fn account(&self, a: u64) -> Addr {
+        Addr(self.account_base.0 + a * RECORD_WORDS * 8)
+    }
+
+    pub fn history(&self, slot: u64) -> Addr {
+        Addr(self.history_base.0 + (slot % self.history_cap) * HISTORY_WORDS * 8)
+    }
+
+    pub fn bufdesc(&self, d: u64) -> Addr {
+        Addr(self.bufpool_base.0 + (d % self.bufpool_descs) * DESC_WORDS * 8)
+    }
+
+    pub fn scratch(&self, pid: u16) -> Addr {
+        Addr(self.scratch_base.0 + pid as u64 * self.scratch_words_per_proc * 8)
+    }
+
+    pub fn stmt(&self, pid: u16) -> Addr {
+        Addr(self.stmt_base.0 + pid as u64 * self.stmt_words_per_proc * 8)
+    }
+
+    pub fn header(&self, table: u64) -> Addr {
+        Addr(self.headers_base.0 + (table % self.header_blocks) * 64)
+    }
+
+    pub fn status(&self, counter: u64) -> Addr {
+        Addr(self.status_base.0 + (counter % self.status_counters) * 64)
+    }
+}
+
+/// Allocate and initialize the whole database image.
+pub fn allocate(b: &mut SimBuilder, branches: u64, accounts: u64, procs: u16) -> DbLayout {
+    let tellers = branches * 10;
+    let history_cap = 16 * 1024;
+    let log_cap = 4096;
+    let bufpool_descs = 512;
+    let catalog_words = 256;
+    let stats_words = 8;
+    let scratch_words_per_proc = 512;
+
+    let block = 64; // pad region starts; records inside stay unpadded
+
+    let branch_base = b.alloc().alloc(branches * RECORD_WORDS * 8, block);
+    let teller_base = b.alloc().alloc(tellers * RECORD_WORDS * 8, block);
+    let account_base = b.alloc().alloc(accounts * RECORD_WORDS * 8, block);
+    let history_base = b.alloc().alloc(history_cap * HISTORY_WORDS * 8, block);
+    let history_tail = b.alloc().alloc_padded(8, block);
+    let bufpool_base = b.alloc().alloc(bufpool_descs * DESC_WORDS * 8, block);
+    let catalog_base = b.alloc().alloc(catalog_words * 8, block);
+    let stats_base = b.alloc().alloc_padded(stats_words * 8, block);
+    let log_base = b.alloc().alloc(log_cap * 8, block);
+    let log_tail = b.alloc().alloc_padded(8, block);
+    let branch_locks = b.alloc().alloc(branches * 64, 64);
+    let runq_lock = TicketLock::new(b.alloc(), block);
+    let runq_slots = b.alloc().alloc(64 * 8, block);
+    let pid_base = b.alloc().alloc(procs as u64 * 8, 8);
+    let tick = b.alloc().alloc_padded(8, block);
+    let headers_base = b.alloc().alloc(4 * 64, 64);
+    let status_base = b.alloc().alloc(4 * 64, 64);
+    let scratch_base = b.alloc().alloc(procs as u64 * scratch_words_per_proc * 8, block);
+    let stmt_base = b.alloc().alloc(procs as u64 * scratch_words_per_proc * 8, block);
+
+    // Seed the catalog with schema-like constants.
+    for i in 0..catalog_words {
+        b.init(Addr(catalog_base.0 + i * 8), 0xCA7A_0000 + i);
+    }
+
+    DbLayout {
+        branches,
+        tellers,
+        accounts,
+        branch_base,
+        teller_base,
+        account_base,
+        history_base,
+        history_cap,
+        history_tail,
+        bufpool_base,
+        bufpool_descs,
+        catalog_base,
+        catalog_words,
+        stats_base,
+        stats_words,
+        log_base,
+        log_cap,
+        log_tail,
+        branch_locks,
+        runq_lock,
+        runq_slots,
+        pid_base,
+        tick,
+        headers_base,
+        header_blocks: 4,
+        status_base,
+        status_counters: 4,
+        scratch_base,
+        scratch_words_per_proc,
+        stmt_base,
+        stmt_words_per_proc: scratch_words_per_proc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsim_types::{MachineConfig, ProtocolKind};
+
+    #[test]
+    fn layout_regions_do_not_overlap() {
+        let mut b = SimBuilder::new(MachineConfig::oltp_baseline(ProtocolKind::Baseline));
+        let l = allocate(&mut b, 8, 1024, 4);
+        // Spot-check strictly increasing region starts.
+        let starts = [
+            l.branch_base.0,
+            l.teller_base.0,
+            l.account_base.0,
+            l.history_base.0,
+            l.history_tail.0,
+            l.bufpool_base.0,
+            l.catalog_base.0,
+            l.stats_base.0,
+            l.log_base.0,
+            l.log_tail.0,
+            l.branch_locks.0,
+        ];
+        for w in starts.windows(2) {
+            assert!(w[0] < w[1], "regions out of order: {w:?}");
+        }
+        // Last account record ends before the history region starts.
+        assert!(l.account(1023).0 + RECORD_WORDS * 8 <= l.history_base.0);
+    }
+
+    #[test]
+    fn records_are_unpadded_so_blocks_are_shared_at_64b() {
+        let mut b = SimBuilder::new(MachineConfig::oltp_baseline(ProtocolKind::Baseline));
+        let l = allocate(&mut b, 8, 1024, 4);
+        // Two adjacent 32-byte teller records fall into one 64-byte block.
+        let t0 = l.teller(0);
+        let t1 = l.teller(1);
+        assert_eq!(t0.block(64), t1.block(64), "adjacent records must false-share at 64B");
+        assert_ne!(t0.block(32), t1.block(32), "but not at the default 32B block");
+    }
+
+    #[test]
+    fn branch_locks_are_block_isolated() {
+        let mut b = SimBuilder::new(MachineConfig::oltp_baseline(ProtocolKind::Baseline));
+        let l = allocate(&mut b, 8, 1024, 4);
+        assert_ne!(l.branch_lock(0).addr().block(64), l.branch_lock(1).addr().block(64));
+    }
+}

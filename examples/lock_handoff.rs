@@ -1,0 +1,61 @@
+//! Critical sections and migratory lock handoff (§5.4's busy-time effect).
+//!
+//! Four processors contend for a spinlock protecting a small shared record.
+//! The lock word and the record both migrate processor-to-processor — the
+//! canonical pattern both AD and LS accelerate. Because handoff gets
+//! cheaper, the *spin time inside the lock acquire* also drops: the paper
+//! measured "49% less time spent in pthread critical sections" for OLTP
+//! under LS.
+//!
+//! Run with: `cargo run --release --example lock_handoff`
+
+use ccsim::engine::SimBuilder;
+use ccsim::sync::SpinLock;
+use ccsim::{MachineConfig, ProtocolKind};
+
+fn main() {
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>16}",
+        "protocol", "exec cycles", "busy", "write stall", "migratory writes"
+    );
+    for kind in ProtocolKind::ALL {
+        let mut sim = SimBuilder::new(MachineConfig::splash_baseline(kind));
+        let lock = SpinLock::new(sim.alloc(), 16);
+        let record = sim.alloc().alloc_padded(24, 16);
+        for _ in 0..4 {
+            sim.spawn(move |p| {
+                for _ in 0..150 {
+                    lock.with(&p, || {
+                        // Update a three-word record under the lock.
+                        for w in 0..3 {
+                            let a = ccsim::types::Addr(record.0 + w * 8);
+                            let v = p.load(a);
+                            p.busy(4);
+                            p.store(a, v + 1);
+                        }
+                    });
+                    p.busy(120); // work outside the critical section
+                }
+            });
+        }
+        let done = sim.run_full();
+        for w in 0..3 {
+            assert_eq!(
+                done.peek(ccsim::types::Addr(record.0 + w * 8)),
+                600,
+                "mutual exclusion preserved the record"
+            );
+        }
+        let s = &done.stats;
+        println!(
+            "{:>10} {:>12} {:>12} {:>12} {:>16}",
+            kind.label(),
+            s.exec_cycles,
+            s.busy(),
+            s.write_stall(),
+            s.oracle.total().migratory_writes,
+        );
+    }
+    println!("\nFaster handoff means less spinning: busy time (which includes the");
+    println!("spin loops) falls alongside write stall under AD and LS.");
+}

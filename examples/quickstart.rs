@@ -1,0 +1,52 @@
+//! Quickstart: build a 4-node CC-NUMA machine, run the same tiny parallel
+//! program under all three coherence protocols, and compare.
+//!
+//! The program is the paper's §2 motivating pattern: four processors take
+//! turns doing read-modify-writes of one shared counter (`A = A + 1`) —
+//! pure migratory sharing. Baseline pays a global read *and* an ownership
+//! acquisition per increment; AD and LS detect the pattern and combine the
+//! two, halving latency and traffic.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ccsim::engine::SimBuilder;
+use ccsim::{MachineConfig, ProtocolKind};
+
+fn main() {
+    println!("{:>10} {:>12} {:>12} {:>12} {:>14} {:>14}",
+        "protocol", "exec cycles", "write stall", "read stall", "traffic bytes", "silent stores");
+    for kind in ProtocolKind::ALL {
+        // The machine of the paper's §4.2: 4 nodes, 2-level caches,
+        // full-map directory, sequential consistency.
+        let mut sim = SimBuilder::new(MachineConfig::splash_baseline(kind));
+
+        // One shared counter, on its own cache block.
+        let counter = sim.alloc().alloc_padded(8, 64);
+
+        // Four processors, 250 increments each, with think time in between.
+        for _ in 0..4 {
+            sim.spawn(move |p| {
+                for _ in 0..250 {
+                    p.fetch_add(counter, 1);
+                    p.busy(40);
+                }
+            });
+        }
+
+        let done = sim.run_full();
+        assert_eq!(done.peek(counter), 1000, "all increments applied exactly once");
+        let s = &done.stats;
+        println!(
+            "{:>10} {:>12} {:>12} {:>12} {:>14} {:>14}",
+            kind.label(),
+            s.exec_cycles,
+            s.write_stall(),
+            s.read_stall(),
+            s.traffic.total_bytes(),
+            s.machine.silent_stores,
+        );
+    }
+    println!("\nAD and LS tag the counter and grant reads exclusively, so every");
+    println!("store completes silently in the cache — no ownership acquisition,");
+    println!("no invalidation: that is the paper's optimization.");
+}

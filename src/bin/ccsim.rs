@@ -1,0 +1,230 @@
+//! `ccsim` — command-line front end to the simulator.
+//!
+//! ```text
+//! ccsim run     --workload <mp3d|lu|cholesky|oltp> --protocol <baseline|ad|ls> [options]
+//! ccsim compare --workload <mp3d|lu|cholesky|oltp> [options]   # all three protocols
+//! ccsim config                                                  # print Table 1
+//!
+//! options:
+//!   --scale <quick|paper>   problem size            (default quick)
+//!   --nodes <N>             processor count         (workload default)
+//!   --block <bytes>         coherence block size    (config default)
+//!   --l2-kb <K>             L2 capacity in kB       (config default)
+//!   --quantum <cycles>      scheduling quantum      (default 1)
+//!   --relaxed               idealized write buffer instead of SC
+//!   --mesh <width>          2-D mesh instead of point-to-point
+//!   --json                  emit a JSON RunSummary instead of text
+//! ```
+
+use ccsim::engine::RunStats;
+use ccsim::stats::{render_triptych, RunSummary, Triptych};
+use ccsim::types::{Consistency, Topology};
+use ccsim::workloads::{cholesky, lu, mp3d, oltp, run_spec, Spec};
+use ccsim::{MachineConfig, ProtocolKind};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ccsim <run|compare|config> [--workload W] [--protocol P] [--scale S] \
+         [--nodes N] [--block B] [--l2-kb K] [--quantum Q] [--relaxed] [--mesh W] [--json]"
+    );
+    exit(2);
+}
+
+#[derive(Default)]
+struct Opts {
+    workload: Option<String>,
+    protocol: Option<String>,
+    scale: Option<String>,
+    nodes: Option<u16>,
+    block: Option<u64>,
+    l2_kb: Option<u64>,
+    quantum: Option<u64>,
+    relaxed: bool,
+    mesh: Option<u16>,
+    json: bool,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {a}");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--workload" => o.workload = Some(val().clone()),
+            "--protocol" => o.protocol = Some(val().clone()),
+            "--scale" => o.scale = Some(val().clone()),
+            "--nodes" => o.nodes = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--block" => o.block = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--l2-kb" => o.l2_kb = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--quantum" => o.quantum = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--relaxed" => o.relaxed = true,
+            "--mesh" => o.mesh = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--json" => o.json = true,
+            _ => {
+                eprintln!("unknown option {a}");
+                usage()
+            }
+        }
+    }
+    o
+}
+
+fn protocol_of(s: &str) -> ProtocolKind {
+    match s {
+        "baseline" => ProtocolKind::Baseline,
+        "ad" => ProtocolKind::Ad,
+        "ls" => ProtocolKind::Ls,
+        _ => {
+            eprintln!("unknown protocol {s} (baseline|ad|ls)");
+            usage()
+        }
+    }
+}
+
+fn spec_of(workload: &str, paper: bool, nodes: Option<u16>) -> Spec {
+    match workload {
+        "mp3d" => {
+            let mut p = if paper { mp3d::Mp3dParams::paper() } else { mp3d::Mp3dParams::quick() };
+            if let Some(n) = nodes {
+                p.procs = n;
+            }
+            Spec::Mp3d(p)
+        }
+        "lu" => {
+            let mut p = if paper { lu::LuParams::paper() } else { lu::LuParams::quick() };
+            if let Some(n) = nodes {
+                p.procs = n;
+            }
+            Spec::Lu(p)
+        }
+        "cholesky" => {
+            let mut p = if paper {
+                cholesky::CholeskyParams::paper()
+            } else {
+                cholesky::CholeskyParams::quick()
+            };
+            if let Some(n) = nodes {
+                p.procs = n;
+            }
+            Spec::Cholesky(p)
+        }
+        "oltp" => {
+            let mut p = if paper { oltp::OltpParams::paper() } else { oltp::OltpParams::quick() };
+            if let Some(n) = nodes {
+                p.procs = n;
+            }
+            Spec::Oltp(p)
+        }
+        _ => {
+            eprintln!("unknown workload {workload} (mp3d|lu|cholesky|oltp)");
+            usage()
+        }
+    }
+}
+
+fn config_of(o: &Opts, workload: &str, kind: ProtocolKind) -> MachineConfig {
+    let mut cfg = if workload == "oltp" {
+        MachineConfig::oltp_scaled(kind)
+    } else {
+        MachineConfig::splash_baseline(kind)
+    };
+    if let Some(n) = o.nodes {
+        cfg = cfg.with_nodes(n);
+    }
+    if let Some(b) = o.block {
+        cfg = cfg.with_block_bytes(b);
+    }
+    if let Some(k) = o.l2_kb {
+        cfg.l2.size_bytes = k * 1024;
+    }
+    if let Some(q) = o.quantum {
+        cfg.schedule_quantum = q;
+    }
+    if o.relaxed {
+        cfg.consistency = Consistency::Relaxed;
+    }
+    if let Some(w) = o.mesh {
+        cfg.topology = Topology::Mesh2D { width: w };
+    }
+    if let Err(e) = cfg.validate() {
+        eprintln!("invalid configuration: {e}");
+        exit(2);
+    }
+    cfg
+}
+
+fn print_run(r: &RunStats, json: bool) {
+    if json {
+        println!("{}", RunSummary::from_stats(r).to_json());
+    } else {
+        println!("protocol        {}", r.protocol.label());
+        println!("exec cycles     {}", r.exec_cycles);
+        println!("busy            {}", r.busy());
+        println!("read stall      {}", r.read_stall());
+        println!("write stall     {}", r.write_stall());
+        println!("traffic bytes   {}", r.traffic.total_bytes());
+        println!("global reads    {}", r.dir.global_reads);
+        println!("ownership acqs  {}", r.dir.ownership_acquisitions());
+        println!("silent stores   {}", r.machine.silent_stores);
+        println!("ls coverage     {:.1}%", 100.0 * r.oracle.ls_coverage());
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let o = parse_opts(&args[1..]);
+    match cmd.as_str() {
+        "config" => {
+            // Reuse the bench renderer indirectly: print the config-derived
+            // latency rows directly.
+            let cfg = MachineConfig::splash_baseline(ProtocolKind::Baseline);
+            let l = cfg.latency;
+            println!("L1: {} kB, {}-way, {} B blocks, {} cycle(s)",
+                cfg.l1.size_bytes / 1024, cfg.l1.assoc, cfg.l1.block_bytes, cfg.l1.access_cycles);
+            println!("L2: {} kB, {}-way, {} cycles", cfg.l2.size_bytes / 1024, cfg.l2.assoc,
+                cfg.l2.access_cycles);
+            println!("memory {} / controller {} / network {} cycles", l.mem, l.mc, l.net);
+            println!("derived: local {} / home {} / remote {} cycles",
+                l.local_miss(), l.home_miss(), l.remote_miss());
+        }
+        "run" => {
+            let workload = o.workload.clone().unwrap_or_else(|| usage());
+            let kind = protocol_of(o.protocol.as_deref().unwrap_or("ls"));
+            let paper = o.scale.as_deref() == Some("paper");
+            let spec = spec_of(&workload, paper, o.nodes);
+            let cfg = config_of(&o, &workload, kind);
+            let r = run_spec(cfg, &spec);
+            print_run(&r, o.json);
+        }
+        "compare" => {
+            let workload = o.workload.clone().unwrap_or_else(|| usage());
+            let paper = o.scale.as_deref() == Some("paper");
+            let spec = spec_of(&workload, paper, o.nodes);
+            let runs: Vec<RunStats> = ProtocolKind::ALL
+                .iter()
+                .map(|&k| run_spec(config_of(&o, &workload, k), &spec))
+                .collect();
+            if o.json {
+                let sums: Vec<RunSummary> = runs.iter().map(RunSummary::from_stats).collect();
+                println!("{}", serde_json_vec(&sums));
+            } else {
+                let t = Triptych::new(workload.to_uppercase(), &runs);
+                print!("{}", render_triptych(&t));
+            }
+        }
+        _ => usage(),
+    }
+}
+
+/// Minimal JSON array assembly (RunSummary::to_json pretty-prints one).
+fn serde_json_vec(sums: &[RunSummary]) -> String {
+    let items: Vec<String> = sums.iter().map(|s| s.to_json()).collect();
+    format!("[\n{}\n]", items.join(",\n"))
+}

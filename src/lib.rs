@@ -1,0 +1,17 @@
+//! `ccsim` — facade crate re-exporting the whole simulator API.
+//!
+//! Reproduction of Nilsson & Dahlgren, *"Reducing Ownership Overhead for
+//! Load-Store Sequences in Cache-Coherent Multiprocessors"* (IPPS 2000).
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use ccsim_cache as cache;
+pub use ccsim_core as core;
+pub use ccsim_engine as engine;
+pub use ccsim_mem as mem;
+pub use ccsim_network as network;
+pub use ccsim_stats as stats;
+pub use ccsim_sync as sync;
+pub use ccsim_types as types;
+pub use ccsim_workloads as workloads;
+
+pub use ccsim_types::{MachineConfig, ProtocolKind};

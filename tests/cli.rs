@@ -1,0 +1,90 @@
+//! Smoke tests for the `ccsim` command-line front end.
+
+use std::process::Command;
+
+fn ccsim(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ccsim"))
+        .args(args)
+        .output()
+        .expect("run ccsim binary");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn config_prints_derived_latencies() {
+    let (ok, stdout, _) = ccsim(&["config"]);
+    assert!(ok);
+    assert!(stdout.contains("local 100 / home 220 / remote 420"));
+}
+
+#[test]
+fn run_quick_mp3d_ls() {
+    let (ok, stdout, _) = ccsim(&["run", "--workload", "mp3d", "--protocol", "ls"]);
+    assert!(ok);
+    assert!(stdout.contains("protocol        LS"));
+    assert!(stdout.contains("silent stores"));
+}
+
+#[test]
+fn run_json_output_parses() {
+    let (ok, stdout, _) =
+        ccsim(&["run", "--workload", "mp3d", "--protocol", "baseline", "--json"]);
+    assert!(ok);
+    assert!(stdout.trim_start().starts_with('{'));
+    assert!(stdout.contains("\"protocol\": \"Baseline\""));
+}
+
+#[test]
+fn compare_renders_triptych() {
+    let (ok, stdout, _) = ccsim(&["compare", "--workload", "mp3d"]);
+    assert!(ok);
+    assert!(stdout.contains("Normalized execution time"));
+    assert!(stdout.contains("Baseline"));
+    assert!(stdout.contains("LS"));
+}
+
+#[test]
+fn custom_geometry_flags() {
+    let (ok, stdout, _) = ccsim(&[
+        "run", "--workload", "mp3d", "--protocol", "ad", "--block", "32", "--l2-kb", "128",
+        "--quantum", "16",
+    ]);
+    assert!(ok, "stdout: {stdout}");
+    assert!(stdout.contains("protocol        AD"));
+}
+
+#[test]
+fn relaxed_consistency_zeroes_write_stall() {
+    let (ok, stdout, _) =
+        ccsim(&["run", "--workload", "mp3d", "--protocol", "baseline", "--relaxed"]);
+    assert!(ok);
+    let ws: u64 = stdout
+        .lines()
+        .find(|l| l.starts_with("write stall"))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse().ok())
+        .expect("write stall line");
+    assert_eq!(ws, 0, "relaxed model hides all write stall");
+}
+
+#[test]
+fn bad_arguments_fail_with_usage() {
+    let (ok, _, stderr) = ccsim(&["run", "--workload", "nosuch"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown workload"));
+    let (ok, _, stderr) = ccsim(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+}
+
+#[test]
+fn mesh_flag_accepted() {
+    let (ok, stdout, _) = ccsim(&[
+        "run", "--workload", "mp3d", "--protocol", "ls", "--mesh", "2",
+    ]);
+    assert!(ok, "stdout: {stdout}");
+}

@@ -1,0 +1,103 @@
+//! Table 1 latency-path tests through the public facade: the three derived
+//! rows (local 100 / home 220 / remote 420 cycles) must be observable
+//! end-to-end, not just in the config arithmetic.
+
+use ccsim::engine::SimBuilder;
+use ccsim::types::Addr;
+use ccsim::{MachineConfig, ProtocolKind};
+
+/// Measure one access's latency by bracketing it between `now()` calls.
+fn measured_latency(f: impl FnOnce(&ccsim::engine::Proc) + Send + 'static) -> u64 {
+    let mut sim = SimBuilder::new(MachineConfig::splash_baseline(ProtocolKind::Baseline));
+    // Pre-pick addresses before moving the closure in.
+    sim.spawn(move |p| f(&p));
+    let s = sim.run();
+    s.exec_cycles
+}
+
+#[test]
+fn local_miss_is_100_cycles() {
+    // Page 0 is homed at node 0; processor 0 reading it is the local path.
+    let t = measured_latency(|p| {
+        assert_eq!(p.now(), 0);
+        p.load(Addr(0x100));
+        assert_eq!(p.now(), 100, "Table 1: local access");
+    });
+    assert_eq!(t, 100);
+}
+
+#[test]
+fn home_miss_is_220_cycles() {
+    // Page 1 is homed at node 1; processor 0 reading it takes two hops.
+    let t = measured_latency(|p| {
+        p.load(Addr(4096 + 0x100));
+        assert_eq!(p.now(), 220, "Table 1: home access");
+    });
+    assert_eq!(t, 220);
+}
+
+#[test]
+fn remote_dirty_miss_is_420_cycles() {
+    // P1 dirties a block homed at node 0, then P2 reads it: 4 hops.
+    let mut sim = SimBuilder::new(MachineConfig::splash_baseline(ProtocolKind::Baseline));
+    let flag = sim.alloc().alloc_on_node(8, 8, ccsim::types::NodeId(3));
+    let victim = Addr(0x200); // homed at node 0
+    sim.spawn(move |p| {
+        // P0 idles long enough to stay out of the way.
+        p.busy(1_000_000);
+    });
+    sim.spawn(move |p| {
+        let v = p.load(victim);
+        p.store(victim, v + 7); // dirty at P1
+        p.store(flag, 1);
+        p.busy(1_000_000);
+    });
+    sim.spawn(move |p| {
+        while p.load(flag) == 0 {
+            p.busy(50);
+        }
+        let before = p.now();
+        p.load(victim);
+        assert_eq!(p.now() - before, 420, "Table 1: remote access (read-on-dirty)");
+    });
+    sim.run();
+}
+
+#[test]
+fn l1_and_l2_hits_cost_1_and_11_cycles() {
+    measured_latency(|p| {
+        p.load(Addr(0x100)); // miss: 100
+        let t0 = p.now();
+        p.load(Addr(0x100)); // L1 hit
+        assert_eq!(p.now() - t0, 1);
+        // Evict from L1 only: touch enough conflicting lines to displace it
+        // from the 4 kB direct-mapped L1 but not the 64 kB L2.
+        p.load(Addr(0x100 + 4096)); // same L1 set, different L2 set
+        let t1 = p.now();
+        p.load(Addr(0x100)); // L2 hit now
+        assert_eq!(p.now() - t1, 11, "L1 lookup + L2 access");
+    });
+}
+
+#[test]
+fn upgrade_is_cheaper_than_a_write_miss() {
+    let mut sim = SimBuilder::new(MachineConfig::splash_baseline(ProtocolKind::Baseline));
+    sim.spawn(|p| {
+        // Write miss to an uncached local block.
+        let a = Addr(0x300);
+        let t0 = p.now();
+        p.store(a, 1);
+        let write_miss = p.now() - t0;
+        // Read-then-upgrade on another block.
+        let b = Addr(0x400);
+        p.load(b);
+        let t1 = p.now();
+        p.store(b, 1);
+        let upgrade = p.now() - t1;
+        assert!(
+            upgrade < write_miss,
+            "upgrade ({upgrade}) should be cheaper than a write miss ({write_miss})"
+        );
+    });
+    sim.run();
+}

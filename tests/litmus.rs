@@ -1,0 +1,189 @@
+//! Sequential-consistency litmus tests.
+//!
+//! §4.2: "The system implements a sequential consistency memory model and
+//! the processors stall on every second level cache miss." These classical
+//! litmus shapes verify that the engine's memory model actually *is* SC —
+//! the forbidden outcomes must never appear, under any protocol (the LS/AD
+//! optimizations must not change memory semantics).
+//!
+//! Each test runs the shape many times with different relative timings
+//! (busy-skews) to explore interleavings; the simulator is deterministic,
+//! so skews stand in for rerunning with different schedules.
+
+use ccsim::engine::SimBuilder;
+use ccsim::{MachineConfig, ProtocolKind};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn machine(kind: ProtocolKind) -> SimBuilder {
+    SimBuilder::new(MachineConfig::splash_baseline(kind))
+}
+
+/// Message passing: P0: x=1; flag=1.  P1: while flag==0; read x.
+/// SC forbids P1 reading x==0 after seeing flag==1.
+#[test]
+fn litmus_message_passing() {
+    for kind in ProtocolKind::ALL {
+        for skew in [0u64, 13, 57, 133, 411, 977] {
+            let mut sim = machine(kind);
+            let x = sim.alloc().alloc_padded(8, 64);
+            let flag = sim.alloc().alloc_padded(8, 64);
+            sim.spawn(move |p| {
+                p.busy(skew);
+                p.store(x, 1);
+                p.store(flag, 1);
+            });
+            sim.spawn(move |p| {
+                while p.load(flag) == 0 {
+                    p.busy(7);
+                }
+                assert_eq!(p.load(x), 1, "{kind:?} skew {skew}: MP violation");
+            });
+            sim.run();
+        }
+    }
+}
+
+/// Store buffering: P0: x=1; r0=y.  P1: y=1; r1=x.
+/// SC forbids r0==0 && r1==0 (both reads passing both writes).
+#[test]
+fn litmus_store_buffering() {
+    for kind in ProtocolKind::ALL {
+        for skew in [0u64, 3, 17, 50, 91, 240, 415] {
+            let results = Arc::new([AtomicU64::new(9), AtomicU64::new(9)]);
+            let mut sim = machine(kind);
+            let x = sim.alloc().alloc_padded(8, 64);
+            let y = sim.alloc().alloc_padded(8, 64);
+            let r = Arc::clone(&results);
+            sim.spawn(move |p| {
+                p.store(x, 1);
+                r[0].store(p.load(y), Ordering::Relaxed);
+            });
+            let r = Arc::clone(&results);
+            sim.spawn(move |p| {
+                p.busy(skew);
+                p.store(y, 1);
+                r[1].store(p.load(x), Ordering::Relaxed);
+            });
+            sim.run();
+            let (r0, r1) =
+                (results[0].load(Ordering::Relaxed), results[1].load(Ordering::Relaxed));
+            assert!(
+                !(r0 == 0 && r1 == 0),
+                "{kind:?} skew {skew}: SB outcome (0,0) forbidden under SC"
+            );
+        }
+    }
+}
+
+/// IRIW: P0: x=1. P1: y=1. P2: r0=x; r1=y. P3: r2=y; r3=x.
+/// SC forbids P2 and P3 observing the two writes in opposite orders:
+/// r0==1 && r1==0 && r2==1 && r3==0.
+#[test]
+fn litmus_iriw() {
+    for kind in ProtocolKind::ALL {
+        for skew in [0u64, 29, 83, 171, 360] {
+            let results: Arc<Vec<AtomicU64>> =
+                Arc::new((0..4).map(|_| AtomicU64::new(9)).collect());
+            let mut sim = machine(kind);
+            let x = sim.alloc().alloc_padded(8, 64);
+            let y = sim.alloc().alloc_padded(8, 64);
+            sim.spawn(move |p| {
+                p.busy(skew);
+                p.store(x, 1);
+            });
+            sim.spawn(move |p| {
+                p.busy(skew / 2 + 5);
+                p.store(y, 1);
+            });
+            let r = Arc::clone(&results);
+            sim.spawn(move |p| {
+                r[0].store(p.load(x), Ordering::Relaxed);
+                r[1].store(p.load(y), Ordering::Relaxed);
+            });
+            let r = Arc::clone(&results);
+            sim.spawn(move |p| {
+                r[2].store(p.load(y), Ordering::Relaxed);
+                r[3].store(p.load(x), Ordering::Relaxed);
+            });
+            sim.run();
+            let v: Vec<u64> = results.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+            assert!(
+                !(v[0] == 1 && v[1] == 0 && v[2] == 1 && v[3] == 0),
+                "{kind:?} skew {skew}: IRIW outcome {v:?} forbidden under SC"
+            );
+        }
+    }
+}
+
+/// Coherence (per-location SC): two writers to one location; all observers
+/// must agree on the final value, and a reader can never see values going
+/// backwards through its own program order.
+#[test]
+fn litmus_coherence_single_location() {
+    for kind in ProtocolKind::ALL {
+        let mut sim = machine(kind);
+        let x = sim.alloc().alloc_padded(8, 64);
+        for i in 1..=2u64 {
+            sim.spawn(move |p| {
+                for k in 0..50 {
+                    p.store(x, i * 1000 + k);
+                    p.busy(11 * i);
+                }
+            });
+        }
+        sim.spawn(move |p| {
+            let mut last_by_writer = [0u64, 0];
+            for _ in 0..100 {
+                let v = p.load(x);
+                if v != 0 {
+                    let w = (v / 1000 - 1) as usize;
+                    let k = v % 1000;
+                    assert!(
+                        k >= last_by_writer[w],
+                        "{kind:?}: writer {w}'s values went backwards: {k} after {}",
+                        last_by_writer[w]
+                    );
+                    last_by_writer[w] = k;
+                }
+                p.busy(9);
+            }
+        });
+        sim.run();
+    }
+}
+
+/// Atomicity: concurrent fetch-adds never lose increments, under every
+/// protocol and every block-sharing layout (same block vs padded).
+#[test]
+fn litmus_rmw_atomicity() {
+    for kind in ProtocolKind::ALL {
+        for padded in [false, true] {
+            let mut sim = machine(kind);
+            let a = if padded {
+                sim.alloc().alloc_padded(8, 64)
+            } else {
+                sim.alloc().alloc_words(1)
+            };
+            let b = if padded {
+                sim.alloc().alloc_padded(8, 64)
+            } else {
+                sim.alloc().alloc_words(1) // same block as `a` when unpadded
+            };
+            for _ in 0..4 {
+                sim.spawn(move |p| {
+                    for i in 0..100 {
+                        p.fetch_add(a, 1);
+                        if i % 3 == 0 {
+                            p.fetch_add(b, 2);
+                        }
+                        p.busy(5);
+                    }
+                });
+            }
+            let done = sim.run_full();
+            assert_eq!(done.peek(a), 400, "{kind:?} padded={padded}");
+            assert_eq!(done.peek(b), 2 * 4 * 34, "{kind:?} padded={padded}");
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Trace-driven vs program-driven methodology comparison.
+//!
+//! The classic caveat of trace-driven simulation is that the interleaving
+//! is frozen at capture time. These tests quantify the agreement between
+//! the two modes on a real workload: identical when configurations match,
+//! and directionally consistent (same protocol ordering) when they differ.
+
+use ccsim::engine::{replay, SimBuilder};
+use ccsim::workloads::mp3d::{build, Mp3dParams};
+use ccsim::{MachineConfig, ProtocolKind};
+
+fn capture_mp3d() -> (ccsim::engine::RunStats, ccsim::engine::Trace) {
+    let mut b = SimBuilder::new(MachineConfig::splash_baseline(ProtocolKind::Baseline));
+    b.capture_trace();
+    let mut params = Mp3dParams::quick();
+    params.particles = 200;
+    params.steps = 2;
+    build(&mut b, &params);
+    let mut done = b.run_full();
+    let trace = done.take_trace().unwrap();
+    (done.stats, trace)
+}
+
+#[test]
+fn replay_reproduces_the_captured_workload_exactly() {
+    let (orig, trace) = capture_mp3d();
+    let replayed = replay(MachineConfig::splash_baseline(ProtocolKind::Baseline), &trace, &[]);
+    assert_eq!(replayed.exec_cycles, orig.exec_cycles);
+    assert_eq!(replayed.traffic.total_bytes(), orig.traffic.total_bytes());
+    assert_eq!(replayed.dir.global_reads, orig.dir.global_reads);
+    assert_eq!(replayed.dir.ownership_acquisitions(), orig.dir.ownership_acquisitions());
+}
+
+#[test]
+fn trace_driven_protocol_ordering_matches_program_driven() {
+    // Program-driven runs (interleaving adapts to each protocol).
+    let program: Vec<u64> = ProtocolKind::ALL
+        .iter()
+        .map(|&k| {
+            let mut b = SimBuilder::new(MachineConfig::splash_baseline(k));
+            let mut params = Mp3dParams::quick();
+            params.particles = 200;
+            params.steps = 2;
+            build(&mut b, &params);
+            b.run().write_stall()
+        })
+        .collect();
+    // Trace-driven runs (Baseline interleaving, swapped protocols).
+    let (_, trace) = capture_mp3d();
+    let traced: Vec<u64> = ProtocolKind::ALL
+        .iter()
+        .map(|&k| replay(MachineConfig::splash_baseline(k), &trace, &[]).write_stall())
+        .collect();
+    // Both methodologies must agree on the ordering Baseline > AD >= LS.
+    for runs in [&program, &traced] {
+        assert!(runs[1] < runs[0], "AD beats Baseline: {runs:?}");
+        assert!(runs[2] <= runs[1] + runs[0] / 20, "LS ~beats AD: {runs:?}");
+    }
+}
+
+#[test]
+fn trace_survives_serialization_at_workload_scale() {
+    let (_, trace) = capture_mp3d();
+    assert!(trace.len() > 1_000, "capture covered the workload");
+    let bytes = trace.to_bytes();
+    let back = ccsim::engine::Trace::from_bytes(&bytes).unwrap();
+    assert_eq!(back, trace);
+    // Replay of the deserialized trace matches replay of the original.
+    let a = replay(MachineConfig::splash_baseline(ProtocolKind::Ls), &trace, &[]);
+    let b = replay(MachineConfig::splash_baseline(ProtocolKind::Ls), &back, &[]);
+    assert_eq!(a.exec_cycles, b.exec_cycles);
+    assert_eq!(a.machine.silent_stores, b.machine.silent_stores);
+}
