@@ -1,103 +1,127 @@
-//! Criterion benches: one per paper figure/table, at `quick` scale.
+//! Wall-clock benches: one per paper figure/table, at `quick` scale.
 //!
-//! These measure the wall-clock of regenerating each experiment (the
-//! *results* — the figures and tables themselves — come from the `repro_*`
-//! binaries, which default to the paper's problem sizes). Keeping every
-//! experiment under `cargo bench` guards the harness against rot and gives
-//! a stable performance baseline for the simulator itself.
+//! These measure the time to regenerate each experiment (the *results* —
+//! the figures and tables themselves — come from the `repro_*` binaries,
+//! which default to the paper's problem sizes). Keeping every experiment
+//! under `cargo bench` guards the harness against rot and gives a stable
+//! performance baseline for the simulator itself.
+//!
+//! This is a plain `harness = false` bench binary: no external benchmark
+//! framework (the build is fully offline), just median-of-N timing with a
+//! warm-up iteration. Run caching is disabled for the duration so every
+//! iteration measures real simulation, not a disk read. Filter by substring:
+//! `cargo bench -- fig3`.
 
-use ccsim_bench::{fig3, fig4, fig5, fig6, fig7, tab4, table2, table3, variation, Scale};
+use ccsim_bench::{
+    block_size_sweep, cache_size_sweep, consistency_ablation, dsi_comparison, fig3, fig4, fig5,
+    fig6, fig7, static_comparison, tab4, table2, table3, topology_ablation, variation, Scale,
+};
 use ccsim_engine::SimBuilder;
 use ccsim_types::{MachineConfig, ProtocolKind};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-fn bench_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-    g.warm_up_time(Duration::from_secs(1));
-    g.measurement_time(Duration::from_secs(12));
-
-    g.bench_function("fig3_mp3d", |b| {
-        b.iter(|| black_box(fig3(Scale::Quick).runs.len()));
-    });
-    g.bench_function("fig4_cholesky", |b| {
-        b.iter(|| black_box(fig4(Scale::Quick).runs.len()));
-    });
-    g.bench_function("fig5_cholesky_scale", |b| {
-        b.iter(|| black_box(fig5(Scale::Quick).len()));
-    });
-    g.bench_function("fig6_lu", |b| {
-        b.iter(|| black_box(fig6(Scale::Quick).runs.len()));
-    });
-    g.bench_function("fig7_oltp", |b| {
-        b.iter(|| black_box(fig7(Scale::Quick).runs.len()));
-    });
-    g.finish();
+/// Time `f` once.
+fn time_once<T>(f: &mut dyn FnMut() -> T) -> Duration {
+    let start = Instant::now();
+    black_box(f());
+    start.elapsed()
 }
 
-fn bench_tables(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tables");
-    g.sample_size(10);
-    g.warm_up_time(Duration::from_secs(1));
-    g.measurement_time(Duration::from_secs(12));
-
-    g.bench_function("tab2_tab3_oltp_occurrence_coverage", |b| {
-        b.iter(|| {
-            let f = fig7(Scale::Quick);
-            black_box((table2(&f).len(), table3(&f).len()))
-        });
-    });
-    g.bench_function("tab4_false_sharing_sweep", |b| {
-        b.iter(|| black_box(tab4(Scale::Quick).len()));
-    });
-    g.bench_function("variation_analysis", |b| {
-        b.iter(|| black_box(variation(Scale::Quick).entries.len()));
-    });
-    g.finish();
+/// One warm-up iteration, then repeat until `BUDGET` is spent (at least
+/// `MIN_SAMPLES` samples); report the median.
+fn bench(group: &str, name: &str, filter: &str, mut f: impl FnMut() -> u64) {
+    const BUDGET: Duration = Duration::from_secs(3);
+    const MIN_SAMPLES: usize = 3;
+    let full = format!("{group}/{name}");
+    if !full.contains(filter) {
+        return;
+    }
+    let mut f: &mut dyn FnMut() -> u64 = &mut f;
+    time_once(&mut f); // warm-up
+    let mut samples = Vec::new();
+    let start = Instant::now();
+    while samples.len() < MIN_SAMPLES || (start.elapsed() < BUDGET && samples.len() < 50) {
+        samples.push(time_once(&mut f));
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    println!(
+        "{full:<45} median {median:>12.3?}  ({} samples)",
+        samples.len()
+    );
 }
 
-/// Extension experiments: static hints, consistency, topology, sweeps.
-fn bench_extensions(c: &mut Criterion) {
-    use ccsim_bench::{
-        block_size_sweep, cache_size_sweep, consistency_ablation, static_comparison,
-        topology_ablation,
-    };
-    let mut g = c.benchmark_group("extensions");
-    g.sample_size(10);
-    g.warm_up_time(Duration::from_secs(1));
-    g.measurement_time(Duration::from_secs(12));
-    g.bench_function("static_vs_dynamic", |b| {
-        b.iter(|| black_box(static_comparison(Scale::Quick).len()));
-    });
-    g.bench_function("dsi_vs_dynamic", |b| {
-        b.iter(|| black_box(ccsim_bench::dsi_comparison(Scale::Quick).len()));
-    });
-    g.bench_function("consistency_ablation", |b| {
-        b.iter(|| black_box(consistency_ablation(Scale::Quick).len()));
-    });
-    g.bench_function("topology_ablation", |b| {
-        b.iter(|| black_box(topology_ablation(Scale::Quick).len()));
-    });
-    g.bench_function("cache_size_sweep", |b| {
-        b.iter(|| black_box(cache_size_sweep(Scale::Quick).len()));
-    });
-    g.bench_function("block_size_sweep", |b| {
-        b.iter(|| black_box(block_size_sweep(Scale::Quick).len()));
-    });
-    g.finish();
-}
+fn main() {
+    // `cargo bench -- <filter>` passes everything after `--` to us; ignore
+    // libtest-style flags like `--bench` that cargo may inject.
+    let filter = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_default();
 
-/// Microbenchmarks of the simulator substrate itself (ablation baseline:
-/// how much does the protocol choice cost in *simulation* throughput?).
-fn bench_engine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine");
-    g.sample_size(10);
+    // Measure simulation, not cache reads.
+    std::env::set_var("CCSIM_CACHE", "off");
 
+    let q = Scale::Quick;
+
+    bench("figures", "fig3_mp3d", &filter, || {
+        fig3(q).runs.len() as u64
+    });
+    bench("figures", "fig4_cholesky", &filter, || {
+        fig4(q).runs.len() as u64
+    });
+    bench("figures", "fig5_cholesky_scale", &filter, || {
+        fig5(q).len() as u64
+    });
+    bench("figures", "fig6_lu", &filter, || fig6(q).runs.len() as u64);
+    bench("figures", "fig7_oltp", &filter, || {
+        fig7(q).runs.len() as u64
+    });
+
+    bench(
+        "tables",
+        "tab2_tab3_oltp_occurrence_coverage",
+        &filter,
+        || {
+            let f = fig7(q);
+            (table2(&f).len() + table3(&f).len()) as u64
+        },
+    );
+    bench("tables", "tab4_false_sharing_sweep", &filter, || {
+        tab4(q).len() as u64
+    });
+    bench("tables", "variation_analysis", &filter, || {
+        variation(q).entries.len() as u64
+    });
+
+    bench("extensions", "static_vs_dynamic", &filter, || {
+        static_comparison(q).len() as u64
+    });
+    bench("extensions", "dsi_vs_dynamic", &filter, || {
+        dsi_comparison(q).len() as u64
+    });
+    bench("extensions", "consistency_ablation", &filter, || {
+        consistency_ablation(q).len() as u64
+    });
+    bench("extensions", "topology_ablation", &filter, || {
+        topology_ablation(q).len() as u64
+    });
+    bench("extensions", "cache_size_sweep", &filter, || {
+        cache_size_sweep(q).len() as u64
+    });
+    bench("extensions", "block_size_sweep", &filter, || {
+        block_size_sweep(q).len() as u64
+    });
+
+    // Microbenchmarks of the simulator substrate itself (ablation baseline:
+    // how much does the protocol choice cost in *simulation* throughput?).
     for kind in ProtocolKind::ALL {
-        g.bench_function(format!("migratory_counter_{}", kind.label()), |b| {
-            b.iter(|| {
+        bench(
+            "engine",
+            &format!("migratory_counter_{}", kind.label()),
+            &filter,
+            || {
                 let mut sim = SimBuilder::new(MachineConfig::splash_baseline(kind));
                 let a = sim.alloc().alloc_words(1);
                 for _ in 0..4 {
@@ -108,12 +132,8 @@ fn bench_engine(c: &mut Criterion) {
                         }
                     });
                 }
-                black_box(sim.run().exec_cycles)
-            });
-        });
+                sim.run().exec_cycles
+            },
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_figures, bench_tables, bench_engine, bench_extensions);
-criterion_main!(benches);

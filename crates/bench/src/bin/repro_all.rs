@@ -1,7 +1,14 @@
 //! Run the full reproduction: every figure and table, in paper order.
+//!
+//! Every experiment fans its independent runs across the harness worker
+//! pool and memoizes results under `target/ccsim-cache/` (`CCSIM_CACHE=off`
+//! disables, `CCSIM_JOBS=N` overrides the pool size). A warm cache replays
+//! this entire binary without simulating anything.
 use ccsim_bench::*;
+use ccsim_harness::CacheStats;
 fn main() {
     let scale = Scale::from_env(Scale::Paper);
+    let cache_before = CacheStats::snapshot();
     println!("ccsim reproduction — scale: {scale:?}\n");
     print!("{}", render_table1());
     println!();
@@ -52,9 +59,17 @@ fn main() {
     println!();
     print!(
         "{}",
-        render_sweep("Cholesky vs L2 size (§5.2 gap-closing claim)", "L2 kB",
-                     &cache_size_sweep(scale))
+        render_sweep(
+            "Cholesky vs L2 size (§5.2 gap-closing claim)",
+            "L2 kB",
+            &cache_size_sweep(scale)
+        )
     );
     println!();
-    print!("{}", render_sweep("MP3D vs block size", "blk B", &block_size_sweep(scale)));
+    print!(
+        "{}",
+        render_sweep("MP3D vs block size", "blk B", &block_size_sweep(scale))
+    );
+    println!();
+    println!("{}", CacheStats::snapshot().since(&cache_before).summary());
 }

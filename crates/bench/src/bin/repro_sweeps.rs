@@ -4,9 +4,15 @@ fn main() {
     let scale = Scale::from_env(Scale::Paper);
     print!(
         "{}",
-        render_sweep("Cholesky vs L2 size (§5.2 gap-closing claim)", "L2 kB",
-                     &cache_size_sweep(scale))
+        render_sweep(
+            "Cholesky vs L2 size (§5.2 gap-closing claim)",
+            "L2 kB",
+            &cache_size_sweep(scale)
+        )
     );
     println!();
-    print!("{}", render_sweep("MP3D vs block size", "blk B", &block_size_sweep(scale)));
+    print!(
+        "{}",
+        render_sweep("MP3D vs block size", "blk B", &block_size_sweep(scale))
+    );
 }

@@ -1,9 +1,11 @@
 //! Experiment drivers, one per figure and table of the paper's evaluation.
 
 use ccsim_engine::RunStats;
+use ccsim_harness::JobSet;
 use ccsim_stats::{RunSummary, Triptych};
 use ccsim_types::{MachineConfig, ProtocolKind};
-use ccsim_workloads::{cholesky, lu, mp3d, oltp, run_spec, Spec};
+use ccsim_util::{Json, ToJson};
+use ccsim_workloads::{cholesky, lu, mp3d, oltp, Spec};
 use std::io::Write as _;
 
 /// Problem-size selection.
@@ -54,12 +56,17 @@ fn oltp_params(s: Scale) -> oltp::OltpParams {
     }
 }
 
-/// Run one workload spec under all three protocols (Baseline, AD, LS).
+/// Run one workload spec under all three protocols (Baseline, AD, LS),
+/// fanned across the harness worker pool and memoized by the run cache.
 pub fn run_protocols(
     cfg_for: impl Fn(ProtocolKind) -> MachineConfig,
     spec: &Spec,
 ) -> Vec<RunStats> {
-    ProtocolKind::ALL.iter().map(|&k| run_spec(cfg_for(k), spec)).collect()
+    let mut set = JobSet::new();
+    for &k in &ProtocolKind::ALL {
+        set.push(cfg_for(k), spec.clone());
+    }
+    set.run()
 }
 
 /// One triptych experiment (Figures 3, 4, 6, 7).
@@ -89,16 +96,23 @@ pub fn export_summaries(tag: &str, runs: &[RunStats]) {
     if std::fs::create_dir_all(dir).is_err() {
         return;
     }
-    let summaries: Vec<RunSummary> = runs.iter().map(RunSummary::from_stats).collect();
+    let summaries = Json::Arr(
+        runs.iter()
+            .map(|r| ToJson::to_json(&RunSummary::from_stats(r)))
+            .collect(),
+    );
     if let Ok(mut f) = std::fs::File::create(dir.join(format!("{tag}.json"))) {
-        let _ = writeln!(f, "{}", serde_json::to_string_pretty(&summaries).unwrap());
+        let _ = write!(f, "{}", summaries.pretty());
     }
 }
 
 /// Figure 3: MP3D behaviour under Baseline/AD/LS.
 pub fn fig3(scale: Scale) -> FigureRun {
     let spec = Spec::Mp3d(mp3d_params(scale));
-    FigureRun { name: "MP3D (Figure 3)", runs: run_protocols(MachineConfig::splash_baseline, &spec) }
+    FigureRun {
+        name: "MP3D (Figure 3)",
+        runs: run_protocols(MachineConfig::splash_baseline, &spec),
+    }
 }
 
 /// Figure 4: Cholesky behaviour at 4 processors.
@@ -116,31 +130,44 @@ pub fn fig5(scale: Scale) -> Vec<(u16, Vec<RunStats>)> {
         Scale::Paper => &[4, 16, 32],
         Scale::Quick => &[4, 8],
     };
+    let mut set = JobSet::new();
+    for &p in procs {
+        let mut params = cholesky_params(scale);
+        params.procs = p;
+        // Keep the total problem fixed while scaling processors, as the
+        // paper does.
+        let spec = Spec::Cholesky(params);
+        for &k in &ProtocolKind::ALL {
+            set.push(
+                MachineConfig::splash_baseline(k).with_nodes(p),
+                spec.clone(),
+            );
+        }
+    }
+    let runs = set.run();
     procs
         .iter()
-        .map(|&p| {
-            let mut params = cholesky_params(scale);
-            params.procs = p;
-            // Keep the total problem fixed while scaling processors, as the
-            // paper does.
-            let spec = Spec::Cholesky(params);
-            let runs =
-                run_protocols(|k| MachineConfig::splash_baseline(k).with_nodes(p), &spec);
-            (p, runs)
-        })
+        .zip(runs.chunks(ProtocolKind::ALL.len()))
+        .map(|(&p, chunk)| (p, chunk.to_vec()))
         .collect()
 }
 
 /// Figure 6: LU behaviour.
 pub fn fig6(scale: Scale) -> FigureRun {
     let spec = Spec::Lu(lu_params(scale));
-    FigureRun { name: "LU (Figure 6)", runs: run_protocols(MachineConfig::splash_baseline, &spec) }
+    FigureRun {
+        name: "LU (Figure 6)",
+        runs: run_protocols(MachineConfig::splash_baseline, &spec),
+    }
 }
 
 /// Figure 7: OLTP behaviour. Also the source of Tables 2 and 3.
 pub fn fig7(scale: Scale) -> FigureRun {
     let spec = Spec::Oltp(oltp_params(scale));
-    FigureRun { name: "OLTP (Figure 7)", runs: run_protocols(MachineConfig::oltp_scaled, &spec) }
+    FigureRun {
+        name: "OLTP (Figure 7)",
+        runs: run_protocols(MachineConfig::oltp_scaled, &spec),
+    }
 }
 
 /// Table 2 needs the Baseline OLTP run (occurrence is protocol-independent
@@ -151,8 +178,16 @@ pub fn table2(runs: &FigureRun) -> String {
 
 /// Table 3: coverage of LS and AD on OLTP.
 pub fn table3(runs: &FigureRun) -> String {
-    let ls = runs.runs.iter().find(|r| r.protocol == ProtocolKind::Ls).unwrap();
-    let ad = runs.runs.iter().find(|r| r.protocol == ProtocolKind::Ad).unwrap();
+    let ls = runs
+        .runs
+        .iter()
+        .find(|r| r.protocol == ProtocolKind::Ls)
+        .unwrap();
+    let ad = runs
+        .runs
+        .iter()
+        .find(|r| r.protocol == ProtocolKind::Ad)
+        .unwrap();
     ccsim_stats::render_table3(ls, ad)
 }
 
@@ -162,14 +197,15 @@ pub fn tab4(scale: Scale) -> Vec<(u64, RunStats)> {
         Scale::Paper => &[16, 32, 64, 128, 256],
         Scale::Quick => &[16, 32, 64],
     };
-    sizes
-        .iter()
-        .map(|&bs| {
-            let spec = Spec::Oltp(oltp_params(scale));
-            let cfg = MachineConfig::oltp_scaled(ProtocolKind::Baseline).with_block_bytes(bs);
-            (bs, run_spec(cfg, &spec))
-        })
-        .collect()
+    let mut set = JobSet::new();
+    for &bs in sizes {
+        let spec = Spec::Oltp(oltp_params(scale));
+        set.push(
+            MachineConfig::oltp_scaled(ProtocolKind::Baseline).with_block_bytes(bs),
+            spec,
+        );
+    }
+    sizes.iter().copied().zip(set.run()).collect()
 }
 
 /// Static (compiler, instruction-centric) vs dynamic (AD, LS) comparison
@@ -179,21 +215,27 @@ pub fn tab4(scale: Scale) -> Vec<(u64, RunStats)> {
 ///
 /// Returns runs in order: Baseline, Static (Baseline + hints), AD, LS.
 pub fn static_comparison(scale: Scale) -> Vec<RunStats> {
-    let mut runs = Vec::new();
+    let mut set = JobSet::new();
     // Baseline.
-    runs.push(run_spec(
+    set.push(
         MachineConfig::oltp_scaled(ProtocolKind::Baseline),
-        &Spec::Oltp(oltp_params(scale)),
-    ));
+        Spec::Oltp(oltp_params(scale)),
+    );
     // Static: plain write-invalidate hardware + compiler hints.
     let mut p = oltp_params(scale);
     p.static_hints = true;
-    runs.push(run_spec(MachineConfig::oltp_scaled(ProtocolKind::Baseline), &Spec::Oltp(p)));
+    set.push(
+        MachineConfig::oltp_scaled(ProtocolKind::Baseline),
+        Spec::Oltp(p),
+    );
     // Dynamic techniques.
     for kind in [ProtocolKind::Ad, ProtocolKind::Ls] {
-        runs.push(run_spec(MachineConfig::oltp_scaled(kind), &Spec::Oltp(oltp_params(scale))));
+        set.push(
+            MachineConfig::oltp_scaled(kind),
+            Spec::Oltp(oltp_params(scale)),
+        );
     }
-    runs
+    set.run()
 }
 
 /// Render the static-vs-dynamic comparison.
@@ -230,10 +272,19 @@ pub fn render_static_comparison(runs: &[RunStats]) -> String {
 ///
 /// Returns runs in order: Baseline, DSI, AD, LS.
 pub fn dsi_comparison(scale: Scale) -> Vec<RunStats> {
-    [ProtocolKind::Baseline, ProtocolKind::Dsi, ProtocolKind::Ad, ProtocolKind::Ls]
-        .iter()
-        .map(|&k| run_spec(MachineConfig::oltp_scaled(k), &Spec::Oltp(oltp_params(scale))))
-        .collect()
+    let mut set = JobSet::new();
+    for k in [
+        ProtocolKind::Baseline,
+        ProtocolKind::Dsi,
+        ProtocolKind::Ad,
+        ProtocolKind::Ls,
+    ] {
+        set.push(
+            MachineConfig::oltp_scaled(k),
+            Spec::Oltp(oltp_params(scale)),
+        );
+    }
+    set.run()
 }
 
 /// Render the DSI comparison.
@@ -270,20 +321,20 @@ pub fn cache_size_sweep(scale: Scale) -> Vec<(u64, Vec<RunStats>)> {
         Scale::Paper => &[64, 128, 256, 512],
         Scale::Quick => &[8, 32, 128],
     };
+    let mut set = JobSet::new();
+    for &kb in sizes_kb {
+        let spec = Spec::Cholesky(cholesky_params(scale));
+        for &k in &ProtocolKind::ALL {
+            let mut cfg = MachineConfig::splash_baseline(k);
+            cfg.l2.size_bytes = kb * 1024;
+            set.push(cfg, spec.clone());
+        }
+    }
+    let runs = set.run();
     sizes_kb
         .iter()
-        .map(|&kb| {
-            let spec = Spec::Cholesky(cholesky_params(scale));
-            let runs: Vec<RunStats> = ProtocolKind::ALL
-                .iter()
-                .map(|&k| {
-                    let mut cfg = MachineConfig::splash_baseline(k);
-                    cfg.l2.size_bytes = kb * 1024;
-                    run_spec(cfg, &spec)
-                })
-                .collect();
-            (kb, runs)
-        })
+        .zip(runs.chunks(ProtocolKind::ALL.len()))
+        .map(|(&kb, chunk)| (kb, chunk.to_vec()))
         .collect()
 }
 
@@ -294,16 +345,21 @@ pub fn block_size_sweep(scale: Scale) -> Vec<(u64, Vec<RunStats>)> {
         Scale::Paper => &[16, 32, 64, 128],
         Scale::Quick => &[16, 64],
     };
+    let mut set = JobSet::new();
+    for &bs in sizes {
+        let spec = Spec::Mp3d(mp3d_params(scale));
+        for &k in &ProtocolKind::ALL {
+            set.push(
+                MachineConfig::splash_baseline(k).with_block_bytes(bs),
+                spec.clone(),
+            );
+        }
+    }
+    let runs = set.run();
     sizes
         .iter()
-        .map(|&bs| {
-            let spec = Spec::Mp3d(mp3d_params(scale));
-            let runs: Vec<RunStats> = ProtocolKind::ALL
-                .iter()
-                .map(|&k| run_spec(MachineConfig::splash_baseline(k).with_block_bytes(bs), &spec))
-                .collect();
-            (bs, runs)
-        })
+        .zip(runs.chunks(ProtocolKind::ALL.len()))
+        .map(|(&bs, chunk)| (bs, chunk.to_vec()))
         .collect()
 }
 
@@ -346,22 +402,24 @@ pub fn topology_ablation(scale: Scale) -> Vec<(String, Vec<RunStats>)> {
     let mut params = cholesky_params(scale);
     params.procs = procs;
     let spec = Spec::Cholesky(params);
-    let mut out = Vec::new();
-    for (label, topo) in [
+    let topologies = [
         ("point-to-point", Topology::PointToPoint),
         ("4x4 mesh", Topology::Mesh2D { width: 4 }),
-    ] {
-        let runs: Vec<RunStats> = ProtocolKind::ALL
-            .iter()
-            .map(|&k| {
-                let mut cfg = MachineConfig::splash_baseline(k).with_nodes(procs);
-                cfg.topology = topo;
-                run_spec(cfg, &spec)
-            })
-            .collect();
-        out.push((format!("Cholesky @16P / {label}"), runs));
+    ];
+    let mut set = JobSet::new();
+    for (_, topo) in topologies {
+        for &k in &ProtocolKind::ALL {
+            let mut cfg = MachineConfig::splash_baseline(k).with_nodes(procs);
+            cfg.topology = topo;
+            set.push(cfg, spec.clone());
+        }
     }
-    out
+    let runs = set.run();
+    topologies
+        .iter()
+        .zip(runs.chunks(ProtocolKind::ALL.len()))
+        .map(|((label, _), chunk)| (format!("Cholesky @16P / {label}"), chunk.to_vec()))
+        .collect()
 }
 
 /// Render the topology ablation.
@@ -400,21 +458,32 @@ pub fn consistency_ablation(scale: Scale) -> Vec<(String, Vec<RunStats>)> {
     let mut out = Vec::new();
     type Case = (&'static str, Spec, fn(ProtocolKind) -> MachineConfig);
     let cases: Vec<Case> = vec![
-        ("MP3D", Spec::Mp3d(mp3d_params(scale)), MachineConfig::splash_baseline),
-        ("OLTP", Spec::Oltp(oltp_params(scale)), MachineConfig::oltp_scaled),
+        (
+            "MP3D",
+            Spec::Mp3d(mp3d_params(scale)),
+            MachineConfig::splash_baseline,
+        ),
+        (
+            "OLTP",
+            Spec::Oltp(oltp_params(scale)),
+            MachineConfig::oltp_scaled,
+        ),
     ];
+    let mut set = JobSet::new();
+    let mut labels = Vec::new();
     for (wl, spec, cfg_for) in cases {
         for cons in [Consistency::Sc, Consistency::Relaxed] {
-            let runs: Vec<RunStats> = ProtocolKind::ALL
-                .iter()
-                .map(|&k| {
-                    let mut cfg = cfg_for(k);
-                    cfg.consistency = cons;
-                    run_spec(cfg, &spec)
-                })
-                .collect();
-            out.push((format!("{wl} / {cons:?}"), runs));
+            labels.push(format!("{wl} / {cons:?}"));
+            for &k in &ProtocolKind::ALL {
+                let mut cfg = cfg_for(k);
+                cfg.consistency = cons;
+                set.push(cfg, spec.clone());
+            }
         }
+    }
+    let runs = set.run();
+    for (label, chunk) in labels.into_iter().zip(runs.chunks(ProtocolKind::ALL.len())) {
+        out.push((label, chunk.to_vec()));
     }
     out
 }
@@ -452,42 +521,53 @@ pub struct VariationReport {
 }
 
 pub fn variation(scale: Scale) -> VariationReport {
-    let mut entries = Vec::new();
+    let mut set = JobSet::new();
+    // (label, number of runs in the group) — sliced from the batch below.
+    let mut groups: Vec<(String, usize)> = Vec::new();
 
     // Default tagging (LS and AD): every block starts tagged, so even cold
     // reads return exclusive copies.
     let mp3d_spec = Spec::Mp3d(mp3d_params(scale));
-    let mut runs = Vec::new();
-    for (kind, default_tagged) in
-        [(ProtocolKind::Ls, false), (ProtocolKind::Ls, true), (ProtocolKind::Ad, false), (ProtocolKind::Ad, true)]
-    {
+    for (kind, default_tagged) in [
+        (ProtocolKind::Ls, false),
+        (ProtocolKind::Ls, true),
+        (ProtocolKind::Ad, false),
+        (ProtocolKind::Ad, true),
+    ] {
         let mut cfg = MachineConfig::splash_baseline(kind);
         cfg.protocol.ls.default_tagged = default_tagged && kind == ProtocolKind::Ls;
         cfg.protocol.ad.default_tagged = default_tagged && kind == ProtocolKind::Ad;
-        runs.push(run_spec(cfg, &mp3d_spec));
+        set.push(cfg, mp3d_spec.clone());
     }
-    entries.push(("MP3D default tagging (LS, LS+default, AD, AD+default)".into(), runs));
+    groups.push((
+        "MP3D default tagging (LS, LS+default, AD, AD+default)".into(),
+        4,
+    ));
 
     // De-tag keep-heuristic on OLTP.
     let oltp_spec = Spec::Oltp(oltp_params(scale));
-    let mut runs = Vec::new();
     for keep in [false, true] {
         let mut cfg = MachineConfig::oltp_scaled(ProtocolKind::Ls);
         cfg.protocol.ls.keep_on_unpaired_write = keep;
-        runs.push(run_spec(cfg, &oltp_spec));
+        set.push(cfg, oltp_spec.clone());
     }
-    entries.push(("OLTP LS de-tag keep-heuristic (off, on)".into(), runs));
+    groups.push(("OLTP LS de-tag keep-heuristic (off, on)".into(), 2));
 
     // Two-step hysteresis on OLTP (tagging, then de-tagging).
-    let mut runs = Vec::new();
     for (tag_h, detag_h) in [(1u8, 1u8), (2, 1), (1, 2)] {
         let mut cfg = MachineConfig::oltp_scaled(ProtocolKind::Ls);
         cfg.protocol.ls.tag_hysteresis = tag_h;
         cfg.protocol.ls.detag_hysteresis = detag_h;
-        runs.push(run_spec(cfg, &oltp_spec));
+        set.push(cfg, oltp_spec.clone());
     }
-    entries.push(("OLTP LS hysteresis (1/1, tag=2, detag=2)".into(), runs));
+    groups.push(("OLTP LS hysteresis (1/1, tag=2, detag=2)".into(), 3));
 
+    let mut runs = set.run();
+    let mut entries = Vec::new();
+    for (label, len) in groups {
+        let rest = runs.split_off(len);
+        entries.push((label, std::mem::replace(&mut runs, rest)));
+    }
     VariationReport { entries }
 }
 
@@ -519,20 +599,51 @@ pub fn render_table1() -> String {
     let c = MachineConfig::splash_baseline(ProtocolKind::Baseline);
     let l = c.latency;
     let mut s = String::new();
-    let _ = writeln!(s, "== Table 1: cache parameters and memory system latencies ==");
-    let _ = writeln!(s, "L1 access time        {:>6} cycle(s)", c.l1.access_cycles);
-    let _ = writeln!(s, "L1 size               {:>6} kB (4/16/32/64 supported)", c.l1.size_bytes / 1024);
+    let _ = writeln!(
+        s,
+        "== Table 1: cache parameters and memory system latencies =="
+    );
+    let _ = writeln!(
+        s,
+        "L1 access time        {:>6} cycle(s)",
+        c.l1.access_cycles
+    );
+    let _ = writeln!(
+        s,
+        "L1 size               {:>6} kB (4/16/32/64 supported)",
+        c.l1.size_bytes / 1024
+    );
     let _ = writeln!(s, "L1 associativity      {:>6} (1/2 supported)", c.l1.assoc);
-    let _ = writeln!(s, "L1 block size         {:>6} B (16/32/64/128 supported)", c.l1.block_bytes);
+    let _ = writeln!(
+        s,
+        "L1 block size         {:>6} B (16/32/64/128 supported)",
+        c.l1.block_bytes
+    );
     let _ = writeln!(s, "L2 access time        {:>6} cycles", c.l2.access_cycles);
-    let _ = writeln!(s, "L2 size               {:>6} kB (64/512/1024/2048 supported)", c.l2.size_bytes / 1024);
+    let _ = writeln!(
+        s,
+        "L2 size               {:>6} kB (64/512/1024/2048 supported)",
+        c.l2.size_bytes / 1024
+    );
     let _ = writeln!(s, "L2 associativity      {:>6}", c.l2.assoc);
     let _ = writeln!(s, "Memory access time    {:>6} cycles", l.mem);
     let _ = writeln!(s, "Network traversal     {:>6} cycles", l.net);
     let _ = writeln!(s, "Memory controller     {:>6} cycles", l.mc);
-    let _ = writeln!(s, "Local access          {:>6} cycles (derived)", l.local_miss());
-    let _ = writeln!(s, "Home access           {:>6} cycles (derived)", l.home_miss());
-    let _ = writeln!(s, "Remote access         {:>6} cycles (derived)", l.remote_miss());
+    let _ = writeln!(
+        s,
+        "Local access          {:>6} cycles (derived)",
+        l.local_miss()
+    );
+    let _ = writeln!(
+        s,
+        "Home access           {:>6} cycles (derived)",
+        l.home_miss()
+    );
+    let _ = writeln!(
+        s,
+        "Remote access         {:>6} cycles (derived)",
+        l.remote_miss()
+    );
     s
 }
 

@@ -49,7 +49,10 @@ pub struct Hierarchy {
 
 impl Hierarchy {
     pub fn new(cfg: &MachineConfig) -> Self {
-        Hierarchy { l1: Cache::new(&cfg.l1), l2: Cache::new(&cfg.l2) }
+        Hierarchy {
+            l1: Cache::new(&cfg.l1),
+            l2: Cache::new(&cfg.l2),
+        }
     }
 
     /// Probe for `block`, updating LRU at the level that hits and promoting
@@ -82,7 +85,10 @@ impl Hierarchy {
         let evicted = l2_victim.map(|(vb, vs)| {
             // Back-invalidate L1 to preserve inclusion.
             self.l1.invalidate(vb);
-            Eviction { block: vb, state: vs }
+            Eviction {
+                block: vb,
+                state: vs,
+            }
         });
         let _ = self.l1.insert(block, state); // L1 victim stays in L2
         debug_assert!(
@@ -139,8 +145,18 @@ mod tests {
     fn tiny_cfg() -> MachineConfig {
         let mut c = MachineConfig::splash_baseline(ProtocolKind::Baseline);
         // L1: 2 blocks direct-mapped; L2: 8 blocks direct-mapped; 16B lines.
-        c.l1 = CacheConfig { size_bytes: 32, assoc: 1, block_bytes: 16, access_cycles: 1 };
-        c.l2 = CacheConfig { size_bytes: 128, assoc: 1, block_bytes: 16, access_cycles: 10 };
+        c.l1 = CacheConfig {
+            size_bytes: 32,
+            assoc: 1,
+            block_bytes: 16,
+            access_cycles: 1,
+        };
+        c.l2 = CacheConfig {
+            size_bytes: 128,
+            assoc: 1,
+            block_bytes: 16,
+            access_cycles: 10,
+        };
         c
     }
 
@@ -176,7 +192,13 @@ mod tests {
         // Fill L2 set 0 (addresses stepping by 128 = 8 sets * 16B).
         h.fill(blk(0x000), LineState::Modified);
         let ev = h.fill(blk(0x080), LineState::Shared);
-        assert_eq!(ev, Some(Eviction { block: blk(0x000), state: LineState::Modified }));
+        assert_eq!(
+            ev,
+            Some(Eviction {
+                block: blk(0x000),
+                state: LineState::Modified
+            })
+        );
         assert_eq!(h.probe(blk(0x000)), Probe::Miss);
         h.check_invariants().unwrap();
     }
@@ -212,8 +234,14 @@ mod tests {
 
     #[test]
     fn probe_state_accessor() {
-        assert_eq!(Probe::L1(LineState::Shared).state(), Some(LineState::Shared));
-        assert_eq!(Probe::L2(LineState::Modified).state(), Some(LineState::Modified));
+        assert_eq!(
+            Probe::L1(LineState::Shared).state(),
+            Some(LineState::Shared)
+        );
+        assert_eq!(
+            Probe::L2(LineState::Modified).state(),
+            Some(LineState::Modified)
+        );
         assert_eq!(Probe::Miss.state(), None);
     }
 
@@ -223,7 +251,9 @@ mod tests {
         // Deterministic pseudo-random walk over 64 blocks.
         let mut x = 0x12345678u64;
         for i in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let b = blk((x >> 16) % 64 * 16);
             match i % 5 {
                 0 | 1 => {

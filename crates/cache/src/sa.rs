@@ -78,7 +78,10 @@ impl Cache {
     /// State of `block` if present; does not affect LRU order.
     pub fn peek(&self, block: BlockAddr) -> Option<LineState> {
         let si = self.set_index(block);
-        self.sets[si].iter().find(|l| l.block == block).map(|l| l.state)
+        self.sets[si]
+            .iter()
+            .find(|l| l.block == block)
+            .map(|l| l.state)
     }
 
     /// State of `block` if present, marking it most-recently-used.
@@ -108,17 +111,15 @@ impl Cache {
     pub fn invalidate(&mut self, block: BlockAddr) -> Option<LineState> {
         let si = self.set_index(block);
         let set = &mut self.sets[si];
-        set.iter().position(|l| l.block == block).map(|i| set.swap_remove(i).state)
+        set.iter()
+            .position(|l| l.block == block)
+            .map(|i| set.swap_remove(i).state)
     }
 
     /// Insert `block` with `state`, evicting the LRU victim of the set when
     /// full. Returns the victim `(block, state)` if one was displaced.
     /// Inserting an already-present block just updates state + LRU.
-    pub fn insert(
-        &mut self,
-        block: BlockAddr,
-        state: LineState,
-    ) -> Option<(BlockAddr, LineState)> {
+    pub fn insert(&mut self, block: BlockAddr, state: LineState) -> Option<(BlockAddr, LineState)> {
         let si = self.set_index(block);
         let t = self.bump();
         let assoc = self.assoc;
@@ -139,7 +140,11 @@ impl Cache {
         } else {
             None
         };
-        set.push(Line { block, state, last_use: t });
+        set.push(Line {
+            block,
+            state,
+            last_use: t,
+        });
         victim
     }
 
@@ -170,7 +175,12 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 blocks total, 2-way, 16B lines -> 2 sets.
-        Cache::new(&CacheConfig { size_bytes: 64, assoc: 2, block_bytes: 16, access_cycles: 1 })
+        Cache::new(&CacheConfig {
+            size_bytes: 64,
+            assoc: 2,
+            block_bytes: 16,
+            access_cycles: 1,
+        })
     }
 
     fn blk(a: u64) -> BlockAddr {
@@ -263,6 +273,9 @@ mod tests {
         c.insert(blk(0x10), LineState::Excl);
         let mut got: Vec<_> = c.iter().collect();
         got.sort();
-        assert_eq!(got, vec![(blk(0x00), LineState::Shared), (blk(0x10), LineState::Excl)]);
+        assert_eq!(
+            got,
+            vec![(blk(0x00), LineState::Shared), (blk(0x10), LineState::Excl)]
+        );
     }
 }

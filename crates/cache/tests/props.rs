@@ -1,8 +1,9 @@
-//! Property tests for the cache hierarchy.
+//! Property tests for the cache hierarchy (deterministic cases via
+//! `ccsim_util::check`).
 
 use ccsim_cache::{Hierarchy, LineState, Probe};
 use ccsim_types::{Addr, BlockAddr, CacheConfig, MachineConfig, ProtocolKind};
-use proptest::prelude::*;
+use ccsim_util::check::{cases, Gen};
 
 fn cfg(l1_blocks: u64, l2_blocks: u64, assoc: u32) -> MachineConfig {
     let mut c = MachineConfig::splash_baseline(ProtocolKind::Baseline);
@@ -31,37 +32,34 @@ enum Op {
     Invalidate(u8),
 }
 
-fn ops() -> impl Strategy<Value = Op> {
-    (0..64u8, 0..6u8).prop_map(|(b, k)| match k {
+fn op(g: &mut Gen) -> Op {
+    let b = g.below(64) as u8;
+    match g.below(6) {
         0 => Op::Probe(b),
         1 => Op::FillS(b),
         2 => Op::FillM(b),
         3 => Op::FillX(b),
         4 => Op::SetM(b),
         _ => Op::Invalidate(b),
-    })
+    }
 }
 
 fn blk(b: u8) -> BlockAddr {
     Addr(b as u64 * 16).block(16)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Inclusion and state agreement hold under arbitrary operation
-    /// sequences, for several geometries including direct-mapped and
-    /// set-associative L1s.
-    #[test]
-    fn hierarchy_invariants_hold(
-        seq in proptest::collection::vec(ops(), 1..300),
-        geom in 0..3usize,
-    ) {
-        let c = match geom {
+/// Inclusion and state agreement hold under arbitrary operation sequences,
+/// for several geometries including direct-mapped and set-associative L1s.
+#[test]
+fn hierarchy_invariants_hold() {
+    cases(128, |g| {
+        let c = match g.below(3) {
             0 => cfg(2, 8, 1),
             1 => cfg(4, 16, 2),
             _ => cfg(8, 8, 1), // L1 as big as L2
         };
+        let n = g.urange(1, 300);
+        let seq = g.vec(n, op);
         let mut h = Hierarchy::new(&c);
         for op in seq {
             match op {
@@ -69,8 +67,8 @@ proptest! {
                     let before = h.state(blk(b));
                     let p = h.probe(blk(b));
                     // A probe never changes the coherence state.
-                    prop_assert_eq!(h.state(blk(b)), before);
-                    prop_assert_eq!(p.state(), before);
+                    assert_eq!(h.state(blk(b)), before);
+                    assert_eq!(p.state(), before);
                 }
                 Op::FillS(b) => {
                     h.fill(blk(b), LineState::Shared);
@@ -83,51 +81,59 @@ proptest! {
                 }
                 Op::SetM(b) => {
                     let present = h.state(blk(b)).is_some();
-                    prop_assert_eq!(h.set_state(blk(b), LineState::Modified), present);
+                    assert_eq!(h.set_state(blk(b), LineState::Modified), present);
                 }
                 Op::Invalidate(b) => {
                     h.invalidate(blk(b));
-                    prop_assert_eq!(h.state(blk(b)), None);
+                    assert_eq!(h.state(blk(b)), None);
                 }
             }
-            h.check_invariants().map_err(TestCaseError::fail)?;
+            h.check_invariants().unwrap();
         }
-    }
+    });
+}
 
-    /// A filled block is immediately probeable with the state it was given,
-    /// and capacity never exceeds the configured number of blocks.
-    #[test]
-    fn fill_then_probe_and_capacity(
-        seq in proptest::collection::vec(0..64u8, 1..200)
-    ) {
+/// A filled block is immediately probeable with the state it was given, and
+/// capacity never exceeds the configured number of blocks.
+#[test]
+fn fill_then_probe_and_capacity() {
+    cases(128, |g| {
+        let n = g.urange(1, 200);
+        let seq = g.vec(n, |g| g.below(64) as u8);
         let c = cfg(2, 8, 1);
         let mut h = Hierarchy::new(&c);
         for b in seq {
             h.fill(blk(b), LineState::Shared);
             match h.probe(blk(b)) {
                 Probe::L1(LineState::Shared) => {}
-                other => return Err(TestCaseError::fail(format!("expected L1 hit, got {other:?}"))),
+                other => panic!("expected L1 hit, got {other:?}"),
             }
-            prop_assert!(h.l2().len() <= 8);
-            prop_assert!(h.l1().len() <= 2);
+            assert!(h.l2().len() <= 8);
+            assert!(h.l1().len() <= 2);
         }
-    }
+    });
+}
 
-    /// An eviction reported by fill really is gone, and it is never the
-    /// block just filled.
-    #[test]
-    fn evictions_are_real(
-        seq in proptest::collection::vec((0..64u8, any::<bool>()), 1..200)
-    ) {
+/// An eviction reported by fill really is gone, and it is never the block
+/// just filled.
+#[test]
+fn evictions_are_real() {
+    cases(128, |g| {
+        let n = g.urange(1, 200);
+        let seq = g.vec(n, |g| (g.below(64) as u8, g.bool()));
         let c = cfg(2, 4, 1);
         let mut h = Hierarchy::new(&c);
         for (b, dirty) in seq {
-            let st = if dirty { LineState::Modified } else { LineState::Shared };
+            let st = if dirty {
+                LineState::Modified
+            } else {
+                LineState::Shared
+            };
             if let Some(ev) = h.fill(blk(b), st) {
-                prop_assert_ne!(ev.block, blk(b));
-                prop_assert_eq!(h.state(ev.block), None, "victim still resident");
+                assert_ne!(ev.block, blk(b));
+                assert_eq!(h.state(ev.block), None, "victim still resident");
             }
-            prop_assert_eq!(h.state(blk(b)), Some(st));
+            assert_eq!(h.state(blk(b)), Some(st));
         }
-    }
+    });
 }

@@ -20,7 +20,7 @@ use crate::outcome::{
     GrantKind, OwnerAction, ReadMissClass, ReadResolution, ReadStep, WriteResolution, WriteStep,
 };
 use ccsim_types::{BlockAddr, NodeId, ProtocolConfig, ProtocolKind};
-use rustc_hash::FxHashMap;
+use ccsim_util::{FromJson, FxHashMap, Json, ToJson};
 
 /// Logical event counters kept at the directory (message/byte counts live in
 /// the network model; these are protocol-level events, counted even when the
@@ -102,6 +102,50 @@ impl DirStats {
     }
 }
 
+impl ToJson for DirStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("global_reads", self.global_reads.to_json()),
+            ("read_class", self.read_class.to_json()),
+            ("upgrades", self.upgrades.to_json()),
+            ("write_misses", self.write_misses.to_json()),
+            (
+                "invalidations_requested",
+                self.invalidations_requested.to_json(),
+            ),
+            ("writes_to_shared", self.writes_to_shared.to_json()),
+            (
+                "invals_on_shared_writes",
+                self.invals_on_shared_writes.to_json(),
+            ),
+            ("exclusive_grants", self.exclusive_grants.to_json()),
+            ("tag_events", self.tag_events.to_json()),
+            ("detag_events", self.detag_events.to_json()),
+            ("notls_events", self.notls_events.to_json()),
+            ("tear_grants", self.tear_grants.to_json()),
+        ])
+    }
+}
+
+impl FromJson for DirStats {
+    fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(DirStats {
+            global_reads: j.field("global_reads")?,
+            read_class: j.field("read_class")?,
+            upgrades: j.field("upgrades")?,
+            write_misses: j.field("write_misses")?,
+            invalidations_requested: j.field("invalidations_requested")?,
+            writes_to_shared: j.field("writes_to_shared")?,
+            invals_on_shared_writes: j.field("invals_on_shared_writes")?,
+            exclusive_grants: j.field("exclusive_grants")?,
+            tag_events: j.field("tag_events")?,
+            detag_events: j.field("detag_events")?,
+            notls_events: j.field("notls_events")?,
+            tear_grants: j.field("tear_grants")?,
+        })
+    }
+}
+
 /// A full-map directory covering the blocks homed at one node (or, as used
 /// in unit tests, any set of blocks).
 pub struct Directory {
@@ -112,7 +156,11 @@ pub struct Directory {
 
 impl Directory {
     pub fn new(cfg: ProtocolConfig) -> Self {
-        Directory { cfg, entries: FxHashMap::default(), stats: DirStats::default() }
+        Directory {
+            cfg,
+            entries: FxHashMap::default(),
+            stats: DirStats::default(),
+        }
     }
 
     pub fn protocol(&self) -> ProtocolKind {
@@ -133,7 +181,9 @@ impl Directory {
 
     fn entry_mut(&mut self, block: BlockAddr) -> &mut DirEntry {
         let dt = self.default_tagged();
-        self.entries.entry(block).or_insert_with(|| DirEntry::new(dt))
+        self.entries
+            .entry(block)
+            .or_insert_with(|| DirEntry::new(dt))
     }
 
     /// Inspect a block's entry (tests/diagnostics); `None` = never touched.
@@ -143,7 +193,10 @@ impl Directory {
 
     /// Figure 1 state of a block (untouched blocks are Uncached).
     pub fn fig1(&self, block: BlockAddr) -> Fig1State {
-        self.entries.get(&block).map(|e| e.fig1()).unwrap_or(Fig1State::Uncached)
+        self.entries
+            .get(&block)
+            .map(|e| e.fig1())
+            .unwrap_or(Fig1State::Uncached)
     }
 
     // --- tagging machinery -------------------------------------------------
@@ -269,11 +322,18 @@ impl Directory {
             }
             self.stats.tear_grants += 1;
             self.stats.classify(ReadMissClass::Clean);
-            return ReadStep::Memory { grant: GrantKind::TearOff, class: ReadMissClass::Clean };
+            return ReadStep::Memory {
+                grant: GrantKind::TearOff,
+                class: ReadMissClass::Clean,
+            };
         }
         match e.state {
             HomeState::Uncached => {
-                let grant = if e.tagged { GrantKind::Exclusive } else { GrantKind::Shared };
+                let grant = if e.tagged {
+                    GrantKind::Exclusive
+                } else {
+                    GrantKind::Shared
+                };
                 let class = if e.tagged {
                     ReadMissClass::CleanExclusive
                 } else {
@@ -296,12 +356,18 @@ impl Directory {
                 // Reads of read-shared data always join the sharer set; an
                 // exclusive grant from Shared would force invalidations on a
                 // read, which none of the protocols do.
-                let class =
-                    if e.tagged { ReadMissClass::CleanExclusive } else { ReadMissClass::Clean };
+                let class = if e.tagged {
+                    ReadMissClass::CleanExclusive
+                } else {
+                    ReadMissClass::Clean
+                };
                 e.lr = Some(p);
                 e.sharers.insert(p);
                 self.stats.classify(class);
-                ReadStep::Memory { grant: GrantKind::Shared, class }
+                ReadStep::Memory {
+                    grant: GrantKind::Shared,
+                    class,
+                }
             }
             HomeState::Owned(q) => {
                 assert_ne!(q, p, "owner {p} issued a global read for a block it owns");
@@ -328,7 +394,10 @@ impl Directory {
         debug_assert!(owner_dirty || !owner_wrote);
         let detag_h = self.detag_hysteresis();
         let stats = &mut self.stats;
-        let e = self.entries.get_mut(&block).expect("forwarded read on unknown block");
+        let e = self
+            .entries
+            .get_mut(&block)
+            .expect("forwarded read on unknown block");
         let HomeState::Owned(q) = e.state else {
             panic!("read_forward_result on non-owned block");
         };
@@ -407,7 +476,10 @@ impl Directory {
                 stats.write_misses += 1;
                 e.state = HomeState::Owned(p);
                 e.sharers = SharerSet::single(p);
-                WriteStep::Memory { invalidate: Vec::new(), data_needed: true }
+                WriteStep::Memory {
+                    invalidate: Vec::new(),
+                    data_needed: true,
+                }
             }
             HomeState::Shared => {
                 let had_copy = e.sharers.contains(p);
@@ -422,7 +494,10 @@ impl Directory {
                 stats.invals_on_shared_writes += invalidate.len() as u64;
                 e.state = HomeState::Owned(p);
                 e.sharers = SharerSet::single(p);
-                WriteStep::Memory { invalidate, data_needed: !had_copy }
+                WriteStep::Memory {
+                    invalidate,
+                    data_needed: !had_copy,
+                }
             }
             HomeState::Owned(q) => {
                 assert_ne!(q, p, "owner {p} issued a global write for a block it owns");
@@ -445,7 +520,10 @@ impl Directory {
         owner_modified: bool,
     ) -> WriteResolution {
         let stats = &mut self.stats;
-        let e = self.entries.get_mut(&block).expect("forwarded write on unknown block");
+        let e = self
+            .entries
+            .get_mut(&block)
+            .expect("forwarded write on unknown block");
         let HomeState::Owned(q) = e.state else {
             panic!("write_forward_result on non-owned block");
         };
@@ -454,7 +532,9 @@ impl Directory {
         e.state = HomeState::Owned(p);
         e.sharers = SharerSet::single(p);
         e.last_writer = Some(p);
-        WriteResolution { owner_was_modified: owner_modified }
+        WriteResolution {
+            owner_was_modified: owner_modified,
+        }
     }
 
     /// A cache evicted its copy of `block`.
@@ -470,7 +550,9 @@ impl Directory {
     pub fn replacement(&mut self, block: BlockAddr, node: NodeId) {
         let kind = self.cfg.kind;
         let stats = &mut self.stats;
-        let Some(e) = self.entries.get_mut(&block) else { return };
+        let Some(e) = self.entries.get_mut(&block) else {
+            return;
+        };
         match e.state {
             HomeState::Uncached => {}
             HomeState::Shared => {
@@ -539,7 +621,10 @@ mod tests {
         assert_eq!(d.fig1(b), Fig1State::Shared);
         // P0 upgrades.
         match d.write(b, P0) {
-            WriteStep::Memory { invalidate, data_needed } => {
+            WriteStep::Memory {
+                invalidate,
+                data_needed,
+            } => {
                 assert!(invalidate.is_empty());
                 assert!(!data_needed);
             }
@@ -547,7 +632,9 @@ mod tests {
         }
         assert_eq!(d.fig1(b), Fig1State::Dirty);
         // P1 reads: forwarded to P0, downgrade + sharing writeback.
-        let ReadStep::Forward { owner } = d.read(b, P1) else { panic!() };
+        let ReadStep::Forward { owner } = d.read(b, P1) else {
+            panic!()
+        };
         assert_eq!(owner, P0);
         let r = d.read_forward_result(b, P1, true, true);
         assert_eq!(r.grant, GrantKind::Shared);
@@ -589,7 +676,13 @@ mod tests {
         read_mem(&mut d, b, P0);
         read_mem(&mut d, b, P1);
         read_mem(&mut d, b, P2);
-        let WriteStep::Memory { invalidate, data_needed } = d.write(b, P1) else { panic!() };
+        let WriteStep::Memory {
+            invalidate,
+            data_needed,
+        } = d.write(b, P1)
+        else {
+            panic!()
+        };
         assert_eq!(invalidate, vec![P0, P2]);
         assert!(!data_needed);
         assert_eq!(d.stats().invalidations_requested, 2);
@@ -623,7 +716,9 @@ mod tests {
         assert_eq!(d.fig1(b), Fig1State::Uncached);
         assert!(d.entry(b).unwrap().tagged);
         // Next read by anyone returns an exclusive copy.
-        let ReadStep::Memory { grant, class } = d.read(b, P1) else { panic!() };
+        let ReadStep::Memory { grant, class } = d.read(b, P1) else {
+            panic!()
+        };
         assert_eq!(grant, GrantKind::Exclusive);
         assert_eq!(class, ReadMissClass::CleanExclusive);
         assert_eq!(d.fig1(b), Fig1State::LoadStore);
@@ -646,10 +741,12 @@ mod tests {
         let mut d = dir(ProtocolKind::Ls);
         let b = blk(0);
         read_mem(&mut d, b, P0); // LR := P0
-        // P1 writes (miss): LR invalidated by the acquisition.
+                                 // P1 writes (miss): LR invalidated by the acquisition.
         d.write(b, P1);
         // P0 writes again (forwarded): LR is None -> no tag.
-        let WriteStep::Forward { owner } = d.write(b, P0) else { panic!() };
+        let WriteStep::Forward { owner } = d.write(b, P0) else {
+            panic!()
+        };
         assert_eq!(owner, P1);
         d.write_forward_result(b, P0, true);
         assert!(!d.entry(b).unwrap().tagged);
@@ -663,7 +760,9 @@ mod tests {
         read_mem(&mut d, b, P0);
         d.write(b, P0);
         // P1 reads: forwarded, P0 modified -> exclusive dirty handoff.
-        let ReadStep::Forward { owner } = d.read(b, P1) else { panic!() };
+        let ReadStep::Forward { owner } = d.read(b, P1) else {
+            panic!()
+        };
         assert_eq!(owner, P0);
         let r = d.read_forward_result(b, P1, true, true);
         assert_eq!(r.grant, GrantKind::Exclusive);
@@ -672,7 +771,9 @@ mod tests {
         assert_eq!(r.class, ReadMissClass::DirtyExclusive);
         assert_eq!(d.fig1(b), Fig1State::LoadStore);
         // P2 reads while P1 wrote silently: handoff continues.
-        let ReadStep::Forward { owner } = d.read(b, P2) else { panic!() };
+        let ReadStep::Forward { owner } = d.read(b, P2) else {
+            panic!()
+        };
         assert_eq!(owner, P1);
         let r = d.read_forward_result(b, P2, true, true);
         assert_eq!(r.grant, GrantKind::Exclusive);
@@ -689,10 +790,15 @@ mod tests {
         // P1 gets an exclusive grant but never writes...
         assert!(matches!(
             d.read(b, P1),
-            ReadStep::Memory { grant: GrantKind::Exclusive, .. }
+            ReadStep::Memory {
+                grant: GrantKind::Exclusive,
+                ..
+            }
         ));
         // ...and P2's read finds an unmodified owner: de-tag + NotLS.
-        let ReadStep::Forward { owner } = d.read(b, P2) else { panic!() };
+        let ReadStep::Forward { owner } = d.read(b, P2) else {
+            panic!()
+        };
         assert_eq!(owner, P1);
         let r = d.read_forward_result(b, P2, false, false);
         assert_eq!(r.grant, GrantKind::Shared);
@@ -722,7 +828,10 @@ mod tests {
     #[test]
     fn ls_keep_heuristic_preserves_tag_on_unpaired_write() {
         let mut cfg = ProtocolConfig::new(ProtocolKind::Ls);
-        cfg.ls = LsConfig { keep_on_unpaired_write: true, ..LsConfig::default() };
+        cfg.ls = LsConfig {
+            keep_on_unpaired_write: true,
+            ..LsConfig::default()
+        };
         let mut d = Directory::new(cfg);
         let b = blk(0);
         read_mem(&mut d, b, P0);
@@ -736,9 +845,14 @@ mod tests {
     #[test]
     fn ls_default_tagged_grants_exclusive_on_cold_read() {
         let mut cfg = ProtocolConfig::new(ProtocolKind::Ls);
-        cfg.ls = LsConfig { default_tagged: true, ..LsConfig::default() };
+        cfg.ls = LsConfig {
+            default_tagged: true,
+            ..LsConfig::default()
+        };
         let mut d = Directory::new(cfg);
-        let ReadStep::Memory { grant, class } = d.read(blk(0), P0) else { panic!() };
+        let ReadStep::Memory { grant, class } = d.read(blk(0), P0) else {
+            panic!()
+        };
         assert_eq!(grant, GrantKind::Exclusive);
         assert_eq!(class, ReadMissClass::CleanExclusive);
     }
@@ -746,7 +860,10 @@ mod tests {
     #[test]
     fn ls_tag_hysteresis_requires_two_observations() {
         let mut cfg = ProtocolConfig::new(ProtocolKind::Ls);
-        cfg.ls = LsConfig { tag_hysteresis: 2, ..LsConfig::default() };
+        cfg.ls = LsConfig {
+            tag_hysteresis: 2,
+            ..LsConfig::default()
+        };
         let mut d = Directory::new(cfg);
         let b = blk(0);
         read_mem(&mut d, b, P0);
@@ -761,7 +878,10 @@ mod tests {
     #[test]
     fn ls_detag_hysteresis_requires_two_observations() {
         let mut cfg = ProtocolConfig::new(ProtocolKind::Ls);
-        cfg.ls = LsConfig { detag_hysteresis: 2, ..LsConfig::default() };
+        cfg.ls = LsConfig {
+            detag_hysteresis: 2,
+            ..LsConfig::default()
+        };
         let mut d = Directory::new(cfg);
         let b = blk(0);
         read_mem(&mut d, b, P0);
@@ -777,7 +897,10 @@ mod tests {
     #[test]
     fn ls_hysteresis_votes_reset_on_opposite_event() {
         let mut cfg = ProtocolConfig::new(ProtocolKind::Ls);
-        cfg.ls = LsConfig { tag_hysteresis: 2, ..LsConfig::default() };
+        cfg.ls = LsConfig {
+            tag_hysteresis: 2,
+            ..LsConfig::default()
+        };
         let mut d = Directory::new(cfg);
         let b = blk(0);
         read_mem(&mut d, b, P0);
@@ -820,7 +943,9 @@ mod tests {
         write_any(&mut d, b, P1);
         assert!(d.entry(b).unwrap().tagged);
         // Steady state: P2's read now gets a dirty-exclusive handoff.
-        let ReadStep::Forward { owner } = d.read(b, P2) else { panic!() };
+        let ReadStep::Forward { owner } = d.read(b, P2) else {
+            panic!()
+        };
         assert_eq!(owner, P1);
         let r = d.read_forward_result(b, P2, true, true);
         assert_eq!(r.grant, GrantKind::Exclusive);
@@ -890,9 +1015,14 @@ mod tests {
         write_any(&mut d, b, P1);
         assert!(d.entry(b).unwrap().tagged);
         d.replacement(b, P1);
-        assert!(!d.entry(b).unwrap().tagged, "AD tag must not survive replacement");
+        assert!(
+            !d.entry(b).unwrap().tagged,
+            "AD tag must not survive replacement"
+        );
         // The next read is an ordinary shared grant.
-        let ReadStep::Memory { grant, .. } = d.read(b, P2) else { panic!() };
+        let ReadStep::Memory { grant, .. } = d.read(b, P2) else {
+            panic!()
+        };
         assert_eq!(grant, GrantKind::Shared);
     }
 
@@ -905,10 +1035,14 @@ mod tests {
         cfg.ad.default_tagged = true;
         let mut d = Directory::new(cfg);
         let b = blk(0);
-        let ReadStep::Memory { grant, .. } = d.read(b, P2) else { panic!() };
+        let ReadStep::Memory { grant, .. } = d.read(b, P2) else {
+            panic!()
+        };
         assert_eq!(grant, GrantKind::Exclusive);
         // P0 reads before P2 writes: failed prediction, revert.
-        let ReadStep::Forward { .. } = d.read(b, P0) else { panic!() };
+        let ReadStep::Forward { .. } = d.read(b, P0) else {
+            panic!()
+        };
         let r = d.read_forward_result(b, P0, false, false);
         assert!(r.notls);
         assert!(!d.entry(b).unwrap().tagged);
@@ -940,12 +1074,16 @@ mod tests {
         assert!(d.entry(b).unwrap().tear);
         d.replacement(b, P0);
         // Next read: tear-off grant, no sharer registered.
-        let ReadStep::Memory { grant, .. } = d.read(b, P2) else { panic!() };
+        let ReadStep::Memory { grant, .. } = d.read(b, P2) else {
+            panic!()
+        };
         assert_eq!(grant, GrantKind::TearOff);
         assert_eq!(d.entry(b).unwrap().sharers.len(), 0);
         assert_eq!(d.stats().tear_grants, 1);
         // The subsequent write finds nobody to invalidate.
-        let WriteStep::Memory { invalidate, .. } = d.write(b, P1) else { panic!() };
+        let WriteStep::Memory { invalidate, .. } = d.write(b, P1) else {
+            panic!()
+        };
         assert!(invalidate.is_empty());
         d.check_invariants().unwrap();
     }
@@ -960,12 +1098,19 @@ mod tests {
         d.replacement(b, P0);
         // Four consecutive tear-off reads exhaust the patience...
         for _ in 0..4 {
-            let ReadStep::Memory { grant, .. } = d.read(b, P1) else { panic!() };
+            let ReadStep::Memory { grant, .. } = d.read(b, P1) else {
+                panic!()
+            };
             assert_eq!(grant, GrantKind::TearOff);
         }
-        assert!(!d.entry(b).unwrap().tear, "read-heavy phase clears the tear bit");
+        assert!(
+            !d.entry(b).unwrap().tear,
+            "read-heavy phase clears the tear bit"
+        );
         // ...and the fifth read caches normally.
-        let ReadStep::Memory { grant, .. } = d.read(b, P1) else { panic!() };
+        let ReadStep::Memory { grant, .. } = d.read(b, P1) else {
+            panic!()
+        };
         assert_eq!(grant, GrantKind::Shared);
         d.check_invariants().unwrap();
     }
@@ -986,8 +1131,10 @@ mod tests {
         read_mem(&mut d, b, P0);
         read_mem(&mut d, b, P1);
         d.write(b, P0); // tear set, P0 owns
-        // Read while dirty: must forward, not tear off (memory is stale).
-        let ReadStep::Forward { owner } = d.read(b, P1) else { panic!() };
+                        // Read while dirty: must forward, not tear off (memory is stale).
+        let ReadStep::Forward { owner } = d.read(b, P1) else {
+            panic!()
+        };
         assert_eq!(owner, P0);
         let r = d.read_forward_result(b, P1, true, true);
         assert_eq!(r.grant, GrantKind::Shared, "DSI never grants exclusively");
@@ -1031,7 +1178,9 @@ mod tests {
         let b = blk(0);
         read_mem(&mut d, b, P0); // global read 1 (Clean)
         d.write(b, P0); // upgrade 1
-        let ReadStep::Forward { .. } = d.read(b, P1) else { panic!() }; // global read 2
+        let ReadStep::Forward { .. } = d.read(b, P1) else {
+            panic!()
+        }; // global read 2
         d.read_forward_result(b, P1, true, true); // DirtyExclusive
         let s = d.stats();
         assert_eq!(s.global_reads, 2);
@@ -1064,7 +1213,9 @@ mod tests {
         let b = blk(0);
         read_mem(&mut d, b, P0);
         d.write(b, P0);
-        let WriteStep::Forward { owner } = d.write(b, P1) else { panic!() };
+        let WriteStep::Forward { owner } = d.write(b, P1) else {
+            panic!()
+        };
         assert_eq!(owner, P0);
         let r = d.write_forward_result(b, P1, true);
         assert!(r.owner_was_modified);

@@ -62,7 +62,10 @@ impl ReadMissClass {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ReadStep {
     /// Home memory is current: reply directly with the given grant.
-    Memory { grant: GrantKind, class: ReadMissClass },
+    Memory {
+        grant: GrantKind,
+        class: ReadMissClass,
+    },
     /// A single cache holds the block with write permission; the engine must
     /// query/forward to it and then call
     /// [`crate::Directory::read_forward_result`] with `owner_modified`.
@@ -92,7 +95,10 @@ pub struct ReadResolution {
 pub enum WriteStep {
     /// Home can grant directly: invalidate the listed sharers; send data iff
     /// `data_needed` (write miss rather than upgrade).
-    Memory { invalidate: Vec<NodeId>, data_needed: bool },
+    Memory {
+        invalidate: Vec<NodeId>,
+        data_needed: bool,
+    },
     /// Block owned elsewhere: engine forwards, owner invalidates and ships
     /// data + ownership; conclude with
     /// [`crate::Directory::write_forward_result`].

@@ -51,7 +51,10 @@ struct Model {
 
 impl Model {
     fn new(kind: ProtocolKind, n: u16) -> Self {
-        Model { dir: Directory::new(ProtocolConfig::new(kind)), lines: vec![Line::I; n as usize] }
+        Model {
+            dir: Directory::new(ProtocolConfig::new(kind)),
+            lines: vec![Line::I; n as usize],
+        }
     }
 
     fn enabled(&self) -> Vec<Act> {
@@ -129,7 +132,10 @@ impl Model {
 
     fn write(&mut self, p: NodeId) {
         match self.dir.write(BLOCK, p) {
-            WriteStep::Memory { invalidate, data_needed } => {
+            WriteStep::Memory {
+                invalidate,
+                data_needed,
+            } => {
                 assert_eq!(data_needed, self.lines[p.idx()] == Line::I);
                 for v in invalidate {
                     assert_eq!(self.lines[v.idx()], Line::S, "invalidated a non-sharer");
@@ -150,7 +156,18 @@ impl Model {
     #[allow(clippy::type_complexity)]
     fn signature(
         &self,
-    ) -> (Vec<Line>, u8, u64, Option<u16>, bool, Option<u16>, u8, u8, bool, u8) {
+    ) -> (
+        Vec<Line>,
+        u8,
+        u64,
+        Option<u16>,
+        bool,
+        Option<u16>,
+        u8,
+        u8,
+        bool,
+        u8,
+    ) {
         let e = self.dir.entry(BLOCK);
         let (st, sh, lr, tag, lw, tv, dv, tear, tr) = match e {
             None => (0u8, 0u64, None, false, None, 0, 0, false, 0),
@@ -176,8 +193,11 @@ impl Model {
     fn check_invariants(&self, kind: ProtocolKind) {
         self.dir.check_invariants().unwrap();
         // SWMR.
-        let writable =
-            self.lines.iter().filter(|l| matches!(l, Line::X | Line::Xd | Line::M)).count();
+        let writable = self
+            .lines
+            .iter()
+            .filter(|l| matches!(l, Line::X | Line::Xd | Line::M))
+            .count();
         let shared = self.lines.iter().filter(|&&l| l == Line::S).count();
         assert!(writable <= 1, "multiple writable copies: {:?}", self.lines);
         assert!(
@@ -266,9 +286,17 @@ fn explore(kind: ProtocolKind, nodes: u16, depth: usize) -> usize {
 
 #[test]
 fn exhaustive_two_nodes_all_protocols() {
-    for kind in [ProtocolKind::Baseline, ProtocolKind::Ad, ProtocolKind::Ls, ProtocolKind::Dsi] {
+    for kind in [
+        ProtocolKind::Baseline,
+        ProtocolKind::Ad,
+        ProtocolKind::Ls,
+        ProtocolKind::Dsi,
+    ] {
         let states = explore(kind, 2, 8);
-        assert!(states > 10, "{kind:?}: exploration degenerate ({states} states)");
+        assert!(
+            states > 10,
+            "{kind:?}: exploration degenerate ({states} states)"
+        );
     }
 }
 
@@ -278,7 +306,10 @@ fn exhaustive_three_nodes_baseline_and_ls() {
     // covers every protocol corner (tag/de-tag/handoff/replacement chains).
     for kind in [ProtocolKind::Baseline, ProtocolKind::Ls] {
         let states = explore(kind, 3, 6);
-        assert!(states > 50, "{kind:?}: exploration degenerate ({states} states)");
+        assert!(
+            states > 50,
+            "{kind:?}: exploration degenerate ({states} states)"
+        );
     }
 }
 
@@ -293,7 +324,12 @@ fn exhaustive_ad_three_nodes() {
 /// home Uncached) — no stuck configurations.
 #[test]
 fn every_state_can_quiesce() {
-    for kind in [ProtocolKind::Baseline, ProtocolKind::Ad, ProtocolKind::Ls, ProtocolKind::Dsi] {
+    for kind in [
+        ProtocolKind::Baseline,
+        ProtocolKind::Ad,
+        ProtocolKind::Ls,
+        ProtocolKind::Dsi,
+    ] {
         let mut queue: VecDeque<Vec<Act>> = VecDeque::new();
         let mut visited = HashSet::new();
         queue.push_back(Vec::new());

@@ -14,7 +14,7 @@
 
 use ccsim_core::{Directory, GrantKind, HomeState, OwnerAction, ReadStep, WriteStep};
 use ccsim_types::{Addr, BlockAddr, NodeId, ProtocolConfig, ProtocolKind};
-use proptest::prelude::*;
+use ccsim_util::check::{cases, Gen};
 use std::collections::HashMap;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,12 +34,19 @@ enum Op {
     Evict { node: u16, block: u8 },
 }
 
-fn op_strategy(nodes: u16, blocks: u8) -> impl Strategy<Value = Op> {
-    (0..nodes, 0..blocks, 0..3u8).prop_map(|(node, block, kind)| match kind {
+fn gen_op(g: &mut Gen, nodes: u16, blocks: u8) -> Op {
+    let node = g.below(nodes as u64) as u16;
+    let block = g.below(blocks as u64) as u8;
+    match g.below(3) {
         0 => Op::Read { node, block },
         1 => Op::Write { node, block },
         _ => Op::Evict { node, block },
-    })
+    }
+}
+
+fn gen_ops(g: &mut Gen, nodes: u16, blocks: u8, max_len: usize) -> Vec<Op> {
+    let n = g.urange(1, max_len);
+    g.vec(n, |g| gen_op(g, nodes, blocks))
 }
 
 struct Harness {
@@ -85,9 +92,15 @@ impl Harness {
                 }
             }
             ReadStep::Forward { owner } => {
-                let owner_state =
-                    *self.holders(b).get(&owner).expect("directory forwarded to a non-holder");
-                assert_ne!(owner_state, MirrorState::S, "forward target must hold X or M");
+                let owner_state = *self
+                    .holders(b)
+                    .get(&owner)
+                    .expect("directory forwarded to a non-holder");
+                assert_ne!(
+                    owner_state,
+                    MirrorState::S,
+                    "forward target must hold X or M"
+                );
                 let owner_wrote = owner_state == MirrorState::M;
                 let owner_dirty = matches!(owner_state, MirrorState::M | MirrorState::Xd);
                 let r = self.dir.read_forward_result(b, p, owner_wrote, owner_dirty);
@@ -131,7 +144,10 @@ impl Harness {
             }
             Some(MirrorState::S) | None => {
                 match self.dir.write(b, p) {
-                    WriteStep::Memory { invalidate, data_needed } => {
+                    WriteStep::Memory {
+                        invalidate,
+                        data_needed,
+                    } => {
                         assert_eq!(
                             data_needed,
                             self.holders(b).get(&p).is_none(),
@@ -142,9 +158,16 @@ impl Harness {
                             assert_eq!(st, Some(MirrorState::S), "invalidated a non-sharer");
                         }
                         // Everyone else must be gone now.
-                        let left: Vec<_> =
-                            self.holders(b).keys().copied().filter(|&n| n != p).collect();
-                        assert!(left.is_empty(), "sharers survived an invalidation: {left:?}");
+                        let left: Vec<_> = self
+                            .holders(b)
+                            .keys()
+                            .copied()
+                            .filter(|&n| n != p)
+                            .collect();
+                        assert!(
+                            left.is_empty(),
+                            "sharers survived an invalidation: {left:?}"
+                        );
                         self.holders(b).insert(p, MirrorState::M);
                     }
                     WriteStep::Forward { owner } => {
@@ -171,14 +194,20 @@ impl Harness {
         let holders = self.mirror.get(&b).cloned().unwrap_or_default();
         match self.dir.entry(b).map(|e| e.state) {
             None | Some(HomeState::Uncached) => {
-                assert!(holders.is_empty(), "{b}: home Uncached but holders {holders:?}");
+                assert!(
+                    holders.is_empty(),
+                    "{b}: home Uncached but holders {holders:?}"
+                );
             }
             Some(HomeState::Shared) => {
                 assert!(!holders.is_empty());
                 let e = self.dir.entry(b).unwrap();
                 assert_eq!(e.sharers.len() as usize, holders.len());
                 for (n, st) in &holders {
-                    assert!(e.sharers.contains(*n), "{b}: mirror holder {n} not in sharer set");
+                    assert!(
+                        e.sharers.contains(*n),
+                        "{b}: mirror holder {n} not in sharer set"
+                    );
                     assert_eq!(*st, MirrorState::S, "{b}: Shared home but holder in {st:?}");
                 }
             }
@@ -210,79 +239,86 @@ fn run_ops(kind: ProtocolKind, ops: &[Op]) -> Harness {
     h
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn baseline_consistent_under_random_ops(
-        ops in proptest::collection::vec(op_strategy(4, 4), 1..200)
-    ) {
+#[test]
+fn baseline_consistent_under_random_ops() {
+    cases(256, |g| {
+        let ops = gen_ops(g, 4, 4, 200);
         let h = run_ops(ProtocolKind::Baseline, &ops);
-        prop_assert_eq!(h.exclusive_grants_seen, 0);
-        prop_assert_eq!(h.dir.stats().exclusive_grants, 0);
-        prop_assert_eq!(h.dir.stats().tag_events, 0);
-    }
+        assert_eq!(h.exclusive_grants_seen, 0);
+        assert_eq!(h.dir.stats().exclusive_grants, 0);
+        assert_eq!(h.dir.stats().tag_events, 0);
+    });
+}
 
-    #[test]
-    fn ls_consistent_under_random_ops(
-        ops in proptest::collection::vec(op_strategy(4, 4), 1..200)
-    ) {
+#[test]
+fn ls_consistent_under_random_ops() {
+    cases(256, |g| {
+        let ops = gen_ops(g, 4, 4, 200);
         let h = run_ops(ProtocolKind::Ls, &ops);
-        prop_assert_eq!(h.exclusive_grants_seen, h.dir.stats().exclusive_grants);
-    }
+        assert_eq!(h.exclusive_grants_seen, h.dir.stats().exclusive_grants);
+    });
+}
 
-    #[test]
-    fn ad_consistent_under_random_ops(
-        ops in proptest::collection::vec(op_strategy(4, 4), 1..200)
-    ) {
+#[test]
+fn ad_consistent_under_random_ops() {
+    cases(256, |g| {
+        let ops = gen_ops(g, 4, 4, 200);
         let h = run_ops(ProtocolKind::Ad, &ops);
-        prop_assert_eq!(h.exclusive_grants_seen, h.dir.stats().exclusive_grants);
-    }
+        assert_eq!(h.exclusive_grants_seen, h.dir.stats().exclusive_grants);
+    });
+}
 
-    #[test]
-    fn ls_consistent_with_more_nodes(
-        ops in proptest::collection::vec(op_strategy(32, 3), 1..150)
-    ) {
+#[test]
+fn ls_consistent_with_more_nodes() {
+    cases(256, |g| {
+        let ops = gen_ops(g, 32, 3, 150);
         run_ops(ProtocolKind::Ls, &ops);
-    }
+    });
+}
 
-    /// LS must remove at least as many ownership acquisitions as Baseline on
-    /// any access sequence: every ownership acquisition Baseline avoids
-    /// (cache-state reuse) LS avoids too, plus those removed by exclusive
-    /// grants. We assert the weaker, always-true form: for the identical op
-    /// sequence, LS performs no *more* ownership acquisitions than Baseline.
-    #[test]
-    fn ls_never_acquires_more_ownership_than_baseline(
-        ops in proptest::collection::vec(op_strategy(4, 4), 1..200)
-    ) {
+/// LS must remove at least as many ownership acquisitions as Baseline on
+/// any access sequence: every ownership acquisition Baseline avoids
+/// (cache-state reuse) LS avoids too, plus those removed by exclusive
+/// grants. We assert the weaker, always-true form: for the identical op
+/// sequence, LS performs no *more* ownership acquisitions than Baseline.
+#[test]
+fn ls_never_acquires_more_ownership_than_baseline() {
+    cases(256, |g| {
+        let ops = gen_ops(g, 4, 4, 200);
         let b = run_ops(ProtocolKind::Baseline, &ops);
         let l = run_ops(ProtocolKind::Ls, &ops);
-        prop_assert!(
+        assert!(
             l.dir.stats().ownership_acquisitions() <= b.dir.stats().ownership_acquisitions(),
             "LS {} > Baseline {}",
             l.dir.stats().ownership_acquisitions(),
             b.dir.stats().ownership_acquisitions()
         );
-    }
+    });
+}
 
-    /// DSI stays consistent under random ops, and tear-off grants never
-    /// register sharers.
-    #[test]
-    fn dsi_consistent_under_random_ops(
-        ops in proptest::collection::vec(op_strategy(4, 4), 1..200)
-    ) {
+/// DSI stays consistent under random ops, and tear-off grants never
+/// register sharers.
+#[test]
+fn dsi_consistent_under_random_ops() {
+    cases(256, |g| {
+        let ops = gen_ops(g, 4, 4, 200);
         let h = run_ops(ProtocolKind::Dsi, &ops);
-        prop_assert_eq!(h.dir.stats().exclusive_grants, 0, "DSI never grants exclusively");
-        prop_assert_eq!(h.dir.stats().tag_events, 0);
-    }
+        assert_eq!(
+            h.dir.stats().exclusive_grants,
+            0,
+            "DSI never grants exclusively"
+        );
+        assert_eq!(h.dir.stats().tag_events, 0);
+    });
+}
 
-    /// Tag/de-tag event counters stay balanced: a block can only be
-    /// de-tagged after being tagged (within one less; default-tagged off).
-    #[test]
-    fn ls_detags_never_exceed_tags(
-        ops in proptest::collection::vec(op_strategy(4, 4), 1..200)
-    ) {
+/// Tag/de-tag event counters stay balanced: a block can only be de-tagged
+/// after being tagged (within one less; default-tagged off).
+#[test]
+fn ls_detags_never_exceed_tags() {
+    cases(256, |g| {
+        let ops = gen_ops(g, 4, 4, 200);
         let h = run_ops(ProtocolKind::Ls, &ops);
-        prop_assert!(h.dir.stats().detag_events <= h.dir.stats().tag_events);
-    }
+        assert!(h.dir.stats().detag_events <= h.dir.stats().tag_events);
+    });
 }

@@ -1,0 +1,185 @@
+//! JSON encodings for [`RunStats`](crate::stats::RunStats) and its
+//! component statistics.
+//!
+//! This is the serialized form the run cache stores on disk and the export
+//! layer builds on. The encoding is total and lossless: decoding the
+//! encoded form reconstructs a `RunStats` that compares equal to the
+//! original, field for field — the determinism regression tests in
+//! `ccsim-harness` assert exactly that.
+
+use ccsim_util::{FromJson, Json, ToJson};
+
+use crate::machine::MachineCounters;
+use crate::oracle::{ComponentCounters, FalseSharingStats, OracleStats};
+use crate::stats::{ProcTimes, RunStats};
+
+impl ToJson for ProcTimes {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("busy", self.busy.to_json()),
+            ("read_stall", self.read_stall.to_json()),
+            ("write_stall", self.write_stall.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ProcTimes {
+    fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(ProcTimes {
+            busy: j.field("busy")?,
+            read_stall: j.field("read_stall")?,
+            write_stall: j.field("write_stall")?,
+        })
+    }
+}
+
+impl ToJson for ComponentCounters {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("global_writes", self.global_writes.to_json()),
+            ("ls_writes", self.ls_writes.to_json()),
+            ("migratory_writes", self.migratory_writes.to_json()),
+            ("eliminated", self.eliminated.to_json()),
+            ("eliminated_ls", self.eliminated_ls.to_json()),
+            ("eliminated_migratory", self.eliminated_migratory.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ComponentCounters {
+    fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(ComponentCounters {
+            global_writes: j.field("global_writes")?,
+            ls_writes: j.field("ls_writes")?,
+            migratory_writes: j.field("migratory_writes")?,
+            eliminated: j.field("eliminated")?,
+            eliminated_ls: j.field("eliminated_ls")?,
+            eliminated_migratory: j.field("eliminated_migratory")?,
+        })
+    }
+}
+
+impl ToJson for OracleStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("app", self.app.to_json()),
+            ("lib", self.lib.to_json()),
+            ("os", self.os.to_json()),
+        ])
+    }
+}
+
+impl FromJson for OracleStats {
+    fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(OracleStats {
+            app: j.field("app")?,
+            lib: j.field("lib")?,
+            os: j.field("os")?,
+        })
+    }
+}
+
+impl ToJson for FalseSharingStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("cold_or_capacity", self.cold_or_capacity.to_json()),
+            ("true_sharing", self.true_sharing.to_json()),
+            ("false_sharing", self.false_sharing.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FalseSharingStats {
+    fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(FalseSharingStats {
+            cold_or_capacity: j.field("cold_or_capacity")?,
+            true_sharing: j.field("true_sharing")?,
+            false_sharing: j.field("false_sharing")?,
+        })
+    }
+}
+
+impl ToJson for MachineCounters {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("l1_hits", self.l1_hits.to_json()),
+            ("l2_hits", self.l2_hits.to_json()),
+            ("silent_stores", self.silent_stores.to_json()),
+            ("dirty_hits", self.dirty_hits.to_json()),
+            ("retries", self.retries.to_json()),
+        ])
+    }
+}
+
+impl FromJson for MachineCounters {
+    fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(MachineCounters {
+            l1_hits: j.field("l1_hits")?,
+            l2_hits: j.field("l2_hits")?,
+            silent_stores: j.field("silent_stores")?,
+            dirty_hits: j.field("dirty_hits")?,
+            retries: j.field("retries")?,
+        })
+    }
+}
+
+impl ToJson for RunStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("protocol", self.protocol.to_json()),
+            ("config", self.config.to_json()),
+            ("exec_cycles", self.exec_cycles.to_json()),
+            ("per_proc", self.per_proc.to_json()),
+            ("traffic", self.traffic.to_json()),
+            ("dir", self.dir.to_json()),
+            ("machine", self.machine.to_json()),
+            ("oracle", self.oracle.to_json()),
+            ("false_sharing", self.false_sharing.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RunStats {
+    fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(RunStats {
+            protocol: j.field("protocol")?,
+            config: j.field("config")?,
+            exec_cycles: j.field("exec_cycles")?,
+            per_proc: j.field("per_proc")?,
+            traffic: j.field("traffic")?,
+            dir: j.field("dir")?,
+            machine: j.field("machine")?,
+            oracle: j.field("oracle")?,
+            false_sharing: j.field("false_sharing")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::SimBuilder;
+    use ccsim_types::{MachineConfig, ProtocolKind};
+
+    #[test]
+    fn run_stats_round_trip_is_field_identical() {
+        for kind in ProtocolKind::ALL {
+            let mut b = SimBuilder::new(MachineConfig::splash_baseline(kind));
+            let ctr = b.alloc().alloc_words(1);
+            for _ in 0..4 {
+                b.spawn(move |p| {
+                    for _ in 0..50 {
+                        p.fetch_add(ctr, 1);
+                        p.busy(11);
+                    }
+                });
+            }
+            let stats = b.run();
+            let text = stats.to_json().to_string();
+            let back = RunStats::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, stats, "{kind:?} round trip");
+            // Re-encoding the decoded value reproduces the bytes exactly.
+            assert_eq!(back.to_json().to_string(), text, "{kind:?} bytes");
+        }
+    }
+}

@@ -36,6 +36,7 @@
 //! global write action back-to-back with no intervening access, exactly the
 //! load-store sequence shape of §2.
 
+pub mod json;
 pub mod machine;
 pub mod oracle;
 pub mod run;

@@ -12,7 +12,7 @@ use ccsim_core::{Directory, GrantKind, OwnerAction, ReadStep, WriteStep};
 use ccsim_mem::{pages, Store};
 use ccsim_network::Network;
 use ccsim_types::{Addr, BlockAddr, Consistency, MachineConfig, MsgKind, NodeId};
-use rustc_hash::FxHashMap;
+use ccsim_util::FxHashMap;
 
 use crate::oracle::{Component, FalseSharing, LsOracle};
 
@@ -29,7 +29,7 @@ pub enum StallKind {
 }
 
 /// Engine-level counters not covered by the directory or the network.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MachineCounters {
     pub l1_hits: u64,
     pub l2_hits: u64,
@@ -73,7 +73,9 @@ impl Machine {
         Machine {
             store: Store::new(),
             net: Network::with_topology(cfg.nodes, cfg.latency, cfg.block_bytes(), cfg.topology),
-            dirs: (0..cfg.nodes).map(|_| Directory::new(cfg.protocol)).collect(),
+            dirs: (0..cfg.nodes)
+                .map(|_| Directory::new(cfg.protocol))
+                .collect(),
             caches: (0..cfg.nodes).map(|_| Hierarchy::new(&cfg)).collect(),
             block_busy: FxHashMap::default(),
             oracle: LsOracle::new(),
@@ -142,8 +144,11 @@ impl Machine {
             let vhome = self.home(ev.block.addr());
             self.dirs[vhome.idx()].replacement(ev.block, p);
             self.fs.on_replaced(ev.block, p);
-            let kind =
-                if ev.state.is_dirty() { MsgKind::ReplWriteback } else { MsgKind::ReplHint };
+            let kind = if ev.state.is_dirty() {
+                MsgKind::ReplWriteback
+            } else {
+                MsgKind::ReplHint
+            };
             self.net.send_background(t, p, vhome, kind);
         }
     }
@@ -225,7 +230,8 @@ impl Machine {
                     }
                 }
                 if res.sharing_writeback {
-                    self.net.send_background(t, owner, home, MsgKind::SharingWriteback);
+                    self.net
+                        .send_background(t, owner, home, MsgKind::SharingWriteback);
                 }
                 if res.notls {
                     self.net.send_background(t, owner, home, MsgKind::NotLs);
@@ -342,7 +348,11 @@ impl Machine {
         let lat = self.cfg.latency;
         let home = self.home(addr);
         let mut t = t0 + lat.l1_hit + lat.l2_hit;
-        let req = if has_copy { MsgKind::UpgradeReq } else { MsgKind::WriteMissReq };
+        let req = if has_copy {
+            MsgKind::UpgradeReq
+        } else {
+            MsgKind::WriteMissReq
+        };
         t = self.hop(t, p, home, req);
         t += lat.mc;
         t = self.wait_for_block(block, t, home, p);
@@ -351,7 +361,10 @@ impl Machine {
             Acquire::ReadExclusive => self.oracle.global_read(block, p),
         }
         match self.dirs[home.idx()].write(block, p) {
-            WriteStep::Memory { invalidate, data_needed } => {
+            WriteStep::Memory {
+                invalidate,
+                data_needed,
+            } => {
                 debug_assert_eq!(data_needed, !has_copy);
                 let mut done = if data_needed {
                     self.fs.on_miss(block, addr, p);
@@ -433,9 +446,7 @@ impl Machine {
             d.check_invariants()?;
         }
         let holders: Vec<(NodeId, LineState)> = (0..self.cfg.nodes)
-            .filter_map(|n| {
-                self.caches[n as usize].state(block).map(|s| (NodeId(n), s))
-            })
+            .filter_map(|n| self.caches[n as usize].state(block).map(|s| (NodeId(n), s)))
             .collect();
         match dir.entry(block).map(|e| e.state) {
             None | Some(ccsim_core::HomeState::Uncached) => {
@@ -629,7 +640,10 @@ mod tests {
         assert_eq!(o.global_writes, 8);
         assert_eq!(o.ls_writes, 8);
         assert_eq!(o.migratory_writes, 7, "all but the first sequence migrate");
-        assert!(o.eliminated > 0, "LS eliminated some ownership acquisitions");
+        assert!(
+            o.eliminated > 0,
+            "LS eliminated some ownership acquisitions"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! Tables 2 and 3 plus the false-sharing classification of Table 4.
 
 use ccsim_types::{BlockAddr, NodeId};
-use rustc_hash::FxHashMap;
+use ccsim_util::FxHashMap;
 
 /// Which part of the workload issued an access — the paper's Table 2 splits
 /// the OLTP workload into MySQL (application), system libraries, and the
@@ -69,7 +69,7 @@ impl ComponentCounters {
 }
 
 /// Aggregated oracle statistics.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct OracleStats {
     pub app: ComponentCounters,
     pub lib: ComponentCounters,
@@ -104,7 +104,9 @@ impl OracleStats {
 
     /// Table 2 row 1: fraction of global writes in load-store sequences.
     pub fn ls_fraction(&self, c: Option<Component>) -> f64 {
-        let k = c.map(|c| *self.component(c)).unwrap_or_else(|| self.total());
+        let k = c
+            .map(|c| *self.component(c))
+            .unwrap_or_else(|| self.total());
         if k.global_writes == 0 {
             0.0
         } else {
@@ -114,7 +116,9 @@ impl OracleStats {
 
     /// Table 2 row 2: fraction of load-store writes that are migratory.
     pub fn migratory_fraction(&self, c: Option<Component>) -> f64 {
-        let k = c.map(|c| *self.component(c)).unwrap_or_else(|| self.total());
+        let k = c
+            .map(|c| *self.component(c))
+            .unwrap_or_else(|| self.total());
         if k.ls_writes == 0 {
             0.0
         } else {
@@ -165,7 +169,10 @@ impl LsOracle {
     }
 
     fn track(&mut self, b: BlockAddr) -> &mut BlockTrack {
-        self.blocks.entry(b).or_insert(BlockTrack { last: None, prev_seq_node: None })
+        self.blocks.entry(b).or_insert(BlockTrack {
+            last: None,
+            prev_seq_node: None,
+        })
     }
 
     /// A global read action by `p` reached the home.
@@ -348,7 +355,10 @@ mod tests {
         let t = o.stats().total();
         assert_eq!(t.global_writes, 1);
         assert_eq!(t.ls_writes, 1);
-        assert_eq!(t.migratory_writes, 0, "first sequence on a block is not migratory");
+        assert_eq!(
+            t.migratory_writes, 0,
+            "first sequence on a block is not migratory"
+        );
     }
 
     #[test]

@@ -14,9 +14,7 @@
 //! access: exactly the load-store sequences of §2 of the paper.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::Arc;
-
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use ccsim_mem::Allocator;
 use ccsim_types::{Addr, MachineConfig, NodeId};
@@ -75,6 +73,13 @@ struct Shared {
 }
 
 impl Shared {
+    /// Lock the simulation state, tolerating poison: a panicking workload
+    /// thread is propagated separately via `resume_unwind`, and sibling
+    /// threads still need the lock to retire cleanly.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     fn wake_next(&self, g: &Inner, me: usize) {
         if let Some(next) = g.next_runner() {
             if next != me {
@@ -97,10 +102,12 @@ pub struct Proc {
 impl Proc {
     fn turn<R>(&self, f: impl FnOnce(&mut Inner) -> R) -> R {
         let me = self.id.idx();
-        let mut g = self.shared.inner.lock();
+        let mut g = self.shared.lock();
         while g.next_runner() != Some(me) {
             debug_assert!(g.active[me], "inactive processor issued an operation");
-            self.shared.cvs[me].wait(&mut g);
+            g = self.shared.cvs[me]
+                .wait(g)
+                .unwrap_or_else(|e| e.into_inner());
         }
         let r = f(&mut g);
         assert!(
@@ -354,16 +361,21 @@ impl SimBuilder {
             max_cycles: self.max_cycles,
             trace: if self.capture { Some(Vec::new()) } else { None },
         };
-        let shared =
-            Arc::new(Shared { inner: Mutex::new(inner), cvs: (0..n).map(|_| Condvar::new()).collect() });
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(inner),
+            cvs: (0..n).map(|_| Condvar::new()).collect(),
+        });
 
         let handles: Vec<_> = self
             .programs
             .into_iter()
             .enumerate()
             .map(|(i, prog)| {
-                let proc_handle =
-                    Proc { shared: Arc::clone(&shared), id: NodeId(i as u16), nodes: cfg.nodes };
+                let proc_handle = Proc {
+                    shared: Arc::clone(&shared),
+                    id: NodeId(i as u16),
+                    nodes: cfg.nodes,
+                };
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("ccsim-p{i}"))
@@ -372,7 +384,7 @@ impl SimBuilder {
                         // Retire this processor and hand the turn on, even on
                         // panic, so sibling threads can finish or fail fast.
                         {
-                            let g = &mut *shared.inner.lock();
+                            let g = &mut *shared.lock();
                             g.active[i] = false;
                             if let Some(next) = g.next_runner() {
                                 shared.cvs[next].notify_one();
@@ -400,10 +412,13 @@ impl SimBuilder {
             .map_err(|_| "simulation threads leaked a Proc handle")
             .unwrap_or_else(|m| panic!("{m}"))
             .inner
-            .into_inner();
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner());
         let mut inner = inner;
-        let trace =
-            inner.trace.take().map(|events| Trace { events, procs: num as u16 });
+        let trace = inner.trace.take().map(|events| Trace {
+            events,
+            procs: num as u16,
+        });
         let exec_cycles = inner.clocks.iter().take(num).copied().max().unwrap_or(0);
         let stats = RunStats {
             protocol: cfg.protocol.kind,
@@ -416,7 +431,11 @@ impl SimBuilder {
             oracle: *inner.machine.oracle_stats(),
             false_sharing: *inner.machine.false_sharing_stats(),
         };
-        FinishedSim { stats, machine: inner.machine, trace }
+        FinishedSim {
+            stats,
+            machine: inner.machine,
+            trace,
+        }
     }
 }
 
@@ -575,7 +594,11 @@ mod tests {
             )
         }
         for kind in ProtocolKind::ALL {
-            assert_eq!(one_run(kind), one_run(kind), "{kind:?} run not deterministic");
+            assert_eq!(
+                one_run(kind),
+                one_run(kind),
+                "{kind:?} run not deterministic"
+            );
         }
     }
 

@@ -31,7 +31,7 @@ impl ProcTimes {
 }
 
 /// Everything a paper figure or table needs from one run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunStats {
     pub protocol: ProtocolKind,
     pub config: MachineConfig,
@@ -101,7 +101,11 @@ mod tests {
 
     #[test]
     fn proc_times_sum() {
-        let a = ProcTimes { busy: 10, read_stall: 5, write_stall: 3 };
+        let a = ProcTimes {
+            busy: 10,
+            read_stall: 5,
+            write_stall: 3,
+        };
         assert_eq!(a.total(), 18);
         let mut b = ProcTimes::default();
         b.add(&a);

@@ -286,8 +286,15 @@ mod tests {
     #[test]
     fn replay_under_different_protocol() {
         let (base, trace) = capture_counter_run(ProtocolKind::Baseline);
-        let ls = replay(MachineConfig::splash_baseline(ProtocolKind::Ls), &trace, &[]);
-        assert!(ls.machine.silent_stores > 0, "LS replay should fire the optimization");
+        let ls = replay(
+            MachineConfig::splash_baseline(ProtocolKind::Ls),
+            &trace,
+            &[],
+        );
+        assert!(
+            ls.machine.silent_stores > 0,
+            "LS replay should fire the optimization"
+        );
         assert!(ls.write_stall() < base.write_stall());
         assert!(ls.traffic.total_bytes() < base.traffic.total_bytes());
     }
@@ -326,9 +333,16 @@ mod tests {
             .events()
             .iter()
             .any(|e| matches!(e.op, TraceOp::SetComponent(Component::Os))));
-        assert!(trace.events().iter().any(|e| matches!(e.op, TraceOp::LoadExclusive(_))));
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| matches!(e.op, TraceOp::LoadExclusive(_))));
         // Replay preserves the component attribution.
-        let r = replay(MachineConfig::splash_baseline(ProtocolKind::Baseline), &trace, &[]);
+        let r = replay(
+            MachineConfig::splash_baseline(ProtocolKind::Baseline),
+            &trace,
+            &[],
+        );
         assert_eq!(r.oracle.component(Component::Os).global_writes, 1);
     }
 
@@ -346,7 +360,11 @@ mod tests {
         let trace = done.take_trace().unwrap();
         // Replay applies the captured store value: memory must end at 42
         // regardless of seeding — the trace carries the computed value.
-        let r = replay(MachineConfig::splash_baseline(ProtocolKind::Ls), &trace, &[(a, 41)]);
+        let r = replay(
+            MachineConfig::splash_baseline(ProtocolKind::Ls),
+            &trace,
+            &[(a, 41)],
+        );
         assert_eq!(r.dir.global_reads, 1);
     }
 }

@@ -4,16 +4,24 @@
 //! sequential semantics of the flat memory image.
 
 use ccsim_engine::{Machine, SimBuilder, StallKind};
-use ccsim_types::{
-    Addr, CacheConfig, MachineConfig, NodeId, ProtocolKind, SimRng,
-};
+use ccsim_types::{Addr, CacheConfig, MachineConfig, NodeId, ProtocolKind, SimRng};
 
 /// Tiny caches force constant replacement traffic — the hardest regime for
 /// directory accuracy.
 fn tiny_cfg(kind: ProtocolKind) -> MachineConfig {
     let mut c = MachineConfig::splash_baseline(kind);
-    c.l1 = CacheConfig { size_bytes: 32, assoc: 1, block_bytes: 16, access_cycles: 1 };
-    c.l2 = CacheConfig { size_bytes: 128, assoc: 1, block_bytes: 16, access_cycles: 10 };
+    c.l1 = CacheConfig {
+        size_bytes: 32,
+        assoc: 1,
+        block_bytes: 16,
+        access_cycles: 1,
+    };
+    c.l2 = CacheConfig {
+        size_bytes: 128,
+        assoc: 1,
+        block_bytes: 16,
+        access_cycles: 10,
+    };
     c
 }
 
@@ -151,7 +159,10 @@ fn stall_accounting_is_exhaustive() {
     // Each processor's clock equals its own attribution total — verified
     // indirectly: the max attribution total must equal exec_cycles.
     let max_total = s.per_proc.iter().map(|t| t.total()).max().unwrap();
-    assert_eq!(max_total, s.exec_cycles, "cycles leaked from the attribution");
+    assert_eq!(
+        max_total, s.exec_cycles,
+        "cycles leaked from the attribution"
+    );
 }
 
 /// StallKind is part of the public API surface used by replay; keep its

@@ -1,0 +1,226 @@
+//! A set of independent simulation jobs fanned across a bounded worker
+//! pool, with deterministic result ordering.
+//!
+//! Each simulation run already spawns one OS thread per simulated processor
+//! and serializes them under the engine lock, so a run occupies roughly one
+//! core regardless of its node count — but its *threads* all exist at once.
+//! The pool budget therefore divides the host's cores by the widest job's
+//! processor count, keeping the total live-thread count bounded while still
+//! running independent experiments concurrently.
+//!
+//! Results come back in submission order no matter which worker finished
+//! first, and every job goes through the run cache, so a `JobSet` is a
+//! drop-in replacement for a sequential `for` loop over `run_spec` calls:
+//! same values, same order, less wall-clock.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use ccsim_engine::RunStats;
+use ccsim_types::{MachineConfig, ProtocolKind};
+use ccsim_workloads::Spec;
+
+use crate::cache::{run_cached_at, CacheMode};
+
+/// One independent simulation: a machine configuration plus a workload.
+#[derive(Clone, Debug)]
+pub struct Job {
+    pub cfg: MachineConfig,
+    pub spec: Spec,
+}
+
+/// Worker budget for jobs that each spawn `procs_per_run` simulated
+/// processors: host cores divided by that width, at least 1. The
+/// `CCSIM_JOBS` environment variable overrides the result (0 is ignored).
+pub fn default_workers(procs_per_run: usize) -> usize {
+    if let Some(n) = std::env::var("CCSIM_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        if n > 0 {
+            return n;
+        }
+    }
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    (host / procs_per_run.max(1)).max(1)
+}
+
+/// An ordered batch of independent simulation jobs.
+#[derive(Default)]
+pub struct JobSet {
+    jobs: Vec<Job>,
+}
+
+impl JobSet {
+    pub fn new() -> Self {
+        JobSet::default()
+    }
+
+    /// Queue one run; returns its index in the result vector.
+    pub fn push(&mut self, cfg: MachineConfig, spec: Spec) -> usize {
+        self.jobs.push(Job { cfg, spec });
+        self.jobs.len() - 1
+    }
+
+    /// Queue the same workload under several protocols (the shape every
+    /// figure uses); returns the index of the first.
+    pub fn push_protocols(
+        &mut self,
+        cfg: MachineConfig,
+        spec: &Spec,
+        kinds: &[ProtocolKind],
+    ) -> usize {
+        let first = self.jobs.len();
+        for &k in kinds {
+            self.push(cfg.with_protocol(k), spec.clone());
+        }
+        first
+    }
+
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Run every job and return results in submission order, using the
+    /// environment-configured cache mode and worker budget.
+    pub fn run(self) -> Vec<RunStats> {
+        let widest = self
+            .jobs
+            .iter()
+            .map(|j| j.cfg.nodes as usize)
+            .max()
+            .unwrap_or(1);
+        let workers = default_workers(widest);
+        self.run_with(workers, CacheMode::from_env(), crate::cache::default_dir())
+    }
+
+    /// Run with an explicit worker count, cache mode and cache directory
+    /// (the form tests use — no environment reads).
+    pub fn run_with(self, workers: usize, mode: CacheMode, dir: PathBuf) -> Vec<RunStats> {
+        let jobs = self.jobs;
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = workers.clamp(1, n);
+        if workers == 1 {
+            // Degenerate pool: run inline, no thread overhead.
+            return jobs
+                .into_iter()
+                .map(|j| run_cached_at(j.cfg, &j.spec, mode, &dir))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<RunStats>>> = Mutex::new((0..n).map(|_| None).collect());
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    // Work-stealing index: whichever worker is free takes
+                    // the next job; the result slot keeps submission order.
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let job = &jobs[i];
+                    let stats = run_cached_at(job.cfg, &job.spec, mode, &dir);
+                    results.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(stats);
+                });
+            }
+        });
+        results
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .into_iter()
+            .map(|r| r.expect("worker completed every claimed job"))
+            .collect()
+    }
+}
+
+/// Run one workload under each of `kinds` in parallel; results align with
+/// `kinds` by index. The common "all three protocols" case in one call.
+pub fn run_protocols(cfg: MachineConfig, spec: &Spec, kinds: &[ProtocolKind]) -> Vec<RunStats> {
+    let mut set = JobSet::new();
+    set.push_protocols(cfg, spec, kinds);
+    set.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsim_types::MachineConfig;
+    use ccsim_workloads::mp3d::Mp3dParams;
+
+    fn tiny_spec(particles: u64) -> Spec {
+        let mut p = Mp3dParams::quick();
+        p.particles = particles;
+        p.steps = 1;
+        Spec::Mp3d(p)
+    }
+
+    #[test]
+    fn results_keep_submission_order() {
+        let mut set = JobSet::new();
+        let cfg = MachineConfig::splash_baseline(ProtocolKind::Baseline);
+        for kind in [ProtocolKind::Ls, ProtocolKind::Baseline, ProtocolKind::Ad] {
+            set.push(cfg.with_protocol(kind), tiny_spec(24));
+        }
+        assert_eq!(set.len(), 3);
+        let out = set.run_with(3, CacheMode::Off, crate::cache::default_dir());
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].protocol, ProtocolKind::Ls);
+        assert_eq!(out[1].protocol, ProtocolKind::Baseline);
+        assert_eq!(out[2].protocol, ProtocolKind::Ad);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let cfg = MachineConfig::splash_baseline(ProtocolKind::Baseline);
+        let build = || {
+            let mut set = JobSet::new();
+            for kind in ProtocolKind::ALL {
+                set.push(cfg.with_protocol(kind), tiny_spec(32));
+            }
+            for particles in [16, 24] {
+                set.push(cfg, tiny_spec(particles));
+            }
+            set
+        };
+        let serial = build().run_with(1, CacheMode::Off, crate::cache::default_dir());
+        let parallel = build().run_with(4, CacheMode::Off, crate::cache::default_dir());
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn push_protocols_expands_in_order() {
+        let mut set = JobSet::new();
+        let cfg = MachineConfig::splash_baseline(ProtocolKind::Baseline);
+        let first = set.push_protocols(cfg, &tiny_spec(16), &ProtocolKind::ALL);
+        assert_eq!(first, 0);
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn empty_set_runs_to_empty() {
+        assert!(JobSet::new().is_empty());
+        assert_eq!(
+            JobSet::new()
+                .run_with(4, CacheMode::Off, crate::cache::default_dir())
+                .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers(4) >= 1);
+        assert!(default_workers(0) >= 1);
+        assert!(default_workers(usize::MAX) >= 1);
+    }
+}

@@ -1,0 +1,107 @@
+//! Determinism regression tests for the run cache and the worker pool.
+//!
+//! The whole harness rests on one property: a `(MachineConfig, Spec)` pair
+//! always produces bit-for-bit identical `RunStats`. These tests pin the
+//! two consequences the harness exploits — a cached entry's bytes equal a
+//! fresh run's canonical encoding, and the worker count never changes
+//! results — at the integration level, across protocols and workloads.
+
+use std::path::PathBuf;
+
+use ccsim_harness::{cache, CacheMode, JobSet};
+use ccsim_types::{MachineConfig, ProtocolKind};
+use ccsim_util::{Json, ToJson};
+use ccsim_workloads::{cholesky, mp3d, run_spec, Spec};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("ccsim-determinism-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn tiny_mp3d() -> Spec {
+    let mut p = mp3d::Mp3dParams::quick();
+    p.particles = 32;
+    p.steps = 1;
+    Spec::Mp3d(p)
+}
+
+fn tiny_cholesky() -> Spec {
+    let mut p = cholesky::CholeskyParams::quick();
+    p.cols = 8;
+    p.col_words = 16;
+    p.waves = 1;
+    Spec::Cholesky(p)
+}
+
+/// The bytes the cache stores are exactly the fresh run's pretty-printed
+/// canonical JSON — so a warm replay is not merely equal, it is the same
+/// document, under every protocol.
+#[test]
+fn cached_entry_bytes_equal_fresh_encoding() {
+    let dir = temp_dir("bytes");
+    let spec = tiny_mp3d();
+    for kind in ProtocolKind::ALL {
+        let cfg = MachineConfig::splash_baseline(kind);
+        let fresh = run_spec(cfg, &spec);
+        let cached = cache::run_cached_at(cfg, &spec, CacheMode::ReadWrite, &dir);
+        assert_eq!(cached, fresh, "{kind:?}: cache round trip changed a field");
+
+        let entry = dir.join(format!("{}.json", cache::run_key(&cfg, &spec)));
+        let on_disk = std::fs::read_to_string(&entry).unwrap();
+        assert_eq!(on_disk, fresh.to_json().pretty(), "{kind:?}: entry bytes");
+
+        // And the stored document re-encodes to itself (canonical form).
+        let reparsed = Json::parse(&on_disk).unwrap();
+        assert_eq!(reparsed.pretty(), on_disk, "{kind:?}: not canonical");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A cache hit returns stats field-identical to simulating from scratch,
+/// even when the entry was written by a different configuration's sibling
+/// runs filling the same directory.
+#[test]
+fn warm_cache_replays_field_identical_stats() {
+    let dir = temp_dir("replay");
+    let specs = [tiny_mp3d(), tiny_cholesky()];
+    let cfg = MachineConfig::splash_baseline(ProtocolKind::Ls);
+    // Fill the cache.
+    for spec in &specs {
+        cache::run_cached_at(cfg, spec, CacheMode::ReadWrite, &dir);
+    }
+    // Replay must match a from-scratch simulation exactly.
+    for spec in &specs {
+        let replayed = cache::run_cached_at(cfg, spec, CacheMode::ReadOnly, &dir);
+        assert_eq!(replayed, run_spec(cfg, spec), "{}", spec.name());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// JobSet results are identical whatever the worker count — one inline
+/// worker, a small pool, or more workers than jobs — and identical again
+/// when served from a warm cache.
+#[test]
+fn worker_count_and_cache_state_never_change_results() {
+    let dir = temp_dir("workers");
+    let build = || {
+        let mut set = JobSet::new();
+        for kind in ProtocolKind::ALL {
+            set.push(MachineConfig::splash_baseline(kind), tiny_mp3d());
+            set.push(MachineConfig::splash_baseline(kind), tiny_cholesky());
+        }
+        set
+    };
+    let inline = build().run_with(1, CacheMode::Off, dir.clone());
+    let pooled = build().run_with(3, CacheMode::Off, dir.clone());
+    let oversubscribed = build().run_with(64, CacheMode::Off, dir.clone());
+    assert_eq!(inline, pooled);
+    assert_eq!(inline, oversubscribed);
+
+    // Cold rw fills the cache; warm rw replays it. Same results throughout.
+    let cold = build().run_with(3, CacheMode::ReadWrite, dir.clone());
+    let warm = build().run_with(3, CacheMode::ReadWrite, dir.clone());
+    assert_eq!(inline, cold);
+    assert_eq!(inline, warm);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -24,7 +24,11 @@ impl Allocator {
     pub fn new(base: u64, page_bytes: u64, nodes: u16) -> Self {
         assert!(page_bytes.is_power_of_two());
         assert!(nodes > 0);
-        Allocator { next: base, page_bytes, nodes }
+        Allocator {
+            next: base,
+            page_bytes,
+            nodes,
+        }
     }
 
     fn align_up(x: u64, align: u64) -> u64 {
@@ -56,7 +60,10 @@ impl Allocator {
     /// Allocate `bytes` (aligned to `align`) inside pages homed at `node`.
     /// The allocation must fit within one page.
     pub fn alloc_on_node(&mut self, bytes: u64, align: u64, node: NodeId) -> Addr {
-        assert!(bytes <= self.page_bytes, "node-targeted allocation exceeds a page");
+        assert!(
+            bytes <= self.page_bytes,
+            "node-targeted allocation exceeds a page"
+        );
         loop {
             let at = Self::align_up(self.next, align);
             let end = at + bytes - 1;

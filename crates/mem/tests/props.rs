@@ -1,15 +1,16 @@
-//! Property tests for the memory substrate.
+//! Property tests for the memory substrate (deterministic cases via
+//! `ccsim_util::check`).
 
 use ccsim_mem::{pages, Allocator, Store};
 use ccsim_types::{Addr, NodeId};
-use proptest::prelude::*;
+use ccsim_util::check::cases;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The store behaves as a map from word-aligned addresses to values.
-    #[test]
-    fn store_is_a_word_map(writes in proptest::collection::vec((0u64..1 << 20, any::<u64>()), 1..200)) {
+/// The store behaves as a map from word-aligned addresses to values.
+#[test]
+fn store_is_a_word_map() {
+    cases(256, |g| {
+        let n = g.urange(1, 200);
+        let writes = g.vec(n, |g| (g.below(1 << 20), g.u64()));
         let mut s = Store::new();
         let mut model = std::collections::HashMap::new();
         for (w, v) in &writes {
@@ -18,24 +19,33 @@ proptest! {
             model.insert(*w, *v);
         }
         for (w, v) in &model {
-            prop_assert_eq!(s.load(Addr(w * 8)), *v);
+            assert_eq!(s.load(Addr(w * 8)), *v);
         }
-    }
+    });
+}
 
-    /// Sub-word addresses alias onto their containing word.
-    #[test]
-    fn byte_addresses_alias_words(base in 0u64..1 << 16, off in 0u64..8, v: u64) {
+/// Sub-word addresses alias onto their containing word.
+#[test]
+fn byte_addresses_alias_words() {
+    cases(256, |g| {
+        let base = g.below(1 << 16);
+        let off = g.below(8);
+        let v = g.u64();
         let mut s = Store::new();
         s.store(Addr(base * 8), v);
-        prop_assert_eq!(s.load(Addr(base * 8 + off)), v);
-    }
+        assert_eq!(s.load(Addr(base * 8 + off)), v);
+    });
+}
 
-    /// Allocations never overlap, whatever the interleaving of plain,
-    /// padded, and node-targeted requests.
-    #[test]
-    fn allocations_never_overlap(
-        reqs in proptest::collection::vec((1u64..300, 0..3u8, 0..4u16), 1..100)
-    ) {
+/// Allocations never overlap, whatever the interleaving of plain, padded,
+/// and node-targeted requests.
+#[test]
+fn allocations_never_overlap() {
+    cases(256, |g| {
+        let n = g.urange(1, 100);
+        let reqs = g.vec(n, |g| {
+            (g.range(1, 300), g.below(3) as u8, g.below(4) as u16)
+        });
         let mut a = Allocator::new(0x1000, 4096, 4);
         let mut spans: Vec<(u64, u64)> = Vec::new();
         for (bytes, kind, node) in reqs {
@@ -46,33 +56,46 @@ proptest! {
             };
             let span = (at.0, at.0 + bytes);
             for &(s0, s1) in &spans {
-                prop_assert!(span.1 <= s0 || span.0 >= s1,
-                    "overlap: [{:#x},{:#x}) vs [{s0:#x},{s1:#x})", span.0, span.1);
+                assert!(
+                    span.1 <= s0 || span.0 >= s1,
+                    "overlap: [{:#x},{:#x}) vs [{s0:#x},{s1:#x})",
+                    span.0,
+                    span.1
+                );
             }
             spans.push(span);
         }
-    }
+    });
+}
 
-    /// Node-targeted allocations land entirely on pages of that node.
-    #[test]
-    fn node_alloc_is_homed_correctly(
-        reqs in proptest::collection::vec((1u64..2048, 0..4u16), 1..50)
-    ) {
+/// Node-targeted allocations land entirely on pages of that node.
+#[test]
+fn node_alloc_is_homed_correctly() {
+    cases(256, |g| {
+        let n = g.urange(1, 50);
+        let reqs = g.vec(n, |g| (g.range(1, 2048), g.below(4) as u16));
         let mut a = Allocator::new(0x1000, 4096, 4);
         for (bytes, node) in reqs {
             let at = a.alloc_on_node(bytes, 8, NodeId(node));
-            prop_assert_eq!(pages::home_node(at, 4096, 4), NodeId(node));
-            prop_assert_eq!(pages::home_node(at.offset(bytes - 1), 4096, 4), NodeId(node));
+            assert_eq!(pages::home_node(at, 4096, 4), NodeId(node));
+            assert_eq!(
+                pages::home_node(at.offset(bytes - 1), 4096, 4),
+                NodeId(node)
+            );
         }
-    }
+    });
+}
 
-    /// Page homing is a pure round-robin function of the page index.
-    #[test]
-    fn homing_is_round_robin(addr in 0u64..1 << 40, nodes in 1u16..64) {
+/// Page homing is a pure round-robin function of the page index.
+#[test]
+fn homing_is_round_robin() {
+    cases(256, |g| {
+        let addr = g.below(1 << 40);
+        let nodes = g.range(1, 64) as u16;
         let h = pages::home_node(Addr(addr), 4096, nodes);
-        prop_assert_eq!(h.0 as u64, (addr / 4096) % nodes as u64);
+        assert_eq!(h.0 as u64, (addr / 4096) % nodes as u64);
         // Stable within a page.
         let page_start = addr / 4096 * 4096;
-        prop_assert_eq!(pages::home_node(Addr(page_start), 4096, nodes), h);
-    }
+        assert_eq!(pages::home_node(Addr(page_start), 4096, nodes), h);
+    });
 }

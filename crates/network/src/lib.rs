@@ -15,6 +15,7 @@
 //! read/write/other [`MsgClass`] categories.
 
 use ccsim_types::{LatencyConfig, MsgClass, MsgKind, NodeId, Topology};
+use ccsim_util::{FromJson, Json, ToJson};
 
 /// Injection bandwidth of a network interface (bytes per cycle).
 pub const LINK_BYTES_PER_CYCLE: u64 = 8;
@@ -27,7 +28,7 @@ pub struct ClassCounters {
 }
 
 /// Network traffic statistics.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Traffic {
     read: ClassCounters,
     write: ClassCounters,
@@ -97,6 +98,90 @@ impl Traffic {
             *self.by_kind.entry(k).or_insert(0) += v;
         }
     }
+}
+
+impl ToJson for ClassCounters {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("messages", self.messages.to_json()),
+            ("bytes", self.bytes.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ClassCounters {
+    fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(ClassCounters {
+            messages: j.field("messages")?,
+            bytes: j.field("bytes")?,
+        })
+    }
+}
+
+impl ToJson for Traffic {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("read", self.read.to_json()),
+            ("write", self.write.to_json()),
+            ("other", self.other.to_json()),
+            ("invalidations", self.invalidations.to_json()),
+            (
+                "by_kind",
+                Json::Obj(
+                    self.by_kind
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl FromJson for Traffic {
+    fn from_json(j: &Json) -> Result<Self, String> {
+        let mut by_kind = std::collections::BTreeMap::new();
+        for (k, v) in j.req("by_kind")?.as_obj()? {
+            let name = intern_kind_name(k)
+                .ok_or_else(|| format!("unknown message kind `{k}` in traffic"))?;
+            by_kind.insert(name, v.as_u64()?);
+        }
+        Ok(Traffic {
+            read: j.field("read")?,
+            write: j.field("write")?,
+            other: j.field("other")?,
+            invalidations: j.field("invalidations")?,
+            by_kind,
+        })
+    }
+}
+
+/// Map a decoded kind name back onto the `'static` key [`Traffic::by_kind`]
+/// uses internally. `None` for names no [`MsgKind`] produces — a decode of
+/// such data fails loudly rather than dropping counters.
+fn intern_kind_name(s: &str) -> Option<&'static str> {
+    use MsgKind::*;
+    const ALL: [MsgKind; 18] = [
+        ReadReq,
+        ReadReply,
+        ReadExclReply,
+        ReadForward,
+        OwnerReply,
+        SharingWriteback,
+        UpgradeReq,
+        UpgradeAck,
+        WriteMissReq,
+        WriteMissReply,
+        WriteForward,
+        OwnerWriteReply,
+        Inval,
+        InvalAck,
+        ReplWriteback,
+        ReplHint,
+        NotLs,
+        Retry,
+    ];
+    ALL.into_iter().map(kind_name).find(|&n| n == s)
 }
 
 fn kind_name(kind: MsgKind) -> &'static str {
@@ -319,7 +404,7 @@ mod tests {
         );
         // A long message 1->2 occupies link (1,2).
         n.send(0, NodeId(1), NodeId(2), MsgKind::ReadReply); // occupancy 3
-        // A message 0->3 must cross (1,2) and queues behind it there.
+                                                             // A message 0->3 must cross (1,2) and queues behind it there.
         let t = n.send(0, NodeId(0), NodeId(3), MsgKind::ReadReq);
         // Link (0,1): start 0, arrive 40. Link (1,2): busy until 3 but we
         // arrive at 40 anyway -> 80. Link (2,3): -> 120.
@@ -330,6 +415,27 @@ mod tests {
         }
         let t2 = n.send(200, NodeId(0), NodeId(3), MsgKind::ReadReq);
         assert!(t2 > 200 + 120, "congested middle link must delay the route");
+    }
+
+    #[test]
+    fn traffic_json_round_trips() {
+        let mut n = net();
+        n.send(0, NodeId(0), NodeId(1), MsgKind::ReadReply);
+        n.send(0, NodeId(0), NodeId(2), MsgKind::Inval);
+        n.send_background(0, NodeId(1), NodeId(0), MsgKind::SharingWriteback);
+        let t = n.traffic().clone();
+        let back = Traffic::from_json(&Json::parse(&t.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back, t);
+        // Unknown kinds must fail the decode, not vanish.
+        let mut j = t.to_json();
+        if let Json::Obj(fields) = &mut j {
+            for (k, v) in fields.iter_mut() {
+                if k == "by_kind" {
+                    *v = Json::obj(vec![("Bogus", Json::U64(1))]);
+                }
+            }
+        }
+        assert!(Traffic::from_json(&j).is_err());
     }
 
     #[test]

@@ -1,8 +1,9 @@
-//! Property tests for the interconnect.
+//! Property tests for the interconnect (deterministic cases via
+//! `ccsim_util::check`).
 
 use ccsim_network::Network;
 use ccsim_types::{LatencyConfig, MsgKind, NodeId, Topology};
-use proptest::prelude::*;
+use ccsim_util::check::{cases, Gen};
 
 const KINDS: [MsgKind; 6] = [
     MsgKind::ReadReq,
@@ -13,35 +14,50 @@ const KINDS: [MsgKind; 6] = [
     MsgKind::Retry,
 ];
 
-fn msgs() -> impl Strategy<Value = (u64, u16, u16, usize)> {
-    (0u64..10_000, 0u16..8, 0u16..8, 0usize..KINDS.len())
+fn msg(g: &mut Gen) -> (u64, u16, u16, usize) {
+    (
+        g.below(10_000),
+        g.below(8) as u16,
+        g.below(8) as u16,
+        g.urange(0, KINDS.len()),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Arrivals never precede sends, and remote arrivals pay at least one
-    /// full traversal — under both topologies.
-    #[test]
-    fn arrival_bounds(seq in proptest::collection::vec(msgs(), 1..200), mesh: bool) {
-        let topo = if mesh { Topology::Mesh2D { width: 4 } } else { Topology::PointToPoint };
+/// Arrivals never precede sends, and remote arrivals pay at least one full
+/// traversal — under both topologies.
+#[test]
+fn arrival_bounds() {
+    cases(256, |g| {
+        let topo = if g.bool() {
+            Topology::Mesh2D { width: 4 }
+        } else {
+            Topology::PointToPoint
+        };
+        let len = g.urange(1, 200);
+        let seq = g.vec(len, msg);
         let mut n = Network::with_topology(8, LatencyConfig::default(), 32, topo);
         for (now, from, to, k) in seq {
             let t = n.send(now, NodeId(from), NodeId(to), KINDS[k]);
             if from == to {
-                prop_assert_eq!(t, now, "intra-node transfers are free");
+                assert_eq!(t, now, "intra-node transfers are free");
             } else {
                 let hops = topo.hops(NodeId(from), NodeId(to));
-                prop_assert!(t >= now + 40 * hops,
-                    "arrival {t} earlier than {hops} uncongested hops from {now}");
+                assert!(
+                    t >= now + 40 * hops,
+                    "arrival {t} earlier than {hops} uncongested hops from {now}"
+                );
             }
         }
-    }
+    });
+}
 
-    /// Traffic accounting: total bytes equal the sum of per-message sizes,
-    /// and message counts match the number of remote sends.
-    #[test]
-    fn traffic_accounting_is_exact(seq in proptest::collection::vec(msgs(), 1..200)) {
+/// Traffic accounting: total bytes equal the sum of per-message sizes, and
+/// message counts match the number of remote sends.
+#[test]
+fn traffic_accounting_is_exact() {
+    cases(256, |g| {
+        let len = g.urange(1, 200);
+        let seq = g.vec(len, msg);
         let mut n = Network::new(8, LatencyConfig::default(), 32);
         let mut bytes = 0u64;
         let mut remote = 0u64;
@@ -56,42 +72,50 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(n.traffic().total_messages(), remote);
-        prop_assert_eq!(n.traffic().total_bytes(), bytes);
-        prop_assert_eq!(n.traffic().invalidations(), invals);
-    }
+        assert_eq!(n.traffic().total_messages(), remote);
+        assert_eq!(n.traffic().total_bytes(), bytes);
+        assert_eq!(n.traffic().invalidations(), invals);
+    });
+}
 
-    /// NI busy time is monotone: sending more never frees the NI earlier.
-    #[test]
-    fn ni_occupancy_is_monotone(seq in proptest::collection::vec(msgs(), 1..100)) {
+/// NI busy time is monotone: sending more never frees the NI earlier.
+#[test]
+fn ni_occupancy_is_monotone() {
+    cases(256, |g| {
+        let len = g.urange(1, 100);
+        let seq = g.vec(len, msg);
         let mut n = Network::new(8, LatencyConfig::default(), 32);
         let mut last = [0u64; 8];
         for (now, from, to, k) in seq {
             n.send(now, NodeId(from), NodeId(to), KINDS[k]);
             for node in 0..8u16 {
                 let free = n.ni_free_at(NodeId(node));
-                prop_assert!(free >= last[node as usize]);
+                assert!(free >= last[node as usize]);
                 last[node as usize] = free;
             }
         }
-    }
+    });
+}
 
-    /// Mesh routes always reach their destination through adjacent links
-    /// and cost exactly the Manhattan distance.
-    #[test]
-    fn mesh_routes_are_shortest(from in 0u16..16, to in 0u16..16, width in 1u16..5) {
-        prop_assume!(16 % width == 0);
+/// Mesh routes always reach their destination through adjacent links and
+/// cost exactly the Manhattan distance.
+#[test]
+fn mesh_routes_are_shortest() {
+    cases(256, |g| {
+        let from = g.below(16) as u16;
+        let to = g.below(16) as u16;
+        let width = *g.pick(&[1u16, 2, 4]); // divisors of 16: full rows only
         let t = Topology::Mesh2D { width };
         let route = t.route(NodeId(from), NodeId(to));
-        prop_assert_eq!(route.len() as u64, t.hops(NodeId(from), NodeId(to)));
+        assert_eq!(route.len() as u64, t.hops(NodeId(from), NodeId(to)));
         let mut cur = NodeId(from);
         for (a, b) in route {
-            prop_assert_eq!(a, cur);
-            prop_assert_eq!(t.hops(a, b), 1);
+            assert_eq!(a, cur);
+            assert_eq!(t.hops(a, b), 1);
             cur = b;
         }
         if from != to {
-            prop_assert_eq!(cur, NodeId(to));
+            assert_eq!(cur, NodeId(to));
         }
-    }
+    });
 }

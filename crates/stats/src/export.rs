@@ -1,12 +1,12 @@
-//! Machine-readable export of run statistics (JSON via serde), consumed by
-//! the reproduction harness to assemble EXPERIMENTS.md.
+//! Machine-readable export of run statistics (JSON), consumed by the
+//! reproduction harness to assemble EXPERIMENTS.md.
 
 use ccsim_engine::{Component, RunStats};
 use ccsim_types::MsgClass;
-use serde::{Deserialize, Serialize};
+use ccsim_util::{FromJson, Json, ToJson};
 
 /// Flat, serializable summary of one run.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunSummary {
     pub protocol: String,
     pub nodes: u16,
@@ -78,8 +78,90 @@ impl RunSummary {
         }
     }
 
+    /// Pretty-printed JSON document.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("summary serializes")
+        ToJson::to_json(self).pretty()
+    }
+
+    /// Parse a summary previously written by [`RunSummary::to_json`].
+    pub fn parse(text: &str) -> Result<Self, String> {
+        FromJson::from_json(&Json::parse(text)?)
+    }
+}
+
+impl ToJson for RunSummary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("protocol", self.protocol.to_json()),
+            ("nodes", self.nodes.to_json()),
+            ("block_bytes", self.block_bytes.to_json()),
+            ("exec_cycles", self.exec_cycles.to_json()),
+            ("busy", self.busy.to_json()),
+            ("read_stall", self.read_stall.to_json()),
+            ("write_stall", self.write_stall.to_json()),
+            ("traffic_read_bytes", self.traffic_read_bytes.to_json()),
+            ("traffic_write_bytes", self.traffic_write_bytes.to_json()),
+            ("traffic_other_bytes", self.traffic_other_bytes.to_json()),
+            ("traffic_messages", self.traffic_messages.to_json()),
+            ("global_reads", self.global_reads.to_json()),
+            ("read_class", self.read_class.to_json()),
+            ("upgrades", self.upgrades.to_json()),
+            ("write_misses", self.write_misses.to_json()),
+            ("invalidations", self.invalidations.to_json()),
+            (
+                "invalidations_per_shared_write",
+                self.invalidations_per_shared_write.to_json(),
+            ),
+            ("exclusive_grants", self.exclusive_grants.to_json()),
+            ("silent_stores", self.silent_stores.to_json()),
+            ("retries", self.retries.to_json()),
+            ("oracle_app", self.oracle_app.to_json()),
+            ("oracle_lib", self.oracle_lib.to_json()),
+            ("oracle_os", self.oracle_os.to_json()),
+            ("ls_fraction", self.ls_fraction.to_json()),
+            ("migratory_fraction", self.migratory_fraction.to_json()),
+            ("ls_coverage", self.ls_coverage.to_json()),
+            ("migratory_coverage", self.migratory_coverage.to_json()),
+            (
+                "false_sharing_fraction",
+                self.false_sharing_fraction.to_json(),
+            ),
+        ])
+    }
+}
+
+impl FromJson for RunSummary {
+    fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(RunSummary {
+            protocol: j.field("protocol")?,
+            nodes: j.field("nodes")?,
+            block_bytes: j.field("block_bytes")?,
+            exec_cycles: j.field("exec_cycles")?,
+            busy: j.field("busy")?,
+            read_stall: j.field("read_stall")?,
+            write_stall: j.field("write_stall")?,
+            traffic_read_bytes: j.field("traffic_read_bytes")?,
+            traffic_write_bytes: j.field("traffic_write_bytes")?,
+            traffic_other_bytes: j.field("traffic_other_bytes")?,
+            traffic_messages: j.field("traffic_messages")?,
+            global_reads: j.field("global_reads")?,
+            read_class: j.field("read_class")?,
+            upgrades: j.field("upgrades")?,
+            write_misses: j.field("write_misses")?,
+            invalidations: j.field("invalidations")?,
+            invalidations_per_shared_write: j.field("invalidations_per_shared_write")?,
+            exclusive_grants: j.field("exclusive_grants")?,
+            silent_stores: j.field("silent_stores")?,
+            retries: j.field("retries")?,
+            oracle_app: j.field("oracle_app")?,
+            oracle_lib: j.field("oracle_lib")?,
+            oracle_os: j.field("oracle_os")?,
+            ls_fraction: j.field("ls_fraction")?,
+            migratory_fraction: j.field("migratory_fraction")?,
+            ls_coverage: j.field("ls_coverage")?,
+            migratory_coverage: j.field("migratory_coverage")?,
+            false_sharing_fraction: j.field("false_sharing_fraction")?,
+        })
     }
 }
 
@@ -103,7 +185,7 @@ mod tests {
     fn summary_round_trips_through_json() {
         let s = RunSummary::from_stats(&toy_run());
         let json = s.to_json();
-        let back: RunSummary = serde_json::from_str(&json).unwrap();
+        let back = RunSummary::parse(&json).unwrap();
         assert_eq!(s, back);
         assert_eq!(back.protocol, "LS");
         assert_eq!(back.nodes, 4);

@@ -17,7 +17,10 @@ pub fn render_triptych(t: &Triptych) -> String {
     let mut s = String::new();
     let w = 0.35; // chars per percentage point
     let _ = writeln!(s, "== {} ==", t.workload);
-    let _ = writeln!(s, "-- Normalized execution time (busy | read stall | write stall) --");
+    let _ = writeln!(
+        s,
+        "-- Normalized execution time (busy | read stall | write stall) --"
+    );
     for r in &t.runs {
         let _ = writeln!(
             s,
@@ -101,7 +104,10 @@ pub fn render_fig5(rows: &[(u16, Vec<RunStats>)]) -> String {
 /// the OLTP workload, split by component.
 pub fn render_table2(base: &RunStats) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "== Table 2: load-store occurrence in OLTP (Baseline run) ==");
+    let _ = writeln!(
+        s,
+        "== Table 2: load-store occurrence in OLTP (Baseline run) =="
+    );
     let _ = writeln!(
         s,
         "{:<38} {:>8} {:>10} {:>8} {:>8}",
@@ -135,8 +141,15 @@ pub fn render_table3(ls: &RunStats, ad: &RunStats) -> String {
     assert_eq!(ls.protocol, ProtocolKind::Ls);
     assert_eq!(ad.protocol, ProtocolKind::Ad);
     let mut s = String::new();
-    let _ = writeln!(s, "== Table 3: removed ownership acquisitions (coverage) ==");
-    let _ = writeln!(s, "{:<10} {:>12} {:>11}", "Technique", "Load-Store", "Migratory");
+    let _ = writeln!(
+        s,
+        "== Table 3: removed ownership acquisitions (coverage) =="
+    );
+    let _ = writeln!(
+        s,
+        "{:<10} {:>12} {:>11}",
+        "Technique", "Load-Store", "Migratory"
+    );
     for r in [ls, ad] {
         let _ = writeln!(
             s,
@@ -153,7 +166,10 @@ pub fn render_table3(ls: &RunStats, ad: &RunStats) -> String {
 /// misses. Each row pairs a block size with a Baseline run at that size.
 pub fn render_table4(rows: &[(u64, RunStats)]) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "== Table 4: false-sharing misses vs block size (OLTP) ==");
+    let _ = writeln!(
+        s,
+        "== Table 4: false-sharing misses vs block size (OLTP) =="
+    );
     let mut top = String::from("Block size (Bytes)   ");
     let mut bot = String::from("False sharing misses ");
     for (bs, r) in rows {

@@ -76,7 +76,10 @@ impl Triptych {
                 ],
             })
             .collect();
-        Triptych { workload: workload.into(), runs: normalized }
+        Triptych {
+            workload: workload.into(),
+            runs: normalized,
+        }
     }
 
     /// The run for one protocol, if present.
@@ -122,7 +125,10 @@ mod tests {
         let ls = toy_run(ProtocolKind::Ls);
         let t = Triptych::new("toy", &[base, ls]);
         let n = t.run(ProtocolKind::Ls).unwrap();
-        assert!(n.time_total() < 100.0, "LS should beat baseline on a migratory toy");
+        assert!(
+            n.time_total() < 100.0,
+            "LS should beat baseline on a migratory toy"
+        );
         assert!(n.write_stall < t.run(ProtocolKind::Baseline).unwrap().write_stall);
     }
 

@@ -1,0 +1,49 @@
+//! Golden-file test for the figure renderer: a `Triptych` built from fixed
+//! `NormalizedRun` values must render byte-identically to the checked-in
+//! snapshot. Catches accidental format drift (column widths, bar scaling,
+//! section titles) that value-based tests cannot see.
+//!
+//! To update after an intentional format change, run with
+//! `CCSIM_BLESS=1 cargo test -p ccsim-stats --test figures_golden` and
+//! commit the rewritten `tests/golden/triptych.txt`.
+
+use ccsim_stats::{render_triptych, NormalizedRun, Triptych};
+use ccsim_types::ProtocolKind;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/triptych.txt");
+
+fn run(protocol: ProtocolKind, scale: f64) -> NormalizedRun {
+    NormalizedRun {
+        protocol,
+        busy: 50.0 * scale,
+        read_stall: 30.0 * scale,
+        write_stall: 20.0 * scale,
+        traffic_read: 60.0 * scale,
+        traffic_write: 30.0 * scale,
+        traffic_other: 10.0 * scale,
+        read_class: [50.0 * scale, 25.0 * scale, 15.0 * scale, 10.0 * scale],
+    }
+}
+
+#[test]
+fn triptych_rendering_matches_golden_file() {
+    let t = Triptych {
+        workload: "GOLDEN".to_string(),
+        runs: vec![
+            run(ProtocolKind::Baseline, 1.0),
+            run(ProtocolKind::Ad, 0.9),
+            run(ProtocolKind::Ls, 0.75),
+        ],
+    };
+    let rendered = render_triptych(&t);
+    if std::env::var_os("CCSIM_BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden file present");
+    assert_eq!(
+        rendered, golden,
+        "render_triptych drifted from the golden file; \
+         re-bless with CCSIM_BLESS=1 if intentional"
+    );
+}

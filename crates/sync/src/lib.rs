@@ -23,7 +23,9 @@ impl SpinLock {
     /// Allocate the lock word, padded to its own coherence block so lock
     /// traffic never false-shares with data.
     pub fn new(alloc: &mut Allocator, block_bytes: u64) -> Self {
-        SpinLock { word: alloc.alloc_padded(8, block_bytes) }
+        SpinLock {
+            word: alloc.alloc_padded(8, block_bytes),
+        }
     }
 
     /// Wrap an existing word (for embedding in larger structures).
@@ -125,7 +127,11 @@ impl McsLock {
     pub fn new(alloc: &mut Allocator, block_bytes: u64, procs: u16) -> Self {
         let stride = (2 * 8).max(block_bytes);
         let nodes = alloc.alloc_padded(stride * procs as u64, block_bytes);
-        McsLock { tail: alloc.alloc_padded(8, block_bytes), nodes, node_stride: stride }
+        McsLock {
+            tail: alloc.alloc_padded(8, block_bytes),
+            nodes,
+            node_stride: stride,
+        }
     }
 
     fn node(&self, id: u16) -> Addr {
@@ -453,7 +459,10 @@ mod tests {
         let lock = McsLock::new(b.alloc(), 16, 4);
         let mut blocks = std::collections::HashSet::new();
         for id in 0..4u16 {
-            assert!(blocks.insert(lock.node(id).block(16)), "node {id} shares a spin block");
+            assert!(
+                blocks.insert(lock.node(id).block(16)),
+                "node {id} shares a spin block"
+            );
             // The tail pointer is isolated from every spin flag too.
             assert_ne!(lock.node(id).block(16), lock.tail.block(16));
         }
@@ -534,6 +543,9 @@ mod tests {
         let t = s.oracle.total();
         assert!(t.ls_writes > 0);
         assert!(t.migratory_writes > 0, "lock handoff should migrate");
-        assert!(s.machine.silent_stores > 0, "LS should fire on the handoffs");
+        assert!(
+            s.machine.silent_stores > 0,
+            "LS should fire on the handoffs"
+        );
     }
 }

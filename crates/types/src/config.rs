@@ -10,10 +10,8 @@
 //!   cycles, a 2-hop *home* miss 220 cycles and a 4-hop *remote*
 //!   (read-on-dirty) miss 420 cycles, exactly the derived rows of Table 1.
 
-use serde::{Deserialize, Serialize};
-
 /// Geometry and access time of one cache level.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes. Must be a power of two.
     pub size_bytes: u64,
@@ -43,7 +41,10 @@ impl CacheConfig {
             return Err(format!("cache size {} not a power of two", self.size_bytes));
         }
         if !self.block_bytes.is_power_of_two() {
-            return Err(format!("block size {} not a power of two", self.block_bytes));
+            return Err(format!(
+                "block size {} not a power of two",
+                self.block_bytes
+            ));
         }
         if self.block_bytes < crate::WORD_BYTES {
             return Err("block smaller than one word".into());
@@ -68,7 +69,7 @@ impl CacheConfig {
 ///   `local_miss + 2*(net + mc)` = 220.
 /// * [`LatencyConfig::remote_miss`] — 4-hop read-on-dirty miss:
 ///   `l1_hit + l2_hit + 3*(net + mc) + 2*mc + owner_access + node_bus` = 420.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LatencyConfig {
     /// First-level cache hit.
     pub l1_hit: u64,
@@ -150,7 +151,7 @@ impl LatencyConfig {
 /// (values and coherence actions are unchanged — the engine still applies
 /// them atomically in simulated-time order), so write stall vanishes and
 /// only the traffic effect of LS/AD remains.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Consistency {
     /// Stall on every L2 miss, read and write (the paper's model).
     Sc,
@@ -159,7 +160,7 @@ pub enum Consistency {
 }
 
 /// Which coherence protocol the directory runs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ProtocolKind {
     /// DASH-like full-map write-invalidate protocol (the paper's Baseline).
     Baseline,
@@ -191,7 +192,7 @@ impl ProtocolKind {
 }
 
 /// Tuning knobs for the LS protocol (§3.1 and the variation analysis of §5.5).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LsConfig {
     /// §5.5: treat every block as load-store by default (LS-bit starts set),
     /// so even the first cold read returns an exclusive copy.
@@ -220,14 +221,14 @@ impl Default for LsConfig {
 }
 
 /// Tuning knobs for the AD (adaptive migratory) protocol.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct AdConfig {
     /// §5.5: treat every block as migratory by default.
     pub default_tagged: bool,
 }
 
 /// Protocol selection plus variant knobs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ProtocolConfig {
     pub kind: ProtocolKind,
     pub ls: LsConfig,
@@ -236,12 +237,16 @@ pub struct ProtocolConfig {
 
 impl ProtocolConfig {
     pub fn new(kind: ProtocolKind) -> Self {
-        ProtocolConfig { kind, ls: LsConfig::default(), ad: AdConfig::default() }
+        ProtocolConfig {
+            kind,
+            ls: LsConfig::default(),
+            ad: AdConfig::default(),
+        }
     }
 }
 
 /// Complete machine description.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MachineConfig {
     /// Number of nodes (processor + cache hierarchy + memory + directory).
     pub nodes: u16,
@@ -271,7 +276,12 @@ impl MachineConfig {
     pub fn splash_baseline(protocol: ProtocolKind) -> Self {
         MachineConfig {
             nodes: 4,
-            l1: CacheConfig { size_bytes: 4 * 1024, assoc: 1, block_bytes: 16, access_cycles: 1 },
+            l1: CacheConfig {
+                size_bytes: 4 * 1024,
+                assoc: 1,
+                block_bytes: 16,
+                access_cycles: 1,
+            },
             l2: CacheConfig {
                 size_bytes: 64 * 1024,
                 assoc: 1,
@@ -293,7 +303,12 @@ impl MachineConfig {
     pub fn oltp_baseline(protocol: ProtocolKind) -> Self {
         MachineConfig {
             nodes: 4,
-            l1: CacheConfig { size_bytes: 64 * 1024, assoc: 2, block_bytes: 32, access_cycles: 1 },
+            l1: CacheConfig {
+                size_bytes: 64 * 1024,
+                assoc: 2,
+                block_bytes: 32,
+                access_cycles: 1,
+            },
             l2: CacheConfig {
                 size_bytes: 512 * 1024,
                 assoc: 1,
@@ -318,9 +333,18 @@ impl MachineConfig {
     /// order of magnitude). Documented as a substitution in DESIGN.md.
     pub fn oltp_scaled(protocol: ProtocolKind) -> Self {
         let mut c = Self::oltp_baseline(protocol);
-        c.l1 = CacheConfig { size_bytes: 8 * 1024, assoc: 2, block_bytes: 32, access_cycles: 1 };
-        c.l2 =
-            CacheConfig { size_bytes: 64 * 1024, assoc: 1, block_bytes: 32, access_cycles: 10 };
+        c.l1 = CacheConfig {
+            size_bytes: 8 * 1024,
+            assoc: 2,
+            block_bytes: 32,
+            access_cycles: 1,
+        };
+        c.l2 = CacheConfig {
+            size_bytes: 64 * 1024,
+            assoc: 1,
+            block_bytes: 32,
+            access_cycles: 10,
+        };
         c
     }
 
@@ -451,7 +475,12 @@ mod tests {
 
     #[test]
     fn cache_geometry_helpers() {
-        let c = CacheConfig { size_bytes: 64 * 1024, assoc: 2, block_bytes: 32, access_cycles: 1 };
+        let c = CacheConfig {
+            size_bytes: 64 * 1024,
+            assoc: 2,
+            block_bytes: 32,
+            access_cycles: 1,
+        };
         assert_eq!(c.num_blocks(), 2048);
         assert_eq!(c.num_sets(), 1024);
         c.validate().unwrap();

@@ -1,7 +1,5 @@
 //! Node, address and memory-block identifiers.
 
-use serde::{Deserialize, Serialize};
-
 /// Size of one machine word in bytes. All simulated memory accesses are
 /// word-granular; workloads address memory in bytes but read/write whole
 /// 8-byte words, matching the 64-bit SPARC data accesses the original study
@@ -12,7 +10,7 @@ pub const WORD_BYTES: u64 = 8;
 ///
 /// The paper's LR ("last reader") directory field is `log2 N` bits wide;
 /// a `u16` comfortably covers the 4-32 node systems evaluated.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct NodeId(pub u16);
 
 impl NodeId {
@@ -30,7 +28,7 @@ impl std::fmt::Display for NodeId {
 }
 
 /// A byte address in the simulated physical address space.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Addr(pub u64);
 
 impl Addr {
@@ -79,7 +77,7 @@ impl std::fmt::Display for Addr {
 /// A `BlockAddr` is only meaningful together with the block size it was
 /// derived from; the simulator uses a single machine-wide block size
 /// (Table 1), so this is unambiguous in practice.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct BlockAddr(pub u64);
 
 impl BlockAddr {

@@ -10,6 +10,7 @@
 
 pub mod config;
 pub mod ids;
+pub mod json;
 pub mod msg;
 pub mod rng;
 pub mod topology;

@@ -6,10 +6,8 @@
 //! *write-related* and *other* (retries, replacement hints, `NotLS`
 //! notifications, replacement writebacks).
 
-use serde::{Deserialize, Serialize};
-
 /// Traffic class used in the paper's message diagrams.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum MsgClass {
     /// Read requests, data replies to reads, read forwards, sharing
     /// writebacks on read-on-dirty.
@@ -34,7 +32,7 @@ impl MsgClass {
 }
 
 /// One kind of coherence message.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum MsgKind {
     /// Requester -> home: global read request.
     ReadReq,
@@ -101,8 +99,13 @@ impl MsgKind {
         use MsgKind::*;
         matches!(
             self,
-            ReadReply | ReadExclReply | OwnerReply | SharingWriteback | WriteMissReply
-                | OwnerWriteReply | ReplWriteback
+            ReadReply
+                | ReadExclReply
+                | OwnerReply
+                | SharingWriteback
+                | WriteMissReply
+                | OwnerWriteReply
+                | ReplWriteback
         )
     }
 

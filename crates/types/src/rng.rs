@@ -2,21 +2,23 @@
 //!
 //! The simulator itself is fully deterministic; randomness only enters via
 //! workload inputs (particle positions, transaction streams, matrix
-//! structure). `SimRng` wraps `rand`'s `StdRng` behind a small, stable
-//! interface so every workload draws from one seeded source.
+//! structure). `SimRng` wraps `ccsim_util`'s xoshiro256++ generator behind
+//! a small, stable interface so every workload draws from one seeded
+//! source with a stream that is fixed across platforms and builds.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ccsim_util::Xoshiro256pp;
 
 /// Seeded RNG with the handful of draw shapes the workloads need.
 #[derive(Clone, Debug)]
 pub struct SimRng {
-    inner: StdRng,
+    inner: Xoshiro256pp,
 }
 
 impl SimRng {
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng { inner: StdRng::seed_from_u64(seed) }
+        SimRng {
+            inner: Xoshiro256pp::seed_from_u64(seed),
+        }
     }
 
     /// Derive an independent stream for a sub-component (e.g. one per
@@ -27,24 +29,24 @@ impl SimRng {
     }
 
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.random()
+        self.inner.next_u64()
     }
 
     /// Uniform integer in `[0, bound)`. `bound` must be positive.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "below(0)");
-        self.inner.random_range(0..bound)
+        self.inner.below(bound)
     }
 
     /// Uniform integer in `[lo, hi)`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range");
-        self.inner.random_range(lo..hi)
+        lo + self.inner.below(hi - lo)
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit_f64(&mut self) -> f64 {
-        self.inner.random_range(0.0..1.0)
+        self.inner.unit_f64()
     }
 
     /// Bernoulli draw.

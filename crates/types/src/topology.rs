@@ -8,10 +8,8 @@
 //! reductions translate when link bandwidth, not just latency, is scarce.
 
 use crate::NodeId;
-use serde::{Deserialize, Serialize};
-
 /// Shape of the interconnect.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Topology {
     /// Fully connected, fixed one-traversal delay (the paper's network).
     PointToPoint,
@@ -120,7 +118,11 @@ mod tests {
         // (0,0) -> (1,0) -> (2,0) -> (2,1).
         assert_eq!(
             r,
-            vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2)), (NodeId(2), NodeId(6))]
+            vec![
+                (NodeId(0), NodeId(1)),
+                (NodeId(1), NodeId(2)),
+                (NodeId(2), NodeId(6))
+            ]
         );
         // Route length always equals hop count.
         for a in 0..8u16 {

@@ -1,0 +1,124 @@
+//! xoshiro256++: a small, fast, high-quality seedable PRNG
+//! (Blackman & Vigna, 2019), with splitmix64 seed expansion.
+//!
+//! This is the deterministic core under `ccsim_types::SimRng` (workload
+//! input generation) and [`crate::check`]'s test-case generator. The
+//! simulator itself never consumes randomness — determinism only requires
+//! that the same seed always yields the same stream, which this guarantees
+//! across platforms and builds.
+
+/// splitmix64 step: expands a 64-bit seed into independent 64-bit values.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ generator state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Seed via splitmix64 expansion (the construction the xoshiro authors
+    /// recommend; never yields the all-zero state).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Xoshiro256pp {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform integer in `[0, bound)` via unbiased rejection sampling.
+    /// `bound` must be positive.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        // Reject the (tiny) biased low zone: draws below
+        // `2^64 mod bound` would over-represent small residues.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            if x >= threshold {
+                return x % bound;
+            }
+        }
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vector() {
+        // First outputs for the state seeded from splitmix64(0) must be
+        // stable forever — the run cache keys depend on workload layouts
+        // staying put.
+        let mut r = Xoshiro256pp::seed_from_u64(0);
+        let first: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        let mut r2 = Xoshiro256pp::seed_from_u64(0);
+        let again: Vec<u64> = (0..4).map(|_| r2.next_u64()).collect();
+        assert_eq!(first, again);
+        assert_eq!(first.len(), 4);
+        assert!(first.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = Xoshiro256pp::seed_from_u64(42);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let x = r.below(7);
+            assert!(x < 7);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable: {seen:?}");
+    }
+
+    #[test]
+    fn unit_f64_bounds() {
+        let mut r = Xoshiro256pp::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = r.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = Xoshiro256pp::seed_from_u64(1);
+        let mut b = Xoshiro256pp::seed_from_u64(2);
+        assert!((0..8).any(|_| a.next_u64() != b.next_u64()));
+    }
+}

@@ -26,7 +26,7 @@ use ccsim_sync::{Barrier, BarrierSense};
 use ccsim_types::{Addr, SimRng};
 
 /// Cholesky sizing.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CholeskyParams {
     /// Total columns (panels are `cols / procs` columns each).
     pub cols: u64,
@@ -42,17 +42,32 @@ impl CholeskyParams {
     /// 4-processor evaluation shape: 128 columns × 4 kB ⇒ a 128 kB panel
     /// per processor, twice the 64 kB L2 — every wave re-misses.
     pub fn paper() -> Self {
-        CholeskyParams { cols: 128, col_words: 512, waves: 6, procs: 4, seed: 0x43484F4C }
+        CholeskyParams {
+            cols: 128,
+            col_words: 512,
+            waves: 6,
+            procs: 4,
+            seed: 0x43484F4C,
+        }
     }
 
     /// The Figure 5 scaling runs reuse the same total problem with more
     /// processors.
     pub fn paper_scaled(procs: u16) -> Self {
-        CholeskyParams { procs, ..Self::paper() }
+        CholeskyParams {
+            procs,
+            ..Self::paper()
+        }
     }
 
     pub fn quick() -> Self {
-        CholeskyParams { cols: 16, col_words: 64, waves: 2, procs: 4, seed: 0x43484F4C }
+        CholeskyParams {
+            cols: 16,
+            col_words: 64,
+            waves: 2,
+            procs: 4,
+            seed: 0x43484F4C,
+        }
     }
 }
 
@@ -60,7 +75,10 @@ impl CholeskyParams {
 /// data base address for verification.
 pub fn build(b: &mut SimBuilder, params: &CholeskyParams) -> Addr {
     let procs = params.procs as u64;
-    assert!(procs > 0 && params.cols.is_multiple_of(procs), "cols must divide evenly");
+    assert!(
+        procs > 0 && params.cols.is_multiple_of(procs),
+        "cols must divide evenly"
+    );
     let cols = params.cols;
     let cw = params.col_words;
     let waves = params.waves;
@@ -206,15 +224,23 @@ mod tests {
         // The paper's headline: AD removes ~nothing, LS removes most
         // write-related overhead once capacity evictions separate the
         // load-store pairs. Use a capacity-stressed quick config.
-        let params =
-            CholeskyParams { cols: 16, col_words: 1024, waves: 3, ..CholeskyParams::quick() };
+        let params = CholeskyParams {
+            cols: 16,
+            col_words: 1024,
+            waves: 3,
+            ..CholeskyParams::quick()
+        };
         let (base, _) = run(ProtocolKind::Baseline, &params);
         let (ad, _) = run(ProtocolKind::Ad, &params);
         let (ls, _) = run(ProtocolKind::Ls, &params);
         let base_ws = base.write_stall() as f64;
         let ad_cut = 1.0 - ad.write_stall() as f64 / base_ws;
         let ls_cut = 1.0 - ls.write_stall() as f64 / base_ws;
-        assert!(ls_cut > 0.5, "LS should remove most write stall (removed {:.0}%)", ls_cut * 100.0);
+        assert!(
+            ls_cut > 0.5,
+            "LS should remove most write stall (removed {:.0}%)",
+            ls_cut * 100.0
+        );
         assert!(
             ls_cut > ad_cut + 0.2,
             "LS ({:.0}%) must far exceed AD ({:.0}%)",

@@ -22,9 +22,10 @@ pub mod oltp;
 
 use ccsim_engine::{RunStats, SimBuilder};
 use ccsim_types::MachineConfig;
+use ccsim_util::{FromJson, Json, ToJson};
 
 /// A workload selection with parameters.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Spec {
     Mp3d(mp3d::Mp3dParams),
     Lu(lu::LuParams),
@@ -40,6 +41,132 @@ impl Spec {
             Spec::Cholesky(_) => "Cholesky",
             Spec::Oltp(_) => "OLTP",
         }
+    }
+}
+
+impl ToJson for Spec {
+    fn to_json(&self) -> Json {
+        let params = match self {
+            Spec::Mp3d(p) => p.to_json(),
+            Spec::Lu(p) => p.to_json(),
+            Spec::Cholesky(p) => p.to_json(),
+            Spec::Oltp(p) => p.to_json(),
+        };
+        Json::obj(vec![
+            ("workload", self.name().to_json()),
+            ("params", params),
+        ])
+    }
+}
+
+impl FromJson for Spec {
+    fn from_json(j: &Json) -> Result<Self, String> {
+        let params = j.req("params")?;
+        match j.field::<String>("workload")?.as_str() {
+            "MP3D" => Ok(Spec::Mp3d(FromJson::from_json(params)?)),
+            "LU" => Ok(Spec::Lu(FromJson::from_json(params)?)),
+            "Cholesky" => Ok(Spec::Cholesky(FromJson::from_json(params)?)),
+            "OLTP" => Ok(Spec::Oltp(FromJson::from_json(params)?)),
+            other => Err(format!("unknown workload `{other}`")),
+        }
+    }
+}
+
+impl ToJson for mp3d::Mp3dParams {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("particles", self.particles.to_json()),
+            ("steps", self.steps.to_json()),
+            ("cells", self.cells.to_json()),
+            ("procs", self.procs.to_json()),
+            ("seed", self.seed.to_json()),
+        ])
+    }
+}
+
+impl FromJson for mp3d::Mp3dParams {
+    fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(mp3d::Mp3dParams {
+            particles: j.field("particles")?,
+            steps: j.field("steps")?,
+            cells: j.field("cells")?,
+            procs: j.field("procs")?,
+            seed: j.field("seed")?,
+        })
+    }
+}
+
+impl ToJson for lu::LuParams {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("n", self.n.to_json()),
+            ("block", self.block.to_json()),
+            ("procs", self.procs.to_json()),
+            ("seed", self.seed.to_json()),
+        ])
+    }
+}
+
+impl FromJson for lu::LuParams {
+    fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(lu::LuParams {
+            n: j.field("n")?,
+            block: j.field("block")?,
+            procs: j.field("procs")?,
+            seed: j.field("seed")?,
+        })
+    }
+}
+
+impl ToJson for cholesky::CholeskyParams {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("cols", self.cols.to_json()),
+            ("col_words", self.col_words.to_json()),
+            ("waves", self.waves.to_json()),
+            ("procs", self.procs.to_json()),
+            ("seed", self.seed.to_json()),
+        ])
+    }
+}
+
+impl FromJson for cholesky::CholeskyParams {
+    fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(cholesky::CholeskyParams {
+            cols: j.field("cols")?,
+            col_words: j.field("col_words")?,
+            waves: j.field("waves")?,
+            procs: j.field("procs")?,
+            seed: j.field("seed")?,
+        })
+    }
+}
+
+impl ToJson for oltp::OltpParams {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("branches", self.branches.to_json()),
+            ("accounts", self.accounts.to_json()),
+            ("index_words", self.index_words.to_json()),
+            ("txns_per_proc", self.txns_per_proc.to_json()),
+            ("procs", self.procs.to_json()),
+            ("seed", self.seed.to_json()),
+            ("static_hints", self.static_hints.to_json()),
+        ])
+    }
+}
+
+impl FromJson for oltp::OltpParams {
+    fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(oltp::OltpParams {
+            branches: j.field("branches")?,
+            accounts: j.field("accounts")?,
+            index_words: j.field("index_words")?,
+            txns_per_proc: j.field("txns_per_proc")?,
+            procs: j.field("procs")?,
+            seed: j.field("seed")?,
+            static_hints: j.field("static_hints")?,
+        })
     }
 }
 
@@ -70,7 +197,10 @@ mod tests {
     fn spec_names_are_the_paper_labels() {
         assert_eq!(Spec::Mp3d(mp3d::Mp3dParams::quick()).name(), "MP3D");
         assert_eq!(Spec::Lu(lu::LuParams::quick()).name(), "LU");
-        assert_eq!(Spec::Cholesky(cholesky::CholeskyParams::quick()).name(), "Cholesky");
+        assert_eq!(
+            Spec::Cholesky(cholesky::CholeskyParams::quick()).name(),
+            "Cholesky"
+        );
         assert_eq!(Spec::Oltp(oltp::OltpParams::quick()).name(), "OLTP");
     }
 

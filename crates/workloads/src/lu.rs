@@ -25,7 +25,7 @@ use ccsim_sync::{Barrier, BarrierSense};
 use ccsim_types::{Addr, SimRng};
 
 /// LU sizing.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LuParams {
     /// Matrix edge (the paper runs 256; `paper()` defaults to a 128 edge to
     /// keep simulated-instruction counts tractable — use `paper_full()` for
@@ -40,20 +40,39 @@ pub struct LuParams {
 impl LuParams {
     /// Default evaluation size: 128×128, B=16, 4 processors.
     pub fn paper() -> Self {
-        LuParams { n: 128, block: 16, procs: 4, seed: 0x4C55 }
+        LuParams {
+            n: 128,
+            block: 16,
+            procs: 4,
+            seed: 0x4C55,
+        }
     }
 
     /// The paper's full 256×256 run (slower).
     pub fn paper_full() -> Self {
-        LuParams { n: 256, block: 16, procs: 4, seed: 0x4C55 }
+        LuParams {
+            n: 256,
+            block: 16,
+            procs: 4,
+            seed: 0x4C55,
+        }
     }
 
     pub fn quick() -> Self {
-        LuParams { n: 48, block: 16, procs: 4, seed: 0x4C55 }
+        LuParams {
+            n: 48,
+            block: 16,
+            procs: 4,
+            seed: 0x4C55,
+        }
     }
 
     fn blocks(&self) -> u64 {
-        assert_eq!(self.n % self.block, 0, "n must be a multiple of the block edge");
+        assert_eq!(
+            self.n % self.block,
+            0,
+            "n must be a multiple of the block edge"
+        );
         self.n / self.block
     }
 }
@@ -228,8 +247,9 @@ mod tests {
         let base = build(&mut b, params);
         let done = b.run_full();
         let n = params.n;
-        let m: Vec<f64> =
-            (0..n * n).map(|i| done.peek_f64(ccsim_types::Addr(base.0 + i * 8))).collect();
+        let m: Vec<f64> = (0..n * n)
+            .map(|i| done.peek_f64(ccsim_types::Addr(base.0 + i * 8)))
+            .collect();
         (done.stats, m)
     }
 
@@ -325,9 +345,14 @@ mod tests {
         assert_eq!(a, b);
         for r in 0..n as usize {
             let diag = a[r * n as usize + r].abs();
-            let off: f64 =
-                (0..n as usize).filter(|&c| c != r).map(|c| a[r * n as usize + c].abs()).sum();
-            assert!(diag > off, "row {r} not diagonally dominant: {diag} <= {off}");
+            let off: f64 = (0..n as usize)
+                .filter(|&c| c != r)
+                .map(|c| a[r * n as usize + c].abs())
+                .sum();
+            assert!(
+                diag > off,
+                "row {r} not diagonally dominant: {diag} <= {off}"
+            );
         }
     }
 
@@ -361,6 +386,10 @@ mod tests {
         let mut b = SimBuilder::new(cfg);
         let base = build(&mut b, &params);
         assert_eq!(base.0 % 8, 0, "word aligned");
-        assert_ne!(base.0 % 16, 0, "but NOT coherence-block aligned (the §5.3 false sharing)");
+        assert_ne!(
+            base.0 % 16,
+            0,
+            "but NOT coherence-block aligned (the §5.3 false sharing)"
+        );
     }
 }

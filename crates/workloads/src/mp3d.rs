@@ -23,7 +23,7 @@ use ccsim_sync::{Barrier, BarrierSense};
 use ccsim_types::{Addr, SimRng};
 
 /// MP3D sizing.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Mp3dParams {
     /// Total particles (the paper runs 10 000).
     pub particles: u64,
@@ -40,12 +40,24 @@ pub struct Mp3dParams {
 impl Mp3dParams {
     /// The paper's configuration: 10k particles, 10 steps.
     pub fn paper() -> Self {
-        Mp3dParams { particles: 10_000, steps: 10, cells: 4096, procs: 4, seed: 0x4D50_3344 }
+        Mp3dParams {
+            particles: 10_000,
+            steps: 10,
+            cells: 4096,
+            procs: 4,
+            seed: 0x4D50_3344,
+        }
     }
 
     /// Scaled down for unit tests.
     pub fn quick() -> Self {
-        Mp3dParams { particles: 400, steps: 3, cells: 256, procs: 4, seed: 0x4D50_3344 }
+        Mp3dParams {
+            particles: 400,
+            steps: 3,
+            cells: 256,
+            procs: 4,
+            seed: 0x4D50_3344,
+        }
     }
 }
 
@@ -166,7 +178,10 @@ mod tests {
         let ls = run(ProtocolKind::Ls);
         assert!(ad.write_stall() < base.write_stall());
         assert!(ls.write_stall() < base.write_stall());
-        assert!(ls.write_stall() <= ad.write_stall(), "LS at least matches AD on MP3D");
+        assert!(
+            ls.write_stall() <= ad.write_stall(),
+            "LS at least matches AD on MP3D"
+        );
     }
 
     #[test]

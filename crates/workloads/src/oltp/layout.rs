@@ -154,8 +154,12 @@ pub fn allocate(b: &mut SimBuilder, branches: u64, accounts: u64, procs: u16) ->
     let tick = b.alloc().alloc_padded(8, block);
     let headers_base = b.alloc().alloc(4 * 64, 64);
     let status_base = b.alloc().alloc(4 * 64, 64);
-    let scratch_base = b.alloc().alloc(procs as u64 * scratch_words_per_proc * 8, block);
-    let stmt_base = b.alloc().alloc(procs as u64 * scratch_words_per_proc * 8, block);
+    let scratch_base = b
+        .alloc()
+        .alloc(procs as u64 * scratch_words_per_proc * 8, block);
+    let stmt_base = b
+        .alloc()
+        .alloc(procs as u64 * scratch_words_per_proc * 8, block);
 
     // Seed the catalog with schema-like constants.
     for i in 0..catalog_words {
@@ -234,14 +238,25 @@ mod tests {
         // Two adjacent 32-byte teller records fall into one 64-byte block.
         let t0 = l.teller(0);
         let t1 = l.teller(1);
-        assert_eq!(t0.block(64), t1.block(64), "adjacent records must false-share at 64B");
-        assert_ne!(t0.block(32), t1.block(32), "but not at the default 32B block");
+        assert_eq!(
+            t0.block(64),
+            t1.block(64),
+            "adjacent records must false-share at 64B"
+        );
+        assert_ne!(
+            t0.block(32),
+            t1.block(32),
+            "but not at the default 32B block"
+        );
     }
 
     #[test]
     fn branch_locks_are_block_isolated() {
         let mut b = SimBuilder::new(MachineConfig::oltp_baseline(ProtocolKind::Baseline));
         let l = allocate(&mut b, 8, 1024, 4);
-        assert_ne!(l.branch_lock(0).addr().block(64), l.branch_lock(1).addr().block(64));
+        assert_ne!(
+            l.branch_lock(0).addr().block(64),
+            l.branch_lock(1).addr().block(64)
+        );
     }
 }

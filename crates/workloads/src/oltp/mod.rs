@@ -31,7 +31,7 @@ use ccsim_types::{Addr, SimRng};
 pub use layout::{DbLayout, HISTORY_WORDS, RECORD_WORDS};
 
 /// OLTP sizing.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct OltpParams {
     /// TPC-B branches (the paper uses 40).
     pub branches: u64,
@@ -119,7 +119,15 @@ fn plan(params: &OltpParams, pid: u16) -> Vec<Txn> {
             for i in &mut idx {
                 *i = rng.below(params.index_words / 4);
             }
-            Txn { amount, account, branch, teller_off, queries, teller_query, idx }
+            Txn {
+                amount,
+                account,
+                branch,
+                teller_off,
+                queries,
+                teller_query,
+                idx,
+            }
         })
         .collect()
 }
@@ -262,7 +270,10 @@ fn transaction(p: &Proc, db: &DbLayout, index_base: Addr, t: &Txn, txn_idx: u64,
     // ---- Library: WAL append, sort buffer, result marshalling ------------
     p.set_component(Component::Lib);
     let lslot = fadd(p, hints, db.log_tail, 2);
-    p.store(Addr(db.log_base.0 + (lslot % db.log_cap) * 8), t.amount ^ t.account);
+    p.store(
+        Addr(db.log_base.0 + (lslot % db.log_cap) * 8),
+        t.amount ^ t.account,
+    );
     p.store(Addr(db.log_base.0 + ((lslot + 1) % db.log_cap) * 8), teller);
     // Connection sort buffer: a cold private region swept once — half
     // read-modify-write (load-store sequences that never migrate, LS-only
@@ -336,14 +347,18 @@ pub fn build(b: &mut SimBuilder, params: &OltpParams) -> DbLayout {
     // Enlarge the per-proc scratch/statement arenas into proper cold-sweep
     // regions (sized so a full cycle exceeds any single reuse window).
     let scratch_words_per_proc = 24 * params.txns_per_proc.max(16);
-    db.scratch_base = b.alloc().alloc(params.procs as u64 * scratch_words_per_proc * 8, 64);
+    db.scratch_base = b
+        .alloc()
+        .alloc(params.procs as u64 * scratch_words_per_proc * 8, 64);
     db.scratch_words_per_proc = scratch_words_per_proc;
     // Connection record/sort arena: sized so the cyclic 24-block-per-txn
     // sweep wraps after ~1/3 of the run — re-touched blocks have been
     // flushed from the L2 by the intervening footprint by then.
     let stmt_arena_blocks = (24 * params.txns_per_proc / 3).max(96);
     let stmt_words_per_proc = stmt_arena_blocks * 4;
-    db.stmt_base = b.alloc().alloc(params.procs as u64 * stmt_words_per_proc * 8, 64);
+    db.stmt_base = b
+        .alloc()
+        .alloc(params.procs as u64 * stmt_words_per_proc * 8, 64);
     db.stmt_words_per_proc = stmt_words_per_proc;
     let index_base = b.alloc().alloc(params.index_words * 8, 64);
     for i in (0..params.index_words).step_by(64) {
@@ -376,12 +391,15 @@ mod tests {
         let mut b = SimBuilder::new(cfg);
         let db = build(&mut b, params);
         let done = b.run_full();
-        let bsum: u64 =
-            (0..db.branches).map(|i| done.peek(db.branch(i))).fold(0, u64::wrapping_add);
-        let tsum: u64 =
-            (0..db.tellers).map(|i| done.peek(db.teller(i))).fold(0, u64::wrapping_add);
-        let asum: u64 =
-            (0..db.accounts).map(|i| done.peek(db.account(i))).fold(0, u64::wrapping_add);
+        let bsum: u64 = (0..db.branches)
+            .map(|i| done.peek(db.branch(i)))
+            .fold(0, u64::wrapping_add);
+        let tsum: u64 = (0..db.tellers)
+            .map(|i| done.peek(db.teller(i)))
+            .fold(0, u64::wrapping_add);
+        let asum: u64 = (0..db.accounts)
+            .map(|i| done.peek(db.account(i)))
+            .fold(0, u64::wrapping_add);
         (done.stats, bsum, tsum, asum)
     }
 
@@ -426,7 +444,10 @@ mod tests {
             assert!(k.ls_writes > 0, "{c:?} produced no load-store sequences");
         }
         let f = s.oracle.ls_fraction(None);
-        assert!((0.25..0.75).contains(&f), "total load-store fraction {f:.2} out of range");
+        assert!(
+            (0.25..0.75).contains(&f),
+            "total load-store fraction {f:.2} out of range"
+        );
         let m = s.oracle.migratory_fraction(None);
         assert!(
             (0.25..0.8).contains(&m),

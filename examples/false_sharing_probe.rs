@@ -20,8 +20,7 @@ fn main() {
         "block bytes", "false misses", "true misses", "cold/capacity", "false %"
     );
     for block in [16u64, 32, 64, 128] {
-        let cfg =
-            MachineConfig::splash_baseline(ProtocolKind::Baseline).with_block_bytes(block);
+        let cfg = MachineConfig::splash_baseline(ProtocolKind::Baseline).with_block_bytes(block);
         let mut sim = SimBuilder::new(cfg);
         // Eight adjacent words; processor i owns the contiguous pair
         // (2i, 2i+1), so a 16-byte block is exactly one processor's data.

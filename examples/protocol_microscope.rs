@@ -39,7 +39,9 @@ impl Scope {
                 GrantKind::TearOff => format!("{p} reads -> tear-off copy"),
             },
             ReadStep::Forward { owner } => {
-                let r = self.dir.read_forward_result(self.block, p, owner_wrote, owner_wrote);
+                let r = self
+                    .dir
+                    .read_forward_result(self.block, p, owner_wrote, owner_wrote);
                 match (r.grant, r.notls) {
                     (GrantKind::Exclusive, _) => {
                         format!("{p} reads -> dirty EXCLUSIVE handoff from {owner}")
@@ -54,7 +56,10 @@ impl Scope {
 
     fn write(&mut self, p: NodeId) {
         let what = match self.dir.write(self.block, p) {
-            WriteStep::Memory { invalidate, data_needed } => format!(
+            WriteStep::Memory {
+                invalidate,
+                data_needed,
+            } => format!(
                 "{p} writes ({}, {} invalidation(s))",
                 if data_needed { "write miss" } else { "upgrade" },
                 invalidate.len()
@@ -75,7 +80,10 @@ impl Scope {
 
 fn main() {
     let block = Addr(0x40).block(16);
-    let mut s = Scope { dir: Directory::new(ProtocolConfig::new(ProtocolKind::Ls)), block };
+    let mut s = Scope {
+        dir: Directory::new(ProtocolConfig::new(ProtocolKind::Ls)),
+        block,
+    };
     let (p0, p1, p2) = (NodeId(0), NodeId(1), NodeId(2));
 
     println!("=== The LS protocol lifecycle (paper Figure 1) ===\n");

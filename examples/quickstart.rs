@@ -13,8 +13,10 @@ use ccsim::engine::SimBuilder;
 use ccsim::{MachineConfig, ProtocolKind};
 
 fn main() {
-    println!("{:>10} {:>12} {:>12} {:>12} {:>14} {:>14}",
-        "protocol", "exec cycles", "write stall", "read stall", "traffic bytes", "silent stores");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>14} {:>14}",
+        "protocol", "exec cycles", "write stall", "read stall", "traffic bytes", "silent stores"
+    );
     for kind in ProtocolKind::ALL {
         // The machine of the paper's §4.2: 4 nodes, 2-level caches,
         // full-map directory, sequential consistency.
@@ -34,7 +36,11 @@ fn main() {
         }
 
         let done = sim.run_full();
-        assert_eq!(done.peek(counter), 1000, "all increments applied exactly once");
+        assert_eq!(
+            done.peek(counter),
+            1000,
+            "all increments applied exactly once"
+        );
         let s = &done.stats;
         println!(
             "{:>10} {:>12} {:>12} {:>12} {:>14} {:>14}",

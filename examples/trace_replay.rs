@@ -43,13 +43,20 @@ fn main() {
         "{:<28} {:>12} {:>12} {:>14} {:>14}",
         "configuration", "exec cycles", "write stall", "traffic bytes", "silent stores"
     );
-    let base = replay(MachineConfig::splash_baseline(ProtocolKind::Baseline), &trace, &[]);
+    let base = replay(
+        MachineConfig::splash_baseline(ProtocolKind::Baseline),
+        &trace,
+        &[],
+    );
     assert_eq!(
         base.exec_cycles, done.stats.exec_cycles,
         "same-config replay must reproduce the captured run exactly"
     );
     for (label, cfg) in [
-        ("Baseline", MachineConfig::splash_baseline(ProtocolKind::Baseline)),
+        (
+            "Baseline",
+            MachineConfig::splash_baseline(ProtocolKind::Baseline),
+        ),
         ("AD", MachineConfig::splash_baseline(ProtocolKind::Ad)),
         ("LS", MachineConfig::splash_baseline(ProtocolKind::Ls)),
         ("LS + 128 kB L2", {

@@ -17,9 +17,11 @@
 //! ```
 
 use ccsim::engine::RunStats;
+use ccsim::harness::{run_cached, JobSet};
 use ccsim::stats::{render_triptych, RunSummary, Triptych};
 use ccsim::types::{Consistency, Topology};
-use ccsim::workloads::{cholesky, lu, mp3d, oltp, run_spec, Spec};
+use ccsim::util::{Json, ToJson};
+use ccsim::workloads::{cholesky, lu, mp3d, oltp, Spec};
 use ccsim::{MachineConfig, ProtocolKind};
 use std::process::exit;
 
@@ -90,14 +92,22 @@ fn protocol_of(s: &str) -> ProtocolKind {
 fn spec_of(workload: &str, paper: bool, nodes: Option<u16>) -> Spec {
     match workload {
         "mp3d" => {
-            let mut p = if paper { mp3d::Mp3dParams::paper() } else { mp3d::Mp3dParams::quick() };
+            let mut p = if paper {
+                mp3d::Mp3dParams::paper()
+            } else {
+                mp3d::Mp3dParams::quick()
+            };
             if let Some(n) = nodes {
                 p.procs = n;
             }
             Spec::Mp3d(p)
         }
         "lu" => {
-            let mut p = if paper { lu::LuParams::paper() } else { lu::LuParams::quick() };
+            let mut p = if paper {
+                lu::LuParams::paper()
+            } else {
+                lu::LuParams::quick()
+            };
             if let Some(n) = nodes {
                 p.procs = n;
             }
@@ -115,7 +125,11 @@ fn spec_of(workload: &str, paper: bool, nodes: Option<u16>) -> Spec {
             Spec::Cholesky(p)
         }
         "oltp" => {
-            let mut p = if paper { oltp::OltpParams::paper() } else { oltp::OltpParams::quick() };
+            let mut p = if paper {
+                oltp::OltpParams::paper()
+            } else {
+                oltp::OltpParams::quick()
+            };
             if let Some(n) = nodes {
                 p.procs = n;
             }
@@ -186,13 +200,29 @@ fn main() {
             // latency rows directly.
             let cfg = MachineConfig::splash_baseline(ProtocolKind::Baseline);
             let l = cfg.latency;
-            println!("L1: {} kB, {}-way, {} B blocks, {} cycle(s)",
-                cfg.l1.size_bytes / 1024, cfg.l1.assoc, cfg.l1.block_bytes, cfg.l1.access_cycles);
-            println!("L2: {} kB, {}-way, {} cycles", cfg.l2.size_bytes / 1024, cfg.l2.assoc,
-                cfg.l2.access_cycles);
-            println!("memory {} / controller {} / network {} cycles", l.mem, l.mc, l.net);
-            println!("derived: local {} / home {} / remote {} cycles",
-                l.local_miss(), l.home_miss(), l.remote_miss());
+            println!(
+                "L1: {} kB, {}-way, {} B blocks, {} cycle(s)",
+                cfg.l1.size_bytes / 1024,
+                cfg.l1.assoc,
+                cfg.l1.block_bytes,
+                cfg.l1.access_cycles
+            );
+            println!(
+                "L2: {} kB, {}-way, {} cycles",
+                cfg.l2.size_bytes / 1024,
+                cfg.l2.assoc,
+                cfg.l2.access_cycles
+            );
+            println!(
+                "memory {} / controller {} / network {} cycles",
+                l.mem, l.mc, l.net
+            );
+            println!(
+                "derived: local {} / home {} / remote {} cycles",
+                l.local_miss(),
+                l.home_miss(),
+                l.remote_miss()
+            );
         }
         "run" => {
             let workload = o.workload.clone().unwrap_or_else(|| usage());
@@ -200,20 +230,25 @@ fn main() {
             let paper = o.scale.as_deref() == Some("paper");
             let spec = spec_of(&workload, paper, o.nodes);
             let cfg = config_of(&o, &workload, kind);
-            let r = run_spec(cfg, &spec);
+            let r = run_cached(cfg, &spec);
             print_run(&r, o.json);
         }
         "compare" => {
             let workload = o.workload.clone().unwrap_or_else(|| usage());
             let paper = o.scale.as_deref() == Some("paper");
             let spec = spec_of(&workload, paper, o.nodes);
-            let runs: Vec<RunStats> = ProtocolKind::ALL
-                .iter()
-                .map(|&k| run_spec(config_of(&o, &workload, k), &spec))
-                .collect();
+            let mut set = JobSet::new();
+            for &k in &ProtocolKind::ALL {
+                set.push(config_of(&o, &workload, k), spec.clone());
+            }
+            let runs: Vec<RunStats> = set.run();
             if o.json {
-                let sums: Vec<RunSummary> = runs.iter().map(RunSummary::from_stats).collect();
-                println!("{}", serde_json_vec(&sums));
+                let arr = Json::Arr(
+                    runs.iter()
+                        .map(|r| ToJson::to_json(&RunSummary::from_stats(r)))
+                        .collect(),
+                );
+                print!("{}", arr.pretty());
             } else {
                 let t = Triptych::new(workload.to_uppercase(), &runs);
                 print!("{}", render_triptych(&t));
@@ -221,10 +256,4 @@ fn main() {
         }
         _ => usage(),
     }
-}
-
-/// Minimal JSON array assembly (RunSummary::to_json pretty-prints one).
-fn serde_json_vec(sums: &[RunSummary]) -> String {
-    let items: Vec<String> = sums.iter().map(|s| s.to_json()).collect();
-    format!("[\n{}\n]", items.join(",\n"))
 }

@@ -7,11 +7,13 @@
 pub use ccsim_cache as cache;
 pub use ccsim_core as core;
 pub use ccsim_engine as engine;
+pub use ccsim_harness as harness;
 pub use ccsim_mem as mem;
 pub use ccsim_network as network;
 pub use ccsim_stats as stats;
 pub use ccsim_sync as sync;
 pub use ccsim_types as types;
+pub use ccsim_util as util;
 pub use ccsim_workloads as workloads;
 
 pub use ccsim_types::{MachineConfig, ProtocolKind};

@@ -31,8 +31,14 @@ fn run_quick_mp3d_ls() {
 
 #[test]
 fn run_json_output_parses() {
-    let (ok, stdout, _) =
-        ccsim(&["run", "--workload", "mp3d", "--protocol", "baseline", "--json"]);
+    let (ok, stdout, _) = ccsim(&[
+        "run",
+        "--workload",
+        "mp3d",
+        "--protocol",
+        "baseline",
+        "--json",
+    ]);
     assert!(ok);
     assert!(stdout.trim_start().starts_with('{'));
     assert!(stdout.contains("\"protocol\": \"Baseline\""));
@@ -50,8 +56,17 @@ fn compare_renders_triptych() {
 #[test]
 fn custom_geometry_flags() {
     let (ok, stdout, _) = ccsim(&[
-        "run", "--workload", "mp3d", "--protocol", "ad", "--block", "32", "--l2-kb", "128",
-        "--quantum", "16",
+        "run",
+        "--workload",
+        "mp3d",
+        "--protocol",
+        "ad",
+        "--block",
+        "32",
+        "--l2-kb",
+        "128",
+        "--quantum",
+        "16",
     ]);
     assert!(ok, "stdout: {stdout}");
     assert!(stdout.contains("protocol        AD"));
@@ -59,8 +74,14 @@ fn custom_geometry_flags() {
 
 #[test]
 fn relaxed_consistency_zeroes_write_stall() {
-    let (ok, stdout, _) =
-        ccsim(&["run", "--workload", "mp3d", "--protocol", "baseline", "--relaxed"]);
+    let (ok, stdout, _) = ccsim(&[
+        "run",
+        "--workload",
+        "mp3d",
+        "--protocol",
+        "baseline",
+        "--relaxed",
+    ]);
     assert!(ok);
     let ws: u64 = stdout
         .lines()
@@ -84,7 +105,13 @@ fn bad_arguments_fail_with_usage() {
 #[test]
 fn mesh_flag_accepted() {
     let (ok, stdout, _) = ccsim(&[
-        "run", "--workload", "mp3d", "--protocol", "ls", "--mesh", "2",
+        "run",
+        "--workload",
+        "mp3d",
+        "--protocol",
+        "ls",
+        "--mesh",
+        "2",
     ]);
     assert!(ok, "stdout: {stdout}");
 }

@@ -1,38 +1,33 @@
 //! Cross-crate integration tests through the `ccsim` facade: every paper
 //! claim that must hold at any scale, exercised end-to-end (workload →
 //! engine → protocol → stats).
+//!
+//! Multi-run comparisons go through the harness [`JobSet`], so independent
+//! protocol runs fan out across the worker pool and land in the shared run
+//! cache (`target/ccsim-cache/`) — a warm second `cargo test` replays them
+//! from disk. Tests whose *point* is fresh simulation (determinism) bypass
+//! the cache explicitly.
+//!
+//! Paper-scale variants of the headline claims are `#[ignore]`d; run them
+//! with `cargo test -- --ignored` (minutes of simulation).
 
 use ccsim::engine::RunStats;
+use ccsim::harness::JobSet;
 use ccsim::workloads::{cholesky, lu, mp3d, oltp, run_spec, Spec};
 use ccsim::{MachineConfig, ProtocolKind};
 
+/// One workload under Baseline/AD/LS via the harness (pooled + cached).
 fn all_protocols(cfg_for: impl Fn(ProtocolKind) -> MachineConfig, spec: &Spec) -> Vec<RunStats> {
-    ProtocolKind::ALL.iter().map(|&k| run_spec(cfg_for(k), spec)).collect()
+    let mut set = JobSet::new();
+    for &k in &ProtocolKind::ALL {
+        set.push(cfg_for(k), spec.clone());
+    }
+    set.run()
 }
 
-/// §7: "LS is better than AD in reducing write stall time as well as
-/// network traffic for all applications."
-#[test]
-fn ls_never_worse_than_ad_in_write_stall_and_traffic() {
-    let cases: Vec<(&str, Vec<RunStats>)> = vec![
-        (
-            "MP3D",
-            all_protocols(MachineConfig::splash_baseline, &Spec::Mp3d(mp3d::Mp3dParams::quick())),
-        ),
-        ("LU", all_protocols(MachineConfig::splash_baseline, &Spec::Lu(lu::LuParams::quick()))),
-        (
-            "Cholesky",
-            all_protocols(
-                MachineConfig::splash_baseline,
-                &Spec::Cholesky(cholesky::CholeskyParams::quick()),
-            ),
-        ),
-        (
-            "OLTP",
-            all_protocols(MachineConfig::oltp_scaled, &Spec::Oltp(oltp::OltpParams::quick())),
-        ),
-    ];
-    for (name, runs) in &cases {
+/// The §7 headline claim, checked on a list of named protocol triples.
+fn assert_ls_beats_ad(cases: &[(&str, Vec<RunStats>)]) {
+    for (name, runs) in cases {
         let (base, ad, ls) = (&runs[0], &runs[1], &runs[2]);
         assert!(
             ls.write_stall() <= ad.write_stall(),
@@ -55,16 +50,96 @@ fn ls_never_worse_than_ad_in_write_stall_and_traffic() {
             ls.traffic.total_bytes(),
             ad.traffic.total_bytes()
         );
-        assert!(ls.traffic.total_bytes() < base.traffic.total_bytes(), "{name}: traffic");
+        assert!(
+            ls.traffic.total_bytes() < base.traffic.total_bytes(),
+            "{name}: traffic"
+        );
     }
+}
+
+/// §7: "LS is better than AD in reducing write stall time as well as
+/// network traffic for all applications."
+#[test]
+fn ls_never_worse_than_ad_in_write_stall_and_traffic() {
+    let cases: Vec<(&str, Vec<RunStats>)> = vec![
+        (
+            "MP3D",
+            all_protocols(
+                MachineConfig::splash_baseline,
+                &Spec::Mp3d(mp3d::Mp3dParams::quick()),
+            ),
+        ),
+        (
+            "LU",
+            all_protocols(
+                MachineConfig::splash_baseline,
+                &Spec::Lu(lu::LuParams::quick()),
+            ),
+        ),
+        (
+            "Cholesky",
+            all_protocols(
+                MachineConfig::splash_baseline,
+                &Spec::Cholesky(cholesky::CholeskyParams::quick()),
+            ),
+        ),
+        (
+            "OLTP",
+            all_protocols(
+                MachineConfig::oltp_scaled,
+                &Spec::Oltp(oltp::OltpParams::quick()),
+            ),
+        ),
+    ];
+    assert_ls_beats_ad(&cases);
+}
+
+/// The same §7 claim at the paper's problem sizes (minutes of simulation on
+/// a cold cache): `cargo test -- --ignored`.
+#[test]
+#[ignore = "paper-scale run: minutes on a cold cache"]
+fn ls_never_worse_than_ad_at_paper_scale() {
+    let cases: Vec<(&str, Vec<RunStats>)> = vec![
+        (
+            "MP3D",
+            all_protocols(
+                MachineConfig::splash_baseline,
+                &Spec::Mp3d(mp3d::Mp3dParams::paper()),
+            ),
+        ),
+        (
+            "LU",
+            all_protocols(
+                MachineConfig::splash_baseline,
+                &Spec::Lu(lu::LuParams::paper()),
+            ),
+        ),
+        (
+            "Cholesky",
+            all_protocols(
+                MachineConfig::splash_baseline,
+                &Spec::Cholesky(cholesky::CholeskyParams::paper()),
+            ),
+        ),
+        (
+            "OLTP",
+            all_protocols(
+                MachineConfig::oltp_scaled,
+                &Spec::Oltp(oltp::OltpParams::paper()),
+            ),
+        ),
+    ];
+    assert_ls_beats_ad(&cases);
 }
 
 /// Baseline never produces exclusive grants or silent stores; AD and LS
 /// both do on every workload with write sharing.
 #[test]
 fn optimization_fires_only_under_ad_and_ls() {
-    let runs =
-        all_protocols(MachineConfig::splash_baseline, &Spec::Mp3d(mp3d::Mp3dParams::quick()));
+    let runs = all_protocols(
+        MachineConfig::splash_baseline,
+        &Spec::Mp3d(mp3d::Mp3dParams::quick()),
+    );
     assert_eq!(runs[0].machine.silent_stores, 0);
     assert_eq!(runs[0].dir.exclusive_grants, 0);
     assert!(runs[1].machine.silent_stores > 0, "AD");
@@ -85,7 +160,10 @@ fn ls_coverage_superset_of_ad() {
         ),
         (
             "OLTP",
-            all_protocols(MachineConfig::oltp_scaled, &Spec::Oltp(oltp::OltpParams::quick())),
+            all_protocols(
+                MachineConfig::oltp_scaled,
+                &Spec::Oltp(oltp::OltpParams::quick()),
+            ),
         ),
     ] {
         let (ad, ls) = (&runs[1], &runs[2]);
@@ -104,8 +182,10 @@ fn ls_coverage_superset_of_ad() {
 /// exact equality is not expected).
 #[test]
 fn ls_occurrence_roughly_protocol_independent() {
-    let runs =
-        all_protocols(MachineConfig::splash_baseline, &Spec::Mp3d(mp3d::Mp3dParams::quick()));
+    let runs = all_protocols(
+        MachineConfig::splash_baseline,
+        &Spec::Mp3d(mp3d::Mp3dParams::quick()),
+    );
     let fracs: Vec<f64> = runs.iter().map(|r| r.oracle.ls_fraction(None)).collect();
     for w in fracs.windows(2) {
         assert!(
@@ -129,14 +209,14 @@ fn ls_ad_gap_closes_with_larger_caches() {
         seed: 0x43484F4C,
     };
     let gap_at = |l2_kb: u64| -> f64 {
-        let runs: Vec<RunStats> = ProtocolKind::ALL
-            .iter()
-            .map(|&k| {
+        let runs = all_protocols(
+            |k| {
                 let mut cfg = MachineConfig::splash_baseline(k);
                 cfg.l2.size_bytes = l2_kb * 1024;
-                run_spec(cfg, &Spec::Cholesky(params.clone()))
-            })
-            .collect();
+                cfg
+            },
+            &Spec::Cholesky(params.clone()),
+        );
         let base = runs[0].write_stall() as f64;
         (runs[1].write_stall() as f64 - runs[2].write_stall() as f64) / base
     };
@@ -149,7 +229,9 @@ fn ls_ad_gap_closes_with_larger_caches() {
 }
 
 /// Every workload runs deterministically end-to-end (same seed → identical
-/// cycle counts, traffic, and oracle numbers).
+/// cycle counts, traffic, and oracle numbers). Deliberately NOT cached:
+/// both runs must simulate from scratch for the comparison to mean
+/// anything.
 #[test]
 fn workloads_are_deterministic_end_to_end() {
     let spec = Spec::Cholesky(cholesky::CholeskyParams::quick());
@@ -158,7 +240,10 @@ fn workloads_are_deterministic_end_to_end() {
     assert_eq!(a.exec_cycles, b.exec_cycles);
     assert_eq!(a.traffic.total_bytes(), b.traffic.total_bytes());
     assert_eq!(a.dir.global_reads, b.dir.global_reads);
-    assert_eq!(a.oracle.total().global_writes, b.oracle.total().global_writes);
+    assert_eq!(
+        a.oracle.total().global_writes,
+        b.oracle.total().global_writes
+    );
 }
 
 /// The execution-time accounting is complete: busy + stalls ≥ the critical
@@ -166,11 +251,17 @@ fn workloads_are_deterministic_end_to_end() {
 #[test]
 fn time_accounting_adds_up() {
     let spec = Spec::Mp3d(mp3d::Mp3dParams::quick());
-    let r = run_spec(MachineConfig::splash_baseline(ProtocolKind::Baseline), &spec);
+    let r = run_spec(
+        MachineConfig::splash_baseline(ProtocolKind::Baseline),
+        &spec,
+    );
     for (i, t) in r.per_proc.iter().enumerate() {
         assert!(t.total() > 0, "processor {i} did nothing");
     }
-    assert!(r.total_cycles() >= r.exec_cycles, "sum over procs >= critical path");
+    assert!(
+        r.total_cycles() >= r.exec_cycles,
+        "sum over procs >= critical path"
+    );
     assert!(
         r.exec_cycles * (r.per_proc.len() as u64) >= r.total_cycles(),
         "no processor's clock can exceed the max"

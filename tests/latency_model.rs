@@ -58,7 +58,11 @@ fn remote_dirty_miss_is_420_cycles() {
         }
         let before = p.now();
         p.load(victim);
-        assert_eq!(p.now() - before, 420, "Table 1: remote access (read-on-dirty)");
+        assert_eq!(
+            p.now() - before,
+            420,
+            "Table 1: remote access (read-on-dirty)"
+        );
     });
     sim.run();
 }

@@ -66,8 +66,10 @@ fn litmus_store_buffering() {
                 r[1].store(p.load(x), Ordering::Relaxed);
             });
             sim.run();
-            let (r0, r1) =
-                (results[0].load(Ordering::Relaxed), results[1].load(Ordering::Relaxed));
+            let (r0, r1) = (
+                results[0].load(Ordering::Relaxed),
+                results[1].load(Ordering::Relaxed),
+            );
             assert!(
                 !(r0 == 0 && r1 == 0),
                 "{kind:?} skew {skew}: SB outcome (0,0) forbidden under SC"
@@ -184,6 +186,60 @@ fn litmus_rmw_atomicity() {
             let done = sim.run_full();
             assert_eq!(done.peek(a), 400, "{kind:?} padded={padded}");
             assert_eq!(done.peek(b), 2 * 4 * 34, "{kind:?} padded={padded}");
+        }
+    }
+}
+
+/// Stress variant: the message-passing and store-buffering shapes swept
+/// over a dense grid of skews, exploring far more interleavings than the
+/// default suite. `cargo test -- --ignored`.
+#[test]
+#[ignore = "dense skew sweep: slow; run with -- --ignored"]
+fn litmus_stress_dense_skew_sweep() {
+    for kind in ProtocolKind::ALL {
+        for skew in (0u64..1000).step_by(7) {
+            // Message passing.
+            let mut sim = machine(kind);
+            let x = sim.alloc().alloc_padded(8, 64);
+            let flag = sim.alloc().alloc_padded(8, 64);
+            sim.spawn(move |p| {
+                p.busy(skew);
+                p.store(x, 1);
+                p.store(flag, 1);
+            });
+            sim.spawn(move |p| {
+                while p.load(flag) == 0 {
+                    p.busy(7);
+                }
+                assert_eq!(p.load(x), 1, "{kind:?} skew {skew}: MP violation");
+            });
+            sim.run();
+
+            // Store buffering.
+            let results = Arc::new([AtomicU64::new(9), AtomicU64::new(9)]);
+            let mut sim = machine(kind);
+            let x = sim.alloc().alloc_padded(8, 64);
+            let y = sim.alloc().alloc_padded(8, 64);
+            let r = Arc::clone(&results);
+            sim.spawn(move |p| {
+                p.store(x, 1);
+                r[0].store(p.load(y), Ordering::Relaxed);
+            });
+            let r = Arc::clone(&results);
+            sim.spawn(move |p| {
+                p.busy(skew);
+                p.store(y, 1);
+                r[1].store(p.load(x), Ordering::Relaxed);
+            });
+            sim.run();
+            let (r0, r1) = (
+                results[0].load(Ordering::Relaxed),
+                results[1].load(Ordering::Relaxed),
+            );
+            assert!(
+                !(r0 == 0 && r1 == 0),
+                "{kind:?} skew {skew}: SB outcome (0,0) forbidden under SC"
+            );
         }
     }
 }

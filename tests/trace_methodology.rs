@@ -24,11 +24,18 @@ fn capture_mp3d() -> (ccsim::engine::RunStats, ccsim::engine::Trace) {
 #[test]
 fn replay_reproduces_the_captured_workload_exactly() {
     let (orig, trace) = capture_mp3d();
-    let replayed = replay(MachineConfig::splash_baseline(ProtocolKind::Baseline), &trace, &[]);
+    let replayed = replay(
+        MachineConfig::splash_baseline(ProtocolKind::Baseline),
+        &trace,
+        &[],
+    );
     assert_eq!(replayed.exec_cycles, orig.exec_cycles);
     assert_eq!(replayed.traffic.total_bytes(), orig.traffic.total_bytes());
     assert_eq!(replayed.dir.global_reads, orig.dir.global_reads);
-    assert_eq!(replayed.dir.ownership_acquisitions(), orig.dir.ownership_acquisitions());
+    assert_eq!(
+        replayed.dir.ownership_acquisitions(),
+        orig.dir.ownership_acquisitions()
+    );
 }
 
 #[test]
@@ -66,7 +73,11 @@ fn trace_survives_serialization_at_workload_scale() {
     let back = ccsim::engine::Trace::from_bytes(&bytes).unwrap();
     assert_eq!(back, trace);
     // Replay of the deserialized trace matches replay of the original.
-    let a = replay(MachineConfig::splash_baseline(ProtocolKind::Ls), &trace, &[]);
+    let a = replay(
+        MachineConfig::splash_baseline(ProtocolKind::Ls),
+        &trace,
+        &[],
+    );
     let b = replay(MachineConfig::splash_baseline(ProtocolKind::Ls), &back, &[]);
     assert_eq!(a.exec_cycles, b.exec_cycles);
     assert_eq!(a.machine.silent_stores, b.machine.silent_stores);
