@@ -574,6 +574,21 @@ impl Directory {
         }
     }
 
+    /// Test-only: deliberately break this block's entry by claiming it is
+    /// merely Shared (keeping whatever sharer set it has, or fabricating a
+    /// phantom sharer). If a cache actually owns the block, the directory
+    /// and the caches now disagree — a seeded mutation the engine's
+    /// invariant checker must catch as an SWMR or state-agreement
+    /// violation. Never called outside tests.
+    #[doc(hidden)]
+    pub fn corrupt_entry_for_test(&mut self, block: BlockAddr) {
+        let e = self.entry_mut(block);
+        e.state = HomeState::Shared;
+        if e.sharers.is_empty() {
+            e.sharers.insert(NodeId(0));
+        }
+    }
+
     /// Check every entry's internal consistency (test support).
     pub fn check_invariants(&self) -> Result<(), String> {
         for (b, e) in &self.entries {

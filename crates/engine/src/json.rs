@@ -107,6 +107,7 @@ impl ToJson for MachineCounters {
             ("silent_stores", self.silent_stores.to_json()),
             ("dirty_hits", self.dirty_hits.to_json()),
             ("retries", self.retries.to_json()),
+            ("nacks", self.nacks.to_json()),
         ])
     }
 }
@@ -119,6 +120,7 @@ impl FromJson for MachineCounters {
             silent_stores: j.field("silent_stores")?,
             dirty_hits: j.field("dirty_hits")?,
             retries: j.field("retries")?,
+            nacks: j.field("nacks")?,
         })
     }
 }

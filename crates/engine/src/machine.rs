@@ -10,10 +10,11 @@
 use ccsim_cache::{Hierarchy, LineState, Probe};
 use ccsim_core::{Directory, GrantKind, OwnerAction, ReadStep, WriteStep};
 use ccsim_mem::{pages, Store};
-use ccsim_network::Network;
+use ccsim_network::{Delivery, Network};
 use ccsim_types::{Addr, BlockAddr, Consistency, MachineConfig, MsgKind, NodeId};
 use ccsim_util::FxHashMap;
 
+use crate::invariants::{InvariantChecker, InvariantMode, InvariantReport};
 use crate::oracle::{Component, FalseSharing, LsOracle};
 
 /// How the time an operation took should be attributed in the execution-time
@@ -40,6 +41,8 @@ pub struct MachineCounters {
     pub dirty_hits: u64,
     /// Transactions bounced off a busy block.
     pub retries: u64,
+    /// Requests NACKed by the fault injector and re-issued after backoff.
+    pub nacks: u64,
 }
 
 /// Why a processor asks the home for ownership.
@@ -65,14 +68,24 @@ pub struct Machine {
     oracle: LsOracle,
     fs: FalseSharing,
     counters: MachineCounters,
+    invariants: InvariantChecker,
 }
 
 impl Machine {
     pub fn new(cfg: MachineConfig) -> Self {
-        cfg.validate().expect("invalid machine config");
-        Machine {
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("invalid machine config: {e}"))
+    }
+
+    /// Fallible constructor: reports configuration problems (including an
+    /// invalid topology) instead of panicking.
+    pub fn try_new(cfg: MachineConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        let mut net =
+            Network::try_with_topology(cfg.nodes, cfg.latency, cfg.block_bytes(), cfg.topology)?;
+        net.install_faults(cfg.faults);
+        Ok(Machine {
             store: Store::new(),
-            net: Network::with_topology(cfg.nodes, cfg.latency, cfg.block_bytes(), cfg.topology),
+            net,
             dirs: (0..cfg.nodes)
                 .map(|_| Directory::new(cfg.protocol))
                 .collect(),
@@ -81,8 +94,24 @@ impl Machine {
             oracle: LsOracle::new(),
             fs: FalseSharing::new(cfg.nodes, cfg.block_bytes()),
             counters: MachineCounters::default(),
+            invariants: InvariantChecker::new(InvariantMode::from_env()),
             cfg,
-        }
+        })
+    }
+
+    /// Select the invariant-checking mode (overrides `CCSIM_INVARIANTS`).
+    pub fn set_invariant_mode(&mut self, mode: InvariantMode) {
+        self.invariants.set_mode(mode);
+    }
+
+    /// What the invariant checker observed so far.
+    pub fn invariant_report(&self) -> &InvariantReport {
+        self.invariants.report()
+    }
+
+    /// What the network's fault injector did so far (zeroes when disabled).
+    pub fn fault_stats(&self) -> ccsim_network::FaultStats {
+        self.net.fault_stats()
     }
 
     pub fn config(&self) -> &MachineConfig {
@@ -107,6 +136,7 @@ impl Machine {
     /// Directly initialize a word before simulation starts.
     pub fn poke(&mut self, addr: Addr, value: u64) {
         self.store.store(addr, value);
+        self.invariants.record_golden(addr, value);
     }
 
     // --- internals ----------------------------------------------------------
@@ -120,6 +150,28 @@ impl Machine {
             t2
         } else {
             t2 + self.cfg.latency.mc
+        }
+    }
+
+    /// A request hop the fault injector may NACK: re-issue with capped
+    /// exponential backoff until delivered (the `Retry` message's driver).
+    /// Termination is guaranteed by the injector's bounded NACK streaks.
+    fn request_hop(&mut self, t0: u64, from: NodeId, to: NodeId, kind: MsgKind) -> u64 {
+        let lat = self.cfg.latency;
+        let mut backoff = lat.net.max(1);
+        let cap = backoff * 64;
+        let mut t = t0;
+        loop {
+            match self.net.send_request(t, from, to, kind) {
+                Delivery::Delivered(t2) => {
+                    return if from == to { t2 } else { t2 + lat.mc };
+                }
+                Delivery::Nacked(back) => {
+                    self.counters.nacks += 1;
+                    t = back + backoff;
+                    backoff = (backoff * 2).min(cap);
+                }
+            }
         }
     }
 
@@ -153,6 +205,32 @@ impl Machine {
         }
     }
 
+    /// All caches currently holding `block`, with their line states.
+    fn holders(&self, block: BlockAddr) -> Vec<(NodeId, LineState)> {
+        (0..self.cfg.nodes)
+            .filter_map(|n| self.caches[n as usize].state(block).map(|s| (NodeId(n), s)))
+            .collect()
+    }
+
+    /// Post-transaction invariant hook: re-derive SWMR and directory/cache
+    /// agreement for the block the access touched.
+    fn verify(&mut self, block: BlockAddr, p: NodeId, t: u64) {
+        if self.invariants.mode() == InvariantMode::Off {
+            return;
+        }
+        let home = self.home(block.addr());
+        let entry = self.dirs[home.idx()].entry(block).copied();
+        let holders = self.holders(block);
+        self.invariants.check_block(
+            self.cfg.protocol.kind,
+            block,
+            entry.as_ref(),
+            &holders,
+            p,
+            t,
+        );
+    }
+
     /// (owner_wrote, owner_dirty) for a forwarded request.
     fn owner_state(&self, owner: NodeId, block: BlockAddr) -> (bool, bool) {
         match self.caches[owner.idx()].state(block) {
@@ -171,27 +249,28 @@ impl Machine {
         let block = self.block_of(addr);
         let lat = self.cfg.latency;
         let value = self.store.load(addr);
-        match self.caches[p.idx()].probe(block) {
+        let (t, stall) = match self.caches[p.idx()].probe(block) {
             Probe::L1(_) => {
                 self.counters.l1_hits += 1;
-                (value, t0 + lat.l1_hit, StallKind::None)
+                (t0 + lat.l1_hit, StallKind::None)
             }
             Probe::L2(_) => {
                 self.counters.l2_hits += 1;
-                (value, t0 + lat.l1_hit + lat.l2_hit, StallKind::None)
+                (t0 + lat.l1_hit + lat.l2_hit, StallKind::None)
             }
-            Probe::Miss => {
-                let t = self.global_read(p, addr, block, t0);
-                (value, t, StallKind::Read)
-            }
-        }
+            Probe::Miss => (self.global_read(p, addr, block, t0), StallKind::Read),
+        };
+        self.invariants
+            .check_value(addr, value, block, p, t, self.cfg.protocol.kind);
+        self.verify(block, p, t);
+        (value, t, stall)
     }
 
     fn global_read(&mut self, p: NodeId, addr: Addr, block: BlockAddr, t0: u64) -> u64 {
         let lat = self.cfg.latency;
         let home = self.home(addr);
         let mut t = t0 + lat.l1_hit + lat.l2_hit;
-        t = self.hop(t, p, home, MsgKind::ReadReq);
+        t = self.request_hop(t, p, home, MsgKind::ReadReq);
         t += lat.mc;
         t = self.wait_for_block(block, t, home, p);
         self.oracle.global_read(block, p);
@@ -267,20 +346,24 @@ impl Machine {
         let block = self.block_of(addr);
         let lat = self.cfg.latency;
         let value = self.store.load(addr);
-        match self.caches[p.idx()].probe(block) {
+        let (t, stall) = match self.caches[p.idx()].probe(block) {
             Probe::L1(s) | Probe::L2(s) if s.is_exclusive() => {
                 self.counters.l1_hits += 1;
-                (value, t0 + lat.l1_hit, StallKind::None)
+                (t0 + lat.l1_hit, StallKind::None)
             }
-            Probe::L1(LineState::Shared) | Probe::L2(LineState::Shared) => {
-                let t = self.global_acquire(p, addr, block, t0, true, Acquire::ReadExclusive);
-                (value, t, StallKind::Read)
-            }
-            _ => {
-                let t = self.global_acquire(p, addr, block, t0, false, Acquire::ReadExclusive);
-                (value, t, StallKind::Read)
-            }
-        }
+            Probe::L1(LineState::Shared) | Probe::L2(LineState::Shared) => (
+                self.global_acquire(p, addr, block, t0, true, Acquire::ReadExclusive),
+                StallKind::Read,
+            ),
+            _ => (
+                self.global_acquire(p, addr, block, t0, false, Acquire::ReadExclusive),
+                StallKind::Read,
+            ),
+        };
+        self.invariants
+            .check_value(addr, value, block, p, t, self.cfg.protocol.kind);
+        self.verify(block, p, t);
+        (value, t, stall)
     }
 
     /// A store by processor `p` starting at time `t0`. Returns the
@@ -296,8 +379,9 @@ impl Machine {
         let block = self.block_of(addr);
         let lat = self.cfg.latency;
         self.store.store(addr, value);
+        self.invariants.record_golden(addr, value);
         self.fs.on_store(block, addr, p);
-        match self.caches[p.idx()].probe(block) {
+        let (t, stall) = match self.caches[p.idx()].probe(block) {
             Probe::L1(LineState::Modified) | Probe::L2(LineState::Modified) => {
                 self.counters.dirty_hits += 1;
                 (t0 + lat.l1_hit, StallKind::None)
@@ -320,7 +404,9 @@ impl Machine {
                 let t = self.global_acquire(p, addr, block, t0, false, Acquire::Store(comp));
                 self.retire_store(t0, t)
             }
-        }
+        };
+        self.verify(block, p, t);
+        (t, stall)
     }
 
     /// How a global store occupies the processor: under SC it stalls until
@@ -353,7 +439,7 @@ impl Machine {
         } else {
             MsgKind::WriteMissReq
         };
-        t = self.hop(t, p, home, req);
+        t = self.request_hop(t, p, home, req);
         t += lat.mc;
         t = self.wait_for_block(block, t, home, p);
         match purpose {
@@ -438,39 +524,45 @@ impl Machine {
     }
 
     /// Check cache/directory cross-invariants for a block (test support).
+    /// The same rules the runtime [`InvariantChecker`] applies, surfaced as
+    /// a `Result` for direct assertions.
     pub fn check_block(&self, addr: Addr) -> Result<(), String> {
         let block = self.block_of(addr);
         let home = self.home(addr);
-        let dir = &self.dirs[home.idx()];
         for d in &self.dirs {
             d.check_invariants()?;
         }
-        let holders: Vec<(NodeId, LineState)> = (0..self.cfg.nodes)
-            .filter_map(|n| self.caches[n as usize].state(block).map(|s| (NodeId(n), s)))
-            .collect();
-        match dir.entry(block).map(|e| e.state) {
-            None | Some(ccsim_core::HomeState::Uncached) => {
-                if !holders.is_empty() {
-                    return Err(format!("{block}: uncached at home but held by {holders:?}"));
-                }
-            }
-            Some(ccsim_core::HomeState::Shared) => {
-                for (n, s) in &holders {
-                    if *s != LineState::Shared {
-                        return Err(format!("{block}: home Shared but {n} holds {s:?}"));
-                    }
-                }
-                if holders.is_empty() {
-                    return Err(format!("{block}: home Shared but no holders"));
-                }
-            }
-            Some(ccsim_core::HomeState::Owned(o)) => {
-                if holders.len() != 1 || holders[0].0 != o || holders[0].1 == LineState::Shared {
-                    return Err(format!("{block}: home Owned({o}) but held by {holders:?}"));
-                }
-            }
+        let holders = self.holders(block);
+        let entry = self.dirs[home.idx()].entry(block).copied();
+        match crate::invariants::block_violations(
+            self.cfg.protocol.kind,
+            block,
+            entry.as_ref(),
+            &holders,
+        )
+        .into_iter()
+        .next()
+        {
+            Some((rule, detail)) => Err(format!("{}: {detail}", rule.label())),
+            None => Ok(()),
         }
-        Ok(())
+    }
+
+    /// Test-only: corrupt the home directory entry of `addr`'s block, so the
+    /// mutation tests can prove the invariant checker catches a broken
+    /// directory transition rather than silently passing.
+    #[doc(hidden)]
+    pub fn corrupt_directory_for_test(&mut self, addr: Addr) {
+        let block = self.block_of(addr);
+        let home = self.home(addr);
+        self.dirs[home.idx()].corrupt_entry_for_test(block);
+    }
+
+    /// Test-only: desynchronize the golden memory at `addr` so the
+    /// data-value rule demonstrably fires.
+    #[doc(hidden)]
+    pub fn corrupt_golden_for_test(&mut self, addr: Addr) {
+        self.invariants.corrupt_golden_for_test(addr);
     }
 }
 

@@ -13,16 +13,27 @@
 //! their global read and global write back-to-back with no intervening
 //! access: exactly the load-store sequences of §2 of the paper.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use ccsim_mem::Allocator;
 use ccsim_types::{Addr, MachineConfig, NodeId};
 
+use crate::invariants::{InvariantMode, InvariantReport};
 use crate::machine::{Machine, StallKind};
 use crate::oracle::Component;
 use crate::stats::{ProcTimes, RunStats};
 use crate::trace::{Trace, TraceEvent, TraceOp};
+
+/// Default forward-progress watchdog: abort if one memory access spends
+/// more than this many simulated cycles before retiring. Generous enough
+/// for any legitimate contention; small enough to turn a livelocked or
+/// starved run into a diagnostic instead of a hang.
+pub const DEFAULT_WATCHDOG_CYCLES: u64 = 100_000_000;
+
+/// How many recent accesses the watchdog keeps for its diagnostic trace.
+const RECENT_WINDOW: usize = 32;
 
 struct Inner {
     machine: Machine,
@@ -32,6 +43,11 @@ struct Inner {
     comp: Vec<Component>,
     quantum: u64,
     max_cycles: u64,
+    /// Forward-progress watchdog threshold (cycles per single access).
+    watchdog: u64,
+    /// Ring buffer of recent accesses `(proc, op, issue cycle)` reported
+    /// when the watchdog fires.
+    recent: VecDeque<(u16, TraceOp, u64)>,
     /// Captured access stream (None = capture disabled).
     trace: Option<Vec<TraceEvent>>,
 }
@@ -52,6 +68,11 @@ impl Inner {
     }
 
     fn record(&mut self, proc: u16, op: TraceOp) {
+        if self.recent.len() == RECENT_WINDOW {
+            self.recent.pop_front();
+        }
+        self.recent
+            .push_back((proc, op, self.clocks[proc as usize]));
         if let Some(t) = &mut self.trace {
             t.push(TraceEvent { proc, op });
         }
@@ -59,6 +80,19 @@ impl Inner {
 
     fn attribute(&mut self, p: usize, t0: u64, t1: u64, stall: StallKind) {
         let dt = t1 - t0;
+        if dt > self.watchdog {
+            let window: Vec<String> = self
+                .recent
+                .iter()
+                .map(|(q, op, at)| format!("  P{q} @{at}: {op:?}"))
+                .collect();
+            panic!(
+                "forward-progress watchdog: P{p} access took {dt} cycles \
+                 (limit {}) — livelock or starvation?\nrecent accesses:\n{}",
+                self.watchdog,
+                window.join("\n")
+            );
+        }
         match stall {
             StallKind::None => self.times[p].busy += dt,
             StallKind::Read => self.times[p].read_stall += dt,
@@ -292,6 +326,7 @@ pub struct SimBuilder {
     #[allow(clippy::type_complexity)]
     programs: Vec<Box<dyn FnOnce(Proc) + Send + 'static>>,
     max_cycles: u64,
+    watchdog: u64,
     capture: bool,
 }
 
@@ -303,6 +338,7 @@ impl SimBuilder {
             alloc: Allocator::new(0x1000, cfg.page_bytes, cfg.nodes),
             programs: Vec::new(),
             max_cycles: u64::MAX,
+            watchdog: DEFAULT_WATCHDOG_CYCLES,
             capture: false,
         }
     }
@@ -322,6 +358,22 @@ impl SimBuilder {
     /// livelocked workloads in tests).
     pub fn max_cycles(&mut self, cycles: u64) {
         self.max_cycles = cycles;
+    }
+
+    /// Abort with a diagnostic trace window if any single access spends
+    /// more than `cycles` simulated cycles before retiring (forward-progress
+    /// watchdog; defaults to [`DEFAULT_WATCHDOG_CYCLES`]). Unlike
+    /// [`SimBuilder::max_cycles`], which bounds total simulated time, this
+    /// catches livelock and starvation: runs where clocks advance but no
+    /// access completes.
+    pub fn watchdog(&mut self, cycles: u64) {
+        self.watchdog = cycles;
+    }
+
+    /// Set the coherence invariant checking mode for this run, overriding
+    /// the `CCSIM_INVARIANTS` environment variable.
+    pub fn invariants(&mut self, mode: InvariantMode) {
+        self.machine.set_invariant_mode(mode);
     }
 
     /// Record the global access stream for trace-driven replay
@@ -359,6 +411,8 @@ impl SimBuilder {
             comp: vec![Component::App; n],
             quantum: cfg.schedule_quantum,
             max_cycles: self.max_cycles,
+            watchdog: self.watchdog,
+            recent: VecDeque::with_capacity(RECENT_WINDOW),
             trace: if self.capture { Some(Vec::new()) } else { None },
         };
         let shared = Arc::new(Shared {
@@ -460,6 +514,18 @@ impl FinishedSim {
     /// Take the captured trace (if `capture_trace` was enabled).
     pub fn take_trace(&mut self) -> Option<Trace> {
         self.trace.take()
+    }
+
+    /// The coherence invariant report accumulated during the run (empty
+    /// when checking was off).
+    pub fn invariant_report(&self) -> &InvariantReport {
+        self.machine.invariant_report()
+    }
+
+    /// Fault-injection statistics from the interconnect (all zero when no
+    /// fault plan was configured).
+    pub fn fault_stats(&self) -> ccsim_network::FaultStats {
+        self.machine.fault_stats()
     }
 }
 
@@ -675,6 +741,51 @@ mod tests {
             p.busy(100);
         });
         b.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "forward-progress watchdog")]
+    fn watchdog_fires_on_slow_access() {
+        let mut b = SimBuilder::new(cfg());
+        let a = b.alloc().alloc_words(1);
+        // A cold global read costs far more than 10 cycles, so an absurdly
+        // tight watchdog must fire with a diagnostic instead of completing.
+        b.watchdog(10);
+        b.spawn(move |p| {
+            p.load(a);
+        });
+        b.run();
+    }
+
+    #[test]
+    fn watchdog_default_is_silent() {
+        let mut b = SimBuilder::new(cfg());
+        let a = b.alloc().alloc_words(1);
+        b.spawn(move |p| {
+            p.store(a, 7);
+            assert_eq!(p.load(a), 7);
+        });
+        b.run();
+    }
+
+    #[test]
+    fn invariant_checking_reports_clean_runs() {
+        let mut b = SimBuilder::new(cfg());
+        b.invariants(InvariantMode::Strict);
+        let ctr = b.alloc().alloc_words(1);
+        for _ in 0..4 {
+            b.spawn(move |p| {
+                for _ in 0..50 {
+                    p.fetch_add(ctr, 1);
+                    p.busy(5);
+                }
+            });
+        }
+        let fin = b.run_full();
+        let report = fin.invariant_report();
+        assert!(report.is_clean());
+        assert!(report.checks() > 0, "checker must actually have run");
+        assert_eq!(fin.peek(ctr), 200);
     }
 
     #[test]

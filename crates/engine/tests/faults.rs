@@ -1,0 +1,274 @@
+//! Fault-injection soak tests: the protocol must deliver the same *results*
+//! under an adversarial interconnect as on a perfect one.
+//!
+//! The fault injector NACKs and delays real messages at seeded rates, so
+//! latency, traffic and retry counts legitimately change. What must never
+//! change is what the run *computed*: oracle classifications, directory
+//! transition counts, cache hit behaviour, and final memory. To pin that
+//! down exactly, the soak runs under an effectively infinite scheduling
+//! quantum, where the deterministic runner degenerates to fully sequential
+//! execution (P0 runs to completion, then P1, …) — the interleaving is then
+//! independent of timing, so any fault plan must reproduce the fault-free
+//! run's results byte for byte. A second soak at the default quantum = 1
+//! exercises real concurrency under faults and checks completion and
+//! invariant cleanliness.
+//!
+//! Every soak runs with the coherence invariant checker in `Strict` mode:
+//! a single SWMR, state-agreement, or data-value violation aborts the test.
+//! A separate mutation test corrupts one directory entry behind a test-only
+//! hook and asserts the checker actually catches it — proof the green soak
+//! is meaningful.
+
+use ccsim_engine::{Component, InvariantMode, InvariantRule, Machine, RunStats, SimBuilder};
+use ccsim_types::{Addr, FaultConfig, MachineConfig, MsgKind, NodeId, ProtocolKind};
+
+/// A quantum so large the scheduling window never closes: processors run
+/// sequentially in id order, making the interleaving timing-independent.
+const SEQUENTIAL_QUANTUM: u64 = 1 << 40;
+
+const PROCS: usize = 4;
+
+/// One soak run's timing-independent outcome.
+struct Soak {
+    stats: RunStats,
+    /// Final contents of every word the workload touched.
+    mem: Vec<u64>,
+    /// Invariant checks performed (must be nonzero — proof the checker ran).
+    checks: u64,
+    clean: bool,
+}
+
+/// A deterministic synthetic workload with heavy cross-node sharing: a
+/// migratory counter, a read-write shared array, a read-mostly table, and
+/// per-processor accumulators. `iters` scales the run length.
+fn soak_run(kind: ProtocolKind, quantum: u64, faults: FaultConfig, iters: u64) -> Soak {
+    let mut cfg = MachineConfig::splash_baseline(kind);
+    cfg.schedule_quantum = quantum;
+    cfg = cfg.with_faults(faults);
+    let mut b = SimBuilder::new(cfg);
+    b.invariants(InvariantMode::Strict);
+    let ctr = b.alloc().alloc_words(1);
+    let array = b.alloc().alloc_words(64);
+    let table = b.alloc().alloc_words(16);
+    let accum = b.alloc().alloc_words(PROCS as u64);
+    for i in 0..16u64 {
+        b.init(Addr(table.0 + i * 8), i * 1000 + 7);
+    }
+    for id in 0..PROCS as u64 {
+        b.spawn(move |p| {
+            let mut local = 0u64;
+            for i in 0..iters {
+                p.fetch_add(ctr, 1);
+                let a = Addr(array.0 + ((i * 11 + id * 17) % 64) * 8);
+                let v = p.load(a);
+                p.store(a, v + id + 1);
+                local = local.wrapping_add(p.load(Addr(table.0 + (i % 16) * 8)));
+                if i % 3 == 0 {
+                    p.fetch_add_hinted(Addr(array.0 + ((i + id) % 64) * 8), 1);
+                }
+                p.busy(2 + (i % 4));
+            }
+            p.store(Addr(accum.0 + id * 8), local);
+        });
+    }
+    let fin = b.run_full();
+    let mut mem = Vec::new();
+    mem.push(fin.peek(ctr));
+    for w in 0..64 {
+        mem.push(fin.peek(Addr(array.0 + w * 8)));
+    }
+    for w in 0..16 {
+        mem.push(fin.peek(Addr(table.0 + w * 8)));
+    }
+    for w in 0..PROCS as u64 {
+        mem.push(fin.peek(Addr(accum.0 + w * 8)));
+    }
+    let report = fin.invariant_report();
+    Soak {
+        checks: report.checks(),
+        clean: report.is_clean(),
+        mem,
+        stats: fin.stats,
+    }
+}
+
+/// The timing-independent slice of two runs must be byte-identical.
+fn assert_results_identical(faulted: &Soak, base: &Soak, label: &str) {
+    assert_eq!(faulted.stats.oracle, base.stats.oracle, "{label}: oracle");
+    assert_eq!(faulted.stats.dir, base.stats.dir, "{label}: dir stats");
+    assert_eq!(
+        faulted.stats.false_sharing, base.stats.false_sharing,
+        "{label}: false sharing"
+    );
+    let hits = |s: &RunStats| {
+        (
+            s.machine.l1_hits,
+            s.machine.l2_hits,
+            s.machine.silent_stores,
+            s.machine.dirty_hits,
+        )
+    };
+    assert_eq!(hits(&faulted.stats), hits(&base.stats), "{label}: hits");
+    assert_eq!(faulted.mem, base.mem, "{label}: final memory");
+}
+
+fn soak_protocols() -> [ProtocolKind; 3] {
+    [ProtocolKind::Baseline, ProtocolKind::Ad, ProtocolKind::Ls]
+}
+
+fn fault_plan(seed: u64) -> FaultConfig {
+    FaultConfig {
+        nack_per_mille: 60,
+        delay_per_mille: 40,
+        max_delay_cycles: 120,
+        seed,
+    }
+}
+
+/// The core acceptance soak: for several seeds and every protocol, a
+/// faulted sequential run reproduces the fault-free run's oracle counts,
+/// directory statistics, hit behaviour and final memory byte for byte,
+/// with zero strict-mode invariant violations — while demonstrably
+/// injecting faults (nonzero NACKs and Retry traffic).
+#[test]
+fn faults_never_change_results_sequential_soak() {
+    for kind in soak_protocols() {
+        let base = soak_run(kind, SEQUENTIAL_QUANTUM, FaultConfig::default(), 80);
+        assert!(base.clean, "{kind:?}: fault-free run must be clean");
+        assert!(base.checks > 0, "{kind:?}: checker must have run");
+        assert_eq!(base.stats.machine.nacks, 0, "{kind:?}: no faults yet");
+        for seed in [1u64, 0xFA17, 0xDEAD_BEEF] {
+            let faulted = soak_run(kind, SEQUENTIAL_QUANTUM, fault_plan(seed), 80);
+            assert!(faulted.clean, "{kind:?}/{seed:#x}: strict soak clean");
+            assert!(
+                faulted.stats.machine.nacks > 0,
+                "{kind:?}/{seed:#x}: fault plan must actually fire"
+            );
+            assert!(
+                faulted.stats.traffic.kind_count(MsgKind::Retry) > 0,
+                "{kind:?}/{seed:#x}: NACKs must show up as Retry traffic"
+            );
+            assert_results_identical(&faulted, &base, &format!("{kind:?}/{seed:#x}"));
+        }
+    }
+}
+
+/// Same seed, same plan ⇒ the *entire* run, timing included, is identical.
+#[test]
+fn fault_runs_are_deterministic_per_seed() {
+    for kind in [ProtocolKind::Baseline, ProtocolKind::Ls] {
+        let a = soak_run(kind, 1, fault_plan(42), 60);
+        let b = soak_run(kind, 1, fault_plan(42), 60);
+        assert_eq!(a.stats, b.stats, "{kind:?}: same-seed runs must be equal");
+        assert_eq!(a.mem, b.mem);
+    }
+}
+
+/// Concurrent (quantum = 1) soak under faults: the run completes, the
+/// migratory counter adds up, and strict invariant checking stays silent.
+#[test]
+fn concurrent_fault_soak_is_clean_and_correct() {
+    for kind in soak_protocols() {
+        for seed in [7u64, 0xBEEF] {
+            let soak = soak_run(kind, 1, fault_plan(seed), 60);
+            assert!(soak.clean, "{kind:?}/{seed:#x}");
+            assert!(soak.checks > 0);
+            // Every fetch_add retired exactly once: 4 procs × 60 iters.
+            assert_eq!(soak.mem[0], PROCS as u64 * 60, "{kind:?}/{seed:#x}: ctr");
+        }
+    }
+}
+
+/// Mutation test: the green soaks above only mean something if the checker
+/// can actually fail. Corrupt one directory entry behind the test-only
+/// hook — the home forgets its owner and claims the block is merely shared
+/// — then let another processor read. The checker must flag it.
+#[test]
+fn invariant_checker_catches_a_corrupted_directory() {
+    let mut m = Machine::new(MachineConfig::splash_baseline(ProtocolKind::Baseline));
+    m.set_invariant_mode(InvariantMode::Check);
+    let a = Addr(0x1000);
+    let (_, t, _) = m.load(NodeId(0), a, 0);
+    let (t, _) = m.write(NodeId(0), a, 7, t, Component::App);
+    assert!(m.invariant_report().is_clean(), "healthy run is clean");
+    assert!(m.check_block(a).is_ok());
+
+    // P0 holds the block Modified; the corrupted home now hands out a
+    // shared copy to P1 — two incompatible copies exist at once.
+    m.corrupt_directory_for_test(a);
+    let _ = m.load(NodeId(1), a, t);
+    let report = m.invariant_report();
+    assert!(!report.is_clean(), "corruption must be detected");
+    assert!(
+        report
+            .violations()
+            .iter()
+            .any(|v| matches!(v.rule, InvariantRule::Swmr | InvariantRule::StateAgreement)),
+        "violation must be SWMR or state-agreement, got: {report}"
+    );
+    assert!(m.check_block(a).is_err());
+}
+
+/// Strict mode turns the same mutation into an immediate panic.
+#[test]
+#[should_panic(expected = "coherence invariant violated")]
+fn strict_mode_panics_on_corrupted_directory() {
+    let mut m = Machine::new(MachineConfig::splash_baseline(ProtocolKind::Ls));
+    m.set_invariant_mode(InvariantMode::Strict);
+    let a = Addr(0x2000);
+    let (_, t, _) = m.load(NodeId(0), a, 0);
+    let (t, _) = m.write(NodeId(0), a, 9, t, Component::App);
+    m.corrupt_directory_for_test(a);
+    let _ = m.load(NodeId(1), a, t);
+}
+
+/// The data-value rule has teeth too: corrupting the golden memory makes
+/// the very next load of that word a detected violation.
+#[test]
+fn invariant_checker_catches_a_wrong_data_value() {
+    let mut m = Machine::new(MachineConfig::splash_baseline(ProtocolKind::Ad));
+    m.set_invariant_mode(InvariantMode::Check);
+    let a = Addr(0x3000);
+    let (t, _) = m.write(NodeId(0), a, 1234, 0, Component::App);
+    m.corrupt_golden_for_test(a);
+    let _ = m.load(NodeId(1), a, t);
+    let report = m.invariant_report();
+    assert!(report
+        .violations()
+        .iter()
+        .any(|v| matches!(v.rule, InvariantRule::DataValue)));
+}
+
+/// Watchdog: a pathological fault plan cannot hang a run — a single access
+/// that exceeds the per-access budget aborts with a diagnostic instead.
+#[test]
+#[should_panic(expected = "forward-progress watchdog")]
+fn watchdog_aborts_instead_of_hanging_under_faults() {
+    let cfg = MachineConfig::splash_baseline(ProtocolKind::Baseline).with_faults(fault_plan(3));
+    let mut b = SimBuilder::new(cfg);
+    b.watchdog(1); // every global access exceeds one cycle
+    let a = b.alloc().alloc_words(1);
+    b.spawn(move |p| {
+        p.load(a);
+    });
+    b.run();
+}
+
+/// Long soak (`--ignored`): more seeds, longer runs, both scheduling
+/// regimes, all protocols. CI's quick robustness gate runs the tests above;
+/// this is the overnight version.
+#[test]
+#[ignore = "long soak; run with --ignored"]
+fn long_fault_soak() {
+    for kind in soak_protocols() {
+        let base = soak_run(kind, SEQUENTIAL_QUANTUM, FaultConfig::default(), 400);
+        for seed in [1u64, 2, 3, 0xFA17, 0xDEAD_BEEF, 0x1234_5678] {
+            let faulted = soak_run(kind, SEQUENTIAL_QUANTUM, fault_plan(seed), 400);
+            assert!(faulted.clean);
+            assert_results_identical(&faulted, &base, &format!("long {kind:?}/{seed:#x}"));
+            let concurrent = soak_run(kind, 1, fault_plan(seed), 400);
+            assert!(concurrent.clean, "long concurrent {kind:?}/{seed:#x}");
+            assert_eq!(concurrent.mem[0], PROCS as u64 * 400);
+        }
+    }
+}

@@ -21,8 +21,17 @@
 //! * `ro` — read hits, never write (e.g. CI consuming a seeded cache).
 //! * `off` — bypass entirely; always simulate.
 //!
-//! `CCSIM_CACHE_DIR` overrides the cache directory. Corrupt or undecodable
-//! entries are treated as misses and overwritten, never trusted.
+//! `CCSIM_CACHE_DIR` overrides the cache directory.
+//!
+//! # Corruption safety
+//!
+//! Every entry embeds a checksum of its statistics payload, verified on
+//! every read. An entry that is truncated, garbled, checksum-mismatched, or
+//! written by a different format version is never trusted: it counts as a
+//! miss, and the offending file is *quarantined* — renamed to
+//! `<key>.json.corrupt` — so it can be inspected after the fact instead of
+//! being silently overwritten (a fresh store then heals the key). Only a
+//! cleanly absent file is a plain miss with no quarantine.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -34,7 +43,8 @@ use ccsim_workloads::{run_spec, Spec};
 
 /// Bumped whenever the cache key derivation or the stored encoding changes
 /// shape; combined with the crate version it salts every key.
-const CACHE_FORMAT: &str = "ccsim-run-cache-v1";
+/// v2: entries carry a verified checksum over the statistics payload.
+const CACHE_FORMAT: &str = "ccsim-run-cache-v2";
 
 /// How the cache participates in a run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,12 +60,24 @@ pub enum CacheMode {
 impl CacheMode {
     /// Read `CCSIM_CACHE` (`off` | `rw` | `ro`; default `rw`). Unknown
     /// values fall back to `rw` — an experiment run should not die on a
-    /// typo'd tuning variable.
+    /// typo'd tuning variable — but warn once on stderr, naming the value
+    /// and the accepted set, so the typo is visible.
     pub fn from_env() -> CacheMode {
         match std::env::var("CCSIM_CACHE").as_deref() {
             Ok("off") => CacheMode::Off,
             Ok("ro") => CacheMode::ReadOnly,
-            _ => CacheMode::ReadWrite,
+            Ok("rw") | Ok("") | Err(_) => CacheMode::ReadWrite,
+            Ok(other) => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                let other = other.to_string();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "ccsim: unknown CCSIM_CACHE value {other:?} \
+                         (accepted: \"off\", \"ro\", \"rw\"); using \"rw\""
+                    );
+                });
+                CacheMode::ReadWrite
+            }
         }
     }
 }
@@ -76,6 +98,7 @@ static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 static BYPASSES: AtomicU64 = AtomicU64::new(0);
 static STORES: AtomicU64 = AtomicU64::new(0);
+static QUARANTINED: AtomicU64 = AtomicU64::new(0);
 
 /// Snapshot of the process-wide cache counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -88,6 +111,8 @@ pub struct CacheStats {
     pub bypasses: u64,
     /// Entries written to disk.
     pub stores: u64,
+    /// Corrupt entries renamed to `*.corrupt` instead of being trusted.
+    pub quarantined: u64,
 }
 
 impl CacheStats {
@@ -98,6 +123,7 @@ impl CacheStats {
             misses: MISSES.load(Ordering::Relaxed),
             bypasses: BYPASSES.load(Ordering::Relaxed),
             stores: STORES.load(Ordering::Relaxed),
+            quarantined: QUARANTINED.load(Ordering::Relaxed),
         }
     }
 
@@ -108,14 +134,15 @@ impl CacheStats {
             misses: self.misses - earlier.misses,
             bypasses: self.bypasses - earlier.bypasses,
             stores: self.stores - earlier.stores,
+            quarantined: self.quarantined - earlier.quarantined,
         }
     }
 
     /// One-line human summary (experiment binaries print this at exit).
     pub fn summary(&self) -> String {
         format!(
-            "run cache: {} hits, {} misses, {} bypasses, {} stores",
-            self.hits, self.misses, self.bypasses, self.stores
+            "run cache: {} hits, {} misses, {} bypasses, {} stores, {} quarantined",
+            self.hits, self.misses, self.bypasses, self.stores, self.quarantined
         )
     }
 }
@@ -136,24 +163,85 @@ fn entry_path(dir: &Path, key: &str) -> PathBuf {
     dir.join(format!("{key}.json"))
 }
 
-/// Load a cached result, verifying it decodes cleanly. Any I/O or decode
-/// failure is a miss.
+/// Where a corrupt entry is moved for post-mortem inspection.
+fn quarantine_path(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!("{key}.json.corrupt"))
+}
+
+/// Checksum of the statistics payload: the stable hash of its compact
+/// canonical encoding, as 16 hex digits.
+fn stats_checksum(stats_json: &Json) -> String {
+    format!("{:016x}", fnv1a64(stats_json.to_string().as_bytes()))
+}
+
+/// Decode and verify one entry's text: format marker, checksum over the
+/// statistics payload, then a full statistics decode.
+fn decode_entry(text: &str) -> Result<RunStats, String> {
+    let j = Json::parse(text)?;
+    let format: String = j.field("format")?;
+    if format != CACHE_FORMAT {
+        return Err(format!(
+            "entry format {format:?}, expected {CACHE_FORMAT:?}"
+        ));
+    }
+    let stored: String = j.field("checksum")?;
+    let stats_json = j.req("stats")?;
+    let computed = stats_checksum(stats_json);
+    if stored != computed {
+        return Err(format!(
+            "checksum mismatch: stored {stored}, computed {computed}"
+        ));
+    }
+    RunStats::from_json(stats_json)
+}
+
+/// Sideline a corrupt entry as `<key>.json.corrupt` (best-effort; the
+/// rename is atomic so concurrent readers either see the bad entry or no
+/// entry, never half of each).
+fn quarantine(dir: &Path, key: &str) {
+    let _ = std::fs::rename(entry_path(dir, key), quarantine_path(dir, key));
+    QUARANTINED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Load a cached result, verifying format, checksum and a clean decode.
+/// A cleanly absent file is a plain miss; anything else that fails is
+/// quarantined and then a miss.
 fn load(dir: &Path, key: &str) -> Option<RunStats> {
-    let text = std::fs::read_to_string(entry_path(dir, key)).ok()?;
-    RunStats::from_json(&Json::parse(&text).ok()?).ok()
+    let text = match std::fs::read_to_string(entry_path(dir, key)) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+        Err(_) => {
+            quarantine(dir, key);
+            return None;
+        }
+    };
+    match decode_entry(&text) {
+        Ok(stats) => Some(stats),
+        Err(_) => {
+            quarantine(dir, key);
+            None
+        }
+    }
 }
 
 /// Store a result atomically: write a unique temp file in the cache
 /// directory, then rename over the final path (rename is atomic on the
-/// same filesystem, so readers never observe a partial entry).
+/// same filesystem, so concurrent writers of the same key are safe and
+/// readers never observe a partial entry).
 fn store(dir: &Path, key: &str, stats: &RunStats) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
+    let stats_json = stats.to_json();
+    let doc = Json::obj(vec![
+        ("format", CACHE_FORMAT.to_json()),
+        ("checksum", stats_checksum(&stats_json).to_json()),
+        ("stats", stats_json),
+    ]);
     let tmp = dir.join(format!(
         ".{key}.tmp.{}.{:?}",
         std::process::id(),
         std::thread::current().id()
     ));
-    std::fs::write(&tmp, stats.to_json().pretty())?;
+    std::fs::write(&tmp, doc.pretty())?;
     std::fs::rename(&tmp, entry_path(dir, key))
 }
 
@@ -271,7 +359,52 @@ mod tests {
         let stats = run_cached_at(cfg, &spec, CacheMode::ReadWrite, &dir);
         let d = CacheStats::snapshot().since(&before);
         assert_eq!((d.hits, d.misses, d.stores), (0, 1, 1));
-        // The healed entry now round-trips.
+        // The corrupt entry was sidelined for inspection, not overwritten
+        // blindly, and the healed entry now round-trips.
+        assert!(quarantine_path(&dir, &key).exists());
+        assert_eq!(load(&dir, &key).unwrap(), stats);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checksum_mismatch_is_quarantined() {
+        let dir = temp_dir("checksum");
+        let cfg = MachineConfig::splash_baseline(ProtocolKind::Ad);
+        let spec = tiny_spec();
+        let key = run_key(&cfg, &spec);
+        let stats = run_cached_at(cfg, &spec, CacheMode::ReadWrite, &dir);
+        // Flip one digit inside the stored statistics payload: the entry
+        // still parses as JSON but no longer matches its checksum.
+        let path = entry_path(&dir, &key);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let needle = format!("\"exec_cycles\": {}", stats.exec_cycles);
+        let tampered = text.replace(
+            &needle,
+            &format!("\"exec_cycles\": {}", stats.exec_cycles + 1),
+        );
+        assert_ne!(text, tampered, "tamper target not found in entry");
+        std::fs::write(&path, tampered).unwrap();
+        assert!(load(&dir, &key).is_none(), "tampered entry must not load");
+        assert!(quarantine_path(&dir, &key).exists());
+        assert!(!path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_format_version_is_quarantined_not_trusted() {
+        let dir = temp_dir("format");
+        let cfg = MachineConfig::splash_baseline(ProtocolKind::Baseline);
+        let spec = tiny_spec();
+        let key = run_key(&cfg, &spec);
+        let stats = run_cached_at(cfg, &spec, CacheMode::ReadWrite, &dir);
+        let path = entry_path(&dir, &key);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace(CACHE_FORMAT, "ccsim-run-cache-v0")).unwrap();
+        assert!(load(&dir, &key).is_none());
+        assert!(quarantine_path(&dir, &key).exists());
+        // The next read-write run heals the key.
+        let again = run_cached_at(cfg, &spec, CacheMode::ReadWrite, &dir);
+        assert_eq!(again, stats);
         assert_eq!(load(&dir, &key).unwrap(), stats);
         let _ = std::fs::remove_dir_all(&dir);
     }

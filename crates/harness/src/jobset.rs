@@ -13,6 +13,7 @@
 //! drop-in replacement for a sequential `for` loop over `run_spec` calls:
 //! same values, same order, less wall-clock.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -28,6 +29,44 @@ use crate::cache::{run_cached_at, CacheMode};
 pub struct Job {
     pub cfg: MachineConfig,
     pub spec: Spec,
+}
+
+/// One job's failure, with enough context to reproduce it: which slot in
+/// the batch, what was being simulated, and the panic message.
+#[derive(Clone, Debug)]
+pub struct JobError {
+    /// The job's index in submission order.
+    pub index: usize,
+    /// Workload description (the spec's debug form).
+    pub workload: String,
+    /// Protocol the failing run was configured with.
+    pub protocol: ProtocolKind,
+    /// Node count of the failing run.
+    pub nodes: u16,
+    /// The panic payload, stringified.
+    pub detail: String,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "job #{} ({} under {:?}, {} nodes) panicked: {}",
+            self.index, self.workload, self.protocol, self.nodes, self.detail
+        )
+    }
+}
+
+/// Stringify a panic payload (panics carry `&str` or `String` in practice;
+/// anything else gets a placeholder rather than being dropped).
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Worker budget for jobs that each spawn `procs_per_run` simulated
@@ -88,37 +127,84 @@ impl JobSet {
         self.jobs.is_empty()
     }
 
-    /// Run every job and return results in submission order, using the
-    /// environment-configured cache mode and worker budget.
-    pub fn run(self) -> Vec<RunStats> {
+    /// The environment-configured worker budget for this batch: host cores
+    /// divided by the widest job's node count.
+    fn env_workers(&self) -> usize {
         let widest = self
             .jobs
             .iter()
             .map(|j| j.cfg.nodes as usize)
             .max()
             .unwrap_or(1);
-        let workers = default_workers(widest);
+        default_workers(widest)
+    }
+
+    /// Run every job and return results in submission order, using the
+    /// environment-configured cache mode and worker budget. Panics on the
+    /// first failed job; use [`JobSet::run_checked`] to keep the healthy
+    /// results of a partially failing batch.
+    pub fn run(self) -> Vec<RunStats> {
+        let workers = self.env_workers();
         self.run_with(workers, CacheMode::from_env(), crate::cache::default_dir())
     }
 
     /// Run with an explicit worker count, cache mode and cache directory
-    /// (the form tests use — no environment reads).
+    /// (the form tests use — no environment reads). Panics with the failing
+    /// job's context if any job fails.
     pub fn run_with(self, workers: usize, mode: CacheMode, dir: PathBuf) -> Vec<RunStats> {
+        self.run_checked_with(workers, mode, dir)
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+            .collect()
+    }
+
+    /// Like [`JobSet::run`], but fail-safe: each job runs under
+    /// `catch_unwind`, so one panicking job yields an `Err` carrying its
+    /// context in that job's result slot while every other job still runs
+    /// to completion.
+    pub fn run_checked(self) -> Vec<Result<RunStats, JobError>> {
+        let workers = self.env_workers();
+        self.run_checked_with(workers, CacheMode::from_env(), crate::cache::default_dir())
+    }
+
+    /// [`JobSet::run_checked`] with an explicit worker count, cache mode
+    /// and cache directory.
+    pub fn run_checked_with(
+        self,
+        workers: usize,
+        mode: CacheMode,
+        dir: PathBuf,
+    ) -> Vec<Result<RunStats, JobError>> {
         let jobs = self.jobs;
         let n = jobs.len();
         if n == 0 {
             return Vec::new();
         }
         let workers = workers.clamp(1, n);
+        let run_one = |i: usize, job: &Job| -> Result<RunStats, JobError> {
+            catch_unwind(AssertUnwindSafe(|| {
+                run_cached_at(job.cfg, &job.spec, mode, &dir)
+            }))
+            .map_err(|payload| JobError {
+                index: i,
+                workload: format!("{:?}", job.spec),
+                protocol: job.cfg.protocol.kind,
+                nodes: job.cfg.nodes,
+                detail: panic_detail(payload),
+            })
+        };
         if workers == 1 {
             // Degenerate pool: run inline, no thread overhead.
             return jobs
-                .into_iter()
-                .map(|j| run_cached_at(j.cfg, &j.spec, mode, &dir))
+                .iter()
+                .enumerate()
+                .map(|(i, j)| run_one(i, j))
                 .collect();
         }
         let next = AtomicUsize::new(0);
-        let results: Mutex<Vec<Option<RunStats>>> = Mutex::new((0..n).map(|_| None).collect());
+        #[allow(clippy::type_complexity)]
+        let results: Mutex<Vec<Option<Result<RunStats, JobError>>>> =
+            Mutex::new((0..n).map(|_| None).collect());
         std::thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(|| loop {
@@ -128,9 +214,8 @@ impl JobSet {
                     if i >= n {
                         break;
                     }
-                    let job = &jobs[i];
-                    let stats = run_cached_at(job.cfg, &job.spec, mode, &dir);
-                    results.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(stats);
+                    let r = run_one(i, &jobs[i]);
+                    results.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(r);
                 });
             }
         });

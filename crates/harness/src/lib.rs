@@ -21,5 +21,5 @@
 pub mod cache;
 pub mod jobset;
 
-pub use cache::{run_cached, CacheMode, CacheStats};
-pub use jobset::{default_workers, run_protocols, Job, JobSet};
+pub use cache::{default_dir, run_cached, run_cached_at, run_key, CacheMode, CacheStats};
+pub use jobset::{default_workers, run_protocols, Job, JobError, JobSet};

@@ -10,7 +10,7 @@ use std::path::PathBuf;
 
 use ccsim_harness::{cache, CacheMode, JobSet};
 use ccsim_types::{MachineConfig, ProtocolKind};
-use ccsim_util::{Json, ToJson};
+use ccsim_util::{fnv1a64, Json, ToJson};
 use ccsim_workloads::{cholesky, mp3d, run_spec, Spec};
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -35,8 +35,8 @@ fn tiny_cholesky() -> Spec {
 }
 
 /// The bytes the cache stores are exactly the fresh run's pretty-printed
-/// canonical JSON — so a warm replay is not merely equal, it is the same
-/// document, under every protocol.
+/// canonical JSON inside the checksummed v2 envelope — so a warm replay is
+/// not merely equal, it is the same document, under every protocol.
 #[test]
 fn cached_entry_bytes_equal_fresh_encoding() {
     let dir = temp_dir("bytes");
@@ -49,7 +49,14 @@ fn cached_entry_bytes_equal_fresh_encoding() {
 
         let entry = dir.join(format!("{}.json", cache::run_key(&cfg, &spec)));
         let on_disk = std::fs::read_to_string(&entry).unwrap();
-        assert_eq!(on_disk, fresh.to_json().pretty(), "{kind:?}: entry bytes");
+        let stats_json = fresh.to_json();
+        let checksum = format!("{:016x}", fnv1a64(stats_json.to_string().as_bytes()));
+        let expected = Json::obj(vec![
+            ("format", "ccsim-run-cache-v2".to_json()),
+            ("checksum", checksum.to_json()),
+            ("stats", stats_json),
+        ]);
+        assert_eq!(on_disk, expected.pretty(), "{kind:?}: entry bytes");
 
         // And the stored document re-encodes to itself (canonical form).
         let reparsed = Json::parse(&on_disk).unwrap();

@@ -14,8 +14,8 @@
 //! All traffic counters live here, split by [`MsgKind`] and by the paper's
 //! read/write/other [`MsgClass`] categories.
 
-use ccsim_types::{LatencyConfig, MsgClass, MsgKind, NodeId, Topology};
-use ccsim_util::{FromJson, Json, ToJson};
+use ccsim_types::{FaultConfig, LatencyConfig, MsgClass, MsgKind, NodeId, Topology};
+use ccsim_util::{FromJson, Json, ToJson, Xoshiro256pp};
 
 /// Injection bandwidth of a network interface (bytes per cycle).
 pub const LINK_BYTES_PER_CYCLE: u64 = 8;
@@ -208,6 +208,92 @@ fn kind_name(kind: MsgKind) -> &'static str {
     }
 }
 
+/// Outcome of a fallible request delivery under fault injection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Delivery {
+    /// The request arrived; the value is its arrival time at the receiver.
+    Delivered(u64),
+    /// The receiver NACKed the request and bounced a [`MsgKind::Retry`]
+    /// back; the value is the time the NACK reaches the original sender,
+    /// who must re-issue (with backoff).
+    Nacked(u64),
+}
+
+/// Counters describing what a fault plan actually did (diagnostics; not
+/// part of serialized run statistics).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Requests NACKed by the injector.
+    pub nacks: u64,
+    /// NACK streaks cut short by the forced-delivery bound.
+    pub forced_deliveries: u64,
+    /// Messages hit by a delay spike.
+    pub delay_spikes: u64,
+    /// Total extra cycles added by delay spikes.
+    pub delay_cycles: u64,
+}
+
+/// After this many consecutive NACKs the injector delivers unconditionally,
+/// so retry loops are guaranteed to terminate under any plan.
+const MAX_CONSECUTIVE_NACKS: u32 = 8;
+
+/// Seeded fault injector: a private xoshiro256++ stream rolled once per
+/// fault opportunity, in the deterministic order the (serialized) engine
+/// calls into the network. Same plan + same workload = same faults.
+struct FaultPlan {
+    cfg: FaultConfig,
+    rng: Xoshiro256pp,
+    consecutive_nacks: u32,
+    stats: FaultStats,
+}
+
+impl FaultPlan {
+    fn new(cfg: FaultConfig) -> Self {
+        FaultPlan {
+            cfg,
+            rng: Xoshiro256pp::seed_from_u64(cfg.seed),
+            consecutive_nacks: 0,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Should the next request be NACKed? Consumes randomness only when the
+    /// NACK class is enabled, so a delay-only plan's stream is unaffected.
+    fn roll_nack(&mut self) -> bool {
+        if self.cfg.nack_per_mille == 0 {
+            return false;
+        }
+        if self.consecutive_nacks >= MAX_CONSECUTIVE_NACKS {
+            self.consecutive_nacks = 0;
+            self.stats.forced_deliveries += 1;
+            return false;
+        }
+        if self.rng.below(1000) < self.cfg.nack_per_mille as u64 {
+            self.consecutive_nacks += 1;
+            self.stats.nacks += 1;
+            true
+        } else {
+            self.consecutive_nacks = 0;
+            false
+        }
+    }
+
+    /// Extra delivery delay for the next timed message (0 = no spike).
+    fn roll_spike(&mut self) -> u64 {
+        if self.cfg.delay_per_mille == 0 {
+            return 0;
+        }
+        if self.rng.below(1000) < self.cfg.delay_per_mille as u64 {
+            let d = 1 + self.rng.below(self.cfg.max_delay_cycles);
+            self.stats.delay_spikes += 1;
+            self.stats.delay_cycles += d;
+            d
+        } else {
+            0
+        }
+    }
+}
+
 /// The interconnect: topology-routed links with per-NI and per-link
 /// queueing.
 pub struct Network {
@@ -219,6 +305,10 @@ pub struct Network {
     /// Cycle until which each directed link is busy (mesh contention).
     link_busy_until: std::collections::HashMap<(NodeId, NodeId), u64>,
     traffic: Traffic,
+    /// Fault injector; `None` when the plan is disabled, in which case no
+    /// randomness is ever consumed and timing is exactly the fault-free
+    /// model.
+    faults: Option<FaultPlan>,
 }
 
 impl Network {
@@ -232,15 +322,44 @@ impl Network {
         block_bytes: u64,
         topology: Topology,
     ) -> Self {
-        topology.validate(nodes).expect("invalid topology");
-        Network {
+        Self::try_with_topology(nodes, latency, block_bytes, topology)
+            .unwrap_or_else(|e| panic!("invalid topology: {e}"))
+    }
+
+    /// Fallible constructor: returns a description of the problem instead
+    /// of panicking on an invalid topology, so front ends can print a clean
+    /// error.
+    pub fn try_with_topology(
+        nodes: u16,
+        latency: LatencyConfig,
+        block_bytes: u64,
+        topology: Topology,
+    ) -> Result<Self, String> {
+        topology.validate(nodes)?;
+        Ok(Network {
             latency,
             block_bytes,
             topology,
             ni_busy_until: vec![0; nodes as usize],
             link_busy_until: std::collections::HashMap::new(),
             traffic: Traffic::default(),
-        }
+            faults: None,
+        })
+    }
+
+    /// Arm deterministic fault injection. A disabled plan (all-zero rates)
+    /// is ignored, keeping the fault-free fast path bit-identical.
+    pub fn install_faults(&mut self, cfg: FaultConfig) {
+        self.faults = if cfg.enabled() {
+            Some(FaultPlan::new(cfg))
+        } else {
+            None
+        };
+    }
+
+    /// What the fault injector has done so far (zeroes when disarmed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|f| f.stats).unwrap_or_default()
     }
 
     /// Send one message at simulated time `now`; returns its arrival time at
@@ -271,7 +390,35 @@ impl Network {
             *busy = start + occupancy;
             t = start + self.latency.net;
         }
+        if let Some(f) = &mut self.faults {
+            t += f.roll_spike();
+        }
         t
+    }
+
+    /// Send a coherence *request* that the fault injector may NACK.
+    ///
+    /// A NACKed request still travels to the receiver (and is counted as
+    /// traffic) but is refused there; a [`MsgKind::Retry`] bounce is sent
+    /// back, and the returned [`Delivery::Nacked`] time is when that bounce
+    /// reaches the sender. Intra-node requests are never NACKed (they do
+    /// not enter the network). Without an armed fault plan this is exactly
+    /// [`Network::send`].
+    pub fn send_request(&mut self, now: u64, from: NodeId, to: NodeId, kind: MsgKind) -> Delivery {
+        if from == to {
+            return Delivery::Delivered(now);
+        }
+        let nack = match &mut self.faults {
+            Some(f) => f.roll_nack(),
+            None => false,
+        };
+        let arrive = self.send(now, from, to, kind);
+        if nack {
+            let back = self.send(arrive, to, from, MsgKind::Retry);
+            Delivery::Nacked(back)
+        } else {
+            Delivery::Delivered(arrive)
+        }
     }
 
     /// Account a message without modeling its timing (used for messages that
@@ -436,6 +583,109 @@ mod tests {
             }
         }
         assert!(Traffic::from_json(&j).is_err());
+    }
+
+    #[test]
+    fn try_with_topology_reports_bad_shapes() {
+        let err = Network::try_with_topology(
+            5,
+            LatencyConfig::default(),
+            16,
+            Topology::Mesh2D { width: 3 },
+        );
+        assert!(err.is_err(), "5 nodes cannot fill a width-3 mesh");
+        assert!(Network::try_with_topology(
+            4,
+            LatencyConfig::default(),
+            16,
+            Topology::PointToPoint
+        )
+        .is_ok());
+    }
+
+    fn fault_cfg(nack: u16, delay: u16, max_delay: u64) -> FaultConfig {
+        FaultConfig {
+            nack_per_mille: nack,
+            delay_per_mille: delay,
+            max_delay_cycles: max_delay,
+            seed: 0xFA17,
+        }
+    }
+
+    #[test]
+    fn send_request_without_faults_matches_send() {
+        let mut a = net();
+        let mut b = net();
+        let d = a.send_request(100, NodeId(0), NodeId(1), MsgKind::ReadReq);
+        let t = b.send(100, NodeId(0), NodeId(1), MsgKind::ReadReq);
+        assert_eq!(d, Delivery::Delivered(t));
+        assert_eq!(a.traffic(), b.traffic());
+        assert_eq!(a.fault_stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn certain_nacks_bounce_with_retry_traffic() {
+        let mut n = net();
+        n.install_faults(fault_cfg(1000, 0, 0));
+        let d = n.send_request(0, NodeId(0), NodeId(1), MsgKind::ReadReq);
+        let Delivery::Nacked(back) = d else {
+            panic!("rate-1000 plan must NACK, got {d:?}");
+        };
+        // Request hop + Retry hop, both real traversals.
+        assert_eq!(back, 2 * 40);
+        assert_eq!(n.traffic().kind_count(MsgKind::ReadReq), 1);
+        assert_eq!(n.traffic().kind_count(MsgKind::Retry), 1);
+        assert_eq!(n.fault_stats().nacks, 1);
+    }
+
+    #[test]
+    fn nack_streaks_are_bounded_for_forward_progress() {
+        let mut n = net();
+        n.install_faults(fault_cfg(1000, 0, 0));
+        let mut delivered = false;
+        for i in 0..=MAX_CONSECUTIVE_NACKS {
+            match n.send_request(0, NodeId(0), NodeId(1), MsgKind::ReadReq) {
+                Delivery::Delivered(_) => {
+                    assert_eq!(i, MAX_CONSECUTIVE_NACKS, "forced delivery ends the streak");
+                    delivered = true;
+                }
+                Delivery::Nacked(_) => assert!(i < MAX_CONSECUTIVE_NACKS),
+            }
+        }
+        assert!(delivered);
+        assert_eq!(n.fault_stats().forced_deliveries, 1);
+    }
+
+    #[test]
+    fn nacked_requests_never_skip_intra_node() {
+        let mut n = net();
+        n.install_faults(fault_cfg(1000, 0, 0));
+        let d = n.send_request(7, NodeId(2), NodeId(2), MsgKind::ReadReq);
+        assert_eq!(d, Delivery::Delivered(7));
+        assert_eq!(n.fault_stats().nacks, 0);
+    }
+
+    #[test]
+    fn delay_spikes_stretch_arrival_deterministically() {
+        let mut a = net();
+        a.install_faults(fault_cfg(0, 1000, 25));
+        let t = a.send(0, NodeId(0), NodeId(1), MsgKind::ReadReq);
+        assert!(t > 40 && t <= 40 + 25, "spiked arrival out of range: {t}");
+        assert_eq!(a.fault_stats().delay_spikes, 1);
+        assert_eq!(a.fault_stats().delay_cycles, t - 40);
+        // Same plan, same calls => identical timing.
+        let mut b = net();
+        b.install_faults(fault_cfg(0, 1000, 25));
+        assert_eq!(b.send(0, NodeId(0), NodeId(1), MsgKind::ReadReq), t);
+    }
+
+    #[test]
+    fn disabled_plan_is_not_armed() {
+        let mut n = net();
+        n.install_faults(FaultConfig::default());
+        let t = n.send(0, NodeId(0), NodeId(1), MsgKind::ReadReq);
+        assert_eq!(t, 40);
+        assert_eq!(n.fault_stats(), FaultStats::default());
     }
 
     #[test]

@@ -245,6 +245,60 @@ impl ProtocolConfig {
     }
 }
 
+/// Deterministic fault-injection plan for the interconnect.
+///
+/// Faults are adversarial but *honest*: a NACKed request really reaches the
+/// receiver and is bounced back with a [`crate::MsgKind::Retry`] message, and
+/// a delay spike really advances the arrival time. They therefore perturb
+/// timing and add Retry traffic, but a correct protocol must produce the
+/// same oracle counts and final memory contents regardless of the plan —
+/// the end-to-end property the fault soak asserts.
+///
+/// All zeroes (the default) disables injection and leaves the network's
+/// random stream untouched, so fault-free runs are bit-for-bit identical to
+/// builds without this feature.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Probability, in 1/1000 units, that a coherence *request* is NACKed
+    /// by the receiver and must be retried by the sender.
+    pub nack_per_mille: u16,
+    /// Probability, in 1/1000 units, that any timed message suffers a
+    /// delivery delay spike.
+    pub delay_per_mille: u16,
+    /// Maximum extra cycles a delay spike adds (spikes are uniform in
+    /// `1..=max_delay_cycles`). Must be positive when `delay_per_mille > 0`.
+    pub max_delay_cycles: u64,
+    /// Seed of the fault plan's private xoshiro256++ stream.
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// Whether any fault class is enabled.
+    pub fn enabled(&self) -> bool {
+        self.nack_per_mille > 0 || self.delay_per_mille > 0
+    }
+
+    /// Validate rate bounds.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nack_per_mille > 1000 {
+            return Err(format!(
+                "fault NACK rate {}/1000 exceeds 1000",
+                self.nack_per_mille
+            ));
+        }
+        if self.delay_per_mille > 1000 {
+            return Err(format!(
+                "fault delay rate {}/1000 exceeds 1000",
+                self.delay_per_mille
+            ));
+        }
+        if self.delay_per_mille > 0 && self.max_delay_cycles == 0 {
+            return Err("fault delay rate set but max_delay_cycles is zero".into());
+        }
+        Ok(())
+    }
+}
+
 /// Complete machine description.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MachineConfig {
@@ -268,6 +322,8 @@ pub struct MachineConfig {
     /// Interconnect topology (the paper evaluates the fixed-delay
     /// point-to-point network; the 2-D mesh is an extension).
     pub topology: crate::Topology,
+    /// Deterministic fault-injection plan (disabled by default).
+    pub faults: FaultConfig,
 }
 
 impl MachineConfig {
@@ -295,6 +351,7 @@ impl MachineConfig {
             seed: 0xCC51_u64,
             consistency: Consistency::Sc,
             topology: crate::Topology::PointToPoint,
+            faults: FaultConfig::default(),
         }
     }
 
@@ -322,6 +379,7 @@ impl MachineConfig {
             seed: 0xCC51_u64,
             consistency: Consistency::Sc,
             topology: crate::Topology::PointToPoint,
+            faults: FaultConfig::default(),
         }
     }
 
@@ -367,6 +425,12 @@ impl MachineConfig {
         self
     }
 
+    /// Install a fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Validate the whole configuration.
     pub fn validate(&self) -> Result<(), String> {
         if self.nodes == 0 {
@@ -390,6 +454,7 @@ impl MachineConfig {
             return Err("hysteresis depths are 1-based".into());
         }
         self.topology.validate(self.nodes)?;
+        self.faults.validate()?;
         Ok(())
     }
 
@@ -471,6 +536,29 @@ mod tests {
         let mut c = MachineConfig::splash_baseline(ProtocolKind::Baseline);
         c.protocol.ls.tag_hysteresis = 0;
         assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::splash_baseline(ProtocolKind::Baseline);
+        c.faults.nack_per_mille = 1001;
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::splash_baseline(ProtocolKind::Baseline);
+        c.faults.delay_per_mille = 10; // rate set, but no spike magnitude
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn fault_config_defaults_to_disabled() {
+        let f = FaultConfig::default();
+        assert!(!f.enabled());
+        f.validate().unwrap();
+        let f = FaultConfig {
+            nack_per_mille: 50,
+            delay_per_mille: 0,
+            max_delay_cycles: 0,
+            seed: 7,
+        };
+        assert!(f.enabled());
+        f.validate().unwrap();
     }
 
     #[test]

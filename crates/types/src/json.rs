@@ -8,8 +8,8 @@
 //! encode identically.
 
 use crate::{
-    AdConfig, CacheConfig, Consistency, LatencyConfig, LsConfig, MachineConfig, ProtocolConfig,
-    ProtocolKind, Topology,
+    AdConfig, CacheConfig, Consistency, FaultConfig, LatencyConfig, LsConfig, MachineConfig,
+    ProtocolConfig, ProtocolKind, Topology,
 };
 use ccsim_util::{FromJson, Json, ToJson};
 
@@ -186,6 +186,28 @@ impl FromJson for Topology {
     }
 }
 
+impl ToJson for FaultConfig {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("nack_per_mille", self.nack_per_mille.to_json()),
+            ("delay_per_mille", self.delay_per_mille.to_json()),
+            ("max_delay_cycles", self.max_delay_cycles.to_json()),
+            ("seed", self.seed.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FaultConfig {
+    fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(FaultConfig {
+            nack_per_mille: j.field("nack_per_mille")?,
+            delay_per_mille: j.field("delay_per_mille")?,
+            max_delay_cycles: j.field("max_delay_cycles")?,
+            seed: j.field("seed")?,
+        })
+    }
+}
+
 impl ToJson for MachineConfig {
     fn to_json(&self) -> Json {
         Json::obj(vec![
@@ -199,6 +221,7 @@ impl ToJson for MachineConfig {
             ("seed", self.seed.to_json()),
             ("consistency", self.consistency.to_json()),
             ("topology", self.topology.to_json()),
+            ("faults", self.faults.to_json()),
         ])
     }
 }
@@ -216,6 +239,7 @@ impl FromJson for MachineConfig {
             seed: j.field("seed")?,
             consistency: j.field("consistency")?,
             topology: j.field("topology")?,
+            faults: j.field("faults")?,
         })
     }
 }
@@ -236,6 +260,12 @@ mod tests {
             cfg.consistency = Consistency::Relaxed;
             cfg.topology = Topology::Mesh2D { width: 2 };
             cfg.protocol.ls.tag_hysteresis = 2;
+            cfg.faults = FaultConfig {
+                nack_per_mille: 25,
+                delay_per_mille: 10,
+                max_delay_cycles: 80,
+                seed: 0xFA17,
+            };
             let text = cfg.to_json().to_string();
             let back = MachineConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
             assert_eq!(back, cfg);

@@ -16,8 +16,8 @@ pub mod rng;
 pub mod topology;
 
 pub use config::{
-    AdConfig, CacheConfig, Consistency, LatencyConfig, LsConfig, MachineConfig, ProtocolConfig,
-    ProtocolKind,
+    AdConfig, CacheConfig, Consistency, FaultConfig, LatencyConfig, LsConfig, MachineConfig,
+    ProtocolConfig, ProtocolKind,
 };
 pub use ids::{Addr, BlockAddr, NodeId, WORD_BYTES};
 pub use msg::{MsgClass, MsgKind};
