@@ -14,11 +14,16 @@
 //! The engine drives transactions in two phases: `read`/`write` at the home,
 //! then — when the block is owned elsewhere — `read_forward_result` /
 //! `write_forward_result` once the owner's actual cache state is known.
+//!
+//! The transition bodies themselves live in [`crate::rules`] as pure
+//! functions over `(&ProtocolConfig, &mut DirStats, &mut DirEntry)`; this
+//! type owns the entry map and statistics and delegates every transaction,
+//! so the bounded model checker (`ccsim-model`) explores exactly the rules
+//! the simulator runs.
 
-use crate::entry::{DirEntry, Fig1State, HomeState, SharerSet};
-use crate::outcome::{
-    GrantKind, OwnerAction, ReadMissClass, ReadResolution, ReadStep, WriteResolution, WriteStep,
-};
+use crate::entry::{DirEntry, Fig1State};
+use crate::outcome::{ReadMissClass, ReadResolution, ReadStep, WriteResolution, WriteStep};
+use crate::rules;
 use ccsim_types::{BlockAddr, NodeId, ProtocolConfig, ProtocolKind};
 use ccsim_util::{FromJson, FxHashMap, Json, ToJson};
 
@@ -57,7 +62,7 @@ pub struct DirStats {
 }
 
 impl DirStats {
-    fn classify(&mut self, c: ReadMissClass) {
+    pub(crate) fn classify(&mut self, c: ReadMissClass) {
         let i = match c {
             ReadMissClass::Clean => 0,
             ReadMissClass::Dirty => 1,
@@ -171,21 +176,6 @@ impl Directory {
         &self.stats
     }
 
-    fn default_tagged(&self) -> bool {
-        match self.cfg.kind {
-            ProtocolKind::Baseline | ProtocolKind::Dsi => false,
-            ProtocolKind::Ad => self.cfg.ad.default_tagged,
-            ProtocolKind::Ls => self.cfg.ls.default_tagged,
-        }
-    }
-
-    fn entry_mut(&mut self, block: BlockAddr) -> &mut DirEntry {
-        let dt = self.default_tagged();
-        self.entries
-            .entry(block)
-            .or_insert_with(|| DirEntry::new(dt))
-    }
-
     /// Inspect a block's entry (tests/diagnostics); `None` = never touched.
     pub fn entry(&self, block: BlockAddr) -> Option<&DirEntry> {
         self.entries.get(&block)
@@ -199,191 +189,19 @@ impl Directory {
             .unwrap_or(Fig1State::Uncached)
     }
 
-    // --- tagging machinery -------------------------------------------------
-
-    fn tag_hysteresis(&self) -> u8 {
-        match self.cfg.kind {
-            ProtocolKind::Ls => self.cfg.ls.tag_hysteresis,
-            _ => 1,
-        }
-    }
-
-    fn detag_hysteresis(&self) -> u8 {
-        match self.cfg.kind {
-            ProtocolKind::Ls => self.cfg.ls.detag_hysteresis,
-            _ => 1,
-        }
-    }
-
-    fn vote_tag(stats: &mut DirStats, e: &mut DirEntry, depth: u8) {
-        e.detag_votes = 0;
-        if e.tagged {
-            return;
-        }
-        e.tag_votes = e.tag_votes.saturating_add(1);
-        if e.tag_votes >= depth {
-            e.tagged = true;
-            e.tag_votes = 0;
-            stats.tag_events += 1;
-        }
-    }
-
-    fn vote_detag(stats: &mut DirStats, e: &mut DirEntry, depth: u8) {
-        e.tag_votes = 0;
-        if !e.tagged {
-            return;
-        }
-        e.detag_votes = e.detag_votes.saturating_add(1);
-        if e.detag_votes >= depth {
-            e.tagged = false;
-            e.detag_votes = 0;
-            stats.detag_events += 1;
-        }
-    }
-
-    /// Apply the protocol's tag/de-tag rule at an ownership acquisition from
-    /// `p`. Must run before the state transition (it inspects the pre-write
-    /// sharer set).
-    fn ownership_tag_rule(&mut self, block: BlockAddr, p: NodeId) {
-        let kind = self.cfg.kind;
-        let ls_cfg = self.cfg.ls;
-        let tag_h = self.tag_hysteresis();
-        let detag_h = self.detag_hysteresis();
-        let stats = &mut self.stats;
-        let e = self.entries.get_mut(&block).expect("entry exists");
-        match kind {
-            ProtocolKind::Baseline => {}
-            ProtocolKind::Dsi => {
-                // Tear-off detection: this write invalidates read-shared
-                // copies ⇒ future readers receive uncached tear-off grants
-                // until the pattern relaxes.
-                if e.state == HomeState::Shared && e.sharers.others(p).next().is_some() {
-                    e.tear = true;
-                }
-                e.tear_reads = 0;
-                e.lr = None;
-            }
-            ProtocolKind::Ls => {
-                // §3.1: compare the request source with the LR field.
-                if e.lr == Some(p) {
-                    Self::vote_tag(stats, e, tag_h);
-                } else if !ls_cfg.keep_on_unpaired_write {
-                    // Default: an ownership request not preceded by a read
-                    // from the same node de-tags (§3). The §5.5 "keep"
-                    // heuristic suppresses this.
-                    Self::vote_detag(stats, e, detag_h);
-                }
-                // The acquisition consumes the read→write pairing.
-                e.lr = None;
-            }
-            ProtocolKind::Ad => {
-                // Migratory detection (Stenström et al.): exactly two cached
-                // copies, requester is one, the other is the previous writer.
-                let detected = e.state == HomeState::Shared
-                    && e.sharers.len() == 2
-                    && e.sharers.contains(p)
-                    && matches!(e.last_writer, Some(w) if w != p && e.sharers.contains(w));
-                if detected {
-                    Self::vote_tag(stats, e, 1);
-                } else if !e.sharers.contains(p) {
-                    // Write not preceded by a read from the writer: revert.
-                    Self::vote_detag(stats, e, 1);
-                }
-            }
-        }
-    }
-
-    // --- transactions ------------------------------------------------------
-
-    /// DSI adaptivity: tear-off grants per write burst before the block
-    /// recovers normal caching.
-    const TEAR_PATIENCE: u8 = 4;
+    // --- transactions (delegating to crate::rules) -------------------------
 
     /// A global read action from `p` arrives at the home.
+    /// See [`rules::read`].
     pub fn read(&mut self, block: BlockAddr, p: NodeId) -> ReadStep {
-        self.stats.global_reads += 1;
-        let kind = self.cfg.kind;
-        let e = self.entry_mut(block);
-        // DSI: serve reads of torn blocks as uncached copies while the home
-        // can supply current data. The requester is not registered as a
-        // sharer, so the next writer sends it no invalidation — the
-        // self-invalidation happened up front (Lebeck & Wood's tear-off
-        // blocks, simplified).
-        if kind == ProtocolKind::Dsi
-            && e.tear
-            && !matches!(e.state, HomeState::Owned(_))
-            && !e.sharers.contains(p)
-        {
-            e.tear_reads = e.tear_reads.saturating_add(1);
-            if e.tear_reads >= Self::TEAR_PATIENCE {
-                // Read-heavy phase: recover normal caching from here on.
-                e.tear = false;
-                e.tear_reads = 0;
-            }
-            self.stats.tear_grants += 1;
-            self.stats.classify(ReadMissClass::Clean);
-            return ReadStep::Memory {
-                grant: GrantKind::TearOff,
-                class: ReadMissClass::Clean,
-            };
-        }
-        match e.state {
-            HomeState::Uncached => {
-                let grant = if e.tagged {
-                    GrantKind::Exclusive
-                } else {
-                    GrantKind::Shared
-                };
-                let class = if e.tagged {
-                    ReadMissClass::CleanExclusive
-                } else {
-                    ReadMissClass::Clean
-                };
-                e.lr = Some(p);
-                e.sharers = SharerSet::single(p);
-                e.state = match grant {
-                    GrantKind::Exclusive => HomeState::Owned(p),
-                    GrantKind::Shared => HomeState::Shared,
-                    GrantKind::TearOff => unreachable!("tear-off handled above"),
-                };
-                if grant == GrantKind::Exclusive {
-                    self.stats.exclusive_grants += 1;
-                }
-                self.stats.classify(class);
-                ReadStep::Memory { grant, class }
-            }
-            HomeState::Shared => {
-                // Reads of read-shared data always join the sharer set; an
-                // exclusive grant from Shared would force invalidations on a
-                // read, which none of the protocols do.
-                let class = if e.tagged {
-                    ReadMissClass::CleanExclusive
-                } else {
-                    ReadMissClass::Clean
-                };
-                e.lr = Some(p);
-                e.sharers.insert(p);
-                self.stats.classify(class);
-                ReadStep::Memory {
-                    grant: GrantKind::Shared,
-                    class,
-                }
-            }
-            HomeState::Owned(q) => {
-                assert_ne!(q, p, "owner {p} issued a global read for a block it owns");
-                ReadStep::Forward { owner: q }
-            }
-        }
+        let fresh = rules::fresh_entry(&self.cfg);
+        let e = self.entries.entry(block).or_insert(fresh);
+        rules::read(&self.cfg, &mut self.stats, e, p)
     }
 
     /// Conclude a forwarded read once the owner's cache state is known.
-    ///
-    /// * `owner_wrote` — the owner stored to its copy (cache state `M`):
-    ///   the load-store prediction was fulfilled.
-    /// * `owner_dirty` — the copy's data differs from memory (`M`, or an
-    ///   unwritten dirty handoff): a downgrade needs a sharing writeback.
-    ///
-    /// `owner_wrote` implies `owner_dirty`.
+    /// See [`rules::read_forward_result`] for the `owner_wrote` /
+    /// `owner_dirty` contract.
     pub fn read_forward_result(
         &mut self,
         block: BlockAddr,
@@ -391,124 +209,20 @@ impl Directory {
         owner_wrote: bool,
         owner_dirty: bool,
     ) -> ReadResolution {
-        debug_assert!(owner_dirty || !owner_wrote);
-        let detag_h = self.detag_hysteresis();
-        let stats = &mut self.stats;
         let e = self
             .entries
             .get_mut(&block)
             .expect("forwarded read on unknown block");
-        let HomeState::Owned(q) = e.state else {
-            panic!("read_forward_result on non-owned block");
-        };
-        debug_assert_ne!(q, p);
-        e.lr = Some(p);
-        let res = if owner_wrote {
-            if e.tagged {
-                // Exclusive handoff of dirty data: the classical migratory
-                // transfer. The requester's line is Modified; home memory
-                // stays stale; home state remains Owned with the new owner.
-                e.state = HomeState::Owned(p);
-                e.sharers = SharerSet::single(p);
-                stats.exclusive_grants += 1;
-                ReadResolution {
-                    grant: GrantKind::Exclusive,
-                    requester_dirty: true,
-                    owner_action: OwnerAction::Invalidate,
-                    sharing_writeback: false,
-                    notls: false,
-                    class: ReadMissClass::DirtyExclusive,
-                }
-            } else {
-                // Plain read-on-dirty: owner downgrades to Shared and
-                // refreshes memory with a sharing writeback.
-                e.state = HomeState::Shared;
-                e.sharers = SharerSet::single(q);
-                e.sharers.insert(p);
-                ReadResolution {
-                    grant: GrantKind::Shared,
-                    requester_dirty: false,
-                    owner_action: OwnerAction::Downgrade,
-                    sharing_writeback: true,
-                    notls: false,
-                    class: ReadMissClass::Dirty,
-                }
-            }
-        } else {
-            // The owner held an exclusive grant and never wrote: the
-            // prediction failed — the block "was not accessed in a
-            // load-store fashion" (§3.1 case 2). De-tag; both keep shared
-            // copies; the home is refreshed with a sharing writeback only
-            // if the handed-off data was dirty, and the owner sends the
-            // NotLS notification.
-            stats.notls_events += 1;
-            Self::vote_detag(stats, e, detag_h);
-            e.state = HomeState::Shared;
-            e.sharers = SharerSet::single(q);
-            e.sharers.insert(p);
-            ReadResolution {
-                grant: GrantKind::Shared,
-                requester_dirty: false,
-                owner_action: OwnerAction::Downgrade,
-                sharing_writeback: owner_dirty,
-                notls: true,
-                class: if owner_dirty {
-                    ReadMissClass::DirtyExclusive
-                } else {
-                    ReadMissClass::CleanExclusive
-                },
-            }
-        };
-        stats.classify(res.class);
-        res
+        rules::read_forward_result(&self.cfg, &mut self.stats, e, p, owner_wrote, owner_dirty)
     }
 
     /// A global write action (ownership acquisition) from `p` arrives at the
     /// home. The caller must only invoke this when `p`'s cache cannot
     /// complete the store locally (state `S` or a miss).
     pub fn write(&mut self, block: BlockAddr, p: NodeId) -> WriteStep {
-        self.entry_mut(block);
-        self.ownership_tag_rule(block, p);
-        let stats = &mut self.stats;
-        let e = self.entries.get_mut(&block).expect("entry exists");
-        let step = match e.state {
-            HomeState::Uncached => {
-                stats.write_misses += 1;
-                e.state = HomeState::Owned(p);
-                e.sharers = SharerSet::single(p);
-                WriteStep::Memory {
-                    invalidate: Vec::new(),
-                    data_needed: true,
-                }
-            }
-            HomeState::Shared => {
-                let had_copy = e.sharers.contains(p);
-                if had_copy {
-                    stats.upgrades += 1;
-                } else {
-                    stats.write_misses += 1;
-                }
-                let invalidate: Vec<NodeId> = e.sharers.others(p).collect();
-                stats.invalidations_requested += invalidate.len() as u64;
-                stats.writes_to_shared += 1;
-                stats.invals_on_shared_writes += invalidate.len() as u64;
-                e.state = HomeState::Owned(p);
-                e.sharers = SharerSet::single(p);
-                WriteStep::Memory {
-                    invalidate,
-                    data_needed: !had_copy,
-                }
-            }
-            HomeState::Owned(q) => {
-                assert_ne!(q, p, "owner {p} issued a global write for a block it owns");
-                stats.write_misses += 1;
-                WriteStep::Forward { owner: q }
-            }
-        };
-        if !matches!(step, WriteStep::Forward { .. }) {
-            e.last_writer = Some(p);
-        }
-        step
+        let fresh = rules::fresh_entry(&self.cfg);
+        let e = self.entries.entry(block).or_insert(fresh);
+        rules::write(&self.cfg, &mut self.stats, e, p)
     }
 
     /// Conclude a forwarded write: the previous owner invalidates and ships
@@ -519,22 +233,11 @@ impl Directory {
         p: NodeId,
         owner_modified: bool,
     ) -> WriteResolution {
-        let stats = &mut self.stats;
         let e = self
             .entries
             .get_mut(&block)
             .expect("forwarded write on unknown block");
-        let HomeState::Owned(q) = e.state else {
-            panic!("write_forward_result on non-owned block");
-        };
-        debug_assert_ne!(q, p);
-        stats.invalidations_requested += 1;
-        e.state = HomeState::Owned(p);
-        e.sharers = SharerSet::single(p);
-        e.last_writer = Some(p);
-        WriteResolution {
-            owner_was_modified: owner_modified,
-        }
+        rules::write_forward_result(&mut self.stats, e, p, owner_modified)
     }
 
     /// A cache evicted its copy of `block`.
@@ -548,30 +251,10 @@ impl Directory {
     /// replacements "severely limit the amount of ownership overhead that
     /// can be removed with previous techniques").
     pub fn replacement(&mut self, block: BlockAddr, node: NodeId) {
-        let kind = self.cfg.kind;
-        let stats = &mut self.stats;
         let Some(e) = self.entries.get_mut(&block) else {
             return;
         };
-        match e.state {
-            HomeState::Uncached => {}
-            HomeState::Shared => {
-                e.sharers.remove(node);
-                if e.sharers.is_empty() {
-                    e.state = HomeState::Uncached;
-                }
-            }
-            HomeState::Owned(o) => {
-                if o == node {
-                    e.state = HomeState::Uncached;
-                    e.sharers = SharerSet::EMPTY;
-                    if kind == ProtocolKind::Ad {
-                        Self::vote_detag(stats, e, 1);
-                        e.last_writer = None;
-                    }
-                }
-            }
-        }
+        rules::replacement(&self.cfg, &mut self.stats, e, node);
     }
 
     /// Test-only: deliberately break this block's entry by claiming it is
@@ -579,11 +262,13 @@ impl Directory {
     /// phantom sharer). If a cache actually owns the block, the directory
     /// and the caches now disagree — a seeded mutation the engine's
     /// invariant checker must catch as an SWMR or state-agreement
-    /// violation. Never called outside tests.
+    /// violation. Only compiled with the `testing` feature.
+    #[cfg(feature = "testing")]
     #[doc(hidden)]
     pub fn corrupt_entry_for_test(&mut self, block: BlockAddr) {
-        let e = self.entry_mut(block);
-        e.state = HomeState::Shared;
+        let fresh = rules::fresh_entry(&self.cfg);
+        let e = self.entries.entry(block).or_insert(fresh);
+        e.state = crate::entry::HomeState::Shared;
         if e.sharers.is_empty() {
             e.sharers.insert(NodeId(0));
         }
@@ -604,6 +289,8 @@ impl Directory {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::entry::HomeState;
+    use crate::outcome::{GrantKind, OwnerAction};
     use ccsim_types::{Addr, LsConfig};
 
     fn blk(a: u64) -> BlockAddr {

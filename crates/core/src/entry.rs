@@ -83,7 +83,7 @@ pub enum Fig1State {
 }
 
 /// One block's directory entry.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DirEntry {
     pub state: HomeState,
     pub sharers: SharerSet,

@@ -59,9 +59,11 @@
 pub mod directory;
 pub mod entry;
 pub mod outcome;
+pub mod rules;
 
 pub use directory::{DirStats, Directory};
-pub use entry::{DirEntry, HomeState, SharerSet};
+pub use entry::{DirEntry, Fig1State, HomeState, SharerSet};
 pub use outcome::{
     GrantKind, OwnerAction, ReadMissClass, ReadResolution, ReadStep, WriteResolution, WriteStep,
 };
+pub use rules::{AcquirePurpose, CopyState, LocalReadExcl, LocalStore, SafetyRule};

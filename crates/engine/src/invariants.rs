@@ -26,9 +26,15 @@
 //!   CI fault soak, where any violation must fail the build).
 
 use ccsim_cache::LineState;
-use ccsim_core::{DirEntry, HomeState};
+use ccsim_core::rules::copy_violations;
+use ccsim_core::{CopyState, DirEntry};
 use ccsim_types::{Addr, BlockAddr, NodeId, ProtocolKind};
 use ccsim_util::FxHashMap;
+
+/// The safety-rule vocabulary is shared with the bounded model checker —
+/// `ccsim_core::rules::SafetyRule` re-exported under the engine's
+/// historical name.
+pub use ccsim_core::SafetyRule as InvariantRule;
 
 /// How much invariant checking to do, and what to do on a violation.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -72,31 +78,6 @@ impl InvariantMode {
     }
 }
 
-/// Which safety condition a violation breaks.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum InvariantRule {
-    /// More than one writable copy, or a writable copy alongside sharers.
-    Swmr,
-    /// Home directory state disagrees with actual cache states.
-    StateAgreement,
-    /// A load observed a value other than the last store's.
-    DataValue,
-    /// A directory entry is internally inconsistent (state vs sharer set,
-    /// or protocol-illegal metadata such as a tagged Baseline block).
-    DirectoryEntry,
-}
-
-impl InvariantRule {
-    pub fn label(self) -> &'static str {
-        match self {
-            InvariantRule::Swmr => "SWMR",
-            InvariantRule::StateAgreement => "state-agreement",
-            InvariantRule::DataValue => "data-value",
-            InvariantRule::DirectoryEntry => "directory-entry",
-        }
-    }
-}
-
 /// One observed violation, with enough context to reproduce it.
 #[derive(Clone, Debug)]
 pub struct InvariantViolation {
@@ -129,7 +110,7 @@ impl std::fmt::Display for InvariantViolation {
 const MAX_RECORDED: usize = 64;
 
 /// Aggregated outcome of a checked run.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct InvariantReport {
     violations: Vec<InvariantViolation>,
     dropped: u64,
@@ -176,92 +157,41 @@ impl std::fmt::Display for InvariantReport {
     }
 }
 
+/// Map a concrete cache line state to the shared rules vocabulary.
+pub fn copy_state(s: LineState) -> CopyState {
+    match s {
+        LineState::Shared => CopyState::Shared,
+        LineState::Excl => CopyState::Excl,
+        LineState::ExclDirty => CopyState::ExclDirty,
+        LineState::Modified => CopyState::Modified,
+    }
+}
+
+/// Map an abstract copy state back to the concrete cache vocabulary.
+pub fn line_state(s: CopyState) -> LineState {
+    match s {
+        CopyState::Shared => LineState::Shared,
+        CopyState::Excl => LineState::Excl,
+        CopyState::ExclDirty => LineState::ExclDirty,
+        CopyState::Modified => LineState::Modified,
+    }
+}
+
 /// Compute the invariant violations visible for one block, given the home's
 /// directory entry and the actual cache holders `(node, state)`.
 ///
-/// Pure so it can be unit-tested without a machine; the engine feeds it the
-/// real state after every protocol action.
+/// Delegates to [`ccsim_core::rules::copy_violations`] — the *same* checks
+/// the bounded model checker applies to every abstract state — after
+/// translating the concrete [`LineState`]s.
 pub fn block_violations(
     protocol: ProtocolKind,
     block: BlockAddr,
     entry: Option<&DirEntry>,
     holders: &[(NodeId, LineState)],
 ) -> Vec<(InvariantRule, String)> {
-    let mut out = Vec::new();
-    // SWMR needs only the cache states: any non-Shared copy is writable
-    // (Excl is LStemp — it can absorb a store silently), so it must be the
-    // sole copy in the machine.
-    let writable = holders.iter().filter(|(_, s)| *s != LineState::Shared);
-    if writable.count() >= 1 && holders.len() > 1 {
-        out.push((
-            InvariantRule::Swmr,
-            format!("{block}: writable copy coexists with other copies: {holders:?}"),
-        ));
-    }
-    if let Some(e) = entry {
-        if let Err(msg) = e.check() {
-            out.push((InvariantRule::DirectoryEntry, format!("{block}: {msg}")));
-        }
-        if protocol == ProtocolKind::Baseline && e.tagged {
-            out.push((
-                InvariantRule::DirectoryEntry,
-                format!("{block}: Baseline entry is tagged"),
-            ));
-        }
-    }
-    // Directory/cache agreement, including the exact sharer set: the
-    // full-map directory with synchronous replacement hints never has
-    // stale or missing sharers in this engine.
-    match entry.map(|e| e.state) {
-        None | Some(HomeState::Uncached) => {
-            if !holders.is_empty() {
-                out.push((
-                    InvariantRule::StateAgreement,
-                    format!("{block}: uncached at home but held by {holders:?}"),
-                ));
-            }
-        }
-        Some(HomeState::Shared) => {
-            let e = entry.expect("state implies entry");
-            for (n, s) in holders {
-                if *s != LineState::Shared {
-                    out.push((
-                        InvariantRule::StateAgreement,
-                        format!("{block}: home Shared but {n} holds {s:?}"),
-                    ));
-                }
-                if !e.sharers.contains(*n) {
-                    out.push((
-                        InvariantRule::StateAgreement,
-                        format!("{block}: {n} holds a copy but is not in the sharer set"),
-                    ));
-                }
-            }
-            for n in e.sharers.iter() {
-                if !holders.iter().any(|(h, _)| *h == n) {
-                    out.push((
-                        InvariantRule::StateAgreement,
-                        format!("{block}: sharer set lists {n} but its cache has no copy"),
-                    ));
-                }
-            }
-            if holders.is_empty() {
-                out.push((
-                    InvariantRule::StateAgreement,
-                    format!("{block}: home Shared but no holders"),
-                ));
-            }
-        }
-        Some(HomeState::Owned(o)) => {
-            if holders.len() != 1 || holders[0].0 != o || holders[0].1 == LineState::Shared {
-                out.push((
-                    InvariantRule::StateAgreement,
-                    format!("{block}: home Owned({o}) but held by {holders:?}"),
-                ));
-            }
-        }
-    }
-    out
+    let abstract_holders: Vec<(NodeId, CopyState)> =
+        holders.iter().map(|&(n, s)| (n, copy_state(s))).collect();
+    copy_violations(protocol, block, entry, &abstract_holders)
 }
 
 /// The per-machine checker: mode, golden memory, and the report.
@@ -360,6 +290,32 @@ impl InvariantChecker {
         }
     }
 
+    /// Record transition-postcondition failures (the `check_*` functions of
+    /// `ccsim_core::rules`) as [`InvariantRule::ProtocolRule`] violations.
+    pub fn check_rules(
+        &mut self,
+        violations: Vec<String>,
+        block: BlockAddr,
+        node: NodeId,
+        cycle: u64,
+        protocol: ProtocolKind,
+    ) {
+        if self.mode == InvariantMode::Off {
+            return;
+        }
+        self.report.checks += 1;
+        for detail in violations {
+            self.record(InvariantViolation {
+                rule: InvariantRule::ProtocolRule,
+                block,
+                cycle,
+                node,
+                protocol,
+                detail,
+            });
+        }
+    }
+
     fn record(&mut self, v: InvariantViolation) {
         if self.mode == InvariantMode::Strict {
             panic!("coherence invariant violated: {v}");
@@ -372,7 +328,9 @@ impl InvariantChecker {
     }
 
     /// Test-only: desynchronize the golden memory from the simulated store
-    /// so the data-value rule demonstrably fires.
+    /// so the data-value rule demonstrably fires. Only compiled with the
+    /// `testing` feature.
+    #[cfg(feature = "testing")]
     #[doc(hidden)]
     pub fn corrupt_golden_for_test(&mut self, addr: Addr) {
         let v = self.golden.get(&addr).copied().unwrap_or(0);
@@ -383,7 +341,7 @@ impl InvariantChecker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ccsim_core::SharerSet;
+    use ccsim_core::{HomeState, SharerSet};
 
     const B: BlockAddr = BlockAddr(0x40);
 

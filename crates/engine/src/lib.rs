@@ -49,4 +49,4 @@ pub use machine::{Machine, StallKind};
 pub use oracle::{Component, FalseSharingStats, OracleStats};
 pub use run::{FinishedSim, Proc, SimBuilder, DEFAULT_WATCHDOG_CYCLES};
 pub use stats::{ProcTimes, RunStats};
-pub use trace::{replay, Trace, TraceEvent, TraceOp};
+pub use trace::{replay, replay_checked, Trace, TraceError, TraceEvent, TraceOp};

@@ -8,13 +8,14 @@
 //! traffic).
 
 use ccsim_cache::{Hierarchy, LineState, Probe};
-use ccsim_core::{Directory, GrantKind, OwnerAction, ReadStep, WriteStep};
+use ccsim_core::rules::{self, LocalReadExcl, LocalStore};
+use ccsim_core::{Directory, GrantKind, ReadStep, WriteStep};
 use ccsim_mem::{pages, Store};
 use ccsim_network::{Delivery, Network};
 use ccsim_types::{Addr, BlockAddr, Consistency, MachineConfig, MsgKind, NodeId};
 use ccsim_util::FxHashMap;
 
-use crate::invariants::{InvariantChecker, InvariantMode, InvariantReport};
+use crate::invariants::{copy_state, line_state, InvariantChecker, InvariantMode, InvariantReport};
 use crate::oracle::{Component, FalseSharing, LsOracle};
 
 /// How the time an operation took should be attributed in the execution-time
@@ -194,7 +195,18 @@ impl Machine {
     fn fill(&mut self, p: NodeId, block: BlockAddr, state: LineState, t: u64) {
         if let Some(ev) = self.caches[p.idx()].fill(block, state) {
             let vhome = self.home(ev.block.addr());
+            let check = self.invariants.mode() != InvariantMode::Off;
+            let pre = check
+                .then(|| self.dirs[vhome.idx()].entry(ev.block).copied())
+                .flatten();
             self.dirs[vhome.idx()].replacement(ev.block, p);
+            if check {
+                let post = self.dirs[vhome.idx()].entry(ev.block).copied();
+                let v =
+                    rules::check_replacement(&self.cfg.protocol, pre.as_ref(), post.as_ref(), p);
+                self.invariants
+                    .check_rules(v, ev.block, p, t, self.cfg.protocol.kind);
+            }
             self.fs.on_replaced(ev.block, p);
             let kind = if ev.state.is_dirty() {
                 MsgKind::ReplWriteback
@@ -233,12 +245,11 @@ impl Machine {
 
     /// (owner_wrote, owner_dirty) for a forwarded request.
     fn owner_state(&self, owner: NodeId, block: BlockAddr) -> (bool, bool) {
-        match self.caches[owner.idx()].state(block) {
-            Some(LineState::Modified) => (true, true),
-            Some(LineState::ExclDirty) => (false, true),
-            Some(LineState::Excl) => (false, false),
-            other => panic!("directory believes {owner} owns {block}, cache says {other:?}"),
-        }
+        let copy = self.caches[owner.idx()].state(block);
+        copy.and_then(|s| rules::owner_report(copy_state(s)))
+            .unwrap_or_else(|| {
+                panic!("directory believes {owner} owns {block}, cache says {copy:?}")
+            })
     }
 
     // --- the two memory operations -------------------------------------------
@@ -275,8 +286,22 @@ impl Machine {
         t = self.wait_for_block(block, t, home, p);
         self.oracle.global_read(block, p);
         self.fs.on_miss(block, addr, p);
+        let check = self.invariants.mode() != InvariantMode::Off;
+        let pre = check
+            .then(|| self.dirs[home.idx()].entry(block).copied())
+            .flatten();
         match self.dirs[home.idx()].read(block, p) {
-            ReadStep::Memory { grant, .. } => {
+            step @ ReadStep::Memory { grant, .. } => {
+                if check {
+                    let pre = pre.unwrap_or_else(|| rules::fresh_entry(&self.cfg.protocol));
+                    let post = self.dirs[home.idx()]
+                        .entry(block)
+                        .copied()
+                        .expect("read created the entry");
+                    let v = rules::check_read_step(&self.cfg.protocol, &pre, &post, p, &step);
+                    self.invariants
+                        .check_rules(v, block, p, t, self.cfg.protocol.kind);
+                }
                 t += lat.mem;
                 let kind = match grant {
                     GrantKind::Shared | GrantKind::TearOff => MsgKind::ReadReply,
@@ -284,26 +309,43 @@ impl Machine {
                 };
                 t = self.hop(t, home, p, kind);
                 t += lat.mc + lat.node_bus;
-                match grant {
-                    GrantKind::Shared => self.fill(p, block, LineState::Shared, t),
-                    GrantKind::Exclusive => self.fill(p, block, LineState::Excl, t),
-                    // DSI tear-off: consume the data without caching it —
-                    // the copy self-invalidated at grant time.
-                    GrantKind::TearOff => {}
+                // Memory always supplies clean data; a `None` fill state is
+                // the DSI tear-off — consume the data without caching it
+                // (the copy self-invalidated at grant time).
+                if let Some(s) = rules::read_fill_state(grant, false) {
+                    self.fill(p, block, line_state(s), t);
                 }
             }
             ReadStep::Forward { owner } => {
                 t = self.hop(t, home, owner, MsgKind::ReadForward);
                 let (wrote, dirty) = self.owner_state(owner, block);
                 let res = self.dirs[home.idx()].read_forward_result(block, p, wrote, dirty);
+                if check {
+                    let pre = pre.expect("forwarded read implies an entry");
+                    let post = self.dirs[home.idx()]
+                        .entry(block)
+                        .copied()
+                        .expect("entry exists");
+                    let v = rules::check_read_resolution(
+                        &self.cfg.protocol,
+                        &pre,
+                        &post,
+                        p,
+                        wrote,
+                        dirty,
+                        &res,
+                    );
+                    self.invariants
+                        .check_rules(v, block, p, t, self.cfg.protocol.kind);
+                }
                 t += lat.owner_access;
                 t = self.hop(t, owner, p, MsgKind::OwnerReply);
                 t += lat.mc + lat.node_bus;
-                match res.owner_action {
-                    OwnerAction::Downgrade => {
-                        self.caches[owner.idx()].set_state(block, LineState::Shared);
+                match rules::owner_next_state(res.owner_action) {
+                    Some(s) => {
+                        self.caches[owner.idx()].set_state(block, line_state(s));
                     }
-                    OwnerAction::Invalidate => {
+                    None => {
                         self.caches[owner.idx()].invalidate(block);
                         self.fs.on_invalidated(block, owner);
                     }
@@ -315,15 +357,9 @@ impl Machine {
                 if res.notls {
                     self.net.send_background(t, owner, home, MsgKind::NotLs);
                 }
-                let state = match (res.grant, res.requester_dirty) {
-                    (GrantKind::Shared, _) => LineState::Shared,
-                    (GrantKind::Exclusive, true) => LineState::ExclDirty,
-                    (GrantKind::Exclusive, false) => LineState::Excl,
-                    (GrantKind::TearOff, _) => {
-                        unreachable!("forwarded reads never grant tear-off")
-                    }
-                };
-                self.fill(p, block, state, t);
+                let state = rules::read_fill_state(res.grant, res.requester_dirty)
+                    .expect("forwarded reads never grant tear-off");
+                self.fill(p, block, line_state(state), t);
             }
         }
         self.block_busy.insert(block, t);
@@ -346,17 +382,17 @@ impl Machine {
         let block = self.block_of(addr);
         let lat = self.cfg.latency;
         let value = self.store.load(addr);
-        let (t, stall) = match self.caches[p.idx()].probe(block) {
-            Probe::L1(s) | Probe::L2(s) if s.is_exclusive() => {
+        let copy = match self.caches[p.idx()].probe(block) {
+            Probe::L1(s) | Probe::L2(s) => Some(copy_state(s)),
+            Probe::Miss => None,
+        };
+        let (t, stall) = match rules::read_exclusive_probe(copy) {
+            LocalReadExcl::Hit => {
                 self.counters.l1_hits += 1;
                 (t0 + lat.l1_hit, StallKind::None)
             }
-            Probe::L1(LineState::Shared) | Probe::L2(LineState::Shared) => (
-                self.global_acquire(p, addr, block, t0, true, Acquire::ReadExclusive),
-                StallKind::Read,
-            ),
-            _ => (
-                self.global_acquire(p, addr, block, t0, false, Acquire::ReadExclusive),
+            LocalReadExcl::Acquire { has_copy } => (
+                self.global_acquire(p, addr, block, t0, has_copy, Acquire::ReadExclusive),
                 StallKind::Read,
             ),
         };
@@ -381,13 +417,16 @@ impl Machine {
         self.store.store(addr, value);
         self.invariants.record_golden(addr, value);
         self.fs.on_store(block, addr, p);
-        let (t, stall) = match self.caches[p.idx()].probe(block) {
-            Probe::L1(LineState::Modified) | Probe::L2(LineState::Modified) => {
+        let copy = match self.caches[p.idx()].probe(block) {
+            Probe::L1(s) | Probe::L2(s) => Some(copy_state(s)),
+            Probe::Miss => None,
+        };
+        let (t, stall) = match rules::store_probe(copy) {
+            LocalStore::DirtyHit => {
                 self.counters.dirty_hits += 1;
                 (t0 + lat.l1_hit, StallKind::None)
             }
-            Probe::L1(LineState::Excl | LineState::ExclDirty)
-            | Probe::L2(LineState::Excl | LineState::ExclDirty) => {
+            LocalStore::Silent => {
                 // The optimization fires: the anticipated write completes
                 // locally, with no ownership acquisition and no
                 // invalidations (§3).
@@ -396,12 +435,8 @@ impl Machine {
                 self.oracle.global_write(block, p, comp, true);
                 (t0 + lat.l1_hit, StallKind::None)
             }
-            Probe::L1(LineState::Shared) | Probe::L2(LineState::Shared) => {
-                let t = self.global_acquire(p, addr, block, t0, true, Acquire::Store(comp));
-                self.retire_store(t0, t)
-            }
-            Probe::Miss => {
-                let t = self.global_acquire(p, addr, block, t0, false, Acquire::Store(comp));
+            LocalStore::Acquire { has_copy } => {
+                let t = self.global_acquire(p, addr, block, t0, has_copy, Acquire::Store(comp));
                 self.retire_store(t0, t)
             }
         };
@@ -446,6 +481,13 @@ impl Machine {
             Acquire::Store(comp) => self.oracle.global_write(block, p, comp, false),
             Acquire::ReadExclusive => self.oracle.global_read(block, p),
         }
+        let check = self.invariants.mode() != InvariantMode::Off;
+        let pre = check
+            .then(|| self.dirs[home.idx()].entry(block).copied())
+            .flatten();
+        // Data handed over by a dirty owner stays memory-stale in the
+        // requester's cache; memory-served data is clean.
+        let mut data_dirty = false;
         match self.dirs[home.idx()].write(block, p) {
             WriteStep::Memory {
                 invalidate,
@@ -474,6 +516,7 @@ impl Machine {
             WriteStep::Forward { owner } => {
                 t = self.hop(t, home, owner, MsgKind::WriteForward);
                 let (_, dirty) = self.owner_state(owner, block);
+                data_dirty = dirty;
                 self.dirs[home.idx()].write_forward_result(block, p, dirty);
                 t += lat.owner_access;
                 self.caches[owner.idx()].invalidate(block);
@@ -483,10 +526,21 @@ impl Machine {
                 self.fs.on_miss(block, addr, p);
             }
         }
-        let final_state = match purpose {
-            Acquire::Store(_) => LineState::Modified,
-            Acquire::ReadExclusive => LineState::Excl,
+        if check {
+            let pre = pre.unwrap_or_else(|| rules::fresh_entry(&self.cfg.protocol));
+            let post = self.dirs[home.idx()]
+                .entry(block)
+                .copied()
+                .expect("acquisition created the entry");
+            let v = rules::check_write_transaction(&self.cfg.protocol, &pre, &post, p);
+            self.invariants
+                .check_rules(v, block, p, t, self.cfg.protocol.kind);
+        }
+        let acq = match purpose {
+            Acquire::Store(_) => rules::AcquirePurpose::Store,
+            Acquire::ReadExclusive => rules::AcquirePurpose::ReadExclusive,
         };
+        let final_state = line_state(rules::acquire_final_state(acq, data_dirty));
         if has_copy {
             self.caches[p.idx()].set_state(block, final_state);
         } else {
@@ -550,7 +604,9 @@ impl Machine {
 
     /// Test-only: corrupt the home directory entry of `addr`'s block, so the
     /// mutation tests can prove the invariant checker catches a broken
-    /// directory transition rather than silently passing.
+    /// directory transition rather than silently passing. Only compiled with
+    /// the `testing` feature.
+    #[cfg(feature = "testing")]
     #[doc(hidden)]
     pub fn corrupt_directory_for_test(&mut self, addr: Addr) {
         let block = self.block_of(addr);
@@ -559,7 +615,9 @@ impl Machine {
     }
 
     /// Test-only: desynchronize the golden memory at `addr` so the
-    /// data-value rule demonstrably fires.
+    /// data-value rule demonstrably fires. Only compiled with the `testing`
+    /// feature.
+    #[cfg(feature = "testing")]
     #[doc(hidden)]
     pub fn corrupt_golden_for_test(&mut self, addr: Addr) {
         self.invariants.corrupt_golden_for_test(addr);

@@ -19,6 +19,7 @@
 
 use ccsim_types::{Addr, MachineConfig, NodeId};
 
+use crate::invariants::{InvariantMode, InvariantReport};
 use crate::machine::Machine;
 use crate::oracle::Component;
 use crate::stats::{ProcTimes, RunStats};
@@ -54,7 +55,75 @@ pub struct Trace {
 const MAGIC: u32 = 0xCC51_7ACE;
 const VERSION: u32 = 1;
 
+/// Why a byte stream failed to decode as a [`Trace`]. Every malformed input
+/// maps to one of these — decoding never panics and never over-allocates,
+/// no matter how garbled the bytes are (same policy as the PR 2 run-cache
+/// quarantine: corrupt artifacts are reported and skipped, not trusted).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// The stream ended inside a header or an event.
+    Truncated,
+    /// The first word is not the trace magic.
+    BadMagic(u32),
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// The header's processor count exceeds `u16` (the event encoding).
+    TooManyProcs(u32),
+    /// The declared event count cannot fit in the remaining bytes (each
+    /// event needs at least 3), so the header is lying.
+    EventCountOverflow { declared: u64, max_possible: u64 },
+    /// Unknown operation tag in an event.
+    BadOpTag(u8),
+    /// Unknown component tag in a `SetComponent` event.
+    BadComponentTag(u8),
+    /// An event names a processor outside the header's range.
+    ProcOutOfRange { index: usize, proc: u16, procs: u16 },
+    /// Decoding succeeded but bytes remain past the declared events.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Truncated => write!(f, "trace truncated"),
+            TraceError::BadMagic(m) => write!(f, "not a ccsim trace (magic {m:#010x})"),
+            TraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceError::TooManyProcs(n) => write!(f, "processor count {n} exceeds u16"),
+            TraceError::EventCountOverflow {
+                declared,
+                max_possible,
+            } => write!(
+                f,
+                "header declares {declared} events but at most {max_possible} fit in the stream"
+            ),
+            TraceError::BadOpTag(t) => write!(f, "bad op tag {t}"),
+            TraceError::BadComponentTag(t) => write!(f, "bad component tag {t}"),
+            TraceError::ProcOutOfRange { index, proc, procs } => write!(
+                f,
+                "event {index} names processor {proc}, but the trace declares {procs}"
+            ),
+            TraceError::TrailingBytes(n) => write!(f, "{n} trailing byte(s) after the last event"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
 impl Trace {
+    /// Build a trace from explicit events, validating processor ranges
+    /// (the same checks [`Trace::from_bytes`] applies).
+    pub fn from_events(procs: u16, events: Vec<TraceEvent>) -> Result<Trace, TraceError> {
+        for (index, e) in events.iter().enumerate() {
+            if e.proc >= procs {
+                return Err(TraceError::ProcOutOfRange {
+                    index,
+                    proc: e.proc,
+                    procs,
+                });
+            }
+        }
+        Ok(Trace { events, procs })
+    }
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
     }
@@ -112,44 +181,69 @@ impl Trace {
     }
 
     /// Deserialize from [`Trace::to_bytes`] output.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Trace, String> {
+    ///
+    /// Total: validates the header, every event, and that nothing trails the
+    /// last declared event. Allocation is bounded by the input length, not
+    /// the (untrusted) declared event count.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Trace, TraceError> {
         struct R<'a>(&'a [u8], usize);
         impl R<'_> {
-            fn take<const N: usize>(&mut self) -> Result<[u8; N], String> {
+            fn take<const N: usize>(&mut self) -> Result<[u8; N], TraceError> {
                 let end = self.1 + N;
                 if end > self.0.len() {
-                    return Err("trace truncated".into());
+                    return Err(TraceError::Truncated);
                 }
                 let mut a = [0u8; N];
                 a.copy_from_slice(&self.0[self.1..end]);
                 self.1 = end;
                 Ok(a)
             }
-            fn u8(&mut self) -> Result<u8, String> {
+            fn u8(&mut self) -> Result<u8, TraceError> {
                 Ok(self.take::<1>()?[0])
             }
-            fn u16(&mut self) -> Result<u16, String> {
+            fn u16(&mut self) -> Result<u16, TraceError> {
                 Ok(u16::from_le_bytes(self.take()?))
             }
-            fn u32(&mut self) -> Result<u32, String> {
+            fn u32(&mut self) -> Result<u32, TraceError> {
                 Ok(u32::from_le_bytes(self.take()?))
             }
-            fn u64(&mut self) -> Result<u64, String> {
+            fn u64(&mut self) -> Result<u64, TraceError> {
                 Ok(u64::from_le_bytes(self.take()?))
+            }
+            fn remaining(&self) -> usize {
+                self.0.len() - self.1
             }
         }
         let mut r = R(bytes, 0);
-        if r.u32()? != MAGIC {
-            return Err("not a ccsim trace (bad magic)".into());
+        let magic = r.u32()?;
+        if magic != MAGIC {
+            return Err(TraceError::BadMagic(magic));
         }
-        if r.u32()? != VERSION {
-            return Err("unsupported trace version".into());
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(TraceError::BadVersion(version));
         }
-        let procs = r.u32()? as u16;
-        let n = r.u64()? as usize;
+        let procs_raw = r.u32()?;
+        let procs = u16::try_from(procs_raw).map_err(|_| TraceError::TooManyProcs(procs_raw))?;
+        let declared = r.u64()?;
+        // Every event carries at least proc (u16) + op tag (u8) = 3 bytes,
+        // so a declared count beyond remaining/3 cannot be honest. This also
+        // bounds the Vec pre-allocation by the input length rather than the
+        // untrusted count.
+        let max_possible = (r.remaining() / 3) as u64;
+        if declared > max_possible {
+            return Err(TraceError::EventCountOverflow {
+                declared,
+                max_possible,
+            });
+        }
+        let n = declared as usize;
         let mut events = Vec::with_capacity(n);
-        for _ in 0..n {
+        for index in 0..n {
             let proc = r.u16()?;
+            if proc >= procs {
+                return Err(TraceError::ProcOutOfRange { index, proc, procs });
+            }
             let op = match r.u8()? {
                 0 => TraceOp::Load(Addr(r.u64()?)),
                 1 => TraceOp::Store(Addr(r.u64()?), r.u64()?),
@@ -159,11 +253,14 @@ impl Trace {
                     0 => Component::App,
                     1 => Component::Lib,
                     2 => Component::Os,
-                    x => return Err(format!("bad component tag {x}")),
+                    x => return Err(TraceError::BadComponentTag(x)),
                 }),
-                x => return Err(format!("bad op tag {x}")),
+                x => return Err(TraceError::BadOpTag(x)),
             };
             events.push(TraceEvent { proc, op });
+        }
+        if r.remaining() != 0 {
+            return Err(TraceError::TrailingBytes(r.remaining()));
         }
         Ok(Trace { events, procs })
     }
@@ -173,7 +270,32 @@ impl Trace {
 ///
 /// `cfg.nodes` must cover every processor in the trace. Initial memory is
 /// zero; seed values with `init` pairs if the captured run used `init`.
+/// Invariant checking follows `CCSIM_INVARIANTS` (the machine default); use
+/// [`replay_checked`] to force a mode and read back the report.
 pub fn replay(cfg: MachineConfig, trace: &Trace, init: &[(Addr, u64)]) -> RunStats {
+    replay_inner(cfg, trace, init, None).0
+}
+
+/// Replay with an explicit invariant-checking mode, returning what the
+/// checker observed alongside the stats. This is how model-checker
+/// counterexamples are validated against the concrete engine: convert to a
+/// trace, replay under [`InvariantMode::Check`] (or `Strict` to panic at the
+/// first violation), and inspect the report.
+pub fn replay_checked(
+    cfg: MachineConfig,
+    trace: &Trace,
+    init: &[(Addr, u64)],
+    mode: InvariantMode,
+) -> (RunStats, InvariantReport) {
+    replay_inner(cfg, trace, init, Some(mode))
+}
+
+fn replay_inner(
+    cfg: MachineConfig,
+    trace: &Trace,
+    init: &[(Addr, u64)],
+    mode: Option<InvariantMode>,
+) -> (RunStats, InvariantReport) {
     assert!(
         cfg.nodes >= trace.procs,
         "trace uses {} processors, machine has {}",
@@ -181,6 +303,9 @@ pub fn replay(cfg: MachineConfig, trace: &Trace, init: &[(Addr, u64)]) -> RunSta
         cfg.nodes
     );
     let mut machine = Machine::new(cfg);
+    if let Some(m) = mode {
+        machine.set_invariant_mode(m);
+    }
     for &(a, v) in init {
         machine.poke(a, v);
     }
@@ -215,7 +340,8 @@ pub fn replay(cfg: MachineConfig, trace: &Trace, init: &[(Addr, u64)]) -> RunSta
             TraceOp::SetComponent(c) => comp[p] = c,
         }
     }
-    RunStats {
+    let report = machine.invariant_report().clone();
+    let stats = RunStats {
         protocol: cfg.protocol.kind,
         config: cfg,
         exec_cycles: clocks.iter().copied().max().unwrap_or(0),
@@ -225,7 +351,8 @@ pub fn replay(cfg: MachineConfig, trace: &Trace, init: &[(Addr, u64)]) -> RunSta
         machine: machine.counters(),
         oracle: *machine.oracle_stats(),
         false_sharing: *machine.false_sharing_stats(),
-    }
+    };
+    (stats, report)
 }
 
 fn attribute(t: &mut ProcTimes, t0: u64, t1: u64, stall: crate::machine::StallKind) {

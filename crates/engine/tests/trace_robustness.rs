@@ -1,0 +1,217 @@
+//! Adversarial decoding tests for the binary trace format.
+//!
+//! `Trace::from_bytes` consumes untrusted bytes (traces are stored and
+//! shared between runs), so every malformed input must come back as a
+//! structured [`TraceError`] — never a panic, never an unbounded
+//! allocation. Mirrors the PR 2 run-cache quarantine policy: corrupt
+//! artifacts are reported and rejected, not trusted.
+
+use ccsim_engine::{SimBuilder, Trace, TraceError, TraceEvent, TraceOp};
+use ccsim_types::{Addr, MachineConfig, ProtocolKind};
+use ccsim_util::check::{cases, Gen};
+
+/// A small but representative captured trace: loads, stores, exclusive
+/// hints, busy time and component switches all appear in the encoding.
+fn sample_bytes() -> Vec<u8> {
+    let mut b = SimBuilder::new(MachineConfig::splash_baseline(ProtocolKind::Baseline));
+    b.capture_trace();
+    let a = b.alloc().alloc_padded(4, 64);
+    for _ in 0..4 {
+        b.spawn(move |p| {
+            p.set_component(ccsim_engine::Component::Lib);
+            for _ in 0..8 {
+                p.fetch_add(a, 1);
+                p.busy(11);
+            }
+            p.load_exclusive(a);
+        });
+    }
+    let mut done = b.run_full();
+    done.take_trace().expect("capture was enabled").to_bytes()
+}
+
+/// Decoding must return `Ok` or a structured error; it must never panic.
+/// Returns the result so properties can assert more.
+fn decode_total(bytes: &[u8]) -> Result<Trace, TraceError> {
+    let owned = bytes.to_vec();
+    std::panic::catch_unwind(move || Trace::from_bytes(&owned))
+        .expect("from_bytes panicked on garbled input")
+}
+
+#[test]
+fn truncation_at_every_length_is_a_structured_error() {
+    let bytes = sample_bytes();
+    let full = Trace::from_bytes(&bytes).unwrap();
+    for cut in 0..bytes.len() {
+        match decode_total(&bytes[..cut]) {
+            Ok(_) => panic!("prefix of {cut}/{} bytes decoded successfully", bytes.len()),
+            // Cutting inside the header or an event body truncates; cutting
+            // between events leaves the declared count unsatisfiable.
+            Err(TraceError::Truncated) | Err(TraceError::EventCountOverflow { .. }) => {}
+            Err(e) => panic!("prefix of {cut} bytes gave unexpected error {e:?}"),
+        }
+    }
+    assert!(!full.is_empty());
+}
+
+#[test]
+fn random_truncations_and_extensions_never_panic() {
+    let bytes = sample_bytes();
+    cases(256, |g: &mut Gen| {
+        let mut mutated = bytes.clone();
+        if g.bool() {
+            mutated.truncate(g.below(bytes.len() as u64 + 1) as usize);
+        } else {
+            let extra = g.urange(1, 16);
+            for _ in 0..extra {
+                mutated.push(g.u64() as u8);
+            }
+        }
+        // Appending bytes that happen to extend the stream legally is
+        // impossible: the event count is fixed, so extras must trail.
+        if decode_total(&mutated).is_ok() {
+            assert_eq!(mutated, bytes, "only the pristine encoding may decode");
+        }
+    });
+}
+
+#[test]
+fn single_bit_flips_never_panic_and_decode_is_total() {
+    let bytes = sample_bytes();
+    cases(512, |g: &mut Gen| {
+        let mut mutated = bytes.clone();
+        let i = g.below(bytes.len() as u64) as usize;
+        mutated[i] ^= 1 << g.below(8);
+        // A flip may still decode (e.g. inside an address payload); it must
+        // just never panic or hang.
+        let _ = decode_total(&mutated);
+    });
+}
+
+#[test]
+fn random_byte_soup_never_panics() {
+    cases(512, |g: &mut Gen| {
+        let len = g.below(128) as usize;
+        let soup = g.vec(len, |g| g.u64() as u8);
+        assert!(
+            decode_total(&soup).is_err() || soup.len() >= 16,
+            "a stream shorter than the header cannot decode"
+        );
+    });
+}
+
+#[test]
+fn lying_event_count_is_rejected_without_allocation() {
+    // A header that declares 2^61 events would make a naive decoder
+    // pre-allocate ~46 exabytes. The decoder must reject it from the
+    // byte budget alone.
+    let mut bytes = sample_bytes();
+    let declared = u64::MAX / 8;
+    bytes[12..20].copy_from_slice(&declared.to_le_bytes());
+    match decode_total(&bytes) {
+        Err(TraceError::EventCountOverflow {
+            declared: d,
+            max_possible,
+        }) => {
+            assert_eq!(d, declared);
+            assert!(max_possible < declared);
+        }
+        other => panic!("expected EventCountOverflow, got {other:?}"),
+    }
+}
+
+#[test]
+fn header_field_errors_are_specific() {
+    let bytes = sample_bytes();
+
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] ^= 0xFF;
+    assert!(matches!(
+        decode_total(&bad_magic),
+        Err(TraceError::BadMagic(_))
+    ));
+
+    let mut bad_version = bytes.clone();
+    bad_version[4..8].copy_from_slice(&99u32.to_le_bytes());
+    assert_eq!(decode_total(&bad_version), Err(TraceError::BadVersion(99)));
+
+    let mut too_many_procs = bytes.clone();
+    too_many_procs[8..12].copy_from_slice(&0x0001_0000u32.to_le_bytes());
+    assert_eq!(
+        decode_total(&too_many_procs),
+        Err(TraceError::TooManyProcs(0x0001_0000))
+    );
+
+    let mut trailing = bytes.clone();
+    trailing.extend_from_slice(&[0xAB, 0xCD]);
+    assert_eq!(decode_total(&trailing), Err(TraceError::TrailingBytes(2)));
+}
+
+#[test]
+fn events_naming_out_of_range_procs_are_rejected() {
+    // Hand-build a 1-proc trace whose single event claims proc 3.
+    let trace = Trace::from_events(
+        4,
+        vec![TraceEvent {
+            proc: 3,
+            op: TraceOp::Load(Addr(0)),
+        }],
+    )
+    .unwrap();
+    let mut bytes = trace.to_bytes();
+    // Shrink the declared proc count below the event's proc id.
+    bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+    assert_eq!(
+        decode_total(&bytes),
+        Err(TraceError::ProcOutOfRange {
+            index: 0,
+            proc: 3,
+            procs: 2
+        })
+    );
+
+    // from_events applies the same validation up front.
+    let direct = Trace::from_events(
+        2,
+        vec![TraceEvent {
+            proc: 5,
+            op: TraceOp::Busy(1),
+        }],
+    );
+    assert_eq!(
+        direct,
+        Err(TraceError::ProcOutOfRange {
+            index: 0,
+            proc: 5,
+            procs: 2
+        })
+    );
+}
+
+#[test]
+fn errors_display_and_implement_std_error() {
+    let e: Box<dyn std::error::Error> = Box::new(TraceError::BadVersion(7));
+    assert!(e.to_string().contains("version 7"));
+    let msgs = [
+        TraceError::Truncated.to_string(),
+        TraceError::BadMagic(1).to_string(),
+        TraceError::TooManyProcs(70_000).to_string(),
+        TraceError::EventCountOverflow {
+            declared: 10,
+            max_possible: 1,
+        }
+        .to_string(),
+        TraceError::BadOpTag(9).to_string(),
+        TraceError::BadComponentTag(9).to_string(),
+        TraceError::ProcOutOfRange {
+            index: 0,
+            proc: 9,
+            procs: 2,
+        }
+        .to_string(),
+        TraceError::TrailingBytes(3).to_string(),
+    ];
+    for m in msgs {
+        assert!(!m.is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! Prints state-space sizes and wall times for a grid of bounded
+//! configurations, one line per (protocol, nodes, blocks, budget) cell.
+//! Run with `cargo run --release -p ccsim-model --example calibrate` to
+//! re-derive the sizing guidance quoted in EXPERIMENTS.md and to pick
+//! bounds for new tests.
+
+use ccsim_model::{explore, ModelConfig};
+use ccsim_types::ProtocolKind;
+
+fn main() {
+    let grid = [
+        (2u16, 1u8, 4u8),
+        (2, 2, 4),
+        (3, 1, 4),
+        (3, 1, 3),
+        (3, 2, 3),
+        (4, 1, 3),
+        (4, 1, 2),
+    ];
+    for kind in ProtocolKind::ALL {
+        for (n, b, ops) in grid {
+            let cfg = ModelConfig::new(kind)
+                .with_nodes(n)
+                .with_blocks(b)
+                .with_max_ops(ops);
+            let ex = explore(&cfg).unwrap();
+            println!(
+                "{:?} n={n} b={b} ops={ops}: states={} trans={} dedup={} frontier={} depth={} wall={}ms viol={}",
+                kind,
+                ex.metrics.states,
+                ex.metrics.transitions,
+                ex.metrics.dedup_hits,
+                ex.metrics.max_frontier,
+                ex.metrics.max_depth,
+                ex.metrics.wall_ms,
+                ex.counterexample.is_some()
+            );
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Bounded-configuration description for the model checker.
+
+use ccsim_types::{AdConfig, LsConfig, ProtocolConfig, ProtocolKind, RuleMutation};
+
+/// Upper bound on nodes the abstract state supports (sharer bitmask and
+/// copy array width). Exploration cost grows steeply with nodes; the
+/// intended range is 2-4.
+pub const MAX_NODES: u16 = 8;
+
+/// Upper bound on distinct memory blocks in the model.
+pub const MAX_BLOCKS: u8 = 4;
+
+/// Upper bound on per-node operation budget.
+pub const MAX_OPS: u8 = 8;
+
+/// A bounded model-checking configuration: which protocol to explore and
+/// how large the abstract machine is.
+///
+/// The state space is finite by construction — each node executes at most
+/// `max_ops` operations, so every interleaving has length at most
+/// `nodes * max_ops`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModelConfig {
+    pub kind: ProtocolKind,
+    /// Nodes in the abstract machine (2..=[`MAX_NODES`]).
+    pub nodes: u16,
+    /// Distinct memory blocks (1..=[`MAX_BLOCKS`]).
+    pub blocks: u8,
+    /// Per-node operation budget (1..=[`MAX_OPS`]).
+    pub max_ops: u8,
+    /// Include cache replacements (`Evict`) in the operation alphabet —
+    /// required to reach the LS tag-survives-replacement states (§3.1
+    /// case 3).
+    pub evictions: bool,
+    /// Include read-exclusive (`LoadExcl`) operations in the alphabet.
+    pub load_excl: bool,
+    /// LS protocol knobs (hysteresis, keep-heuristic, default tag).
+    pub ls: LsConfig,
+    /// AD protocol knobs.
+    pub ad: AdConfig,
+    /// Seeded rule mutation to explore. Installing one requires the
+    /// `testing` cargo feature; see [`ModelConfig::protocol`].
+    pub mutation: Option<RuleMutation>,
+}
+
+impl ModelConfig {
+    /// The default bounded configuration: 2 nodes, 1 block, 4 ops each,
+    /// full operation alphabet.
+    pub fn new(kind: ProtocolKind) -> Self {
+        ModelConfig {
+            kind,
+            nodes: 2,
+            blocks: 1,
+            max_ops: 4,
+            evictions: true,
+            load_excl: true,
+            ls: LsConfig::default(),
+            ad: AdConfig::default(),
+            mutation: None,
+        }
+    }
+
+    pub fn with_nodes(mut self, nodes: u16) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    pub fn with_blocks(mut self, blocks: u8) -> Self {
+        self.blocks = blocks;
+        self
+    }
+
+    pub fn with_max_ops(mut self, max_ops: u8) -> Self {
+        self.max_ops = max_ops;
+        self
+    }
+
+    pub fn with_mutation(mut self, mutation: RuleMutation) -> Self {
+        self.mutation = Some(mutation);
+        self
+    }
+
+    /// Validate the bounds and build the [`ProtocolConfig`] the shared
+    /// transition table runs under.
+    ///
+    /// Errors on out-of-range bounds, on DSI (tear-off grants bypass the
+    /// Figure-1 state machine; the model covers the paper's evaluated
+    /// trio), and on a requested mutation when the `testing` feature is
+    /// absent — release builds cannot run a mutated protocol.
+    pub fn protocol(&self) -> Result<ProtocolConfig, String> {
+        if self.kind == ProtocolKind::Dsi {
+            return Err("the model covers Baseline/AD/LS; DSI tear-off is out of scope".into());
+        }
+        if !(2..=MAX_NODES).contains(&self.nodes) {
+            return Err(format!(
+                "nodes must be in 2..={MAX_NODES}, got {}",
+                self.nodes
+            ));
+        }
+        if !(1..=MAX_BLOCKS).contains(&self.blocks) {
+            return Err(format!(
+                "blocks must be in 1..={MAX_BLOCKS}, got {}",
+                self.blocks
+            ));
+        }
+        if !(1..=MAX_OPS).contains(&self.max_ops) {
+            return Err(format!(
+                "max_ops must be in 1..={MAX_OPS}, got {}",
+                self.max_ops
+            ));
+        }
+        let mut p = ProtocolConfig::new(self.kind);
+        p.ls = self.ls;
+        p.ad = self.ad;
+        if let Some(m) = self.mutation {
+            #[cfg(feature = "testing")]
+            {
+                p = p.with_rule_mutation(m);
+            }
+            #[cfg(not(feature = "testing"))]
+            return Err(format!(
+                "mutation {} requires the `testing` cargo feature",
+                m.label()
+            ));
+        }
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_validated() {
+        assert!(ModelConfig::new(ProtocolKind::Ls).protocol().is_ok());
+        assert!(ModelConfig::new(ProtocolKind::Dsi).protocol().is_err());
+        assert!(ModelConfig::new(ProtocolKind::Ls)
+            .with_nodes(1)
+            .protocol()
+            .is_err());
+        assert!(ModelConfig::new(ProtocolKind::Ls)
+            .with_nodes(9)
+            .protocol()
+            .is_err());
+        assert!(ModelConfig::new(ProtocolKind::Ls)
+            .with_blocks(0)
+            .protocol()
+            .is_err());
+        assert!(ModelConfig::new(ProtocolKind::Ls)
+            .with_max_ops(0)
+            .protocol()
+            .is_err());
+    }
+
+    #[cfg(feature = "testing")]
+    #[test]
+    fn mutations_install_under_the_testing_feature() {
+        use ccsim_types::RuleMutation;
+        let p = ModelConfig::new(ProtocolKind::Ls)
+            .with_mutation(RuleMutation::SkipLsDetag)
+            .protocol()
+            .unwrap();
+        assert_eq!(p.rule_mutation(), Some(RuleMutation::SkipLsDetag));
+    }
+}

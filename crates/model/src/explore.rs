@@ -1,0 +1,189 @@
+//! Exhaustive breadth-first exploration of the bounded state space.
+//!
+//! Classic explicit-state search: canonical byte encodings deduplicate
+//! visited states, parent links reconstruct the path to a violation, and
+//! BFS order makes the first counterexample found a *shortest* one — no
+//! separate minimization pass is needed.
+//!
+//! Exploration stops at the first violating transition (the counterexample
+//! is the deliverable; everything past a broken state is noise). Clean runs
+//! visit every reachable state and report the state-space metrics plus an
+//! order-independent fingerprint for regression comparison.
+
+use std::collections::VecDeque;
+
+use ccsim_core::DirStats;
+use ccsim_util::{fnv1a64, FxHashMap};
+
+use crate::config::ModelConfig;
+use crate::state::{AbsState, Step, Violation};
+
+/// State-space metrics of one exploration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Unique states visited (including the initial state).
+    pub states: u64,
+    /// Transitions executed (successor computations).
+    pub transitions: u64,
+    /// Successors that were already in the visited set.
+    pub dedup_hits: u64,
+    /// Peak BFS frontier size.
+    pub max_frontier: u64,
+    /// Deepest state reached (in transitions from the initial state).
+    pub max_depth: u32,
+    /// Wall-clock time of the exploration.
+    pub wall_ms: u64,
+    /// XOR of `fnv1a64` over every visited state's canonical encoding —
+    /// insertion-order independent, so equal state spaces always produce
+    /// equal fingerprints.
+    pub state_fingerprint: u64,
+}
+
+/// A shortest run of the abstract machine ending in a violating transition.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// The steps from the initial state; the last one exposes the violation.
+    pub steps: Vec<Step>,
+    /// The first violation that step produced (more may accompany it).
+    pub violation: Violation,
+}
+
+impl std::fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            writeln!(f, "  {:>2}. {s}", i + 1)?;
+        }
+        write!(f, "  => {}", self.violation)
+    }
+}
+
+/// Result of one bounded exploration.
+#[derive(Clone, Debug)]
+pub struct Exploration {
+    pub config: ModelConfig,
+    pub metrics: Metrics,
+    /// `None` = every reachable state and transition is clean.
+    pub counterexample: Option<Counterexample>,
+    /// States with exhausted budgets (the only successor-free states —
+    /// any other would be a deadlock, which the op alphabet excludes by
+    /// construction and the explorer asserts).
+    pub terminal_states: u64,
+}
+
+/// Exhaustively explore the bounded state space of `cfg`.
+pub fn explore(cfg: &ModelConfig) -> Result<Exploration, String> {
+    let pcfg = cfg.protocol()?;
+    let start = std::time::Instant::now();
+    let mut stats = DirStats::default();
+
+    let init = AbsState::initial(cfg, &pcfg);
+    let mut metrics = Metrics::default();
+    let mut visited: FxHashMap<Vec<u8>, u32> = FxHashMap::default();
+    let mut states: Vec<AbsState> = Vec::new();
+    let mut parents: Vec<Option<(u32, Step)>> = Vec::new();
+    let mut depths: Vec<u32> = Vec::new();
+    let mut frontier: VecDeque<u32> = VecDeque::new();
+    let mut terminal_states = 0u64;
+
+    let enc = init.encode();
+    metrics.state_fingerprint ^= fnv1a64(&enc);
+    visited.insert(enc, 0);
+    states.push(init);
+    parents.push(None);
+    depths.push(0);
+    frontier.push_back(0);
+    metrics.states = 1;
+    metrics.max_frontier = 1;
+
+    while let Some(id) = frontier.pop_front() {
+        let depth = depths[id as usize];
+        let steps = states[id as usize].enabled_steps(cfg);
+        if steps.is_empty() {
+            let budget: u32 = states[id as usize].budget.iter().map(|&b| b as u32).sum();
+            assert_eq!(budget, 0, "deadlock: no enabled step but budget remains");
+            terminal_states += 1;
+            continue;
+        }
+        for step in steps {
+            let mut next = states[id as usize].clone();
+            let violations = next.apply(&pcfg, &mut stats, step);
+            metrics.transitions += 1;
+            if let Some(v) = violations.into_iter().next() {
+                let mut path = Vec::new();
+                let mut cur = id as usize;
+                while let Some((parent, s)) = parents[cur] {
+                    path.push(s);
+                    cur = parent as usize;
+                }
+                path.reverse();
+                path.push(step);
+                metrics.max_depth = metrics.max_depth.max(depth + 1);
+                metrics.wall_ms = start.elapsed().as_millis() as u64;
+                return Ok(Exploration {
+                    config: *cfg,
+                    metrics,
+                    counterexample: Some(Counterexample {
+                        steps: path,
+                        violation: v,
+                    }),
+                    terminal_states,
+                });
+            }
+            let enc = next.encode();
+            if visited.contains_key(&enc) {
+                metrics.dedup_hits += 1;
+                continue;
+            }
+            let nid = states.len() as u32;
+            metrics.state_fingerprint ^= fnv1a64(&enc);
+            visited.insert(enc, nid);
+            states.push(next);
+            parents.push(Some((id, step)));
+            depths.push(depth + 1);
+            frontier.push_back(nid);
+            metrics.states += 1;
+            metrics.max_depth = metrics.max_depth.max(depth + 1);
+            metrics.max_frontier = metrics.max_frontier.max(frontier.len() as u64);
+        }
+    }
+    metrics.wall_ms = start.elapsed().as_millis() as u64;
+    Ok(Exploration {
+        config: *cfg,
+        metrics,
+        counterexample: None,
+        terminal_states,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsim_types::ProtocolKind;
+
+    #[test]
+    fn two_node_one_block_baseline_is_clean() {
+        let ex = explore(&ModelConfig::new(ProtocolKind::Baseline)).unwrap();
+        assert!(ex.counterexample.is_none(), "{:?}", ex.counterexample);
+        assert!(ex.metrics.states > 10);
+        assert!(ex.terminal_states > 0);
+        assert!(
+            ex.metrics.max_depth <= 2 * 4,
+            "depth bounded by total budget"
+        );
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let cfg = ModelConfig::new(ProtocolKind::Ls);
+        let a = explore(&cfg).unwrap();
+        let b = explore(&cfg).unwrap();
+        assert_eq!(a.metrics.states, b.metrics.states);
+        assert_eq!(a.metrics.transitions, b.metrics.transitions);
+        assert_eq!(a.metrics.state_fingerprint, b.metrics.state_fingerprint);
+    }
+
+    #[test]
+    fn invalid_configs_error() {
+        assert!(explore(&ModelConfig::new(ProtocolKind::Dsi)).is_err());
+    }
+}

@@ -1,0 +1,61 @@
+//! `ccsim-model`: a bounded model checker for the Baseline/AD/LS
+//! coherence protocols, with counterexample replay on the concrete engine.
+//!
+//! # Why a model checker for a simulator?
+//!
+//! The simulator's protocol behaviour lives in one place —
+//! [`ccsim_core::rules`], a pure transition table over directory entries —
+//! and both this crate and the engine's [`ccsim_core::Directory`] execute
+//! it. Exhaustively exploring the abstract machine therefore verifies the
+//! *same* state machine the simulator runs, not a re-specification that
+//! could drift: there is exactly one copy of the rules.
+//!
+//! # What is checked
+//!
+//! For bounded configurations (2-4 nodes, 1-2 blocks, a per-node operation
+//! budget), every interleaving of whole coherence transactions is
+//! enumerated by breadth-first search over canonicalized states
+//! ([`explore`]). In every reachable state and across every transition:
+//!
+//! * **SWMR** — a writable copy never coexists with any other copy;
+//! * **directory/cache agreement** — the home's state and sharer set match
+//!   the caches exactly;
+//! * **data-value** — loads observe the latest store (per-block counter
+//!   abstraction); dirty copies hold it; clean copies match memory;
+//! * **protocol rules** — the LS tag/de-tag/LR laws (§3/§3.1 of the
+//!   paper), `NotLS` reporting, AD's migratory detection, and tag survival
+//!   across replacement, via the independent `check_*` postconditions in
+//!   [`ccsim_core::rules`];
+//! * **progress** — every transition consumes budget (no livelock within
+//!   the bound) and only budget-exhausted states lack successors (no
+//!   deadlock).
+//!
+//! # Counterexamples
+//!
+//! The first violating transition terminates the search; BFS order makes
+//! the reported [`Counterexample`] a shortest one. [`replay`] converts it
+//! into a concrete [`ccsim_engine::Trace`] (evictions become conflict-set
+//! loads) and re-executes it on the real machine with runtime invariants
+//! enabled, closing the loop: an abstract violation is demonstrated as a
+//! concrete engine-level invariant failure.
+//!
+//! # Proving the checker works
+//!
+//! Under the `testing` cargo feature, a [`ccsim_types::RuleMutation`] can
+//! be seeded into the shared transition table (e.g. skip the LS de-tag,
+//! drop the `NotLS` notification, drop invalidations). The mutation tests
+//! assert each seeded bug is caught with a counterexample that replays to
+//! a concrete invariant failure — the checker detects real protocol bugs,
+//! not just the ones it was written against.
+
+pub mod config;
+pub mod explore;
+pub mod replay;
+pub mod state;
+pub mod summary;
+
+pub use config::{ModelConfig, MAX_BLOCKS, MAX_NODES, MAX_OPS};
+pub use explore::{explore, Counterexample, Exploration, Metrics};
+pub use replay::{machine_config, replay_counterexample, to_trace};
+pub use state::{AbsState, BlockView, CopyVal, OpKind, Step, Violation};
+pub use summary::summarize;

@@ -1,0 +1,172 @@
+//! Replay model-checker runs in the concrete simulation engine.
+//!
+//! A counterexample is a sequence of abstract [`Step`]s. Each maps to a
+//! concrete [`TraceOp`] so the engine executes the *same* serialization of
+//! transactions the model did:
+//!
+//! * model block `i` → address `i * block_bytes` (distinct L1/L2 sets for
+//!   the small block counts the model uses);
+//! * `Store` carries the model's per-block store counter as the value, so
+//!   the engine's data-value oracle tracks the same golden values;
+//! * `Evict` becomes a load of a *conflict address* — the same L1/L2 set
+//!   as the block (offset by a multiple of the L2 size, both levels being
+//!   direct-mapped), which forces the replacement the abstract step took.
+//!   Each eviction uses a fresh conflict address so conflict blocks never
+//!   interact.
+//!
+//! The trace replays under [`InvariantMode::Check`] (or `Strict`), so the
+//! engine's own invariant checker — which shares [`ccsim_core::rules`] and
+//! its postconditions with the model — re-detects the violation on the
+//! concrete machine. Replay is strictly sequential (one transaction at a
+//! time, like the model), so detection is guaranteed by construction
+//! rather than by racing the scheduler.
+
+use ccsim_engine::{
+    replay_checked, InvariantMode, InvariantReport, RunStats, Trace, TraceEvent, TraceOp,
+};
+use ccsim_types::{Addr, MachineConfig};
+
+use crate::config::ModelConfig;
+use crate::explore::Counterexample;
+use crate::state::{OpKind, Step};
+
+/// The concrete machine a model run replays on: the paper's baseline
+/// geometry with the model's node count and protocol knobs.
+pub fn machine_config(cfg: &ModelConfig) -> MachineConfig {
+    let mut mc = MachineConfig::splash_baseline(cfg.kind).with_nodes(cfg.nodes);
+    mc.protocol.ls = cfg.ls;
+    mc.protocol.ad = cfg.ad;
+    #[cfg(feature = "testing")]
+    if let Some(m) = cfg.mutation {
+        mc.protocol = mc.protocol.with_rule_mutation(m);
+    }
+    mc
+}
+
+/// Convert abstract steps into a concrete trace for [`machine_config`].
+pub fn to_trace(cfg: &ModelConfig, steps: &[Step]) -> Trace {
+    let mc = machine_config(cfg);
+    let block_bytes = mc.block_bytes();
+    let conflict_stride = mc.l2.size_bytes;
+    let addr_of = |block: u8| Addr(block as u64 * block_bytes);
+    let mut golden = vec![0u64; cfg.blocks as usize];
+    let mut evictions = 0u64;
+    let events = steps
+        .iter()
+        .map(|s| {
+            let op = match s.op {
+                OpKind::Load => TraceOp::Load(addr_of(s.block)),
+                OpKind::LoadExcl => TraceOp::LoadExclusive(addr_of(s.block)),
+                OpKind::Store => {
+                    let g = &mut golden[s.block as usize];
+                    *g += 1;
+                    TraceOp::Store(addr_of(s.block), *g)
+                }
+                OpKind::Evict => {
+                    evictions += 1;
+                    TraceOp::Load(Addr(evictions * conflict_stride + addr_of(s.block).0))
+                }
+            };
+            TraceEvent { proc: s.node.0, op }
+        })
+        .collect();
+    Trace::from_events(cfg.nodes, events).expect("model steps name in-range nodes")
+}
+
+/// Replay a counterexample on the concrete engine and return what its
+/// invariant checker observed. A genuine violation yields a non-empty
+/// report; use [`InvariantMode::Strict`] to panic at the first violation
+/// instead (the `CCSIM_INVARIANTS=strict` behaviour).
+pub fn replay_counterexample(
+    cfg: &ModelConfig,
+    cex: &Counterexample,
+    mode: InvariantMode,
+) -> (RunStats, InvariantReport) {
+    replay_checked(machine_config(cfg), &to_trace(cfg, &cex.steps), &[], mode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsim_types::{NodeId, ProtocolKind};
+
+    #[test]
+    fn traces_replicate_store_values_and_eviction_conflicts() {
+        let cfg = ModelConfig::new(ProtocolKind::Ls);
+        let steps = [
+            Step {
+                node: NodeId(0),
+                op: OpKind::Load,
+                block: 0,
+            },
+            Step {
+                node: NodeId(0),
+                op: OpKind::Store,
+                block: 0,
+            },
+            Step {
+                node: NodeId(0),
+                op: OpKind::Store,
+                block: 0,
+            },
+            Step {
+                node: NodeId(0),
+                op: OpKind::Evict,
+                block: 0,
+            },
+            Step {
+                node: NodeId(1),
+                op: OpKind::Evict,
+                block: 0,
+            },
+        ];
+        let t = to_trace(&cfg, &steps);
+        let ev = t.events();
+        assert_eq!(ev[1].op, TraceOp::Store(Addr(0), 1));
+        assert_eq!(ev[2].op, TraceOp::Store(Addr(0), 2));
+        // Two distinct conflict addresses, both in block 0's cache set.
+        let (TraceOp::Load(a), TraceOp::Load(b)) = (ev[3].op, ev[4].op) else {
+            panic!("evictions must become conflict loads");
+        };
+        assert_ne!(a, b);
+        let l2 = machine_config(&cfg).l2.size_bytes;
+        assert_eq!(a.0 % l2, 0);
+        assert_eq!(b.0 % l2, 0);
+    }
+
+    #[test]
+    fn clean_runs_replay_clean() {
+        let cfg = ModelConfig::new(ProtocolKind::Ls);
+        let steps = [
+            Step {
+                node: NodeId(0),
+                op: OpKind::Load,
+                block: 0,
+            },
+            Step {
+                node: NodeId(0),
+                op: OpKind::Store,
+                block: 0,
+            },
+            Step {
+                node: NodeId(1),
+                op: OpKind::Load,
+                block: 0,
+            },
+            Step {
+                node: NodeId(1),
+                op: OpKind::Store,
+                block: 0,
+            },
+        ];
+        let (stats, report) = replay_checked(
+            machine_config(&cfg),
+            &to_trace(&cfg, &steps),
+            &[],
+            InvariantMode::Check,
+        );
+        assert!(report.is_clean(), "{:?}", report.violations());
+        assert!(report.checks() > 0);
+        assert_eq!(stats.dir.global_reads, 2);
+    }
+}

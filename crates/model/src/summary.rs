@@ -1,0 +1,47 @@
+//! Bridge to the canonical-JSON export path (`ccsim-stats`).
+
+use ccsim_stats::ModelCheckSummary;
+
+use crate::explore::Exploration;
+
+/// Flatten an exploration into the serializable summary the harness and
+/// CLI export next to run statistics.
+pub fn summarize(ex: &Exploration) -> ModelCheckSummary {
+    ModelCheckSummary {
+        protocol: ex.config.kind.label().to_string(),
+        nodes: ex.config.nodes,
+        blocks: ex.config.blocks,
+        max_ops: ex.config.max_ops,
+        states: ex.metrics.states,
+        transitions: ex.metrics.transitions,
+        dedup_hits: ex.metrics.dedup_hits,
+        max_frontier: ex.metrics.max_frontier,
+        max_depth: ex.metrics.max_depth,
+        wall_ms: ex.metrics.wall_ms,
+        state_fingerprint: ex.metrics.state_fingerprint,
+        violation: ex
+            .counterexample
+            .as_ref()
+            .map(|c| c.violation.to_string())
+            .unwrap_or_default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::explore::explore;
+    use ccsim_types::ProtocolKind;
+
+    #[test]
+    fn summaries_round_trip_and_mirror_the_exploration() {
+        let ex = explore(&ModelConfig::new(ProtocolKind::Ls)).unwrap();
+        let s = summarize(&ex);
+        assert_eq!(s.protocol, "LS");
+        assert_eq!(s.states, ex.metrics.states);
+        assert_eq!(s.violation, "", "clean run exports an empty violation");
+        let back = ModelCheckSummary::parse(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+    }
+}

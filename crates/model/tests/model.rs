@@ -1,0 +1,159 @@
+//! Integration tests for the bounded model checker: exhaustive clean
+//! explorations of the unmodified protocols, and mutation tests proving
+//! the checker catches seeded protocol bugs with counterexamples that
+//! replay to concrete engine-level invariant failures.
+
+use ccsim_engine::InvariantMode;
+use ccsim_model::{explore, replay_counterexample, summarize, ModelConfig};
+use ccsim_stats::ModelCheckSummary;
+use ccsim_types::{ProtocolKind, RuleMutation};
+
+// --- Clean exhaustive explorations (the main verification result) ------
+
+fn assert_clean(cfg: &ModelConfig) {
+    let ex = explore(cfg).unwrap();
+    assert!(
+        ex.counterexample.is_none(),
+        "{:?} n={} b={} ops={} violated:\n{}",
+        cfg.kind,
+        cfg.nodes,
+        cfg.blocks,
+        cfg.max_ops,
+        ex.counterexample.unwrap()
+    );
+    assert!(ex.metrics.states > 100, "exploration was not exhaustive");
+    assert!(
+        ex.terminal_states > 0,
+        "budget exhaustion must produce terminal states"
+    );
+    assert!(ex.metrics.dedup_hits > 0, "canonicalization never deduped");
+}
+
+#[test]
+fn two_nodes_one_block_is_clean_for_all_protocols() {
+    for kind in ProtocolKind::ALL {
+        assert_clean(&ModelConfig::new(kind));
+    }
+}
+
+#[test]
+fn three_nodes_one_block_is_clean_for_all_protocols() {
+    // ~15-24k states per protocol at a budget of 3 — exhaustive but still
+    // fast in debug builds. The full budget-4 space (~60-93k states) is
+    // covered by the release-mode CI model-check job.
+    for kind in ProtocolKind::ALL {
+        assert_clean(&ModelConfig::new(kind).with_nodes(3).with_max_ops(3));
+    }
+}
+
+#[test]
+fn two_blocks_exercise_eviction_interleavings_cleanly() {
+    // Two blocks map to distinct L1/L2 sets, so this exercises tag
+    // survival across replacement (§3.1 case 3) under LS.
+    assert_clean(&ModelConfig::new(ProtocolKind::Ls).with_blocks(2));
+}
+
+#[test]
+#[ignore = "large state space (~300k states); run with --ignored or via CI's release job"]
+fn four_nodes_one_block_is_clean_for_all_protocols() {
+    for kind in ProtocolKind::ALL {
+        assert_clean(&ModelConfig::new(kind).with_nodes(4).with_max_ops(3));
+    }
+}
+
+#[test]
+fn exploration_is_deterministic_and_summarizable() {
+    let cfg = ModelConfig::new(ProtocolKind::Ls);
+    let a = explore(&cfg).unwrap();
+    let b = explore(&cfg).unwrap();
+    assert_eq!(a.metrics.states, b.metrics.states);
+    assert_eq!(a.metrics.transitions, b.metrics.transitions);
+    assert_eq!(a.metrics.state_fingerprint, b.metrics.state_fingerprint);
+
+    // The summary survives the canonical-JSON export path bit-exactly.
+    let s = summarize(&a);
+    let back = ModelCheckSummary::parse(&s.to_json()).unwrap();
+    assert_eq!(back, s);
+    assert_eq!(back.state_fingerprint, a.metrics.state_fingerprint);
+}
+
+// --- Mutation tests: the checker catches seeded protocol bugs ----------
+//
+// Each seeded mutation must (a) be found by the abstract exploration with
+// a counterexample and (b) replay on the concrete engine as a runtime
+// invariant violation — demonstrating the abstract bug is a real bug.
+
+fn assert_caught_and_replays(kind: ProtocolKind, m: RuleMutation) {
+    let cfg = ModelConfig::new(kind).with_mutation(m);
+    let ex = explore(&cfg).unwrap();
+    let cex = ex.counterexample.unwrap_or_else(|| {
+        panic!(
+            "{m:?} under {kind:?} was not caught in {} states",
+            ex.metrics.states
+        )
+    });
+    assert!(!cex.steps.is_empty());
+    let (_, report) = replay_counterexample(&cfg, &cex, InvariantMode::Check);
+    assert!(
+        !report.is_clean(),
+        "{m:?} under {kind:?}: abstract counterexample did not reproduce on \
+         the engine:\n{cex}"
+    );
+}
+
+#[test]
+fn a_skipped_ls_detag_is_caught_and_replays() {
+    // The de-tag rule is the heart of §3: without it a second writer's
+    // unpaired acquisition keeps the stale LS-bit.
+    assert_caught_and_replays(ProtocolKind::Ls, RuleMutation::SkipLsDetag);
+}
+
+#[test]
+fn a_dropped_notls_notification_is_caught_and_replays() {
+    assert_caught_and_replays(ProtocolKind::Ls, RuleMutation::DropNotLs);
+}
+
+#[test]
+fn dropped_invalidations_are_caught_as_swmr_violations() {
+    // Baseline has no LS machinery, so the only thing that can catch this
+    // is the SWMR check itself.
+    for kind in ProtocolKind::ALL {
+        assert_caught_and_replays(kind, RuleMutation::DropInvalidations);
+    }
+}
+
+#[test]
+fn a_stale_lr_field_on_ownership_transfer_is_caught_and_replays() {
+    assert_caught_and_replays(ProtocolKind::Ls, RuleMutation::KeepLrOnOwnership);
+}
+
+#[test]
+fn mutations_without_an_observable_effect_stay_clean() {
+    // Baseline has no tags to skip de-tagging and no LR field to leak:
+    // the checker must not cry wolf on mutations that cannot fire.
+    for m in [RuleMutation::SkipLsDetag, RuleMutation::KeepLrOnOwnership] {
+        let cfg = ModelConfig::new(ProtocolKind::Baseline).with_mutation(m);
+        let ex = explore(&cfg).unwrap();
+        assert!(
+            ex.counterexample.is_none(),
+            "{m:?} cannot affect Baseline, yet the checker reported:\n{}",
+            ex.counterexample.unwrap()
+        );
+    }
+}
+
+#[test]
+fn strict_mode_replay_panics_at_the_violation() {
+    let cfg =
+        ModelConfig::new(ProtocolKind::Baseline).with_mutation(RuleMutation::DropInvalidations);
+    let cex = explore(&cfg).unwrap().counterexample.unwrap();
+    let panic = std::panic::catch_unwind(|| {
+        replay_counterexample(&cfg, &cex, InvariantMode::Strict);
+    })
+    .expect_err("strict replay of a violating trace must panic");
+    let msg = panic.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("coherence invariant violated"),
+        "unexpected panic payload: {msg}"
+    );
+}

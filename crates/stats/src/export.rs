@@ -165,6 +165,85 @@ impl FromJson for RunSummary {
     }
 }
 
+/// Flat, serializable summary of one bounded model-checking run
+/// (`ccsim-model`), exported through the same canonical-JSON path as
+/// [`RunSummary`] so state-space metrics land next to performance metrics
+/// in the harness's artifacts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelCheckSummary {
+    pub protocol: String,
+    pub nodes: u16,
+    pub blocks: u8,
+    pub max_ops: u8,
+    /// Unique states visited.
+    pub states: u64,
+    /// Transitions executed.
+    pub transitions: u64,
+    /// Successors already in the visited set.
+    pub dedup_hits: u64,
+    /// Peak BFS frontier size.
+    pub max_frontier: u64,
+    /// Deepest state reached.
+    pub max_depth: u32,
+    pub wall_ms: u64,
+    /// Order-independent fingerprint of the visited state set (XOR of
+    /// fnv1a64 over canonical encodings) — equal state spaces compare
+    /// equal across runs and machines.
+    pub state_fingerprint: u64,
+    /// Empty = exploration clean; otherwise the violation description.
+    pub violation: String,
+}
+
+impl ModelCheckSummary {
+    /// Pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        ToJson::to_json(self).pretty()
+    }
+
+    /// Parse a summary previously written by [`ModelCheckSummary::to_json`].
+    pub fn parse(text: &str) -> Result<Self, String> {
+        FromJson::from_json(&Json::parse(text)?)
+    }
+}
+
+impl ToJson for ModelCheckSummary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("protocol", self.protocol.to_json()),
+            ("nodes", self.nodes.to_json()),
+            ("blocks", self.blocks.to_json()),
+            ("max_ops", self.max_ops.to_json()),
+            ("states", self.states.to_json()),
+            ("transitions", self.transitions.to_json()),
+            ("dedup_hits", self.dedup_hits.to_json()),
+            ("max_frontier", self.max_frontier.to_json()),
+            ("max_depth", self.max_depth.to_json()),
+            ("wall_ms", self.wall_ms.to_json()),
+            ("state_fingerprint", self.state_fingerprint.to_json()),
+            ("violation", self.violation.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ModelCheckSummary {
+    fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(ModelCheckSummary {
+            protocol: j.field("protocol")?,
+            nodes: j.field("nodes")?,
+            blocks: j.field("blocks")?,
+            max_ops: j.field("max_ops")?,
+            states: j.field("states")?,
+            transitions: j.field("transitions")?,
+            dedup_hits: j.field("dedup_hits")?,
+            max_frontier: j.field("max_frontier")?,
+            max_depth: j.field("max_depth")?,
+            wall_ms: j.field("wall_ms")?,
+            state_fingerprint: j.field("state_fingerprint")?,
+            violation: j.field("violation")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +268,29 @@ mod tests {
         assert_eq!(s, back);
         assert_eq!(back.protocol, "LS");
         assert_eq!(back.nodes, 4);
+    }
+
+    #[test]
+    fn model_check_summary_round_trips_through_json() {
+        let s = ModelCheckSummary {
+            protocol: "LS".into(),
+            nodes: 3,
+            blocks: 1,
+            max_ops: 4,
+            states: 1234,
+            transitions: 5678,
+            dedup_hits: 42,
+            max_frontier: 99,
+            max_depth: 12,
+            wall_ms: 7,
+            // Bit-exactness of the u64 fingerprint matters: Json keeps a
+            // dedicated U64 variant, so no f64 round-trip loss.
+            state_fingerprint: u64::MAX - 1,
+            violation: String::new(),
+        };
+        let back = ModelCheckSummary::parse(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+        assert_eq!(back.state_fingerprint, u64::MAX - 1);
     }
 
     #[test]

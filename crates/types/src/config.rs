@@ -227,12 +227,67 @@ pub struct AdConfig {
     pub default_tagged: bool,
 }
 
+/// A deliberately broken protocol rule, used by the model checker's mutation
+/// tests (and nothing else) to prove the checker actually detects bugs.
+///
+/// The enum itself is always available so tools can *name* mutations, but a
+/// mutation can only be installed into a [`ProtocolConfig`] when the
+/// `testing` cargo feature is enabled; release builds physically cannot run
+/// a mutated protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RuleMutation {
+    /// LS: skip the de-tag vote on an unpaired ownership acquisition, so a
+    /// block wrongly keeps its LS-bit after the load-store pattern ends.
+    SkipLsDetag,
+    /// Drop the `NotLS` notification when a read finds an unwritten
+    /// exclusive grant: the directory neither reports nor de-tags.
+    DropNotLs,
+    /// A write to a shared block acquires ownership without invalidating
+    /// the other sharers (breaks SWMR directly).
+    DropInvalidations,
+    /// Keep the LR (last-reader) field across an ownership acquisition
+    /// instead of invalidating it, corrupting future pairing decisions.
+    KeepLrOnOwnership,
+}
+
+impl RuleMutation {
+    /// Every seeded mutation, for exhaustive mutation-coverage tests.
+    pub const ALL: [RuleMutation; 4] = [
+        RuleMutation::SkipLsDetag,
+        RuleMutation::DropNotLs,
+        RuleMutation::DropInvalidations,
+        RuleMutation::KeepLrOnOwnership,
+    ];
+
+    /// Stable CLI name of the mutation.
+    pub fn label(self) -> &'static str {
+        match self {
+            RuleMutation::SkipLsDetag => "skip-ls-detag",
+            RuleMutation::DropNotLs => "drop-notls",
+            RuleMutation::DropInvalidations => "drop-invalidations",
+            RuleMutation::KeepLrOnOwnership => "keep-lr-on-ownership",
+        }
+    }
+
+    /// Parse a CLI name produced by [`RuleMutation::label`].
+    pub fn parse(s: &str) -> Option<RuleMutation> {
+        RuleMutation::ALL.into_iter().find(|m| m.label() == s)
+    }
+}
+
 /// Protocol selection plus variant knobs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ProtocolConfig {
     pub kind: ProtocolKind,
     pub ls: LsConfig,
     pub ad: AdConfig,
+    /// Seeded rule mutation for checker-validation tests. Only exists under
+    /// the `testing` feature; construct via [`ProtocolConfig::with_rule_mutation`]
+    /// and read via [`ProtocolConfig::rule_mutation`] (which is always
+    /// available and returns `None` in normal builds). Deliberately absent
+    /// from the canonical JSON encoding: mutated configs are never cached.
+    #[cfg(feature = "testing")]
+    pub mutation: Option<RuleMutation>,
 }
 
 impl ProtocolConfig {
@@ -241,7 +296,26 @@ impl ProtocolConfig {
             kind,
             ls: LsConfig::default(),
             ad: AdConfig::default(),
+            #[cfg(feature = "testing")]
+            mutation: None,
         }
+    }
+
+    /// The seeded rule mutation, if any. Always `None` without the
+    /// `testing` feature, so protocol code can consult it unconditionally.
+    pub fn rule_mutation(&self) -> Option<RuleMutation> {
+        #[cfg(feature = "testing")]
+        let m = self.mutation;
+        #[cfg(not(feature = "testing"))]
+        let m = None;
+        m
+    }
+
+    /// Install a seeded rule mutation (testing builds only).
+    #[cfg(feature = "testing")]
+    pub fn with_rule_mutation(mut self, mutation: RuleMutation) -> Self {
+        self.mutation = Some(mutation);
+        self
     }
 }
 

@@ -154,11 +154,13 @@ impl ToJson for ProtocolConfig {
 
 impl FromJson for ProtocolConfig {
     fn from_json(j: &Json) -> Result<Self, String> {
-        Ok(ProtocolConfig {
-            kind: j.field("kind")?,
-            ls: j.field("ls")?,
-            ad: j.field("ad")?,
-        })
+        // Built via `new` rather than a struct literal: the testing-only
+        // mutation field is not part of the canonical encoding and always
+        // decodes to `None`.
+        let mut cfg = ProtocolConfig::new(j.field("kind")?);
+        cfg.ls = j.field("ls")?;
+        cfg.ad = j.field("ad")?;
+        Ok(cfg)
     }
 }
 

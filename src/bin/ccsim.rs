@@ -3,6 +3,7 @@
 //! ```text
 //! ccsim run     --workload <mp3d|lu|cholesky|oltp> --protocol <baseline|ad|ls> [options]
 //! ccsim compare --workload <mp3d|lu|cholesky|oltp> [options]   # all three protocols
+//! ccsim model   [--protocol <baseline|ad|ls|all>] [model options]  # bounded model check
 //! ccsim config                                                  # print Table 1
 //!
 //! options:
@@ -14,12 +15,21 @@
 //!   --relaxed               idealized write buffer instead of SC
 //!   --mesh <width>          2-D mesh instead of point-to-point
 //!   --json                  emit a JSON RunSummary instead of text
+//!
+//! model options:
+//!   --nodes <N>             model nodes, 2-4        (default 2)
+//!   --blocks <B>            model blocks, 1-2       (default 1)
+//!   --max-ops <K>           per-node op budget      (default 4)
+//!   --mutation <NAME>       seed a rule mutation    (needs --features testing)
+//!   --expect-violation      exit 0 iff a violation IS found
+//!   --json                  emit JSON ModelCheckSummary documents
 //! ```
 
-use ccsim::engine::RunStats;
+use ccsim::engine::{InvariantMode, RunStats};
 use ccsim::harness::{run_cached, JobSet};
+use ccsim::model::{explore, replay_counterexample, summarize, ModelConfig};
 use ccsim::stats::{render_triptych, RunSummary, Triptych};
-use ccsim::types::{Consistency, Topology};
+use ccsim::types::{Consistency, RuleMutation, Topology};
 use ccsim::util::{Json, ToJson};
 use ccsim::workloads::{cholesky, lu, mp3d, oltp, Spec};
 use ccsim::{MachineConfig, ProtocolKind};
@@ -27,8 +37,9 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ccsim <run|compare|config> [--workload W] [--protocol P] [--scale S] \
-         [--nodes N] [--block B] [--l2-kb K] [--quantum Q] [--relaxed] [--mesh W] [--json]"
+        "usage: ccsim <run|compare|model|config> [--workload W] [--protocol P] [--scale S] \
+         [--nodes N] [--block B] [--l2-kb K] [--quantum Q] [--relaxed] [--mesh W] [--json]\n\
+         model options: [--blocks B] [--max-ops K] [--mutation NAME] [--expect-violation]"
     );
     exit(2);
 }
@@ -45,6 +56,10 @@ struct Opts {
     relaxed: bool,
     mesh: Option<u16>,
     json: bool,
+    blocks: Option<u8>,
+    max_ops: Option<u8>,
+    mutation: Option<String>,
+    expect_violation: bool,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -68,6 +83,10 @@ fn parse_opts(args: &[String]) -> Opts {
             "--relaxed" => o.relaxed = true,
             "--mesh" => o.mesh = Some(val().parse().unwrap_or_else(|_| usage())),
             "--json" => o.json = true,
+            "--blocks" => o.blocks = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--max-ops" => o.max_ops = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--mutation" => o.mutation = Some(val().clone()),
+            "--expect-violation" => o.expect_violation = true,
             _ => {
                 eprintln!("unknown option {a}");
                 usage()
@@ -232,6 +251,89 @@ fn main() {
             let cfg = config_of(&o, &workload, kind);
             let r = run_cached(cfg, &spec);
             print_run(&r, o.json);
+        }
+        "model" => {
+            let kinds: Vec<ProtocolKind> = match o.protocol.as_deref().unwrap_or("all") {
+                "all" => ProtocolKind::ALL.to_vec(),
+                s => vec![protocol_of(s)],
+            };
+            let mutation = o.mutation.as_deref().map(|s| {
+                RuleMutation::parse(s).unwrap_or_else(|| {
+                    let names: Vec<&str> = RuleMutation::ALL.iter().map(|m| m.label()).collect();
+                    eprintln!("unknown mutation {s} ({})", names.join("|"));
+                    usage()
+                })
+            });
+            let mut violations = 0u32;
+            let mut docs = Vec::new();
+            for kind in kinds {
+                let mut cfg = ModelConfig::new(kind);
+                if let Some(n) = o.nodes {
+                    cfg = cfg.with_nodes(n);
+                }
+                if let Some(b) = o.blocks {
+                    cfg = cfg.with_blocks(b);
+                }
+                if let Some(k) = o.max_ops {
+                    cfg = cfg.with_max_ops(k);
+                }
+                if let Some(m) = mutation {
+                    cfg = cfg.with_mutation(m);
+                }
+                let ex = explore(&cfg).unwrap_or_else(|e| {
+                    eprintln!("model: {e}");
+                    exit(2);
+                });
+                let s = summarize(&ex);
+                if o.json {
+                    docs.push(ToJson::to_json(&s));
+                } else {
+                    println!(
+                        "{:<8} nodes={} blocks={} max-ops={}: {} states, {} transitions, \
+                         depth {}, {} ms — {}",
+                        s.protocol,
+                        s.nodes,
+                        s.blocks,
+                        s.max_ops,
+                        s.states,
+                        s.transitions,
+                        s.max_depth,
+                        s.wall_ms,
+                        if s.violation.is_empty() {
+                            "clean".to_string()
+                        } else {
+                            format!("VIOLATION: {}", s.violation)
+                        }
+                    );
+                }
+                if let Some(cex) = &ex.counterexample {
+                    violations += 1;
+                    if !o.json {
+                        println!("counterexample (shortest, {} steps):", cex.steps.len());
+                        println!("{cex}");
+                        let (_, report) = replay_counterexample(&cfg, cex, InvariantMode::Check);
+                        println!(
+                            "engine replay: {} invariant violation(s) in {} checks",
+                            report.total_violations(),
+                            report.checks()
+                        );
+                        for v in report.violations() {
+                            println!("  {v}");
+                        }
+                    }
+                }
+            }
+            if o.json {
+                println!("{}", Json::Arr(docs).pretty());
+            }
+            let ok = if o.expect_violation {
+                violations > 0
+            } else {
+                violations == 0
+            };
+            if !ok {
+                exit(1);
+            }
         }
         "compare" => {
             let workload = o.workload.clone().unwrap_or_else(|| usage());

@@ -93,6 +93,62 @@ fn relaxed_consistency_zeroes_write_stall() {
 }
 
 #[test]
+fn model_subcommand_explores_all_protocols_cleanly() {
+    let (ok, stdout, _) = ccsim(&["model", "--protocol", "all"]);
+    assert!(ok, "stdout: {stdout}");
+    for label in ["Baseline", "AD", "LS"] {
+        assert!(stdout.contains(label));
+    }
+    assert!(stdout.contains("clean"));
+    assert!(!stdout.contains("VIOLATION"));
+}
+
+#[test]
+fn model_json_emits_summaries() {
+    let (ok, stdout, _) = ccsim(&["model", "--protocol", "ls", "--json"]);
+    assert!(ok);
+    assert!(stdout.trim_start().starts_with('['));
+    assert!(stdout.contains("\"state_fingerprint\""));
+    assert!(stdout.contains("\"violation\": \"\""));
+}
+
+#[test]
+fn model_expect_violation_fails_on_a_clean_protocol() {
+    let (ok, _, _) = ccsim(&["model", "--protocol", "baseline", "--expect-violation"]);
+    assert!(!ok, "a clean exploration must fail --expect-violation");
+}
+
+// No negative test for `--mutation` without the `testing` feature: in a
+// workspace-wide test run, cargo's feature unification enables the model
+// crate's testing hooks through its own dev-dependency, so the binary
+// under test accepts mutations regardless of this package's features.
+#[cfg(feature = "testing")]
+#[test]
+fn model_mutation_is_caught_with_a_replayed_counterexample() {
+    let (ok, stdout, _) = ccsim(&[
+        "model",
+        "--protocol",
+        "ls",
+        "--mutation",
+        "skip-ls-detag",
+        "--expect-violation",
+    ]);
+    assert!(ok, "stdout: {stdout}");
+    assert!(stdout.contains("counterexample"));
+    assert!(stdout.contains("engine replay"));
+}
+
+#[test]
+fn model_rejects_unknown_mutations_and_dsi() {
+    let (ok, _, stderr) = ccsim(&["model", "--mutation", "nosuch"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown mutation"));
+    let (ok, _, stderr) = ccsim(&["model", "--protocol", "dsi"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown protocol"));
+}
+
+#[test]
 fn bad_arguments_fail_with_usage() {
     let (ok, _, stderr) = ccsim(&["run", "--workload", "nosuch"]);
     assert!(!ok);
