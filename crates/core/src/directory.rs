@@ -212,6 +212,7 @@ impl Directory {
         let e = self
             .entries
             .get_mut(&block)
+            // ccsim-lint: allow(unwrap): read() created this entry when it returned Forward
             .expect("forwarded read on unknown block");
         rules::read_forward_result(&self.cfg, &mut self.stats, e, p, owner_wrote, owner_dirty)
     }
@@ -236,6 +237,7 @@ impl Directory {
         let e = self
             .entries
             .get_mut(&block)
+            // ccsim-lint: allow(unwrap): write() created this entry when it returned Forward
             .expect("forwarded write on unknown block");
         rules::write_forward_result(&mut self.stats, e, p, owner_modified)
     }

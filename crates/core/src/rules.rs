@@ -615,6 +615,7 @@ pub fn copy_violations(
             }
         }
         Some(HomeState::Shared) => {
+            // ccsim-lint: allow(unwrap): the match arm just proved entry is Some
             let e = entry.expect("state implies entry");
             for (n, s) in holders {
                 if *s != CopyState::Shared {

@@ -297,6 +297,7 @@ impl Machine {
                     let post = self.dirs[home.idx()]
                         .entry(block)
                         .copied()
+                        // ccsim-lint: allow(unwrap): read() inserts the entry before returning
                         .expect("read created the entry");
                     let v = rules::check_read_step(&self.cfg.protocol, &pre, &post, p, &step);
                     self.invariants
@@ -321,11 +322,13 @@ impl Machine {
                 let (wrote, dirty) = self.owner_state(owner, block);
                 let res = self.dirs[home.idx()].read_forward_result(block, p, wrote, dirty);
                 if check {
+                    // ccsim-lint: allow(unwrap): Forward is only returned for an existing entry
                     let pre = pre.expect("forwarded read implies an entry");
                     let post = self.dirs[home.idx()]
                         .entry(block)
                         .copied()
-                        .expect("entry exists");
+                        // ccsim-lint: allow(unwrap): same entry, still present after resolution
+                        .expect("forwarded read left the entry in place");
                     let v = rules::check_read_resolution(
                         &self.cfg.protocol,
                         &pre,
@@ -358,6 +361,7 @@ impl Machine {
                     self.net.send_background(t, owner, home, MsgKind::NotLs);
                 }
                 let state = rules::read_fill_state(res.grant, res.requester_dirty)
+                    // ccsim-lint: allow(unwrap): DSI tear-off grants come from memory, never owners
                     .expect("forwarded reads never grant tear-off");
                 self.fill(p, block, line_state(state), t);
             }
@@ -531,6 +535,7 @@ impl Machine {
             let post = self.dirs[home.idx()]
                 .entry(block)
                 .copied()
+                // ccsim-lint: allow(unwrap): write() inserts the entry before returning
                 .expect("acquisition created the entry");
             let v = rules::check_write_transaction(&self.cfg.protocol, &pre, &post, p);
             self.invariants

@@ -332,6 +332,7 @@ pub struct SimBuilder {
 
 impl SimBuilder {
     pub fn new(cfg: MachineConfig) -> Self {
+        // ccsim-lint: allow(unwrap): constructor contract — a bad config is a caller bug
         cfg.validate().expect("invalid machine config");
         SimBuilder {
             machine: Machine::new(cfg),
@@ -448,6 +449,7 @@ impl SimBuilder {
                             resume_unwind(e);
                         }
                     })
+                    // ccsim-lint: allow(unwrap): OS refusing to spawn a thread is unrecoverable here
                     .expect("spawn simulation thread")
             })
             .collect();

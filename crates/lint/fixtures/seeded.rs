@@ -1,0 +1,49 @@
+//! Seeded lint violations — NOT compiled. `tests/lint.rs` feeds this file
+//! to the linter and asserts that exactly the expected diagnostics come
+//! out, proving each rule has teeth. Line numbers matter: update the
+//! expectations in `tests/lint.rs` when editing.
+
+use std::collections::HashMap;
+
+fn randomstate_violations() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let s = std::collections::HashSet::new();
+    let ok: FxHashMap<u32, u32> = FxHashMap::default();
+    let also_ok: HashMap<u32, u32, BuildHasherDefault<FxHasher>> = HashMap::with_hasher(h);
+}
+
+fn wall_clock_violations() {
+    let t0 = std::time::Instant::now();
+    let epoch = SystemTime::now();
+    // A justified suppression is accepted:
+    let ok = Instant::now(); // ccsim-lint: allow(wall-clock): progress reporting only
+}
+
+fn unwrap_violations(x: Option<u8>) -> u8 {
+    let a = x.unwrap();
+    let b = x.expect("msg");
+    // ccsim-lint: allow(unwrap): locally provable — fixture demonstrates suppression
+    let ok = x.unwrap();
+    x.unwrap_or_default()
+}
+
+pub fn corrupt_entry_for_test() {}
+
+#[cfg(feature = "testing")]
+pub fn corrupt_gated_for_test() {}
+
+fn bad_allow_violations() {
+    let a = 1; // ccsim-lint: allow(unwrap)
+    let b = 2; // ccsim-lint: allow(nosuch): unknown rule
+    let c = 3; // ccsim-lint: misformed directive
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_region() {
+        let m = std::collections::HashMap::new();
+        m.get(&1).unwrap();
+        let t = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,408 @@
+//! A minimal hand-rolled Rust token scanner.
+//!
+//! This is deliberately *not* a full Rust lexer: the source lints only need
+//! identifiers, string literals, punctuation, and line numbers, with comments
+//! and literals handled well enough that tokens are never fabricated inside
+//! them. No external parser crates are used (the build is fully offline), and
+//! none are needed — every rule in `source.rs` is expressible over this token
+//! stream.
+//!
+//! Guarantees the rules rely on:
+//! - line comments, block comments (nested), string/char/byte/raw literals,
+//!   and numbers never produce `Ident`/`Sym` tokens from their interior;
+//! - `// ccsim-lint: allow(rule): why` directives are extracted from plain
+//!   line comments with their line numbers; doc comments (`///`, `//!`) are
+//!   documentation and are never parsed as directives, so prose *describing*
+//!   the convention cannot accidentally suppress or trip the linter;
+//! - lifetimes (`'a`) are distinguished from char literals (`'a'`) so a
+//!   generic parameter never desynchronizes the scanner.
+
+/// One lexed token. Numbers and lifetimes are scanned but not emitted — no
+/// lint rule needs them, and dropping them keeps pattern matching simple.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`fn`, `HashMap`, `unwrap`, ...).
+    Ident(String),
+    /// String literal contents (cooked, raw, or byte), escapes untouched.
+    Str(String),
+    /// Single punctuation character (`.`, `<`, `#`, `(`, ...).
+    Sym(char),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub line: u32,
+    pub tok: Tok,
+}
+
+/// A `// ccsim-lint: allow(<rule>): <justification>` directive.
+///
+/// `rule` is empty when the marker was present but the directive did not
+/// parse — `source.rs` reports that as `bad-allow` rather than ignoring it.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    pub line: u32,
+    pub rule: String,
+    pub justification: String,
+}
+
+/// Result of lexing one file.
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub allows: Vec<Allow>,
+}
+
+/// The marker that introduces a suppression directive inside a line comment.
+pub const ALLOW_MARKER: &str = "ccsim-lint:";
+
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut tokens = Vec::new();
+    let mut allows = Vec::new();
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_ascii_whitespace() {
+            i += 1;
+        } else if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            let start = i + 2;
+            let doc = matches!(b.get(start), Some(&b'/') | Some(&b'!'));
+            let mut j = start;
+            while j < b.len() && b[j] != b'\n' {
+                j += 1;
+            }
+            if !doc {
+                if let Some(a) = parse_allow(&src[start..j], line) {
+                    allows.push(a);
+                }
+            }
+            i = j;
+        } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let mut depth = 1u32;
+            let mut j = i + 2;
+            while j < b.len() && depth > 0 {
+                if b[j] == b'\n' {
+                    line += 1;
+                    j += 1;
+                } else if b[j] == b'/' && b.get(j + 1) == Some(&b'*') {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == b'*' && b.get(j + 1) == Some(&b'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            i = j;
+        } else if c == b'"' {
+            let start_line = line;
+            let (text, j, newlines) = scan_cooked_string(src, i + 1);
+            tokens.push(Token {
+                line: start_line,
+                tok: Tok::Str(text),
+            });
+            line += newlines;
+            i = j;
+        } else if c == b'r' || c == b'b' {
+            if let Some((tok, j, newlines)) = scan_prefixed_literal(src, i) {
+                tokens.push(Token { line, tok });
+                line += newlines;
+                i = j;
+            } else {
+                let (id, j) = scan_ident(src, i);
+                tokens.push(Token {
+                    line,
+                    tok: Tok::Ident(id),
+                });
+                i = j;
+            }
+        } else if c == b'\'' {
+            i = scan_quote(src, i, line, &mut tokens);
+        } else if c == b'_' || c.is_ascii_alphabetic() {
+            let (id, j) = scan_ident(src, i);
+            tokens.push(Token {
+                line,
+                tok: Tok::Ident(id),
+            });
+            i = j;
+        } else if c.is_ascii_digit() {
+            i = scan_number(b, i);
+        } else {
+            tokens.push(Token {
+                line,
+                tok: Tok::Sym(c as char),
+            });
+            i += 1;
+        }
+    }
+    Lexed { tokens, allows }
+}
+
+/// Parse an allow directive out of one line comment's text (the part after
+/// `//`). Returns `None` when the marker is absent.
+fn parse_allow(comment: &str, line: u32) -> Option<Allow> {
+    let pos = comment.find(ALLOW_MARKER)?;
+    let rest = comment[pos + ALLOW_MARKER.len()..].trim_start();
+    let malformed = Allow {
+        line,
+        rule: String::new(),
+        justification: String::new(),
+    };
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return Some(malformed);
+    };
+    let Some(close) = rest.find(')') else {
+        return Some(malformed);
+    };
+    let rule = rest[..close].trim().to_string();
+    let mut why = rest[close + 1..].trim_start();
+    why = why.strip_prefix(':').unwrap_or(why);
+    why = why.strip_prefix('-').unwrap_or(why);
+    Some(Allow {
+        line,
+        rule,
+        justification: why.trim().to_string(),
+    })
+}
+
+/// Scan a cooked (escaped) string body starting just past the opening quote.
+/// Returns (contents, index past the closing quote, newline count).
+fn scan_cooked_string(src: &str, start: usize) -> (String, usize, u32) {
+    let b = src.as_bytes();
+    let mut j = start;
+    let mut newlines = 0u32;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => {
+                return (src[start..j].to_string(), j + 1, newlines);
+            }
+            b'\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (src[start..].to_string(), b.len(), newlines)
+}
+
+/// Scan literals that start with `r` or `b`: raw strings (`r"..."`,
+/// `r#"..."#`), byte strings (`b"..."`), byte chars (`b'x'`), combined
+/// (`br#"..."#`), and raw identifiers (`r#name`). Returns `None` when the
+/// prefix is just the start of an ordinary identifier.
+fn scan_prefixed_literal(src: &str, i: usize) -> Option<(Tok, usize, u32)> {
+    let b = src.as_bytes();
+    let mut j = i;
+    let mut raw = false;
+    if b[j] == b'b' {
+        j += 1;
+        if b.get(j) == Some(&b'r') {
+            raw = true;
+            j += 1;
+        }
+    } else {
+        raw = true;
+        j += 1;
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while b.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if b.get(j) == Some(&b'"') {
+            let body_start = j + 1;
+            let mut k = body_start;
+            let mut newlines = 0u32;
+            'outer: while k < b.len() {
+                if b[k] == b'\n' {
+                    newlines += 1;
+                } else if b[k] == b'"' {
+                    for h in 0..hashes {
+                        if b.get(k + 1 + h) != Some(&b'#') {
+                            k += 1;
+                            continue 'outer;
+                        }
+                    }
+                    return Some((
+                        Tok::Str(src[body_start..k].to_string()),
+                        k + 1 + hashes,
+                        newlines,
+                    ));
+                }
+                k += 1;
+            }
+            return Some((Tok::Str(src[body_start..].to_string()), b.len(), newlines));
+        }
+        if hashes == 1
+            && b.get(j)
+                .is_some_and(|c| c.is_ascii_alphabetic() || *c == b'_')
+        {
+            // Raw identifier `r#name`: emit the bare name.
+            let (id, k) = scan_ident(src, j);
+            return Some((Tok::Ident(id), k, 0));
+        }
+        return None;
+    }
+    // Non-raw `b` prefix: byte string or byte char.
+    match b.get(j) {
+        Some(&b'"') => {
+            let (text, k, newlines) = scan_cooked_string(src, j + 1);
+            Some((Tok::Str(text), k, newlines))
+        }
+        Some(&b'\'') => {
+            let k = skip_char_literal(b, j + 1);
+            Some((Tok::Str(String::new()), k, 0))
+        }
+        _ => None,
+    }
+}
+
+/// At a `'`: decide char literal vs lifetime. Char literals are skipped
+/// (emitting nothing — no rule inspects them); lifetimes skip the tick and
+/// let the following identifier lex normally (it is harmless in the stream).
+fn scan_quote(src: &str, i: usize, _line: u32, _tokens: &mut [Token]) -> usize {
+    let b = src.as_bytes();
+    match b.get(i + 1) {
+        Some(&b'\\') => skip_char_literal(b, i + 1),
+        Some(c) if b.get(i + 2) == Some(&b'\'') && *c != b'\'' => i + 3,
+        _ => i + 1, // lifetime tick (or stray quote): skip just the tick
+    }
+}
+
+/// Skip past a char-literal body starting at `start` (just past the opening
+/// quote), honoring escapes. Returns the index past the closing quote.
+fn skip_char_literal(b: &[u8], start: usize) -> usize {
+    let mut j = start;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    b.len()
+}
+
+fn scan_ident(src: &str, i: usize) -> (String, usize) {
+    let b = src.as_bytes();
+    let mut j = i;
+    while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+        j += 1;
+    }
+    (src[i..j].to_string(), j)
+}
+
+/// Skip a numeric literal. Consumes digits/underscores/suffix letters, plus
+/// one fractional part when the dot is followed by a digit — so `0..n` and
+/// `self.0.unwrap()` leave their dots (and the tokens after them) intact.
+fn scan_number(b: &[u8], i: usize) -> usize {
+    let mut j = i;
+    let digits = |b: &[u8], mut j: usize| {
+        while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+            j += 1;
+        }
+        j
+    };
+    j = digits(b, j);
+    if j < b.len() && b[j] == b'.' && b.get(j + 1).is_some_and(|c| c.is_ascii_digit()) {
+        j = digits(b, j + 1);
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap /* nested */ still comment */
+            let s = "HashMap::new()";
+            let r = r#"HashMap"#;
+            let real = FxHashMap::default();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"FxHashMap".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let ids = idents("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(ids.contains(&"str".to_string()));
+        assert!(ids.contains(&"char".to_string()));
+    }
+
+    #[test]
+    fn numbers_leave_method_calls_intact() {
+        let lexed = lex("let v = self.0.unwrap(); let r = 0..10; let f = 1.5e3;");
+        let has = |name: &str| {
+            lexed
+                .tokens
+                .iter()
+                .any(|t| matches!(&t.tok, Tok::Ident(s) if s == name))
+        };
+        assert!(has("unwrap"));
+    }
+
+    #[test]
+    fn allow_directives_are_parsed_with_lines() {
+        let src = "let x = 1;\n// ccsim-lint: allow(unwrap): provably safe\nlet y = 2;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        let a = &lexed.allows[0];
+        assert_eq!(a.line, 2);
+        assert_eq!(a.rule, "unwrap");
+        assert_eq!(a.justification, "provably safe");
+    }
+
+    #[test]
+    fn malformed_allow_is_flagged_not_dropped() {
+        let lexed = lex("// ccsim-lint: alow(unwrap) oops\n");
+        assert_eq!(lexed.allows.len(), 1);
+        assert!(lexed.allows[0].rule.is_empty());
+    }
+
+    #[test]
+    fn doc_comments_never_carry_directives() {
+        let src = "/// Suppress with `// ccsim-lint: allow(unwrap): why`.\n\
+                   //! Or at file scope: ccsim-lint: allow(wall-clock)\n\
+                   // ccsim-lint: allow(unwrap): a real one\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        assert_eq!(lexed.allows[0].line, 3);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let src = "let s = \"a\nb\nc\";\nlet t = 1;";
+        let lexed = lex(src);
+        let t_line = lexed
+            .tokens
+            .iter()
+            .find(|t| matches!(&t.tok, Tok::Ident(s) if s == "t"))
+            .map(|t| t.line);
+        assert_eq!(t_line, Some(4));
+    }
+}

@@ -1,0 +1,25 @@
+//! `ccsim-lint`: zero-dependency static analysis for the workspace.
+//!
+//! Two passes, surfaced as the `ccsim lint` and `ccsim analyze`
+//! subcommands:
+//!
+//! - [`source`] (pass 1) lints the workspace's Rust sources with a
+//!   hand-rolled token scanner ([`lexer`]) for determinism and
+//!   race-hazard laws: no `RandomState`-hashed maps or sets outside tests,
+//!   no wall-clock reads in simulator crates, no `unwrap`/`expect` on the
+//!   protocol paths of `crates/core` and `crates/engine`, and
+//!   `testing`-feature hygiene for corruption hooks. Violations are
+//!   suppressible only via justified `// ccsim-lint: allow(<rule>): <why>`
+//!   comments.
+//! - [`analysis`] (pass 2) statically classifies a captured access trace
+//!   per the paper's sharing-pattern taxonomy and replays its coherence
+//!   consequences without timing, yielding counters that exactly match the
+//!   engine's LS oracle — an independent check of the simulator, exported
+//!   as [`ccsim_stats::AnalysisSummary`].
+
+pub mod analysis;
+pub mod lexer;
+pub mod source;
+
+pub use analysis::analyze;
+pub use source::{explain, lint_file, lint_workspace, Diagnostic, LintConfig, RULES};

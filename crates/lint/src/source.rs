@@ -1,0 +1,720 @@
+//! Pass 1: source lints over the workspace token stream.
+//!
+//! Every rule here guards a project law that the run cache, the fault-soak
+//! oracles, and the model checker's counterexample replay all depend on:
+//! bit-for-bit determinism and fail-loud protocol paths. Rules operate on the
+//! `lexer` token stream, so comments, strings, and test code never trigger
+//! false positives.
+//!
+//! Suppression is explicit only: a `// ccsim-lint: allow(<rule>): <why>`
+//! comment on the offending line or the line directly above it, and the
+//! justification text is mandatory — a bare `allow` is itself a violation
+//! (`bad-allow`).
+
+use crate::lexer::{lex, Allow, Tok, Token};
+use ccsim_util::{Json, ToJson};
+use std::path::{Path, PathBuf};
+
+/// Rule identifiers, in reporting order.
+pub const RULE_RANDOMSTATE: &str = "randomstate";
+pub const RULE_WALL_CLOCK: &str = "wall-clock";
+pub const RULE_UNWRAP: &str = "unwrap";
+pub const RULE_TESTING_GATE: &str = "testing-gate";
+pub const RULE_BAD_ALLOW: &str = "bad-allow";
+
+/// Static description of one rule, for `--explain`.
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub summary: &'static str,
+    pub explain: &'static str,
+}
+
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: RULE_RANDOMSTATE,
+        summary: "no RandomState-hashed HashMap/HashSet outside tests",
+        explain: "std::collections::HashMap and HashSet default to RandomState, which \
+seeds SipHash from the OS at process start. Iteration order then differs \
+between runs, and anything derived from it (message order, float summation \
+order, cache keys) breaks bit-for-bit determinism — the property the run \
+cache, fault-soak oracles, and counterexample replay all assume. Use \
+ccsim_util::FxHashMap / FxHashSet (or any explicit deterministic hasher — a \
+third HashMap / second HashSet type parameter is accepted), or a sorted \
+structure. Test code (#[test], #[cfg(test)]) is exempt.",
+    },
+    RuleInfo {
+        id: RULE_WALL_CLOCK,
+        summary: "no Instant::now/SystemTime::now in simulator crates",
+        explain: "Simulated time must come from the engine clock; reading the host's \
+wall clock inside simulator code either leaks nondeterminism into results or \
+silently measures the wrong thing. Bench and harness timing code is \
+allowlisted (crates/bench, crates/harness measure real elapsed time on \
+purpose). Anywhere else, annotate a deliberate wall-clock read (e.g. \
+progress reporting) with ccsim-lint: allow(wall-clock) and a justification.",
+    },
+    RuleInfo {
+        id: RULE_UNWRAP,
+        summary: "no unwrap()/expect() on protocol paths (crates/core, crates/engine)",
+        explain: "A panic inside the directory or the machine aborts a simulation with \
+no structured report, which defeats the invariant checker and the fail-safe \
+harness. Non-test code in crates/core and crates/engine must return \
+structured errors, or — where the invariant is locally provable — use an \
+expect whose message states the invariant, annotated with ccsim-lint: \
+allow(unwrap) and a one-line proof sketch.",
+    },
+    RuleInfo {
+        id: RULE_TESTING_GATE,
+        summary: "corruption/mutation hooks must be behind #[cfg(feature = \"testing\")]",
+        explain: "Functions that deliberately corrupt simulator state (corrupt_* / \
+*_for_test) exist so mutation tests can prove the checkers have teeth. If one \
+is compiled into a normal build it becomes a latent footgun callable from \
+release code. Every such hook must sit behind #[cfg(feature = \"testing\")] \
+(or #[cfg(test)]).",
+    },
+    RuleInfo {
+        id: RULE_BAD_ALLOW,
+        summary: "allow directives must name a known rule and carry a justification",
+        explain: "Suppressions are part of the audit trail: ccsim-lint: allow(<rule>): \
+<why> must parse, reference a rule this linter knows, and include a non-empty \
+justification. A malformed or bare allow is reported instead of silently \
+suppressing (or silently failing to suppress) a diagnostic.",
+    },
+];
+
+/// Look up the long-form explanation for a rule id.
+pub fn explain(rule: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == rule)
+}
+
+fn known_rule(rule: &str) -> bool {
+    RULES.iter().any(|r| r.id == rule)
+}
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+impl ToJson for Diagnostic {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("file", Json::Str(self.file.clone())),
+            ("line", Json::U64(u64::from(self.line))),
+            ("rule", Json::Str(self.rule.to_string())),
+            ("message", Json::Str(self.message.clone())),
+        ])
+    }
+}
+
+/// Scoping knobs. `workspace()` encodes this repository's layout; tests use
+/// `all_rules()` to lint fixture sources with every rule in force.
+pub struct LintConfig {
+    /// Path prefixes where the `unwrap` rule applies (protocol paths).
+    pub unwrap_scope: Vec<String>,
+    /// Path prefixes where the `wall-clock` rule is suspended (code that
+    /// legitimately measures host time).
+    pub wall_clock_allowlist: Vec<String>,
+}
+
+impl LintConfig {
+    /// The configuration `ccsim lint` runs with.
+    pub fn workspace() -> Self {
+        LintConfig {
+            unwrap_scope: vec!["crates/core/src/".into(), "crates/engine/src/".into()],
+            wall_clock_allowlist: vec!["crates/bench/".into(), "crates/harness/".into()],
+        }
+    }
+
+    /// Every rule applies to every file — used to exercise fixtures.
+    pub fn all_rules() -> Self {
+        LintConfig {
+            unwrap_scope: vec![String::new()],
+            wall_clock_allowlist: Vec::new(),
+        }
+    }
+
+    fn unwrap_applies(&self, file: &str) -> bool {
+        self.unwrap_scope
+            .iter()
+            .any(|p| file.starts_with(p.as_str()))
+    }
+
+    fn wall_clock_applies(&self, file: &str) -> bool {
+        !self
+            .wall_clock_allowlist
+            .iter()
+            .any(|p| file.starts_with(p.as_str()))
+    }
+}
+
+/// Lint one file's source text. `file` is the workspace-relative path used
+/// both for scoping decisions and in diagnostics.
+pub fn lint_file(file: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let lexed = lex(src);
+    let toks = &lexed.tokens;
+    let exempt = exempt_mask(toks);
+    let mut diags = Vec::new();
+
+    rule_randomstate(file, toks, &exempt, &mut diags);
+    if cfg.wall_clock_applies(file) {
+        rule_wall_clock(file, toks, &exempt, &mut diags);
+    }
+    if cfg.unwrap_applies(file) {
+        rule_unwrap(file, toks, &exempt, &mut diags);
+    }
+    rule_testing_gate(file, toks, &exempt, &mut diags);
+
+    // Apply suppressions: a well-formed, justified allow for the matching
+    // rule on the diagnostic's line or the line directly above.
+    let effective: Vec<&Allow> = lexed
+        .allows
+        .iter()
+        .filter(|a| known_rule(&a.rule) && !a.justification.is_empty())
+        .collect();
+    diags.retain(|d| {
+        !effective
+            .iter()
+            .any(|a| a.rule == d.rule && (a.line == d.line || a.line + 1 == d.line))
+    });
+
+    for a in &lexed.allows {
+        if a.rule.is_empty() {
+            diags.push(Diagnostic {
+                file: file.to_string(),
+                line: a.line,
+                rule: RULE_BAD_ALLOW,
+                message: "malformed directive — expected `ccsim-lint: allow(<rule>): <why>`"
+                    .to_string(),
+            });
+        } else if !known_rule(&a.rule) {
+            diags.push(Diagnostic {
+                file: file.to_string(),
+                line: a.line,
+                rule: RULE_BAD_ALLOW,
+                message: format!("unknown rule `{}` in allow directive", a.rule),
+            });
+        } else if a.justification.is_empty() {
+            diags.push(Diagnostic {
+                file: file.to_string(),
+                line: a.line,
+                rule: RULE_BAD_ALLOW,
+                message: format!(
+                    "allow({}) without a justification — state why the suppression is sound",
+                    a.rule
+                ),
+            });
+        }
+    }
+
+    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    diags
+}
+
+/// Enumerate the Rust sources `ccsim lint` covers: `src/**/*.rs` of the root
+/// package and `crates/*/src/**/*.rs`, sorted for deterministic output.
+/// Test directories (`tests/`, `benches/`, `examples/`) are intentionally
+/// outside the walk — the rules only bind library/binary code.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("src"), &mut files)?;
+    let crates_dir = root.join("crates");
+    let mut members: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    members.sort();
+    for member in members {
+        collect_rs(&member.join("src"), &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every workspace source file under `root`.
+pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    for path in workspace_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)?;
+        diags.extend(lint_file(&rel, &src, cfg));
+    }
+    Ok(diags)
+}
+
+// ---------------------------------------------------------------------------
+// Exempt regions: #[test] / #[cfg(test)] / #[cfg(feature = "testing")] items.
+// ---------------------------------------------------------------------------
+
+fn is_sym(toks: &[Token], i: usize, c: char) -> bool {
+    matches!(toks.get(i), Some(Token { tok: Tok::Sym(s), .. }) if *s == c)
+}
+
+fn is_ident(toks: &[Token], i: usize, name: &str) -> bool {
+    matches!(toks.get(i), Some(Token { tok: Tok::Ident(s), .. }) if s == name)
+}
+
+/// Index of the matching close bracket for the open bracket at `open`,
+/// counting only that bracket pair (token streams are balanced per kind).
+fn match_bracket(toks: &[Token], open: usize, oc: char, cc: char) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        if let Tok::Sym(s) = toks[i].tok {
+            if s == oc {
+                depth += 1;
+            } else if s == cc {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+        }
+        i += 1;
+    }
+    toks.len() - 1
+}
+
+/// Does an attribute body mark test-only code? True for a standalone `test`
+/// ident (covers `#[test]`, `#[cfg(test)]`, `#[cfg(any(test, ...))]`, and
+/// attr macros like `#[tokio::test]`) unless wrapped in `not(...)`, and for
+/// `feature = "testing"`.
+fn attr_is_testish(toks: &[Token]) -> bool {
+    for k in 0..toks.len() {
+        if let Tok::Ident(name) = &toks[k].tok {
+            if name == "test" {
+                let negated = k >= 2
+                    && matches!(&toks[k - 2].tok, Tok::Ident(n) if n == "not")
+                    && matches!(toks[k - 1].tok, Tok::Sym('('));
+                if !negated {
+                    return true;
+                }
+            }
+            if name == "feature"
+                && matches!(
+                    toks.get(k + 1),
+                    Some(Token {
+                        tok: Tok::Sym('='),
+                        ..
+                    })
+                )
+                && matches!(toks.get(k + 2), Some(Token { tok: Tok::Str(s), .. }) if s == "testing")
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Find the end of the item starting at `from` (past its attributes): the
+/// matching `}` of the first top-level brace, or the first top-level `;`.
+fn item_end(toks: &[Token], from: usize) -> usize {
+    let mut i = from;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Sym('#') => {
+                // A further attribute on the same item: jump past it.
+                let open = if is_sym(toks, i + 1, '!') {
+                    i + 2
+                } else {
+                    i + 1
+                };
+                if is_sym(toks, open, '[') {
+                    i = match_bracket(toks, open, '[', ']') + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            Tok::Sym(';') => return i,
+            Tok::Sym('{') => return match_bracket(toks, i, '{', '}'),
+            Tok::Sym('(') => i = match_bracket(toks, i, '(', ')') + 1,
+            Tok::Sym('[') => i = match_bracket(toks, i, '[', ']') + 1,
+            _ => i += 1,
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Per-token mask: true where the token belongs to a test-exempt item.
+fn exempt_mask(toks: &[Token]) -> Vec<bool> {
+    let n = toks.len();
+    let mut mask = vec![false; n];
+    let mut i = 0usize;
+    while i < n {
+        if is_sym(toks, i, '#') {
+            let inner = is_sym(toks, i + 1, '!');
+            let open = if inner { i + 2 } else { i + 1 };
+            if is_sym(toks, open, '[') {
+                let close = match_bracket(toks, open, '[', ']');
+                if attr_is_testish(&toks[open + 1..close]) {
+                    if inner {
+                        // `#![cfg(test)]`: the whole file is test-only.
+                        mask.iter_mut().for_each(|m| *m = true);
+                        return mask;
+                    }
+                    let end = item_end(toks, close + 1).min(n - 1);
+                    mask[i..=end].iter_mut().for_each(|m| *m = true);
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+// ---------------------------------------------------------------------------
+// Rules.
+// ---------------------------------------------------------------------------
+
+/// After `HashMap`/`HashSet` at `i`, does a generic-argument list supply a
+/// custom hasher (3rd param for maps, 2nd for sets)? Handles turbofish and
+/// skips `->` so `Fn() -> T` inside a parameter never closes the list early.
+fn names_custom_hasher(toks: &[Token], i: usize, is_map: bool) -> bool {
+    let mut j = i + 1;
+    if is_sym(toks, j, ':') && is_sym(toks, j + 1, ':') && is_sym(toks, j + 2, '<') {
+        j += 2; // turbofish `HashMap::<...>`
+    }
+    if !is_sym(toks, j, '<') {
+        return false;
+    }
+    let mut depth = 0i32;
+    let mut top_commas = 0u32;
+    let mut k = j;
+    while k < toks.len() {
+        match toks[k].tok {
+            Tok::Sym('<') => depth += 1,
+            // `->` return-type arrows are not closing angle brackets.
+            Tok::Sym('>') if !(k > 0 && matches!(toks[k - 1].tok, Tok::Sym('-'))) => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            Tok::Sym('(') => {
+                k = match_bracket(toks, k, '(', ')');
+            }
+            Tok::Sym('[') => {
+                k = match_bracket(toks, k, '[', ']');
+            }
+            Tok::Sym(',') if depth == 1 => top_commas += 1,
+            _ => {}
+        }
+        k += 1;
+    }
+    let needed = if is_map { 2 } else { 1 };
+    top_commas >= needed
+}
+
+fn rule_randomstate(file: &str, toks: &[Token], exempt: &[bool], out: &mut Vec<Diagnostic>) {
+    for i in 0..toks.len() {
+        if exempt[i] {
+            continue;
+        }
+        let Tok::Ident(name) = &toks[i].tok else {
+            continue;
+        };
+        let is_map = name == "HashMap";
+        if !is_map && name != "HashSet" {
+            continue;
+        }
+        if names_custom_hasher(toks, i, is_map) {
+            continue;
+        }
+        // `HashMap::with_hasher(..)` / `with_capacity_and_hasher(..)` name a
+        // hasher explicitly even without generics spelled out.
+        if is_sym(toks, i + 1, ':')
+            && is_sym(toks, i + 2, ':')
+            && matches!(toks.get(i + 3), Some(Token { tok: Tok::Ident(m), .. }) if m.contains("hasher"))
+        {
+            continue;
+        }
+        out.push(Diagnostic {
+            file: file.to_string(),
+            line: toks[i].line,
+            rule: RULE_RANDOMSTATE,
+            message: format!(
+                "`{name}` defaults to RandomState — use `ccsim_util::Fx{name}` or name a \
+deterministic hasher"
+            ),
+        });
+    }
+}
+
+fn rule_wall_clock(file: &str, toks: &[Token], exempt: &[bool], out: &mut Vec<Diagnostic>) {
+    for i in 0..toks.len() {
+        if exempt[i] {
+            continue;
+        }
+        let Tok::Ident(name) = &toks[i].tok else {
+            continue;
+        };
+        if name != "Instant" && name != "SystemTime" {
+            continue;
+        }
+        if is_sym(toks, i + 1, ':') && is_sym(toks, i + 2, ':') && is_ident(toks, i + 3, "now") {
+            out.push(Diagnostic {
+                file: file.to_string(),
+                line: toks[i].line,
+                rule: RULE_WALL_CLOCK,
+                message: format!(
+                    "`{name}::now()` reads the host wall clock — simulated time must come \
+from the engine clock"
+                ),
+            });
+        }
+    }
+}
+
+fn rule_unwrap(file: &str, toks: &[Token], exempt: &[bool], out: &mut Vec<Diagnostic>) {
+    for i in 0..toks.len() {
+        if !is_sym(toks, i, '.') {
+            continue;
+        }
+        let Some(Token {
+            tok: Tok::Ident(name),
+            line,
+        }) = toks.get(i + 1)
+        else {
+            continue;
+        };
+        if i + 1 < exempt.len() && exempt[i + 1] {
+            continue;
+        }
+        let is_unwrap = name == "unwrap";
+        if (is_unwrap || name == "expect") && is_sym(toks, i + 2, '(') {
+            let call = if is_unwrap {
+                ".unwrap()"
+            } else {
+                ".expect(..)"
+            };
+            out.push(Diagnostic {
+                file: file.to_string(),
+                line: *line,
+                rule: RULE_UNWRAP,
+                message: format!(
+                    "`{call}` on a protocol path — return a structured error, or justify an \
+invariant-message expect with an allow comment"
+                ),
+            });
+        }
+    }
+}
+
+fn rule_testing_gate(file: &str, toks: &[Token], exempt: &[bool], out: &mut Vec<Diagnostic>) {
+    for (i, ex) in exempt.iter().enumerate() {
+        if *ex || !is_ident(toks, i, "fn") {
+            continue;
+        }
+        let Some(Token {
+            tok: Tok::Ident(name),
+            line,
+        }) = toks.get(i + 1)
+        else {
+            continue;
+        };
+        if name.starts_with("corrupt_") || name.ends_with("_for_test") {
+            out.push(Diagnostic {
+                file: file.to_string(),
+                line: *line,
+                rule: RULE_TESTING_GATE,
+                message: format!(
+                    "corruption hook `fn {name}` must be gated behind \
+`#[cfg(feature = \"testing\")]`"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn randomstate_flags_default_hasher_only() {
+        let cfg = LintConfig::all_rules();
+        let src = "
+            use std::collections::HashMap;
+            fn f() {
+                let a: HashMap<u32, u32> = HashMap::new();
+                let b: FxHashMap<u32, u32> = FxHashMap::default();
+                let c: HashMap<u32, u32, BuildHasherDefault<FxHasher>> = HashMap::with_hasher(h);
+                let d = HashSet::<(u32, u32)>::new();
+            }
+        ";
+        let diags = lint_file("x.rs", src, &cfg);
+        // `use ... HashMap`, annotation `HashMap<u32,u32>`, `HashMap::new`,
+        // and the HashSet with only one generic param (the tuple is nested in
+        // parens, so it is a single top-level param).
+        assert!(
+            diags.iter().all(|d| d.rule == RULE_RANDOMSTATE),
+            "{diags:?}"
+        );
+        assert_eq!(diags.len(), 4, "{diags:?}");
+    }
+
+    #[test]
+    fn randomstate_accepts_type_aliases_with_custom_hashers() {
+        let cfg = LintConfig::all_rules();
+        let src = "pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;";
+        assert!(lint_file("x.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn fn_arrows_inside_generics_do_not_close_the_list() {
+        let cfg = LintConfig::all_rules();
+        let src = "fn f(m: HashMap<K, Box<dyn Fn(u8) -> u8>, S>) {}";
+        assert!(lint_file("x.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let cfg = LintConfig::all_rules();
+        let src = "
+            #[cfg(test)]
+            mod tests {
+                use std::collections::HashMap;
+                #[test]
+                fn t() { let m = HashMap::new(); m.get(&1).unwrap(); }
+            }
+        ";
+        assert!(lint_file("x.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let cfg = LintConfig::all_rules();
+        let src = "
+            #[cfg(not(test))]
+            fn f() { let m = std::collections::HashMap::new(); }
+        ";
+        assert_eq!(rules_of(&lint_file("x.rs", src, &cfg)), [RULE_RANDOMSTATE]);
+    }
+
+    #[test]
+    fn wall_clock_flags_now_calls_and_respects_allowlist() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        let cfg = LintConfig::workspace();
+        assert_eq!(
+            rules_of(&lint_file("crates/model/src/x.rs", src, &cfg)),
+            [RULE_WALL_CLOCK]
+        );
+        assert!(lint_file("crates/bench/src/x.rs", src, &cfg).is_empty());
+        assert!(lint_file("crates/harness/src/x.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn unwrap_rule_is_scoped_to_protocol_crates() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        let cfg = LintConfig::workspace();
+        assert_eq!(
+            rules_of(&lint_file("crates/core/src/directory.rs", src, &cfg)),
+            [RULE_UNWRAP]
+        );
+        assert!(lint_file("crates/stats/src/lib.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn unwrap_rule_ignores_unwrap_or_variants() {
+        let cfg = LintConfig::all_rules();
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or_default().min(x.unwrap_or(3)) }";
+        assert!(lint_file("crates/core/src/x.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn testing_gate_flags_ungated_hooks_and_accepts_gated_ones() {
+        let cfg = LintConfig::all_rules();
+        let bad = "impl T { pub fn corrupt_entry_for_test(&mut self) {} }";
+        assert_eq!(rules_of(&lint_file("x.rs", bad, &cfg)), [RULE_TESTING_GATE]);
+        let good = "impl T {
+            #[cfg(feature = \"testing\")]
+            pub fn corrupt_entry_for_test(&mut self) {}
+        }";
+        assert!(lint_file("x.rs", good, &cfg).is_empty());
+    }
+
+    #[test]
+    fn justified_allow_suppresses_line_and_next_line() {
+        let cfg = LintConfig::all_rules();
+        let trailing = "fn f() { let t = Instant::now(); } // ccsim-lint: allow(wall-clock): progress display only";
+        assert!(lint_file("x.rs", trailing, &cfg).is_empty());
+        let above = "// ccsim-lint: allow(wall-clock): progress display only\nfn f() { let t = Instant::now(); }";
+        assert!(lint_file("x.rs", above, &cfg).is_empty());
+    }
+
+    #[test]
+    fn bare_or_unknown_allow_is_reported_and_does_not_suppress() {
+        let cfg = LintConfig::all_rules();
+        let bare = "fn f() { let t = Instant::now(); } // ccsim-lint: allow(wall-clock)";
+        let mut rules = rules_of(&lint_file("x.rs", bare, &cfg));
+        rules.sort_unstable();
+        assert_eq!(rules, [RULE_BAD_ALLOW, RULE_WALL_CLOCK]);
+        let unknown = "// ccsim-lint: allow(nosuch): whatever\n";
+        assert_eq!(
+            rules_of(&lint_file("x.rs", unknown, &cfg)),
+            [RULE_BAD_ALLOW]
+        );
+    }
+
+    #[test]
+    fn allow_for_a_different_rule_does_not_suppress() {
+        let cfg = LintConfig::all_rules();
+        let src = "fn f() { let t = Instant::now(); } // ccsim-lint: allow(unwrap): wrong rule";
+        assert!(lint_file("x.rs", src, &cfg)
+            .iter()
+            .any(|d| d.rule == RULE_WALL_CLOCK));
+    }
+
+    #[test]
+    fn every_rule_has_an_explanation() {
+        for r in RULES {
+            assert!(explain(r.id).is_some());
+            assert!(!r.explain.is_empty());
+        }
+    }
+}

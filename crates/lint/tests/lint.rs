@@ -1,0 +1,56 @@
+//! The seeded-violation fixture must produce *exactly* the expected
+//! diagnostics — each rule demonstrated to fire, each suppression path
+//! demonstrated to work, nothing extra.
+
+use ccsim_lint::source::{
+    lint_file, LintConfig, RULE_BAD_ALLOW, RULE_RANDOMSTATE, RULE_TESTING_GATE, RULE_UNWRAP,
+    RULE_WALL_CLOCK,
+};
+
+const FIXTURE: &str = include_str!("../fixtures/seeded.rs");
+
+#[test]
+fn fixture_produces_exactly_the_expected_diagnostics() {
+    let diags = lint_file("fixtures/seeded.rs", FIXTURE, &LintConfig::all_rules());
+    let got: Vec<(u32, &str)> = diags.iter().map(|d| (d.line, d.rule)).collect();
+    let expected: Vec<(u32, &str)> = vec![
+        (6, RULE_RANDOMSTATE),  // use ... HashMap
+        (9, RULE_RANDOMSTATE),  // HashMap<u32, u32> annotation
+        (9, RULE_RANDOMSTATE),  // HashMap::new()
+        (10, RULE_RANDOMSTATE), // HashSet::new()
+        (16, RULE_WALL_CLOCK),  // Instant::now()
+        (17, RULE_WALL_CLOCK),  // SystemTime::now()
+        (23, RULE_UNWRAP),      // x.unwrap()
+        (24, RULE_UNWRAP),      // x.expect("msg")
+        (30, RULE_TESTING_GATE),
+        (36, RULE_BAD_ALLOW), // allow without justification
+        (37, RULE_BAD_ALLOW), // allow(nosuch)
+        (38, RULE_BAD_ALLOW), // malformed directive
+    ];
+    assert_eq!(
+        got,
+        expected,
+        "diagnostics drifted from the seeded fixture:\n{}",
+        diags
+            .iter()
+            .map(|d| d.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn fixture_diagnostics_name_the_fixture_file() {
+    let diags = lint_file("fixtures/seeded.rs", FIXTURE, &LintConfig::all_rules());
+    assert!(diags.iter().all(|d| d.file == "fixtures/seeded.rs"));
+    assert!(diags[0].render().starts_with("fixtures/seeded.rs:6:"));
+}
+
+#[test]
+fn workspace_scoping_silences_out_of_scope_rules_on_the_fixture() {
+    // Under the workspace config the fixture path is outside the unwrap
+    // scope, so only the universal rules fire.
+    let diags = lint_file("fixtures/seeded.rs", FIXTURE, &LintConfig::workspace());
+    assert!(diags.iter().all(|d| d.rule != RULE_UNWRAP));
+    assert!(diags.iter().any(|d| d.rule == RULE_RANDOMSTATE));
+}

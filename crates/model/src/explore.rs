@@ -73,6 +73,7 @@ pub struct Exploration {
 /// Exhaustively explore the bounded state space of `cfg`.
 pub fn explore(cfg: &ModelConfig) -> Result<Exploration, String> {
     let pcfg = cfg.protocol()?;
+    // ccsim-lint: allow(wall-clock): wall_ms is reporting-only, never feeds exploration order
     let start = std::time::Instant::now();
     let mut stats = DirStats::default();
 

@@ -15,7 +15,7 @@
 //! read/write/other [`MsgClass`] categories.
 
 use ccsim_types::{FaultConfig, LatencyConfig, MsgClass, MsgKind, NodeId, Topology};
-use ccsim_util::{FromJson, Json, ToJson, Xoshiro256pp};
+use ccsim_util::{FromJson, FxHashMap, Json, ToJson, Xoshiro256pp};
 
 /// Injection bandwidth of a network interface (bytes per cycle).
 pub const LINK_BYTES_PER_CYCLE: u64 = 8;
@@ -303,7 +303,10 @@ pub struct Network {
     /// Cycle until which each node's NI is busy injecting.
     ni_busy_until: Vec<u64>,
     /// Cycle until which each directed link is busy (mesh contention).
-    link_busy_until: std::collections::HashMap<(NodeId, NodeId), u64>,
+    /// Deterministically hashed: a `RandomState` map here would not change
+    /// timing (lookups are per-link), but it is exactly the kind of latent
+    /// iteration-order hazard `ccsim lint` bans workspace-wide.
+    link_busy_until: FxHashMap<(NodeId, NodeId), u64>,
     traffic: Traffic,
     /// Fault injector; `None` when the plan is disabled, in which case no
     /// randomness is ever consumed and timing is exactly the fault-free
@@ -341,7 +344,7 @@ impl Network {
             block_bytes,
             topology,
             ni_busy_until: vec![0; nodes as usize],
-            link_busy_until: std::collections::HashMap::new(),
+            link_busy_until: FxHashMap::default(),
             traffic: Traffic::default(),
             faults: None,
         })

@@ -244,6 +244,151 @@ impl FromJson for ModelCheckSummary {
     }
 }
 
+/// Flat, serializable output of the static trace analyzer (`ccsim analyze`,
+/// `ccsim-lint` pass 2). Pairs the paper-taxonomy block classification
+/// (computed on an idealized infinite-cache stream pass) with a
+/// finite-cache coherence replay whose counters match the engine's LS
+/// oracle exactly on quantum-deterministic runs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnalysisSummary {
+    pub protocol: String,
+    pub nodes: u16,
+    pub block_bytes: u64,
+    /// Total trace events (including Busy/SetComponent bookkeeping).
+    pub events: u64,
+    /// Memory accesses analyzed (loads + stores + load-exclusives).
+    pub accesses: u64,
+    /// Distinct blocks touched.
+    pub blocks: u64,
+    // Paper-taxonomy sharing-pattern labels. private/read_shared/
+    // producer_consumer/load_store/irregular partition the touched blocks;
+    // migratory is a strict subset of load_store, and the false-sharing
+    // candidate label is orthogonal to all of them.
+    pub private_blocks: u64,
+    pub read_shared_blocks: u64,
+    pub producer_consumer_blocks: u64,
+    pub load_store_blocks: u64,
+    /// Strict subset of `load_store_blocks`: LS blocks whose sequences
+    /// migrate between processors.
+    pub migratory_blocks: u64,
+    pub irregular_blocks: u64,
+    /// Orthogonal label: multi-node blocks whose per-node word footprints
+    /// never overlap (candidates for false sharing at this block size).
+    pub false_sharing_candidates: u64,
+    // Idealized (infinite-cache) action counts from the stream pass.
+    pub ideal_global_reads: u64,
+    pub ideal_global_writes: u64,
+    pub ideal_ls_writes: u64,
+    pub ideal_migratory_writes: u64,
+    // Finite-cache coherence replay (exact match with the engine oracle).
+    pub global_reads: u64,
+    pub global_writes: u64,
+    pub ls_writes: u64,
+    pub migratory_writes: u64,
+    pub eliminated: u64,
+    pub eliminated_ls: u64,
+    pub eliminated_migratory: u64,
+    pub silent_stores: u64,
+    /// Static upper bound on the ownership transactions the LS protocol can
+    /// eliminate for this trace and geometry: every load-store-sequence
+    /// write's acquisition is eliminable in the limit, so this is
+    /// `ls_writes`; the engine's `eliminated_ls` never exceeds it.
+    pub ls_upper_bound: u64,
+    pub false_sharing_fraction: f64,
+}
+
+impl AnalysisSummary {
+    /// Pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        ToJson::to_json(self).pretty()
+    }
+
+    /// Parse a summary previously written by [`AnalysisSummary::to_json`].
+    pub fn parse(text: &str) -> Result<Self, String> {
+        FromJson::from_json(&Json::parse(text)?)
+    }
+}
+
+impl ToJson for AnalysisSummary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("protocol", self.protocol.to_json()),
+            ("nodes", self.nodes.to_json()),
+            ("block_bytes", self.block_bytes.to_json()),
+            ("events", self.events.to_json()),
+            ("accesses", self.accesses.to_json()),
+            ("blocks", self.blocks.to_json()),
+            ("private_blocks", self.private_blocks.to_json()),
+            ("read_shared_blocks", self.read_shared_blocks.to_json()),
+            (
+                "producer_consumer_blocks",
+                self.producer_consumer_blocks.to_json(),
+            ),
+            ("load_store_blocks", self.load_store_blocks.to_json()),
+            ("migratory_blocks", self.migratory_blocks.to_json()),
+            ("irregular_blocks", self.irregular_blocks.to_json()),
+            (
+                "false_sharing_candidates",
+                self.false_sharing_candidates.to_json(),
+            ),
+            ("ideal_global_reads", self.ideal_global_reads.to_json()),
+            ("ideal_global_writes", self.ideal_global_writes.to_json()),
+            ("ideal_ls_writes", self.ideal_ls_writes.to_json()),
+            (
+                "ideal_migratory_writes",
+                self.ideal_migratory_writes.to_json(),
+            ),
+            ("global_reads", self.global_reads.to_json()),
+            ("global_writes", self.global_writes.to_json()),
+            ("ls_writes", self.ls_writes.to_json()),
+            ("migratory_writes", self.migratory_writes.to_json()),
+            ("eliminated", self.eliminated.to_json()),
+            ("eliminated_ls", self.eliminated_ls.to_json()),
+            ("eliminated_migratory", self.eliminated_migratory.to_json()),
+            ("silent_stores", self.silent_stores.to_json()),
+            ("ls_upper_bound", self.ls_upper_bound.to_json()),
+            (
+                "false_sharing_fraction",
+                self.false_sharing_fraction.to_json(),
+            ),
+        ])
+    }
+}
+
+impl FromJson for AnalysisSummary {
+    fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(AnalysisSummary {
+            protocol: j.field("protocol")?,
+            nodes: j.field("nodes")?,
+            block_bytes: j.field("block_bytes")?,
+            events: j.field("events")?,
+            accesses: j.field("accesses")?,
+            blocks: j.field("blocks")?,
+            private_blocks: j.field("private_blocks")?,
+            read_shared_blocks: j.field("read_shared_blocks")?,
+            producer_consumer_blocks: j.field("producer_consumer_blocks")?,
+            load_store_blocks: j.field("load_store_blocks")?,
+            migratory_blocks: j.field("migratory_blocks")?,
+            irregular_blocks: j.field("irregular_blocks")?,
+            false_sharing_candidates: j.field("false_sharing_candidates")?,
+            ideal_global_reads: j.field("ideal_global_reads")?,
+            ideal_global_writes: j.field("ideal_global_writes")?,
+            ideal_ls_writes: j.field("ideal_ls_writes")?,
+            ideal_migratory_writes: j.field("ideal_migratory_writes")?,
+            global_reads: j.field("global_reads")?,
+            global_writes: j.field("global_writes")?,
+            ls_writes: j.field("ls_writes")?,
+            migratory_writes: j.field("migratory_writes")?,
+            eliminated: j.field("eliminated")?,
+            eliminated_ls: j.field("eliminated_ls")?,
+            eliminated_migratory: j.field("eliminated_migratory")?,
+            silent_stores: j.field("silent_stores")?,
+            ls_upper_bound: j.field("ls_upper_bound")?,
+            false_sharing_fraction: j.field("false_sharing_fraction")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +436,41 @@ mod tests {
         let back = ModelCheckSummary::parse(&s.to_json()).unwrap();
         assert_eq!(s, back);
         assert_eq!(back.state_fingerprint, u64::MAX - 1);
+    }
+
+    #[test]
+    fn analysis_summary_round_trips_through_json() {
+        let s = AnalysisSummary {
+            protocol: "LS".into(),
+            nodes: 4,
+            block_bytes: 64,
+            events: 100,
+            accesses: 80,
+            blocks: 7,
+            private_blocks: 2,
+            read_shared_blocks: 1,
+            producer_consumer_blocks: 1,
+            load_store_blocks: 2,
+            migratory_blocks: 1,
+            irregular_blocks: 1,
+            false_sharing_candidates: 1,
+            ideal_global_reads: 10,
+            ideal_global_writes: 9,
+            ideal_ls_writes: 8,
+            ideal_migratory_writes: 3,
+            global_reads: 12,
+            global_writes: 11,
+            ls_writes: 9,
+            migratory_writes: 4,
+            eliminated: 5,
+            eliminated_ls: 5,
+            eliminated_migratory: 2,
+            silent_stores: 5,
+            ls_upper_bound: 9,
+            false_sharing_fraction: 0.25,
+        };
+        let back = AnalysisSummary::parse(&s.to_json()).unwrap();
+        assert_eq!(s, back);
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub mod lu;
 pub mod mp3d;
 pub mod oltp;
 
-use ccsim_engine::{RunStats, SimBuilder};
+use ccsim_engine::{RunStats, SimBuilder, Trace};
 use ccsim_types::MachineConfig;
 use ccsim_util::{FromJson, Json, ToJson};
 
@@ -186,6 +186,31 @@ pub fn run_spec(cfg: MachineConfig, spec: &Spec) -> RunStats {
         }
     }
     b.run()
+}
+
+/// Like [`run_spec`], but also capture the executed access stream — the
+/// input of the static trace analyzer (`ccsim analyze`).
+pub fn capture_spec(cfg: MachineConfig, spec: &Spec) -> (RunStats, Trace) {
+    let mut b = SimBuilder::new(cfg);
+    b.capture_trace();
+    match spec {
+        Spec::Mp3d(p) => mp3d::build(&mut b, p),
+        Spec::Lu(p) => {
+            lu::build(&mut b, p);
+        }
+        Spec::Cholesky(p) => {
+            cholesky::build(&mut b, p);
+        }
+        Spec::Oltp(p) => {
+            oltp::build(&mut b, p);
+        }
+    }
+    let mut done = b.run_full();
+    let trace = done
+        .take_trace()
+        // ccsim-lint: allow(unwrap): capture_trace() was called four lines up
+        .expect("trace capture was enabled");
+    (done.stats, trace)
 }
 
 #[cfg(test)]

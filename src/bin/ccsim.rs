@@ -4,6 +4,8 @@
 //! ccsim run     --workload <mp3d|lu|cholesky|oltp> --protocol <baseline|ad|ls> [options]
 //! ccsim compare --workload <mp3d|lu|cholesky|oltp> [options]   # all three protocols
 //! ccsim model   [--protocol <baseline|ad|ls|all>] [model options]  # bounded model check
+//! ccsim lint    [--deny] [--json] [--root DIR] [--explain RULE]  # workspace static analysis
+//! ccsim analyze --workload W [--protocol P] | --trace FILE [--json]  # sharing patterns
 //! ccsim config                                                  # print Table 1
 //!
 //! options:
@@ -23,23 +25,38 @@
 //!   --mutation <NAME>       seed a rule mutation    (needs --features testing)
 //!   --expect-violation      exit 0 iff a violation IS found
 //!   --json                  emit JSON ModelCheckSummary documents
+//!
+//! lint options:
+//!   --deny                  exit 1 if any diagnostic fires (CI gate)
+//!   --root <DIR>            workspace root to scan  (default .)
+//!   --explain <RULE>        print the long description of one rule
+//!   --json                  emit diagnostics as a JSON array
+//!
+//! analyze options:
+//!   --trace <FILE>          analyze a saved trace instead of capturing one
+//!   --save-trace <FILE>     save the captured trace for later `--trace` runs
+//!   --json                  emit a JSON AnalysisSummary instead of text
 //! ```
 
-use ccsim::engine::{InvariantMode, RunStats};
+use ccsim::engine::{InvariantMode, RunStats, Trace};
 use ccsim::harness::{run_cached, JobSet};
+use ccsim::lint;
 use ccsim::model::{explore, replay_counterexample, summarize, ModelConfig};
 use ccsim::stats::{render_triptych, RunSummary, Triptych};
 use ccsim::types::{Consistency, RuleMutation, Topology};
 use ccsim::util::{Json, ToJson};
-use ccsim::workloads::{cholesky, lu, mp3d, oltp, Spec};
+use ccsim::workloads::{capture_spec, cholesky, lu, mp3d, oltp, Spec};
 use ccsim::{MachineConfig, ProtocolKind};
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ccsim <run|compare|model|config> [--workload W] [--protocol P] [--scale S] \
-         [--nodes N] [--block B] [--l2-kb K] [--quantum Q] [--relaxed] [--mesh W] [--json]\n\
-         model options: [--blocks B] [--max-ops K] [--mutation NAME] [--expect-violation]"
+        "usage: ccsim <run|compare|model|lint|analyze|config> [--workload W] [--protocol P] \
+         [--scale S] [--nodes N] [--block B] [--l2-kb K] [--quantum Q] [--relaxed] [--mesh W] \
+         [--json]\n\
+         model options: [--blocks B] [--max-ops K] [--mutation NAME] [--expect-violation]\n\
+         lint options: [--deny] [--root DIR] [--explain RULE]\n\
+         analyze options: [--trace FILE] [--save-trace FILE]"
     );
     exit(2);
 }
@@ -60,6 +77,11 @@ struct Opts {
     max_ops: Option<u8>,
     mutation: Option<String>,
     expect_violation: bool,
+    deny: bool,
+    root: Option<String>,
+    explain: Option<String>,
+    trace: Option<String>,
+    save_trace: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -87,6 +109,11 @@ fn parse_opts(args: &[String]) -> Opts {
             "--max-ops" => o.max_ops = Some(val().parse().unwrap_or_else(|_| usage())),
             "--mutation" => o.mutation = Some(val().clone()),
             "--expect-violation" => o.expect_violation = true,
+            "--deny" => o.deny = true,
+            "--root" => o.root = Some(val().clone()),
+            "--explain" => o.explain = Some(val().clone()),
+            "--trace" => o.trace = Some(val().clone()),
+            "--save-trace" => o.save_trace = Some(val().clone()),
             _ => {
                 eprintln!("unknown option {a}");
                 usage()
@@ -333,6 +360,109 @@ fn main() {
             };
             if !ok {
                 exit(1);
+            }
+        }
+        "lint" => {
+            if let Some(rule) = o.explain.as_deref() {
+                match lint::explain(rule) {
+                    Some(info) => {
+                        println!("[{}] {}\n\n{}", info.id, info.summary, info.explain);
+                    }
+                    None => {
+                        let ids: Vec<&str> = lint::RULES.iter().map(|r| r.id).collect();
+                        eprintln!("unknown rule {rule} ({})", ids.join("|"));
+                        exit(2);
+                    }
+                }
+                return;
+            }
+            let root = o.root.as_deref().unwrap_or(".");
+            let cfg = lint::LintConfig::workspace();
+            let diags =
+                lint::lint_workspace(std::path::Path::new(root), &cfg).unwrap_or_else(|e| {
+                    eprintln!("lint: {e}");
+                    exit(2);
+                });
+            if o.json {
+                let arr = Json::Arr(diags.iter().map(ToJson::to_json).collect());
+                println!("{}", arr.pretty());
+            } else {
+                for d in &diags {
+                    println!("{}", d.render());
+                }
+                println!(
+                    "{} diagnostic(s); run `ccsim lint --explain <rule>` for details",
+                    diags.len()
+                );
+            }
+            if o.deny && !diags.is_empty() {
+                exit(1);
+            }
+        }
+        "analyze" => {
+            let kind = protocol_of(o.protocol.as_deref().unwrap_or("ls"));
+            let (cfg, trace) = if let Some(path) = o.trace.as_deref() {
+                let bytes = std::fs::read(path).unwrap_or_else(|e| {
+                    eprintln!("analyze: cannot read {path}: {e}");
+                    exit(2);
+                });
+                let trace = Trace::from_bytes(&bytes).unwrap_or_else(|e| {
+                    eprintln!("analyze: {path}: {e}");
+                    exit(2);
+                });
+                let mut cfg = config_of(&o, o.workload.as_deref().unwrap_or(""), kind);
+                if cfg.nodes < trace.procs() {
+                    cfg = cfg.with_nodes(trace.procs());
+                }
+                (cfg, trace)
+            } else {
+                let workload = o.workload.clone().unwrap_or_else(|| usage());
+                let paper = o.scale.as_deref() == Some("paper");
+                let spec = spec_of(&workload, paper, o.nodes);
+                let cfg = config_of(&o, &workload, kind);
+                let (_, trace) = capture_spec(cfg, &spec);
+                (cfg, trace)
+            };
+            if let Some(path) = o.save_trace.as_deref() {
+                if let Err(e) = std::fs::write(path, trace.to_bytes()) {
+                    eprintln!("analyze: cannot write {path}: {e}");
+                    exit(2);
+                }
+            }
+            let s = lint::analyze(&cfg, &trace).unwrap_or_else(|e| {
+                eprintln!("analyze: {e}");
+                exit(2);
+            });
+            if o.json {
+                println!("{}", s.to_json());
+            } else {
+                println!("protocol             {}", s.protocol);
+                println!("events / accesses    {} / {}", s.events, s.accesses);
+                println!("blocks touched       {}", s.blocks);
+                println!("  private            {}", s.private_blocks);
+                println!("  read-shared        {}", s.read_shared_blocks);
+                println!("  producer-consumer  {}", s.producer_consumer_blocks);
+                println!(
+                    "  load-store         {} (migratory subset: {})",
+                    s.load_store_blocks, s.migratory_blocks
+                );
+                println!("  irregular          {}", s.irregular_blocks);
+                println!("  false-sharing cand {}", s.false_sharing_candidates);
+                println!("global writes        {}", s.global_writes);
+                println!(
+                    "ls writes            {} (migratory subset: {})",
+                    s.ls_writes, s.migratory_writes
+                );
+                println!("ls upper bound       {}", s.ls_upper_bound);
+                println!(
+                    "eliminated           {} (ls {}, migratory {})",
+                    s.eliminated, s.eliminated_ls, s.eliminated_migratory
+                );
+                println!("silent stores        {}", s.silent_stores);
+                println!(
+                    "false sharing        {:.1}%",
+                    100.0 * s.false_sharing_fraction
+                );
             }
         }
         "compare" => {

@@ -8,6 +8,7 @@ pub use ccsim_cache as cache;
 pub use ccsim_core as core;
 pub use ccsim_engine as engine;
 pub use ccsim_harness as harness;
+pub use ccsim_lint as lint;
 pub use ccsim_mem as mem;
 pub use ccsim_model as model;
 pub use ccsim_network as network;

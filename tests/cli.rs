@@ -149,6 +149,81 @@ fn model_rejects_unknown_mutations_and_dsi() {
 }
 
 #[test]
+fn lint_deny_passes_on_this_workspace() {
+    // The repo must stay clean under its own linter — the same gate CI runs.
+    let (ok, stdout, _) = ccsim(&["lint", "--deny", "--root", env!("CARGO_MANIFEST_DIR")]);
+    assert!(ok, "stdout: {stdout}");
+    assert!(stdout.contains("0 diagnostic(s)"));
+}
+
+#[test]
+fn lint_json_emits_an_array() {
+    let (ok, stdout, _) = ccsim(&["lint", "--json", "--root", env!("CARGO_MANIFEST_DIR")]);
+    assert!(ok);
+    assert!(stdout.trim_start().starts_with('['));
+}
+
+#[test]
+fn lint_explain_describes_each_rule() {
+    for rule in [
+        "randomstate",
+        "wall-clock",
+        "unwrap",
+        "testing-gate",
+        "bad-allow",
+    ] {
+        let (ok, stdout, _) = ccsim(&["lint", "--explain", rule]);
+        assert!(ok, "rule {rule}");
+        assert!(stdout.contains(&format!("[{rule}]")), "rule {rule}");
+    }
+    let (ok, _, stderr) = ccsim(&["lint", "--explain", "nosuch"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown rule"));
+}
+
+#[test]
+fn analyze_reports_sharing_patterns() {
+    let (ok, stdout, _) = ccsim(&["analyze", "--workload", "mp3d", "--protocol", "ls"]);
+    assert!(ok, "stdout: {stdout}");
+    assert!(stdout.contains("load-store"));
+    assert!(stdout.contains("ls upper bound"));
+}
+
+#[test]
+fn analyze_json_round_trips_through_a_saved_trace() {
+    let dir = std::env::temp_dir().join(format!("ccsim-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace = dir.join("mp3d.trace");
+    let trace_s = trace.to_str().expect("utf-8 temp path");
+    let (ok, live, _) = ccsim(&[
+        "analyze",
+        "--workload",
+        "mp3d",
+        "--protocol",
+        "ls",
+        "--json",
+        "--save-trace",
+        trace_s,
+    ]);
+    assert!(ok);
+    assert!(live.contains("\"ls_writes\""));
+    let (ok, replayed, _) = ccsim(&["analyze", "--trace", trace_s, "--protocol", "ls", "--json"]);
+    assert!(ok);
+    assert_eq!(
+        live, replayed,
+        "saved-trace analysis must match live capture"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_rejects_a_missing_trace_file() {
+    let (ok, _, stderr) = ccsim(&["analyze", "--trace", "/nonexistent/ccsim.trace"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"));
+}
+
+#[test]
 fn bad_arguments_fail_with_usage() {
     let (ok, _, stderr) = ccsim(&["run", "--workload", "nosuch"]);
     assert!(!ok);
