@@ -1,0 +1,770 @@
+//! The structured coherence event log — input of the `ccsim-race`
+//! happens-before / SC-conformance analyzer.
+//!
+//! When capture is enabled ([`crate::run::SimBuilder::capture_events`] or
+//! [`crate::trace::replay_events`]), the machine appends one
+//! [`CoherenceEvent`] for every observable protocol action, in the exact
+//! order the runner serializes transactions (the machine lock order, which
+//! *is* the directory serialization order — transactions are whole machine
+//! calls under one lock). The log is therefore deterministic: same workload,
+//! same config, same bytes.
+//!
+//! # Transaction grouping
+//!
+//! Every global transaction emits its side-effect events first and its
+//! *access* event ([`EventKind::Read`], [`EventKind::ReadExcl`],
+//! [`EventKind::Write`]) **last** — the access event marks transaction
+//! completion, mirroring the SC stall: a store retires only after the last
+//! invalidation acknowledgement. Consumers may thus treat every maximal run
+//! of non-access events plus the access event that follows as one atomic
+//! transaction, and draw invalidation-acknowledgement edges *forward* from
+//! each [`EventKind::Inval`] to its access event. Cache hits emit a lone
+//! access event; [`EventKind::Init`] events (pre-run `poke`s) precede
+//! everything.
+
+use ccsim_core::rules::CopyState;
+use ccsim_core::GrantKind;
+use ccsim_types::{Addr, BlockAddr, NodeId};
+
+/// How a store resolved locally (mirrors [`ccsim_core::rules::LocalStore`],
+/// minus the `Acquire` case which becomes [`WriteHow::Global`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteHow {
+    /// Hit on an already-Modified line: no protocol action at all.
+    DirtyHit,
+    /// The silent store on an exclusive-clean (`LStemp`) line — the
+    /// ownership acquisition the LS protocol eliminated.
+    Silent,
+    /// A global ownership acquisition reached the home directory.
+    Global,
+}
+
+impl WriteHow {
+    pub fn label(self) -> &'static str {
+        match self {
+            WriteHow::DirtyHit => "dirty-hit",
+            WriteHow::Silent => "silent",
+            WriteHow::Global => "global",
+        }
+    }
+}
+
+/// One observable protocol action. `Read`/`ReadExcl`/`Write` are *access*
+/// events (program order per processor); the rest are coherence side
+/// effects attributed to the processor they happen at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Pre-run memory initialization (`poke`); no coherence action.
+    Init { addr: Addr, value: u64 },
+    /// A load. `grant` and `notls` are meaningful only when `hit` is false:
+    /// the grant the home (or forwarding owner) answered with, and whether
+    /// the forwarding owner reported `NotLS` (its exclusive grant went
+    /// unwritten).
+    Read {
+        addr: Addr,
+        value: u64,
+        hit: bool,
+        grant: GrantKind,
+        notls: bool,
+    },
+    /// A load-exclusive (static ownership hint). When `hit` is false the
+    /// transaction was an ownership acquisition.
+    ReadExcl { addr: Addr, value: u64, hit: bool },
+    /// A store, with the LS-oracle verdicts for global/silent stores:
+    /// `ls` = the write closed a load-store sequence (§2), `mig` = that
+    /// sequence migrated from another node.
+    Write {
+        addr: Addr,
+        value: u64,
+        how: WriteHow,
+        ls: bool,
+        mig: bool,
+    },
+    /// A copy of `block` was installed (fill) or upgraded in place to
+    /// `state` in this processor's hierarchy.
+    Fill { block: BlockAddr, state: CopyState },
+    /// This processor's copy of `block` was invalidated on behalf of the
+    /// acquiring/reading node `by` (the InvalAck flows back to `by`).
+    Inval { block: BlockAddr, by: NodeId },
+    /// This processor (the owner) downgraded its copy to Shared for a
+    /// forwarded read by `by`.
+    Downgrade { block: BlockAddr, by: NodeId },
+    /// This processor's L2 evicted its copy of `block` (replacement).
+    Evict { block: BlockAddr },
+    /// This processor (the owner) reported `NotLS` to the home: its
+    /// exclusive grant went unwritten (failed §3 prediction).
+    NotLs { block: BlockAddr },
+}
+
+impl EventKind {
+    /// Is this an access event (terminates a transaction group)?
+    pub fn is_access(&self) -> bool {
+        matches!(
+            self,
+            EventKind::Read { .. } | EventKind::ReadExcl { .. } | EventKind::Write { .. }
+        )
+    }
+}
+
+/// One log entry: which processor the action happened at, plus the action.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoherenceEvent {
+    pub proc: NodeId,
+    pub kind: EventKind,
+}
+
+impl std::fmt::Display for CoherenceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let p = self.proc;
+        match self.kind {
+            EventKind::Init { addr, value } => write!(f, "init {addr} = {value}"),
+            EventKind::Read {
+                addr,
+                value,
+                hit,
+                grant,
+                notls,
+            } => {
+                write!(f, "{p} read {addr} = {value}")?;
+                if hit {
+                    write!(f, " (hit)")
+                } else {
+                    write!(
+                        f,
+                        " (miss, grant {grant:?}{})",
+                        if notls { ", NotLS" } else { "" }
+                    )
+                }
+            }
+            EventKind::ReadExcl { addr, value, hit } => {
+                write!(
+                    f,
+                    "{p} read-excl {addr} = {value} ({})",
+                    if hit { "hit" } else { "acquire" }
+                )
+            }
+            EventKind::Write {
+                addr,
+                value,
+                how,
+                ls,
+                mig,
+            } => {
+                write!(f, "{p} write {addr} = {value} ({}", how.label())?;
+                if ls {
+                    write!(f, ", ls")?;
+                }
+                if mig {
+                    write!(f, ", mig")?;
+                }
+                write!(f, ")")
+            }
+            EventKind::Fill { block, state } => write!(f, "{p} fill {block} as {state:?}"),
+            EventKind::Inval { block, by } => write!(f, "{p} invalidated {block} by {by}"),
+            EventKind::Downgrade { block, by } => write!(f, "{p} downgraded {block} for {by}"),
+            EventKind::Evict { block } => write!(f, "{p} evicted {block}"),
+            EventKind::NotLs { block } => write!(f, "{p} NotLS {block}"),
+        }
+    }
+}
+
+/// A captured coherence event log, with the machine shape needed to
+/// interpret it (node count and block size).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EventLog {
+    pub(crate) events: Vec<CoherenceEvent>,
+    pub(crate) nodes: u16,
+    pub(crate) block_bytes: u64,
+}
+
+const MAGIC: u32 = 0xCC51_E7EC;
+const VERSION: u32 = 1;
+
+/// Why a byte stream failed to decode as an [`EventLog`]. Same total-decoding
+/// policy as [`crate::trace::TraceError`]: every malformed input maps to a
+/// structured error; decoding never panics and never over-allocates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventLogError {
+    /// The stream ended inside the header or an event.
+    Truncated,
+    /// The first word is not the event-log magic.
+    BadMagic(u32),
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// The header's node count exceeds `u16`.
+    TooManyNodes(u32),
+    /// The header's block size is not a power of two (or is zero).
+    BadBlockBytes(u64),
+    /// The declared event count cannot fit in the remaining bytes (each
+    /// event needs at least 3), so the header is lying.
+    EventCountOverflow { declared: u64, max_possible: u64 },
+    /// Unknown event tag.
+    BadEventTag(u8),
+    /// Malformed flag byte (unknown grant / copy-state / write-how bits).
+    BadFlags(u8),
+    /// An event names a processor outside the header's range.
+    ProcOutOfRange { index: usize, proc: u16, nodes: u16 },
+    /// Decoding succeeded but bytes remain past the declared events.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for EventLogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EventLogError::Truncated => write!(f, "event log truncated"),
+            EventLogError::BadMagic(m) => write!(f, "not a ccsim event log (magic {m:#010x})"),
+            EventLogError::BadVersion(v) => write!(f, "unsupported event-log version {v}"),
+            EventLogError::TooManyNodes(n) => write!(f, "node count {n} exceeds u16"),
+            EventLogError::BadBlockBytes(b) => write!(f, "block size {b} is not a power of two"),
+            EventLogError::EventCountOverflow {
+                declared,
+                max_possible,
+            } => write!(
+                f,
+                "header declares {declared} events but at most {max_possible} fit in the stream"
+            ),
+            EventLogError::BadEventTag(t) => write!(f, "bad event tag {t}"),
+            EventLogError::BadFlags(b) => write!(f, "bad flag byte {b:#04x}"),
+            EventLogError::ProcOutOfRange { index, proc, nodes } => write!(
+                f,
+                "event {index} names processor {proc}, but the log declares {nodes} nodes"
+            ),
+            EventLogError::TrailingBytes(n) => {
+                write!(f, "{n} trailing byte(s) after the last event")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EventLogError {}
+
+fn grant_bits(g: GrantKind) -> u8 {
+    match g {
+        GrantKind::Shared => 0,
+        GrantKind::Exclusive => 1,
+        GrantKind::TearOff => 2,
+    }
+}
+
+fn grant_of(bits: u8, raw: u8) -> Result<GrantKind, EventLogError> {
+    match bits {
+        0 => Ok(GrantKind::Shared),
+        1 => Ok(GrantKind::Exclusive),
+        2 => Ok(GrantKind::TearOff),
+        _ => Err(EventLogError::BadFlags(raw)),
+    }
+}
+
+fn state_bits(s: CopyState) -> u8 {
+    match s {
+        CopyState::Shared => 0,
+        CopyState::Excl => 1,
+        CopyState::ExclDirty => 2,
+        CopyState::Modified => 3,
+    }
+}
+
+fn state_of(bits: u8, raw: u8) -> Result<CopyState, EventLogError> {
+    match bits {
+        0 => Ok(CopyState::Shared),
+        1 => Ok(CopyState::Excl),
+        2 => Ok(CopyState::ExclDirty),
+        3 => Ok(CopyState::Modified),
+        _ => Err(EventLogError::BadFlags(raw)),
+    }
+}
+
+impl EventLog {
+    /// Build a log from explicit events, validating processor ranges (the
+    /// same checks [`EventLog::from_bytes`] applies). `block_bytes` must be
+    /// a power of two. This is how the litmus tests hand-craft logs.
+    pub fn from_events(
+        nodes: u16,
+        block_bytes: u64,
+        events: Vec<CoherenceEvent>,
+    ) -> Result<EventLog, EventLogError> {
+        if !block_bytes.is_power_of_two() {
+            return Err(EventLogError::BadBlockBytes(block_bytes));
+        }
+        for (index, e) in events.iter().enumerate() {
+            if e.proc.0 >= nodes {
+                return Err(EventLogError::ProcOutOfRange {
+                    index,
+                    proc: e.proc.0,
+                    nodes,
+                });
+            }
+        }
+        Ok(EventLog {
+            events,
+            nodes,
+            block_bytes,
+        })
+    }
+
+    pub fn events(&self) -> &[CoherenceEvent] {
+        &self.events
+    }
+
+    pub fn nodes(&self) -> u16 {
+        self.nodes
+    }
+
+    pub fn block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serialize to the compact binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.events.len() * 20);
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.nodes as u32).to_le_bytes());
+        out.extend_from_slice(&self.block_bytes.to_le_bytes());
+        out.extend_from_slice(&(self.events.len() as u64).to_le_bytes());
+        for e in &self.events {
+            out.extend_from_slice(&e.proc.0.to_le_bytes());
+            match e.kind {
+                EventKind::Init { addr, value } => {
+                    out.push(0);
+                    out.extend_from_slice(&addr.0.to_le_bytes());
+                    out.extend_from_slice(&value.to_le_bytes());
+                }
+                EventKind::Read {
+                    addr,
+                    value,
+                    hit,
+                    grant,
+                    notls,
+                } => {
+                    out.push(1);
+                    out.extend_from_slice(&addr.0.to_le_bytes());
+                    out.extend_from_slice(&value.to_le_bytes());
+                    out.push((hit as u8) | (grant_bits(grant) << 1) | ((notls as u8) << 3));
+                }
+                EventKind::ReadExcl { addr, value, hit } => {
+                    out.push(2);
+                    out.extend_from_slice(&addr.0.to_le_bytes());
+                    out.extend_from_slice(&value.to_le_bytes());
+                    out.push(hit as u8);
+                }
+                EventKind::Write {
+                    addr,
+                    value,
+                    how,
+                    ls,
+                    mig,
+                } => {
+                    out.push(3);
+                    out.extend_from_slice(&addr.0.to_le_bytes());
+                    out.extend_from_slice(&value.to_le_bytes());
+                    let how = match how {
+                        WriteHow::DirtyHit => 0u8,
+                        WriteHow::Silent => 1,
+                        WriteHow::Global => 2,
+                    };
+                    out.push(how | ((ls as u8) << 2) | ((mig as u8) << 3));
+                }
+                EventKind::Fill { block, state } => {
+                    out.push(4);
+                    out.extend_from_slice(&block.0.to_le_bytes());
+                    out.push(state_bits(state));
+                }
+                EventKind::Inval { block, by } => {
+                    out.push(5);
+                    out.extend_from_slice(&block.0.to_le_bytes());
+                    out.extend_from_slice(&by.0.to_le_bytes());
+                }
+                EventKind::Downgrade { block, by } => {
+                    out.push(6);
+                    out.extend_from_slice(&block.0.to_le_bytes());
+                    out.extend_from_slice(&by.0.to_le_bytes());
+                }
+                EventKind::Evict { block } => {
+                    out.push(7);
+                    out.extend_from_slice(&block.0.to_le_bytes());
+                }
+                EventKind::NotLs { block } => {
+                    out.push(8);
+                    out.extend_from_slice(&block.0.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserialize from [`EventLog::to_bytes`] output. Total: validates the
+    /// header, every event, and that nothing trails the last declared event.
+    /// Allocation is bounded by the input length, not the (untrusted)
+    /// declared event count.
+    pub fn from_bytes(bytes: &[u8]) -> Result<EventLog, EventLogError> {
+        struct R<'a>(&'a [u8], usize);
+        impl R<'_> {
+            fn take<const N: usize>(&mut self) -> Result<[u8; N], EventLogError> {
+                let end = self.1 + N;
+                if end > self.0.len() {
+                    return Err(EventLogError::Truncated);
+                }
+                let mut a = [0u8; N];
+                a.copy_from_slice(&self.0[self.1..end]);
+                self.1 = end;
+                Ok(a)
+            }
+            fn u8(&mut self) -> Result<u8, EventLogError> {
+                Ok(self.take::<1>()?[0])
+            }
+            fn u16(&mut self) -> Result<u16, EventLogError> {
+                Ok(u16::from_le_bytes(self.take()?))
+            }
+            fn u32(&mut self) -> Result<u32, EventLogError> {
+                Ok(u32::from_le_bytes(self.take()?))
+            }
+            fn u64(&mut self) -> Result<u64, EventLogError> {
+                Ok(u64::from_le_bytes(self.take()?))
+            }
+            fn remaining(&self) -> usize {
+                self.0.len() - self.1
+            }
+        }
+        let mut r = R(bytes, 0);
+        let magic = r.u32()?;
+        if magic != MAGIC {
+            return Err(EventLogError::BadMagic(magic));
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(EventLogError::BadVersion(version));
+        }
+        let nodes_raw = r.u32()?;
+        let nodes = u16::try_from(nodes_raw).map_err(|_| EventLogError::TooManyNodes(nodes_raw))?;
+        let block_bytes = r.u64()?;
+        if !block_bytes.is_power_of_two() {
+            return Err(EventLogError::BadBlockBytes(block_bytes));
+        }
+        let declared = r.u64()?;
+        // Every event carries at least proc (u16) + tag (u8) = 3 bytes; a
+        // declared count beyond remaining/3 cannot be honest, and this
+        // bounds the pre-allocation by the input length.
+        let max_possible = (r.remaining() / 3) as u64;
+        if declared > max_possible {
+            return Err(EventLogError::EventCountOverflow {
+                declared,
+                max_possible,
+            });
+        }
+        let n = declared as usize;
+        let mut events = Vec::with_capacity(n);
+        for index in 0..n {
+            let proc = r.u16()?;
+            if proc >= nodes {
+                return Err(EventLogError::ProcOutOfRange { index, proc, nodes });
+            }
+            let kind = match r.u8()? {
+                0 => EventKind::Init {
+                    addr: Addr(r.u64()?),
+                    value: r.u64()?,
+                },
+                1 => {
+                    let addr = Addr(r.u64()?);
+                    let value = r.u64()?;
+                    let b = r.u8()?;
+                    if b & !0b1111 != 0 {
+                        return Err(EventLogError::BadFlags(b));
+                    }
+                    EventKind::Read {
+                        addr,
+                        value,
+                        hit: b & 1 != 0,
+                        grant: grant_of((b >> 1) & 0b11, b)?,
+                        notls: b & 0b1000 != 0,
+                    }
+                }
+                2 => {
+                    let addr = Addr(r.u64()?);
+                    let value = r.u64()?;
+                    let b = r.u8()?;
+                    if b > 1 {
+                        return Err(EventLogError::BadFlags(b));
+                    }
+                    EventKind::ReadExcl {
+                        addr,
+                        value,
+                        hit: b != 0,
+                    }
+                }
+                3 => {
+                    let addr = Addr(r.u64()?);
+                    let value = r.u64()?;
+                    let b = r.u8()?;
+                    if b & !0b1111 != 0 {
+                        return Err(EventLogError::BadFlags(b));
+                    }
+                    let how = match b & 0b11 {
+                        0 => WriteHow::DirtyHit,
+                        1 => WriteHow::Silent,
+                        2 => WriteHow::Global,
+                        _ => return Err(EventLogError::BadFlags(b)),
+                    };
+                    EventKind::Write {
+                        addr,
+                        value,
+                        how,
+                        ls: b & 0b100 != 0,
+                        mig: b & 0b1000 != 0,
+                    }
+                }
+                4 => {
+                    let block = BlockAddr(r.u64()?);
+                    let b = r.u8()?;
+                    if b > 3 {
+                        return Err(EventLogError::BadFlags(b));
+                    }
+                    EventKind::Fill {
+                        block,
+                        state: state_of(b, b)?,
+                    }
+                }
+                5 => EventKind::Inval {
+                    block: BlockAddr(r.u64()?),
+                    by: NodeId(r.u16()?),
+                },
+                6 => EventKind::Downgrade {
+                    block: BlockAddr(r.u64()?),
+                    by: NodeId(r.u16()?),
+                },
+                7 => EventKind::Evict {
+                    block: BlockAddr(r.u64()?),
+                },
+                8 => EventKind::NotLs {
+                    block: BlockAddr(r.u64()?),
+                },
+                x => return Err(EventLogError::BadEventTag(x)),
+            };
+            events.push(CoherenceEvent {
+                proc: NodeId(proc),
+                kind,
+            });
+        }
+        if r.remaining() != 0 {
+            return Err(EventLogError::TrailingBytes(r.remaining()));
+        }
+        Ok(EventLog {
+            events,
+            nodes,
+            block_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EventLog {
+        let b = BlockAddr(0x100);
+        EventLog::from_events(
+            3,
+            16,
+            vec![
+                CoherenceEvent {
+                    proc: NodeId(0),
+                    kind: EventKind::Init {
+                        addr: Addr(0x100),
+                        value: 7,
+                    },
+                },
+                CoherenceEvent {
+                    proc: NodeId(1),
+                    kind: EventKind::Fill {
+                        block: b,
+                        state: CopyState::Excl,
+                    },
+                },
+                CoherenceEvent {
+                    proc: NodeId(1),
+                    kind: EventKind::Read {
+                        addr: Addr(0x100),
+                        value: 7,
+                        hit: false,
+                        grant: GrantKind::Exclusive,
+                        notls: false,
+                    },
+                },
+                CoherenceEvent {
+                    proc: NodeId(1),
+                    kind: EventKind::Write {
+                        addr: Addr(0x108),
+                        value: 9,
+                        how: WriteHow::Silent,
+                        ls: true,
+                        mig: false,
+                    },
+                },
+                CoherenceEvent {
+                    proc: NodeId(1),
+                    kind: EventKind::Inval {
+                        block: b,
+                        by: NodeId(2),
+                    },
+                },
+                CoherenceEvent {
+                    proc: NodeId(2),
+                    kind: EventKind::Write {
+                        addr: Addr(0x100),
+                        value: 1,
+                        how: WriteHow::Global,
+                        ls: false,
+                        mig: false,
+                    },
+                },
+                CoherenceEvent {
+                    proc: NodeId(1),
+                    kind: EventKind::Downgrade {
+                        block: b,
+                        by: NodeId(2),
+                    },
+                },
+                CoherenceEvent {
+                    proc: NodeId(1),
+                    kind: EventKind::Evict { block: b },
+                },
+                CoherenceEvent {
+                    proc: NodeId(1),
+                    kind: EventKind::NotLs { block: b },
+                },
+                CoherenceEvent {
+                    proc: NodeId(2),
+                    kind: EventKind::ReadExcl {
+                        addr: Addr(0x110),
+                        value: 0,
+                        hit: true,
+                    },
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trips_through_bytes() {
+        let log = sample();
+        let bytes = log.to_bytes();
+        assert_eq!(EventLog::from_bytes(&bytes).unwrap(), log);
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert_eq!(
+            EventLog::from_bytes(b"nonsense"),
+            Err(EventLogError::BadMagic(u32::from_le_bytes(*b"nons")))
+        );
+        let bytes = sample().to_bytes();
+        for cut in [0, 3, 9, 17, 25, bytes.len() - 1] {
+            assert!(EventLog::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(
+            EventLog::from_bytes(&trailing),
+            Err(EventLogError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn rejects_bad_header_fields() {
+        let mut log = sample();
+        log.block_bytes = 24; // not a power of two
+        let bytes = log.to_bytes();
+        assert_eq!(
+            EventLog::from_bytes(&bytes),
+            Err(EventLogError::BadBlockBytes(24))
+        );
+        let mut bytes = sample().to_bytes();
+        bytes[4] = 0xFF; // version
+        assert!(matches!(
+            EventLog::from_bytes(&bytes),
+            Err(EventLogError::BadVersion(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_processor() {
+        let ev = vec![CoherenceEvent {
+            proc: NodeId(5),
+            kind: EventKind::Evict {
+                block: BlockAddr(0),
+            },
+        }];
+        assert!(matches!(
+            EventLog::from_events(2, 16, ev),
+            Err(EventLogError::ProcOutOfRange { proc: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_lying_event_count() {
+        let mut bytes = sample().to_bytes();
+        // Header event count at offset 20 (magic 4 + version 4 + nodes 4 +
+        // block_bytes 8).
+        bytes[20..28].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            EventLog::from_bytes(&bytes),
+            Err(EventLogError::EventCountOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_flag_bits() {
+        let log = EventLog::from_events(
+            2,
+            16,
+            vec![CoherenceEvent {
+                proc: NodeId(0),
+                kind: EventKind::Read {
+                    addr: Addr(0),
+                    value: 0,
+                    hit: false,
+                    grant: GrantKind::Shared,
+                    notls: false,
+                },
+            }],
+        )
+        .unwrap();
+        let mut bytes = log.to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] = 0xF0; // reserved bits set
+        assert!(matches!(
+            EventLog::from_bytes(&bytes),
+            Err(EventLogError::BadFlags(0xF0))
+        ));
+    }
+
+    #[test]
+    fn display_renders_witness_lines() {
+        let log = sample();
+        let lines: Vec<String> = log.events().iter().map(|e| e.to_string()).collect();
+        assert_eq!(lines[0], "init 0x100 = 7");
+        assert_eq!(lines[2], "P1 read 0x100 = 7 (miss, grant Exclusive)");
+        assert_eq!(lines[3], "P1 write 0x108 = 9 (silent, ls)");
+        assert_eq!(lines[4], "P1 invalidated B0x100 by P2");
+        assert_eq!(lines[8], "P1 NotLS B0x100");
+    }
+
+    #[test]
+    fn access_classification() {
+        let log = sample();
+        let accesses: Vec<bool> = log.events().iter().map(|e| e.kind.is_access()).collect();
+        assert_eq!(
+            accesses,
+            vec![false, false, true, true, false, true, false, false, false, true]
+        );
+    }
+}

@@ -36,6 +36,7 @@
 //! global write action back-to-back with no intervening access, exactly the
 //! load-store sequence shape of §2.
 
+pub mod events;
 pub mod invariants;
 pub mod json;
 pub mod machine;
@@ -44,9 +45,10 @@ pub mod run;
 pub mod stats;
 pub mod trace;
 
+pub use events::{CoherenceEvent, EventKind, EventLog, EventLogError, WriteHow};
 pub use invariants::{InvariantMode, InvariantReport, InvariantRule, InvariantViolation};
 pub use machine::{Machine, StallKind};
 pub use oracle::{Component, FalseSharingStats, OracleStats};
 pub use run::{FinishedSim, Proc, SimBuilder, DEFAULT_WATCHDOG_CYCLES};
 pub use stats::{ProcTimes, RunStats};
-pub use trace::{replay, replay_checked, Trace, TraceError, TraceEvent, TraceOp};
+pub use trace::{replay, replay_checked, replay_events, Trace, TraceError, TraceEvent, TraceOp};

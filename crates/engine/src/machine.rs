@@ -15,6 +15,7 @@ use ccsim_network::{Delivery, Network};
 use ccsim_types::{Addr, BlockAddr, Consistency, MachineConfig, MsgKind, NodeId};
 use ccsim_util::FxHashMap;
 
+use crate::events::{CoherenceEvent, EventKind, EventLog, WriteHow};
 use crate::invariants::{copy_state, line_state, InvariantChecker, InvariantMode, InvariantReport};
 use crate::oracle::{Component, FalseSharing, LsOracle};
 
@@ -70,6 +71,10 @@ pub struct Machine {
     fs: FalseSharing,
     counters: MachineCounters,
     invariants: InvariantChecker,
+    /// Coherence event capture (`Some` once enabled). Each transaction
+    /// appends its side-effect events first and its access event last —
+    /// see `crate::events` for the grouping contract.
+    events: Option<Vec<CoherenceEvent>>,
 }
 
 impl Machine {
@@ -96,8 +101,33 @@ impl Machine {
             fs: FalseSharing::new(cfg.nodes, cfg.block_bytes()),
             counters: MachineCounters::default(),
             invariants: InvariantChecker::new(InvariantMode::from_env()),
+            events: None,
             cfg,
         })
+    }
+
+    /// Start capturing the coherence event log. Call before any accesses
+    /// (including [`Machine::poke`]) so the log covers the whole execution.
+    pub fn capture_events(&mut self) {
+        if self.events.is_none() {
+            self.events = Some(Vec::new());
+        }
+    }
+
+    /// Take the captured event log (empties the buffer). `None` when
+    /// capture was never enabled.
+    pub fn take_event_log(&mut self) -> Option<EventLog> {
+        let events = self.events.take()?;
+        let log = EventLog::from_events(self.cfg.nodes, self.cfg.block_bytes(), events)
+            // ccsim-lint: allow(unwrap): every emitted proc is < cfg.nodes by construction
+            .expect("machine-emitted events are in range");
+        Some(log)
+    }
+
+    fn emit(&mut self, proc: NodeId, kind: EventKind) {
+        if let Some(events) = &mut self.events {
+            events.push(CoherenceEvent { proc, kind });
+        }
     }
 
     /// Select the invariant-checking mode (overrides `CCSIM_INVARIANTS`).
@@ -138,6 +168,7 @@ impl Machine {
     pub fn poke(&mut self, addr: Addr, value: u64) {
         self.store.store(addr, value);
         self.invariants.record_golden(addr, value);
+        self.emit(NodeId(0), EventKind::Init { addr, value });
     }
 
     // --- internals ----------------------------------------------------------
@@ -194,6 +225,7 @@ impl Machine {
     /// false-sharing tracker.
     fn fill(&mut self, p: NodeId, block: BlockAddr, state: LineState, t: u64) {
         if let Some(ev) = self.caches[p.idx()].fill(block, state) {
+            self.emit(p, EventKind::Evict { block: ev.block });
             let vhome = self.home(ev.block.addr());
             let check = self.invariants.mode() != InvariantMode::Off;
             let pre = check
@@ -215,6 +247,13 @@ impl Machine {
             };
             self.net.send_background(t, p, vhome, kind);
         }
+        self.emit(
+            p,
+            EventKind::Fill {
+                block,
+                state: copy_state(state),
+            },
+        );
     }
 
     /// All caches currently holding `block`, with their line states.
@@ -263,13 +302,15 @@ impl Machine {
         let (t, stall) = match self.caches[p.idx()].probe(block) {
             Probe::L1(_) => {
                 self.counters.l1_hits += 1;
+                self.emit_read_hit(p, addr, value);
                 (t0 + lat.l1_hit, StallKind::None)
             }
             Probe::L2(_) => {
                 self.counters.l2_hits += 1;
+                self.emit_read_hit(p, addr, value);
                 (t0 + lat.l1_hit + lat.l2_hit, StallKind::None)
             }
-            Probe::Miss => (self.global_read(p, addr, block, t0), StallKind::Read),
+            Probe::Miss => (self.global_read(p, addr, block, t0, value), StallKind::Read),
         };
         self.invariants
             .check_value(addr, value, block, p, t, self.cfg.protocol.kind);
@@ -277,7 +318,20 @@ impl Machine {
         (value, t, stall)
     }
 
-    fn global_read(&mut self, p: NodeId, addr: Addr, block: BlockAddr, t0: u64) -> u64 {
+    fn emit_read_hit(&mut self, p: NodeId, addr: Addr, value: u64) {
+        self.emit(
+            p,
+            EventKind::Read {
+                addr,
+                value,
+                hit: true,
+                grant: GrantKind::Shared,
+                notls: false,
+            },
+        );
+    }
+
+    fn global_read(&mut self, p: NodeId, addr: Addr, block: BlockAddr, t0: u64, value: u64) -> u64 {
         let lat = self.cfg.latency;
         let home = self.home(addr);
         let mut t = t0 + lat.l1_hit + lat.l2_hit;
@@ -290,7 +344,7 @@ impl Machine {
         let pre = check
             .then(|| self.dirs[home.idx()].entry(block).copied())
             .flatten();
-        match self.dirs[home.idx()].read(block, p) {
+        let (grant_out, notls_out) = match self.dirs[home.idx()].read(block, p) {
             step @ ReadStep::Memory { grant, .. } => {
                 if check {
                     let pre = pre.unwrap_or_else(|| rules::fresh_entry(&self.cfg.protocol));
@@ -316,6 +370,7 @@ impl Machine {
                 if let Some(s) = rules::read_fill_state(grant, false) {
                     self.fill(p, block, line_state(s), t);
                 }
+                (grant, false)
             }
             ReadStep::Forward { owner } => {
                 t = self.hop(t, home, owner, MsgKind::ReadForward);
@@ -347,10 +402,12 @@ impl Machine {
                 match rules::owner_next_state(res.owner_action) {
                     Some(s) => {
                         self.caches[owner.idx()].set_state(block, line_state(s));
+                        self.emit(owner, EventKind::Downgrade { block, by: p });
                     }
                     None => {
                         self.caches[owner.idx()].invalidate(block);
                         self.fs.on_invalidated(block, owner);
+                        self.emit(owner, EventKind::Inval { block, by: p });
                     }
                 }
                 if res.sharing_writeback {
@@ -359,13 +416,25 @@ impl Machine {
                 }
                 if res.notls {
                     self.net.send_background(t, owner, home, MsgKind::NotLs);
+                    self.emit(owner, EventKind::NotLs { block });
                 }
                 let state = rules::read_fill_state(res.grant, res.requester_dirty)
                     // ccsim-lint: allow(unwrap): DSI tear-off grants come from memory, never owners
                     .expect("forwarded reads never grant tear-off");
                 self.fill(p, block, line_state(state), t);
+                (res.grant, res.notls)
             }
-        }
+        };
+        self.emit(
+            p,
+            EventKind::Read {
+                addr,
+                value,
+                hit: false,
+                grant: grant_out,
+                notls: notls_out,
+            },
+        );
         self.block_busy.insert(block, t);
         t
     }
@@ -393,10 +462,18 @@ impl Machine {
         let (t, stall) = match rules::read_exclusive_probe(copy) {
             LocalReadExcl::Hit => {
                 self.counters.l1_hits += 1;
+                self.emit(
+                    p,
+                    EventKind::ReadExcl {
+                        addr,
+                        value,
+                        hit: true,
+                    },
+                );
                 (t0 + lat.l1_hit, StallKind::None)
             }
             LocalReadExcl::Acquire { has_copy } => (
-                self.global_acquire(p, addr, block, t0, has_copy, Acquire::ReadExclusive),
+                self.global_acquire(p, addr, block, t0, has_copy, Acquire::ReadExclusive, value),
                 StallKind::Read,
             ),
         };
@@ -428,6 +505,16 @@ impl Machine {
         let (t, stall) = match rules::store_probe(copy) {
             LocalStore::DirtyHit => {
                 self.counters.dirty_hits += 1;
+                self.emit(
+                    p,
+                    EventKind::Write {
+                        addr,
+                        value,
+                        how: WriteHow::DirtyHit,
+                        ls: false,
+                        mig: false,
+                    },
+                );
                 (t0 + lat.l1_hit, StallKind::None)
             }
             LocalStore::Silent => {
@@ -436,11 +523,22 @@ impl Machine {
                 // invalidations (§3).
                 self.counters.silent_stores += 1;
                 self.caches[p.idx()].set_state(block, LineState::Modified);
-                self.oracle.global_write(block, p, comp, true);
+                let (ls, mig) = self.oracle.global_write(block, p, comp, true);
+                self.emit(
+                    p,
+                    EventKind::Write {
+                        addr,
+                        value,
+                        how: WriteHow::Silent,
+                        ls,
+                        mig,
+                    },
+                );
                 (t0 + lat.l1_hit, StallKind::None)
             }
             LocalStore::Acquire { has_copy } => {
-                let t = self.global_acquire(p, addr, block, t0, has_copy, Acquire::Store(comp));
+                let t =
+                    self.global_acquire(p, addr, block, t0, has_copy, Acquire::Store(comp), value);
                 self.retire_store(t0, t)
             }
         };
@@ -461,6 +559,7 @@ impl Machine {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn global_acquire(
         &mut self,
         p: NodeId,
@@ -469,6 +568,7 @@ impl Machine {
         t0: u64,
         has_copy: bool,
         purpose: Acquire,
+        value: u64,
     ) -> u64 {
         let lat = self.cfg.latency;
         let home = self.home(addr);
@@ -481,10 +581,13 @@ impl Machine {
         t = self.request_hop(t, p, home, req);
         t += lat.mc;
         t = self.wait_for_block(block, t, home, p);
-        match purpose {
+        let (ls, mig) = match purpose {
             Acquire::Store(comp) => self.oracle.global_write(block, p, comp, false),
-            Acquire::ReadExclusive => self.oracle.global_read(block, p),
-        }
+            Acquire::ReadExclusive => {
+                self.oracle.global_read(block, p);
+                (false, false)
+            }
+        };
         let check = self.invariants.mode() != InvariantMode::Off;
         let pre = check
             .then(|| self.dirs[home.idx()].entry(block).copied())
@@ -497,7 +600,15 @@ impl Machine {
                 invalidate,
                 data_needed,
             } => {
-                debug_assert_eq!(data_needed, !has_copy);
+                // Spec invariant: the directory's sharer view matches the
+                // cache. A seeded rule mutation (testing builds) breaks it
+                // on purpose — stale survivors upgrade while the directory
+                // thinks they are gone — and the conformance analyzer, not
+                // this assert, is the component under test then.
+                debug_assert!(
+                    self.cfg.protocol.rule_mutation().is_some() || data_needed != has_copy,
+                    "directory/cache copy disagreement: data_needed={data_needed}, has_copy={has_copy}"
+                );
                 let mut done = if data_needed {
                     self.fs.on_miss(block, addr, p);
                     let tm = t + lat.mem;
@@ -512,6 +623,7 @@ impl Machine {
                     let ta = self.hop(t, home, s, MsgKind::Inval) + lat.mc;
                     self.caches[s.idx()].invalidate(block);
                     self.fs.on_invalidated(block, s);
+                    self.emit(s, EventKind::Inval { block, by: p });
                     let ta = self.hop(ta, s, p, MsgKind::InvalAck) + lat.mc;
                     done = done.max(ta);
                 }
@@ -525,6 +637,7 @@ impl Machine {
                 t += lat.owner_access;
                 self.caches[owner.idx()].invalidate(block);
                 self.fs.on_invalidated(block, owner);
+                self.emit(owner, EventKind::Inval { block, by: p });
                 t = self.hop(t, owner, p, MsgKind::OwnerWriteReply);
                 t += lat.mc + lat.node_bus;
                 self.fs.on_miss(block, addr, p);
@@ -548,8 +661,35 @@ impl Machine {
         let final_state = line_state(rules::acquire_final_state(acq, data_dirty));
         if has_copy {
             self.caches[p.idx()].set_state(block, final_state);
+            self.emit(
+                p,
+                EventKind::Fill {
+                    block,
+                    state: copy_state(final_state),
+                },
+            );
         } else {
             self.fill(p, block, final_state, t);
+        }
+        match purpose {
+            Acquire::Store(_) => self.emit(
+                p,
+                EventKind::Write {
+                    addr,
+                    value,
+                    how: WriteHow::Global,
+                    ls,
+                    mig,
+                },
+            ),
+            Acquire::ReadExclusive => self.emit(
+                p,
+                EventKind::ReadExcl {
+                    addr,
+                    value,
+                    hit: false,
+                },
+            ),
         }
         self.block_busy.insert(block, t);
         t

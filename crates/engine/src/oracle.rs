@@ -182,8 +182,15 @@ impl LsOracle {
 
     /// A global-write-equivalent by `p`: either an ownership acquisition
     /// (`eliminated = false`) or a silent store to an exclusive-clean line
-    /// (`eliminated = true`).
-    pub fn global_write(&mut self, b: BlockAddr, p: NodeId, comp: Component, eliminated: bool) {
+    /// (`eliminated = true`). Returns the verdict `(is_ls, is_migratory)`
+    /// so the event log can record what the oracle decided.
+    pub fn global_write(
+        &mut self,
+        b: BlockAddr,
+        p: NodeId,
+        comp: Component,
+        eliminated: bool,
+    ) -> (bool, bool) {
         let t = self.track(b);
         let is_ls = t.last == Some((p, true));
         let is_mig = is_ls && matches!(t.prev_seq_node, Some(q) if q != p);
@@ -208,6 +215,7 @@ impl LsOracle {
                 k.eliminated_migratory += 1;
             }
         }
+        (is_ls, is_mig)
     }
 
     pub fn stats(&self) -> &OracleStats {

@@ -383,6 +383,13 @@ impl SimBuilder {
         self.capture = true;
     }
 
+    /// Record the coherence event log for SC-conformance analysis
+    /// (`ccsim-race`; see [`crate::events`]). Call before [`SimBuilder::init`]
+    /// so pre-run pokes are logged as `Init` events.
+    pub fn capture_events(&mut self) {
+        self.machine.capture_events();
+    }
+
     /// Add the program for the next processor (processor ids are assigned in
     /// spawn order). At most one program per node.
     pub fn spawn(&mut self, f: impl FnOnce(Proc) + Send + 'static) {
@@ -516,6 +523,12 @@ impl FinishedSim {
     /// Take the captured trace (if `capture_trace` was enabled).
     pub fn take_trace(&mut self) -> Option<Trace> {
         self.trace.take()
+    }
+
+    /// Take the captured coherence event log (if `capture_events` was
+    /// enabled).
+    pub fn take_event_log(&mut self) -> Option<crate::events::EventLog> {
+        self.machine.take_event_log()
     }
 
     /// The coherence invariant report accumulated during the run (empty

@@ -273,7 +273,7 @@ impl Trace {
 /// Invariant checking follows `CCSIM_INVARIANTS` (the machine default); use
 /// [`replay_checked`] to force a mode and read back the report.
 pub fn replay(cfg: MachineConfig, trace: &Trace, init: &[(Addr, u64)]) -> RunStats {
-    replay_inner(cfg, trace, init, None).0
+    replay_inner(cfg, trace, init, None, false).0
 }
 
 /// Replay with an explicit invariant-checking mode, returning what the
@@ -287,7 +287,20 @@ pub fn replay_checked(
     init: &[(Addr, u64)],
     mode: InvariantMode,
 ) -> (RunStats, InvariantReport) {
-    replay_inner(cfg, trace, init, Some(mode))
+    let (stats, report, _) = replay_inner(cfg, trace, init, Some(mode), false);
+    (stats, report)
+}
+
+/// Replay while capturing the coherence event log (see [`crate::events`])
+/// for SC-conformance analysis — the trace-file path of `ccsim race`.
+pub fn replay_events(
+    cfg: MachineConfig,
+    trace: &Trace,
+    init: &[(Addr, u64)],
+) -> (RunStats, crate::events::EventLog) {
+    let (stats, _, log) = replay_inner(cfg, trace, init, None, true);
+    // ccsim-lint: allow(unwrap): capture was requested, so the log exists
+    (stats, log.expect("event capture was enabled"))
 }
 
 fn replay_inner(
@@ -295,7 +308,8 @@ fn replay_inner(
     trace: &Trace,
     init: &[(Addr, u64)],
     mode: Option<InvariantMode>,
-) -> (RunStats, InvariantReport) {
+    capture_events: bool,
+) -> (RunStats, InvariantReport, Option<crate::events::EventLog>) {
     assert!(
         cfg.nodes >= trace.procs,
         "trace uses {} processors, machine has {}",
@@ -305,6 +319,9 @@ fn replay_inner(
     let mut machine = Machine::new(cfg);
     if let Some(m) = mode {
         machine.set_invariant_mode(m);
+    }
+    if capture_events {
+        machine.capture_events();
     }
     for &(a, v) in init {
         machine.poke(a, v);
@@ -341,6 +358,7 @@ fn replay_inner(
         }
     }
     let report = machine.invariant_report().clone();
+    let log = machine.take_event_log();
     let stats = RunStats {
         protocol: cfg.protocol.kind,
         config: cfg,
@@ -352,7 +370,7 @@ fn replay_inner(
         oracle: *machine.oracle_stats(),
         false_sharing: *machine.false_sharing_stats(),
     };
-    (stats, report)
+    (stats, report, log)
 }
 
 fn attribute(t: &mut ProcTimes, t0: u64, t1: u64, stall: crate::machine::StallKind) {

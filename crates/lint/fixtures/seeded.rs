@@ -47,3 +47,31 @@ mod tests {
         let t = std::time::Instant::now();
     }
 }
+
+fn lock_order_established(sim: &Sim) {
+    let g1 = sim.stats.lock();
+    let g2 = sim.cache.lock();
+}
+
+fn lock_order_conflict(sim: &Sim) {
+    let g2 = sim.cache.lock();
+    let g1 = sim.stats.lock();
+}
+
+fn guard_held_across_fanout(set: JobSet, stats: &Mutex<u64>) {
+    let g = stats.lock();
+    set.run();
+}
+
+fn guard_released_before_fanout(set: JobSet, stats: &Mutex<u64>) {
+    let g = stats.lock();
+    drop(g);
+    set.run();
+}
+
+fn guard_scoped_before_fanout(set: JobSet, stats: &Mutex<u64>) {
+    {
+        let _g = stats.lock();
+    }
+    set.run_checked();
+}

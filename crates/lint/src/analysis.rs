@@ -182,7 +182,9 @@ impl Replay {
     ) {
         let home = self.home(addr);
         match purpose {
-            Acq::Store(comp) => self.oracle.global_write(block, p, comp, false),
+            Acq::Store(comp) => {
+                self.oracle.global_write(block, p, comp, false);
+            }
             Acq::ReadExclusive => self.oracle.global_read(block, p),
         }
         let mut data_dirty = false;

@@ -62,6 +62,15 @@ pub fn lex(src: &str) -> Lexed {
     let mut line = 1u32;
     let mut tokens = Vec::new();
     let mut allows = Vec::new();
+    // A shebang (`#!` on the very first line, not followed by `[`) is legal
+    // in a Rust source file and is not Rust syntax: skip the whole line so
+    // its text never becomes tokens. `#![...]` is an inner attribute and
+    // must still lex normally.
+    if b.starts_with(b"#!") && b.get(2) != Some(&b'[') {
+        while i < b.len() && b[i] != b'\n' {
+            i += 1;
+        }
+    }
     while i < b.len() {
         let c = b[i];
         if c == b'\n' {
@@ -392,6 +401,63 @@ mod tests {
         let lexed = lex(src);
         assert_eq!(lexed.allows.len(), 1);
         assert_eq!(lexed.allows[0].line, 3);
+    }
+
+    #[test]
+    fn shebang_first_line_is_skipped() {
+        let src = "#!/usr/bin/env run-cargo-script // not a \"comment\"\nlet x = 1;\n";
+        let lexed = lex(src);
+        // Nothing from the shebang line reaches the stream, and the first
+        // real token still carries the right line number.
+        let first = lexed.tokens.first().expect("tokens after shebang");
+        assert_eq!(first.line, 2);
+        assert!(
+            matches!(&first.tok, Tok::Ident(s) if s == "let"),
+            "{:?}",
+            first.tok
+        );
+        assert!(lexed.allows.is_empty());
+    }
+
+    #[test]
+    fn inner_attributes_are_not_shebangs() {
+        let lexed = lex("#![allow(dead_code)]\nfn f() {}\n");
+        assert!(matches!(
+            lexed.tokens.first(),
+            Some(Token {
+                tok: Tok::Sym('#'),
+                line: 1
+            })
+        ));
+        assert!(idents("#![allow(dead_code)]").contains(&"allow".to_string()));
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_contain_slashes_and_quotes() {
+        let src = r####"let s = r##"has "quotes", a // comment-alike, and r#"nesting"#"##; let after = HashSet::new();"####;
+        let lexed = lex(src);
+        let strs: Vec<&String> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Str(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs.len(), 1, "{strs:?}");
+        assert!(strs[0].contains("// comment-alike"));
+        assert!(strs[0].contains("\"quotes\""));
+        // The scanner resynchronizes exactly at the closing `"##`, so code
+        // after the literal still lexes.
+        assert!(idents(src).contains(&"HashSet".to_string()));
+    }
+
+    #[test]
+    fn allow_directive_inside_a_raw_string_is_not_a_suppression() {
+        let src = "let s = r#\"// ccsim-lint: allow(unwrap): not a directive\"#;\n\
+                   let t = \"ccsim-lint: allow(wall-clock): also text\";\n";
+        let lexed = lex(src);
+        assert!(lexed.allows.is_empty(), "{:?}", lexed.allows);
     }
 
     #[test]

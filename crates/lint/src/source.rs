@@ -20,6 +20,8 @@ pub const RULE_RANDOMSTATE: &str = "randomstate";
 pub const RULE_WALL_CLOCK: &str = "wall-clock";
 pub const RULE_UNWRAP: &str = "unwrap";
 pub const RULE_TESTING_GATE: &str = "testing-gate";
+pub const RULE_LOCK_ORDER: &str = "lock-order";
+pub const RULE_GUARD_FANOUT: &str = "guard-across-fanout";
 pub const RULE_BAD_ALLOW: &str = "bad-allow";
 
 /// Static description of one rule, for `--explain`.
@@ -70,6 +72,30 @@ allow(unwrap) and a one-line proof sketch.",
 is compiled into a normal build it becomes a latent footgun callable from \
 release code. Every such hook must sit behind #[cfg(feature = \"testing\")] \
 (or #[cfg(test)]).",
+    },
+    RuleInfo {
+        id: RULE_LOCK_ORDER,
+        summary: "lock acquisition order must be consistent across a file",
+        explain: "Two locks taken in opposite orders on two code paths can deadlock the \
+moment both paths run concurrently — exactly what the JobSet worker pool and \
+the per-processor simulation threads do. The rule records, within each \
+function, the order in which named lock receivers are acquired (every \
+`.lock()` on a dotted receiver path such as `self.stats`), and reports any \
+receiver pair observed in both orders anywhere in the same file. Keep one \
+global order, or narrow one guard's scope so the two locks are never held \
+together.",
+    },
+    RuleInfo {
+        id: RULE_GUARD_FANOUT,
+        summary: "no lock guard held across a JobSet fan-out",
+        explain: "JobSet::run / run_with / run_checked / run_checked_with (and the \
+run_protocols helper) block the calling thread until a pool of worker threads \
+has drained every job. A guard bound by `let g = ....lock()` that is still \
+live at such a call is held for the entire fan-out: any worker touching the \
+same lock deadlocks the pool, and even when none does, the guard serializes \
+unrelated work behind an accident of scoping. Copy what you need out of the \
+guard and release it — an explicit drop(g) or a narrower block — before \
+fanning out.",
     },
     RuleInfo {
         id: RULE_BAD_ALLOW,
@@ -177,6 +203,8 @@ pub fn lint_file(file: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
         rule_unwrap(file, toks, &exempt, &mut diags);
     }
     rule_testing_gate(file, toks, &exempt, &mut diags);
+    rule_lock_order(file, toks, &exempt, &mut diags);
+    rule_guard_fanout(file, toks, &exempt, &mut diags);
 
     // Apply suppressions: a well-formed, justified allow for the matching
     // rule on the diagnostic's line or the line directly above.
@@ -566,6 +594,207 @@ fn rule_testing_gate(file: &str, toks: &[Token], exempt: &[bool], out: &mut Vec<
     }
 }
 
+/// The dotted receiver path of a `.lock(` call, given the index of the `.`
+/// directly before `lock`: `self.stats.lock()` → `"self.stats"`. Returns
+/// `None` for receivers with no stable name (call results, indexing,
+/// parenthesized expressions) — those carry no cross-site order information.
+fn receiver_path(toks: &[Token], dot: usize) -> Option<String> {
+    let mut parts: Vec<String> = Vec::new();
+    let mut j = dot; // toks[j] is the `.` whose receiver we are naming
+    loop {
+        let prev = j.checked_sub(1)?;
+        let Token {
+            tok: Tok::Ident(name),
+            ..
+        } = &toks[prev]
+        else {
+            return None;
+        };
+        parts.push(name.clone());
+        if prev >= 1 && is_sym(toks, prev - 1, '.') {
+            j = prev - 1;
+        } else {
+            break;
+        }
+    }
+    parts.reverse();
+    Some(parts.join("."))
+}
+
+/// Is the token at `i` a lock acquisition — `<receiver>.lock(`?
+fn is_lock_call(toks: &[Token], i: usize) -> bool {
+    is_ident(toks, i, "lock") && i >= 1 && is_sym(toks, i - 1, '.') && is_sym(toks, i + 1, '(')
+}
+
+fn rule_lock_order(file: &str, toks: &[Token], exempt: &[bool], out: &mut Vec<Diagnostic>) {
+    use std::collections::{BTreeMap, BTreeSet};
+    // (first, second) → line where that acquisition order was first seen.
+    let mut seen: BTreeMap<(String, String), u32> = BTreeMap::new();
+    let mut flagged: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if exempt[i] || !is_ident(toks, i, "fn") {
+            i += 1;
+            continue;
+        }
+        // Find the function body (or the `;` of a bodiless trait method).
+        let mut j = i + 1;
+        while j < toks.len() && !matches!(toks[j].tok, Tok::Sym(';') | Tok::Sym('{')) {
+            j += 1;
+        }
+        if j >= toks.len() || matches!(toks[j].tok, Tok::Sym(';')) {
+            i = j + 1;
+            continue;
+        }
+        let end = match_bracket(toks, j, '{', '}');
+        // Acquisition sequence in body order. Closures and nested items are
+        // deliberately folded into the enclosing function — the order still
+        // describes one syntactic code path.
+        let mut seq: Vec<(String, u32)> = Vec::new();
+        for k in j..=end {
+            if !exempt[k] && is_lock_call(toks, k) {
+                if let Some(path) = receiver_path(toks, k - 1) {
+                    seq.push((path, toks[k].line));
+                }
+            }
+        }
+        // Every ordered pair of distinct receivers is an observation that the
+        // first is (possibly) held while the second is acquired.
+        for a in 0..seq.len() {
+            for b in (a + 1)..seq.len() {
+                let (first, _) = &seq[a];
+                let (second, line2) = &seq[b];
+                if first == second {
+                    continue;
+                }
+                let fwd = (first.clone(), second.clone());
+                let rev = (second.clone(), first.clone());
+                if let Some(&prev_line) = seen.get(&rev) {
+                    if flagged.insert(rev.clone()) {
+                        out.push(Diagnostic {
+                            file: file.to_string(),
+                            line: *line2,
+                            rule: RULE_LOCK_ORDER,
+                            message: format!(
+                                "`{first}` then `{second}` conflicts with the \
+`{second}` → `{first}` acquisition order established on line {prev_line} — \
+keep one global lock order to rule out deadlock"
+                            ),
+                        });
+                    }
+                } else {
+                    seen.entry(fwd).or_insert(*line2);
+                }
+            }
+        }
+        i = end + 1;
+    }
+}
+
+/// Blocking fan-out entry points: `JobSet` methods plus the free
+/// `run_protocols` helper. Bare `run` only counts as a method call
+/// (`.run(`) so free functions named `run` elsewhere stay quiet.
+const FANOUT_CALLS: &[&str] = &["run", "run_with", "run_checked", "run_checked_with"];
+
+fn rule_guard_fanout(file: &str, toks: &[Token], exempt: &[bool], out: &mut Vec<Diagnostic>) {
+    // Brace depth per token: a token's depth is the nesting level it sits at;
+    // a `}` carries the depth *outside* the block it closes, so "depth drops
+    // below the `let`'s depth" is exactly "the guard's block has ended".
+    let mut depth = vec![0i32; toks.len()];
+    let mut d = 0i32;
+    for (k, t) in toks.iter().enumerate() {
+        match t.tok {
+            Tok::Sym('{') => {
+                depth[k] = d;
+                d += 1;
+            }
+            Tok::Sym('}') => {
+                d -= 1;
+                depth[k] = d;
+            }
+            _ => depth[k] = d,
+        }
+    }
+    for i in 0..toks.len() {
+        if exempt[i] || !is_ident(toks, i, "let") {
+            continue;
+        }
+        // `let [mut] NAME [: Type] = <init> ;`
+        let mut j = i + 1;
+        if is_ident(toks, j, "mut") {
+            j += 1;
+        }
+        let Some(Token {
+            tok: Tok::Ident(name),
+            line: let_line,
+        }) = toks.get(j)
+        else {
+            continue;
+        };
+        // Skip an optional type ascription to reach the `=`.
+        let mut eq = j + 1;
+        while eq < toks.len() && !matches!(toks[eq].tok, Tok::Sym('=') | Tok::Sym(';')) {
+            eq += 1;
+        }
+        if eq >= toks.len() || matches!(toks[eq].tok, Tok::Sym(';')) {
+            continue;
+        }
+        // Find the statement-terminating `;`, skipping nested brackets.
+        let mut k = eq + 1;
+        let mut semi = None;
+        while k < toks.len() {
+            match toks[k].tok {
+                Tok::Sym('(') => k = match_bracket(toks, k, '(', ')'),
+                Tok::Sym('[') => k = match_bracket(toks, k, '[', ']'),
+                Tok::Sym('{') => k = match_bracket(toks, k, '{', '}'),
+                Tok::Sym(';') => {
+                    semi = Some(k);
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(semi) = semi else { continue };
+        if !(eq + 1..semi).any(|k| is_lock_call(toks, k)) {
+            continue;
+        }
+        // The guard is live from the `;` until its enclosing block closes or
+        // an explicit `drop(name)` releases it.
+        let live_depth = depth[i];
+        let mut k = semi + 1;
+        while k < toks.len() {
+            if depth[k] < live_depth {
+                break; // enclosing block closed — guard dropped
+            }
+            if is_ident(toks, k, "drop")
+                && is_sym(toks, k + 1, '(')
+                && matches!(toks.get(k + 2), Some(Token { tok: Tok::Ident(n), .. }) if n == name)
+                && is_sym(toks, k + 3, ')')
+            {
+                break;
+            }
+            if let Tok::Ident(f) = &toks[k].tok {
+                let is_method_fanout =
+                    FANOUT_CALLS.contains(&f.as_str()) && k >= 1 && is_sym(toks, k - 1, '.');
+                if (is_method_fanout || f == "run_protocols") && is_sym(toks, k + 1, '(') {
+                    out.push(Diagnostic {
+                        file: file.to_string(),
+                        line: toks[k].line,
+                        rule: RULE_GUARD_FANOUT,
+                        message: format!(
+                            "lock guard `{name}` (acquired on line {let_line}) is still held \
+across `{f}(..)` — the fan-out blocks on worker threads, so drop the guard first"
+                        ),
+                    });
+                    break; // one report per guard is enough
+                }
+            }
+            k += 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -708,6 +937,85 @@ pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher
         assert!(lint_file("x.rs", src, &cfg)
             .iter()
             .any(|d| d.rule == RULE_WALL_CLOCK));
+    }
+
+    #[test]
+    fn lock_order_conflict_across_functions_is_flagged_once() {
+        let cfg = LintConfig::all_rules();
+        let src = "
+            fn a(s: &S) { let x = s.stats.lock(); let y = s.cache.lock(); }
+            fn b(s: &S) { let y = s.cache.lock(); let x = s.stats.lock(); }
+            fn c(s: &S) { let y = s.cache.lock(); let x = s.stats.lock(); }
+        ";
+        let diags = lint_file("x.rs", src, &cfg);
+        // The conflicting pair is reported exactly once, at its first
+        // out-of-order occurrence, even though `c` repeats it.
+        assert_eq!(rules_of(&diags), [RULE_LOCK_ORDER], "{diags:?}");
+        assert!(diags[0].message.contains("s.stats"), "{diags:?}");
+        assert!(diags[0].message.contains("s.cache"), "{diags:?}");
+    }
+
+    #[test]
+    fn lock_order_consistent_across_functions_is_clean() {
+        let cfg = LintConfig::all_rules();
+        let src = "
+            fn a(s: &S) { let x = s.stats.lock(); let y = s.cache.lock(); }
+            fn b(s: &S) { let x = s.stats.lock(); let y = s.cache.lock(); }
+        ";
+        assert!(lint_file("x.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn lock_order_ignores_unnameable_receivers_and_test_code() {
+        let cfg = LintConfig::all_rules();
+        let src = "
+            fn a(s: &S) { let x = s.get().lock(); let y = s.cache.lock(); }
+            #[cfg(test)]
+            fn b(s: &S) { let y = s.cache.lock(); let x = s.stats.lock(); }
+        ";
+        assert!(lint_file("x.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn guard_held_across_fanout_is_flagged() {
+        let cfg = LintConfig::all_rules();
+        let src = "fn f(set: JobSet, m: &Mutex<u64>) { let g = m.lock(); set.run(); }";
+        let diags = lint_file("x.rs", src, &cfg);
+        assert_eq!(rules_of(&diags), [RULE_GUARD_FANOUT], "{diags:?}");
+        assert!(diags[0].message.contains('g'), "{diags:?}");
+    }
+
+    #[test]
+    fn guard_released_before_fanout_is_clean() {
+        let cfg = LintConfig::all_rules();
+        let dropped = "fn f(set: JobSet, m: &Mutex<u64>) { let g = m.lock(); drop(g); set.run(); }";
+        assert!(lint_file("x.rs", dropped, &cfg).is_empty());
+        let scoped =
+            "fn f(set: JobSet, m: &Mutex<u64>) { { let g = m.lock(); } set.run_checked(); }";
+        assert!(lint_file("x.rs", scoped, &cfg).is_empty());
+    }
+
+    #[test]
+    fn free_run_protocols_counts_as_a_fanout() {
+        let cfg = LintConfig::all_rules();
+        let src = "fn f(m: &Mutex<u64>) { let g = m.lock(); let r = run_protocols(cfg, &s, ks); }";
+        assert_eq!(rules_of(&lint_file("x.rs", src, &cfg)), [RULE_GUARD_FANOUT]);
+    }
+
+    #[test]
+    fn bare_run_idents_are_not_fanouts() {
+        let cfg = LintConfig::all_rules();
+        // `run` as a variable, and `run(..)` as a free function, are fine —
+        // only `.run(..)` method calls and `run_protocols(..)` fan out.
+        let src = "fn f(m: &Mutex<u64>) { let g = m.lock(); let run = 3; run_sim(run); run(); }";
+        assert!(lint_file("x.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn typed_guard_bindings_are_still_tracked() {
+        let cfg = LintConfig::all_rules();
+        let src = "fn f(set: JobSet, m: &Mutex<u64>) { let g: MutexGuard<u64> = m.lock(); set.run_with(2, mode, dir); }";
+        assert_eq!(rules_of(&lint_file("x.rs", src, &cfg)), [RULE_GUARD_FANOUT]);
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! demonstrated to work, nothing extra.
 
 use ccsim_lint::source::{
-    lint_file, LintConfig, RULE_BAD_ALLOW, RULE_RANDOMSTATE, RULE_TESTING_GATE, RULE_UNWRAP,
-    RULE_WALL_CLOCK,
+    lint_file, LintConfig, RULE_BAD_ALLOW, RULE_GUARD_FANOUT, RULE_LOCK_ORDER, RULE_RANDOMSTATE,
+    RULE_TESTING_GATE, RULE_UNWRAP, RULE_WALL_CLOCK,
 };
 
 const FIXTURE: &str = include_str!("../fixtures/seeded.rs");
@@ -23,9 +23,11 @@ fn fixture_produces_exactly_the_expected_diagnostics() {
         (23, RULE_UNWRAP),      // x.unwrap()
         (24, RULE_UNWRAP),      // x.expect("msg")
         (30, RULE_TESTING_GATE),
-        (36, RULE_BAD_ALLOW), // allow without justification
-        (37, RULE_BAD_ALLOW), // allow(nosuch)
-        (38, RULE_BAD_ALLOW), // malformed directive
+        (36, RULE_BAD_ALLOW),    // allow without justification
+        (37, RULE_BAD_ALLOW),    // allow(nosuch)
+        (38, RULE_BAD_ALLOW),    // malformed directive
+        (58, RULE_LOCK_ORDER),   // cache→stats conflicts with stats→cache (line 53)
+        (63, RULE_GUARD_FANOUT), // set.run() with `g` still live
     ];
     assert_eq!(
         got,

@@ -1,0 +1,58 @@
+//! The analyzer must be *quiet* on the real engine: every quick-scale
+//! workload, under every protocol variant, replays cleanly through the
+//! happens-before pass and the shadow rules replay. These tests are the
+//! other half of the mutation tests — a checker that flags correct runs is
+//! as useless as one that misses broken ones.
+
+use ccsim_race::check;
+use ccsim_types::{MachineConfig, ProtocolKind};
+use ccsim_workloads::{capture_events_spec, cholesky, lu, mp3d, Spec};
+
+fn specs() -> Vec<Spec> {
+    vec![
+        Spec::Mp3d(mp3d::Mp3dParams::quick()),
+        Spec::Cholesky(cholesky::CholeskyParams::quick()),
+        Spec::Lu(lu::LuParams::quick()),
+    ]
+}
+
+#[test]
+fn quick_workloads_are_conformant_under_all_protocols() {
+    for kind in ProtocolKind::ALL {
+        for spec in specs() {
+            let cfg = MachineConfig::splash_baseline(kind);
+            let (_, log) = capture_events_spec(cfg, &spec);
+            let report = check(&cfg.protocol, &log);
+            assert!(
+                report.is_clean(),
+                "{} under {kind:?} is not conformant:\n{}",
+                spec.name(),
+                report.render(&log)
+            );
+            assert!(
+                report.sc_fingerprint.is_some(),
+                "{} under {kind:?}: no SC witness found",
+                spec.name()
+            );
+            assert!(report.counts.accesses > 0);
+            assert!(report.counts.rf_edges > 0);
+        }
+    }
+}
+
+#[test]
+fn sc_fingerprint_is_deterministic_across_runs() {
+    for kind in ProtocolKind::ALL {
+        let spec = Spec::Mp3d(mp3d::Mp3dParams::quick());
+        let cfg = MachineConfig::splash_baseline(kind);
+        let (_, log_a) = capture_events_spec(cfg, &spec);
+        let (_, log_b) = capture_events_spec(cfg, &spec);
+        let a = check(&cfg.protocol, &log_a);
+        let b = check(&cfg.protocol, &log_b);
+        assert_eq!(
+            a.sc_fingerprint, b.sc_fingerprint,
+            "SC witness fingerprint must be bit-identical across runs ({kind:?})"
+        );
+        assert_eq!(a.counts.events, b.counts.events);
+    }
+}

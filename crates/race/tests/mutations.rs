@@ -1,0 +1,247 @@
+//! Mutation coverage at full engine scale: each seeded [`RuleMutation`] is
+//! installed into a real simulation, a small targeted program is run through
+//! the complete machine (caches, directory, network timing), and the
+//! analyzer must convict the captured event log — with a printable witness.
+//!
+//! These are the teeth of the analyzer. The `clean` suite proves it stays
+//! quiet on correct runs; this suite proves each class of seeded bug is
+//! loud, deep inside a real run rather than in a two-transition toy.
+//!
+//! Trigger programs are sequenced with spin flags on their own cache blocks
+//! and use conflict addresses (same L1/L2 set, direct-mapped) to force
+//! evictions where a trigger needs the contended block out of a cache.
+//! The stale sharer left behind by `drop-invalidations` only ever *reads*
+//! the contended block afterwards — an upgrade from a stale copy would trip
+//! the engine's own `debug_assert` before the analyzer got a say.
+
+use ccsim_engine::{EventLog, InvariantMode, Proc, SimBuilder};
+use ccsim_race::{check, RaceReport, ViolationKind};
+use ccsim_types::{Addr, MachineConfig, ProtocolKind, RuleMutation};
+
+const SPIN_LIMIT: u32 = 100_000;
+
+fn spin_until(p: &Proc, addr: Addr, want: u64) {
+    for _ in 0..SPIN_LIMIT {
+        if p.load(addr) == want {
+            return;
+        }
+    }
+    panic!("spin on {addr} never observed {want}");
+}
+
+/// Run a trigger program under `kind` with `mutation` installed and return
+/// the analyzer's report plus the log it judged.
+fn run_mutated(
+    kind: ProtocolKind,
+    mutation: RuleMutation,
+    build: impl Fn(&mut SimBuilder, Addr, Addr, Addr),
+) -> (RaceReport, EventLog) {
+    let mut cfg = MachineConfig::splash_baseline(kind);
+    cfg.protocol = cfg.protocol.with_rule_mutation(mutation);
+    let mut b = SimBuilder::new(cfg);
+    // The analyzer is the system under test here; the engine's own runtime
+    // invariant checker must not abort the run first.
+    b.invariants(InvariantMode::Off);
+    b.capture_events();
+    let blk = cfg.l2.block_bytes;
+    let a = b.alloc().alloc_padded(8, blk);
+    let f1 = b.alloc().alloc_padded(8, blk);
+    let f2 = b.alloc().alloc_padded(8, blk);
+    b.init(a, 0);
+    b.init(f1, 0);
+    b.init(f2, 0);
+    build(&mut b, a, f1, f2);
+    let mut done = b.run_full();
+    let log = done.take_event_log().expect("event capture was enabled");
+    let report = check(&cfg.protocol, &log);
+    (report, log)
+}
+
+/// Every conviction must come with a usable witness: non-empty event list,
+/// rendered with real event text.
+fn assert_convicted(which: RuleMutation, report: &RaceReport, log: &EventLog, kind: ViolationKind) {
+    assert!(
+        !report.is_clean(),
+        "{}: mutated run passed as conformant",
+        which.label()
+    );
+    let v = report
+        .violations
+        .iter()
+        .find(|v| v.kind == kind)
+        .unwrap_or_else(|| {
+            panic!(
+                "{}: expected a {kind:?} conviction, got:\n{}",
+                which.label(),
+                report.render(log)
+            )
+        });
+    assert!(
+        !v.witness.is_empty(),
+        "{}: conviction has no witness events",
+        which.label()
+    );
+    let rendered = report.render(log);
+    assert!(
+        rendered.contains('#'),
+        "{}: rendered report names no witness events:\n{rendered}",
+        which.label()
+    );
+    // The witness must reference real events (printable, in range).
+    for &w in &v.witness {
+        assert!(
+            (w as usize) < log.events().len(),
+            "{}: witness event #{w} out of range",
+            which.label()
+        );
+    }
+    println!("--- {} ---\n{rendered}", which.label());
+}
+
+/// The L2 is direct-mapped: one load at `a + k * l2_size` lands in the same
+/// set and evicts `a` (and, by inclusion, the L1 copy).
+fn evict_via_conflict(p: &Proc, a: Addr, k: u64) {
+    let _ = p.load(Addr(a.0 + k * 64 * 1024));
+}
+
+/// `drop-invalidations`: P1's ownership acquisition leaves P0's shared copy
+/// alive. The shadow replay flags the missing invalidation at the write,
+/// SWMR when the exclusive fill lands next to the survivor, and a stale hit
+/// when P0 reads its poisoned copy again.
+#[test]
+fn drop_invalidations_is_convicted_with_witness() {
+    let (report, log) = run_mutated(
+        ProtocolKind::Baseline,
+        RuleMutation::DropInvalidations,
+        |b, a, f1, f2| {
+            b.spawn(move |p| {
+                let _ = p.load(a); // become a sharer — and stay read-only on `a`
+                p.store(f1, 1);
+                spin_until(&p, f2, 1);
+                let _ = p.load(a); // stale hit on the surviving copy
+            });
+            b.spawn(move |p| {
+                spin_until(&p, f1, 1);
+                p.store(a, 99); // must invalidate P0 — the mutation drops it
+                p.store(f2, 1);
+            });
+        },
+    );
+    assert_convicted(
+        RuleMutation::DropInvalidations,
+        &report,
+        &log,
+        ViolationKind::MissingInval,
+    );
+    let kinds: Vec<_> = report.violations.iter().map(|v| v.kind).collect();
+    assert!(
+        kinds.contains(&ViolationKind::StaleHit),
+        "stale survivor was read but not flagged: {kinds:?}"
+    );
+}
+
+/// `drop-notls`: a forwarded read reaches an owner whose exclusive grant
+/// was never written; the spec demands a NotLS notification, the mutant
+/// stays silent. Caught by the NotLS law (which needs only the tracked
+/// copies, not the shadow directory).
+#[test]
+fn drop_notls_is_convicted_with_witness() {
+    let (report, log) = run_mutated(ProtocolKind::Ls, RuleMutation::DropNotLs, |b, a, f1, f2| {
+        b.spawn(move |p| {
+            // Tag the block with a paired read→write, then push it out
+            // so the next reader gets a cold exclusive grant.
+            let _ = p.load(a);
+            p.store(a, 1);
+            evict_via_conflict(&p, a, 1);
+            p.store(f1, 1);
+            spin_until(&p, f2, 1);
+            // Forwarded read of P1's unwritten exclusive copy: the
+            // owner must say NotLS here.
+            let _ = p.load(a);
+        });
+        b.spawn(move |p| {
+            spin_until(&p, f1, 1);
+            let _ = p.load(a); // cold read of a tagged block: exclusive, never written
+            p.store(f2, 1);
+        });
+    });
+    assert_convicted(
+        RuleMutation::DropNotLs,
+        &report,
+        &log,
+        ViolationKind::NotLsMismatch,
+    );
+}
+
+/// `skip-ls-detag`: an unpaired foreign write must clear the LS-bit; the
+/// mutant keeps it, so a later cold read is granted Exclusive where the
+/// spec grants Shared.
+#[test]
+fn skip_ls_detag_is_convicted_with_witness() {
+    let (report, log) = run_mutated(
+        ProtocolKind::Ls,
+        RuleMutation::SkipLsDetag,
+        |b, a, f1, f2| {
+            b.spawn(move |p| {
+                let _ = p.load(a);
+                p.store(a, 1); // paired: block becomes tagged
+                p.store(f1, 1);
+            });
+            b.spawn(move |p| {
+                spin_until(&p, f1, 1);
+                p.store(a, 2); // unpaired: spec de-tags, mutant keeps the tag
+                evict_via_conflict(&p, a, 1); // writeback; LS-bit survives at home
+                p.store(f2, 1);
+            });
+            b.spawn(move |p| {
+                spin_until(&p, f2, 1);
+                let _ = p.load(a); // cold read: spec Shared vs mutant Exclusive
+            });
+        },
+    );
+    assert_convicted(
+        RuleMutation::SkipLsDetag,
+        &report,
+        &log,
+        ViolationKind::GrantMismatch,
+    );
+}
+
+/// `keep-lr-on-ownership`: the LR field must be consumed by an ownership
+/// acquisition. The mutant keeps it, so a later *unpaired* write by the
+/// same node looks paired, re-tags the block, and a cold read downstream
+/// is granted Exclusive where the spec grants Shared.
+#[test]
+fn keep_lr_on_ownership_is_convicted_with_witness() {
+    let (report, log) = run_mutated(
+        ProtocolKind::Ls,
+        RuleMutation::KeepLrOnOwnership,
+        |b, a, f1, _f2| {
+            b.spawn(move |p| {
+                let _ = p.load(a);
+                p.store(a, 1); // spec: LR consumed here; mutant keeps LR = P0
+                evict_via_conflict(&p, a, 1);
+                p.store(a, 2); // unpaired: spec de-tags; mutant sees stale LR, keeps the tag
+                evict_via_conflict(&p, a, 2);
+                p.store(f1, 1);
+            });
+            b.spawn(move |p| {
+                spin_until(&p, f1, 1);
+                let _ = p.load(a); // cold read: spec Shared vs mutant Exclusive
+            });
+        },
+    );
+    assert_convicted(
+        RuleMutation::KeepLrOnOwnership,
+        &report,
+        &log,
+        ViolationKind::GrantMismatch,
+    );
+}
+
+/// The four mutations are exactly the seeded set — if the enum grows, this
+/// suite must grow with it.
+#[test]
+fn mutation_suite_is_exhaustive() {
+    assert_eq!(RuleMutation::ALL.len(), 4);
+}

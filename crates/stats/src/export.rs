@@ -389,6 +389,146 @@ impl FromJson for AnalysisSummary {
     }
 }
 
+/// Flat, serializable summary of one SC-conformance analysis (`ccsim race`,
+/// `ccsim-race`). Counts describe the size of the checked problem (so a
+/// "clean" verdict is auditable: zero checked grants would also be clean);
+/// the fingerprint pins the sequential witness for determinism comparisons.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RaceSummary {
+    pub protocol: String,
+    pub nodes: u16,
+    /// Events in the analyzed log (including `Init` seeds).
+    pub events: u64,
+    /// Program accesses (reads + read-exclusives + writes).
+    pub accesses: u64,
+    pub reads: u64,
+    pub writes: u64,
+    /// Distinct coherence blocks replayed by the shadow pass.
+    pub blocks: u64,
+    /// Distinct words tracked by the happens-before pass.
+    pub words: u64,
+    // Happens-before graph size, by edge origin.
+    pub po_edges: u64,
+    pub rf_edges: u64,
+    pub co_edges: u64,
+    pub fr_edges: u64,
+    pub ack_edges: u64,
+    // How much the shadow replay actually verified.
+    pub excl_grants_checked: u64,
+    pub notls_checked: u64,
+    pub ls_writes_checked: u64,
+    /// True when the happens-before graph is acyclic and a total sequential
+    /// order was exhibited.
+    pub sc_witness: bool,
+    /// fnv1a64 fingerprint of the witness order (0 when `sc_witness` is
+    /// false). Bit-exact across runs on deterministic workloads.
+    pub sc_order_fingerprint: u64,
+    /// Distinct violations reported (post-dedup).
+    pub violations: u64,
+    /// Further violations suppressed by the per-kind/per-location cap.
+    pub suppressed: u64,
+    /// Empty = conformant; otherwise the first violation, rendered.
+    pub first_violation: String,
+}
+
+impl RaceSummary {
+    pub fn from_report(protocol: &str, nodes: u16, r: &ccsim_race::RaceReport) -> Self {
+        let c = &r.counts;
+        RaceSummary {
+            protocol: protocol.to_string(),
+            nodes,
+            events: c.events,
+            accesses: c.accesses,
+            reads: c.reads,
+            writes: c.writes,
+            blocks: c.blocks,
+            words: c.words,
+            po_edges: c.po_edges,
+            rf_edges: c.rf_edges,
+            co_edges: c.co_edges,
+            fr_edges: c.fr_edges,
+            ack_edges: c.ack_edges,
+            excl_grants_checked: c.excl_grants_checked,
+            notls_checked: c.notls_checked,
+            ls_writes_checked: c.ls_writes_checked,
+            sc_witness: r.sc_fingerprint.is_some(),
+            sc_order_fingerprint: r.sc_fingerprint.unwrap_or(0),
+            violations: r.violations.len() as u64,
+            suppressed: r.suppressed,
+            first_violation: r
+                .first_violation()
+                .map(|v| format!("{}: {}", v.kind.label(), v.detail))
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        ToJson::to_json(self).pretty()
+    }
+
+    /// Parse a summary previously written by [`RaceSummary::to_json`].
+    pub fn parse(text: &str) -> Result<Self, String> {
+        FromJson::from_json(&Json::parse(text)?)
+    }
+}
+
+impl ToJson for RaceSummary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("protocol", self.protocol.to_json()),
+            ("nodes", self.nodes.to_json()),
+            ("events", self.events.to_json()),
+            ("accesses", self.accesses.to_json()),
+            ("reads", self.reads.to_json()),
+            ("writes", self.writes.to_json()),
+            ("blocks", self.blocks.to_json()),
+            ("words", self.words.to_json()),
+            ("po_edges", self.po_edges.to_json()),
+            ("rf_edges", self.rf_edges.to_json()),
+            ("co_edges", self.co_edges.to_json()),
+            ("fr_edges", self.fr_edges.to_json()),
+            ("ack_edges", self.ack_edges.to_json()),
+            ("excl_grants_checked", self.excl_grants_checked.to_json()),
+            ("notls_checked", self.notls_checked.to_json()),
+            ("ls_writes_checked", self.ls_writes_checked.to_json()),
+            ("sc_witness", self.sc_witness.to_json()),
+            ("sc_order_fingerprint", self.sc_order_fingerprint.to_json()),
+            ("violations", self.violations.to_json()),
+            ("suppressed", self.suppressed.to_json()),
+            ("first_violation", self.first_violation.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RaceSummary {
+    fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(RaceSummary {
+            protocol: j.field("protocol")?,
+            nodes: j.field("nodes")?,
+            events: j.field("events")?,
+            accesses: j.field("accesses")?,
+            reads: j.field("reads")?,
+            writes: j.field("writes")?,
+            blocks: j.field("blocks")?,
+            words: j.field("words")?,
+            po_edges: j.field("po_edges")?,
+            rf_edges: j.field("rf_edges")?,
+            co_edges: j.field("co_edges")?,
+            fr_edges: j.field("fr_edges")?,
+            ack_edges: j.field("ack_edges")?,
+            excl_grants_checked: j.field("excl_grants_checked")?,
+            notls_checked: j.field("notls_checked")?,
+            ls_writes_checked: j.field("ls_writes_checked")?,
+            sc_witness: j.field("sc_witness")?,
+            sc_order_fingerprint: j.field("sc_order_fingerprint")?,
+            violations: j.field("violations")?,
+            suppressed: j.field("suppressed")?,
+            first_violation: j.field("first_violation")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -471,6 +611,58 @@ mod tests {
         };
         let back = AnalysisSummary::parse(&s.to_json()).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn race_summary_round_trips_through_json() {
+        let s = RaceSummary {
+            protocol: "LS".into(),
+            nodes: 4,
+            events: 1000,
+            accesses: 800,
+            reads: 500,
+            writes: 300,
+            blocks: 40,
+            words: 120,
+            po_edges: 999,
+            rf_edges: 500,
+            co_edges: 260,
+            fr_edges: 17,
+            ack_edges: 123,
+            excl_grants_checked: 21,
+            notls_checked: 4,
+            ls_writes_checked: 300,
+            sc_witness: true,
+            // Bit-exactness of the u64 fingerprint matters: Json keeps a
+            // dedicated U64 variant, so no f64 round-trip loss.
+            sc_order_fingerprint: u64::MAX - 3,
+            violations: 0,
+            suppressed: 0,
+            first_violation: String::new(),
+        };
+        let back = RaceSummary::parse(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+        assert_eq!(back.sc_order_fingerprint, u64::MAX - 3);
+    }
+
+    #[test]
+    fn race_summary_from_report_matches_the_analysis() {
+        let cfg = MachineConfig::splash_baseline(ProtocolKind::Ls);
+        let mut b = SimBuilder::new(cfg);
+        b.capture_events();
+        let a = b.alloc().alloc_words(1);
+        b.spawn(move |p| {
+            let v = p.load(a);
+            p.store(a, v + 1);
+        });
+        let mut done = b.run_full();
+        let log = done.take_event_log().unwrap();
+        let report = ccsim_race::check(&cfg.protocol, &log);
+        let s = RaceSummary::from_report(cfg.protocol.kind.label(), cfg.nodes, &report);
+        assert_eq!(s.events, report.counts.events);
+        assert!(s.sc_witness, "clean toy run must have an SC witness");
+        assert_eq!(s.sc_order_fingerprint, report.sc_fingerprint.unwrap());
+        assert!(s.first_violation.is_empty());
     }
 
     #[test]

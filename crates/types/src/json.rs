@@ -201,12 +201,16 @@ impl ToJson for FaultConfig {
 
 impl FromJson for FaultConfig {
     fn from_json(j: &Json) -> Result<Self, String> {
-        Ok(FaultConfig {
+        let cfg = FaultConfig {
             nack_per_mille: j.field("nack_per_mille")?,
             delay_per_mille: j.field("delay_per_mille")?,
             max_delay_cycles: j.field("max_delay_cycles")?,
             seed: j.field("seed")?,
-        })
+        };
+        // Reject out-of-range rates at the decode boundary, so a hand-edited
+        // experiment file fails loudly instead of seeding a nonsense plan.
+        cfg.validate().map_err(|e| format!("faults: {e}"))?;
+        Ok(cfg)
     }
 }
 
@@ -272,6 +276,57 @@ mod tests {
             let back = MachineConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
             assert_eq!(back, cfg);
         }
+    }
+
+    #[test]
+    fn fault_config_in_range_decodes() {
+        let cfg = FaultConfig {
+            nack_per_mille: 1000,
+            delay_per_mille: 1000,
+            max_delay_cycles: 1,
+            seed: 7,
+        };
+        let back =
+            FaultConfig::from_json(&Json::parse(&cfg.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn fault_config_out_of_range_rates_are_rejected_at_decode() {
+        let mut bad = FaultConfig {
+            nack_per_mille: 1001,
+            ..FaultConfig::default()
+        };
+        let err =
+            FaultConfig::from_json(&Json::parse(&bad.to_json().to_string()).unwrap()).unwrap_err();
+        assert!(err.contains("faults:"), "{err}");
+        assert!(err.contains("NACK rate 1001/1000"), "{err}");
+
+        bad = FaultConfig {
+            delay_per_mille: 2000,
+            max_delay_cycles: 10,
+            ..FaultConfig::default()
+        };
+        let err =
+            FaultConfig::from_json(&Json::parse(&bad.to_json().to_string()).unwrap()).unwrap_err();
+        assert!(err.contains("delay rate 2000/1000"), "{err}");
+
+        // Delay enabled but with no spike budget is equally nonsensical.
+        bad = FaultConfig {
+            delay_per_mille: 5,
+            max_delay_cycles: 0,
+            ..FaultConfig::default()
+        };
+        let err =
+            FaultConfig::from_json(&Json::parse(&bad.to_json().to_string()).unwrap()).unwrap_err();
+        assert!(err.contains("max_delay_cycles"), "{err}");
+
+        // The invalid rate also poisons a whole MachineConfig decode.
+        let mut machine = MachineConfig::splash_baseline(ProtocolKind::Ls);
+        machine.faults.nack_per_mille = 9999;
+        let err = MachineConfig::from_json(&Json::parse(&machine.to_json().to_string()).unwrap())
+            .unwrap_err();
+        assert!(err.contains("faults:"), "{err}");
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub mod lu;
 pub mod mp3d;
 pub mod oltp;
 
-use ccsim_engine::{RunStats, SimBuilder, Trace};
+use ccsim_engine::{EventLog, RunStats, SimBuilder, Trace};
 use ccsim_types::MachineConfig;
 use ccsim_util::{FromJson, Json, ToJson};
 
@@ -211,6 +211,31 @@ pub fn capture_spec(cfg: MachineConfig, spec: &Spec) -> (RunStats, Trace) {
         // ccsim-lint: allow(unwrap): capture_trace() was called four lines up
         .expect("trace capture was enabled");
     (done.stats, trace)
+}
+
+/// Like [`run_spec`], but also capture the coherence event log — the input
+/// of the happens-before / SC-conformance analyzer (`ccsim race`).
+pub fn capture_events_spec(cfg: MachineConfig, spec: &Spec) -> (RunStats, EventLog) {
+    let mut b = SimBuilder::new(cfg);
+    b.capture_events();
+    match spec {
+        Spec::Mp3d(p) => mp3d::build(&mut b, p),
+        Spec::Lu(p) => {
+            lu::build(&mut b, p);
+        }
+        Spec::Cholesky(p) => {
+            cholesky::build(&mut b, p);
+        }
+        Spec::Oltp(p) => {
+            oltp::build(&mut b, p);
+        }
+    }
+    let mut done = b.run_full();
+    let log = done
+        .take_event_log()
+        // ccsim-lint: allow(unwrap): capture_events() was called four lines up
+        .expect("event capture was enabled");
+    (done.stats, log)
 }
 
 #[cfg(test)]

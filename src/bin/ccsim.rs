@@ -6,6 +6,7 @@
 //! ccsim model   [--protocol <baseline|ad|ls|all>] [model options]  # bounded model check
 //! ccsim lint    [--deny] [--json] [--root DIR] [--explain RULE]  # workspace static analysis
 //! ccsim analyze --workload W [--protocol P] | --trace FILE [--json]  # sharing patterns
+//! ccsim race    --workload W [--protocol P] | --trace FILE [--json]  # SC conformance
 //! ccsim config                                                  # print Table 1
 //!
 //! options:
@@ -36,27 +37,56 @@
 //!   --trace <FILE>          analyze a saved trace instead of capturing one
 //!   --save-trace <FILE>     save the captured trace for later `--trace` runs
 //!   --json                  emit a JSON AnalysisSummary instead of text
+//!
+//! race options:
+//!   --trace <FILE>          replay a saved trace instead of capturing a run
+//!   --mutation <NAME>       seed a rule mutation    (needs --features testing)
+//!   --expect-violation      exit 0 iff a violation IS found
+//!   --json                  emit a JSON RaceSummary instead of text
 //! ```
 
-use ccsim::engine::{InvariantMode, RunStats, Trace};
+use ccsim::engine::{replay_events, InvariantMode, RunStats, Trace};
 use ccsim::harness::{run_cached, JobSet};
 use ccsim::lint;
 use ccsim::model::{explore, replay_counterexample, summarize, ModelConfig};
-use ccsim::stats::{render_triptych, RunSummary, Triptych};
+use ccsim::race::check as race_check;
+use ccsim::stats::{render_triptych, RaceSummary, RunSummary, Triptych};
 use ccsim::types::{Consistency, RuleMutation, Topology};
 use ccsim::util::{Json, ToJson};
-use ccsim::workloads::{capture_spec, cholesky, lu, mp3d, oltp, Spec};
+use ccsim::workloads::{capture_events_spec, capture_spec, cholesky, lu, mp3d, oltp, Spec};
 use ccsim::{MachineConfig, ProtocolKind};
 use std::process::exit;
 
+/// Install a seeded rule mutation into a machine config (`--mutation`).
+/// Mutations only exist under the `testing` cargo feature; release binaries
+/// refuse rather than silently running the clean protocol.
+fn with_mutation(mut cfg: MachineConfig, mutation: Option<RuleMutation>) -> MachineConfig {
+    let Some(m) = mutation else { return cfg };
+    #[cfg(feature = "testing")]
+    {
+        cfg.protocol = cfg.protocol.with_rule_mutation(m);
+        cfg
+    }
+    #[cfg(not(feature = "testing"))]
+    {
+        let _ = &mut cfg;
+        eprintln!(
+            "mutation {} requires a build with --features testing",
+            m.label()
+        );
+        exit(2);
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: ccsim <run|compare|model|lint|analyze|config> [--workload W] [--protocol P] \
+        "usage: ccsim <run|compare|model|lint|analyze|race|config> [--workload W] [--protocol P] \
          [--scale S] [--nodes N] [--block B] [--l2-kb K] [--quantum Q] [--relaxed] [--mesh W] \
          [--json]\n\
          model options: [--blocks B] [--max-ops K] [--mutation NAME] [--expect-violation]\n\
-         lint options: [--deny] [--root DIR] [--explain RULE]\n\
-         analyze options: [--trace FILE] [--save-trace FILE]"
+         lint options: [--deny] [--root DIR] [--explain RULE] [--format github]\n\
+         analyze options: [--trace FILE] [--save-trace FILE]\n\
+         race options: [--trace FILE] [--mutation NAME] [--expect-violation]"
     );
     exit(2);
 }
@@ -80,6 +110,7 @@ struct Opts {
     deny: bool,
     root: Option<String>,
     explain: Option<String>,
+    format: Option<String>,
     trace: Option<String>,
     save_trace: Option<String>,
 }
@@ -112,6 +143,7 @@ fn parse_opts(args: &[String]) -> Opts {
             "--deny" => o.deny = true,
             "--root" => o.root = Some(val().clone()),
             "--explain" => o.explain = Some(val().clone()),
+            "--format" => o.format = Some(val().clone()),
             "--trace" => o.trace = Some(val().clone()),
             "--save-trace" => o.save_trace = Some(val().clone()),
             _ => {
@@ -383,17 +415,34 @@ fn main() {
                     eprintln!("lint: {e}");
                     exit(2);
                 });
-            if o.json {
-                let arr = Json::Arr(diags.iter().map(ToJson::to_json).collect());
-                println!("{}", arr.pretty());
-            } else {
-                for d in &diags {
-                    println!("{}", d.render());
+            match o.format.as_deref() {
+                // GitHub Actions workflow commands: annotate the PR diff
+                // directly instead of burying findings in the job log.
+                Some("github") => {
+                    for d in &diags {
+                        println!(
+                            "::error file={},line={}::[{}] {}",
+                            d.file, d.line, d.rule, d.message
+                        );
+                    }
                 }
-                println!(
-                    "{} diagnostic(s); run `ccsim lint --explain <rule>` for details",
-                    diags.len()
-                );
+                Some(other) => {
+                    eprintln!("unknown lint format {other} (github)");
+                    exit(2);
+                }
+                None if o.json => {
+                    let arr = Json::Arr(diags.iter().map(ToJson::to_json).collect());
+                    println!("{}", arr.pretty());
+                }
+                None => {
+                    for d in &diags {
+                        println!("{}", d.render());
+                    }
+                    println!(
+                        "{} diagnostic(s); run `ccsim lint --explain <rule>` for details",
+                        diags.len()
+                    );
+                }
             }
             if o.deny && !diags.is_empty() {
                 exit(1);
@@ -463,6 +512,58 @@ fn main() {
                     "false sharing        {:.1}%",
                     100.0 * s.false_sharing_fraction
                 );
+            }
+        }
+        "race" => {
+            let kind = protocol_of(o.protocol.as_deref().unwrap_or("ls"));
+            let mutation = o.mutation.as_deref().map(|s| {
+                RuleMutation::parse(s).unwrap_or_else(|| {
+                    let names: Vec<&str> = RuleMutation::ALL.iter().map(|m| m.label()).collect();
+                    eprintln!("unknown mutation {s} ({})", names.join("|"));
+                    usage()
+                })
+            });
+            let (cfg, log) = if let Some(path) = o.trace.as_deref() {
+                let bytes = std::fs::read(path).unwrap_or_else(|e| {
+                    eprintln!("race: cannot read {path}: {e}");
+                    exit(2);
+                });
+                let trace = Trace::from_bytes(&bytes).unwrap_or_else(|e| {
+                    eprintln!("race: {path}: {e}");
+                    exit(2);
+                });
+                let mut cfg = config_of(&o, o.workload.as_deref().unwrap_or(""), kind);
+                if cfg.nodes < trace.procs() {
+                    cfg = cfg.with_nodes(trace.procs());
+                }
+                cfg = with_mutation(cfg, mutation);
+                let (_, log) = replay_events(cfg, &trace, &[]);
+                (cfg, log)
+            } else {
+                let workload = o.workload.clone().unwrap_or_else(|| usage());
+                let paper = o.scale.as_deref() == Some("paper");
+                let spec = spec_of(&workload, paper, o.nodes);
+                let cfg = with_mutation(config_of(&o, &workload, kind), mutation);
+                // Deliberately bypasses the run cache: a mutated run must
+                // never be cached, and the event log is not part of the
+                // cached artifact anyway.
+                let (_, log) = capture_events_spec(cfg, &spec);
+                (cfg, log)
+            };
+            let report = race_check(&cfg.protocol, &log);
+            if o.json {
+                let s = RaceSummary::from_report(cfg.protocol.kind.label(), cfg.nodes, &report);
+                println!("{}", s.to_json());
+            } else {
+                println!("{}", report.render(&log));
+            }
+            let ok = if o.expect_violation {
+                !report.is_clean()
+            } else {
+                report.is_clean()
+            };
+            if !ok {
+                exit(1);
             }
         }
         "compare" => {

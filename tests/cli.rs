@@ -170,6 +170,8 @@ fn lint_explain_describes_each_rule() {
         "wall-clock",
         "unwrap",
         "testing-gate",
+        "lock-order",
+        "guard-across-fanout",
         "bad-allow",
     ] {
         let (ok, stdout, _) = ccsim(&["lint", "--explain", rule]);
@@ -179,6 +181,97 @@ fn lint_explain_describes_each_rule() {
     let (ok, _, stderr) = ccsim(&["lint", "--explain", "nosuch"]);
     assert!(!ok);
     assert!(stderr.contains("unknown rule"));
+}
+
+#[test]
+fn lint_github_format_emits_no_annotations_on_a_clean_tree() {
+    let (ok, stdout, _) = ccsim(&[
+        "lint",
+        "--format",
+        "github",
+        "--root",
+        env!("CARGO_MANIFEST_DIR"),
+    ]);
+    assert!(ok, "stdout: {stdout}");
+    // A clean tree produces zero `::error` workflow commands.
+    assert!(!stdout.contains("::error"), "stdout: {stdout}");
+}
+
+#[test]
+fn lint_rejects_an_unknown_format() {
+    let (ok, _, stderr) = ccsim(&["lint", "--format", "sarif"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown lint format"));
+}
+
+#[test]
+fn race_quick_run_is_conformant() {
+    let (ok, stdout, _) = ccsim(&["race", "--workload", "mp3d", "--protocol", "ls"]);
+    assert!(ok, "stdout: {stdout}");
+    assert!(stdout.contains("conformance: clean"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("SC witness fingerprint"),
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
+fn race_json_emits_a_summary() {
+    let (ok, stdout, _) = ccsim(&[
+        "race",
+        "--workload",
+        "mp3d",
+        "--protocol",
+        "baseline",
+        "--json",
+    ]);
+    assert!(ok, "stdout: {stdout}");
+    assert!(stdout.trim_start().starts_with('{'));
+    assert!(stdout.contains("\"sc_witness\": true"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("\"first_violation\": \"\""),
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
+fn race_expect_violation_fails_on_a_clean_run() {
+    let (ok, _, _) = ccsim(&[
+        "race",
+        "--workload",
+        "mp3d",
+        "--protocol",
+        "ls",
+        "--expect-violation",
+    ]);
+    assert!(!ok, "a conformant run must fail --expect-violation");
+}
+
+// See the note above `model_mutation_is_caught_with_a_replayed_counterexample`
+// for why there is no negative `--mutation without testing` test here.
+#[cfg(feature = "testing")]
+#[test]
+fn race_mutation_is_convicted_with_a_witness() {
+    let (ok, stdout, _) = ccsim(&[
+        "race",
+        "--workload",
+        "cholesky",
+        "--protocol",
+        "ls",
+        "--mutation",
+        "drop-invalidations",
+        "--expect-violation",
+    ]);
+    assert!(ok, "stdout: {stdout}");
+    assert!(stdout.contains("violation"), "stdout: {stdout}");
+    assert!(stdout.contains("witness"), "stdout: {stdout}");
+}
+
+#[test]
+fn race_rejects_unknown_mutations() {
+    let (ok, _, stderr) = ccsim(&["race", "--mutation", "nosuch"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown mutation"));
 }
 
 #[test]
