@@ -1,0 +1,66 @@
+//! Benchmark-trajectory driver: measure the quick reproduction and either
+//! record the numbers (`--write`) or gate them against the committed
+//! baseline (`--check`), which is what CI runs.
+//!
+//! ```text
+//! bench_trajectory                  # measure, print JSON to stdout
+//! bench_trajectory --write [path]   # measure, write BENCH_0006.json
+//! bench_trajectory --check [path]   # measure, compare vs baseline, exit 1 on regression
+//! ```
+
+use ccsim_bench::trajectory::{compare, measure_quick, BenchSummary, Tolerance};
+
+const BENCH_ID: &str = "BENCH_0006";
+const DEFAULT_PATH: &str = "BENCH_0006.json";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| DEFAULT_PATH.to_string());
+    match args.first().map(|s| s.as_str()) {
+        Some("--write") => {
+            let summary = measure_quick(BENCH_ID);
+            let json = summary.to_canonical_json();
+            std::fs::write(&path, format!("{json}\n")).expect("write bench record");
+            println!("wrote {path} ({} metrics)", summary.metrics.len());
+        }
+        Some("--check") => {
+            let raw = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("no committed baseline at {path}: {e}"));
+            let baseline = BenchSummary::from_canonical_json(&raw).expect("parse baseline");
+            let current = measure_quick(BENCH_ID);
+            let regressions = compare(&baseline, &current, &Tolerance::default());
+            for m in &current.metrics {
+                let base = baseline
+                    .metric(&m.name)
+                    .map(|b| format!("{}us baseline", b.wall_us))
+                    .unwrap_or_else(|| "new metric".to_string());
+                println!(
+                    "{:28} {:>9}us ({:>12}/s, speedup {}.{:03}x) — {}",
+                    m.name,
+                    m.wall_us,
+                    m.accesses_per_sec,
+                    m.speedup_per_mille / 1000,
+                    m.speedup_per_mille % 1000,
+                    base,
+                );
+            }
+            if regressions.is_empty() {
+                println!(
+                    "bench trajectory: OK ({} metrics within tolerance)",
+                    baseline.metrics.len()
+                );
+            } else {
+                for r in &regressions {
+                    eprintln!("REGRESSION {r}");
+                }
+                std::process::exit(1);
+            }
+        }
+        _ => {
+            println!("{}", measure_quick(BENCH_ID).to_canonical_json());
+        }
+    }
+}

@@ -11,5 +11,6 @@
 //! sizes. Results are also written as JSON to `target/repro/`.
 
 pub mod experiments;
+pub mod trajectory;
 
 pub use experiments::*;

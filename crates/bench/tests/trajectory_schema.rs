@@ -1,0 +1,45 @@
+//! Pin the `BENCH_*.json` schema with a golden file: any change to field
+//! names, ordering, or the canonical writer shows up as a diff here and has
+//! to be blessed deliberately (`CCSIM_BLESS=1 cargo test -p ccsim-bench`).
+
+use ccsim_bench::trajectory::{BenchMetric, BenchSummary};
+
+const GOLDEN: &str = include_str!("golden/bench_schema.json");
+
+fn fixed_sample() -> BenchSummary {
+    BenchSummary {
+        bench: "BENCH_0000".to_string(),
+        scale: "quick".to_string(),
+        metrics: vec![
+            BenchMetric::from_timing("engine_fiber_example", 10_000, 50_000, Some(80_000)),
+            BenchMetric::from_timing("warm_cache_replay_example", 2_000, 123, None),
+        ],
+    }
+}
+
+#[test]
+fn schema_matches_golden_file() {
+    let json = format!("{}\n", fixed_sample().to_canonical_json());
+    if std::env::var("CCSIM_BLESS").is_ok() {
+        std::fs::write(
+            concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/tests/golden/bench_schema.json"
+            ),
+            &json,
+        )
+        .unwrap();
+        return;
+    }
+    assert_eq!(
+        json, GOLDEN,
+        "BENCH_*.json schema drifted from the golden file; if intentional, \
+         re-bless with CCSIM_BLESS=1 and bump BENCH_SCHEMA"
+    );
+}
+
+#[test]
+fn golden_file_round_trips() {
+    let decoded = BenchSummary::from_canonical_json(GOLDEN.trim_end()).unwrap();
+    assert_eq!(decoded, fixed_sample());
+}

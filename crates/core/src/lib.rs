@@ -60,6 +60,7 @@ pub mod directory;
 pub mod entry;
 pub mod outcome;
 pub mod rules;
+pub mod table;
 
 pub use directory::{DirStats, Directory};
 pub use entry::{DirEntry, Fig1State, HomeState, SharerSet};
@@ -67,3 +68,4 @@ pub use outcome::{
     GrantKind, OwnerAction, ReadMissClass, ReadResolution, ReadStep, WriteResolution, WriteStep,
 };
 pub use rules::{AcquirePurpose, CopyState, LocalReadExcl, LocalStore, SafetyRule};
+pub use table::DirTable;

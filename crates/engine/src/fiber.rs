@@ -1,0 +1,339 @@
+//! Stackful fibers: user-space cooperative contexts for the simulation
+//! scheduler.
+//!
+//! The engine admits exactly one simulated processor at a time (see
+//! [`crate::run`]), so running each processor on its own OS thread buys no
+//! concurrency — it only buys a futex round-trip on every handoff. At
+//! `schedule_quantum = 1` (the paper's configurations) the engine hands off
+//! after nearly every access, and those round-trips dominate wall-clock
+//! time. A fiber switch is two register saves and two loads (~50 ns on this
+//! class of hardware versus microseconds for a futex wake), which is where
+//! the engine's single-run speedup comes from.
+//!
+//! Safety model: fibers never migrate between OS threads — a [`FiberSet`]
+//! is created, driven, and dropped on one thread, and the only entry points
+//! into fiber context are [`FiberSet::resume`] / [`yield_to_scheduler`].
+//! Panics inside a fiber are caught at the fiber trampoline and re-thrown
+//! on the scheduler's stack, so unwinding never crosses a context switch.
+//!
+//! Only x86_64 has a switch implementation today; [`supported`] reports
+//! availability and the runner falls back to the OS-thread backend
+//! elsewhere.
+
+use std::cell::Cell;
+use std::panic::AssertUnwindSafe;
+
+/// Is the fiber backend available on this target?
+pub const fn supported() -> bool {
+    cfg!(target_arch = "x86_64")
+}
+
+/// Default fiber stack size. Workload closures are ordinary Rust code
+/// (allocator, formatting machinery on panic paths, recursion in workload
+/// builders), so this is deliberately generous; it is virtual memory, and
+/// untouched pages cost nothing resident.
+pub const DEFAULT_STACK_BYTES: usize = 1 << 20;
+
+/// Saved execution context: just the stack pointer. Everything else lives
+/// on the fiber's stack, pushed and popped by the switch primitive.
+#[derive(Default)]
+#[repr(C)]
+struct Context {
+    sp: u64,
+}
+
+#[cfg(target_arch = "x86_64")]
+mod imp {
+    use super::Context;
+
+    /// Switch from the context `from` to the context `to`.
+    ///
+    /// System V x86_64: push the callee-saved registers and a resume
+    /// address onto the current stack, publish the stack pointer through
+    /// `from`, adopt `to`'s stack pointer, pop its registers, and `ret`
+    /// into wherever it suspended. Every caller-saved register is declared
+    /// clobbered so the compiler spills anything live across the switch.
+    ///
+    /// # Safety
+    /// `from` must be writable; `to` must hold a stack pointer previously
+    /// produced by this function or by `init_stack`, on a live stack.
+    #[inline(never)]
+    pub(super) unsafe extern "C" fn switch(from: *mut Context, to: *const Context) {
+        core::arch::asm!(
+            "lea rax, [rip + 2f]",
+            "push rax",
+            "push rbp",
+            "push rbx",
+            "push r12",
+            "push r13",
+            "push r14",
+            "push r15",
+            "mov [rdi], rsp",
+            "mov rsp, [rsi]",
+            "pop r15",
+            "pop r14",
+            "pop r13",
+            "pop r12",
+            "pop rbx",
+            "pop rbp",
+            "ret",
+            "2:",
+            in("rdi") from,
+            in("rsi") to,
+            lateout("rax") _, lateout("rcx") _, lateout("rdx") _,
+            lateout("r8") _, lateout("r9") _, lateout("r10") _, lateout("r11") _,
+            out("xmm0") _, out("xmm1") _, out("xmm2") _, out("xmm3") _,
+            out("xmm4") _, out("xmm5") _, out("xmm6") _, out("xmm7") _,
+            out("xmm8") _, out("xmm9") _, out("xmm10") _, out("xmm11") _,
+            out("xmm12") _, out("xmm13") _, out("xmm14") _, out("xmm15") _,
+            clobber_abi("C"),
+        );
+    }
+
+    /// Prepare a fresh stack so the first `switch` into it lands in
+    /// `entry`. Returns the initial stack pointer.
+    ///
+    /// Layout (top down): 16-byte alignment padding, then the frame
+    /// `switch` pops — six zeroed callee-saved slots under the entry
+    /// address. After `switch` pops them and `ret`s into `entry`,
+    /// `rsp % 16 == 8`, exactly the System V state at a function entry.
+    ///
+    /// # Safety
+    /// `stack` must outlive every switch into the returned context.
+    pub(super) unsafe fn init_stack(stack: &mut [u8], entry: extern "C" fn() -> !) -> u64 {
+        let top = stack.as_mut_ptr().add(stack.len());
+        let mut p = ((top as u64) & !15) as *mut u64;
+        // One padding slot so the entry address sits at `16k+8`: after the
+        // six register pops and the `ret`, `rsp % 16 == 8` — the System V
+        // state at a function entry (as if reached by `call`). Without it,
+        // aligned SSE spills in the entry fault.
+        p = p.sub(1);
+        *p = 0;
+        p = p.sub(1);
+        *p = entry as usize as u64;
+        for _ in 0..6 {
+            p = p.sub(1);
+            *p = 0;
+        }
+        p as u64
+    }
+}
+
+thread_local! {
+    /// The fiber currently executing on this thread (null in scheduler
+    /// context). A raw pointer is sound here because a fiber only runs
+    /// while its `FiberSet` is borrowed mutably by `resume`, which pins it.
+    static CURRENT: Cell<*mut FiberSlot> = const { Cell::new(std::ptr::null_mut()) };
+}
+
+struct FiberSlot {
+    ctx: Context,
+    sched: Context,
+    /// Owned stack memory; boxed slice so it never moves.
+    #[allow(dead_code)]
+    stack: Box<[u8]>,
+    /// Entry closure, consumed by the trampoline on first resume.
+    entry: Option<Box<dyn FnOnce()>>,
+    /// Panic payload captured at the trampoline, if the fiber panicked.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    finished: bool,
+}
+
+/// First frame of every fiber: run the entry closure under `catch_unwind`,
+/// record the outcome, and switch back to the scheduler forever.
+extern "C" fn trampoline() -> ! {
+    let slot = CURRENT.with(|c| c.get());
+    // Safety: `resume` set CURRENT to a live, pinned FiberSlot just before
+    // switching here, and the scheduler thread cannot touch it again until
+    // we switch back.
+    unsafe {
+        let slot = &mut *slot;
+        let entry = slot
+            .entry
+            .take()
+            // ccsim-lint: allow(unwrap): the trampoline runs exactly once per fiber
+            .expect("fiber resumed after completion");
+        let result = std::panic::catch_unwind(AssertUnwindSafe(entry));
+        if let Err(payload) = result {
+            slot.panic = Some(payload);
+        }
+        slot.finished = true;
+        loop {
+            imp::switch(&mut slot.ctx, &slot.sched);
+        }
+    }
+}
+
+/// Suspend the currently running fiber and return to the scheduler that
+/// resumed it. No-op outside fiber context (callers guard on backend kind).
+pub(crate) fn yield_to_scheduler() {
+    let slot = CURRENT.with(|c| c.get());
+    assert!(
+        !slot.is_null(),
+        "yield_to_scheduler called outside fiber context"
+    );
+    // Safety: same pinning argument as `trampoline`.
+    unsafe {
+        let slot = &mut *slot;
+        imp::switch(&mut slot.ctx, &slot.sched);
+    }
+}
+
+/// The outcome of resuming a fiber.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum Resumed {
+    /// The fiber suspended via [`yield_to_scheduler`].
+    Yielded,
+    /// The fiber's entry closure returned or panicked; it will never run
+    /// again. Any panic payload is held for [`FiberSet::take_panic`].
+    Finished,
+}
+
+/// A set of cooperatively scheduled fibers, all pinned to the thread that
+/// created them.
+pub(crate) struct FiberSet {
+    // The Box is load-bearing, not an accident: raw pointers into a slot
+    // (CURRENT, the saved contexts) must survive `spawn` reallocating the
+    // Vec, so every slot needs its own stable heap address.
+    #[allow(clippy::vec_box)]
+    slots: Vec<Box<FiberSlot>>,
+}
+
+impl FiberSet {
+    pub(crate) fn new() -> Self {
+        assert!(supported(), "fiber backend not available on this target");
+        FiberSet { slots: Vec::new() }
+    }
+
+    /// Add a fiber that will run `entry` when first resumed.
+    pub(crate) fn spawn(&mut self, stack_bytes: usize, entry: Box<dyn FnOnce()>) {
+        let mut stack = vec![0u8; stack_bytes.max(16 * 1024)].into_boxed_slice();
+        // Safety: the boxed stack lives in the slot alongside the context
+        // and is never reallocated.
+        let sp = unsafe { imp::init_stack(&mut stack, trampoline) };
+        self.slots.push(Box::new(FiberSlot {
+            ctx: Context { sp },
+            sched: Context::default(),
+            stack,
+            entry: Some(entry),
+            panic: None,
+            finished: false,
+        }));
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Run fiber `i` until it yields or finishes.
+    pub(crate) fn resume(&mut self, i: usize) -> Resumed {
+        let slot: &mut FiberSlot = &mut self.slots[i];
+        assert!(!slot.finished, "resumed a finished fiber");
+        let prev = CURRENT.with(|c| c.replace(&mut *slot));
+        // Safety: slot is boxed (stable address) and borrowed for the
+        // whole switch; the fiber runs on this same OS thread and switches
+        // back before `resume` returns.
+        unsafe {
+            imp::switch(&mut slot.sched, &slot.ctx);
+        }
+        CURRENT.with(|c| c.set(prev));
+        if slot.finished {
+            Resumed::Finished
+        } else {
+            Resumed::Yielded
+        }
+    }
+
+    /// Take fiber `i`'s panic payload, if it panicked.
+    pub(crate) fn take_panic(&mut self, i: usize) -> Option<Box<dyn std::any::Any + Send>> {
+        self.slots[i].panic.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn fibers_interleave_in_resume_order() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut set = FiberSet::new();
+        for id in 0..3u32 {
+            let log = Rc::clone(&log);
+            set.spawn(
+                64 * 1024,
+                Box::new(move || {
+                    for step in 0..3u32 {
+                        log.borrow_mut().push(id * 10 + step);
+                        yield_to_scheduler();
+                    }
+                }),
+            );
+        }
+        // Round-robin until done.
+        let mut live = vec![true; set.len()];
+        while live.iter().any(|&a| a) {
+            for (i, alive) in live.iter_mut().enumerate() {
+                if *alive && set.resume(i) == Resumed::Finished {
+                    *alive = false;
+                }
+            }
+        }
+        assert_eq!(
+            *log.borrow(),
+            vec![0, 10, 20, 1, 11, 21, 2, 12, 22],
+            "scheduler order, not spawn completion order"
+        );
+    }
+
+    #[test]
+    fn finished_fiber_reports_finished() {
+        let mut set = FiberSet::new();
+        set.spawn(64 * 1024, Box::new(|| {}));
+        assert_eq!(set.resume(0), Resumed::Finished);
+        assert!(set.take_panic(0).is_none());
+    }
+
+    #[test]
+    fn panic_is_captured_not_propagated() {
+        let mut set = FiberSet::new();
+        set.spawn(
+            64 * 1024,
+            Box::new(|| {
+                yield_to_scheduler();
+                panic!("inside fiber");
+            }),
+        );
+        assert_eq!(set.resume(0), Resumed::Yielded);
+        assert_eq!(set.resume(0), Resumed::Finished);
+        let payload = set.take_panic(0).expect("payload captured");
+        let msg = payload
+            .downcast_ref::<&'static str>()
+            .copied()
+            .unwrap_or("?");
+        assert_eq!(msg, "inside fiber");
+    }
+
+    #[test]
+    fn deep_stack_use_survives() {
+        fn burn(n: u64) -> u64 {
+            // Recursion with a live local per frame defeats tail calls.
+            let local = [n; 8];
+            if n == 0 {
+                local[0]
+            } else {
+                burn(n - 1) + local[7]
+            }
+        }
+        let mut set = FiberSet::new();
+        set.spawn(
+            512 * 1024,
+            Box::new(|| {
+                assert_eq!(burn(1000), 500_500);
+            }),
+        );
+        assert_eq!(set.resume(0), Resumed::Finished);
+    }
+}

@@ -9,11 +9,11 @@
 
 use ccsim_cache::{Hierarchy, LineState, Probe};
 use ccsim_core::rules::{self, LocalReadExcl, LocalStore};
-use ccsim_core::{Directory, GrantKind, ReadStep, WriteStep};
+use ccsim_core::{DirTable, GrantKind, ReadStep, WriteStep};
 use ccsim_mem::{pages, Store};
 use ccsim_network::{Delivery, Network};
 use ccsim_types::{Addr, BlockAddr, Consistency, MachineConfig, MsgKind, NodeId};
-use ccsim_util::FxHashMap;
+use ccsim_util::Slab;
 
 use crate::events::{CoherenceEvent, EventKind, EventLog, WriteHow};
 use crate::invariants::{copy_state, line_state, InvariantChecker, InvariantMode, InvariantReport};
@@ -62,11 +62,14 @@ pub struct Machine {
     cfg: MachineConfig,
     store: Store,
     net: Network,
-    dirs: Vec<Directory>,
+    /// All home directories in one dense table (statistics stay split by
+    /// home; the home node is a pure function of the address).
+    dir: DirTable,
     caches: Vec<Hierarchy>,
-    /// Per-block home-side busy window: a transaction arriving before this
-    /// time is bounced with a `Retry`.
-    block_busy: FxHashMap<BlockAddr, u64>,
+    /// Per-block home-side busy window, dense by block index: a transaction
+    /// arriving before this time is bounced with a `Retry`. Untouched
+    /// entries read 0 = never busy.
+    block_busy: Slab<u64>,
     oracle: LsOracle,
     fs: FalseSharing,
     counters: MachineCounters,
@@ -92,12 +95,10 @@ impl Machine {
         Ok(Machine {
             store: Store::new(),
             net,
-            dirs: (0..cfg.nodes)
-                .map(|_| Directory::new(cfg.protocol))
-                .collect(),
+            dir: DirTable::new(cfg.protocol, cfg.block_bytes(), cfg.nodes),
             caches: (0..cfg.nodes).map(|_| Hierarchy::new(&cfg)).collect(),
-            block_busy: FxHashMap::default(),
-            oracle: LsOracle::new(),
+            block_busy: Slab::new(),
+            oracle: LsOracle::new(cfg.block_bytes()),
             fs: FalseSharing::new(cfg.nodes, cfg.block_bytes()),
             counters: MachineCounters::default(),
             invariants: InvariantChecker::new(InvariantMode::from_env()),
@@ -158,6 +159,13 @@ impl Machine {
         addr.block(self.cfg.block_bytes())
     }
 
+    /// Dense index of `block` (shared by the directory table and the
+    /// busy-window slab).
+    #[inline]
+    fn block_index(&self, block: BlockAddr) -> usize {
+        (block.0 / self.cfg.block_bytes()) as usize
+    }
+
     /// Directly read a word (no coherence action; used by the runner to
     /// return load values and by tests).
     pub fn peek(&self, addr: Addr) -> u64 {
@@ -210,13 +218,13 @@ impl Machine {
     /// Serialize transactions per block: a request arriving inside another
     /// transaction's window is retried.
     fn wait_for_block(&mut self, block: BlockAddr, t: u64, home: NodeId, p: NodeId) -> u64 {
-        match self.block_busy.get(&block) {
-            Some(&busy) if t < busy => {
-                self.counters.retries += 1;
-                self.net.send_background(t, home, p, MsgKind::Retry);
-                busy
-            }
-            _ => t,
+        let busy = self.block_busy.load(self.block_index(block));
+        if t < busy {
+            self.counters.retries += 1;
+            self.net.send_background(t, home, p, MsgKind::Retry);
+            busy
+        } else {
+            t
         }
     }
 
@@ -228,12 +236,10 @@ impl Machine {
             self.emit(p, EventKind::Evict { block: ev.block });
             let vhome = self.home(ev.block.addr());
             let check = self.invariants.mode() != InvariantMode::Off;
-            let pre = check
-                .then(|| self.dirs[vhome.idx()].entry(ev.block).copied())
-                .flatten();
-            self.dirs[vhome.idx()].replacement(ev.block, p);
+            let pre = check.then(|| self.dir.entry(ev.block).copied()).flatten();
+            self.dir.replacement(vhome, ev.block, p);
             if check {
-                let post = self.dirs[vhome.idx()].entry(ev.block).copied();
+                let post = self.dir.entry(ev.block).copied();
                 let v =
                     rules::check_replacement(&self.cfg.protocol, pre.as_ref(), post.as_ref(), p);
                 self.invariants
@@ -269,8 +275,7 @@ impl Machine {
         if self.invariants.mode() == InvariantMode::Off {
             return;
         }
-        let home = self.home(block.addr());
-        let entry = self.dirs[home.idx()].entry(block).copied();
+        let entry = self.dir.entry(block).copied();
         let holders = self.holders(block);
         self.invariants.check_block(
             self.cfg.protocol.kind,
@@ -341,14 +346,13 @@ impl Machine {
         self.oracle.global_read(block, p);
         self.fs.on_miss(block, addr, p);
         let check = self.invariants.mode() != InvariantMode::Off;
-        let pre = check
-            .then(|| self.dirs[home.idx()].entry(block).copied())
-            .flatten();
-        let (grant_out, notls_out) = match self.dirs[home.idx()].read(block, p) {
+        let pre = check.then(|| self.dir.entry(block).copied()).flatten();
+        let (grant_out, notls_out) = match self.dir.read(home, block, p) {
             step @ ReadStep::Memory { grant, .. } => {
                 if check {
                     let pre = pre.unwrap_or_else(|| rules::fresh_entry(&self.cfg.protocol));
-                    let post = self.dirs[home.idx()]
+                    let post = self
+                        .dir
                         .entry(block)
                         .copied()
                         // ccsim-lint: allow(unwrap): read() inserts the entry before returning
@@ -375,11 +379,12 @@ impl Machine {
             ReadStep::Forward { owner } => {
                 t = self.hop(t, home, owner, MsgKind::ReadForward);
                 let (wrote, dirty) = self.owner_state(owner, block);
-                let res = self.dirs[home.idx()].read_forward_result(block, p, wrote, dirty);
+                let res = self.dir.read_forward_result(home, block, p, wrote, dirty);
                 if check {
                     // ccsim-lint: allow(unwrap): Forward is only returned for an existing entry
                     let pre = pre.expect("forwarded read implies an entry");
-                    let post = self.dirs[home.idx()]
+                    let post = self
+                        .dir
                         .entry(block)
                         .copied()
                         // ccsim-lint: allow(unwrap): same entry, still present after resolution
@@ -435,7 +440,8 @@ impl Machine {
                 notls: notls_out,
             },
         );
-        self.block_busy.insert(block, t);
+        let bi = self.block_index(block);
+        *self.block_busy.entry(bi) = t;
         t
     }
 
@@ -589,13 +595,11 @@ impl Machine {
             }
         };
         let check = self.invariants.mode() != InvariantMode::Off;
-        let pre = check
-            .then(|| self.dirs[home.idx()].entry(block).copied())
-            .flatten();
+        let pre = check.then(|| self.dir.entry(block).copied()).flatten();
         // Data handed over by a dirty owner stays memory-stale in the
         // requester's cache; memory-served data is clean.
         let mut data_dirty = false;
-        match self.dirs[home.idx()].write(block, p) {
+        match self.dir.write(home, block, p) {
             WriteStep::Memory {
                 invalidate,
                 data_needed,
@@ -633,7 +637,7 @@ impl Machine {
                 t = self.hop(t, home, owner, MsgKind::WriteForward);
                 let (_, dirty) = self.owner_state(owner, block);
                 data_dirty = dirty;
-                self.dirs[home.idx()].write_forward_result(block, p, dirty);
+                self.dir.write_forward_result(home, block, p, dirty);
                 t += lat.owner_access;
                 self.caches[owner.idx()].invalidate(block);
                 self.fs.on_invalidated(block, owner);
@@ -645,7 +649,8 @@ impl Machine {
         }
         if check {
             let pre = pre.unwrap_or_else(|| rules::fresh_entry(&self.cfg.protocol));
-            let post = self.dirs[home.idx()]
+            let post = self
+                .dir
                 .entry(block)
                 .copied()
                 // ccsim-lint: allow(unwrap): write() inserts the entry before returning
@@ -691,7 +696,8 @@ impl Machine {
                 },
             ),
         }
-        self.block_busy.insert(block, t);
+        let bi = self.block_index(block);
+        *self.block_busy.entry(bi) = t;
         t
     }
 
@@ -707,11 +713,7 @@ impl Machine {
 
     /// Merged directory statistics over all homes.
     pub fn dir_stats(&self) -> ccsim_core::DirStats {
-        let mut s = ccsim_core::DirStats::default();
-        for d in &self.dirs {
-            s.merge(d.stats());
-        }
-        s
+        self.dir.merged_stats()
     }
 
     pub fn oracle_stats(&self) -> &crate::oracle::OracleStats {
@@ -727,12 +729,9 @@ impl Machine {
     /// a `Result` for direct assertions.
     pub fn check_block(&self, addr: Addr) -> Result<(), String> {
         let block = self.block_of(addr);
-        let home = self.home(addr);
-        for d in &self.dirs {
-            d.check_invariants()?;
-        }
+        self.dir.check_invariants()?;
         let holders = self.holders(block);
-        let entry = self.dirs[home.idx()].entry(block).copied();
+        let entry = self.dir.entry(block).copied();
         match crate::invariants::block_violations(
             self.cfg.protocol.kind,
             block,
@@ -755,8 +754,7 @@ impl Machine {
     #[doc(hidden)]
     pub fn corrupt_directory_for_test(&mut self, addr: Addr) {
         let block = self.block_of(addr);
-        let home = self.home(addr);
-        self.dirs[home.idx()].corrupt_entry_for_test(block);
+        self.dir.corrupt_entry_for_test(block);
     }
 
     /// Test-only: desynchronize the golden memory at `addr` so the

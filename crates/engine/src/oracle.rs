@@ -6,7 +6,7 @@
 //! Tables 2 and 3 plus the false-sharing classification of Table 4.
 
 use ccsim_types::{BlockAddr, NodeId};
-use ccsim_util::FxHashMap;
+use ccsim_util::Slab;
 
 /// Which part of the workload issued an access — the paper's Table 2 splits
 /// the OLTP workload into MySQL (application), system libraries, and the
@@ -148,7 +148,7 @@ impl OracleStats {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 struct BlockTrack {
     /// Last *global* action on the block: node + was-it-a-read.
     last: Option<(NodeId, bool)>,
@@ -157,22 +157,27 @@ struct BlockTrack {
 }
 
 /// The load-store-sequence oracle (Tables 2 & 3).
-#[derive(Default)]
+///
+/// Runs on every global action, so its per-block records live in a dense
+/// [`Slab`] indexed by block index rather than a hash map.
 pub struct LsOracle {
-    blocks: FxHashMap<BlockAddr, BlockTrack>,
+    block_bytes: u64,
+    blocks: Slab<BlockTrack>,
     stats: OracleStats,
 }
 
 impl LsOracle {
-    pub fn new() -> Self {
-        Self::default()
+    pub fn new(block_bytes: u64) -> Self {
+        assert!(block_bytes.is_power_of_two() && block_bytes > 0);
+        LsOracle {
+            block_bytes,
+            blocks: Slab::new(),
+            stats: OracleStats::default(),
+        }
     }
 
     fn track(&mut self, b: BlockAddr) -> &mut BlockTrack {
-        self.blocks.entry(b).or_insert(BlockTrack {
-            last: None,
-            prev_seq_node: None,
-        })
+        self.blocks.entry((b.0 / self.block_bytes) as usize)
     }
 
     /// A global read action by `p` reached the home.
@@ -273,26 +278,31 @@ struct FsBlock {
 pub struct FalseSharing {
     nodes: usize,
     block_bytes: u64,
-    blocks: FxHashMap<BlockAddr, FsBlock>,
+    blocks: Slab<FsBlock>,
     stats: FalseSharingStats,
 }
 
 impl FalseSharing {
     pub fn new(nodes: u16, block_bytes: u64) -> Self {
+        assert!(block_bytes.is_power_of_two() && block_bytes > 0);
         FalseSharing {
             nodes: nodes as usize,
             block_bytes,
-            blocks: FxHashMap::default(),
+            blocks: Slab::new(),
             stats: FalseSharingStats::default(),
         }
     }
 
     fn block(&mut self, b: BlockAddr) -> &mut FsBlock {
         let n = self.nodes;
-        self.blocks.entry(b).or_insert_with(|| FsBlock {
-            foreign_writes: vec![0; n],
-            lost_by_inval: vec![false; n],
-        })
+        let e = self.blocks.entry((b.0 / self.block_bytes) as usize);
+        // A default-initialized slab entry has empty per-node vectors; size
+        // them on the block's first touch.
+        if e.foreign_writes.is_empty() {
+            e.foreign_writes = vec![0; n];
+            e.lost_by_inval = vec![false; n];
+        }
+        e
     }
 
     /// Every store (global or silent) by `writer` to `addr`.
@@ -356,7 +366,7 @@ mod tests {
 
     #[test]
     fn single_load_store_sequence_detected() {
-        let mut o = LsOracle::new();
+        let mut o = LsOracle::new(32);
         let b = blk(0);
         o.global_read(b, P0);
         o.global_write(b, P0, Component::App, false);
@@ -371,7 +381,7 @@ mod tests {
 
     #[test]
     fn migratory_requires_sequences_from_two_nodes() {
-        let mut o = LsOracle::new();
+        let mut o = LsOracle::new(32);
         let b = blk(0);
         o.global_read(b, P0);
         o.global_write(b, P0, Component::App, false);
@@ -387,7 +397,7 @@ mod tests {
 
     #[test]
     fn repeated_sequences_by_same_node_not_migratory() {
-        let mut o = LsOracle::new();
+        let mut o = LsOracle::new(32);
         let b = blk(0);
         for _ in 0..3 {
             o.global_read(b, P0);
@@ -400,7 +410,7 @@ mod tests {
 
     #[test]
     fn intervening_foreign_read_breaks_sequence() {
-        let mut o = LsOracle::new();
+        let mut o = LsOracle::new(32);
         let b = blk(0);
         o.global_read(b, P0);
         o.global_read(b, P1); // intervening
@@ -410,7 +420,7 @@ mod tests {
 
     #[test]
     fn intervening_foreign_write_breaks_sequence() {
-        let mut o = LsOracle::new();
+        let mut o = LsOracle::new(32);
         let b = blk(0);
         o.global_read(b, P0);
         o.global_write(b, P1, Component::App, false); // intervening write
@@ -422,7 +432,7 @@ mod tests {
 
     #[test]
     fn write_write_by_same_node_is_not_load_store() {
-        let mut o = LsOracle::new();
+        let mut o = LsOracle::new(32);
         let b = blk(0);
         o.global_write(b, P0, Component::App, false);
         o.global_write(b, P0, Component::App, false);
@@ -431,7 +441,7 @@ mod tests {
 
     #[test]
     fn coverage_fractions() {
-        let mut o = LsOracle::new();
+        let mut o = LsOracle::new(32);
         let b = blk(0);
         // Two LS sequences; one eliminated.
         o.global_read(b, P0);
@@ -446,7 +456,7 @@ mod tests {
 
     #[test]
     fn component_attribution() {
-        let mut o = LsOracle::new();
+        let mut o = LsOracle::new(32);
         o.global_read(blk(0), P0);
         o.global_write(blk(0), P0, Component::Os, false);
         o.global_write(blk(32), P1, Component::Lib, false);

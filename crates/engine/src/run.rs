@@ -1,18 +1,30 @@
-//! Deterministic threaded simulation runner.
+//! Deterministic simulation runner.
 //!
-//! Each simulated processor runs a real Rust closure on its own OS thread.
-//! Every memory operation traps into the engine under one lock, and the
-//! engine admits exactly one processor at a time, chosen purely from
-//! simulated state: the lowest-numbered active processor whose clock lies in
-//! the current scheduling window (`schedule_quantum` cycles wide; width 1 ⇒
-//! strict lowest-clock-first order). Host thread scheduling therefore cannot
-//! influence results — runs are bit-for-bit reproducible.
+//! Each simulated processor runs a real Rust closure. Every memory
+//! operation traps into the engine, and the engine admits exactly one
+//! processor at a time, chosen purely from simulated state: the
+//! lowest-numbered active processor whose clock lies in the current
+//! scheduling window (`schedule_quantum` cycles wide; width 1 ⇒ strict
+//! lowest-clock-first order). Host scheduling therefore cannot influence
+//! results — runs are bit-for-bit reproducible.
+//!
+//! Two interchangeable backends drive that schedule (see [`EngineKind`]):
+//!
+//! * **Fiber** (default where available): every processor is a stackful
+//!   fiber on one OS thread; a handoff is a ~50 ns user-space context
+//!   switch. See [`crate::fiber`].
+//! * **Threads**: every processor is an OS thread serialized under one
+//!   lock; a handoff is a condvar round-trip. Portable fallback, and the
+//!   reference the fiber backend is tested against — both consult the same
+//!   [`Inner::next_runner`] on the same state, so they retire the same ops
+//!   in the same order and produce bit-identical results.
 //!
 //! Synchronization in workloads (spinlocks, barriers — see `ccsim-sync`) is
 //! built from the atomic read-modify-write operations below, which execute
 //! their global read and global write back-to-back with no intervening
 //! access: exactly the load-store sequences of §2 of the paper.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -20,6 +32,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use ccsim_mem::Allocator;
 use ccsim_types::{Addr, MachineConfig, NodeId};
 
+use crate::fiber::{self, FiberSet, Resumed};
 use crate::invariants::{InvariantMode, InvariantReport};
 use crate::machine::{Machine, StallKind};
 use crate::oracle::Component;
@@ -34,6 +47,51 @@ pub const DEFAULT_WATCHDOG_CYCLES: u64 = 100_000_000;
 
 /// How many recent accesses the watchdog keeps for its diagnostic trace.
 const RECENT_WINDOW: usize = 32;
+
+/// Which execution backend drives the deterministic schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Stackful fibers on one OS thread (fast handoffs; default where
+    /// available).
+    Fiber,
+    /// One OS thread per simulated processor under a single lock
+    /// (portable reference backend).
+    Threads,
+}
+
+impl EngineKind {
+    /// The backend to use: `CCSIM_SIM_ENGINE=fiber|threads` overrides;
+    /// otherwise fibers where the target supports them.
+    pub fn from_env() -> Self {
+        match std::env::var("CCSIM_SIM_ENGINE").as_deref() {
+            Ok("threads") => EngineKind::Threads,
+            Ok("fiber") | Ok("fibers") => {
+                assert!(
+                    fiber::supported(),
+                    "CCSIM_SIM_ENGINE=fiber requested but the fiber backend \
+                     is not available on this target"
+                );
+                EngineKind::Fiber
+            }
+            _ => {
+                if fiber::supported() {
+                    EngineKind::Fiber
+                } else {
+                    EngineKind::Threads
+                }
+            }
+        }
+    }
+}
+
+/// Fiber stack size: `CCSIM_STACK_BYTES` overrides the default.
+fn stack_bytes_from_env() -> usize {
+    std::env::var("CCSIM_STACK_BYTES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(fiber::DEFAULT_STACK_BYTES)
+}
 
 struct Inner {
     machine: Machine,
@@ -123,12 +181,28 @@ impl Shared {
     }
 }
 
+thread_local! {
+    /// Simulation state of the fiber scheduler driving this thread (null
+    /// outside a fiber-backend run). Published by `run_fiber` before every
+    /// resume, so nested simulations each see their own state.
+    static FIBER_INNER: Cell<*mut Inner> = const { Cell::new(std::ptr::null_mut()) };
+}
+
+/// How a [`Proc`] reaches the engine.
+enum Backend {
+    /// Shared lock + per-processor condvars (OS-thread backend).
+    Threads(Arc<Shared>),
+    /// Fiber backend: state is reached through [`FIBER_INNER`] on the one
+    /// scheduler thread all fibers share.
+    Fiber,
+}
+
 /// Handle through which a workload closure touches simulated memory.
 ///
-/// All operations advance this processor's simulated clock and may block the
-/// host thread until it is this processor's simulated turn.
+/// All operations advance this processor's simulated clock and may suspend
+/// the calling program until it is this processor's simulated turn.
 pub struct Proc {
-    shared: Arc<Shared>,
+    backend: Backend,
     id: NodeId,
     nodes: u16,
 }
@@ -136,22 +210,45 @@ pub struct Proc {
 impl Proc {
     fn turn<R>(&self, f: impl FnOnce(&mut Inner) -> R) -> R {
         let me = self.id.idx();
-        let mut g = self.shared.lock();
-        while g.next_runner() != Some(me) {
-            debug_assert!(g.active[me], "inactive processor issued an operation");
-            g = self.shared.cvs[me]
-                .wait(g)
-                .unwrap_or_else(|e| e.into_inner());
+        match &self.backend {
+            Backend::Threads(shared) => {
+                let mut g = shared.lock();
+                while g.next_runner() != Some(me) {
+                    debug_assert!(g.active[me], "inactive processor issued an operation");
+                    g = shared.cvs[me].wait(g).unwrap_or_else(|e| e.into_inner());
+                }
+                let r = f(&mut g);
+                assert!(
+                    g.clocks[me] <= g.max_cycles,
+                    "{} exceeded the simulation cycle limit ({}) — livelocked workload?",
+                    self.id,
+                    g.max_cycles
+                );
+                shared.wake_next(&g, me);
+                r
+            }
+            Backend::Fiber => loop {
+                let p = FIBER_INNER.with(|c| c.get());
+                assert!(!p.is_null(), "fiber Proc used outside its simulation");
+                // Safety: `run_fiber` keeps `Inner` alive on its stack for
+                // the whole run and only one fiber executes at a time on
+                // this thread, so this is the only live reference.
+                let g = unsafe { &mut *p };
+                if g.next_runner() != Some(me) {
+                    debug_assert!(g.active[me], "inactive processor issued an operation");
+                    fiber::yield_to_scheduler();
+                    continue;
+                }
+                let r = f(g);
+                assert!(
+                    g.clocks[me] <= g.max_cycles,
+                    "{} exceeded the simulation cycle limit ({}) — livelocked workload?",
+                    self.id,
+                    g.max_cycles
+                );
+                return r;
+            },
         }
-        let r = f(&mut g);
-        assert!(
-            g.clocks[me] <= g.max_cycles,
-            "{} exceeded the simulation cycle limit ({}) — livelocked workload?",
-            self.id,
-            g.max_cycles
-        );
-        self.shared.wake_next(&g, me);
-        r
     }
 
     /// This processor's node id.
@@ -328,6 +425,7 @@ pub struct SimBuilder {
     max_cycles: u64,
     watchdog: u64,
     capture: bool,
+    engine: EngineKind,
 }
 
 impl SimBuilder {
@@ -341,7 +439,17 @@ impl SimBuilder {
             max_cycles: u64::MAX,
             watchdog: DEFAULT_WATCHDOG_CYCLES,
             capture: false,
+            engine: EngineKind::from_env(),
         }
+    }
+
+    /// Select the execution backend, overriding `CCSIM_SIM_ENGINE`. Both
+    /// backends produce bit-identical results; see [`EngineKind`].
+    pub fn engine(&mut self, kind: EngineKind) {
+        if kind == EngineKind::Fiber {
+            assert!(fiber::supported(), "fiber backend not available here");
+        }
+        self.engine = kind;
     }
 
     /// The shared-memory allocator for laying out workload data structures.
@@ -423,82 +531,142 @@ impl SimBuilder {
             recent: VecDeque::with_capacity(RECENT_WINDOW),
             trace: if self.capture { Some(Vec::new()) } else { None },
         };
-        let shared = Arc::new(Shared {
-            inner: Mutex::new(inner),
-            cvs: (0..n).map(|_| Condvar::new()).collect(),
-        });
-
-        let handles: Vec<_> = self
-            .programs
-            .into_iter()
-            .enumerate()
-            .map(|(i, prog)| {
-                let proc_handle = Proc {
-                    shared: Arc::clone(&shared),
-                    id: NodeId(i as u16),
-                    nodes: cfg.nodes,
-                };
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("ccsim-p{i}"))
-                    .spawn(move || {
-                        let result = catch_unwind(AssertUnwindSafe(|| prog(proc_handle)));
-                        // Retire this processor and hand the turn on, even on
-                        // panic, so sibling threads can finish or fail fast.
-                        {
-                            let g = &mut *shared.lock();
-                            g.active[i] = false;
-                            if let Some(next) = g.next_runner() {
-                                shared.cvs[next].notify_one();
-                            }
-                        }
-                        if let Err(e) = result {
-                            resume_unwind(e);
-                        }
-                    })
-                    // ccsim-lint: allow(unwrap): OS refusing to spawn a thread is unrecoverable here
-                    .expect("spawn simulation thread")
-            })
-            .collect();
-
-        let mut first_panic = None;
-        for h in handles {
-            if let Err(e) = h.join() {
-                first_panic.get_or_insert(e);
-            }
+        match self.engine {
+            EngineKind::Fiber => run_fiber(inner, self.programs, cfg),
+            EngineKind::Threads => run_threads(inner, self.programs, cfg),
         }
-        if let Some(e) = first_panic {
-            resume_unwind(e);
-        }
+    }
+}
 
-        let inner = Arc::try_unwrap(shared)
-            .map_err(|_| "simulation threads leaked a Proc handle")
-            .unwrap_or_else(|m| panic!("{m}"))
-            .inner
-            .into_inner()
-            .unwrap_or_else(|e| e.into_inner());
-        let mut inner = inner;
-        let trace = inner.trace.take().map(|events| Trace {
-            events,
-            procs: num as u16,
-        });
-        let exec_cycles = inner.clocks.iter().take(num).copied().max().unwrap_or(0);
-        let stats = RunStats {
-            protocol: cfg.protocol.kind,
-            config: cfg,
-            exec_cycles,
-            per_proc: inner.times.into_iter().take(num).collect(),
-            traffic: inner.machine.traffic().clone(),
-            dir: inner.machine.dir_stats(),
-            machine: inner.machine.counters(),
-            oracle: *inner.machine.oracle_stats(),
-            false_sharing: *inner.machine.false_sharing_stats(),
+/// Drive the simulation on the fiber backend: all processors are stackful
+/// fibers on this thread, resumed in `next_runner` order.
+#[allow(clippy::type_complexity)]
+fn run_fiber(
+    mut inner: Inner,
+    programs: Vec<Box<dyn FnOnce(Proc) + Send + 'static>>,
+    cfg: MachineConfig,
+) -> FinishedSim {
+    let num = programs.len();
+    let stack_bytes = stack_bytes_from_env();
+    let mut fibers = FiberSet::new();
+    for (i, prog) in programs.into_iter().enumerate() {
+        let proc_handle = Proc {
+            backend: Backend::Fiber,
+            id: NodeId(i as u16),
+            nodes: cfg.nodes,
         };
-        FinishedSim {
-            stats,
-            machine: inner.machine,
-            trace,
+        fibers.spawn(stack_bytes, Box::new(move || prog(proc_handle)));
+    }
+    let mut panics: Vec<Option<Box<dyn std::any::Any + Send>>> = Vec::new();
+    panics.resize_with(num, || None);
+    while let Some(next) = inner.next_runner() {
+        debug_assert!(next < fibers.len(), "next_runner beyond spawned programs");
+        // Re-publish before every resume so nested simulations restore the
+        // outer pointer when they finish.
+        let prev = FIBER_INNER.with(|c| c.replace(&mut inner));
+        let resumed = fibers.resume(next);
+        FIBER_INNER.with(|c| c.set(prev));
+        if resumed == Resumed::Finished {
+            // Retire this processor — even on panic — so siblings can
+            // finish or fail fast, exactly like the thread backend.
+            inner.active[next] = false;
+            panics[next] = fibers.take_panic(next);
         }
+    }
+    if let Some(payload) = panics.into_iter().flatten().next() {
+        resume_unwind(payload);
+    }
+    finish(inner, num, cfg)
+}
+
+/// Drive the simulation on the OS-thread backend: one thread per
+/// processor, serialized under the engine lock.
+#[allow(clippy::type_complexity)]
+fn run_threads(
+    inner: Inner,
+    programs: Vec<Box<dyn FnOnce(Proc) + Send + 'static>>,
+    cfg: MachineConfig,
+) -> FinishedSim {
+    let n = cfg.nodes as usize;
+    let num = programs.len();
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(inner),
+        cvs: (0..n).map(|_| Condvar::new()).collect(),
+    });
+
+    let handles: Vec<_> = programs
+        .into_iter()
+        .enumerate()
+        .map(|(i, prog)| {
+            let proc_handle = Proc {
+                backend: Backend::Threads(Arc::clone(&shared)),
+                id: NodeId(i as u16),
+                nodes: cfg.nodes,
+            };
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("ccsim-p{i}"))
+                .spawn(move || {
+                    let result = catch_unwind(AssertUnwindSafe(|| prog(proc_handle)));
+                    // Retire this processor and hand the turn on, even on
+                    // panic, so sibling threads can finish or fail fast.
+                    {
+                        let g = &mut *shared.lock();
+                        g.active[i] = false;
+                        if let Some(next) = g.next_runner() {
+                            shared.cvs[next].notify_one();
+                        }
+                    }
+                    if let Err(e) = result {
+                        resume_unwind(e);
+                    }
+                })
+                // ccsim-lint: allow(unwrap): OS refusing to spawn a thread is unrecoverable here
+                .expect("spawn simulation thread")
+        })
+        .collect();
+
+    let mut first_panic = None;
+    for h in handles {
+        if let Err(e) = h.join() {
+            first_panic.get_or_insert(e);
+        }
+    }
+    if let Some(e) = first_panic {
+        resume_unwind(e);
+    }
+
+    let inner = Arc::try_unwrap(shared)
+        .map_err(|_| "simulation threads leaked a Proc handle")
+        .unwrap_or_else(|m| panic!("{m}"))
+        .inner
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner());
+    finish(inner, num, cfg)
+}
+
+/// Common epilogue: fold the final engine state into [`FinishedSim`].
+fn finish(mut inner: Inner, num: usize, cfg: MachineConfig) -> FinishedSim {
+    let trace = inner.trace.take().map(|events| Trace {
+        events,
+        procs: num as u16,
+    });
+    let exec_cycles = inner.clocks.iter().take(num).copied().max().unwrap_or(0);
+    let stats = RunStats {
+        protocol: cfg.protocol.kind,
+        config: cfg,
+        exec_cycles,
+        per_proc: inner.times.into_iter().take(num).collect(),
+        traffic: inner.machine.traffic().clone(),
+        dir: inner.machine.dir_stats(),
+        machine: inner.machine.counters(),
+        oracle: *inner.machine.oracle_stats(),
+        false_sharing: *inner.machine.false_sharing_stats(),
+    };
+    FinishedSim {
+        stats,
+        machine: inner.machine,
+        trace,
     }
 }
 
@@ -814,6 +982,64 @@ mod tests {
             assert_eq!(p.load_f64(a), f64::MIN_POSITIVE);
         });
         b.run();
+    }
+
+    /// The two backends must retire the same ops in the same order: every
+    /// observable statistic is bit-identical.
+    #[test]
+    fn fiber_and_thread_backends_agree() {
+        if !crate::fiber::supported() {
+            return;
+        }
+        fn one_run(engine: EngineKind, kind: ProtocolKind) -> RunStats {
+            let mut b = SimBuilder::new(MachineConfig::splash_baseline(kind));
+            b.engine(engine);
+            let ctr = b.alloc().alloc_words(1);
+            let data = b.alloc().alloc_words(64);
+            for id in 0..4u64 {
+                b.spawn(move |p| {
+                    for i in 0..150u64 {
+                        p.fetch_add(ctr, 1);
+                        let a = Addr(data.0 + ((i * 7 + id * 13) % 64) * 8);
+                        let v = p.load(a);
+                        p.store(a, v + 1);
+                        p.busy(3 + (i % 5));
+                    }
+                });
+            }
+            b.run()
+        }
+        for kind in ProtocolKind::ALL {
+            let f = one_run(EngineKind::Fiber, kind);
+            let t = one_run(EngineKind::Threads, kind);
+            assert_eq!(f, t, "{kind:?}: fiber and thread backends diverge");
+        }
+    }
+
+    #[test]
+    fn fiber_backend_propagates_workload_panics() {
+        if !crate::fiber::supported() {
+            return;
+        }
+        let mut b = SimBuilder::new(cfg());
+        b.engine(EngineKind::Fiber);
+        let a = b.alloc().alloc_words(1);
+        b.spawn(move |p| {
+            p.store(a, 1);
+            panic!("workload bug");
+        });
+        // A second processor that would keep running; the run must still
+        // terminate and re-throw the first panic.
+        b.spawn(move |p| {
+            for _ in 0..10 {
+                p.fetch_add(a, 1);
+                p.busy(5);
+            }
+        });
+        let err =
+            catch_unwind(AssertUnwindSafe(|| b.run())).expect_err("workload panic must propagate");
+        let msg = err.downcast_ref::<&'static str>().copied().unwrap_or("?");
+        assert_eq!(msg, "workload bug");
     }
 
     #[test]

@@ -272,7 +272,16 @@ impl Trace {
 /// zero; seed values with `init` pairs if the captured run used `init`.
 /// Invariant checking follows `CCSIM_INVARIANTS` (the machine default); use
 /// [`replay_checked`] to force a mode and read back the report.
+///
+/// Honours `CCSIM_SIM_THREADS`: at 2 or more, footprint planning fans out
+/// over the sharded sweep in [`crate::parallel`]. Results are bit-identical
+/// to the single-threaded path by construction (commits stay in capture
+/// order), which the parallel-determinism suite pins.
 pub fn replay(cfg: MachineConfig, trace: &Trace, init: &[(Addr, u64)]) -> RunStats {
+    let threads = crate::parallel::sim_threads_from_env();
+    if threads > 1 {
+        return crate::parallel::replay_with_threads(cfg, trace, init, threads);
+    }
     replay_inner(cfg, trace, init, None, false).0
 }
 
@@ -293,14 +302,113 @@ pub fn replay_checked(
 
 /// Replay while capturing the coherence event log (see [`crate::events`])
 /// for SC-conformance analysis — the trace-file path of `ccsim race`.
+/// Honours `CCSIM_SIM_THREADS` like [`replay`].
 pub fn replay_events(
     cfg: MachineConfig,
     trace: &Trace,
     init: &[(Addr, u64)],
 ) -> (RunStats, crate::events::EventLog) {
+    let threads = crate::parallel::sim_threads_from_env();
+    if threads > 1 {
+        return crate::parallel::replay_events_with_threads(cfg, trace, init, threads);
+    }
     let (stats, _, log) = replay_inner(cfg, trace, init, None, true);
     // ccsim-lint: allow(unwrap): capture was requested, so the log exists
     (stats, log.expect("event capture was enabled"))
+}
+
+/// The serial commit engine behind every replay flavour: a fresh machine
+/// plus the per-processor clocks, time-attribution buckets, and component
+/// state, advanced one captured event at a time. The parallel sweep in
+/// [`crate::parallel`] drives this *same* state frame by frame, in capture
+/// order — which is why its results are bit-identical to serial replay.
+pub(crate) struct ReplayState {
+    machine: Machine,
+    cfg: MachineConfig,
+    clocks: Vec<u64>,
+    times: Vec<ProcTimes>,
+    comp: Vec<Component>,
+}
+
+impl ReplayState {
+    pub(crate) fn new(
+        cfg: MachineConfig,
+        trace: &Trace,
+        init: &[(Addr, u64)],
+        mode: Option<InvariantMode>,
+        capture_events: bool,
+    ) -> ReplayState {
+        assert!(
+            cfg.nodes >= trace.procs,
+            "trace uses {} processors, machine has {}",
+            trace.procs,
+            cfg.nodes
+        );
+        let mut machine = Machine::new(cfg);
+        if let Some(m) = mode {
+            machine.set_invariant_mode(m);
+        }
+        if capture_events {
+            machine.capture_events();
+        }
+        for &(a, v) in init {
+            machine.poke(a, v);
+        }
+        let n = trace.procs as usize;
+        ReplayState {
+            machine,
+            cfg,
+            clocks: vec![0u64; n],
+            times: vec![ProcTimes::default(); n],
+            comp: vec![Component::App; n],
+        }
+    }
+
+    /// Commit one captured event.
+    pub(crate) fn apply(&mut self, e: &TraceEvent) {
+        let p = e.proc as usize;
+        let id = NodeId(e.proc);
+        let t0 = self.clocks[p];
+        match e.op {
+            TraceOp::Load(a) => {
+                let (_, t1, stall) = self.machine.load(id, a, t0);
+                attribute(&mut self.times[p], t0, t1, stall);
+                self.clocks[p] = t1;
+            }
+            TraceOp::Store(a, v) => {
+                let (t1, stall) = self.machine.write(id, a, v, t0, self.comp[p]);
+                attribute(&mut self.times[p], t0, t1, stall);
+                self.clocks[p] = t1;
+            }
+            TraceOp::LoadExclusive(a) => {
+                let (_, t1, stall) = self.machine.load_exclusive(id, a, t0);
+                attribute(&mut self.times[p], t0, t1, stall);
+                self.clocks[p] = t1;
+            }
+            TraceOp::Busy(c) => {
+                self.times[p].busy += c;
+                self.clocks[p] += c;
+            }
+            TraceOp::SetComponent(c) => self.comp[p] = c,
+        }
+    }
+
+    pub(crate) fn finish(mut self) -> (RunStats, InvariantReport, Option<crate::events::EventLog>) {
+        let report = self.machine.invariant_report().clone();
+        let log = self.machine.take_event_log();
+        let stats = RunStats {
+            protocol: self.cfg.protocol.kind,
+            config: self.cfg,
+            exec_cycles: self.clocks.iter().copied().max().unwrap_or(0),
+            per_proc: self.times,
+            traffic: self.machine.traffic().clone(),
+            dir: self.machine.dir_stats(),
+            machine: self.machine.counters(),
+            oracle: *self.machine.oracle_stats(),
+            false_sharing: *self.machine.false_sharing_stats(),
+        };
+        (stats, report, log)
+    }
 }
 
 fn replay_inner(
@@ -310,67 +418,11 @@ fn replay_inner(
     mode: Option<InvariantMode>,
     capture_events: bool,
 ) -> (RunStats, InvariantReport, Option<crate::events::EventLog>) {
-    assert!(
-        cfg.nodes >= trace.procs,
-        "trace uses {} processors, machine has {}",
-        trace.procs,
-        cfg.nodes
-    );
-    let mut machine = Machine::new(cfg);
-    if let Some(m) = mode {
-        machine.set_invariant_mode(m);
-    }
-    if capture_events {
-        machine.capture_events();
-    }
-    for &(a, v) in init {
-        machine.poke(a, v);
-    }
-    let n = trace.procs as usize;
-    let mut clocks = vec![0u64; n];
-    let mut times = vec![ProcTimes::default(); n];
-    let mut comp = vec![Component::App; n];
+    let mut st = ReplayState::new(cfg, trace, init, mode, capture_events);
     for e in &trace.events {
-        let p = e.proc as usize;
-        let id = NodeId(e.proc);
-        let t0 = clocks[p];
-        match e.op {
-            TraceOp::Load(a) => {
-                let (_, t1, stall) = machine.load(id, a, t0);
-                attribute(&mut times[p], t0, t1, stall);
-                clocks[p] = t1;
-            }
-            TraceOp::Store(a, v) => {
-                let (t1, stall) = machine.write(id, a, v, t0, comp[p]);
-                attribute(&mut times[p], t0, t1, stall);
-                clocks[p] = t1;
-            }
-            TraceOp::LoadExclusive(a) => {
-                let (_, t1, stall) = machine.load_exclusive(id, a, t0);
-                attribute(&mut times[p], t0, t1, stall);
-                clocks[p] = t1;
-            }
-            TraceOp::Busy(c) => {
-                times[p].busy += c;
-                clocks[p] += c;
-            }
-            TraceOp::SetComponent(c) => comp[p] = c,
-        }
+        st.apply(e);
     }
-    let report = machine.invariant_report().clone();
-    let log = machine.take_event_log();
-    let stats = RunStats {
-        protocol: cfg.protocol.kind,
-        config: cfg,
-        exec_cycles: clocks.iter().copied().max().unwrap_or(0),
-        per_proc: times,
-        traffic: machine.traffic().clone(),
-        dir: machine.dir_stats(),
-        machine: machine.counters(),
-        oracle: *machine.oracle_stats(),
-        false_sharing: *machine.false_sharing_stats(),
-    };
-    (stats, report, log)
+    st.finish()
 }
 
 fn attribute(t: &mut ProcTimes, t0: u64, t1: u64, stall: crate::machine::StallKind) {

@@ -1,0 +1,119 @@
+//! The tentpole guarantee of the parallel replay sweep: `CCSIM_SIM_THREADS=N`
+//! is *bit-identical* to single-threaded replay — same `RunStats`, same
+//! canonical JSON bytes, same event log — for every workload × protocol
+//! pair, for every thread count, run after run, with and without fault
+//! injection.
+//!
+//! Thread counts are passed through the explicit `*_with_threads` API rather
+//! than by mutating the environment, so this suite is safe under cargo's
+//! parallel test runner.
+
+use ccsim_engine::{replay, replay_events_with_threads, replay_with_threads};
+use ccsim_types::{FaultConfig, MachineConfig, ProtocolKind};
+use ccsim_util::ToJson;
+use ccsim_workloads::{capture_spec, cholesky, lu, mp3d, Spec};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn quick_specs() -> Vec<Spec> {
+    vec![
+        Spec::Mp3d(mp3d::Mp3dParams::quick()),
+        Spec::Cholesky(cholesky::CholeskyParams::quick()),
+        Spec::Lu(lu::LuParams::quick()),
+    ]
+}
+
+/// Every workload × protocol: parallel replay at each thread count matches
+/// the serial path byte-for-byte (stats compared both structurally and as
+/// canonical JSON).
+#[test]
+fn replay_is_bit_identical_across_thread_counts() {
+    for spec in quick_specs() {
+        for kind in ProtocolKind::ALL {
+            let cfg = MachineConfig::splash_baseline(kind);
+            let (live, trace) = capture_spec(cfg, &spec);
+            let serial = replay(cfg, &trace, &[]);
+            assert_eq!(
+                serial,
+                live,
+                "{} under {kind:?}: serial replay must reproduce the live run",
+                spec.name()
+            );
+            let serial_json = serial.to_json().to_string();
+            for threads in THREADS {
+                let par = replay_with_threads(cfg, &trace, &[], threads);
+                assert_eq!(
+                    par,
+                    serial,
+                    "{} under {kind:?} with {threads} threads diverged",
+                    spec.name()
+                );
+                assert_eq!(
+                    par.to_json().to_string(),
+                    serial_json,
+                    "{} under {kind:?} with {threads} threads: JSON bytes differ",
+                    spec.name()
+                );
+            }
+        }
+    }
+}
+
+/// Event logs — the raw material for the race analyzer and the SC
+/// fingerprint — are identical at every thread count.
+#[test]
+fn event_logs_are_identical_across_thread_counts() {
+    for spec in quick_specs() {
+        let cfg = MachineConfig::splash_baseline(ProtocolKind::Ls);
+        let (_, trace) = capture_spec(cfg, &spec);
+        let (serial_stats, serial_log) = replay_events_with_threads(cfg, &trace, &[], 1);
+        for threads in [2, 4, 8] {
+            let (stats, log) = replay_events_with_threads(cfg, &trace, &[], threads);
+            assert_eq!(stats, serial_stats, "{}: stats diverged", spec.name());
+            assert_eq!(
+                log,
+                serial_log,
+                "{} with {threads} threads: event log diverged",
+                spec.name()
+            );
+        }
+    }
+}
+
+/// Repeated parallel runs of the same trace are identical — no hidden
+/// scheduling nondeterminism leaks into results.
+#[test]
+fn repeated_parallel_runs_are_stable() {
+    let cfg = MachineConfig::splash_baseline(ProtocolKind::Ad);
+    let (_, trace) = capture_spec(cfg, &Spec::Mp3d(mp3d::Mp3dParams::quick()));
+    let first = replay_with_threads(cfg, &trace, &[], 4);
+    for _ in 0..3 {
+        assert_eq!(replay_with_threads(cfg, &trace, &[], 4), first);
+    }
+}
+
+/// Seeded fault injection perturbs timing, but the perturbed run is still
+/// deterministic — and still thread-count invariant, because armed faults
+/// force single-operation frames.
+#[test]
+fn fault_injection_stays_deterministic_across_thread_counts() {
+    let faults = FaultConfig {
+        nack_per_mille: 25,
+        delay_per_mille: 40,
+        max_delay_cycles: 60,
+        seed: 0xFA11,
+    };
+    for kind in [ProtocolKind::Baseline, ProtocolKind::Ls] {
+        let cfg = MachineConfig::splash_baseline(kind).with_faults(faults);
+        let (live, trace) = capture_spec(cfg, &Spec::Mp3d(mp3d::Mp3dParams::quick()));
+        let serial = replay(cfg, &trace, &[]);
+        assert_eq!(serial, live, "{kind:?}: faulty serial replay drifted");
+        for threads in THREADS {
+            assert_eq!(
+                replay_with_threads(cfg, &trace, &[], threads),
+                serial,
+                "{kind:?} with {threads} threads under faults diverged"
+            );
+        }
+    }
+}

@@ -15,8 +15,6 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use ccsim_engine::RunStats;
 use ccsim_types::{MachineConfig, ProtocolKind};
@@ -193,38 +191,10 @@ impl JobSet {
                 detail: panic_detail(payload),
             })
         };
-        if workers == 1 {
-            // Degenerate pool: run inline, no thread overhead.
-            return jobs
-                .iter()
-                .enumerate()
-                .map(|(i, j)| run_one(i, j))
-                .collect();
-        }
-        let next = AtomicUsize::new(0);
-        #[allow(clippy::type_complexity)]
-        let results: Mutex<Vec<Option<Result<RunStats, JobError>>>> =
-            Mutex::new((0..n).map(|_| None).collect());
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| loop {
-                    // Work-stealing index: whichever worker is free takes
-                    // the next job; the result slot keeps submission order.
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let r = run_one(i, &jobs[i]);
-                    results.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(r);
-                });
-            }
-        });
-        results
-            .into_inner()
-            .unwrap_or_else(|e| e.into_inner())
-            .into_iter()
-            .map(|r| r.expect("worker completed every claimed job"))
-            .collect()
+        // The shared bounded pool keeps submission order in the result
+        // vector regardless of which worker finished first; `run_one`
+        // already catches panics, so a worker never dies mid-batch.
+        ccsim_util::pool::run_indexed(workers, n, |i| run_one(i, &jobs[i]))
     }
 }
 

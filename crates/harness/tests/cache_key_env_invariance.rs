@@ -1,0 +1,30 @@
+//! Cache keys are a pure function of (config, spec): no environment
+//! variable — in particular `CCSIM_SIM_THREADS` — may leak into them, or a
+//! parallel replay could serve different bytes than a serial one from the
+//! same cache entry. The parallel-determinism guarantee extends to the
+//! cache layer only because of this invariance.
+
+use ccsim_harness::run_key;
+use ccsim_types::{MachineConfig, ProtocolKind};
+use ccsim_workloads::{mp3d::Mp3dParams, Spec};
+
+#[test]
+fn sim_thread_setting_does_not_change_cache_keys() {
+    let cfg = MachineConfig::splash_baseline(ProtocolKind::Ls);
+    let spec = Spec::Mp3d(Mp3dParams::quick());
+    let before = run_key(&cfg, &spec);
+    for setting in ["1", "4", "8", "banana"] {
+        std::env::set_var("CCSIM_SIM_THREADS", setting);
+        assert_eq!(
+            run_key(&cfg, &spec),
+            before,
+            "CCSIM_SIM_THREADS={setting} changed the cache key"
+        );
+    }
+    std::env::remove_var("CCSIM_SIM_THREADS");
+    assert_eq!(run_key(&cfg, &spec), before);
+
+    // Keys do respond to what actually determines results.
+    let other = run_key(&cfg.with_protocol(ProtocolKind::Ad), &spec);
+    assert_ne!(other, before);
+}

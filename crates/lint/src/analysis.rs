@@ -64,7 +64,7 @@ impl Replay {
             dirs: (0..cfg.nodes)
                 .map(|_| Directory::new(cfg.protocol))
                 .collect(),
-            oracle: LsOracle::new(),
+            oracle: LsOracle::new(cfg.block_bytes()),
             fs: FalseSharing::new(cfg.nodes, cfg.block_bytes()),
             silent_stores: 0,
             cfg,

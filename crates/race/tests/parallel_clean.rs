@@ -1,0 +1,52 @@
+//! Race/model cross-check for the parallel replay sweep: event logs
+//! produced with `CCSIM_SIM_THREADS > 1` must stay SC-conformant, and the
+//! SC witness fingerprint must be bit-identical to the serial lane's —
+//! the analyzer is the independent referee for the engine's determinism
+//! claim.
+
+use ccsim_engine::replay_events_with_threads;
+use ccsim_race::check;
+use ccsim_types::{MachineConfig, ProtocolKind};
+use ccsim_workloads::{capture_spec, cholesky, mp3d, Spec};
+
+#[test]
+fn parallel_replay_logs_are_conformant() {
+    for kind in ProtocolKind::ALL {
+        for spec in [
+            Spec::Mp3d(mp3d::Mp3dParams::quick()),
+            Spec::Cholesky(cholesky::CholeskyParams::quick()),
+        ] {
+            let cfg = MachineConfig::splash_baseline(kind);
+            let (_, trace) = capture_spec(cfg, &spec);
+            let (_, log) = replay_events_with_threads(cfg, &trace, &[], 4);
+            let report = check(&cfg.protocol, &log);
+            assert!(
+                report.is_clean(),
+                "{} under {kind:?} via 4-thread replay is not conformant:\n{}",
+                spec.name(),
+                report.render(&log)
+            );
+            assert!(report.sc_fingerprint.is_some());
+        }
+    }
+}
+
+#[test]
+fn sc_fingerprint_is_thread_count_invariant() {
+    let spec = Spec::Mp3d(mp3d::Mp3dParams::quick());
+    for kind in ProtocolKind::ALL {
+        let cfg = MachineConfig::splash_baseline(kind);
+        let (_, trace) = capture_spec(cfg, &spec);
+        let (_, serial_log) = replay_events_with_threads(cfg, &trace, &[], 1);
+        let serial = check(&cfg.protocol, &serial_log);
+        for threads in [2, 4, 8] {
+            let (_, log) = replay_events_with_threads(cfg, &trace, &[], threads);
+            let report = check(&cfg.protocol, &log);
+            assert_eq!(
+                report.sc_fingerprint, serial.sc_fingerprint,
+                "{kind:?}: SC fingerprint drifted at {threads} threads"
+            );
+            assert_eq!(report.counts.events, serial.counts.events);
+        }
+    }
+}

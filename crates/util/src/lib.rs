@@ -13,15 +13,22 @@
 //! * [`rng64`] — a seedable xoshiro256++ generator, the core under
 //!   `ccsim_types::SimRng` (replacing `rand`) and the test-case generator;
 //! * [`check`] — a deterministic mini property-test runner replacing
-//!   `proptest` for the workspace's randomized invariant tests.
+//!   `proptest` for the workspace's randomized invariant tests;
+//! * [`pool`] — the bounded scoped worker pool (deterministic result
+//!   ordering) shared by the harness `JobSet` and the engine's
+//!   planning-parallel replay sweep, replacing `rayon`;
+//! * [`slab`] — lazily-paged dense arrays for per-block hot-path state.
 
 pub mod check;
 pub mod fxhash;
 pub mod json;
+pub mod pool;
 pub mod rng64;
+pub mod slab;
 pub mod stable_hash;
 
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use json::{FromJson, Json, ToJson};
 pub use rng64::Xoshiro256pp;
+pub use slab::Slab;
 pub use stable_hash::{fnv1a64, Fnv1a};
