@@ -158,6 +158,9 @@ extern "C" fn trampoline() -> ! {
             slot.panic = Some(payload);
         }
         slot.finished = true;
+        // A finished fiber parks here; the scheduler never resumes a fiber
+        // marked finished, so each switch is terminal in practice.
+        // ccsim-lint: allow(unbounded-retry): every iteration switches straight back to the scheduler
         loop {
             imp::switch(&mut slot.ctx, &slot.sched);
         }

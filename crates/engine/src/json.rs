@@ -108,6 +108,7 @@ impl ToJson for MachineCounters {
             ("dirty_hits", self.dirty_hits.to_json()),
             ("retries", self.retries.to_json()),
             ("nacks", self.nacks.to_json()),
+            ("retransmits", self.retransmits.to_json()),
         ])
     }
 }
@@ -121,6 +122,7 @@ impl FromJson for MachineCounters {
             dirty_hits: j.field("dirty_hits")?,
             retries: j.field("retries")?,
             nacks: j.field("nacks")?,
+            retransmits: j.field("retransmits")?,
         })
     }
 }

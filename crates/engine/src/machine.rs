@@ -45,6 +45,9 @@ pub struct MachineCounters {
     pub retries: u64,
     /// Requests NACKed by the fault injector and re-issued after backoff.
     pub nacks: u64,
+    /// Request copies re-injected by the recovery transport's
+    /// timeout-and-retransmit driver (drops and lost ACKs).
+    pub retransmits: u64,
 }
 
 /// Why a processor asks the home for ownership.
@@ -78,6 +81,11 @@ pub struct Machine {
     /// appends its side-effect events first and its access event last —
     /// see `crate::events` for the grouping contract.
     events: Option<Vec<CoherenceEvent>>,
+    /// Duplicate request copies the (deliberately broken) skip-dedup
+    /// transport let through, pending late delivery at the home directory.
+    /// Always empty in healthy runs — the receiver suppresses duplicates.
+    #[cfg(feature = "testing")]
+    stale_requests: std::collections::VecDeque<(BlockAddr, NodeId, bool)>,
 }
 
 impl Machine {
@@ -92,6 +100,10 @@ impl Machine {
         let mut net =
             Network::try_with_topology(cfg.nodes, cfg.latency, cfg.block_bytes(), cfg.topology)?;
         net.install_faults(cfg.faults);
+        #[cfg(feature = "testing")]
+        if cfg.faults.transport_mutation() == Some(ccsim_types::TransportMutation::SkipDedup) {
+            net.install_skip_dedup();
+        }
         Ok(Machine {
             store: Store::new(),
             net,
@@ -103,6 +115,8 @@ impl Machine {
             counters: MachineCounters::default(),
             invariants: InvariantChecker::new(InvariantMode::from_env()),
             events: None,
+            #[cfg(feature = "testing")]
+            stale_requests: std::collections::VecDeque::new(),
             cfg,
         })
     }
@@ -144,6 +158,29 @@ impl Machine {
     /// What the network's fault injector did so far (zeroes when disabled).
     pub fn fault_stats(&self) -> ccsim_network::FaultStats {
         self.net.fault_stats()
+    }
+
+    /// Recovery-transport flow table `(src, dst, sent, delivered,
+    /// reorder-buffer depth)`, sorted by `(src, dst)`. Empty unless the
+    /// fault plan enables drop/dup/reorder faults. Surfaced in the
+    /// forward-progress watchdog report.
+    pub fn transport_flows(&self) -> Vec<(NodeId, NodeId, u64, u64, usize)> {
+        self.net.transport_flows()
+    }
+
+    /// When node `n`'s network interface frees up (watchdog diagnostics).
+    pub fn ni_free_at(&self, n: NodeId) -> u64 {
+        self.net.ni_free_at(n)
+    }
+
+    /// Test-only: disable duplicate suppression in the recovery transport
+    /// (the seeded transport mutation). Leaked duplicates are re-delivered
+    /// to the home directory at a later access, where the invariant
+    /// checker must convict them. Only compiled with the `testing` feature.
+    #[cfg(feature = "testing")]
+    #[doc(hidden)]
+    pub fn install_skip_dedup(&mut self) {
+        self.net.install_skip_dedup();
     }
 
     pub fn config(&self) -> &MachineConfig {
@@ -201,9 +238,13 @@ impl Machine {
         let mut backoff = lat.net.max(1);
         let cap = backoff * 64;
         let mut t = t0;
+        let sent_before = self.net.fault_stats().retransmits;
+        // ccsim-lint: allow(unbounded-retry): backoff capped at 64x net, NACK streaks bounded by max_consecutive_nacks
         loop {
             match self.net.send_request(t, from, to, kind) {
                 Delivery::Delivered(t2) => {
+                    let sent_after = self.net.fault_stats().retransmits;
+                    self.counters.retransmits += sent_after - sent_before;
                     return if from == to { t2 } else { t2 + lat.mc };
                 }
                 Delivery::Nacked(back) => {
@@ -212,6 +253,52 @@ impl Machine {
                     backoff = (backoff * 2).min(cap);
                 }
             }
+        }
+    }
+
+    /// Test-only skip-dedup support: remember duplicate request copies the
+    /// mutated receiver let through, attributed to the transaction that
+    /// produced them.
+    #[cfg(feature = "testing")]
+    fn note_leaked_requests(&mut self, block: BlockAddr, p: NodeId, write: bool) {
+        for _ in 0..self.net.take_leaked_duplicates() {
+            self.stale_requests.push_back((block, p, write));
+        }
+    }
+
+    /// Test-only skip-dedup support: a leaked duplicate finally reaches the
+    /// home directory — during a *later* transaction, when the caches have
+    /// moved on — and re-applies its stale transition. No cache is touched:
+    /// exactly what an at-least-once transport without receiver dedup does.
+    /// The invariant checker (SWMR / state agreement), not this code, is
+    /// responsible for convicting the divergence.
+    #[cfg(feature = "testing")]
+    fn deliver_stale_requests(&mut self, t: u64) {
+        let pending = std::mem::take(&mut self.stale_requests);
+        for (block, p, write) in pending {
+            // Only the interesting duplicates: once another node owns the
+            // block, the replayed request steals (or shares) ownership the
+            // caches know nothing about. A duplicate arriving while the
+            // requester still owns the block is idempotent (the directory
+            // front-end rejects same-owner requests) — hold it back until
+            // ownership has migrated, like a copy stuck in a slow queue.
+            let owned_elsewhere = matches!(
+                self.dir.entry(block).map(|e| e.state),
+                Some(ccsim_core::HomeState::Owned(o)) if o != p
+            );
+            if !owned_elsewhere {
+                self.stale_requests.push_back((block, p, write));
+                continue;
+            }
+            let home = self.home(block.addr());
+            if write {
+                if let WriteStep::Forward { .. } = self.dir.write(home, block, p) {
+                    self.dir.write_forward_result(home, block, p, false);
+                }
+            } else if let ReadStep::Forward { .. } = self.dir.read(home, block, p) {
+                let _ = self.dir.read_forward_result(home, block, p, false, false);
+            }
+            self.verify(block, p, t);
         }
     }
 
@@ -339,8 +426,12 @@ impl Machine {
     fn global_read(&mut self, p: NodeId, addr: Addr, block: BlockAddr, t0: u64, value: u64) -> u64 {
         let lat = self.cfg.latency;
         let home = self.home(addr);
+        #[cfg(feature = "testing")]
+        self.deliver_stale_requests(t0);
         let mut t = t0 + lat.l1_hit + lat.l2_hit;
         t = self.request_hop(t, p, home, MsgKind::ReadReq);
+        #[cfg(feature = "testing")]
+        self.note_leaked_requests(block, p, false);
         t += lat.mc;
         t = self.wait_for_block(block, t, home, p);
         self.oracle.global_read(block, p);
@@ -578,6 +669,8 @@ impl Machine {
     ) -> u64 {
         let lat = self.cfg.latency;
         let home = self.home(addr);
+        #[cfg(feature = "testing")]
+        self.deliver_stale_requests(t0);
         let mut t = t0 + lat.l1_hit + lat.l2_hit;
         let req = if has_copy {
             MsgKind::UpgradeReq
@@ -585,6 +678,8 @@ impl Machine {
             MsgKind::WriteMissReq
         };
         t = self.request_hop(t, p, home, req);
+        #[cfg(feature = "testing")]
+        self.note_leaked_requests(block, p, true);
         t += lat.mc;
         t = self.wait_for_block(block, t, home, p);
         let (ls, mig) = match purpose {

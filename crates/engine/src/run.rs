@@ -139,16 +139,11 @@ impl Inner {
     fn attribute(&mut self, p: usize, t0: u64, t1: u64, stall: StallKind) {
         let dt = t1 - t0;
         if dt > self.watchdog {
-            let window: Vec<String> = self
-                .recent
-                .iter()
-                .map(|(q, op, at)| format!("  P{q} @{at}: {op:?}"))
-                .collect();
             panic!(
                 "forward-progress watchdog: P{p} access took {dt} cycles \
-                 (limit {}) — livelock or starvation?\nrecent accesses:\n{}",
+                 (limit {}) — livelock or starvation?\n{}",
                 self.watchdog,
-                window.join("\n")
+                self.watchdog_report()
             );
         }
         match stall {
@@ -156,6 +151,48 @@ impl Inner {
             StallKind::Read => self.times[p].read_stall += dt,
             StallKind::Write => self.times[p].write_stall += dt,
         }
+    }
+
+    /// The watchdog's diagnostic dump: per-node clocks with the age of each
+    /// node's most recent access, per-node NI occupancy, the recovery
+    /// transport's in-flight flow state, and the window of recent accesses.
+    /// Pure function of simulation state — rendered identically for
+    /// identical runs, which the unit tests pin down.
+    fn watchdog_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("per-node state:\n");
+        for (q, &clock) in self.clocks.iter().enumerate() {
+            let last = self.recent.iter().rev().find(|(r, ..)| *r as usize == q);
+            let _ = write!(out, "  P{q}: clock {clock}");
+            match last {
+                Some((_, op, at)) => {
+                    let _ = write!(out, ", last {op:?} issued @{at} (age {})", clock - at);
+                }
+                None => out.push_str(", no recent access"),
+            }
+            let ni = self.machine.ni_free_at(NodeId(q as u16));
+            let _ = writeln!(
+                out,
+                ", NI free @{ni}{}",
+                if self.active[q] { "" } else { " [retired]" }
+            );
+        }
+        let flows = self.machine.transport_flows();
+        if !flows.is_empty() {
+            out.push_str("transport flows (src->dst: sent/delivered, reorder depth):\n");
+            for (src, dst, sent, delivered, depth) in flows {
+                let _ = writeln!(
+                    out,
+                    "  {src}->{dst}: {sent}/{delivered}, reorder depth {depth}"
+                );
+            }
+        }
+        let _ = write!(out, "recent accesses (last {}):", self.recent.len());
+        for (q, op, at) in &self.recent {
+            let _ = write!(out, "\n  P{q} @{at}: {op:?}");
+        }
+        out
     }
 }
 
@@ -227,6 +264,9 @@ impl Proc {
                 shared.wake_next(&g, me);
                 r
             }
+            // Yields until next_runner picks this processor; the cycle-limit
+            // assert below convicts any livelock.
+            // ccsim-lint: allow(unbounded-retry): bounded by simulation progress via the cycle limit
             Backend::Fiber => loop {
                 let p = FIBER_INNER.with(|c| c.get());
                 assert!(!p.is_null(), "fiber Proc used outside its simulation");
@@ -938,6 +978,83 @@ mod tests {
             p.load(a);
         });
         b.run();
+    }
+
+    /// Build a live `Inner` with a scripted access history (more entries
+    /// than the window holds) for direct watchdog-report rendering tests.
+    fn scripted_inner() -> Inner {
+        let c = cfg().with_faults(ccsim_types::FaultConfig {
+            drop_per_mille: 200,
+            seed: 9,
+            ..ccsim_types::FaultConfig::default()
+        });
+        let mut inner = Inner {
+            machine: Machine::new(c),
+            clocks: vec![0; 4],
+            times: vec![ProcTimes::default(); 4],
+            active: vec![true, true, true, false],
+            comp: vec![Component::App; 4],
+            quantum: 1,
+            max_cycles: u64::MAX,
+            watchdog: 10,
+            recent: VecDeque::with_capacity(RECENT_WINDOW),
+            trace: None,
+        };
+        for i in 0..40u64 {
+            let p = (i % 3) as u16;
+            inner.clocks[p as usize] = i * 10;
+            inner.record(p, TraceOp::Load(Addr(0x1000 + i * 8)));
+        }
+        inner
+    }
+
+    #[test]
+    fn watchdog_report_renders_the_32_access_window_deterministically() {
+        let inner = scripted_inner();
+        assert_eq!(inner.recent.len(), RECENT_WINDOW, "window trims to 32");
+        let report = inner.watchdog_report();
+        assert_eq!(
+            report,
+            scripted_inner().watchdog_report(),
+            "identical state must render identically"
+        );
+        let tail: Vec<&str> = report
+            .split("recent accesses (last 32):")
+            .nth(1)
+            .expect("recent-access section present")
+            .lines()
+            .filter(|l| !l.is_empty())
+            .collect();
+        assert_eq!(tail.len(), RECENT_WINDOW, "exactly the window is shown");
+        // Oldest 8 entries were evicted: the window starts at access #8.
+        let first = format!("  P2 @80: {:?}", TraceOp::Load(Addr(0x1000 + 8 * 8)));
+        let last = format!("  P0 @390: {:?}", TraceOp::Load(Addr(0x1000 + 39 * 8)));
+        assert_eq!(tail[0], first);
+        assert_eq!(tail[31], last);
+    }
+
+    #[test]
+    fn watchdog_report_includes_per_node_and_transport_state() {
+        let mut inner = scripted_inner();
+        // Give the recovery transport a live flow: a faulted request 0 -> 1.
+        let _ = inner.machine.load(NodeId(0), Addr(4096 + 0x100), 400);
+        let report = inner.watchdog_report();
+        // Per-node lines carry clock, last-access age, and NI occupancy;
+        // a retired node says so instead of showing a stale age.
+        assert!(report.contains("P0: clock"), "per-node state: {report}");
+        assert!(report.contains("(age "), "in-flight age: {report}");
+        assert!(report.contains("NI free @"), "NI occupancy: {report}");
+        assert!(
+            report.contains("P3: clock 0, no recent access"),
+            "idle node: {report}"
+        );
+        assert!(report.contains("[retired]"), "inactive marker: {report}");
+        // The transport flow table shows the in-flight sequence state.
+        assert!(
+            report.contains("transport flows"),
+            "flow table header: {report}"
+        );
+        assert!(report.contains("P0->P1: "), "flow row: {report}");
     }
 
     #[test]

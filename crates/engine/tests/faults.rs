@@ -36,6 +36,8 @@ struct Soak {
     /// Invariant checks performed (must be nonzero — proof the checker ran).
     checks: u64,
     clean: bool,
+    /// What the fault injector actually did (drops, dups, retransmits, …).
+    faults: ccsim_network::FaultStats,
 }
 
 /// A deterministic synthetic workload with heavy cross-node sharing: a
@@ -87,6 +89,7 @@ fn soak_run(kind: ProtocolKind, quantum: u64, faults: FaultConfig, iters: u64) -
     Soak {
         checks: report.checks(),
         clean: report.is_clean(),
+        faults: fin.fault_stats(),
         mem,
         stats: fin.stats,
     }
@@ -122,6 +125,22 @@ fn fault_plan(seed: u64) -> FaultConfig {
         delay_per_mille: 40,
         max_delay_cycles: 120,
         seed,
+        ..FaultConfig::default()
+    }
+}
+
+/// All five fault classes at once: NACKs, delays, plus the transport-level
+/// drops, duplicates and reorders the recovery layer must absorb.
+fn chaos_plan(seed: u64) -> FaultConfig {
+    FaultConfig {
+        nack_per_mille: 40,
+        delay_per_mille: 30,
+        drop_per_mille: 60,
+        dup_per_mille: 50,
+        reorder_per_mille: 40,
+        max_delay_cycles: 120,
+        seed,
+        ..FaultConfig::default()
     }
 }
 
@@ -153,14 +172,71 @@ fn faults_never_change_results_sequential_soak() {
     }
 }
 
+/// The tentpole acceptance soak: with drops, duplicates and reorders all
+/// nonzero, the recovery transport must hand the protocol an exactly-once,
+/// in-order stream — so a faulted sequential run still reproduces the
+/// fault-free results byte for byte, with strict invariants silent, while
+/// the transport demonstrably worked (drops recovered by retransmission,
+/// duplicates suppressed).
+#[test]
+fn transport_faults_never_change_results_sequential_soak() {
+    for kind in soak_protocols() {
+        let base = soak_run(kind, SEQUENTIAL_QUANTUM, FaultConfig::default(), 80);
+        assert!(base.clean, "{kind:?}: fault-free run must be clean");
+        assert_eq!(base.stats.machine.retransmits, 0, "{kind:?}: no faults yet");
+        for seed in [1u64, 0xFA17, 0xDEAD_BEEF] {
+            let faulted = soak_run(kind, SEQUENTIAL_QUANTUM, chaos_plan(seed), 80);
+            assert!(faulted.clean, "{kind:?}/{seed:#x}: strict soak clean");
+            assert!(
+                faulted.faults.drops > 0,
+                "{kind:?}/{seed:#x}: drops must fire"
+            );
+            assert!(
+                faulted.faults.dups_suppressed > 0,
+                "{kind:?}/{seed:#x}: receiver dedup must fire"
+            );
+            assert!(
+                faulted.faults.reorders > 0,
+                "{kind:?}/{seed:#x}: reorder detention must fire"
+            );
+            assert!(
+                faulted.stats.machine.retransmits > 0,
+                "{kind:?}/{seed:#x}: the engine must account retransmissions"
+            );
+            assert_eq!(
+                faulted.stats.machine.retransmits, faulted.faults.retransmits,
+                "{kind:?}/{seed:#x}: engine and network retransmit accounting agree"
+            );
+            assert_results_identical(&faulted, &base, &format!("chaos {kind:?}/{seed:#x}"));
+        }
+    }
+}
+
+/// Concurrent (quantum = 1) runs under the full chaos plan still complete,
+/// add up, and stay invariant-clean.
+#[test]
+fn concurrent_transport_fault_soak_is_clean_and_correct() {
+    for kind in soak_protocols() {
+        for seed in [7u64, 0xBEEF] {
+            let soak = soak_run(kind, 1, chaos_plan(seed), 60);
+            assert!(soak.clean, "{kind:?}/{seed:#x}");
+            assert!(soak.faults.drops > 0, "{kind:?}/{seed:#x}: drops fired");
+            assert_eq!(soak.mem[0], PROCS as u64 * 60, "{kind:?}/{seed:#x}: ctr");
+        }
+    }
+}
+
 /// Same seed, same plan ⇒ the *entire* run, timing included, is identical.
 #[test]
 fn fault_runs_are_deterministic_per_seed() {
     for kind in [ProtocolKind::Baseline, ProtocolKind::Ls] {
-        let a = soak_run(kind, 1, fault_plan(42), 60);
-        let b = soak_run(kind, 1, fault_plan(42), 60);
-        assert_eq!(a.stats, b.stats, "{kind:?}: same-seed runs must be equal");
-        assert_eq!(a.mem, b.mem);
+        for plan in [fault_plan(42), chaos_plan(42)] {
+            let a = soak_run(kind, 1, plan, 60);
+            let b = soak_run(kind, 1, plan, 60);
+            assert_eq!(a.stats, b.stats, "{kind:?}: same-seed runs must be equal");
+            assert_eq!(a.faults, b.faults, "{kind:?}: fault streams must repeat");
+            assert_eq!(a.mem, b.mem);
+        }
     }
 }
 
@@ -239,6 +315,57 @@ fn invariant_checker_catches_a_wrong_data_value() {
         .any(|v| matches!(v.rule, InvariantRule::DataValue)));
 }
 
+/// Drive a migratory two-block workload straight on a `Machine` under a
+/// duplicate-heavy fault plan. With receiver dedup intact the run is clean;
+/// with the skip-dedup transport mutation installed, leaked duplicates
+/// re-apply stale directory transitions that strict invariants convict.
+fn migratory_machine_run(skip_dedup: bool) {
+    let cfg = MachineConfig::splash_baseline(ProtocolKind::Baseline).with_faults(FaultConfig {
+        dup_per_mille: 600,
+        drop_per_mille: 100,
+        seed: 0xD0D0,
+        ..FaultConfig::default()
+    });
+    let mut m = Machine::new(cfg);
+    if skip_dedup {
+        m.install_skip_dedup();
+    }
+    m.set_invariant_mode(InvariantMode::Strict);
+    let (a, b) = (Addr(0x100), Addr(4096 + 0x100));
+    let mut t = 0;
+    for i in 0..40u64 {
+        let p = NodeId((i % 4) as u16);
+        let (_, t1, _) = m.load(p, a, t);
+        let (t2, _) = m.write(p, a, i, t1, Component::App);
+        let (_, t3, _) = m.load(p, b, t2);
+        let (t4, _) = m.write(p, b, i, t3, Component::App);
+        t = t4 + 10;
+    }
+    assert!(m.invariant_report().is_clean());
+    if !skip_dedup {
+        assert!(
+            m.fault_stats().dups_suppressed > 0,
+            "duplicates must actually have been injected"
+        );
+    }
+}
+
+/// Control: the same duplicate-heavy run with dedup intact is clean.
+#[test]
+fn duplicate_heavy_run_with_dedup_intact_is_clean() {
+    migratory_machine_run(false);
+}
+
+/// The seeded transport mutation has teeth: without receiver dedup, a
+/// duplicated ownership request leaks through, re-applies a stale
+/// transition at the home directory, and strict invariant checking aborts
+/// on the directory/cache divergence.
+#[test]
+#[should_panic(expected = "coherence invariant violated")]
+fn skip_dedup_mutation_is_convicted_in_strict_mode() {
+    migratory_machine_run(true);
+}
+
 /// Watchdog: a pathological fault plan cannot hang a run — a single access
 /// that exceeds the per-access budget aborts with a diagnostic instead.
 #[test]
@@ -263,12 +390,14 @@ fn long_fault_soak() {
     for kind in soak_protocols() {
         let base = soak_run(kind, SEQUENTIAL_QUANTUM, FaultConfig::default(), 400);
         for seed in [1u64, 2, 3, 0xFA17, 0xDEAD_BEEF, 0x1234_5678] {
-            let faulted = soak_run(kind, SEQUENTIAL_QUANTUM, fault_plan(seed), 400);
-            assert!(faulted.clean);
-            assert_results_identical(&faulted, &base, &format!("long {kind:?}/{seed:#x}"));
-            let concurrent = soak_run(kind, 1, fault_plan(seed), 400);
-            assert!(concurrent.clean, "long concurrent {kind:?}/{seed:#x}");
-            assert_eq!(concurrent.mem[0], PROCS as u64 * 400);
+            for plan in [fault_plan(seed), chaos_plan(seed)] {
+                let faulted = soak_run(kind, SEQUENTIAL_QUANTUM, plan, 400);
+                assert!(faulted.clean);
+                assert_results_identical(&faulted, &base, &format!("long {kind:?}/{seed:#x}"));
+                let concurrent = soak_run(kind, 1, plan, 400);
+                assert!(concurrent.clean, "long concurrent {kind:?}/{seed:#x}");
+                assert_eq!(concurrent.mem[0], PROCS as u64 * 400);
+            }
         }
     }
 }

@@ -102,6 +102,7 @@ fn fault_injection_stays_deterministic_across_thread_counts() {
         delay_per_mille: 40,
         max_delay_cycles: 60,
         seed: 0xFA11,
+        ..FaultConfig::default()
     };
     for kind in [ProtocolKind::Baseline, ProtocolKind::Ls] {
         let cfg = MachineConfig::splash_baseline(kind).with_faults(faults);

@@ -57,7 +57,7 @@ impl std::fmt::Display for JobError {
 
 /// Stringify a panic payload (panics carry `&str` or `String` in practice;
 /// anything else gets a placeholder rather than being dropped).
-fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

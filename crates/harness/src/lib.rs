@@ -19,7 +19,12 @@
 //!    experiment suite without simulating anything.
 
 pub mod cache;
+pub mod chaos;
 pub mod jobset;
 
 pub use cache::{default_dir, run_cached, run_cached_at, run_key, CacheMode, CacheStats};
+pub use chaos::{
+    chaos_plan, sweep, ChaosCell, ChaosConfig, ChaosOutcome, ChaosWitness, CHAOS_THREADS_ENV,
+    SEQUENTIAL_QUANTUM,
+};
 pub use jobset::{default_workers, run_protocols, Job, JobError, JobSet};

@@ -75,3 +75,24 @@ fn guard_scoped_before_fanout(set: JobSet, stats: &Mutex<u64>) {
     }
     set.run_checked();
 }
+
+fn unbounded_retry_violation() {
+    loop {
+        if retry() {
+            break;
+        }
+    }
+}
+
+fn bounded_retry_ok(n: u32) {
+    for attempt in 0..n {
+        retry_once(attempt);
+    }
+    while busy() {}
+    // ccsim-lint: allow(unbounded-retry): NACK streaks capped by max_consecutive_nacks
+    loop {
+        if retry() {
+            break;
+        }
+    }
+}

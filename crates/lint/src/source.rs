@@ -22,6 +22,7 @@ pub const RULE_UNWRAP: &str = "unwrap";
 pub const RULE_TESTING_GATE: &str = "testing-gate";
 pub const RULE_LOCK_ORDER: &str = "lock-order";
 pub const RULE_GUARD_FANOUT: &str = "guard-across-fanout";
+pub const RULE_UNBOUNDED_RETRY: &str = "unbounded-retry";
 pub const RULE_BAD_ALLOW: &str = "bad-allow";
 
 /// Static description of one rule, for `--explain`.
@@ -98,6 +99,18 @@ guard and release it — an explicit drop(g) or a narrower block — before \
 fanning out.",
     },
     RuleInfo {
+        id: RULE_UNBOUNDED_RETRY,
+        summary: "bare `loop` retries in crates/engine and crates/network need a documented bound",
+        explain: "The engine's request path and the recovery transport re-issue messages \
+until they get through; a retry loop whose termination argument lives only in \
+the author's head is how a lossy interconnect turns into a hang. A bare \
+`loop {}` has no structural bound — only `break` ends it — so inside \
+crates/engine/src and crates/network/src every one must state its bound \
+(capped backoff, bounded fault streaks, scheduler progress) in a ccsim-lint: \
+allow(unbounded-retry) justification on the loop. `for`/`while` loops carry \
+their bound in the header and are exempt.",
+    },
+    RuleInfo {
         id: RULE_BAD_ALLOW,
         summary: "allow directives must name a known rule and carry a justification",
         explain: "Suppressions are part of the audit trail: ccsim-lint: allow(<rule>): \
@@ -154,6 +167,9 @@ pub struct LintConfig {
     /// Path prefixes where the `wall-clock` rule is suspended (code that
     /// legitimately measures host time).
     pub wall_clock_allowlist: Vec<String>,
+    /// Path prefixes where the `unbounded-retry` rule applies (retry-prone
+    /// request/transport code).
+    pub retry_scope: Vec<String>,
 }
 
 impl LintConfig {
@@ -162,6 +178,7 @@ impl LintConfig {
         LintConfig {
             unwrap_scope: vec!["crates/core/src/".into(), "crates/engine/src/".into()],
             wall_clock_allowlist: vec!["crates/bench/".into(), "crates/harness/".into()],
+            retry_scope: vec!["crates/engine/src/".into(), "crates/network/src/".into()],
         }
     }
 
@@ -170,6 +187,7 @@ impl LintConfig {
         LintConfig {
             unwrap_scope: vec![String::new()],
             wall_clock_allowlist: Vec::new(),
+            retry_scope: vec![String::new()],
         }
     }
 
@@ -182,6 +200,12 @@ impl LintConfig {
     fn wall_clock_applies(&self, file: &str) -> bool {
         !self
             .wall_clock_allowlist
+            .iter()
+            .any(|p| file.starts_with(p.as_str()))
+    }
+
+    fn retry_applies(&self, file: &str) -> bool {
+        self.retry_scope
             .iter()
             .any(|p| file.starts_with(p.as_str()))
     }
@@ -205,6 +229,9 @@ pub fn lint_file(file: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
     rule_testing_gate(file, toks, &exempt, &mut diags);
     rule_lock_order(file, toks, &exempt, &mut diags);
     rule_guard_fanout(file, toks, &exempt, &mut diags);
+    if cfg.retry_applies(file) {
+        rule_unbounded_retry(file, toks, &exempt, &mut diags);
+    }
 
     // Apply suppressions: a well-formed, justified allow for the matching
     // rule on the diagnostic's line or the line directly above.
@@ -795,6 +822,29 @@ across `{f}(..)` — the fan-out blocks on worker threads, so drop the guard fir
     }
 }
 
+fn rule_unbounded_retry(file: &str, toks: &[Token], exempt: &[bool], out: &mut Vec<Diagnostic>) {
+    for i in 0..toks.len() {
+        if exempt[i] || !is_ident(toks, i, "loop") {
+            continue;
+        }
+        // Only the statement form `loop {` — `loop` as an identifier (a
+        // field or variable named loop is not even legal Rust, but labels
+        // like `'retry: loop` still hit this arm via the following `{`).
+        if !is_sym(toks, i + 1, '{') {
+            continue;
+        }
+        out.push(Diagnostic {
+            file: file.to_string(),
+            line: toks[i].line,
+            rule: RULE_UNBOUNDED_RETRY,
+            message: "bare `loop` on a retry-prone path has no structural bound — cap the \
+retries (bounded streaks, capped backoff) and state the bound in an allow \
+comment"
+                .to_string(),
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -893,6 +943,58 @@ pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher
         let cfg = LintConfig::all_rules();
         let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or_default().min(x.unwrap_or(3)) }";
         assert!(lint_file("crates/core/src/x.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn unbounded_retry_flags_bare_loops_in_scope_only() {
+        let src = "fn f() { loop { step(); } }";
+        let cfg = LintConfig::workspace();
+        assert_eq!(
+            rules_of(&lint_file("crates/engine/src/machine.rs", src, &cfg)),
+            [RULE_UNBOUNDED_RETRY]
+        );
+        assert_eq!(
+            rules_of(&lint_file("crates/network/src/lib.rs", src, &cfg)),
+            [RULE_UNBOUNDED_RETRY]
+        );
+        assert!(lint_file("crates/stats/src/lib.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn unbounded_retry_accepts_header_bounded_loops() {
+        let cfg = LintConfig::all_rules();
+        let src = "
+            fn f(n: u32) {
+                for i in 0..n { step(i); }
+                while n > 0 { step(n); }
+            }
+        ";
+        assert!(lint_file("x.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn unbounded_retry_is_suppressed_by_a_justified_allow() {
+        let cfg = LintConfig::all_rules();
+        let src = "
+            fn f() {
+                // ccsim-lint: allow(unbounded-retry): backoff capped at 64 cycles
+                loop { if step() { break; } }
+            }
+        ";
+        assert!(lint_file("x.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn unbounded_retry_exempts_test_code() {
+        let cfg = LintConfig::all_rules();
+        let src = "
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { loop { break; } }
+            }
+        ";
+        assert!(lint_file("x.rs", src, &cfg).is_empty());
     }
 
     #[test]

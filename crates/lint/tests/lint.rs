@@ -4,7 +4,7 @@
 
 use ccsim_lint::source::{
     lint_file, LintConfig, RULE_BAD_ALLOW, RULE_GUARD_FANOUT, RULE_LOCK_ORDER, RULE_RANDOMSTATE,
-    RULE_TESTING_GATE, RULE_UNWRAP, RULE_WALL_CLOCK,
+    RULE_TESTING_GATE, RULE_UNBOUNDED_RETRY, RULE_UNWRAP, RULE_WALL_CLOCK,
 };
 
 const FIXTURE: &str = include_str!("../fixtures/seeded.rs");
@@ -23,11 +23,12 @@ fn fixture_produces_exactly_the_expected_diagnostics() {
         (23, RULE_UNWRAP),      // x.unwrap()
         (24, RULE_UNWRAP),      // x.expect("msg")
         (30, RULE_TESTING_GATE),
-        (36, RULE_BAD_ALLOW),    // allow without justification
-        (37, RULE_BAD_ALLOW),    // allow(nosuch)
-        (38, RULE_BAD_ALLOW),    // malformed directive
-        (58, RULE_LOCK_ORDER),   // cache→stats conflicts with stats→cache (line 53)
-        (63, RULE_GUARD_FANOUT), // set.run() with `g` still live
+        (36, RULE_BAD_ALLOW),       // allow without justification
+        (37, RULE_BAD_ALLOW),       // allow(nosuch)
+        (38, RULE_BAD_ALLOW),       // malformed directive
+        (58, RULE_LOCK_ORDER),      // cache→stats conflicts with stats→cache (line 53)
+        (63, RULE_GUARD_FANOUT),    // set.run() with `g` still live
+        (80, RULE_UNBOUNDED_RETRY), // bare loop with no documented bound
     ];
     assert_eq!(
         got,
@@ -54,5 +55,6 @@ fn workspace_scoping_silences_out_of_scope_rules_on_the_fixture() {
     // scope, so only the universal rules fire.
     let diags = lint_file("fixtures/seeded.rs", FIXTURE, &LintConfig::workspace());
     assert!(diags.iter().all(|d| d.rule != RULE_UNWRAP));
+    assert!(diags.iter().all(|d| d.rule != RULE_UNBOUNDED_RETRY));
     assert!(diags.iter().any(|d| d.rule == RULE_RANDOMSTATE));
 }

@@ -1,6 +1,8 @@
 //! Bounded-configuration description for the model checker.
 
-use ccsim_types::{AdConfig, LsConfig, ProtocolConfig, ProtocolKind, RuleMutation};
+use ccsim_types::{
+    AdConfig, LsConfig, ProtocolConfig, ProtocolKind, RuleMutation, TransportMutation,
+};
 
 /// Upper bound on nodes the abstract state supports (sharer bitmask and
 /// copy array width). Exploration cost grows steeply with nodes; the
@@ -12,6 +14,10 @@ pub const MAX_BLOCKS: u8 = 4;
 
 /// Upper bound on per-node operation budget.
 pub const MAX_OPS: u8 = 8;
+
+/// Upper bound on the transport fault budget (total drops + duplicate
+/// redeliveries explored per interleaving).
+pub const MAX_FAULTS: u8 = 4;
 
 /// A bounded model-checking configuration: which protocol to explore and
 /// how large the abstract machine is.
@@ -41,6 +47,21 @@ pub struct ModelConfig {
     /// Seeded rule mutation to explore. Installing one requires the
     /// `testing` cargo feature; see [`ModelConfig::protocol`].
     pub mutation: Option<RuleMutation>,
+    /// Transport fault budget: how many interconnect faults (message drops
+    /// and duplicate redeliveries, combined) each interleaving may contain
+    /// (0..=[`MAX_FAULTS`], 0 = fault-free).
+    ///
+    /// With the recovery transport intact these ghost transitions are
+    /// no-ops on the coherence state — a drop is absorbed by
+    /// timeout-and-retransmit (the atomic-transaction abstraction already
+    /// explores every delivery order), and a duplicate is suppressed by
+    /// receiver dedup — so a clean exploration *proves* the protocol never
+    /// observes a bounded-faulty interconnect.
+    pub fault_budget: u8,
+    /// Seeded transport mutation to explore (e.g. skip receiver dedup, so
+    /// duplicate redeliveries re-apply at the directory). Requires the
+    /// `testing` cargo feature, like [`ModelConfig::mutation`].
+    pub transport_mutation: Option<TransportMutation>,
 }
 
 impl ModelConfig {
@@ -57,6 +78,8 @@ impl ModelConfig {
             ls: LsConfig::default(),
             ad: AdConfig::default(),
             mutation: None,
+            fault_budget: 0,
+            transport_mutation: None,
         }
     }
 
@@ -77,6 +100,16 @@ impl ModelConfig {
 
     pub fn with_mutation(mut self, mutation: RuleMutation) -> Self {
         self.mutation = Some(mutation);
+        self
+    }
+
+    pub fn with_fault_budget(mut self, fault_budget: u8) -> Self {
+        self.fault_budget = fault_budget;
+        self
+    }
+
+    pub fn with_transport_mutation(mut self, m: TransportMutation) -> Self {
+        self.transport_mutation = Some(m);
         self
     }
 
@@ -107,6 +140,19 @@ impl ModelConfig {
             return Err(format!(
                 "max_ops must be in 1..={MAX_OPS}, got {}",
                 self.max_ops
+            ));
+        }
+        if self.fault_budget > MAX_FAULTS {
+            return Err(format!(
+                "fault_budget must be in 0..={MAX_FAULTS}, got {}",
+                self.fault_budget
+            ));
+        }
+        #[cfg(not(feature = "testing"))]
+        if let Some(m) = self.transport_mutation {
+            return Err(format!(
+                "transport mutation {} requires the `testing` cargo feature",
+                m.label()
             ));
         }
         let mut p = ProtocolConfig::new(self.kind);
@@ -149,6 +195,14 @@ mod tests {
             .is_err());
         assert!(ModelConfig::new(ProtocolKind::Ls)
             .with_max_ops(0)
+            .protocol()
+            .is_err());
+        assert!(ModelConfig::new(ProtocolKind::Ls)
+            .with_fault_budget(MAX_FAULTS)
+            .protocol()
+            .is_ok());
+        assert!(ModelConfig::new(ProtocolKind::Ls)
+            .with_fault_budget(MAX_FAULTS + 1)
             .protocol()
             .is_err());
     }

@@ -107,7 +107,7 @@ pub fn explore(cfg: &ModelConfig) -> Result<Exploration, String> {
         }
         for step in steps {
             let mut next = states[id as usize].clone();
-            let violations = next.apply(&pcfg, &mut stats, step);
+            let violations = next.apply(cfg, &pcfg, &mut stats, step);
             metrics.transitions += 1;
             if let Some(v) = violations.into_iter().next() {
                 let mut path = Vec::new();

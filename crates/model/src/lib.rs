@@ -54,7 +54,7 @@ pub mod replay;
 pub mod state;
 pub mod summary;
 
-pub use config::{ModelConfig, MAX_BLOCKS, MAX_NODES, MAX_OPS};
+pub use config::{ModelConfig, MAX_BLOCKS, MAX_FAULTS, MAX_NODES, MAX_OPS};
 pub use explore::{explore, Counterexample, Exploration, Metrics};
 pub use replay::{machine_config, replay_counterexample, to_trace};
 pub use state::{AbsState, BlockView, CopyVal, OpKind, Step, Violation};

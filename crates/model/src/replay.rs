@@ -44,6 +44,13 @@ pub fn machine_config(cfg: &ModelConfig) -> MachineConfig {
 }
 
 /// Convert abstract steps into a concrete trace for [`machine_config`].
+///
+/// Ghost transport-fault steps (`Drop`, `DupLoad`, `DupStore`) are not
+/// processor operations and carry no trace event — replaying them requires
+/// the engine's seeded fault injection instead (the `skip-dedup` conviction
+/// test in `crates/engine/tests/faults.rs` closes that loop). A
+/// transport-mutation counterexample therefore replays only its processor
+/// prefix, which is clean by the exactly-once theorem.
 pub fn to_trace(cfg: &ModelConfig, steps: &[Step]) -> Trace {
     let mc = machine_config(cfg);
     let block_bytes = mc.block_bytes();
@@ -53,7 +60,7 @@ pub fn to_trace(cfg: &ModelConfig, steps: &[Step]) -> Trace {
     let mut evictions = 0u64;
     let events = steps
         .iter()
-        .map(|s| {
+        .filter_map(|s| {
             let op = match s.op {
                 OpKind::Load => TraceOp::Load(addr_of(s.block)),
                 OpKind::LoadExcl => TraceOp::LoadExclusive(addr_of(s.block)),
@@ -66,8 +73,9 @@ pub fn to_trace(cfg: &ModelConfig, steps: &[Step]) -> Trace {
                     evictions += 1;
                     TraceOp::Load(Addr(evictions * conflict_stride + addr_of(s.block).0))
                 }
+                OpKind::Drop | OpKind::DupLoad | OpKind::DupStore => return None,
             };
-            TraceEvent { proc: s.node.0, op }
+            Some(TraceEvent { proc: s.node.0, op })
         })
         .collect();
     Trace::from_events(cfg.nodes, events).expect("model steps name in-range nodes")

@@ -25,9 +25,9 @@
 
 use ccsim_core::rules::{self, AcquirePurpose, CopyState, LocalReadExcl, LocalStore, SafetyRule};
 use ccsim_core::{DirEntry, DirStats, HomeState, ReadStep, WriteStep};
-use ccsim_types::{BlockAddr, NodeId, ProtocolConfig};
+use ccsim_types::{BlockAddr, NodeId, ProtocolConfig, TransportMutation};
 
-use crate::config::ModelConfig;
+use crate::config::{ModelConfig, MAX_BLOCKS};
 
 /// A cached copy: coherence state plus the abstract data value.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,6 +57,20 @@ pub enum OpKind {
     LoadExcl,
     /// Replace the node's cached copy (enabled only while one exists).
     Evict,
+    /// Ghost transport fault: the interconnect drops one message and the
+    /// sender's timeout retransmits it. Because transitions are whole
+    /// transactions (delivery eventually happens, in an order BFS already
+    /// explores), this is a no-op on the coherence state — which is
+    /// precisely the recovery-transport theorem being checked.
+    Drop,
+    /// Ghost transport fault: a stale duplicate of this node's completed
+    /// global *read* is redelivered to the home. Receiver dedup suppresses
+    /// it; under [`TransportMutation::SkipDedup`] it re-applies at the
+    /// directory with no matching cache fill.
+    DupLoad,
+    /// Ghost transport fault: a stale duplicate of this node's completed
+    /// global *write acquisition* is redelivered to the home.
+    DupStore,
 }
 
 /// One transition: a node performs an operation on a block.
@@ -74,6 +88,9 @@ impl std::fmt::Display for Step {
             OpKind::Store => "Store",
             OpKind::LoadExcl => "LoadExcl",
             OpKind::Evict => "Evict",
+            OpKind::Drop => "Drop+retransmit",
+            OpKind::DupLoad => "DupLoad",
+            OpKind::DupStore => "DupStore",
         };
         write!(f, "P{} {op} B{}", self.node.0, self.block)
     }
@@ -100,6 +117,19 @@ pub struct AbsState {
     /// one unit, so total budget strictly decreases — the explored system
     /// cannot livelock, and a state is terminal iff all budgets are zero.
     pub budget: Vec<u8>,
+    /// Remaining transport faults (drops + duplicate redeliveries). Every
+    /// ghost fault transition consumes one unit, keeping the space finite.
+    pub faults_left: u8,
+    /// Which (node, block) pairs have a completed global read whose stale
+    /// duplicate could still be redelivered (bit `node * MAX_BLOCKS +
+    /// block`).
+    pub dup_reads: u32,
+    /// Same for completed global write acquisitions.
+    pub dup_writes: u32,
+}
+
+fn dup_bit(node: usize, block: u8) -> u32 {
+    1 << (node as u32 * MAX_BLOCKS as u32 + block as u32)
 }
 
 impl AbsState {
@@ -114,6 +144,9 @@ impl AbsState {
                 })
                 .collect(),
             budget: vec![cfg.max_ops; cfg.nodes as usize],
+            faults_left: cfg.fault_budget,
+            dup_reads: 0,
+            dup_writes: 0,
         }
     }
 
@@ -145,6 +178,9 @@ impl AbsState {
             }
         }
         out.extend_from_slice(&self.budget);
+        out.push(self.faults_left);
+        out.extend_from_slice(&self.dup_reads.to_le_bytes());
+        out.extend_from_slice(&self.dup_writes.to_le_bytes());
         out
     }
 
@@ -186,6 +222,46 @@ impl AbsState {
                 }
             }
         }
+        if self.faults_left > 0 {
+            // One Drop per state suffices: dropping any message and
+            // retransmitting it yields the same successor regardless of
+            // whose message it was.
+            steps.push(Step {
+                node: NodeId(0),
+                op: OpKind::Drop,
+                block: 0,
+            });
+            for p in 0..cfg.nodes as usize {
+                let node = NodeId(p as u16);
+                for block in 0..cfg.blocks {
+                    // The directory front-end rejects (by assertion) a
+                    // request from the current owner for its own block; the
+                    // concrete NI holds such stale duplicates back, so the
+                    // model does too.
+                    let owned_by_p = matches!(
+                        self.blocks[block as usize].entry.state,
+                        HomeState::Owned(o) if o == node
+                    );
+                    if owned_by_p {
+                        continue;
+                    }
+                    if self.dup_reads & dup_bit(p, block) != 0 {
+                        steps.push(Step {
+                            node,
+                            op: OpKind::DupLoad,
+                            block,
+                        });
+                    }
+                    if self.dup_writes & dup_bit(p, block) != 0 {
+                        steps.push(Step {
+                            node,
+                            op: OpKind::DupStore,
+                            block,
+                        });
+                    }
+                }
+            }
+        }
         steps
     }
 
@@ -194,13 +270,19 @@ impl AbsState {
     /// sink for the shared rules; it is not part of the model state.
     pub fn apply(
         &mut self,
+        cfg: &ModelConfig,
         pcfg: &ProtocolConfig,
         stats: &mut DirStats,
         step: Step,
     ) -> Vec<Violation> {
         let p = step.node;
         let pi = p.0 as usize;
+        if matches!(step.op, OpKind::Drop | OpKind::DupLoad | OpKind::DupStore) {
+            return self.apply_fault(cfg, pcfg, stats, step);
+        }
         self.budget[pi] -= 1;
+        let mut did_global_read = false;
+        let mut did_global_write = false;
         let b = &mut self.blocks[step.block as usize];
         let mut out = Vec::new();
         let push = |out: &mut Vec<Violation>, rule: SafetyRule, detail: String| {
@@ -222,6 +304,7 @@ impl AbsState {
                         );
                     }
                 } else {
+                    did_global_read = true;
                     let pre = b.entry;
                     let rstep = rules::read(pcfg, stats, &mut b.entry, p);
                     match rstep {
@@ -307,6 +390,7 @@ impl AbsState {
                 if let LocalStore::Acquire { .. } =
                     rules::store_probe(b.copies[pi].map(|c| c.state))
                 {
+                    did_global_write = true;
                     let pre = b.entry;
                     match global_acquire(pcfg, stats, b, p) {
                         Ok(_) => {
@@ -341,6 +425,7 @@ impl AbsState {
                     }
                 }
                 LocalReadExcl::Acquire { .. } => {
+                    did_global_write = true;
                     let pre = b.entry;
                     let (val, data_dirty) = match global_acquire(pcfg, stats, b, p) {
                         Ok(v) => v,
@@ -379,8 +464,90 @@ impl AbsState {
                     push(&mut out, SafetyRule::ProtocolRule, d);
                 }
             }
+            OpKind::Drop | OpKind::DupLoad | OpKind::DupStore => {
+                unreachable!("ghost fault steps are dispatched to apply_fault")
+            }
         }
 
+        if cfg.fault_budget > 0 {
+            if did_global_read {
+                self.dup_reads |= dup_bit(pi, step.block);
+            }
+            if did_global_write {
+                self.dup_writes |= dup_bit(pi, step.block);
+            }
+        }
+        out.extend(self.global_violations(pcfg));
+        out
+    }
+
+    /// Execute one ghost transport-fault transition. A [`OpKind::Drop`] is
+    /// absorbed by retransmission; a duplicate redelivery is suppressed by
+    /// receiver dedup unless [`TransportMutation::SkipDedup`] is seeded, in
+    /// which case the home re-applies the stale request with no matching
+    /// cache fill — the requester discards the response (stale transaction
+    /// id), so only the directory side moves.
+    fn apply_fault(
+        &mut self,
+        cfg: &ModelConfig,
+        pcfg: &ProtocolConfig,
+        stats: &mut DirStats,
+        step: Step,
+    ) -> Vec<Violation> {
+        self.faults_left -= 1;
+        if step.op == OpKind::Drop {
+            return Vec::new();
+        }
+        let p = step.node;
+        let bit = dup_bit(p.0 as usize, step.block);
+        if step.op == OpKind::DupLoad {
+            self.dup_reads &= !bit;
+        } else {
+            self.dup_writes &= !bit;
+        }
+        let mut out = Vec::new();
+        if matches!(cfg.transport_mutation, Some(TransportMutation::SkipDedup)) {
+            let b = &mut self.blocks[step.block as usize];
+            if step.op == OpKind::DupLoad {
+                match rules::read(pcfg, stats, &mut b.entry, p) {
+                    ReadStep::Memory { .. } => {}
+                    ReadStep::Forward { owner } => {
+                        let report =
+                            b.copies[owner.0 as usize].and_then(|c| rules::owner_report(c.state));
+                        match report {
+                            Some((wrote, dirty)) => {
+                                let _ = rules::read_forward_result(
+                                    pcfg,
+                                    stats,
+                                    &mut b.entry,
+                                    p,
+                                    wrote,
+                                    dirty,
+                                );
+                            }
+                            None => out.push(Violation {
+                                rule: SafetyRule::StateAgreement,
+                                detail: format!(
+                                    "stale duplicate read forwarded to {owner} but its cache \
+holds no ownable copy"
+                                ),
+                            }),
+                        }
+                    }
+                }
+            } else {
+                match rules::write(pcfg, stats, &mut b.entry, p) {
+                    WriteStep::Memory { .. } => {}
+                    WriteStep::Forward { owner } => {
+                        let modified = matches!(
+                            b.copies[owner.0 as usize],
+                            Some(c) if c.state == CopyState::Modified
+                        );
+                        rules::write_forward_result(stats, &mut b.entry, p, modified);
+                    }
+                }
+            }
+        }
         out.extend(self.global_violations(pcfg));
         out
     }
@@ -494,7 +661,7 @@ mod tests {
 
     #[test]
     fn a_clean_ls_cycle_produces_no_violations() {
-        let (_, pcfg, mut st, mut stats) = setup(ProtocolKind::Ls);
+        let (cfg, pcfg, mut st, mut stats) = setup(ProtocolKind::Ls);
         let p0 = NodeId(0);
         let p1 = NodeId(1);
         for step in [
@@ -519,7 +686,7 @@ mod tests {
                 block: 0,
             },
         ] {
-            let v = st.apply(&pcfg, &mut stats, step);
+            let v = st.apply(&cfg, &pcfg, &mut stats, step);
             assert!(v.is_empty(), "{step}: {v:?}");
         }
         // The migratory chain left P1 the owner with the latest value.
@@ -541,7 +708,7 @@ mod tests {
         while left > 0 {
             let steps = st.enabled_steps(&cfg);
             assert!(!steps.is_empty(), "budget left but no step enabled");
-            let v = st.apply(&pcfg, &mut stats, steps[0]);
+            let v = st.apply(&cfg, &pcfg, &mut stats, steps[0]);
             assert!(v.is_empty());
             assert_eq!(total(&st), left - 1);
             left -= 1;
@@ -551,13 +718,14 @@ mod tests {
 
     #[test]
     fn encoding_distinguishes_states_and_is_stable() {
-        let (_, pcfg, mut st, mut stats) = setup(ProtocolKind::Ls);
+        let (cfg, pcfg, mut st, mut stats) = setup(ProtocolKind::Ls);
         let init = st.encode();
         assert_eq!(
             init,
             AbsState::initial(&ModelConfig::new(ProtocolKind::Ls), &pcfg).encode()
         );
         st.apply(
+            &cfg,
             &pcfg,
             &mut stats,
             Step {
@@ -571,8 +739,9 @@ mod tests {
 
     #[test]
     fn a_tampered_state_is_flagged() {
-        let (_, pcfg, mut st, mut stats) = setup(ProtocolKind::Baseline);
+        let (cfg, pcfg, mut st, mut stats) = setup(ProtocolKind::Baseline);
         st.apply(
+            &cfg,
             &pcfg,
             &mut stats,
             Step {

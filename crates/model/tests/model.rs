@@ -4,9 +4,9 @@
 //! replay to concrete engine-level invariant failures.
 
 use ccsim_engine::InvariantMode;
-use ccsim_model::{explore, replay_counterexample, summarize, ModelConfig};
+use ccsim_model::{explore, replay_counterexample, summarize, ModelConfig, OpKind};
 use ccsim_stats::ModelCheckSummary;
-use ccsim_types::{ProtocolKind, RuleMutation};
+use ccsim_types::{ProtocolKind, RuleMutation, TransportMutation};
 
 // --- Clean exhaustive explorations (the main verification result) ------
 
@@ -156,4 +156,87 @@ fn strict_mode_replay_panics_at_the_violation() {
         msg.contains("coherence invariant violated"),
         "unexpected panic payload: {msg}"
     );
+}
+
+// --- Bounded transport faults (the recovery-transport theorem) ---------
+//
+// With the recovery transport intact, interconnect faults are invisible to
+// the protocol: a drop is absorbed by timeout-and-retransmit and a
+// duplicate by receiver dedup. Exploring every interleaving that contains
+// up to `fault_budget` ghost faults must therefore stay violation-free.
+// Seeding the skip-dedup transport mutation must break exactly that
+// theorem, with a shortest counterexample ending in a duplicate delivery.
+
+#[test]
+fn bounded_transport_faults_are_absorbed_for_all_protocols() {
+    for kind in ProtocolKind::ALL {
+        let base = explore(&ModelConfig::new(kind)).unwrap();
+        let faulty = explore(&ModelConfig::new(kind).with_fault_budget(2)).unwrap();
+        assert!(
+            faulty.counterexample.is_none(),
+            "{kind:?} with a fault budget of 2 violated:\n{}",
+            faulty.counterexample.unwrap()
+        );
+        assert!(
+            faulty.metrics.transitions > base.metrics.transitions,
+            "{kind:?}: the fault budget added no ghost transitions"
+        );
+        assert!(faulty.terminal_states > 0);
+    }
+}
+
+#[test]
+fn skip_dedup_is_convicted_with_a_shortest_counterexample() {
+    for kind in ProtocolKind::ALL {
+        let cfg = ModelConfig::new(kind)
+            .with_fault_budget(1)
+            .with_transport_mutation(TransportMutation::SkipDedup);
+        let ex = explore(&cfg).unwrap();
+        let cex = ex.counterexample.unwrap_or_else(|| {
+            panic!(
+                "skip-dedup under {kind:?} was not caught in {} states",
+                ex.metrics.states
+            )
+        });
+        let last = cex.steps.last().unwrap();
+        assert!(
+            matches!(last.op, OpKind::DupLoad | OpKind::DupStore),
+            "{kind:?}: conviction must come from a duplicate delivery, got:\n{cex}"
+        );
+        // BFS reports a shortest counterexample; the known minimum is
+        // load, evict, redeliver-stale-read (3 steps).
+        assert!(
+            cex.steps.len() <= 3,
+            "{kind:?}: counterexample is not minimal:\n{cex}"
+        );
+    }
+}
+
+#[test]
+fn a_zero_fault_budget_keeps_skip_dedup_unobservable() {
+    // The mutation only matters if a duplicate can actually be delivered —
+    // the checker must not cry wolf when the fault budget is zero.
+    let cfg = ModelConfig::new(ProtocolKind::Baseline)
+        .with_transport_mutation(TransportMutation::SkipDedup);
+    let ex = explore(&cfg).unwrap();
+    assert!(
+        ex.counterexample.is_none(),
+        "skip-dedup fired without any fault budget:\n{}",
+        ex.counterexample.unwrap()
+    );
+}
+
+#[test]
+fn transport_counterexamples_replay_their_processor_prefix_cleanly() {
+    // Ghost fault steps carry no processor operation; the concrete
+    // conviction lives in the engine's seeded-fault tests. The processor
+    // prefix of a transport counterexample must replay clean — the
+    // violation genuinely needs the duplicate.
+    let cfg = ModelConfig::new(ProtocolKind::Baseline)
+        .with_fault_budget(1)
+        .with_transport_mutation(TransportMutation::SkipDedup);
+    let cex = explore(&cfg).unwrap().counterexample.unwrap();
+    let (_, report) = replay_counterexample(&cfg, &cex, InvariantMode::Check);
+    assert!(report.is_clean(), "{:?}", report.violations());
+    assert!(report.checks() > 0);
 }

@@ -161,7 +161,7 @@ impl FromJson for Traffic {
 /// such data fails loudly rather than dropping counters.
 fn intern_kind_name(s: &str) -> Option<&'static str> {
     use MsgKind::*;
-    const ALL: [MsgKind; 18] = [
+    const ALL: [MsgKind; 19] = [
         ReadReq,
         ReadReply,
         ReadExclReply,
@@ -180,6 +180,7 @@ fn intern_kind_name(s: &str) -> Option<&'static str> {
         ReplHint,
         NotLs,
         Retry,
+        Ack,
     ];
     ALL.into_iter().map(kind_name).find(|&n| n == s)
 }
@@ -205,6 +206,7 @@ fn kind_name(kind: MsgKind) -> &'static str {
         ReplHint => "ReplHint",
         NotLs => "NotLs",
         Retry => "Retry",
+        Ack => "Ack",
     }
 }
 
@@ -225,25 +227,117 @@ pub enum Delivery {
 pub struct FaultStats {
     /// Requests NACKed by the injector.
     pub nacks: u64,
-    /// NACK streaks cut short by the forced-delivery bound.
+    /// NACK or drop streaks cut short by the forced-delivery bound.
     pub forced_deliveries: u64,
     /// Messages hit by a delay spike.
     pub delay_spikes: u64,
     /// Total extra cycles added by delay spikes.
     pub delay_cycles: u64,
+    /// Sequenced copies lost on the wire (message or its ACK).
+    pub drops: u64,
+    /// Copies re-injected by the timeout-and-retransmit driver.
+    pub retransmits: u64,
+    /// Copies suppressed by receiver-side sequence-number dedup.
+    pub dups_suppressed: u64,
+    /// Copies detained in the receiver's reorder buffer.
+    pub reorders: u64,
+    /// Transport acknowledgements delivered back to the sender.
+    pub acks: u64,
 }
 
-/// After this many consecutive NACKs the injector delivers unconditionally,
-/// so retry loops are guaranteed to terminate under any plan.
-const MAX_CONSECUTIVE_NACKS: u32 = 8;
+/// Receiver-side bound on out-of-order copies parked per flow. An arrival
+/// that would overflow the buffer is discarded like a wire drop; the
+/// timeout-and-retransmit driver recovers it, so the bound costs latency,
+/// never correctness.
+pub const REORDER_BUFFER_CAP: usize = 4;
 
-/// Seeded fault injector: a private xoshiro256++ stream rolled once per
-/// fault opportunity, in the deterministic order the (serialized) engine
-/// calls into the network. Same plan + same workload = same faults.
+/// What the receiver did with one sequenced copy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum AcceptOutcome {
+    /// The copy released an in-order delivery to the protocol layer at the
+    /// given time (its own, or later if it had been parked behind a gap).
+    Delivered(u64),
+    /// Sequence number already delivered or already parked: suppressed.
+    Duplicate,
+    /// Arrived ahead of a gap; parked in the reorder buffer.
+    Parked,
+    /// Reorder buffer full; discarded (recovered by retransmission).
+    Overflow,
+}
+
+/// Per-(src,dst) transport state: the sender's sequence counter, the
+/// receiver's re-sequencing cursor + reorder buffer, and a private
+/// randomness stream so fault rolls on one flow can never perturb another.
+struct FlowState {
+    rng: Xoshiro256pp,
+    /// Next sequence number the sender will assign.
+    next_seq: u64,
+    /// Next sequence number the receiver will release to the protocol.
+    next_expected: u64,
+    /// Out-of-order arrivals awaiting their predecessors: `(seq, arrive)`.
+    /// Bounded by [`REORDER_BUFFER_CAP`].
+    reorder_buf: Vec<(u64, u64)>,
+}
+
+impl FlowState {
+    fn new(stream_seed: u64) -> Self {
+        FlowState {
+            rng: Xoshiro256pp::seed_from_u64(stream_seed),
+            next_seq: 0,
+            next_expected: 0,
+            reorder_buf: Vec::new(),
+        }
+    }
+
+    /// Assign the next sender-side sequence number.
+    fn take_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// Receiver-side exactly-once re-sequencing: accept one copy of `seq`
+    /// arriving at time `at`.
+    fn accept(&mut self, seq: u64, at: u64) -> AcceptOutcome {
+        if seq < self.next_expected || self.reorder_buf.iter().any(|&(s, _)| s == seq) {
+            return AcceptOutcome::Duplicate;
+        }
+        if seq > self.next_expected {
+            if self.reorder_buf.len() >= REORDER_BUFFER_CAP {
+                return AcceptOutcome::Overflow;
+            }
+            self.reorder_buf.push((seq, at));
+            return AcceptOutcome::Parked;
+        }
+        // In order: release it, then drain any parked successors it unblocks.
+        let mut release = at;
+        self.next_expected += 1;
+        // ccsim-lint: allow(unbounded-retry): drains at most REORDER_BUFFER_CAP parked entries
+        while let Some(i) = self
+            .reorder_buf
+            .iter()
+            .position(|&(s, _)| s == self.next_expected)
+        {
+            let (_, parked_at) = self.reorder_buf.swap_remove(i);
+            release = release.max(parked_at);
+            self.next_expected += 1;
+        }
+        AcceptOutcome::Delivered(release)
+    }
+}
+
+/// Seeded fault injector and recovery-transport state. The NACK/delay
+/// classes roll a single plan-wide xoshiro256++ stream in the deterministic
+/// order the (serialized) engine calls into the network; the transport
+/// classes (drop/dup/reorder) roll per-flow streams so distinct (src,dst)
+/// pairs stay statistically independent. Same plan + same workload = same
+/// faults. A class with rate zero never consumes randomness, so enabling
+/// one class cannot shift another's stream.
 struct FaultPlan {
     cfg: FaultConfig,
     rng: Xoshiro256pp,
     consecutive_nacks: u32,
+    flows: FxHashMap<(NodeId, NodeId), FlowState>,
     stats: FaultStats,
 }
 
@@ -253,8 +347,20 @@ impl FaultPlan {
             cfg,
             rng: Xoshiro256pp::seed_from_u64(cfg.seed),
             consecutive_nacks: 0,
+            flows: FxHashMap::default(),
             stats: FaultStats::default(),
         }
+    }
+
+    /// Per-flow transport state, created lazily with a stream seed derived
+    /// from the plan seed and the ordered (src,dst) pair.
+    fn flow_mut(&mut self, from: NodeId, to: NodeId) -> &mut FlowState {
+        let seed = self.cfg.seed
+            ^ (from.0 as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (to.0 as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        self.flows
+            .entry((from, to))
+            .or_insert_with(|| FlowState::new(seed))
     }
 
     /// Should the next request be NACKed? Consumes randomness only when the
@@ -263,7 +369,7 @@ impl FaultPlan {
         if self.cfg.nack_per_mille == 0 {
             return false;
         }
-        if self.consecutive_nacks >= MAX_CONSECUTIVE_NACKS {
+        if self.consecutive_nacks >= self.cfg.max_consecutive_nacks {
             self.consecutive_nacks = 0;
             self.stats.forced_deliveries += 1;
             return false;
@@ -292,6 +398,34 @@ impl FaultPlan {
             0
         }
     }
+
+    /// Is the next sequenced copy on this flow lost on the wire?
+    fn roll_drop(&mut self, from: NodeId, to: NodeId) -> bool {
+        if self.cfg.drop_per_mille == 0 {
+            return false;
+        }
+        let rate = self.cfg.drop_per_mille as u64;
+        self.flow_mut(from, to).rng.below(1000) < rate
+    }
+
+    /// Does the next sequenced copy on this flow arrive twice?
+    fn roll_dup(&mut self, from: NodeId, to: NodeId) -> bool {
+        if self.cfg.dup_per_mille == 0 {
+            return false;
+        }
+        let rate = self.cfg.dup_per_mille as u64;
+        self.flow_mut(from, to).rng.below(1000) < rate
+    }
+
+    /// Is the next sequenced copy on this flow detained in the receiver's
+    /// reorder buffer past its nominal arrival?
+    fn roll_reorder(&mut self, from: NodeId, to: NodeId) -> bool {
+        if self.cfg.reorder_per_mille == 0 {
+            return false;
+        }
+        let rate = self.cfg.reorder_per_mille as u64;
+        self.flow_mut(from, to).rng.below(1000) < rate
+    }
 }
 
 /// The interconnect: topology-routed links with per-NI and per-link
@@ -312,6 +446,15 @@ pub struct Network {
     /// randomness is ever consumed and timing is exactly the fault-free
     /// model.
     faults: Option<FaultPlan>,
+    /// Testing-only transport mutation: the receiver skips sequence-number
+    /// dedup, so a duplicated copy leaks through to the protocol layer. The
+    /// leak is reported via [`Network::take_leaked_duplicate`] so the caller
+    /// can model the stale re-application the dedup would have prevented.
+    #[cfg(feature = "testing")]
+    skip_dedup: bool,
+    /// Count of duplicate copies that leaked past dedup (always zero
+    /// without the skip-dedup mutation), drained by the caller.
+    leaked_duplicates: u64,
 }
 
 impl Network {
@@ -347,6 +490,9 @@ impl Network {
             link_busy_until: FxHashMap::default(),
             traffic: Traffic::default(),
             faults: None,
+            #[cfg(feature = "testing")]
+            skip_dedup: false,
+            leaked_duplicates: 0,
         })
     }
 
@@ -363,6 +509,48 @@ impl Network {
     /// What the fault injector has done so far (zeroes when disarmed).
     pub fn fault_stats(&self) -> FaultStats {
         self.faults.as_ref().map(|f| f.stats).unwrap_or_default()
+    }
+
+    /// Install the skip-dedup transport mutation (testing builds only): the
+    /// receiver stops suppressing duplicate sequence numbers, the seeded bug
+    /// the model checker and chaos shrinker must convict.
+    #[cfg(feature = "testing")]
+    pub fn install_skip_dedup(&mut self) {
+        self.skip_dedup = true;
+    }
+
+    #[cfg(feature = "testing")]
+    fn dedup_disabled(&self) -> bool {
+        self.skip_dedup
+    }
+
+    #[cfg(not(feature = "testing"))]
+    fn dedup_disabled(&self) -> bool {
+        false
+    }
+
+    /// Drain the count of duplicate copies that leaked past receiver dedup
+    /// since the last call. Always zero unless the skip-dedup mutation is
+    /// installed; the caller uses it to model the stale re-application a
+    /// correct receiver would have suppressed.
+    pub fn take_leaked_duplicates(&mut self) -> u64 {
+        std::mem::take(&mut self.leaked_duplicates)
+    }
+
+    /// Diagnostic snapshot of per-flow transport state, deterministically
+    /// ordered by (src,dst): `(src, dst, sent, delivered, reorder_depth)`.
+    /// Empty when no fault plan is armed or no flow has carried traffic.
+    pub fn transport_flows(&self) -> Vec<(NodeId, NodeId, u64, u64, usize)> {
+        let Some(f) = &self.faults else {
+            return Vec::new();
+        };
+        let mut rows: Vec<_> = f
+            .flows
+            .iter()
+            .map(|(&(a, b), st)| (a, b, st.next_seq, st.next_expected, st.reorder_buf.len()))
+            .collect();
+        rows.sort_by_key(|&(a, b, ..)| (a.0, b.0));
+        rows
     }
 
     /// Send one message at simulated time `now`; returns its arrival time at
@@ -399,7 +587,9 @@ impl Network {
         t
     }
 
-    /// Send a coherence *request* that the fault injector may NACK.
+    /// Send a coherence *request* that the fault injector may NACK, and
+    /// that the recovery transport carries exactly once, in order, when any
+    /// drop/dup/reorder class is armed.
     ///
     /// A NACKed request still travels to the receiver (and is counted as
     /// traffic) but is refused there; a [`MsgKind::Retry`] bounce is sent
@@ -415,13 +605,136 @@ impl Network {
             Some(f) => f.roll_nack(),
             None => false,
         };
-        let arrive = self.send(now, from, to, kind);
+        let arrive = self.transport_send(now, from, to, kind);
         if nack {
             let back = self.send(arrive, to, from, MsgKind::Retry);
             Delivery::Nacked(back)
         } else {
             Delivery::Delivered(arrive)
         }
+    }
+
+    /// Carry one sequenced message over the lossy wire and return the time
+    /// the receiver releases it — exactly once, in order — to the protocol
+    /// layer.
+    ///
+    /// Stop-and-wait ARQ: the sender assigns a per-flow sequence number and
+    /// retransmits on a deterministic timeout with capped exponential
+    /// backoff; a drop streak longer than `max_consecutive_nacks` forces
+    /// delivery, bounding worst-case latency. The receiver suppresses
+    /// duplicate sequence numbers (load-bearing when the *ACK* is the copy
+    /// that drops: the sender retransmits a message the receiver already
+    /// delivered) and re-sequences detained copies through the bounded
+    /// reorder buffer. When every transport class is disabled this is
+    /// exactly [`Network::send`] and consumes no randomness.
+    fn transport_send(&mut self, now: u64, from: NodeId, to: NodeId, kind: MsgKind) -> u64 {
+        let cfg = match &self.faults {
+            Some(f) if f.cfg.transport_enabled() => f.cfg,
+            _ => return self.send(now, from, to, kind),
+        };
+        let seq = {
+            // ccsim-lint: allow(unwrap): guarded by the match above — the plan is armed
+            let f = self.faults.as_mut().unwrap();
+            f.flow_mut(from, to).take_seq()
+        };
+        let mut rto = self.latency.net.max(1);
+        let rto_cap = rto * 64;
+        let mut t = now;
+        let mut streak = 0u32;
+        // ccsim-lint: allow(unbounded-retry): backoff capped at rto_cap, drop streak bounded by max_consecutive_nacks
+        let arrive = loop {
+            let dropped = streak < cfg.max_consecutive_nacks && {
+                // ccsim-lint: allow(unwrap): plan is armed on this path
+                self.faults.as_mut().unwrap().roll_drop(from, to)
+            };
+            if !dropped {
+                if streak >= cfg.max_consecutive_nacks {
+                    // ccsim-lint: allow(unwrap): plan is armed on this path
+                    self.faults.as_mut().unwrap().stats.forced_deliveries += 1;
+                }
+                break self.send(t, from, to, kind);
+            }
+            // The copy is injected (occupying the NI and links like any
+            // message) but never arrives; the sender times out and re-sends.
+            let _ = self.send(t, from, to, kind);
+            // ccsim-lint: allow(unwrap): plan is armed on this path
+            let f = self.faults.as_mut().unwrap();
+            f.stats.drops += 1;
+            f.stats.retransmits += 1;
+            streak += 1;
+            t += rto;
+            rto = (rto * 2).min(rto_cap);
+        };
+        // Duplication: a second copy of the same sequence number arrives
+        // right behind the first; the receiver's dedup suppresses it.
+        // ccsim-lint: allow(unwrap): plan is armed on this path
+        if self.faults.as_mut().unwrap().roll_dup(from, to) {
+            let _ = self.send(t, from, to, kind);
+            self.suppress_duplicate();
+        }
+        // Reordering: the copy is detained in the receiver's reorder buffer
+        // behind an out-of-order arrival for one traversal delay before the
+        // re-sequencer releases it.
+        // ccsim-lint: allow(unwrap): plan is armed on this path
+        let detained = self.faults.as_mut().unwrap().roll_reorder(from, to);
+        let mut release = arrive + if detained { self.latency.net.max(1) } else { 0 };
+        {
+            // ccsim-lint: allow(unwrap): plan is armed on this path
+            let f = self.faults.as_mut().unwrap();
+            if detained {
+                f.stats.reorders += 1;
+            }
+            match f.flow_mut(from, to).accept(seq, release) {
+                AcceptOutcome::Delivered(at) => release = at,
+                // Stop-and-wait keeps one message in flight per flow, so
+                // the in-order copy always releases immediately.
+                other => unreachable!("stop-and-wait delivery must be in order, got {other:?}"),
+            }
+        }
+        // The receiver acknowledges; a lost ACK makes the sender retransmit
+        // a message the receiver has already delivered, and the dedup (or
+        // its seeded skip-dedup mutation) decides what happens next.
+        let mut ack_from = release;
+        let mut ack_streak = 0u32;
+        // ccsim-lint: allow(unbounded-retry): ACK-loss streaks share the max_consecutive_nacks forced-delivery bound
+        loop {
+            let ack_arrive = self.send(ack_from, to, from, MsgKind::Ack);
+            // ccsim-lint: allow(unwrap): plan is armed on this path
+            let ack_lost = ack_streak < cfg.max_consecutive_nacks
+                && self.faults.as_mut().unwrap().roll_drop(from, to);
+            if !ack_lost {
+                // ccsim-lint: allow(unwrap): plan is armed on this path
+                let f = self.faults.as_mut().unwrap();
+                f.stats.acks += 1;
+                if ack_streak >= cfg.max_consecutive_nacks {
+                    f.stats.forced_deliveries += 1;
+                }
+                break;
+            }
+            // ccsim-lint: allow(unwrap): plan is armed on this path
+            let f = self.faults.as_mut().unwrap();
+            f.stats.drops += 1;
+            f.stats.retransmits += 1;
+            ack_streak += 1;
+            // Sender's timeout fires; the retransmitted copy reaches the
+            // receiver, which dedups it and acks again.
+            let retx_arrive = self.send(ack_arrive + rto, from, to, kind);
+            self.suppress_duplicate();
+            ack_from = retx_arrive;
+        }
+        release
+    }
+
+    /// Receiver-side handling of a copy whose sequence number was already
+    /// delivered: suppressed by dedup, or — under the seeded skip-dedup
+    /// mutation — leaked through to the protocol layer.
+    fn suppress_duplicate(&mut self) {
+        if self.dedup_disabled() {
+            self.leaked_duplicates += 1;
+            return;
+        }
+        // ccsim-lint: allow(unwrap): only called with an armed plan
+        self.faults.as_mut().unwrap().stats.dups_suppressed += 1;
     }
 
     /// Account a message without modeling its timing (used for messages that
@@ -612,6 +925,17 @@ mod tests {
             delay_per_mille: delay,
             max_delay_cycles: max_delay,
             seed: 0xFA17,
+            ..FaultConfig::default()
+        }
+    }
+
+    fn transport_cfg(drop: u16, dup: u16, reorder: u16) -> FaultConfig {
+        FaultConfig {
+            drop_per_mille: drop,
+            dup_per_mille: dup,
+            reorder_per_mille: reorder,
+            seed: 0xFA17,
+            ..FaultConfig::default()
         }
     }
 
@@ -645,18 +969,36 @@ mod tests {
     fn nack_streaks_are_bounded_for_forward_progress() {
         let mut n = net();
         n.install_faults(fault_cfg(1000, 0, 0));
+        let bound = FaultConfig::default().max_consecutive_nacks;
         let mut delivered = false;
-        for i in 0..=MAX_CONSECUTIVE_NACKS {
+        for i in 0..=bound {
             match n.send_request(0, NodeId(0), NodeId(1), MsgKind::ReadReq) {
                 Delivery::Delivered(_) => {
-                    assert_eq!(i, MAX_CONSECUTIVE_NACKS, "forced delivery ends the streak");
+                    assert_eq!(i, bound, "forced delivery ends the streak");
                     delivered = true;
                 }
-                Delivery::Nacked(_) => assert!(i < MAX_CONSECUTIVE_NACKS),
+                Delivery::Nacked(_) => assert!(i < bound),
             }
         }
         assert!(delivered);
         assert_eq!(n.fault_stats().forced_deliveries, 1);
+    }
+
+    #[test]
+    fn nack_streak_bound_is_configurable() {
+        let mut cfg = fault_cfg(1000, 0, 0);
+        cfg.max_consecutive_nacks = 2;
+        let mut n = net();
+        n.install_faults(cfg);
+        let outcomes: Vec<_> = (0..3)
+            .map(|_| n.send_request(0, NodeId(0), NodeId(1), MsgKind::ReadReq))
+            .collect();
+        assert!(matches!(outcomes[0], Delivery::Nacked(_)));
+        assert!(matches!(outcomes[1], Delivery::Nacked(_)));
+        assert!(
+            matches!(outcomes[2], Delivery::Delivered(_)),
+            "streak of 2 must force the third delivery"
+        );
     }
 
     #[test]
@@ -689,6 +1031,183 @@ mod tests {
         let t = n.send(0, NodeId(0), NodeId(1), MsgKind::ReadReq);
         assert_eq!(t, 40);
         assert_eq!(n.fault_stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn drops_recover_by_retransmission() {
+        let mut n = net();
+        n.install_faults(transport_cfg(1000, 0, 0));
+        let bound = FaultConfig::default().max_consecutive_nacks as u64;
+        let d = n.send_request(0, NodeId(0), NodeId(1), MsgKind::ReadReq);
+        let Delivery::Delivered(at) = d else {
+            panic!("drop faults must be recovered, got {d:?}");
+        };
+        // Every pre-forced attempt dropped, then the ACK-loss streak forced
+        // delivery too: both streaks hit the bound once.
+        let s = n.fault_stats();
+        assert_eq!(s.drops, 2 * bound, "message drops + ack drops");
+        assert_eq!(s.retransmits, 2 * bound);
+        assert_eq!(s.forced_deliveries, 2);
+        assert_eq!(s.dups_suppressed, bound, "each ack-loss retransmit dedups");
+        assert_eq!(s.acks, 1);
+        // Retransmissions push arrival well past the fault-free 40 cycles.
+        assert!(at > 40, "retransmitted delivery must be late, got {at}");
+        // All copies are honest traffic: dropped+delivered requests and
+        // ack-loss retransmits, plus every ACK injection.
+        assert_eq!(
+            n.traffic().kind_count(MsgKind::ReadReq),
+            2 * bound + 1,
+            "8 dropped + 1 delivered + 8 ack-loss retransmits"
+        );
+        assert_eq!(n.traffic().kind_count(MsgKind::Ack), bound + 1);
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_exactly_once() {
+        let mut n = net();
+        n.install_faults(transport_cfg(0, 1000, 0));
+        for i in 0..3u64 {
+            let d = n.send_request(i * 1000, NodeId(0), NodeId(1), MsgKind::WriteMissReq);
+            assert!(matches!(d, Delivery::Delivered(_)));
+        }
+        let s = n.fault_stats();
+        assert_eq!(
+            s.dups_suppressed, 3,
+            "one duplicate per message, all suppressed"
+        );
+        assert_eq!(s.drops, 0);
+        assert_eq!(s.acks, 3);
+        // The duplicate copies are real traffic: 2 copies per message.
+        assert_eq!(n.traffic().kind_count(MsgKind::WriteMissReq), 6);
+        // Exactly-once, in-order: sender and receiver cursors agree, and
+        // nothing is parked.
+        assert_eq!(n.transport_flows(), vec![(NodeId(0), NodeId(1), 3, 3, 0)]);
+    }
+
+    #[test]
+    fn reordered_copies_are_detained_then_released_in_order() {
+        let mut n = net();
+        n.install_faults(transport_cfg(0, 0, 1000));
+        let d = n.send_request(0, NodeId(0), NodeId(1), MsgKind::ReadReq);
+        // Fault-free arrival is 40; detention adds one traversal delay.
+        assert_eq!(d, Delivery::Delivered(80));
+        assert_eq!(n.fault_stats().reorders, 1);
+        assert_eq!(n.transport_flows(), vec![(NodeId(0), NodeId(1), 1, 1, 0)]);
+    }
+
+    #[test]
+    fn transport_delivery_is_deterministic() {
+        fn run() -> (Vec<Delivery>, FaultStats) {
+            let mut n = net();
+            n.install_faults(transport_cfg(200, 150, 100));
+            let ds = (0..32)
+                .map(|i| {
+                    let from = NodeId((i % 3) as u16);
+                    let to = NodeId(3);
+                    n.send_request(i * 50, from, to, MsgKind::ReadReq)
+                })
+                .collect();
+            (ds, n.fault_stats())
+        }
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn transport_flows_have_disjoint_streams() {
+        // Flow (0,1) must see the same faults whether or not flow (2,3)
+        // carries interleaved traffic: per-flow rngs, disjoint NIs/links.
+        let mut solo = net();
+        solo.install_faults(transport_cfg(300, 300, 300));
+        let solo_ds: Vec<_> = (0..16)
+            .map(|i| solo.send_request(i * 500, NodeId(0), NodeId(1), MsgKind::ReadReq))
+            .collect();
+        let mut mixed = net();
+        mixed.install_faults(transport_cfg(300, 300, 300));
+        let mixed_ds: Vec<_> = (0..16)
+            .map(|i| {
+                let _ = mixed.send_request(i * 500, NodeId(2), NodeId(3), MsgKind::WriteMissReq);
+                mixed.send_request(i * 500, NodeId(0), NodeId(1), MsgKind::ReadReq)
+            })
+            .collect();
+        assert_eq!(solo_ds, mixed_ds);
+    }
+
+    #[test]
+    fn heavy_mixed_faults_still_deliver_exactly_once_in_order() {
+        let mut n = net();
+        n.install_faults(transport_cfg(400, 400, 400));
+        for i in 0..64u64 {
+            let d = n.send_request(i * 100, NodeId(0), NodeId(1), MsgKind::UpgradeReq);
+            assert!(matches!(d, Delivery::Delivered(_) | Delivery::Nacked(_)));
+        }
+        let rows = n.transport_flows();
+        assert_eq!(rows.len(), 1);
+        let (from, to, sent, delivered, parked) = rows[0];
+        assert_eq!((from, to), (NodeId(0), NodeId(1)));
+        assert_eq!(sent, 64);
+        assert_eq!(delivered, 64, "every sequence number released exactly once");
+        assert_eq!(parked, 0);
+        assert_eq!(n.take_leaked_duplicates(), 0, "dedup never leaks");
+    }
+
+    #[test]
+    fn transport_disabled_consumes_no_randomness() {
+        // A NACK-only plan must behave exactly as before the transport
+        // existed: no seq state, no Ack traffic, identical timing.
+        let mut n = net();
+        n.install_faults(fault_cfg(0, 1000, 25));
+        let t = n.send_request(0, NodeId(0), NodeId(1), MsgKind::ReadReq);
+        let mut plain = net();
+        plain.install_faults(fault_cfg(0, 1000, 25));
+        let t2 = Delivery::Delivered(plain.send(0, NodeId(0), NodeId(1), MsgKind::ReadReq));
+        assert_eq!(t, t2);
+        assert_eq!(n.transport_flows(), Vec::new());
+        assert_eq!(n.traffic().kind_count(MsgKind::Ack), 0);
+    }
+
+    #[cfg(feature = "testing")]
+    #[test]
+    fn skip_dedup_mutation_leaks_duplicates() {
+        let mut n = net();
+        n.install_faults(transport_cfg(0, 1000, 0));
+        n.install_skip_dedup();
+        let d = n.send_request(0, NodeId(0), NodeId(1), MsgKind::WriteMissReq);
+        assert!(matches!(d, Delivery::Delivered(_)));
+        assert_eq!(n.fault_stats().dups_suppressed, 0, "dedup is off");
+        assert_eq!(n.take_leaked_duplicates(), 1, "the duplicate leaked");
+        assert_eq!(n.take_leaked_duplicates(), 0, "drained");
+    }
+
+    #[test]
+    fn reorder_buffer_resequences_and_bounds() {
+        let mut f = FlowState::new(7);
+        // Out-of-order arrival parks.
+        assert_eq!(f.accept(1, 100), AcceptOutcome::Parked);
+        assert_eq!(f.reorder_buf.len(), 1);
+        // A duplicate of a parked copy is suppressed.
+        assert_eq!(f.accept(1, 120), AcceptOutcome::Duplicate);
+        // The gap fill releases both, at the later of the two times.
+        assert_eq!(f.accept(0, 90), AcceptOutcome::Delivered(100));
+        assert_eq!(f.next_expected, 2);
+        assert!(f.reorder_buf.is_empty());
+        // A stale duplicate of a delivered copy is suppressed.
+        assert_eq!(f.accept(0, 200), AcceptOutcome::Duplicate);
+        // The buffer is bounded: the overflowing arrival is discarded.
+        for s in 0..REORDER_BUFFER_CAP as u64 {
+            assert_eq!(f.accept(3 + s, 300), AcceptOutcome::Parked);
+        }
+        assert_eq!(
+            f.accept(3 + REORDER_BUFFER_CAP as u64, 300),
+            AcceptOutcome::Overflow
+        );
+        // Draining through a long gap releases everything in order.
+        assert_eq!(
+            f.accept(2, 400),
+            AcceptOutcome::Delivered(400),
+            "parked times are earlier, so the gap fill dominates"
+        );
+        assert_eq!(f.next_expected, 3 + REORDER_BUFFER_CAP as u64);
+        assert!(f.reorder_buf.is_empty());
     }
 
     #[test]

@@ -529,6 +529,75 @@ impl FromJson for RaceSummary {
     }
 }
 
+/// Flat, serializable summary of one chaos sweep (`ccsim chaos`,
+/// `ccsim-harness::chaos`). The counts make a "clean" verdict auditable: a
+/// sweep with zero cells — or zero retransmits, meaning the fault injector
+/// never fired — proves nothing, and the consumer can see that.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaosSummary {
+    /// Grid cells checked (workloads × protocols × rates × seeds).
+    pub cells: u64,
+    /// Cells that diverged from their fault-free run.
+    pub failures: u64,
+    /// Cells that were additionally cross-checked by the SC-conformance
+    /// analyzer (witness fingerprint equality with the fault-free run).
+    pub sc_checked: u64,
+    /// Total transport retransmissions across all faulty replays — proof
+    /// the interconnect actually dropped and duplicated messages.
+    pub retransmits: u64,
+    /// Total NACK-and-retry recoveries across all faulty replays.
+    pub nacks: u64,
+    /// Program accesses in the shrunken minimal witness (0 = no witness,
+    /// i.e. the sweep was clean or shrinking was disabled).
+    pub witness_accesses: u64,
+    /// Protocol of the witness cell (empty when no witness).
+    pub witness_protocol: String,
+    /// First divergence of the witness cell, rendered (empty when none).
+    pub witness_failure: String,
+}
+
+impl ChaosSummary {
+    /// Pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        ToJson::to_json(self).pretty()
+    }
+
+    /// Parse a summary previously written by [`ChaosSummary::to_json`].
+    pub fn parse(text: &str) -> Result<Self, String> {
+        FromJson::from_json(&Json::parse(text)?)
+    }
+}
+
+impl ToJson for ChaosSummary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("cells", self.cells.to_json()),
+            ("failures", self.failures.to_json()),
+            ("sc_checked", self.sc_checked.to_json()),
+            ("retransmits", self.retransmits.to_json()),
+            ("nacks", self.nacks.to_json()),
+            ("witness_accesses", self.witness_accesses.to_json()),
+            ("witness_protocol", self.witness_protocol.to_json()),
+            ("witness_failure", self.witness_failure.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ChaosSummary {
+    fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(ChaosSummary {
+            cells: j.field("cells")?,
+            failures: j.field("failures")?,
+            sc_checked: j.field("sc_checked")?,
+            retransmits: j.field("retransmits")?,
+            nacks: j.field("nacks")?,
+            witness_accesses: j.field("witness_accesses")?,
+            witness_protocol: j.field("witness_protocol")?,
+            witness_failure: j.field("witness_failure")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -576,6 +645,23 @@ mod tests {
         let back = ModelCheckSummary::parse(&s.to_json()).unwrap();
         assert_eq!(s, back);
         assert_eq!(back.state_fingerprint, u64::MAX - 1);
+    }
+
+    #[test]
+    fn chaos_summary_round_trips_through_json() {
+        let s = ChaosSummary {
+            cells: 27,
+            failures: 1,
+            sc_checked: 27,
+            retransmits: 4242,
+            nacks: 199,
+            witness_accesses: 9,
+            witness_protocol: "Baseline".into(),
+            witness_failure: "invariant violation: SWMR".into(),
+        };
+        let back = ChaosSummary::parse(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+        assert_eq!(back.witness_accesses, 9);
     }
 
     #[test]

@@ -275,6 +275,35 @@ impl RuleMutation {
     }
 }
 
+/// A deliberately broken *transport* rule, the recovery-transport analogue
+/// of [`RuleMutation`]: used by the model checker and chaos harness to
+/// prove they convict transport bugs. Like rule mutations, one can only be
+/// installed in `testing` builds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TransportMutation {
+    /// The receiver skips sequence-number dedup, so a duplicated copy of a
+    /// completed request is re-applied — the classic stale-ownership bug an
+    /// exactly-once transport exists to prevent.
+    SkipDedup,
+}
+
+impl TransportMutation {
+    /// Every seeded transport mutation, for exhaustive coverage tests.
+    pub const ALL: [TransportMutation; 1] = [TransportMutation::SkipDedup];
+
+    /// Stable CLI name of the mutation.
+    pub fn label(self) -> &'static str {
+        match self {
+            TransportMutation::SkipDedup => "skip-dedup",
+        }
+    }
+
+    /// Parse a CLI name produced by [`TransportMutation::label`].
+    pub fn parse(s: &str) -> Option<TransportMutation> {
+        TransportMutation::ALL.into_iter().find(|m| m.label() == s)
+    }
+}
+
 /// Protocol selection plus variant knobs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ProtocolConfig {
@@ -328,10 +357,17 @@ impl ProtocolConfig {
 /// same oracle counts and final memory contents regardless of the plan —
 /// the end-to-end property the fault soak asserts.
 ///
-/// All zeroes (the default) disables injection and leaves the network's
+/// All zero rates (the default) disable injection and leave the network's
 /// random stream untouched, so fault-free runs are bit-for-bit identical to
 /// builds without this feature.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+///
+/// The drop/dup/reorder classes exercise the recovery transport: a dropped
+/// message really vanishes from the wire and must be retransmitted after a
+/// timeout, a duplicated message really arrives twice and must be suppressed
+/// by the receiver, and a reordered message really overtakes its successor
+/// and must wait in the receiver's reorder buffer. The protocol layer above
+/// the transport still observes an exactly-once, in-order stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FaultConfig {
     /// Probability, in 1/1000 units, that a coherence *request* is NACKed
     /// by the receiver and must be retried by the sender.
@@ -339,17 +375,83 @@ pub struct FaultConfig {
     /// Probability, in 1/1000 units, that any timed message suffers a
     /// delivery delay spike.
     pub delay_per_mille: u16,
+    /// Probability, in 1/1000 units, that a transported message is lost on
+    /// the wire and must be recovered by timeout-and-retransmit.
+    pub drop_per_mille: u16,
+    /// Probability, in 1/1000 units, that a transported message arrives a
+    /// second time and must be suppressed by receiver-side dedup.
+    pub dup_per_mille: u16,
+    /// Probability, in 1/1000 units, that a transported message is detained
+    /// past its successor and re-sequenced in the receiver's reorder buffer.
+    pub reorder_per_mille: u16,
     /// Maximum extra cycles a delay spike adds (spikes are uniform in
     /// `1..=max_delay_cycles`). Must be positive when `delay_per_mille > 0`.
     pub max_delay_cycles: u64,
-    /// Seed of the fault plan's private xoshiro256++ stream.
+    /// Forced delivery after this many consecutive adversarial rolls
+    /// (NACK streaks and drop streaks alike): the plan gives up and lets
+    /// the message through, bounding worst-case latency and guaranteeing
+    /// forward progress. Must be at least 1.
+    pub max_consecutive_nacks: u32,
+    /// Seed of the fault plan's private xoshiro256++ streams.
     pub seed: u64,
+    /// Seeded transport mutation for checker-validation tests (e.g. skip
+    /// receiver dedup). Only exists under the `testing` feature; construct
+    /// via [`FaultConfig::with_transport_mutation`] and read via
+    /// [`FaultConfig::transport_mutation`] (which is always available and
+    /// returns `None` in normal builds). Deliberately absent from the
+    /// canonical JSON encoding: mutated configs are never cached.
+    #[cfg(feature = "testing")]
+    pub mutation: Option<TransportMutation>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            nack_per_mille: 0,
+            delay_per_mille: 0,
+            drop_per_mille: 0,
+            dup_per_mille: 0,
+            reorder_per_mille: 0,
+            max_delay_cycles: 0,
+            max_consecutive_nacks: 8,
+            seed: 0,
+            #[cfg(feature = "testing")]
+            mutation: None,
+        }
+    }
 }
 
 impl FaultConfig {
     /// Whether any fault class is enabled.
     pub fn enabled(&self) -> bool {
-        self.nack_per_mille > 0 || self.delay_per_mille > 0
+        self.nack_per_mille > 0
+            || self.delay_per_mille > 0
+            || self.drop_per_mille > 0
+            || self.dup_per_mille > 0
+            || self.reorder_per_mille > 0
+    }
+
+    /// Whether any transport-level class (drop/dup/reorder) is enabled,
+    /// i.e. whether the recovery transport has work to do.
+    pub fn transport_enabled(&self) -> bool {
+        self.drop_per_mille > 0 || self.dup_per_mille > 0 || self.reorder_per_mille > 0
+    }
+
+    /// The seeded transport mutation, if any. Always `None` without the
+    /// `testing` feature, so transport code can consult it unconditionally.
+    pub fn transport_mutation(&self) -> Option<TransportMutation> {
+        #[cfg(feature = "testing")]
+        let m = self.mutation;
+        #[cfg(not(feature = "testing"))]
+        let m = None;
+        m
+    }
+
+    /// Install a seeded transport mutation (testing builds only).
+    #[cfg(feature = "testing")]
+    pub fn with_transport_mutation(mut self, mutation: TransportMutation) -> Self {
+        self.mutation = Some(mutation);
+        self
     }
 
     /// Validate rate bounds.
@@ -366,8 +468,29 @@ impl FaultConfig {
                 self.delay_per_mille
             ));
         }
+        if self.drop_per_mille > 1000 {
+            return Err(format!(
+                "fault drop rate {}/1000 exceeds 1000",
+                self.drop_per_mille
+            ));
+        }
+        if self.dup_per_mille > 1000 {
+            return Err(format!(
+                "fault dup rate {}/1000 exceeds 1000",
+                self.dup_per_mille
+            ));
+        }
+        if self.reorder_per_mille > 1000 {
+            return Err(format!(
+                "fault reorder rate {}/1000 exceeds 1000",
+                self.reorder_per_mille
+            ));
+        }
         if self.delay_per_mille > 0 && self.max_delay_cycles == 0 {
             return Err("fault delay rate set but max_delay_cycles is zero".into());
+        }
+        if self.max_consecutive_nacks == 0 {
+            return Err("fault max_consecutive_nacks must be at least 1".into());
         }
         Ok(())
     }
@@ -618,21 +741,50 @@ mod tests {
         let mut c = MachineConfig::splash_baseline(ProtocolKind::Baseline);
         c.faults.delay_per_mille = 10; // rate set, but no spike magnitude
         assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::splash_baseline(ProtocolKind::Baseline);
+        c.faults.drop_per_mille = 1001;
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::splash_baseline(ProtocolKind::Baseline);
+        c.faults.dup_per_mille = 1001;
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::splash_baseline(ProtocolKind::Baseline);
+        c.faults.reorder_per_mille = 1001;
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::splash_baseline(ProtocolKind::Baseline);
+        c.faults.max_consecutive_nacks = 0; // forced delivery bound is 1-based
+        assert!(c.validate().is_err());
     }
 
     #[test]
     fn fault_config_defaults_to_disabled() {
         let f = FaultConfig::default();
         assert!(!f.enabled());
+        assert!(!f.transport_enabled());
+        assert_eq!(f.max_consecutive_nacks, 8);
         f.validate().unwrap();
         let f = FaultConfig {
             nack_per_mille: 50,
-            delay_per_mille: 0,
-            max_delay_cycles: 0,
             seed: 7,
+            ..FaultConfig::default()
         };
         assert!(f.enabled());
+        assert!(!f.transport_enabled());
         f.validate().unwrap();
+        for set in [
+            |f: &mut FaultConfig| f.drop_per_mille = 5,
+            |f: &mut FaultConfig| f.dup_per_mille = 5,
+            |f: &mut FaultConfig| f.reorder_per_mille = 5,
+        ] {
+            let mut f = FaultConfig::default();
+            set(&mut f);
+            assert!(f.enabled());
+            assert!(f.transport_enabled());
+            f.validate().unwrap();
+        }
     }
 
     #[test]

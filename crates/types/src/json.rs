@@ -193,7 +193,14 @@ impl ToJson for FaultConfig {
         Json::obj(vec![
             ("nack_per_mille", self.nack_per_mille.to_json()),
             ("delay_per_mille", self.delay_per_mille.to_json()),
+            ("drop_per_mille", self.drop_per_mille.to_json()),
+            ("dup_per_mille", self.dup_per_mille.to_json()),
+            ("reorder_per_mille", self.reorder_per_mille.to_json()),
             ("max_delay_cycles", self.max_delay_cycles.to_json()),
+            (
+                "max_consecutive_nacks",
+                self.max_consecutive_nacks.to_json(),
+            ),
             ("seed", self.seed.to_json()),
         ])
     }
@@ -204,8 +211,14 @@ impl FromJson for FaultConfig {
         let cfg = FaultConfig {
             nack_per_mille: j.field("nack_per_mille")?,
             delay_per_mille: j.field("delay_per_mille")?,
+            drop_per_mille: j.field("drop_per_mille")?,
+            dup_per_mille: j.field("dup_per_mille")?,
+            reorder_per_mille: j.field("reorder_per_mille")?,
             max_delay_cycles: j.field("max_delay_cycles")?,
+            max_consecutive_nacks: j.field("max_consecutive_nacks")?,
             seed: j.field("seed")?,
+            #[cfg(feature = "testing")]
+            mutation: None,
         };
         // Reject out-of-range rates at the decode boundary, so a hand-edited
         // experiment file fails loudly instead of seeding a nonsense plan.
@@ -269,8 +282,13 @@ mod tests {
             cfg.faults = FaultConfig {
                 nack_per_mille: 25,
                 delay_per_mille: 10,
+                drop_per_mille: 15,
+                dup_per_mille: 12,
+                reorder_per_mille: 9,
                 max_delay_cycles: 80,
+                max_consecutive_nacks: 6,
                 seed: 0xFA17,
+                ..FaultConfig::default()
             };
             let text = cfg.to_json().to_string();
             let back = MachineConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
@@ -283,8 +301,13 @@ mod tests {
         let cfg = FaultConfig {
             nack_per_mille: 1000,
             delay_per_mille: 1000,
+            drop_per_mille: 1000,
+            dup_per_mille: 1000,
+            reorder_per_mille: 1000,
             max_delay_cycles: 1,
+            max_consecutive_nacks: 1,
             seed: 7,
+            ..FaultConfig::default()
         };
         let back =
             FaultConfig::from_json(&Json::parse(&cfg.to_json().to_string()).unwrap()).unwrap();
@@ -321,9 +344,49 @@ mod tests {
             FaultConfig::from_json(&Json::parse(&bad.to_json().to_string()).unwrap()).unwrap_err();
         assert!(err.contains("max_delay_cycles"), "{err}");
 
+        // Each transport-fault rate is bounded at the same decode boundary.
+        for (set, needle) in [
+            (
+                (|f: &mut FaultConfig| f.drop_per_mille = 1001) as fn(&mut FaultConfig),
+                "drop rate 1001/1000",
+            ),
+            (
+                |f: &mut FaultConfig| f.dup_per_mille = 1200,
+                "dup rate 1200/1000",
+            ),
+            (
+                |f: &mut FaultConfig| f.reorder_per_mille = 4000,
+                "reorder rate 4000/1000",
+            ),
+        ] {
+            let mut bad = FaultConfig::default();
+            set(&mut bad);
+            let err = FaultConfig::from_json(&Json::parse(&bad.to_json().to_string()).unwrap())
+                .unwrap_err();
+            assert!(err.contains("faults:"), "{err}");
+            assert!(err.contains(needle), "{err}");
+        }
+
+        // A zero forced-delivery bound would let NACK/drop streaks run
+        // unbounded; it is rejected with the same prefix convention.
+        bad = FaultConfig {
+            max_consecutive_nacks: 0,
+            ..FaultConfig::default()
+        };
+        let err =
+            FaultConfig::from_json(&Json::parse(&bad.to_json().to_string()).unwrap()).unwrap_err();
+        assert!(err.contains("faults:"), "{err}");
+        assert!(err.contains("max_consecutive_nacks"), "{err}");
+
         // The invalid rate also poisons a whole MachineConfig decode.
         let mut machine = MachineConfig::splash_baseline(ProtocolKind::Ls);
         machine.faults.nack_per_mille = 9999;
+        let err = MachineConfig::from_json(&Json::parse(&machine.to_json().to_string()).unwrap())
+            .unwrap_err();
+        assert!(err.contains("faults:"), "{err}");
+
+        let mut machine = MachineConfig::splash_baseline(ProtocolKind::Ls);
+        machine.faults.drop_per_mille = 9999;
         let err = MachineConfig::from_json(&Json::parse(&machine.to_json().to_string()).unwrap())
             .unwrap_err();
         assert!(err.contains("faults:"), "{err}");

@@ -78,6 +78,10 @@ pub enum MsgKind {
     /// Home -> requester: transaction bounced because another transaction
     /// on the same block is in flight; retry later.
     Retry,
+    /// Receiver -> sender: transport-level acknowledgement of a sequenced
+    /// message (recovery transport only; header only, never seen by the
+    /// protocol layer).
+    Ack,
 }
 
 impl MsgKind {
@@ -90,7 +94,7 @@ impl MsgKind {
             }
             UpgradeReq | UpgradeAck | WriteMissReq | WriteMissReply | WriteForward
             | OwnerWriteReply | Inval | InvalAck => MsgClass::Write,
-            ReplWriteback | ReplHint | NotLs | Retry => MsgClass::Other,
+            ReplWriteback | ReplHint | NotLs | Retry | Ack => MsgClass::Other,
         }
     }
 
@@ -132,7 +136,7 @@ impl MsgKind {
 mod tests {
     use super::*;
 
-    const ALL_KINDS: [MsgKind; 18] = [
+    const ALL_KINDS: [MsgKind; 19] = [
         MsgKind::ReadReq,
         MsgKind::ReadReply,
         MsgKind::ReadExclReply,
@@ -151,6 +155,7 @@ mod tests {
         MsgKind::ReplHint,
         MsgKind::NotLs,
         MsgKind::Retry,
+        MsgKind::Ack,
     ];
 
     #[test]
@@ -180,6 +185,8 @@ mod tests {
         assert_eq!(MsgKind::Retry.class(), MsgClass::Other);
         assert_eq!(MsgKind::NotLs.class(), MsgClass::Other);
         assert_eq!(MsgKind::ReplWriteback.class(), MsgClass::Other);
+        assert_eq!(MsgKind::Ack.class(), MsgClass::Other);
+        assert!(!MsgKind::Ack.carries_data());
     }
 
     #[test]

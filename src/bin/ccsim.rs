@@ -7,6 +7,7 @@
 //! ccsim lint    [--deny] [--json] [--root DIR] [--explain RULE]  # workspace static analysis
 //! ccsim analyze --workload W [--protocol P] | --trace FILE [--json]  # sharing patterns
 //! ccsim race    --workload W [--protocol P] | --trace FILE [--json]  # SC conformance
+//! ccsim chaos   [--workload W] [--protocol P|all] [chaos options]  # fault-grid soak
 //! ccsim config                                                  # print Table 1
 //!
 //! options:
@@ -43,15 +44,24 @@
 //!   --mutation <NAME>       seed a rule mutation    (needs --features testing)
 //!   --expect-violation      exit 0 iff a violation IS found
 //!   --json                  emit a JSON RaceSummary instead of text
+//!
+//! chaos options:
+//!   --rates <CSV>           fault intensities, per mille   (default 60)
+//!   --seeds <CSV>           fault-plan seeds               (default 1,2,3)
+//!   --no-sc                 skip the SC-conformance cross-check
+//!   --no-shrink             report failures without ddmin shrinking
+//!   --mutation <NAME>       seed a transport mutation (needs --features testing)
+//!   --expect-violation      exit 0 iff a cell DOES fail
+//!   --json                  emit a JSON ChaosSummary instead of text
 //! ```
 
 use ccsim::engine::{replay_events, InvariantMode, RunStats, Trace};
-use ccsim::harness::{run_cached, JobSet};
+use ccsim::harness::{chaos, run_cached, JobSet};
 use ccsim::lint;
 use ccsim::model::{explore, replay_counterexample, summarize, ModelConfig};
 use ccsim::race::check as race_check;
 use ccsim::stats::{render_triptych, RaceSummary, RunSummary, Triptych};
-use ccsim::types::{Consistency, RuleMutation, Topology};
+use ccsim::types::{Consistency, RuleMutation, Topology, TransportMutation};
 use ccsim::util::{Json, ToJson};
 use ccsim::workloads::{capture_events_spec, capture_spec, cholesky, lu, mp3d, oltp, Spec};
 use ccsim::{MachineConfig, ProtocolKind};
@@ -80,13 +90,15 @@ fn with_mutation(mut cfg: MachineConfig, mutation: Option<RuleMutation>) -> Mach
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ccsim <run|compare|model|lint|analyze|race|config> [--workload W] [--protocol P] \
-         [--scale S] [--nodes N] [--block B] [--l2-kb K] [--quantum Q] [--relaxed] [--mesh W] \
-         [--json]\n\
+        "usage: ccsim <run|compare|model|lint|analyze|race|chaos|config> [--workload W] \
+         [--protocol P] [--scale S] [--nodes N] [--block B] [--l2-kb K] [--quantum Q] [--relaxed] \
+         [--mesh W] [--json]\n\
          model options: [--blocks B] [--max-ops K] [--mutation NAME] [--expect-violation]\n\
          lint options: [--deny] [--root DIR] [--explain RULE] [--format github]\n\
          analyze options: [--trace FILE] [--save-trace FILE]\n\
-         race options: [--trace FILE] [--mutation NAME] [--expect-violation]"
+         race options: [--trace FILE] [--mutation NAME] [--expect-violation]\n\
+         chaos options: [--rates CSV] [--seeds CSV] [--no-sc] [--no-shrink] [--mutation NAME] \
+         [--expect-violation]"
     );
     exit(2);
 }
@@ -113,6 +125,10 @@ struct Opts {
     format: Option<String>,
     trace: Option<String>,
     save_trace: Option<String>,
+    rates: Option<String>,
+    seeds: Option<String>,
+    no_sc: bool,
+    no_shrink: bool,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -146,6 +162,10 @@ fn parse_opts(args: &[String]) -> Opts {
             "--format" => o.format = Some(val().clone()),
             "--trace" => o.trace = Some(val().clone()),
             "--save-trace" => o.save_trace = Some(val().clone()),
+            "--rates" => o.rates = Some(val().clone()),
+            "--seeds" => o.seeds = Some(val().clone()),
+            "--no-sc" => o.no_sc = true,
+            "--no-shrink" => o.no_shrink = true,
             _ => {
                 eprintln!("unknown option {a}");
                 usage()
@@ -561,6 +581,95 @@ fn main() {
                 !report.is_clean()
             } else {
                 report.is_clean()
+            };
+            if !ok {
+                exit(1);
+            }
+        }
+        "chaos" => {
+            let kinds: Vec<ProtocolKind> = match o.protocol.as_deref().unwrap_or("all") {
+                "all" => ProtocolKind::ALL.to_vec(),
+                s => vec![protocol_of(s)],
+            };
+            let workload = o.workload.clone().unwrap_or_else(|| "mp3d".to_string());
+            let paper = o.scale.as_deref() == Some("paper");
+            let spec = spec_of(&workload, paper, o.nodes);
+            fn csv<T: std::str::FromStr>(s: &str, what: &str) -> Vec<T> {
+                s.split(',')
+                    .map(|v| {
+                        v.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("bad {what} value {v:?}");
+                            usage()
+                        })
+                    })
+                    .collect()
+            }
+            let mutation = o.mutation.as_deref().map(|s| {
+                TransportMutation::parse(s).unwrap_or_else(|| {
+                    let names: Vec<&str> =
+                        TransportMutation::ALL.iter().map(|m| m.label()).collect();
+                    eprintln!("unknown transport mutation {s} ({})", names.join("|"));
+                    usage()
+                })
+            });
+            // Gate on *this* binary's feature set, not the library's: under
+            // workspace-wide builds feature unification can compile the
+            // harness with `testing` on even when this crate's is off.
+            if let Some(m) = mutation {
+                if !cfg!(feature = "testing") {
+                    eprintln!(
+                        "transport mutation {} requires the `testing` cargo feature",
+                        m.label()
+                    );
+                    exit(2);
+                }
+            }
+            let cc = chaos::ChaosConfig {
+                protocols: kinds,
+                specs: vec![spec],
+                rates: o.rates.as_deref().map_or(vec![60], |s| csv(s, "rate")),
+                seeds: o.seeds.as_deref().map_or(vec![1, 2, 3], |s| csv(s, "seed")),
+                check_sc: !o.no_sc,
+                shrink: !o.no_shrink,
+                mutation,
+            };
+            let outcome = chaos::sweep(&cc).unwrap_or_else(|e| {
+                eprintln!("chaos: {e}");
+                exit(2);
+            });
+            if o.json {
+                println!("{}", outcome.summary().to_json());
+            } else {
+                for c in &outcome.cells {
+                    let verdict = match &c.failure {
+                        None => format!(
+                            "clean ({} retransmit(s), {} nack(s))",
+                            c.retransmits, c.nacks
+                        ),
+                        Some(f) => format!("FAIL: {f}"),
+                    };
+                    println!(
+                        "{:<10} {:<8} rate {:>4} seed {:>6}: {}",
+                        c.workload,
+                        format!("{:?}", c.protocol),
+                        c.rate_per_mille,
+                        c.seed,
+                        verdict
+                    );
+                }
+                println!(
+                    "{} cell(s), {} failure(s)",
+                    outcome.cells.len(),
+                    outcome.failures()
+                );
+                if let Some(w) = &outcome.witness {
+                    print!("{}", w.render());
+                }
+            }
+            let ok = if o.expect_violation {
+                !outcome.is_clean()
+            } else {
+                outcome.is_clean()
             };
             if !ok {
                 exit(1);

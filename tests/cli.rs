@@ -172,6 +172,7 @@ fn lint_explain_describes_each_rule() {
         "testing-gate",
         "lock-order",
         "guard-across-fanout",
+        "unbounded-retry",
         "bad-allow",
     ] {
         let (ok, stdout, _) = ccsim(&["lint", "--explain", rule]);
@@ -272,6 +273,125 @@ fn race_rejects_unknown_mutations() {
     let (ok, _, stderr) = ccsim(&["race", "--mutation", "nosuch"]);
     assert!(!ok);
     assert!(stderr.contains("unknown mutation"));
+}
+
+#[test]
+fn chaos_quick_sweep_is_clean() {
+    let (ok, stdout, _) = ccsim(&[
+        "chaos",
+        "--workload",
+        "lu",
+        "--protocol",
+        "baseline",
+        "--rates",
+        "60",
+        "--seeds",
+        "1",
+        "--no-sc",
+    ]);
+    assert!(ok, "stdout: {stdout}");
+    assert!(stdout.contains("clean"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("1 cell(s), 0 failure(s)"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("retransmit"), "stdout: {stdout}");
+}
+
+#[test]
+fn chaos_json_emits_a_summary() {
+    let (ok, stdout, _) = ccsim(&[
+        "chaos",
+        "--workload",
+        "lu",
+        "--protocol",
+        "ls",
+        "--rates",
+        "60",
+        "--seeds",
+        "1",
+        "--json",
+    ]);
+    assert!(ok, "stdout: {stdout}");
+    assert!(stdout.contains("\"cells\": 1"), "stdout: {stdout}");
+    assert!(stdout.contains("\"failures\": 0"), "stdout: {stdout}");
+    assert!(stdout.contains("\"sc_checked\": 1"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("\"witness_accesses\": 0"),
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
+fn chaos_expect_violation_fails_on_a_clean_sweep() {
+    let (ok, _, _) = ccsim(&[
+        "chaos",
+        "--workload",
+        "lu",
+        "--protocol",
+        "baseline",
+        "--rates",
+        "30",
+        "--seeds",
+        "1",
+        "--no-sc",
+        "--expect-violation",
+    ]);
+    assert!(!ok, "a clean sweep must fail --expect-violation");
+}
+
+#[test]
+fn chaos_rejects_unknown_transport_mutations() {
+    let (ok, _, stderr) = ccsim(&["chaos", "--mutation", "nosuch"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("unknown transport mutation"),
+        "stderr: {stderr}"
+    );
+}
+
+#[cfg(not(feature = "testing"))]
+#[test]
+fn chaos_transport_mutations_require_the_testing_feature() {
+    let (ok, _, stderr) = ccsim(&["chaos", "--mutation", "skip-dedup", "--seeds", "1"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("requires the `testing` cargo feature"),
+        "stderr: {stderr}"
+    );
+}
+
+#[cfg(feature = "testing")]
+#[test]
+fn chaos_skip_dedup_is_convicted_with_a_minimal_witness() {
+    let (ok, stdout, _) = ccsim(&[
+        "chaos",
+        "--workload",
+        "mp3d",
+        "--protocol",
+        "baseline",
+        "--mutation",
+        "skip-dedup",
+        "--rates",
+        "600",
+        "--seeds",
+        "1",
+        "--no-sc",
+        "--expect-violation",
+    ]);
+    assert!(ok, "stdout: {stdout}");
+    assert!(stdout.contains("FAIL"), "stdout: {stdout}");
+    assert!(stdout.contains("minimal witness"), "stdout: {stdout}");
+    assert!(stdout.contains("fault plan"), "stdout: {stdout}");
+    // The witness line reads "..., N access(es)"; the shrinker must get the
+    // conviction below the readability bound.
+    let n: usize = stdout
+        .split_once("minimal witness")
+        .and_then(|(_, rest)| rest.split_once(" access(es)"))
+        .and_then(|(head, _)| head.rsplit(' ').next())
+        .and_then(|w| w.parse().ok())
+        .expect("witness access count in output");
+    assert!(n <= 16, "witness has {n} accesses:\n{stdout}");
 }
 
 #[test]
