@@ -2,16 +2,36 @@
 //! record the numbers (`--write`) or gate them against the committed
 //! baseline (`--check`), which is what CI runs.
 //!
+//! The bench id is taken from the path's file name, and each id selects
+//! its measurement: `BENCH_0006` is the engine/replay/cache trajectory,
+//! `BENCH_0008` is the serve-scale trajectory. CI checks both.
+//!
 //! ```text
-//! bench_trajectory                  # measure, print JSON to stdout
-//! bench_trajectory --write [path]   # measure, write BENCH_0006.json
+//! bench_trajectory                  # measure BENCH_0006, print JSON to stdout
+//! bench_trajectory --write [path]   # measure, write BENCH_NNNN.json
 //! bench_trajectory --check [path]   # measure, compare vs baseline, exit 1 on regression
 //! ```
 
-use ccsim_bench::trajectory::{compare, measure_quick, BenchSummary, Tolerance};
+use ccsim_bench::trajectory::{compare, measure_quick, measure_serve, BenchSummary, Tolerance};
 
-const BENCH_ID: &str = "BENCH_0006";
 const DEFAULT_PATH: &str = "BENCH_0006.json";
+
+/// Bench id from a baseline path: `foo/BENCH_0008.json` → `BENCH_0008`.
+fn bench_id(path: &str) -> String {
+    std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or(path)
+        .to_string()
+}
+
+/// Each trajectory id measures a different slice of the system.
+fn measure(id: &str) -> BenchSummary {
+    match id {
+        "BENCH_0008" => measure_serve(id),
+        _ => measure_quick(id),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,9 +39,10 @@ fn main() {
         .get(1)
         .cloned()
         .unwrap_or_else(|| DEFAULT_PATH.to_string());
+    let id = bench_id(&path);
     match args.first().map(|s| s.as_str()) {
         Some("--write") => {
-            let summary = measure_quick(BENCH_ID);
+            let summary = measure(&id);
             let json = summary.to_canonical_json();
             std::fs::write(&path, format!("{json}\n")).expect("write bench record");
             println!("wrote {path} ({} metrics)", summary.metrics.len());
@@ -30,7 +51,7 @@ fn main() {
             let raw = std::fs::read_to_string(&path)
                 .unwrap_or_else(|e| panic!("no committed baseline at {path}: {e}"));
             let baseline = BenchSummary::from_canonical_json(&raw).expect("parse baseline");
-            let current = measure_quick(BENCH_ID);
+            let current = measure(&id);
             let regressions = compare(&baseline, &current, &Tolerance::default());
             for m in &current.metrics {
                 let base = baseline
@@ -60,7 +81,7 @@ fn main() {
             }
         }
         _ => {
-            println!("{}", measure_quick(BENCH_ID).to_canonical_json());
+            println!("{}", measure(&id).to_canonical_json());
         }
     }
 }

@@ -346,6 +346,75 @@ pub fn measure_quick(bench: &str) -> BenchSummary {
     }
 }
 
+/// Measure the serve-scale trajectory (`BENCH_0008`): the quick serve
+/// sweep at two zipf skew points (s = 0.5 mild, s = 1.2 hot), each run
+/// across Baseline/AD/LS serially and with a 4-worker sweep.
+///
+/// Two metric families per skew point:
+///
+/// * `serve_sweep_serial_<s>` / `serve_sweep_threads4_<s>` — wall-clock of
+///   the sweep; the threads4 speedup records the across-run parallelism of
+///   independent protocol runs (near-ideal, unlike the planning-parallel
+///   replay lane).
+/// * `serve_p99c_<protocol>_<s>` — the RMW class's p99 in **simulated
+///   cycles**, carried in the `wall_us` field. These are bit-deterministic
+///   (no runner noise at all), so the comparator's wall-clock band doubles
+///   as a behaviour-drift tripwire: a protocol change that moves serve
+///   tail latency by more than the band fails the gate.
+pub fn measure_serve(bench: &str) -> BenchSummary {
+    use ccsim_serve::{serve_sweep, summarize, ServeConfig};
+    use ccsim_types::{MachineConfig, ProtocolKind};
+
+    let base = MachineConfig::oltp_scaled(ProtocolKind::Baseline);
+    let mut metrics = Vec::new();
+    for (tag, skew) in [("s500", 500u32), ("s1200", 1200u32)] {
+        let mut cfg = ServeConfig::quick();
+        cfg.clients = 2_000;
+        cfg.accounts = 4_096;
+        cfg.index_words = 8_192;
+        cfg.ward.check_every = 64;
+        cfg.ward.max_cycles = 1_200_000;
+        cfg.skew_per_mille = skew;
+
+        let (serial_us, reports) = timed(|| serve_sweep(base, &cfg, &ProtocolKind::ALL, 1));
+        let completed: u64 = reports.iter().map(|r| r.completed).sum();
+        let (par_us, _) = timed(|| serve_sweep(base, &cfg, &ProtocolKind::ALL, 4));
+        metrics.push(BenchMetric::from_timing(
+            &format!("serve_sweep_serial_{tag}"),
+            serial_us,
+            completed,
+            None,
+        ));
+        metrics.push(BenchMetric::from_timing(
+            &format!("serve_sweep_threads4_{tag}"),
+            par_us,
+            completed,
+            Some(serial_us),
+        ));
+
+        let s = summarize(&cfg, &reports);
+        for row in &s.rows {
+            let rmw = row
+                .classes
+                .iter()
+                .find(|c| c.class == "rmw")
+                .expect("serve summary always carries an rmw class");
+            metrics.push(BenchMetric::from_timing(
+                &format!("serve_p99c_{}_{tag}", row.protocol.to_lowercase()),
+                rmw.p99,
+                rmw.count,
+                None,
+            ));
+        }
+    }
+
+    BenchSummary {
+        bench: bench.to_string(),
+        scale: "quick".to_string(),
+        metrics,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -56,7 +56,7 @@ pub use parallel::{
     parse_sim_threads, replay_checked_with_threads, replay_events_with_threads,
     replay_with_threads, sim_threads_from_env,
 };
-pub use run::{EngineKind, FinishedSim, Proc, SimBuilder, DEFAULT_WATCHDOG_CYCLES};
+pub use run::{EngineKind, FinishedSim, HaltHandle, Proc, SimBuilder, DEFAULT_WATCHDOG_CYCLES};
 pub use shard::{merge_plans, PlanKey, ShardMap};
 pub use stats::{ProcTimes, RunStats};
 pub use trace::{replay, replay_checked, replay_events, Trace, TraceError, TraceEvent, TraceOp};

@@ -27,6 +27,7 @@
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use ccsim_mem::Allocator;
@@ -242,6 +243,7 @@ pub struct Proc {
     backend: Backend,
     id: NodeId,
     nodes: u16,
+    halt: Arc<AtomicBool>,
 }
 
 impl Proc {
@@ -299,6 +301,19 @@ impl Proc {
     /// Number of nodes in the machine.
     pub fn nodes(&self) -> u16 {
         self.nodes
+    }
+
+    /// Whether a [`HaltHandle`] has requested a cooperative stop.
+    ///
+    /// Open-ended workloads (the serve-scale traffic drivers) poll this at
+    /// the top of their request loop and return when it is set, which is
+    /// how ward predicates end a run on steady state instead of an op
+    /// budget. Determinism: the flag is only ever set from a processor
+    /// holding its simulated turn, and the engine admits exactly one
+    /// processor at a time, so every processor observes the transition at
+    /// a deterministic point in its own instruction stream.
+    pub fn halted(&self) -> bool {
+        self.halt.load(Ordering::SeqCst)
     }
 
     /// Spend `cycles` of pure compute time.
@@ -466,6 +481,25 @@ pub struct SimBuilder {
     watchdog: u64,
     capture: bool,
     engine: EngineKind,
+    halt: Arc<AtomicBool>,
+}
+
+/// Requests a cooperative stop of a running simulation (see
+/// [`Proc::halted`]). Cloneable; obtained from [`SimBuilder::halt_handle`]
+/// before the run starts and typically moved into the spawned programs or
+/// a ward predicate.
+#[derive(Clone)]
+pub struct HaltHandle(Arc<AtomicBool>);
+
+impl HaltHandle {
+    /// Set the halt flag. Idempotent.
+    pub fn halt(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    pub fn is_halted(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
 }
 
 impl SimBuilder {
@@ -480,7 +514,15 @@ impl SimBuilder {
             watchdog: DEFAULT_WATCHDOG_CYCLES,
             capture: false,
             engine: EngineKind::from_env(),
+            halt: Arc::new(AtomicBool::new(false)),
         }
+    }
+
+    /// A handle that can request a cooperative stop of this run: every
+    /// spawned program observes it via [`Proc::halted`]. This is the
+    /// engine-side hook ward predicates use to end open-ended runs.
+    pub fn halt_handle(&self) -> HaltHandle {
+        HaltHandle(Arc::clone(&self.halt))
     }
 
     /// Select the execution backend, overriding `CCSIM_SIM_ENGINE`. Both
@@ -572,8 +614,8 @@ impl SimBuilder {
             trace: if self.capture { Some(Vec::new()) } else { None },
         };
         match self.engine {
-            EngineKind::Fiber => run_fiber(inner, self.programs, cfg),
-            EngineKind::Threads => run_threads(inner, self.programs, cfg),
+            EngineKind::Fiber => run_fiber(inner, self.programs, cfg, self.halt),
+            EngineKind::Threads => run_threads(inner, self.programs, cfg, self.halt),
         }
     }
 }
@@ -585,6 +627,7 @@ fn run_fiber(
     mut inner: Inner,
     programs: Vec<Box<dyn FnOnce(Proc) + Send + 'static>>,
     cfg: MachineConfig,
+    halt: Arc<AtomicBool>,
 ) -> FinishedSim {
     let num = programs.len();
     let stack_bytes = stack_bytes_from_env();
@@ -594,6 +637,7 @@ fn run_fiber(
             backend: Backend::Fiber,
             id: NodeId(i as u16),
             nodes: cfg.nodes,
+            halt: Arc::clone(&halt),
         };
         fibers.spawn(stack_bytes, Box::new(move || prog(proc_handle)));
     }
@@ -626,6 +670,7 @@ fn run_threads(
     inner: Inner,
     programs: Vec<Box<dyn FnOnce(Proc) + Send + 'static>>,
     cfg: MachineConfig,
+    halt: Arc<AtomicBool>,
 ) -> FinishedSim {
     let n = cfg.nodes as usize;
     let num = programs.len();
@@ -642,6 +687,7 @@ fn run_threads(
                 backend: Backend::Threads(Arc::clone(&shared)),
                 id: NodeId(i as u16),
                 nodes: cfg.nodes,
+                halt: Arc::clone(&halt),
             };
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()

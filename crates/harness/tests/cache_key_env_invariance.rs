@@ -13,15 +13,19 @@ fn sim_thread_setting_does_not_change_cache_keys() {
     let cfg = MachineConfig::splash_baseline(ProtocolKind::Ls);
     let spec = Spec::Mp3d(Mp3dParams::quick());
     let before = run_key(&cfg, &spec);
-    for setting in ["1", "4", "8", "banana"] {
-        std::env::set_var("CCSIM_SIM_THREADS", setting);
-        assert_eq!(
-            run_key(&cfg, &spec),
-            before,
-            "CCSIM_SIM_THREADS={setting} changed the cache key"
-        );
+    // CCSIM_SERVE_THREADS is pinned alongside the engine's variable so a
+    // future serve-side knob can never silently join the key either.
+    for var in ["CCSIM_SIM_THREADS", "CCSIM_SERVE_THREADS"] {
+        for setting in ["1", "4", "8", "banana"] {
+            std::env::set_var(var, setting);
+            assert_eq!(
+                run_key(&cfg, &spec),
+                before,
+                "{var}={setting} changed the cache key"
+            );
+        }
+        std::env::remove_var(var);
     }
-    std::env::remove_var("CCSIM_SIM_THREADS");
     assert_eq!(run_key(&cfg, &spec), before);
 
     // Keys do respond to what actually determines results.

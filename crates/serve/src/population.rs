@@ -1,0 +1,155 @@
+//! The client population: zipf ranks → client keys → TPC-B rows, plus the
+//! deterministic per-client parameter streams.
+//!
+//! A client key is its zipf rank minus one (rank 1 ⇒ client 0), so "hot
+//! client" is well-defined without a permutation table. Clients map onto
+//! account rows through a splitmix64 scramble of `(seed, client)`: hot
+//! clients land on *scattered* rows of the account table (hot rows, not a
+//! hot region), which is what makes skew show up as ownership-transfer
+//! contention rather than one node's cache locality.
+//!
+//! Every transaction's parameters come from a per-client xoshiro stream
+//! *split from the run seed*: the stream for visit `v` of client `c` on
+//! node `n` is seeded with `splitmix64`-mixed `(seed, c, v, n)`. No state
+//! is kept per client — millions of clients cost nothing — yet two runs
+//! with the same seed draw identical parameters everywhere.
+
+use ccsim_util::rng64::{splitmix64, Xoshiro256pp};
+use ccsim_workloads::oltp::ops::OpInputs;
+
+use crate::config::{ServeConfig, TxnClass};
+
+/// Stateless parameter-stream factory for the whole population.
+#[derive(Clone, Copy, Debug)]
+pub struct Population {
+    clients: u64,
+    accounts: u64,
+    branches: u64,
+    index_words: u64,
+    seed: u64,
+    /// Cumulative per-mille mix thresholds, [`TxnClass::ALL`] order.
+    mix_cum: [u64; 4],
+}
+
+impl Population {
+    pub fn new(cfg: &ServeConfig) -> Population {
+        let mut mix_cum = [0u64; 4];
+        let mut acc = 0u64;
+        for (slot, &m) in mix_cum.iter_mut().zip(&cfg.mix_per_mille) {
+            acc += m as u64;
+            *slot = acc;
+        }
+        Population {
+            clients: cfg.clients,
+            accounts: cfg.accounts,
+            branches: cfg.branches,
+            index_words: cfg.index_words,
+            seed: cfg.seed,
+            mix_cum,
+        }
+    }
+
+    pub fn clients(&self) -> u64 {
+        self.clients
+    }
+
+    /// The account row client `c` owns (scrambled, stable for the run).
+    pub fn account_of(&self, client: u64) -> u64 {
+        let mut s = self.seed ^ client.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        splitmix64(&mut s) % self.accounts
+    }
+
+    /// The per-client stream for one visit, split from the run seed.
+    fn stream(&self, client: u64, visit: u64, node: u16) -> Xoshiro256pp {
+        let mut s = self.seed;
+        let a = splitmix64(&mut s) ^ client;
+        let mut s2 = a;
+        let b = splitmix64(&mut s2) ^ (visit << 16 | node as u64);
+        let mut s3 = b;
+        Xoshiro256pp::seed_from_u64(splitmix64(&mut s3))
+    }
+
+    /// Draw the class and parameters of one transaction.
+    pub fn txn(&self, client: u64, visit: u64, node: u16) -> (TxnClass, OpInputs) {
+        let mut rng = self.stream(client, visit, node);
+        let roll = rng.below(1000);
+        let class = TxnClass::ALL[self.mix_cum.iter().position(|&c| roll < c).unwrap_or(3)];
+        let account = self.account_of(client);
+        let idx_span = (self.index_words / 4).max(1);
+        let mut idx = [0u64; 8];
+        for i in &mut idx {
+            *i = rng.below(idx_span);
+        }
+        let inputs = OpInputs {
+            account,
+            branch: account % self.branches,
+            teller_off: rng.below(10),
+            amount: 1 + rng.below(100),
+            probe: rng.below(self.accounts),
+            idx,
+        };
+        (class, inputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pop() -> Population {
+        Population::new(&ServeConfig::quick())
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_split() {
+        let p = pop();
+        assert_eq!(p.txn(7, 0, 1), p.txn(7, 0, 1), "same split, same txn");
+        // Different client / visit / node each give an independent stream.
+        assert_ne!(p.txn(7, 0, 1).1, p.txn(8, 0, 1).1);
+        assert_ne!(p.txn(7, 0, 1).1, p.txn(7, 1, 1).1);
+        assert_ne!(p.txn(7, 0, 1).1, p.txn(7, 0, 2).1);
+    }
+
+    #[test]
+    fn account_mapping_is_stable_scattered_and_in_range() {
+        let p = pop();
+        let cfg = ServeConfig::quick();
+        let a0 = p.account_of(0);
+        assert_eq!(a0, p.account_of(0));
+        assert!(a0 < cfg.accounts);
+        // The two hottest clients must not map to adjacent rows (scramble,
+        // not identity): adjacency would turn skew into false sharing of a
+        // single block instead of hot-row ownership transfer.
+        let a1 = p.account_of(1);
+        assert!(a0.abs_diff(a1) > 1, "hot clients adjacent: {a0} vs {a1}");
+    }
+
+    #[test]
+    fn mix_thresholds_partition_the_classes() {
+        let p = pop();
+        let mut seen = [0u64; 4];
+        for c in 0..4_000u64 {
+            let (class, _) = p.txn(c, 0, 0);
+            seen[class.idx()] += 1;
+        }
+        // quick() mix is 450/300/150/100 — every class must appear, in
+        // roughly descending order for the two big ones.
+        assert!(seen.iter().all(|&s| s > 0), "{seen:?}");
+        assert!(seen[0] > seen[2] && seen[0] > seen[3], "{seen:?}");
+    }
+
+    #[test]
+    fn inputs_respect_schema_bounds() {
+        let p = pop();
+        let cfg = ServeConfig::quick();
+        for c in 0..200 {
+            let (_, inp) = p.txn(c, c, (c % 4) as u16);
+            assert!(inp.account < cfg.accounts);
+            assert!(inp.branch < cfg.branches);
+            assert!(inp.teller_off < 10);
+            assert!((1..=100).contains(&inp.amount));
+            assert!(inp.probe < cfg.accounts);
+            assert!(inp.idx.iter().all(|&i| i < cfg.index_words / 4));
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Ward predicates: production-shaped stop conditions for open-ended runs.
+//!
+//! A serve run has no op budget — it ends when a ward fires (the
+//! nomos-node shape: streaming subscribers feed predicates that stop the
+//! simulation on convergence instead of a count):
+//!
+//! * **converged-percentiles** — every active class's p99 moved less than
+//!   the tolerance for N consecutive checks: steady state reached, the
+//!   numbers are the answer;
+//! * **queue-divergence** — the admission queues dropped more than the
+//!   budget: offered load exceeds capacity, latency percentiles would only
+//!   chase queue growth from here;
+//! * **max-cycles** — the fuse: bounds simulated time when neither
+//!   predicate fires (e.g. rate so low the histograms starve).
+//!
+//! Ward state is updated under the shared measurement lock by whichever
+//! processor completes a transaction, while it holds its simulated turn —
+//! so the firing point is a deterministic position in the global
+//! instruction stream, and reruns stop at the identical cycle.
+
+use ccsim_util::LatencyHistogram;
+
+use crate::config::WardConfig;
+
+/// Why a serve run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    ConvergedPercentiles,
+    MaxCycles,
+    QueueDivergence,
+}
+
+impl StopReason {
+    pub fn label(self) -> &'static str {
+        match self {
+            StopReason::ConvergedPercentiles => "converged",
+            StopReason::MaxCycles => "max-cycles",
+            StopReason::QueueDivergence => "queue-divergence",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<StopReason> {
+        match s {
+            "converged" => Some(StopReason::ConvergedPercentiles),
+            "max-cycles" => Some(StopReason::MaxCycles),
+            "queue-divergence" => Some(StopReason::QueueDivergence),
+            _ => None,
+        }
+    }
+}
+
+/// Streaming ward evaluator over the merged measurement plane.
+#[derive(Clone, Debug)]
+pub struct WardState {
+    cfg: WardConfig,
+    /// p99 per class at the previous check (u64::MAX = not yet seen).
+    prev_p99: [u64; 4],
+    streak: u32,
+    next_check_at: u64,
+    primed: bool,
+}
+
+impl WardState {
+    pub fn new(cfg: WardConfig) -> WardState {
+        WardState {
+            cfg,
+            prev_p99: [u64::MAX; 4],
+            streak: 0,
+            next_check_at: cfg.check_every,
+            primed: false,
+        }
+    }
+
+    /// Queue-divergence ward, evaluated on every drop.
+    pub fn on_drop(&self, dropped: u64) -> Option<StopReason> {
+        if self.cfg.diverge_dropped > 0 && dropped >= self.cfg.diverge_dropped {
+            Some(StopReason::QueueDivergence)
+        } else {
+            None
+        }
+    }
+
+    /// Max-cycles ward, evaluated against a processor clock.
+    pub fn on_clock(&self, now: u64) -> Option<StopReason> {
+        if now >= self.cfg.max_cycles {
+            Some(StopReason::MaxCycles)
+        } else {
+            None
+        }
+    }
+
+    /// Converged-percentiles ward, evaluated after each completion against
+    /// the merged per-class histograms. Integer-only: movement is measured
+    /// in per-mille of the previous p99.
+    pub fn on_completion(
+        &mut self,
+        completed: u64,
+        hists: &[LatencyHistogram; 4],
+    ) -> Option<StopReason> {
+        if completed < self.next_check_at {
+            return None;
+        }
+        self.next_check_at = completed + self.cfg.check_every;
+        let mut converged = true;
+        let mut current = self.prev_p99;
+        for (i, h) in hists.iter().enumerate() {
+            if h.count() == 0 {
+                continue; // class absent from the mix
+            }
+            let p99 = h.percentile_per_mille(990);
+            current[i] = p99;
+            let prev = self.prev_p99[i];
+            if prev == u64::MAX {
+                converged = false; // first sighting of this class
+                continue;
+            }
+            let moved_per_mille = p99.abs_diff(prev).saturating_mul(1000) / prev.max(1);
+            if moved_per_mille > self.cfg.converge_per_mille {
+                converged = false;
+            }
+        }
+        self.prev_p99 = current;
+        // The first full check only primes the reference points.
+        if !self.primed {
+            self.primed = true;
+            self.streak = 0;
+            return None;
+        }
+        if converged {
+            self.streak += 1;
+            if self.streak >= self.cfg.converge_checks {
+                return Some(StopReason::ConvergedPercentiles);
+            }
+        } else {
+            self.streak = 0;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ward() -> WardState {
+        WardState::new(WardConfig {
+            check_every: 10,
+            converge_per_mille: 100,
+            converge_checks: 2,
+            max_cycles: 1_000,
+            diverge_dropped: 5,
+        })
+    }
+
+    fn hists_with(p: u64, n: u64) -> [LatencyHistogram; 4] {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..n {
+            h.record(p);
+        }
+        [
+            h.clone(),
+            h.clone(),
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+        ]
+    }
+
+    #[test]
+    fn converges_after_stable_checks_only() {
+        let mut w = ward();
+        let h = hists_with(500, 100);
+        assert_eq!(w.on_completion(5, &h), None, "below cadence");
+        assert_eq!(w.on_completion(10, &h), None, "first check primes");
+        assert_eq!(w.on_completion(20, &h), None, "streak 1 of 2");
+        assert_eq!(
+            w.on_completion(30, &h),
+            Some(StopReason::ConvergedPercentiles)
+        );
+    }
+
+    #[test]
+    fn movement_resets_the_streak() {
+        let mut w = ward();
+        assert_eq!(w.on_completion(10, &hists_with(500, 100)), None);
+        assert_eq!(w.on_completion(20, &hists_with(500, 100)), None); // streak 1
+                                                                      // p99 doubles: not converged, streak resets.
+        assert_eq!(w.on_completion(30, &hists_with(1200, 100)), None);
+        assert_eq!(w.on_completion(40, &hists_with(1200, 100)), None); // streak 1
+        assert_eq!(
+            w.on_completion(50, &hists_with(1200, 100)),
+            Some(StopReason::ConvergedPercentiles)
+        );
+    }
+
+    #[test]
+    fn empty_classes_do_not_block_convergence() {
+        let mut w = ward();
+        let h = hists_with(500, 100); // classes 2 and 3 stay empty
+        w.on_completion(10, &h);
+        w.on_completion(20, &h);
+        assert_eq!(
+            w.on_completion(30, &h),
+            Some(StopReason::ConvergedPercentiles)
+        );
+    }
+
+    #[test]
+    fn drop_and_clock_wards_fire_at_thresholds() {
+        let w = ward();
+        assert_eq!(w.on_drop(4), None);
+        assert_eq!(w.on_drop(5), Some(StopReason::QueueDivergence));
+        assert_eq!(w.on_clock(999), None);
+        assert_eq!(w.on_clock(1_000), Some(StopReason::MaxCycles));
+        // Disabled divergence ward never fires.
+        let mut cfg = WardConfig {
+            check_every: 10,
+            converge_per_mille: 100,
+            converge_checks: 2,
+            max_cycles: 1_000,
+            diverge_dropped: 0,
+        };
+        cfg.diverge_dropped = 0;
+        assert_eq!(WardState::new(cfg).on_drop(u64::MAX), None);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for r in [
+            StopReason::ConvergedPercentiles,
+            StopReason::MaxCycles,
+            StopReason::QueueDivergence,
+        ] {
+            assert_eq!(StopReason::parse(r.label()), Some(r));
+        }
+        assert_eq!(StopReason::parse("nope"), None);
+    }
+}

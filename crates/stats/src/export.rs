@@ -598,6 +598,190 @@ impl FromJson for ChaosSummary {
     }
 }
 
+/// Schema tag stamped into every [`ServeSummary`] document.
+pub const SERVE_SCHEMA: &str = "ccsim-serve-v1";
+
+/// Latency percentiles of one transaction class in one serve run. All
+/// values are simulated cycles from log-bucketed integer histograms —
+/// deterministic and exactly reproducible, never wall-clock.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeClassLatency {
+    /// Class label: `point_read` / `rmw` / `scan` / `append`.
+    pub class: String,
+    pub count: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    pub max: u64,
+}
+
+impl ToJson for ServeClassLatency {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("class", self.class.to_json()),
+            ("count", self.count.to_json()),
+            ("p50", self.p50.to_json()),
+            ("p90", self.p90.to_json()),
+            ("p99", self.p99.to_json()),
+            ("max", self.max.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ServeClassLatency {
+    fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(ServeClassLatency {
+            class: j.field("class")?,
+            count: j.field("count")?,
+            p50: j.field("p50")?,
+            p90: j.field("p90")?,
+            p99: j.field("p99")?,
+            max: j.field("max")?,
+        })
+    }
+}
+
+/// One protocol's row in a serve comparison: service-level numbers (stop
+/// reason, throughput, queue behaviour, per-class latency) next to the
+/// coherence-level numbers the paper cares about (ownership acquisitions,
+/// invalidations, write stall) so the overhead→latency link is in one
+/// record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeRow {
+    pub protocol: String,
+    /// Ward that ended the run: `converged` / `max-cycles` /
+    /// `queue-divergence`.
+    pub stop: String,
+    pub cycles: u64,
+    pub admitted: u64,
+    pub completed: u64,
+    pub dropped: u64,
+    pub throughput_per_mcycle: u64,
+    pub max_queue_depth: u64,
+    pub hot_row_conflicts: u64,
+    pub ownership_acquisitions: u64,
+    pub invalidations: u64,
+    pub write_stall: u64,
+    pub traffic_bytes: u64,
+    pub classes: Vec<ServeClassLatency>,
+}
+
+impl ToJson for ServeRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("protocol", self.protocol.to_json()),
+            ("stop", self.stop.to_json()),
+            ("cycles", self.cycles.to_json()),
+            ("admitted", self.admitted.to_json()),
+            ("completed", self.completed.to_json()),
+            ("dropped", self.dropped.to_json()),
+            (
+                "throughput_per_mcycle",
+                self.throughput_per_mcycle.to_json(),
+            ),
+            ("max_queue_depth", self.max_queue_depth.to_json()),
+            ("hot_row_conflicts", self.hot_row_conflicts.to_json()),
+            (
+                "ownership_acquisitions",
+                self.ownership_acquisitions.to_json(),
+            ),
+            ("invalidations", self.invalidations.to_json()),
+            ("write_stall", self.write_stall.to_json()),
+            ("traffic_bytes", self.traffic_bytes.to_json()),
+            ("classes", self.classes.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ServeRow {
+    fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(ServeRow {
+            protocol: j.field("protocol")?,
+            stop: j.field("stop")?,
+            cycles: j.field("cycles")?,
+            admitted: j.field("admitted")?,
+            completed: j.field("completed")?,
+            dropped: j.field("dropped")?,
+            throughput_per_mcycle: j.field("throughput_per_mcycle")?,
+            max_queue_depth: j.field("max_queue_depth")?,
+            hot_row_conflicts: j.field("hot_row_conflicts")?,
+            ownership_acquisitions: j.field("ownership_acquisitions")?,
+            invalidations: j.field("invalidations")?,
+            write_stall: j.field("write_stall")?,
+            traffic_bytes: j.field("traffic_bytes")?,
+            classes: j.field("classes")?,
+        })
+    }
+}
+
+/// Flat, serializable summary of one serve sweep (`ccsim serve`,
+/// `ccsim-serve`): the offered-load configuration echoed back (so the
+/// document is self-describing) plus one [`ServeRow`] per protocol. The
+/// whole document is a pure function of `(machine, serve config)` — the
+/// determinism suite pins its bytes across reruns and thread counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Always [`SERVE_SCHEMA`]; parsing rejects anything else.
+    pub schema: String,
+    pub nodes: u16,
+    pub clients: u64,
+    pub skew_per_mille: u32,
+    pub rate_per_mcycle: u64,
+    /// Per-mille class mix, [`ServeClassLatency::class`] label order.
+    pub mix_per_mille: [u16; 4],
+    pub seed: u64,
+    pub rows: Vec<ServeRow>,
+}
+
+impl ServeSummary {
+    /// Pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        ToJson::to_json(self).pretty()
+    }
+
+    /// Parse a summary previously written by [`ServeSummary::to_json`].
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let s: ServeSummary = FromJson::from_json(&Json::parse(text)?)?;
+        if s.schema != SERVE_SCHEMA {
+            return Err(format!(
+                "serve: unknown schema {:?} (expected {SERVE_SCHEMA:?})",
+                s.schema
+            ));
+        }
+        Ok(s)
+    }
+}
+
+impl ToJson for ServeSummary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", self.schema.to_json()),
+            ("nodes", self.nodes.to_json()),
+            ("clients", self.clients.to_json()),
+            ("skew_per_mille", self.skew_per_mille.to_json()),
+            ("rate_per_mcycle", self.rate_per_mcycle.to_json()),
+            ("mix_per_mille", self.mix_per_mille.to_json()),
+            ("seed", self.seed.to_json()),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ServeSummary {
+    fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(ServeSummary {
+            schema: j.field("schema")?,
+            nodes: j.field("nodes")?,
+            clients: j.field("clients")?,
+            skew_per_mille: j.field("skew_per_mille")?,
+            rate_per_mcycle: j.field("rate_per_mcycle")?,
+            mix_per_mille: j.field("mix_per_mille")?,
+            seed: j.field("seed")?,
+            rows: j.field("rows")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -749,6 +933,52 @@ mod tests {
         assert!(s.sc_witness, "clean toy run must have an SC witness");
         assert_eq!(s.sc_order_fingerprint, report.sc_fingerprint.unwrap());
         assert!(s.first_violation.is_empty());
+    }
+
+    #[test]
+    fn serve_summary_round_trips_and_pins_its_schema() {
+        let class = |name: &str, p99: u64| ServeClassLatency {
+            class: name.into(),
+            count: 1000,
+            p50: p99 / 4,
+            p90: p99 / 2,
+            p99,
+            max: p99 + 17,
+        };
+        let s = ServeSummary {
+            schema: SERVE_SCHEMA.into(),
+            nodes: 8,
+            clients: 2_000_000,
+            skew_per_mille: 990,
+            rate_per_mcycle: 1600,
+            mix_per_mille: [450, 300, 150, 100],
+            seed: u64::MAX - 7,
+            rows: vec![ServeRow {
+                protocol: "LS".into(),
+                stop: "converged".into(),
+                cycles: 12_345_678,
+                admitted: 20_000,
+                completed: 19_900,
+                dropped: 100,
+                throughput_per_mcycle: 1612,
+                max_queue_depth: 31,
+                hot_row_conflicts: 420,
+                ownership_acquisitions: 9_999,
+                invalidations: 1_234,
+                write_stall: 777_777,
+                traffic_bytes: 88_888_888,
+                classes: vec![class("point_read", 4_000), class("rmw", 9_000)],
+            }],
+        };
+        let back = ServeSummary::parse(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+        // u64 bit-exactness through the dedicated U64 Json variant.
+        assert_eq!(back.seed, u64::MAX - 7);
+        // A wrong schema tag is rejected, not silently accepted.
+        let mut other = s.clone();
+        other.schema = "ccsim-serve-v0".into();
+        let err = ServeSummary::parse(&other.to_json()).unwrap_err();
+        assert!(err.contains("unknown schema"), "{err}");
     }
 
     #[test]

@@ -13,6 +13,9 @@ pub mod export;
 pub mod figures;
 pub mod normalized;
 
-pub use export::{AnalysisSummary, ChaosSummary, ModelCheckSummary, RaceSummary, RunSummary};
+pub use export::{
+    AnalysisSummary, ChaosSummary, ModelCheckSummary, RaceSummary, RunSummary, ServeClassLatency,
+    ServeRow, ServeSummary, SERVE_SCHEMA,
+};
 pub use figures::{render_fig5, render_table2, render_table3, render_table4, render_triptych};
 pub use normalized::{NormalizedRun, Triptych};

@@ -17,11 +17,15 @@
 //! * [`pool`] — the bounded scoped worker pool (deterministic result
 //!   ordering) shared by the harness `JobSet` and the engine's
 //!   planning-parallel replay sweep, replacing `rayon`;
-//! * [`slab`] — lazily-paged dense arrays for per-block hot-path state.
+//! * [`slab`] — lazily-paged dense arrays for per-block hot-path state;
+//! * [`latency`] — integer-only log-bucketed latency histograms with a
+//!   deterministic merge, the serve-scale measurement plane (replacing
+//!   `hdrhistogram`).
 
 pub mod check;
 pub mod fxhash;
 pub mod json;
+pub mod latency;
 pub mod pool;
 pub mod rng64;
 pub mod slab;
@@ -29,6 +33,7 @@ pub mod stable_hash;
 
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use json::{FromJson, Json, ToJson};
+pub use latency::LatencyHistogram;
 pub use rng64::Xoshiro256pp;
 pub use slab::Slab;
 pub use stable_hash::{fnv1a64, Fnv1a};

@@ -24,6 +24,7 @@
 //! asserted in tests under every protocol.
 
 pub mod layout;
+pub mod ops;
 
 use ccsim_engine::{Component, Proc, SimBuilder};
 use ccsim_types::{Addr, SimRng};

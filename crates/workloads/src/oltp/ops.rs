@@ -1,0 +1,170 @@
+//! Serve-facing transaction-class bodies over the TPC-B schema.
+//!
+//! The closed-loop reproduction drives [`super::transaction`], a full
+//! TPC-B transaction (~10k cycles). The serve-scale traffic subsystem
+//! instead mixes four smaller *transaction classes* whose proportions are
+//! a config knob, so read/write-mix sweeps don't need a new workload:
+//!
+//! * [`point_read`] — a balance check: catalog + account + buffer-pool
+//!   descriptor reads. Leaves rows read-shared across nodes — the
+//!   lingering copies that defeat AD's two-copy detection (§5.4).
+//! * [`read_modify_write`] — the money movement: account/teller
+//!   fetch-adds plus the branch critical section with its history append.
+//!   Under zipfian skew this is the hot-row ownership-transfer path.
+//! * [`scan`] — a read-only index traversal over a region ≫ L2
+//!   (capacity misses on shared data).
+//! * [`append`] — WAL/history append: pure-store streams, global writes
+//!   outside any load-store sequence.
+//!
+//! Each body is deterministic given its inputs and advances simulated time
+//! through `Proc::busy`, so service time (and therefore queueing) is in
+//! simulated cycles end to end.
+
+use ccsim_engine::{Component, Proc};
+use ccsim_types::Addr;
+
+use super::layout::DbLayout;
+
+/// Host-side inputs of one serve transaction, drawn from the per-client
+/// stream (see `ccsim-serve`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpInputs {
+    /// Target account row (the zipf-hot key for point/RMW classes).
+    pub account: u64,
+    /// Branch the account belongs to.
+    pub branch: u64,
+    /// Teller offset within the branch (0..10).
+    pub teller_off: u64,
+    /// Transfer amount.
+    pub amount: u64,
+    /// Secondary read-only probe account.
+    pub probe: u64,
+    /// Index words touched by the scan class.
+    pub idx: [u64; 8],
+}
+
+/// Balance check: parse, catalog, account + descriptor + status reads.
+pub fn point_read(p: &Proc, db: &DbLayout, inp: &OpInputs) {
+    p.set_component(Component::App);
+    p.busy(420); // parse + plan cache hit
+    let w = (inp.account.wrapping_mul(31)) % db.catalog_words;
+    p.load(Addr(db.catalog_base.0 + w * 8));
+    p.load(db.header(inp.account % 3));
+    p.load(db.account(inp.account));
+    p.load(db.bufdesc(inp.account / 64));
+    p.load(db.account(inp.probe));
+    p.load(db.status(2));
+    p.busy(160); // result marshalling
+}
+
+/// Money movement: account/teller fetch-adds and the branch critical
+/// section with its consistent-snapshot history append.
+pub fn read_modify_write(p: &Proc, db: &DbLayout, inp: &OpInputs, hints: bool) {
+    p.set_component(Component::App);
+    p.busy(520); // parse + plan
+    p.load(db.account(inp.account)); // balance check before the update
+    p.busy(40);
+    let fadd = |addr: Addr, delta: u64| {
+        if hints {
+            p.fetch_add_hinted(addr, delta)
+        } else {
+            p.fetch_add(addr, delta)
+        }
+    };
+    fadd(db.account(inp.account), inp.amount);
+    p.busy(45);
+    let teller = inp.branch * 10 + inp.teller_off;
+    fadd(db.teller(teller), inp.amount);
+    p.busy(35);
+    let lk = db.branch_lock(inp.branch);
+    lk.lock(p);
+    let baddr = db.branch(inp.branch);
+    let bal = p.load(baddr);
+    p.busy(4);
+    p.store(baddr, bal.wrapping_add(inp.amount));
+    let slot = fadd(db.history_tail, 1);
+    let h = db.history(slot);
+    p.store(h, inp.account);
+    p.store(h.offset(8), teller);
+    p.busy(12);
+    lk.unlock(p);
+    p.busy(180); // commit bookkeeping
+}
+
+/// Read-only index traversal (reporting query).
+pub fn scan(p: &Proc, db: &DbLayout, index_base: Addr, inp: &OpInputs) {
+    p.set_component(Component::App);
+    p.busy(360); // parse + plan
+    p.load(db.header(0));
+    for &i in &inp.idx {
+        p.load(Addr(index_base.0 + i * 32));
+        p.busy(110); // key comparisons per node
+    }
+    p.load(db.account(inp.probe));
+    p.busy(90);
+}
+
+/// WAL/history append: the pure-store output stream.
+pub fn append(p: &Proc, db: &DbLayout, inp: &OpInputs, hints: bool) {
+    p.set_component(Component::Lib);
+    p.busy(260); // record formatting
+    let fadd = |addr: Addr, delta: u64| {
+        if hints {
+            p.fetch_add_hinted(addr, delta)
+        } else {
+            p.fetch_add(addr, delta)
+        }
+    };
+    let lslot = fadd(db.log_tail, 2);
+    p.store(
+        Addr(db.log_base.0 + (lslot % db.log_cap) * 8),
+        inp.amount ^ inp.account,
+    );
+    p.store(
+        Addr(db.log_base.0 + ((lslot + 1) % db.log_cap) * 8),
+        inp.account,
+    );
+    let slot = fadd(db.history_tail, 1);
+    let h = db.history(slot);
+    p.store(h, inp.account);
+    p.store(h.offset(8), inp.amount);
+    p.busy(120);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oltp::layout;
+    use ccsim_engine::SimBuilder;
+    use ccsim_types::{MachineConfig, ProtocolKind};
+
+    #[test]
+    fn ops_run_and_conserve_money() {
+        let cfg = MachineConfig::oltp_scaled(ProtocolKind::Ls);
+        let mut b = SimBuilder::new(cfg);
+        let db = layout::allocate(&mut b, 8, 1024, 4);
+        let index_base = b.alloc().alloc(4096 * 8, 64);
+        for pid in 0..4u64 {
+            b.spawn(move |p| {
+                let inp = OpInputs {
+                    account: 17 * (pid + 1),
+                    branch: pid % 8,
+                    teller_off: pid % 10,
+                    amount: 10 + pid,
+                    probe: 900 - pid,
+                    idx: [pid; 8],
+                };
+                point_read(&p, &db, &inp);
+                read_modify_write(&p, &db, &inp, false);
+                scan(&p, &db, index_base, &inp);
+                append(&p, &db, &inp, false);
+            });
+        }
+        let done = b.run_full();
+        let total: u64 = (0..8).map(|i| done.peek(db.branch(i))).sum();
+        assert_eq!(total, 10 + 11 + 12 + 13, "branch balances must sum");
+        let accounts: u64 = (0..1024).map(|i| done.peek(db.account(i))).sum();
+        assert_eq!(accounts, total, "account updates must match");
+        assert!(done.stats.exec_cycles > 0);
+    }
+}

@@ -8,6 +8,7 @@
 //! ccsim analyze --workload W [--protocol P] | --trace FILE [--json]  # sharing patterns
 //! ccsim race    --workload W [--protocol P] | --trace FILE [--json]  # SC conformance
 //! ccsim chaos   [--workload W] [--protocol P|all] [chaos options]  # fault-grid soak
+//! ccsim serve   [--protocol P|all] [serve options]              # open-loop OLTP service
 //! ccsim config                                                  # print Table 1
 //!
 //! options:
@@ -53,6 +54,18 @@
 //!   --mutation <NAME>       seed a transport mutation (needs --features testing)
 //!   --expect-violation      exit 0 iff a cell DOES fail
 //!   --json                  emit a JSON ChaosSummary instead of text
+//!
+//! serve options:
+//!   --clients <N>           client population              (scale default)
+//!   --skew <S>              zipf exponent, e.g. 0.99       (scale default)
+//!   --rate <R>              arrivals per million cycles    (scale default)
+//!   --burst <ON:OFF:X>      burst on/off cycles and intensity per mille; 0:0:1000 = off
+//!   --mix <a:b:c:d>         per-mille point_read:rmw:scan:append mix (sums to 1000)
+//!   --seed <S>              run seed                       (scale default)
+//!   --max-cycles <C>        ward fuse, simulated cycles    (scale default)
+//!   --expect <WARD>         exit 0 iff every run stopped by WARD
+//!                           (converged|max-cycles|queue-divergence)
+//!   --json                  emit a JSON ServeSummary instead of text
 //! ```
 
 use ccsim::engine::{replay_events, InvariantMode, RunStats, Trace};
@@ -60,6 +73,7 @@ use ccsim::harness::{chaos, run_cached, JobSet};
 use ccsim::lint;
 use ccsim::model::{explore, replay_counterexample, summarize, ModelConfig};
 use ccsim::race::check as race_check;
+use ccsim::serve::{serve_sweep, ServeConfig, StopReason};
 use ccsim::stats::{render_triptych, RaceSummary, RunSummary, Triptych};
 use ccsim::types::{Consistency, RuleMutation, Topology, TransportMutation};
 use ccsim::util::{Json, ToJson};
@@ -90,7 +104,7 @@ fn with_mutation(mut cfg: MachineConfig, mutation: Option<RuleMutation>) -> Mach
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ccsim <run|compare|model|lint|analyze|race|chaos|config> [--workload W] \
+        "usage: ccsim <run|compare|model|lint|analyze|race|chaos|serve|config> [--workload W] \
          [--protocol P] [--scale S] [--nodes N] [--block B] [--l2-kb K] [--quantum Q] [--relaxed] \
          [--mesh W] [--json]\n\
          model options: [--blocks B] [--max-ops K] [--mutation NAME] [--expect-violation]\n\
@@ -98,7 +112,9 @@ fn usage() -> ! {
          analyze options: [--trace FILE] [--save-trace FILE]\n\
          race options: [--trace FILE] [--mutation NAME] [--expect-violation]\n\
          chaos options: [--rates CSV] [--seeds CSV] [--no-sc] [--no-shrink] [--mutation NAME] \
-         [--expect-violation]"
+         [--expect-violation]\n\
+         serve options: [--clients N] [--skew S] [--rate R] [--burst ON:OFF:X] [--mix a:b:c:d] \
+         [--seed S] [--max-cycles C] [--expect WARD]"
     );
     exit(2);
 }
@@ -129,6 +145,14 @@ struct Opts {
     seeds: Option<String>,
     no_sc: bool,
     no_shrink: bool,
+    clients: Option<u64>,
+    skew: Option<String>,
+    rate: Option<u64>,
+    burst: Option<String>,
+    mix: Option<String>,
+    seed: Option<u64>,
+    max_cycles: Option<u64>,
+    expect: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -166,6 +190,14 @@ fn parse_opts(args: &[String]) -> Opts {
             "--seeds" => o.seeds = Some(val().clone()),
             "--no-sc" => o.no_sc = true,
             "--no-shrink" => o.no_shrink = true,
+            "--clients" => o.clients = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--skew" => o.skew = Some(val().clone()),
+            "--rate" => o.rate = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--burst" => o.burst = Some(val().clone()),
+            "--mix" => o.mix = Some(val().clone()),
+            "--seed" => o.seed = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--max-cycles" => o.max_cycles = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--expect" => o.expect = Some(val().clone()),
             _ => {
                 eprintln!("unknown option {a}");
                 usage()
@@ -673,6 +705,135 @@ fn main() {
             };
             if !ok {
                 exit(1);
+            }
+        }
+        "serve" => {
+            let kinds: Vec<ProtocolKind> = match o.protocol.as_deref().unwrap_or("all") {
+                "all" => ProtocolKind::ALL.to_vec(),
+                s => vec![protocol_of(s)],
+            };
+            let paper = o.scale.as_deref() == Some("paper");
+            let mut cfg = if paper {
+                ServeConfig::paper()
+            } else {
+                ServeConfig::quick()
+            };
+            if let Some(c) = o.clients {
+                cfg.clients = c;
+            }
+            if let Some(s) = o.skew.as_deref() {
+                let exp: f64 = s.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --skew value {s:?} (zipf exponent, e.g. 0.99)");
+                    usage()
+                });
+                cfg.skew_per_mille = (exp * 1000.0).round() as u32;
+            }
+            if let Some(r) = o.rate {
+                cfg.rate_per_mcycle = r;
+            }
+            if let Some(b) = o.burst.as_deref() {
+                let parts: Vec<u64> = b
+                    .split(':')
+                    .map(|v| {
+                        v.parse().unwrap_or_else(|_| {
+                            eprintln!("bad --burst value {b:?} (want ON:OFF:X)");
+                            usage()
+                        })
+                    })
+                    .collect();
+                let [on, off, x] = parts[..] else {
+                    eprintln!("bad --burst value {b:?} (want ON:OFF:X)");
+                    usage()
+                };
+                cfg.burst_on_cycles = on;
+                cfg.burst_off_cycles = off;
+                cfg.burst_x_per_mille = x;
+            }
+            if let Some(m) = o.mix.as_deref() {
+                let parts: Vec<u16> = m
+                    .split(':')
+                    .map(|v| {
+                        v.parse().unwrap_or_else(|_| {
+                            eprintln!("bad --mix value {m:?} (want a:b:c:d per mille)");
+                            usage()
+                        })
+                    })
+                    .collect();
+                let [a, b, c, d] = parts[..] else {
+                    eprintln!("bad --mix value {m:?} (want a:b:c:d per mille)");
+                    usage()
+                };
+                cfg.mix_per_mille = [a, b, c, d];
+            }
+            if let Some(s) = o.seed {
+                cfg.seed = s;
+            }
+            if let Some(c) = o.max_cycles {
+                cfg.ward.max_cycles = c;
+            }
+            if let Err(e) = cfg.validate() {
+                eprintln!("serve: {e}");
+                exit(2);
+            }
+            let expect = o.expect.as_deref().map(|s| {
+                StopReason::parse(s).unwrap_or_else(|| {
+                    eprintln!("unknown ward {s} (converged|max-cycles|queue-divergence)");
+                    usage()
+                })
+            });
+            let base = config_of(&o, "oltp", kinds[0]);
+            let workers = ccsim::engine::sim_threads_from_env();
+            let reports = serve_sweep(base, &cfg, &kinds, workers);
+            let s = ccsim::serve::summarize(&cfg, &reports);
+            if o.json {
+                println!("{}", s.to_json());
+            } else {
+                println!(
+                    "serve: {} clients, zipf s={:.2}, {} arrivals/Mcycle, mix {:?}, seed {}",
+                    s.clients,
+                    s.skew_per_mille as f64 / 1000.0,
+                    s.rate_per_mcycle,
+                    s.mix_per_mille,
+                    s.seed
+                );
+                for row in &s.rows {
+                    println!(
+                        "{:<9} stop={:<16} cycles={:<10} done={} drop={} thrpt/Mc={} \
+                         maxq={} hotrow={} ownacq={} inval={}",
+                        row.protocol,
+                        row.stop,
+                        row.cycles,
+                        row.completed,
+                        row.dropped,
+                        row.throughput_per_mcycle,
+                        row.max_queue_depth,
+                        row.hot_row_conflicts,
+                        row.ownership_acquisitions,
+                        row.invalidations
+                    );
+                    for c in &row.classes {
+                        println!(
+                            "  {:<11} n={:<7} p50={:<7} p90={:<7} p99={:<7} max={}",
+                            c.class, c.count, c.p50, c.p90, c.p99, c.max
+                        );
+                    }
+                }
+            }
+            if let Some(want) = expect {
+                let bad: Vec<&str> = s
+                    .rows
+                    .iter()
+                    .filter(|r| r.stop != want.label())
+                    .map(|r| r.protocol.as_str())
+                    .collect();
+                if !bad.is_empty() {
+                    eprintln!(
+                        "serve: expected every run to stop by {:?}, but {} did not",
+                        want.label(),
+                        bad.join(", ")
+                    );
+                    exit(1);
+                }
             }
         }
         "compare" => {

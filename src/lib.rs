@@ -13,6 +13,7 @@ pub use ccsim_mem as mem;
 pub use ccsim_model as model;
 pub use ccsim_network as network;
 pub use ccsim_race as race;
+pub use ccsim_serve as serve;
 pub use ccsim_stats as stats;
 pub use ccsim_sync as sync;
 pub use ccsim_types as types;

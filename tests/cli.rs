@@ -446,6 +446,123 @@ fn bad_arguments_fail_with_usage() {
     assert!(stderr.contains("usage"));
 }
 
+// Small serve scenario shared by the smoke tests: converges (or
+// overloads) in well under a second per protocol even in debug builds.
+const SERVE_QUICK: &[&str] = &["serve", "--clients", "2000", "--max-cycles", "1200000"];
+
+fn serve_args<'a>(extra: &[&'a str]) -> Vec<&'a str> {
+    SERVE_QUICK.iter().chain(extra).copied().collect()
+}
+
+#[test]
+fn serve_single_protocol_converges_with_percentiles() {
+    let (ok, stdout, _) = ccsim(&serve_args(&["--protocol", "ls"]));
+    assert!(ok, "stdout: {stdout}");
+    assert!(stdout.contains("stop=converged"), "stdout: {stdout}");
+    for class in ["point_read", "rmw", "scan", "append"] {
+        assert!(stdout.contains(class), "missing class {class}: {stdout}");
+    }
+    assert!(stdout.contains("p99="), "stdout: {stdout}");
+    assert!(stdout.contains("ownacq="), "stdout: {stdout}");
+}
+
+#[test]
+fn serve_json_emits_the_serve_schema() {
+    let (ok, stdout, _) = ccsim(&serve_args(&["--protocol", "ls", "--json"]));
+    assert!(ok, "stdout: {stdout}");
+    assert!(stdout.trim_start().starts_with('{'));
+    assert!(
+        stdout.contains("\"schema\": \"ccsim-serve-v1\""),
+        "stdout: {stdout}"
+    );
+    assert!(
+        stdout.contains("\"stop\": \"converged\""),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("\"p99\""), "stdout: {stdout}");
+    assert!(
+        stdout.contains("\"ownership_acquisitions\""),
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
+fn serve_json_is_byte_identical_across_reruns() {
+    let (ok_a, a, _) = ccsim(&serve_args(&["--protocol", "ls", "--json"]));
+    let (ok_b, b, _) = ccsim(&serve_args(&["--protocol", "ls", "--json"]));
+    assert!(ok_a && ok_b);
+    assert_eq!(a, b, "same config must serve identical bytes");
+}
+
+#[test]
+fn serve_expect_ward_assertions_gate_the_exit_code() {
+    let (ok, _, _) = ccsim(&serve_args(&["--protocol", "ls", "--expect", "converged"]));
+    assert!(ok, "a converging run must pass --expect converged");
+    // A fuse too short for convergence stops by max-cycles instead.
+    let (ok, _, stderr) = ccsim(&[
+        "serve",
+        "--clients",
+        "2000",
+        "--max-cycles",
+        "60000",
+        "--protocol",
+        "ls",
+        "--expect",
+        "converged",
+    ]);
+    assert!(!ok, "max-cycles stop must fail --expect converged");
+    assert!(stderr.contains("expected every run"), "stderr: {stderr}");
+}
+
+#[test]
+fn serve_overload_stops_by_queue_divergence() {
+    let (ok, stdout, _) = ccsim(&serve_args(&[
+        "--protocol",
+        "baseline",
+        "--rate",
+        "60000",
+        "--expect",
+        "queue-divergence",
+    ]));
+    assert!(ok, "stdout: {stdout}");
+    assert!(stdout.contains("stop=queue-divergence"), "stdout: {stdout}");
+}
+
+#[test]
+fn serve_rejects_invalid_configs_at_decode_time() {
+    let (ok, _, stderr) = ccsim(&["serve", "--mix", "500:300:150:100"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("serve: mix_per_mille must sum to 1000"),
+        "stderr: {stderr}"
+    );
+    let (ok, _, stderr) = ccsim(&["serve", "--skew", "0"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("serve: skew_per_mille must be > 0"),
+        "stderr: {stderr}"
+    );
+    let (ok, _, stderr) = ccsim(&["serve", "--rate", "0"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("serve: rate_per_mcycle must be > 0"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn serve_rejects_malformed_flags() {
+    let (ok, _, stderr) = ccsim(&["serve", "--burst", "5:5"]);
+    assert!(!ok);
+    assert!(stderr.contains("bad --burst"), "stderr: {stderr}");
+    let (ok, _, stderr) = ccsim(&["serve", "--mix", "a:b:c:d"]);
+    assert!(!ok);
+    assert!(stderr.contains("bad --mix"), "stderr: {stderr}");
+    let (ok, _, stderr) = ccsim(&["serve", "--expect", "nosuch"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown ward"), "stderr: {stderr}");
+}
+
 #[test]
 fn mesh_flag_accepted() {
     let (ok, stdout, _) = ccsim(&[
