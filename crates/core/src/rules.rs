@@ -556,6 +556,12 @@ pub enum SafetyRule {
     ProtocolRule,
 }
 
+/// Source anchor for [`SafetyRule::DataValue`]. The data-value oracle
+/// itself lives with its callers (the model checker's store counters, the
+/// engine's golden values) — this enum is the one place the vocabulary is
+/// defined, so annotations for value violations point here.
+pub const DATA_VALUE_SITE: (&str, u32) = (file!(), line!());
+
 impl SafetyRule {
     pub fn label(self) -> &'static str {
         match self {
@@ -566,6 +572,19 @@ impl SafetyRule {
             SafetyRule::ProtocolRule => "protocol-rule",
         }
     }
+
+    /// Where this safety condition is enforced, as a workspace-relative
+    /// `(file, line)` pair — the anchor `--format github` counterexample
+    /// annotations point CI failures at.
+    pub fn site(self) -> (&'static str, u32) {
+        match self {
+            SafetyRule::Swmr => SWMR_SITE,
+            SafetyRule::StateAgreement => STATE_AGREEMENT_SITE,
+            SafetyRule::DataValue => DATA_VALUE_SITE,
+            SafetyRule::DirectoryEntry => DIRECTORY_ENTRY_SITE,
+            SafetyRule::ProtocolRule => PROTOCOL_RULE_SITE,
+        }
+    }
 }
 
 /// Compute the invariant violations visible for one block, given the home's
@@ -574,6 +593,13 @@ impl SafetyRule {
 /// Pure so it can be unit-tested without a machine; the engine feeds it the
 /// real state after every protocol action, the model checker every reached
 /// abstract state.
+///
+/// The three `*_SITE` anchors below point annotations at this function —
+/// it is the single enforcement point for SWMR, directory-entry
+/// consistency and directory/cache agreement.
+pub const SWMR_SITE: (&str, u32) = (file!(), line!());
+pub const DIRECTORY_ENTRY_SITE: (&str, u32) = (file!(), line!());
+pub const STATE_AGREEMENT_SITE: (&str, u32) = (file!(), line!());
 pub fn copy_violations(
     protocol: ProtocolKind,
     block: BlockAddr,
@@ -669,6 +695,11 @@ pub fn copy_violations(
 // check. Checks that depend on hysteresis state only fire at depth 1 (the
 // paper's default); deeper hysteresis makes the post-state depend on vote
 // counters and is validated by the directory unit tests instead.
+
+/// Source anchor for [`SafetyRule::ProtocolRule`]: the postcondition
+/// section starting at [`check_read_step`] re-derives every
+/// protocol-specific law.
+pub const PROTOCOL_RULE_SITE: (&str, u32) = (file!(), line!());
 
 /// Postconditions of a memory-served [`read`] (the [`ReadStep`] returned
 /// with `pre` the entry before the call). DSI tear-off grants are exempt

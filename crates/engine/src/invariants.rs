@@ -67,6 +67,7 @@ impl InvariantMode {
             other => {
                 static WARNED: std::sync::Once = std::sync::Once::new();
                 WARNED.call_once(|| {
+                    // ccsim-lint: allow(debug-residue): deliberate Once-gated operator warning for a misspelled env var, off the hot path
                     eprintln!(
                         "ccsim: unknown CCSIM_INVARIANTS value `{other}` \
                          (accepted: off, check, strict); assuming `check`"

@@ -23,6 +23,7 @@ pub const RULE_TESTING_GATE: &str = "testing-gate";
 pub const RULE_LOCK_ORDER: &str = "lock-order";
 pub const RULE_GUARD_FANOUT: &str = "guard-across-fanout";
 pub const RULE_UNBOUNDED_RETRY: &str = "unbounded-retry";
+pub const RULE_DEBUG_RESIDUE: &str = "debug-residue";
 pub const RULE_BAD_ALLOW: &str = "bad-allow";
 
 /// Static description of one rule, for `--explain`.
@@ -111,6 +112,19 @@ allow(unbounded-retry) justification on the loop. `for`/`while` loops carry \
 their bound in the header and are exempt.",
     },
     RuleInfo {
+        id: RULE_DEBUG_RESIDUE,
+        summary: "no todo!/unimplemented!/dbg!/eprintln! on protocol paths",
+        explain: "The protocol crates (crates/core, crates/engine, crates/model) are the \
+paths the parametric verifier, the model checker, and the engine replay all \
+prove things about. A todo!() or unimplemented!() there is a reachable panic \
+that a rule mutation or a rare interleaving can detonate in release builds; \
+dbg!() and eprintln! are leftover print-debugging that pollutes CLI/harness \
+output (several gates parse stdout/stderr) and can hide behind a hot path. \
+Test code (#[test], #[cfg(test)], #[cfg(feature = \"testing\")]) is exempt. \
+A deliberate operator-facing diagnostic must carry ccsim-lint: \
+allow(debug-residue) with a justification.",
+    },
+    RuleInfo {
         id: RULE_BAD_ALLOW,
         summary: "allow directives must name a known rule and carry a justification",
         explain: "Suppressions are part of the audit trail: ccsim-lint: allow(<rule>): \
@@ -170,6 +184,9 @@ pub struct LintConfig {
     /// Path prefixes where the `unbounded-retry` rule applies (retry-prone
     /// request/transport code).
     pub retry_scope: Vec<String>,
+    /// Path prefixes where the `debug-residue` rule applies (protocol paths
+    /// the checkers prove things about).
+    pub debug_residue_scope: Vec<String>,
 }
 
 impl LintConfig {
@@ -179,6 +196,11 @@ impl LintConfig {
             unwrap_scope: vec!["crates/core/src/".into(), "crates/engine/src/".into()],
             wall_clock_allowlist: vec!["crates/bench/".into(), "crates/harness/".into()],
             retry_scope: vec!["crates/engine/src/".into(), "crates/network/src/".into()],
+            debug_residue_scope: vec![
+                "crates/core/src/".into(),
+                "crates/engine/src/".into(),
+                "crates/model/src/".into(),
+            ],
         }
     }
 
@@ -188,6 +210,7 @@ impl LintConfig {
             unwrap_scope: vec![String::new()],
             wall_clock_allowlist: Vec::new(),
             retry_scope: vec![String::new()],
+            debug_residue_scope: vec![String::new()],
         }
     }
 
@@ -206,6 +229,12 @@ impl LintConfig {
 
     fn retry_applies(&self, file: &str) -> bool {
         self.retry_scope
+            .iter()
+            .any(|p| file.starts_with(p.as_str()))
+    }
+
+    fn debug_residue_applies(&self, file: &str) -> bool {
+        self.debug_residue_scope
             .iter()
             .any(|p| file.starts_with(p.as_str()))
     }
@@ -231,6 +260,9 @@ pub fn lint_file(file: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
     rule_guard_fanout(file, toks, &exempt, &mut diags);
     if cfg.retry_applies(file) {
         rule_unbounded_retry(file, toks, &exempt, &mut diags);
+    }
+    if cfg.debug_residue_applies(file) {
+        rule_debug_residue(file, toks, &exempt, &mut diags);
     }
 
     // Apply suppressions: a well-formed, justified allow for the matching
@@ -557,6 +589,40 @@ from the engine clock"
                 ),
             });
         }
+    }
+}
+
+fn rule_debug_residue(file: &str, toks: &[Token], exempt: &[bool], out: &mut Vec<Diagnostic>) {
+    for i in 0..toks.len() {
+        if exempt[i] {
+            continue;
+        }
+        let Tok::Ident(name) = &toks[i].tok else {
+            continue;
+        };
+        if !matches!(name.as_str(), "todo" | "unimplemented" | "dbg" | "eprintln") {
+            continue;
+        }
+        // A macro invocation is ident `!` followed by a delimiter — this
+        // keeps `a != b` with an unlucky identifier from matching.
+        if !is_sym(toks, i + 1, '!') {
+            continue;
+        }
+        let delim =
+            is_sym(toks, i + 2, '(') || is_sym(toks, i + 2, '[') || is_sym(toks, i + 2, '{');
+        if !delim {
+            continue;
+        }
+        let what = match name.as_str() {
+            "todo" | "unimplemented" => "is a reachable panic on a protocol path",
+            _ => "is leftover print-debugging on a protocol path",
+        };
+        out.push(Diagnostic {
+            file: file.to_string(),
+            line: toks[i].line,
+            rule: RULE_DEBUG_RESIDUE,
+            message: format!("`{name}!` {what} — remove it or justify with an allow"),
+        });
     }
 }
 
@@ -913,6 +979,79 @@ pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher
             fn f() { let m = std::collections::HashMap::new(); }
         ";
         assert_eq!(rules_of(&lint_file("x.rs", src, &cfg)), [RULE_RANDOMSTATE]);
+    }
+
+    #[test]
+    fn debug_residue_flags_macros_with_exact_locations() {
+        let cfg = LintConfig::workspace();
+        let src = "fn f() {
+    todo!();
+    dbg!(x);
+}
+fn g(a: u8, b: u8) -> bool { eprintln!(\"g\"); a != b }
+fn h() { unimplemented!() }
+";
+        let diags = lint_file("crates/core/src/x.rs", src, &cfg);
+        let got: Vec<(&str, u32, &'static str)> = diags
+            .iter()
+            .map(|d| (d.file.as_str(), d.line, d.rule))
+            .collect();
+        // `a != b` is ident-`!`-ident, not a macro — it must not match.
+        assert_eq!(
+            got,
+            [
+                ("crates/core/src/x.rs", 2, RULE_DEBUG_RESIDUE),
+                ("crates/core/src/x.rs", 3, RULE_DEBUG_RESIDUE),
+                ("crates/core/src/x.rs", 5, RULE_DEBUG_RESIDUE),
+                ("crates/core/src/x.rs", 6, RULE_DEBUG_RESIDUE),
+            ],
+            "{diags:?}"
+        );
+        assert!(diags[0].message.contains("todo!"));
+        assert!(diags[2].message.contains("eprintln!"));
+    }
+
+    #[test]
+    fn debug_residue_is_scoped_to_protocol_crates() {
+        let cfg = LintConfig::workspace();
+        let src = "fn f() { eprintln!(\"progress\"); }";
+        assert_eq!(
+            rules_of(&lint_file("crates/model/src/x.rs", src, &cfg)),
+            [RULE_DEBUG_RESIDUE]
+        );
+        assert_eq!(
+            rules_of(&lint_file("crates/engine/src/x.rs", src, &cfg)),
+            [RULE_DEBUG_RESIDUE]
+        );
+        // Non-protocol crates and the CLI may print to stderr freely.
+        assert!(lint_file("crates/stats/src/x.rs", src, &cfg).is_empty());
+        assert!(lint_file("src/bin/ccsim.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn debug_residue_exempts_tests_and_honors_allows() {
+        let cfg = LintConfig::all_rules();
+        let test_src = "
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { dbg!(1); eprintln!(\"x\"); }
+            }
+        ";
+        assert!(lint_file("x.rs", test_src, &cfg).is_empty());
+
+        let allowed = "fn f() {
+    // ccsim-lint: allow(debug-residue): one-shot operator warning, not debug residue
+    eprintln!(\"warning: bad env var\");
+}";
+        assert!(lint_file("x.rs", allowed, &cfg).is_empty());
+
+        let bare = "fn f() {
+    // ccsim-lint: allow(debug-residue)
+    eprintln!(\"warning\");
+}";
+        let diags = lint_file("x.rs", bare, &cfg);
+        assert_eq!(rules_of(&diags), [RULE_BAD_ALLOW, RULE_DEBUG_RESIDUE]);
     }
 
     #[test]

@@ -1,0 +1,480 @@
+//! Parametric verification: abstract reachability over the counter lattice.
+//!
+//! The abstract transition relation is **derived mechanically from the
+//! concrete one** — there is no hand-written abstract semantics that could
+//! drift from the protocol. To compute the successors of an [`AbsBlock`],
+//! the verifier:
+//!
+//! 1. **materializes** the abstract element into a small set of
+//!    representative concrete one-block states (γ̂, [`materializations`]):
+//!    an owner slot if the block is owned, `k` sharer slots with `k = 1`
+//!    for count 1 and `k ∈ {2, 3}` for ω, up to two extra slots for
+//!    `Other`-class LR/last-writer references (enumerating "same node" vs
+//!    "distinct nodes"), and one always-idle *fresh* slot standing for the
+//!    unbounded pool of nodes with no copy;
+//! 2. **executes** every enabled operation by every materialized node
+//!    through the bounded checker's own [`AbsState::apply`] — which itself
+//!    runs [`ccsim_core::rules`] plus the independent `check_*`
+//!    postconditions and [`copy_violations`] safety conditions — on a
+//!    zero-valuation copy of the state;
+//! 3. **re-projects** (α) each clean post-state back into the lattice.
+//!
+//! This is sound for every node count because the rules observe sharer
+//! multiplicity only through the thresholds "empty" / "exactly one" /
+//! "exactly two" (AD's migratory test is the maximum), node identity only
+//! through equality with the owner / the sharer set / LR / last-writer
+//! (all enumerated by the slot layout), and the fresh slot over-approximates
+//! any number of idle requesters. DESIGN.md §6d spells the argument out;
+//! `tests/verify.rs` pins it by projecting every concrete state the
+//! bounded checker reaches at n = 2 and n = 3 into the abstract reachable
+//! set.
+//!
+//! "Widening" in this finite partition domain is α itself saturating a
+//! concrete count ≥ 2 to ω; the verifier records each transition that
+//! first enters ω as a widening point so a spurious counterexample can be
+//! reported with the precision loss that caused it.
+
+use std::collections::VecDeque;
+
+use ccsim_core::rules::{self, CopyState};
+use ccsim_core::{DirEntry, DirStats, HomeState};
+use ccsim_types::{NodeId, ProtocolConfig};
+use ccsim_util::{fnv1a64, FxHashMap};
+
+use crate::config::ModelConfig;
+use crate::lattice::{AbsBlock, AbsHome, AbsRef, Count};
+use crate::refine::{refine, Refinement};
+use crate::state::{AbsState, BlockView, CopyVal, OpKind, Step, Violation};
+
+/// Hard cap on abstract states — the domain has a few hundred elements, so
+/// hitting this means the abstraction itself is broken.
+const MAX_ABSTRACT_STATES: usize = 100_000;
+
+/// One abstract transition: an operation by a node *role* (identities are
+/// abstracted away) from an abstract pre-state, shown with the
+/// materialization that witnessed it.
+#[derive(Clone, Debug)]
+pub struct AbsStep {
+    /// The processor operation.
+    pub op: OpKind,
+    /// The acting node's role in the pre-state (owner / sharer / idle …).
+    pub actor: String,
+    /// The abstract pre-state the step fires from.
+    pub pre: AbsBlock,
+    /// The representative materialization that witnessed the transition.
+    pub witness: String,
+}
+
+impl std::fmt::Display for AbsStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?} by {} from [{}] (witness: {})",
+            self.op, self.actor, self.pre, self.witness
+        )
+    }
+}
+
+/// An abstract run ending in a violating transition. Because every
+/// abstract step is witnessed by a concrete materialization, the trace
+/// reads like a protocol scenario with node roles instead of node ids.
+#[derive(Clone, Debug)]
+pub struct AbstractCex {
+    /// Steps from the initial abstract state; the last exposes the violation.
+    pub steps: Vec<AbsStep>,
+    /// The first violation the final step produced.
+    pub violation: Violation,
+}
+
+impl std::fmt::Display for AbstractCex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            writeln!(f, "  {:>2}. {s}", i + 1)?;
+        }
+        write!(f, "  => {}", self.violation)
+    }
+}
+
+/// Metrics of one abstract fixpoint computation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VerifyMetrics {
+    /// Unique abstract states reached (including the initial one).
+    pub states: u64,
+    /// Concrete probe transitions executed across all materializations.
+    pub transitions: u64,
+    /// Transitions whose post-state first saturated a counter to ω.
+    pub widenings: u64,
+    /// Deepest abstract state (in transitions from the initial state).
+    pub max_depth: u32,
+    /// Wall-clock time of the verification.
+    pub wall_ms: u64,
+    /// XOR of `fnv1a64` over every reached abstract encoding —
+    /// order-independent regression fingerprint.
+    pub fingerprint: u64,
+}
+
+/// Result of one parametric verification.
+#[derive(Clone, Debug)]
+pub struct Verification {
+    /// The configuration verified (`nodes`/`blocks`/`max_ops` are ignored:
+    /// the proof covers one symmetric block for every node count).
+    pub config: ModelConfig,
+    /// Fixpoint metrics.
+    pub metrics: VerifyMetrics,
+    /// The abstract reachable set — exposed so the soundness cross-check
+    /// can assert every concrete bounded-checker state projects into it.
+    pub reachable: Vec<AbsBlock>,
+    /// First abstract safety violation, if any (`None` = parametric proof).
+    pub counterexample: Option<AbstractCex>,
+    /// Human-readable descriptions of every ω-saturation point reached.
+    pub widening_points: Vec<String>,
+    /// Concretization verdict for the counterexample (genuine vs spurious).
+    pub refinement: Option<Refinement>,
+}
+
+/// A representative concrete one-block state (γ̂ of one abstract element).
+struct Mat {
+    nodes: u16,
+    entry: DirEntry,
+    copies: Vec<Option<CopyState>>,
+    desc: String,
+}
+
+fn slot_name(i: usize, owner: bool, k: usize) -> String {
+    let base = if owner { 1 } else { k };
+    if owner && i == 0 {
+        "owner".into()
+    } else if !owner && i < k {
+        format!("sharer{i}")
+    } else if i < base + 2 {
+        format!("x{}", i - base + 1)
+    } else {
+        "fresh".into()
+    }
+}
+
+/// Enumerate the representative materializations of an abstract element.
+///
+/// The slot universe is: copy holders (owner, or `k` sharers with
+/// `k ∈ {1}` for count 1 and `k ∈ {2, 3}` for ω), two extra slots `x1`/`x2`
+/// for `Other`-class LR/last-writer placements (both "same node" and
+/// "distinct nodes" are enumerated), and one `fresh` slot that always holds
+/// no copy — the stand-in for the unbounded pool of idle requesters.
+/// ω needs both `k = 2` and `k = 3`: the rules' only exact-count test is
+/// AD's two-sharer migratory detection, and evicting from 2 vs from 3
+/// sharers lands in different abstract posts (1 vs ω).
+fn materializations(b: &AbsBlock, pcfg: &ProtocolConfig) -> Vec<Mat> {
+    let ks: &[usize] = match b.home {
+        AbsHome::Shared => match b.sharers {
+            Count::One => &[1],
+            Count::Many => &[2, 3],
+            Count::Zero => &[],
+        },
+        _ => &[0],
+    };
+    let mut out = Vec::new();
+    for &k in ks {
+        let owner = matches!(b.home, AbsHome::Owned(_));
+        let base = if owner { 1 } else { k };
+        let (x1, x2) = (base, base + 1);
+        let nodes = (base + 3) as u16;
+        let lr_slots: Vec<Option<usize>> = match b.lr {
+            AbsRef::None => vec![None],
+            // Sharer slots are symmetric: placing LR at sharer 0 is WLOG.
+            AbsRef::Owner | AbsRef::Sharer => vec![Some(0)],
+            AbsRef::Other => vec![Some(x1)],
+        };
+        let lw_slots: Vec<Option<usize>> = match b.lw {
+            AbsRef::None => vec![None],
+            AbsRef::Owner => vec![Some(0)],
+            // Not symmetric wrt LR: enumerate lw == lr and lw != lr.
+            AbsRef::Sharer => (0..k).map(Some).collect(),
+            AbsRef::Other => vec![Some(x1), Some(x2)],
+        };
+        for &lr in &lr_slots {
+            for &lw in &lw_slots {
+                let mut entry = rules::fresh_entry(pcfg);
+                let mut copies = vec![None; nodes as usize];
+                entry.state = match b.home {
+                    AbsHome::Uncached => HomeState::Uncached,
+                    AbsHome::Shared => {
+                        for (i, c) in copies.iter_mut().enumerate().take(k) {
+                            entry.sharers.insert(NodeId(i as u16));
+                            *c = Some(CopyState::Shared);
+                        }
+                        HomeState::Shared
+                    }
+                    AbsHome::Owned(cs) => {
+                        entry.sharers.insert(NodeId(0));
+                        copies[0] = Some(cs);
+                        HomeState::Owned(NodeId(0))
+                    }
+                };
+                entry.lr = lr.map(|i| NodeId(i as u16));
+                entry.last_writer = lw.map(|i| NodeId(i as u16));
+                entry.tagged = b.tagged;
+                entry.tag_votes = b.tag_votes;
+                entry.detag_votes = b.detag_votes;
+                let name = |s: Option<usize>| s.map_or("-".to_string(), |i| slot_name(i, owner, k));
+                out.push(Mat {
+                    nodes,
+                    entry,
+                    copies,
+                    desc: format!("k={k} lr@{} lw@{}", name(lr), name(lw)),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Describe the acting node's role within a materialization.
+fn role_of(mat: &Mat, p: usize) -> String {
+    let mut role = match mat.copies[p] {
+        Some(CopyState::Shared) => "a sharer".to_string(),
+        Some(s) => format!("the owner ({s:?})"),
+        None => "an idle node".to_string(),
+    };
+    let mut tags = Vec::new();
+    if mat.entry.lr == Some(NodeId(p as u16)) {
+        tags.push("LR");
+    }
+    if mat.entry.last_writer == Some(NodeId(p as u16)) {
+        tags.push("last-writer");
+    }
+    if !tags.is_empty() {
+        role.push_str(&format!(" [{}]", tags.join(", ")));
+    }
+    role
+}
+
+/// Build the zero-valuation one-block [`AbsState`] for a materialization.
+///
+/// The all-zero valuation (every copy, memory and the store counter at 0)
+/// satisfies the data-value laws in every representable configuration, and
+/// one transition preserves them or flags a genuine protocol bug — so the
+/// per-step data-value checks run meaningfully even though the abstract
+/// domain carries no values.
+fn materialize_state(mat: &Mat) -> AbsState {
+    AbsState {
+        blocks: vec![BlockView {
+            entry: mat.entry,
+            copies: mat
+                .copies
+                .iter()
+                .map(|c| c.map(|state| CopyVal { state, val: 0 }))
+                .collect(),
+            mem: 0,
+            golden: 0,
+        }],
+        budget: vec![1; mat.nodes as usize],
+        faults_left: 0,
+        dup_reads: 0,
+        dup_writes: 0,
+    }
+}
+
+/// Compute the abstract fixpoint for `cfg.kind` (+ mutation, if any) and
+/// check every safety condition along the way.
+///
+/// `cfg.nodes`, `cfg.blocks` and `cfg.max_ops` are ignored: the abstract
+/// system models one symmetric block under an unbounded node pool, so a
+/// clean fixpoint is a proof for *every* node count (blocks are
+/// independent — the rules never correlate two blocks). Transport faults
+/// are out of scope here (`fault_budget` is forced to 0); PR 7 proved them
+/// timing-only at bounded n.
+///
+/// On an abstract violation the refinement loop runs automatically: the
+/// bounded checker searches small n for a concrete counterexample and, if
+/// found, replays it on the engine ([`Refinement::Genuine`]); otherwise the
+/// abstract trace is reported as spurious together with the widening
+/// points that could have caused it.
+pub fn verify(cfg: &ModelConfig) -> Result<Verification, String> {
+    let mut local = *cfg;
+    local.fault_budget = 0;
+    local.transport_mutation = None;
+    local.blocks = 1;
+    // `protocol()` validates kind/mutation gating exactly like the bounded
+    // checker; nodes bounds are irrelevant here but must pass validation.
+    local.nodes = 2;
+    let pcfg = local.protocol()?;
+
+    // ccsim-lint: allow(wall-clock): wall_ms is reporting-only, never feeds the fixpoint
+    let t0 = std::time::Instant::now();
+
+    let init = AbsBlock::project(&rules::fresh_entry(&pcfg), &[])
+        .map_err(|e| format!("initial state not representable: {e}"))?;
+
+    let mut states: Vec<AbsBlock> = vec![init];
+    let mut depth: Vec<u32> = vec![0];
+    let mut parents: Vec<Option<(u32, AbsStep)>> = vec![None];
+    let mut visited: FxHashMap<[u8; 8], u32> = FxHashMap::default();
+    visited.insert(init.encode(), 0);
+    let mut frontier: VecDeque<u32> = VecDeque::from([0]);
+
+    let mut metrics = VerifyMetrics {
+        states: 1,
+        fingerprint: fnv1a64(&init.encode()),
+        ..VerifyMetrics::default()
+    };
+    let mut widening_points: Vec<String> = Vec::new();
+    let mut stats = DirStats::default();
+
+    let finish = |metrics: &mut VerifyMetrics| {
+        metrics.wall_ms = t0.elapsed().as_millis() as u64;
+    };
+
+    while let Some(idx) = frontier.pop_front() {
+        let pre = states[idx as usize];
+        for mat in materializations(&pre, &pcfg) {
+            for p in 0..mat.nodes as usize {
+                let mut ops = vec![OpKind::Load, OpKind::Store];
+                if local.load_excl {
+                    ops.push(OpKind::LoadExcl);
+                }
+                if local.evictions && mat.copies[p].is_some() {
+                    ops.push(OpKind::Evict);
+                }
+                for op in ops {
+                    let mut st = materialize_state(&mat);
+                    let step = Step {
+                        node: NodeId(p as u16),
+                        op,
+                        block: 0,
+                    };
+                    let violations = st.apply(&local, &pcfg, &mut stats, step);
+                    metrics.transitions += 1;
+                    let abs_step = || AbsStep {
+                        op,
+                        actor: role_of(&mat, p),
+                        pre,
+                        witness: mat.desc.clone(),
+                    };
+                    if let Some(v) = violations.into_iter().next() {
+                        // Shortest abstract counterexample: reconstruct the
+                        // path, then concretize through the bounded checker.
+                        let mut steps = Vec::new();
+                        let mut at = idx;
+                        while let Some((parent, s)) = &parents[at as usize] {
+                            steps.push(s.clone());
+                            at = *parent;
+                        }
+                        steps.reverse();
+                        steps.push(abs_step());
+                        let cex = AbstractCex {
+                            steps,
+                            violation: v,
+                        };
+                        let refinement = refine(&local)?;
+                        finish(&mut metrics);
+                        return Ok(Verification {
+                            config: *cfg,
+                            metrics,
+                            reachable: states,
+                            counterexample: Some(cex),
+                            widening_points,
+                            refinement: Some(refinement),
+                        });
+                    }
+                    let bv = &st.blocks[0];
+                    let holders: Vec<(NodeId, CopyState)> = bv
+                        .copies
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, c)| c.map(|cv| (NodeId(i as u16), cv.state)))
+                        .collect();
+                    let post = AbsBlock::project(&bv.entry, &holders).map_err(|e| {
+                        format!(
+                            "internal: clean successor not representable ({e}) \
+                             after {op:?} from [{pre}] ({})",
+                            mat.desc
+                        )
+                    })?;
+                    if pre.sharers != Count::Many && post.sharers == Count::Many {
+                        metrics.widenings += 1;
+                        let point = format!(
+                            "{:?} by {} from [{pre}] saturates the sharer count to ω",
+                            op,
+                            role_of(&mat, p)
+                        );
+                        if !widening_points.contains(&point) {
+                            widening_points.push(point);
+                        }
+                    }
+                    let enc = post.encode();
+                    if let std::collections::hash_map::Entry::Vacant(e) = visited.entry(enc) {
+                        let id = states.len() as u32;
+                        if states.len() >= MAX_ABSTRACT_STATES {
+                            return Err("abstract state space exceeded its cap — \
+                                 the counter abstraction is broken"
+                                .into());
+                        }
+                        e.insert(id);
+                        states.push(post);
+                        depth.push(depth[idx as usize] + 1);
+                        parents.push(Some((idx, abs_step())));
+                        metrics.states += 1;
+                        metrics.fingerprint ^= fnv1a64(&enc);
+                        metrics.max_depth = metrics.max_depth.max(depth[id as usize]);
+                        frontier.push_back(id);
+                    }
+                }
+            }
+        }
+    }
+
+    finish(&mut metrics);
+    Ok(Verification {
+        config: *cfg,
+        metrics,
+        reachable: states,
+        counterexample: None,
+        widening_points,
+        refinement: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsim_types::ProtocolKind;
+
+    #[test]
+    fn materializing_omega_covers_both_count_classes() {
+        let cfg = ModelConfig::new(ProtocolKind::Baseline);
+        let pcfg = cfg.protocol().unwrap();
+        let b = AbsBlock::project(&rules::fresh_entry(&pcfg), &[]).unwrap();
+        let mut omega = b;
+        omega.home = AbsHome::Shared;
+        omega.sharers = Count::Many;
+        let mats = materializations(&omega, &pcfg);
+        let ks: Vec<usize> = mats
+            .iter()
+            .map(|m| m.copies.iter().filter(|c| c.is_some()).count())
+            .collect();
+        assert!(ks.contains(&2) && ks.contains(&3));
+        // Every materialization keeps a fresh idle slot.
+        assert!(mats
+            .iter()
+            .all(|m| m.copies.last().is_some_and(|c| c.is_none())));
+    }
+
+    #[test]
+    fn the_abstract_domain_is_small_and_clean_for_baseline() {
+        let v = verify(&ModelConfig::new(ProtocolKind::Baseline)).unwrap();
+        assert!(v.counterexample.is_none());
+        assert!(
+            v.metrics.states > 3,
+            "domain collapsed: {}",
+            v.metrics.states
+        );
+        assert!(
+            v.metrics.states < 10_000,
+            "domain blew up: {}",
+            v.metrics.states
+        );
+        // ω is reachable (two loads), so at least one widening fired.
+        assert!(v.metrics.widenings > 0);
+        assert_eq!(v.reachable.len() as u64, v.metrics.states);
+    }
+}

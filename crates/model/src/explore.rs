@@ -72,6 +72,14 @@ pub struct Exploration {
 
 /// Exhaustively explore the bounded state space of `cfg`.
 pub fn explore(cfg: &ModelConfig) -> Result<Exploration, String> {
+    explore_keeping_states(cfg).map(|(ex, _)| ex)
+}
+
+/// Like [`explore`], but also return every visited concrete state (in BFS
+/// order). The parametric verifier's soundness cross-check projects each
+/// of these into the counter-abstraction domain and asserts coverage by
+/// the abstract reachable set (`tests/verify.rs`).
+pub fn explore_keeping_states(cfg: &ModelConfig) -> Result<(Exploration, Vec<AbsState>), String> {
     let pcfg = cfg.protocol()?;
     // ccsim-lint: allow(wall-clock): wall_ms is reporting-only, never feeds exploration order
     let start = std::time::Instant::now();
@@ -120,15 +128,18 @@ pub fn explore(cfg: &ModelConfig) -> Result<Exploration, String> {
                 path.push(step);
                 metrics.max_depth = metrics.max_depth.max(depth + 1);
                 metrics.wall_ms = start.elapsed().as_millis() as u64;
-                return Ok(Exploration {
-                    config: *cfg,
-                    metrics,
-                    counterexample: Some(Counterexample {
-                        steps: path,
-                        violation: v,
-                    }),
-                    terminal_states,
-                });
+                return Ok((
+                    Exploration {
+                        config: *cfg,
+                        metrics,
+                        counterexample: Some(Counterexample {
+                            steps: path,
+                            violation: v,
+                        }),
+                        terminal_states,
+                    },
+                    states,
+                ));
             }
             let enc = next.encode();
             if visited.contains_key(&enc) {
@@ -148,12 +159,15 @@ pub fn explore(cfg: &ModelConfig) -> Result<Exploration, String> {
         }
     }
     metrics.wall_ms = start.elapsed().as_millis() as u64;
-    Ok(Exploration {
-        config: *cfg,
-        metrics,
-        counterexample: None,
-        terminal_states,
-    })
+    Ok((
+        Exploration {
+            config: *cfg,
+            metrics,
+            counterexample: None,
+            terminal_states,
+        },
+        states,
+    ))
 }
 
 #[cfg(test)]

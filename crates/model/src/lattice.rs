@@ -1,0 +1,344 @@
+//! The counter-abstraction lattice for parametric verification.
+//!
+//! A concrete per-block configuration — the home's [`DirEntry`] plus the
+//! multiset of cached copies across *n* nodes — is projected onto a finite
+//! [`AbsBlock`] that forgets node identities and counts only up to two:
+//!
+//! * the home summary ([`AbsHome`]): uncached, shared, or owned with the
+//!   owner's [`CopyState`];
+//! * the sharer occupancy counter ([`Count`]): exactly 0, exactly 1, or
+//!   ω (= two or more);
+//! * the LS machinery: the tag bit, the hysteresis vote counters, and the
+//!   *role class* of the last-reader / last-writer references
+//!   ([`AbsRef`]) — whether each points at nobody, the owner, some
+//!   sharer, or some node without a copy.
+//!
+//! `Count` is a **partition** of the naturals (not an interval widening):
+//! α is a total function and two concrete states project to the same
+//! abstract element iff they agree on every observation above. That makes
+//! the soundness cross-check in `tests/verify.rs` an exact set-membership
+//! test, and it is enough precision because the transition rules only ever
+//! observe sharer counts through the thresholds "empty", "exactly one" and
+//! "exactly two" (AD's migratory detection) — see DESIGN.md §6d.
+//!
+//! The projection is partial: a concrete state that breaks directory/cache
+//! agreement (a sharer without a copy, a copy the directory does not know
+//! about, a non-owner holding a writable line) has no abstract image and
+//! [`AbsBlock::project`] reports it as an error. Such states are exactly
+//! the ones [`ccsim_core::rules::copy_violations`] rejects, so along clean
+//! executions the projection is total.
+
+use std::fmt;
+
+use ccsim_core::rules::CopyState;
+use ccsim_core::{DirEntry, HomeState};
+use ccsim_types::NodeId;
+
+/// Sharer occupancy abstracted to the partition {0, 1, ω}.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Count {
+    /// Exactly zero holders.
+    Zero,
+    /// Exactly one holder.
+    One,
+    /// Two or more holders (ω) — unbounded, covers every n ≥ 2.
+    Many,
+}
+
+impl Count {
+    /// α on counters: the partition class of a concrete count.
+    pub fn alpha(n: usize) -> Count {
+        match n {
+            0 => Count::Zero,
+            1 => Count::One,
+            _ => Count::Many,
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            Count::Zero => 0,
+            Count::One => 1,
+            Count::Many => 2,
+        }
+    }
+}
+
+impl fmt::Display for Count {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Count::Zero => write!(f, "0"),
+            Count::One => write!(f, "1"),
+            Count::Many => write!(f, "ω"),
+        }
+    }
+}
+
+/// The role class of a node reference (LR or last-writer) once node
+/// identities are forgotten.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AbsRef {
+    /// The reference is empty.
+    None,
+    /// Points at the current owner.
+    Owner,
+    /// Points at some current sharer.
+    Sharer,
+    /// Points at some node holding no copy of the block.
+    Other,
+}
+
+impl AbsRef {
+    fn code(self) -> u8 {
+        match self {
+            AbsRef::None => 0,
+            AbsRef::Owner => 1,
+            AbsRef::Sharer => 2,
+            AbsRef::Other => 3,
+        }
+    }
+}
+
+impl fmt::Display for AbsRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbsRef::None => write!(f, "-"),
+            AbsRef::Owner => write!(f, "owner"),
+            AbsRef::Sharer => write!(f, "sharer"),
+            AbsRef::Other => write!(f, "other"),
+        }
+    }
+}
+
+/// The home-state summary with owner identity forgotten but the owner's
+/// cache state kept (it decides forwarding behaviour and NotLS reporting).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AbsHome {
+    Uncached,
+    Shared,
+    Owned(CopyState),
+}
+
+impl AbsHome {
+    fn code(self) -> (u8, u8) {
+        match self {
+            AbsHome::Uncached => (0, 0xff),
+            AbsHome::Shared => (1, 0xff),
+            AbsHome::Owned(s) => (2, s as u8),
+        }
+    }
+}
+
+impl fmt::Display for AbsHome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbsHome::Uncached => write!(f, "Uncached"),
+            AbsHome::Shared => write!(f, "Shared"),
+            AbsHome::Owned(s) => write!(f, "Owned({s:?})"),
+        }
+    }
+}
+
+/// One block's abstract state: everything the transition rules can observe
+/// about a block once node identities and exact sharer counts ≥ 2 are
+/// forgotten.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AbsBlock {
+    /// Home summary (uncached / shared / owned-with-copy-state).
+    pub home: AbsHome,
+    /// Sharer occupancy (meaningful in `Shared`; `Zero` otherwise).
+    pub sharers: Count,
+    /// The LS ownership tag.
+    pub tagged: bool,
+    /// Tag hysteresis votes (pass-through; 0 at the default hysteresis).
+    pub tag_votes: u8,
+    /// De-tag hysteresis votes (pass-through).
+    pub detag_votes: u8,
+    /// Role class of the last-reader reference.
+    pub lr: AbsRef,
+    /// Role class of the last-writer reference (AD migratory detection).
+    pub lw: AbsRef,
+}
+
+/// Classify a node reference against the directory entry.
+fn classify(entry: &DirEntry, r: Option<NodeId>) -> AbsRef {
+    match r {
+        None => AbsRef::None,
+        Some(x) => match entry.state {
+            HomeState::Owned(o) if x == o => AbsRef::Owner,
+            HomeState::Shared if entry.sharers.contains(x) => AbsRef::Sharer,
+            _ => AbsRef::Other,
+        },
+    }
+}
+
+impl AbsBlock {
+    /// α: project a concrete block (directory entry + the cached copies,
+    /// as `(node, state)` pairs) into the abstract domain.
+    ///
+    /// Fails exactly on states that break directory/cache agreement —
+    /// states [`ccsim_core::rules::copy_violations`] would reject — so the
+    /// projection is total along violation-free executions.
+    pub fn project(entry: &DirEntry, holders: &[(NodeId, CopyState)]) -> Result<AbsBlock, String> {
+        entry
+            .check()
+            .map_err(|e| format!("directory entry inconsistent: {e}"))?;
+        let home = match entry.state {
+            HomeState::Uncached => {
+                if let Some((n, s)) = holders.first() {
+                    return Err(format!("uncached block has a {s:?} copy at {n:?}"));
+                }
+                AbsHome::Uncached
+            }
+            HomeState::Shared => {
+                if holders.is_empty() {
+                    return Err("shared block with no copies".into());
+                }
+                for (n, s) in holders {
+                    if *s != CopyState::Shared {
+                        return Err(format!("shared block has a {s:?} copy at {n:?}"));
+                    }
+                    if !entry.sharers.contains(*n) {
+                        return Err(format!("copy at {n:?} missing from the sharer set"));
+                    }
+                }
+                if entry.sharers.len() != holders.len() as u32 {
+                    return Err(format!(
+                        "sharer set lists {} nodes but {} hold copies",
+                        entry.sharers.len(),
+                        holders.len()
+                    ));
+                }
+                AbsHome::Shared
+            }
+            HomeState::Owned(o) => match holders {
+                [(n, s)] if *n == o => {
+                    if *s == CopyState::Shared {
+                        return Err(format!("owner {n:?} holds only a Shared copy"));
+                    }
+                    AbsHome::Owned(*s)
+                }
+                _ => {
+                    return Err(format!(
+                        "owned block must have exactly the owner's copy, found {} holders",
+                        holders.len()
+                    ));
+                }
+            },
+        };
+        let sharers = match home {
+            AbsHome::Shared => Count::alpha(holders.len()),
+            _ => Count::Zero,
+        };
+        Ok(AbsBlock {
+            home,
+            sharers,
+            tagged: entry.tagged,
+            tag_votes: entry.tag_votes,
+            detag_votes: entry.detag_votes,
+            lr: classify(entry, entry.lr),
+            lw: classify(entry, entry.last_writer),
+        })
+    }
+
+    /// A compact canonical byte encoding (hash/fingerprint key).
+    pub fn encode(&self) -> [u8; 8] {
+        let (h, owner) = self.home.code();
+        [
+            h,
+            owner,
+            self.sharers.code(),
+            self.tagged as u8,
+            self.tag_votes,
+            self.detag_votes,
+            self.lr.code(),
+            self.lw.code(),
+        ]
+    }
+}
+
+impl fmt::Display for AbsBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} #sharers={} tag={}{} lr={} lw={}",
+            self.home,
+            self.sharers,
+            if self.tagged { "LS" } else { "-" },
+            if self.tag_votes != 0 || self.detag_votes != 0 {
+                format!(" votes={}/{}", self.tag_votes, self.detag_votes)
+            } else {
+                String::new()
+            },
+            self.lr,
+            self.lw,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsim_core::SharerSet;
+
+    fn entry(state: HomeState) -> DirEntry {
+        let mut e = DirEntry::new(false);
+        e.state = state;
+        e
+    }
+
+    #[test]
+    fn alpha_partitions_the_naturals() {
+        assert_eq!(Count::alpha(0), Count::Zero);
+        assert_eq!(Count::alpha(1), Count::One);
+        assert_eq!(Count::alpha(2), Count::Many);
+        assert_eq!(Count::alpha(57), Count::Many);
+    }
+
+    #[test]
+    fn projection_classifies_reference_roles() {
+        let mut e = entry(HomeState::Shared);
+        e.sharers = SharerSet::single(NodeId(0));
+        e.sharers.insert(NodeId(1));
+        e.lr = Some(NodeId(1));
+        e.last_writer = Some(NodeId(5));
+        let holders = [
+            (NodeId(0), CopyState::Shared),
+            (NodeId(1), CopyState::Shared),
+        ];
+        let b = AbsBlock::project(&e, &holders).unwrap();
+        assert_eq!(b.home, AbsHome::Shared);
+        assert_eq!(b.sharers, Count::Many);
+        assert_eq!(b.lr, AbsRef::Sharer);
+        assert_eq!(b.lw, AbsRef::Other);
+    }
+
+    #[test]
+    fn projection_rejects_agreement_breakers() {
+        // A copy of an uncached block.
+        let e = entry(HomeState::Uncached);
+        assert!(AbsBlock::project(&e, &[(NodeId(0), CopyState::Shared)]).is_err());
+
+        // An owner holding only a Shared copy.
+        let mut e = entry(HomeState::Owned(NodeId(2)));
+        e.sharers = SharerSet::single(NodeId(2));
+        assert!(AbsBlock::project(&e, &[(NodeId(2), CopyState::Shared)]).is_err());
+
+        // A sharer-set / copy-set mismatch.
+        let mut e = entry(HomeState::Shared);
+        e.sharers = SharerSet::single(NodeId(0));
+        e.sharers.insert(NodeId(1));
+        assert!(AbsBlock::project(&e, &[(NodeId(0), CopyState::Shared)]).is_err());
+    }
+
+    #[test]
+    fn encoding_is_injective_on_distinct_elements() {
+        let mut e = entry(HomeState::Owned(NodeId(0)));
+        e.sharers = SharerSet::single(NodeId(0));
+        let owned = AbsBlock::project(&e, &[(NodeId(0), CopyState::Modified)]).unwrap();
+        let mut tagged = owned;
+        tagged.tagged = true;
+        assert_ne!(owned.encode(), tagged.encode());
+        assert_ne!(owned, tagged);
+    }
+}

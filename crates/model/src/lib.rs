@@ -47,15 +47,37 @@
 //! assert each seeded bug is caught with a counterexample that replays to
 //! a concrete invariant failure — the checker detects real protocol bugs,
 //! not just the ones it was written against.
+//!
+//! # Parametric verification (`ccsim verify`)
+//!
+//! Bounded exploration stops at 4 nodes; [`verify`] does not. It runs
+//! abstract reachability over a counter-abstraction lattice
+//! ([`lattice`]): per block, the home summary plus a sharer counter in
+//! {0, 1, ω} and the role classes of the LR / last-writer references. The
+//! abstract transition relation is derived mechanically by materializing
+//! each abstract element into representative concrete states and stepping
+//! them through the *same* [`AbsState::apply`] the bounded checker uses
+//! ([`abstraction`]) — so a clean abstract fixpoint proves SWMR,
+//! directory/cache agreement, the data-value laws and the §3 LS laws for
+//! **every** node count at once. Abstract counterexamples are concretized
+//! at small n through [`explore`] and replayed on the engine
+//! ([`refine`]); the soundness of the over-approximation is pinned by the
+//! projection-coverage test in `tests/verify.rs`.
 
+pub mod abstraction;
 pub mod config;
 pub mod explore;
+pub mod lattice;
+pub mod refine;
 pub mod replay;
 pub mod state;
 pub mod summary;
 
+pub use abstraction::{verify, AbsStep, AbstractCex, Verification, VerifyMetrics};
 pub use config::{ModelConfig, MAX_BLOCKS, MAX_FAULTS, MAX_NODES, MAX_OPS};
-pub use explore::{explore, Counterexample, Exploration, Metrics};
+pub use explore::{explore, explore_keeping_states, Counterexample, Exploration, Metrics};
+pub use lattice::{AbsBlock, AbsHome, AbsRef, Count};
+pub use refine::{refine, Refinement};
 pub use replay::{machine_config, replay_counterexample, to_trace};
 pub use state::{AbsState, BlockView, CopyVal, OpKind, Step, Violation};
-pub use summary::summarize;
+pub use summary::{summarize, summarize_verify};

@@ -1,0 +1,166 @@
+//! Integration tests for the parametric verifier (`ccsim verify`).
+//!
+//! The load-bearing test is the **soundness cross-check**: every concrete
+//! state the exhaustive bounded checker reaches at n = 2 and n = 3 must
+//! project (α) into the abstract reachable set computed by the fixpoint.
+//! Because the counter domain is a partition (α is a total function on
+//! agreement-respecting states), coverage is exact set membership — the
+//! over-approximation claim of DESIGN.md §6d is pinned in code here, not
+//! prose.
+//!
+//! The teeth tests mirror PR 3's: all four seeded rule mutations must be
+//! convicted *parametrically*, concretize at a finite n through the
+//! bounded checker, and replay to engine invariant failures.
+
+use std::collections::HashSet;
+
+use ccsim_model::{
+    explore_keeping_states, verify, AbsBlock, ModelConfig, Refinement, Verification,
+};
+use ccsim_types::{NodeId, ProtocolKind, RuleMutation};
+
+fn clean_verify(cfg: &ModelConfig) -> Verification {
+    let v = verify(cfg).unwrap();
+    assert!(
+        v.counterexample.is_none(),
+        "{:?} expected a parametric proof, got: {}",
+        cfg.kind,
+        v.counterexample.unwrap()
+    );
+    v
+}
+
+#[test]
+fn all_three_protocols_prove_parametrically_clean() {
+    for kind in ProtocolKind::ALL {
+        let v = clean_verify(&ModelConfig::new(kind));
+        assert!(v.metrics.states > 3, "{kind:?}: domain collapsed");
+        assert!(v.metrics.states < 10_000, "{kind:?}: domain blew up");
+        assert!(v.metrics.widenings > 0, "{kind:?}: ω never reached");
+        assert!(v.refinement.is_none());
+        assert_eq!(v.reachable.len() as u64, v.metrics.states);
+    }
+}
+
+#[test]
+fn verification_is_deterministic() {
+    let cfg = ModelConfig::new(ProtocolKind::Ls);
+    let a = verify(&cfg).unwrap();
+    let b = verify(&cfg).unwrap();
+    assert_eq!(a.metrics.states, b.metrics.states);
+    assert_eq!(a.metrics.transitions, b.metrics.transitions);
+    assert_eq!(a.metrics.fingerprint, b.metrics.fingerprint);
+}
+
+/// The soundness cross-check: abstract reachability over-approximates
+/// every bounded configuration. Exercises n = 2 (default budget), a
+/// two-block config (blocks are abstracted independently), and n = 3.
+#[test]
+fn every_bounded_state_projects_into_the_abstract_reachable_set() {
+    for kind in ProtocolKind::ALL {
+        let abs: HashSet<AbsBlock> = clean_verify(&ModelConfig::new(kind))
+            .reachable
+            .into_iter()
+            .collect();
+        let configs = [
+            ModelConfig::new(kind),
+            ModelConfig::new(kind).with_blocks(2).with_max_ops(3),
+            ModelConfig::new(kind).with_nodes(3).with_max_ops(3),
+        ];
+        for cfg in configs {
+            let (ex, states) = explore_keeping_states(&cfg).unwrap();
+            assert!(ex.counterexample.is_none());
+            assert!(ex.metrics.states > 10);
+            for st in &states {
+                for bv in &st.blocks {
+                    let holders: Vec<_> = bv
+                        .copies
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, c)| c.map(|cv| (NodeId(i as u16), cv.state)))
+                        .collect();
+                    let a = AbsBlock::project(&bv.entry, &holders).unwrap_or_else(|e| {
+                        panic!("{kind:?} n={}: unprojectable clean state: {e}", cfg.nodes)
+                    });
+                    assert!(
+                        abs.contains(&a),
+                        "{kind:?} n={} blocks={}: concrete state projects to [{a}], \
+                         which the abstract fixpoint never reached",
+                        cfg.nodes,
+                        cfg.blocks
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A seeded mutation must be convicted end to end: parametric abstract
+/// counterexample → concrete counterexample at finite n → engine replay
+/// with invariant violations.
+fn assert_convicted_parametrically(kind: ProtocolKind, m: RuleMutation) {
+    let v = verify(&ModelConfig::new(kind).with_mutation(m)).unwrap();
+    let cex = v
+        .counterexample
+        .unwrap_or_else(|| panic!("{m:?} on {kind:?} was not convicted by the abstract fixpoint"));
+    assert!(!cex.steps.is_empty());
+    match v
+        .refinement
+        .expect("refinement must run on abstract violations")
+    {
+        Refinement::Genuine {
+            nodes,
+            counterexample,
+            engine_checks,
+            engine_violations,
+        } => {
+            assert!(nodes >= 2);
+            assert!(!counterexample.steps.is_empty());
+            assert!(engine_checks > 0);
+            assert!(
+                engine_violations > 0,
+                "{m:?} on {kind:?}: engine replay did not reproduce the violation"
+            );
+        }
+        Refinement::Spurious { tried_nodes } => {
+            panic!("{m:?} on {kind:?} misjudged as spurious (tried n in {tried_nodes:?})")
+        }
+    }
+}
+
+#[test]
+fn skip_ls_detag_is_convicted_parametrically() {
+    assert_convicted_parametrically(ProtocolKind::Ls, RuleMutation::SkipLsDetag);
+}
+
+#[test]
+fn drop_notls_is_convicted_parametrically() {
+    assert_convicted_parametrically(ProtocolKind::Ls, RuleMutation::DropNotLs);
+}
+
+#[test]
+fn keep_lr_on_ownership_is_convicted_parametrically() {
+    assert_convicted_parametrically(ProtocolKind::Ls, RuleMutation::KeepLrOnOwnership);
+}
+
+#[test]
+fn drop_invalidations_is_convicted_parametrically_on_every_protocol() {
+    for kind in ProtocolKind::ALL {
+        assert_convicted_parametrically(kind, RuleMutation::DropInvalidations);
+    }
+}
+
+/// Mirror of the bounded checker's no-false-positive property: mutations
+/// that cannot fire on a protocol (Baseline has no LS machinery) must
+/// leave the parametric proof intact.
+#[test]
+fn inapplicable_mutations_stay_parametrically_clean() {
+    for m in [RuleMutation::SkipLsDetag, RuleMutation::KeepLrOnOwnership] {
+        let v = verify(&ModelConfig::new(ProtocolKind::Baseline).with_mutation(m)).unwrap();
+        assert!(
+            v.counterexample.is_none(),
+            "{m:?} cannot affect Baseline but was convicted: {}",
+            v.counterexample.unwrap()
+        );
+    }
+}

@@ -244,6 +244,88 @@ impl FromJson for ModelCheckSummary {
     }
 }
 
+/// Flat, serializable summary of one parametric verification run
+/// (`ccsim verify`): abstract reachability over the counter-abstraction
+/// lattice, plus the refinement verdict when an abstract counterexample
+/// was found.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifySummary {
+    pub protocol: String,
+    /// Unique abstract states reached.
+    pub abstract_states: u64,
+    /// Concrete probe transitions executed across all materializations.
+    pub transitions: u64,
+    /// Transitions that first saturated a sharer counter to ω.
+    pub widenings: u64,
+    /// Deepest abstract state reached.
+    pub max_depth: u32,
+    pub wall_ms: u64,
+    /// Order-independent fingerprint of the abstract reachable set.
+    pub fingerprint: u64,
+    /// True when the fixpoint was reached with zero violations — a proof
+    /// for every node count, not just the bounded configurations.
+    pub parametric: bool,
+    /// Empty = clean; otherwise the abstract violation description.
+    pub violation: String,
+    /// Refinement verdict: "" (clean run), "genuine", or "spurious".
+    pub refinement: String,
+    /// Node count at which the counterexample concretized (0 if none).
+    pub concretized_nodes: u16,
+    /// Runtime invariant violations reported by the engine replay of the
+    /// concretized counterexample (0 if none was replayed).
+    pub engine_violations: u64,
+}
+
+impl VerifySummary {
+    /// Pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        ToJson::to_json(self).pretty()
+    }
+
+    /// Parse a summary previously written by [`VerifySummary::to_json`].
+    pub fn parse(text: &str) -> Result<Self, String> {
+        FromJson::from_json(&Json::parse(text)?)
+    }
+}
+
+impl ToJson for VerifySummary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("protocol", self.protocol.to_json()),
+            ("abstract_states", self.abstract_states.to_json()),
+            ("transitions", self.transitions.to_json()),
+            ("widenings", self.widenings.to_json()),
+            ("max_depth", self.max_depth.to_json()),
+            ("wall_ms", self.wall_ms.to_json()),
+            ("fingerprint", self.fingerprint.to_json()),
+            ("parametric", self.parametric.to_json()),
+            ("violation", self.violation.to_json()),
+            ("refinement", self.refinement.to_json()),
+            ("concretized_nodes", self.concretized_nodes.to_json()),
+            ("engine_violations", self.engine_violations.to_json()),
+        ])
+    }
+}
+
+impl FromJson for VerifySummary {
+    fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(VerifySummary {
+            protocol: j.field("protocol")?,
+            abstract_states: j.field("abstract_states")?,
+            transitions: j.field("transitions")?,
+            widenings: j.field("widenings")?,
+            max_depth: j.field("max_depth")?,
+            wall_ms: j.field("wall_ms")?,
+            fingerprint: j.field("fingerprint")?,
+            parametric: j.field("parametric")?,
+            violation: j.field("violation")?,
+            refinement: j.field("refinement")?,
+            concretized_nodes: j.field("concretized_nodes")?,
+            engine_violations: j.field("engine_violations")?,
+        })
+    }
+}
+
 /// Flat, serializable output of the static trace analyzer (`ccsim analyze`,
 /// `ccsim-lint` pass 2). Pairs the paper-taxonomy block classification
 /// (computed on an idealized infinite-cache stream pass) with a

@@ -15,7 +15,7 @@ pub mod normalized;
 
 pub use export::{
     AnalysisSummary, ChaosSummary, ModelCheckSummary, RaceSummary, RunSummary, ServeClassLatency,
-    ServeRow, ServeSummary, SERVE_SCHEMA,
+    ServeRow, ServeSummary, VerifySummary, SERVE_SCHEMA,
 };
 pub use figures::{render_fig5, render_table2, render_table3, render_table4, render_triptych};
 pub use normalized::{NormalizedRun, Triptych};

@@ -4,6 +4,7 @@
 //! ccsim run     --workload <mp3d|lu|cholesky|oltp> --protocol <baseline|ad|ls> [options]
 //! ccsim compare --workload <mp3d|lu|cholesky|oltp> [options]   # all three protocols
 //! ccsim model   [--protocol <baseline|ad|ls|all>] [model options]  # bounded model check
+//! ccsim verify  [--protocol <baseline|ad|ls|all>] [verify options] # parametric (all-n) proof
 //! ccsim lint    [--deny] [--json] [--root DIR] [--explain RULE]  # workspace static analysis
 //! ccsim analyze --workload W [--protocol P] | --trace FILE [--json]  # sharing patterns
 //! ccsim race    --workload W [--protocol P] | --trace FILE [--json]  # SC conformance
@@ -27,7 +28,14 @@
 //!   --max-ops <K>           per-node op budget      (default 4)
 //!   --mutation <NAME>       seed a rule mutation    (needs --features testing)
 //!   --expect-violation      exit 0 iff a violation IS found
+//!   --format github         annotate counterexamples at the violated rule site
 //!   --json                  emit JSON ModelCheckSummary documents
+//!
+//! verify options:
+//!   --mutation <NAME>       seed a rule mutation    (needs --features testing)
+//!   --expect-violation      exit 0 iff a violation IS found
+//!   --format github         annotate counterexamples at the violated rule site
+//!   --json                  emit JSON VerifySummary documents
 //!
 //! lint options:
 //!   --deny                  exit 1 if any diagnostic fires (CI gate)
@@ -71,7 +79,9 @@
 use ccsim::engine::{replay_events, InvariantMode, RunStats, Trace};
 use ccsim::harness::{chaos, run_cached, JobSet};
 use ccsim::lint;
-use ccsim::model::{explore, replay_counterexample, summarize, ModelConfig};
+use ccsim::model::{
+    explore, replay_counterexample, summarize, summarize_verify, verify, ModelConfig, Refinement,
+};
 use ccsim::race::check as race_check;
 use ccsim::serve::{serve_sweep, ServeConfig, StopReason};
 use ccsim::stats::{render_triptych, RaceSummary, RunSummary, Triptych};
@@ -104,10 +114,13 @@ fn with_mutation(mut cfg: MachineConfig, mutation: Option<RuleMutation>) -> Mach
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ccsim <run|compare|model|lint|analyze|race|chaos|serve|config> [--workload W] \
+        "usage: ccsim <run|compare|model|verify|lint|analyze|race|chaos|serve|config> \
+         [--workload W] \
          [--protocol P] [--scale S] [--nodes N] [--block B] [--l2-kb K] [--quantum Q] [--relaxed] \
          [--mesh W] [--json]\n\
-         model options: [--blocks B] [--max-ops K] [--mutation NAME] [--expect-violation]\n\
+         model options: [--blocks B] [--max-ops K] [--mutation NAME] [--expect-violation] \
+         [--format github]\n\
+         verify options: [--mutation NAME] [--expect-violation] [--format github]\n\
          lint options: [--deny] [--root DIR] [--explain RULE] [--format github]\n\
          analyze options: [--trace FILE] [--save-trace FILE]\n\
          race options: [--trace FILE] [--mutation NAME] [--expect-violation]\n\
@@ -375,6 +388,12 @@ fn main() {
                     usage()
                 })
             });
+            if let Some(f) = o.format.as_deref() {
+                if f != "github" {
+                    eprintln!("unknown model format {f} (github)");
+                    exit(2);
+                }
+            }
             let mut violations = 0u32;
             let mut docs = Vec::new();
             for kind in kinds {
@@ -431,6 +450,119 @@ fn main() {
                         for v in report.violations() {
                             println!("  {v}");
                         }
+                    }
+                    if o.format.as_deref() == Some("github") {
+                        // GitHub Actions workflow command: point the CI
+                        // failure at the enforcement site of the broken rule.
+                        let (file, line) = cex.violation.rule.site();
+                        println!(
+                            "::error file={file},line={line}::[model/{}] {}",
+                            s.protocol, cex.violation
+                        );
+                    }
+                }
+            }
+            if o.json {
+                println!("{}", Json::Arr(docs).pretty());
+            }
+            let ok = if o.expect_violation {
+                violations > 0
+            } else {
+                violations == 0
+            };
+            if !ok {
+                exit(1);
+            }
+        }
+        "verify" => {
+            let kinds: Vec<ProtocolKind> = match o.protocol.as_deref().unwrap_or("all") {
+                "all" => ProtocolKind::ALL.to_vec(),
+                s => vec![protocol_of(s)],
+            };
+            let mutation = o.mutation.as_deref().map(|s| {
+                RuleMutation::parse(s).unwrap_or_else(|| {
+                    let names: Vec<&str> = RuleMutation::ALL.iter().map(|m| m.label()).collect();
+                    eprintln!("unknown mutation {s} ({})", names.join("|"));
+                    usage()
+                })
+            });
+            if let Some(f) = o.format.as_deref() {
+                if f != "github" {
+                    eprintln!("unknown verify format {f} (github)");
+                    exit(2);
+                }
+            }
+            let mut violations = 0u32;
+            let mut docs = Vec::new();
+            for kind in kinds {
+                let mut cfg = ModelConfig::new(kind);
+                if let Some(m) = mutation {
+                    cfg = cfg.with_mutation(m);
+                }
+                let v = verify(&cfg).unwrap_or_else(|e| {
+                    eprintln!("verify: {e}");
+                    exit(2);
+                });
+                let s = summarize_verify(&v);
+                if o.json {
+                    docs.push(ToJson::to_json(&s));
+                } else {
+                    println!(
+                        "{:<8} abstract: {} states, {} transitions, {} widenings, depth {}, \
+                         {} ms — {}",
+                        s.protocol,
+                        s.abstract_states,
+                        s.transitions,
+                        s.widenings,
+                        s.max_depth,
+                        s.wall_ms,
+                        if s.parametric {
+                            "proved for every node count".to_string()
+                        } else {
+                            format!("VIOLATION: {}", s.violation)
+                        }
+                    );
+                }
+                if let Some(cex) = &v.counterexample {
+                    violations += 1;
+                    if !o.json {
+                        println!("abstract counterexample ({} steps):", cex.steps.len());
+                        println!("{cex}");
+                        match &v.refinement {
+                            Some(Refinement::Genuine {
+                                nodes,
+                                counterexample,
+                                engine_checks,
+                                engine_violations,
+                            }) => {
+                                println!(
+                                    "concretized at n={nodes} (shortest, {} steps):",
+                                    counterexample.steps.len()
+                                );
+                                println!("{counterexample}");
+                                println!(
+                                    "engine replay: {engine_violations} invariant violation(s) \
+                                     in {engine_checks} checks"
+                                );
+                            }
+                            Some(Refinement::Spurious { tried_nodes }) => {
+                                println!(
+                                    "spurious: no concrete counterexample at n in {tried_nodes:?}; \
+                                     widening points:"
+                                );
+                                for w in &v.widening_points {
+                                    println!("  {w}");
+                                }
+                            }
+                            None => {}
+                        }
+                    }
+                    if o.format.as_deref() == Some("github") {
+                        let (file, line) = cex.violation.rule.site();
+                        println!(
+                            "::error file={file},line={line}::[verify/{}] {}",
+                            s.protocol, cex.violation
+                        );
                     }
                 }
             }

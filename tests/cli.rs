@@ -139,6 +139,86 @@ fn model_mutation_is_caught_with_a_replayed_counterexample() {
 }
 
 #[test]
+fn verify_subcommand_proves_all_protocols_parametrically() {
+    let (ok, stdout, _) = ccsim(&["verify", "--protocol", "all"]);
+    assert!(ok, "stdout: {stdout}");
+    for label in ["Baseline", "AD", "LS"] {
+        assert!(stdout.contains(label));
+    }
+    assert_eq!(stdout.matches("proved for every node count").count(), 3);
+    assert!(!stdout.contains("VIOLATION"));
+}
+
+#[test]
+fn verify_json_emits_summaries() {
+    let (ok, stdout, _) = ccsim(&["verify", "--protocol", "ls", "--json"]);
+    assert!(ok);
+    assert!(stdout.trim_start().starts_with('['));
+    assert!(stdout.contains("\"abstract_states\""));
+    assert!(stdout.contains("\"parametric\": true"));
+    assert!(stdout.contains("\"violation\": \"\""));
+}
+
+#[test]
+fn verify_expect_violation_fails_on_a_clean_protocol() {
+    let (ok, _, _) = ccsim(&["verify", "--protocol", "ad", "--expect-violation"]);
+    assert!(!ok, "a parametric proof must fail --expect-violation");
+}
+
+#[test]
+fn verify_rejects_unknown_formats() {
+    let (ok, _, stderr) = ccsim(&["verify", "--format", "sarif"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown verify format"));
+}
+
+// See the note above `model_mutation_is_caught_with_a_replayed_counterexample`
+// for why this needs the feature gate.
+#[cfg(feature = "testing")]
+#[test]
+fn verify_convicts_a_mutation_with_github_annotations() {
+    let (ok, stdout, _) = ccsim(&[
+        "verify",
+        "--protocol",
+        "baseline",
+        "--mutation",
+        "drop-invalidations",
+        "--expect-violation",
+        "--format",
+        "github",
+    ]);
+    assert!(ok, "stdout: {stdout}");
+    assert!(stdout.contains("abstract counterexample"));
+    assert!(stdout.contains("concretized at n="));
+    assert!(stdout.contains("engine replay"));
+    // The annotation points at the enforcement site of the violated rule.
+    assert!(
+        stdout.contains("::error file=crates/core/src/rules.rs,line="),
+        "stdout: {stdout}"
+    );
+}
+
+#[cfg(feature = "testing")]
+#[test]
+fn model_emits_github_annotations_for_counterexamples() {
+    let (ok, stdout, _) = ccsim(&[
+        "model",
+        "--protocol",
+        "ls",
+        "--mutation",
+        "skip-ls-detag",
+        "--expect-violation",
+        "--format",
+        "github",
+    ]);
+    assert!(ok, "stdout: {stdout}");
+    assert!(
+        stdout.contains("::error file=crates/core/src/rules.rs,line="),
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
 fn model_rejects_unknown_mutations_and_dsi() {
     let (ok, _, stderr) = ccsim(&["model", "--mutation", "nosuch"]);
     assert!(!ok);
