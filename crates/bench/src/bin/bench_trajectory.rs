@@ -4,7 +4,8 @@
 //!
 //! The bench id is taken from the path's file name, and each id selects
 //! its measurement: `BENCH_0006` is the engine/replay/cache trajectory,
-//! `BENCH_0008` is the serve-scale trajectory. CI checks both.
+//! `BENCH_0008` is the serve-scale trajectory, `BENCH_0010` is the linter
+//! (parse + semantic analysis) trajectory. CI checks all three.
 //!
 //! ```text
 //! bench_trajectory                  # measure BENCH_0006, print JSON to stdout
@@ -12,7 +13,9 @@
 //! bench_trajectory --check [path]   # measure, compare vs baseline, exit 1 on regression
 //! ```
 
-use ccsim_bench::trajectory::{compare, measure_quick, measure_serve, BenchSummary, Tolerance};
+use ccsim_bench::trajectory::{
+    compare, measure_lint, measure_quick, measure_serve, BenchSummary, Tolerance,
+};
 
 const DEFAULT_PATH: &str = "BENCH_0006.json";
 
@@ -29,6 +32,7 @@ fn bench_id(path: &str) -> String {
 fn measure(id: &str) -> BenchSummary {
     match id {
         "BENCH_0008" => measure_serve(id),
+        "BENCH_0010" => measure_lint(id),
         _ => measure_quick(id),
     }
 }

@@ -415,6 +415,63 @@ pub fn measure_serve(bench: &str) -> BenchSummary {
     }
 }
 
+/// Measure the linter trajectory (`BENCH_0010`): wall time of the
+/// three-layer semantic analysis over this workspace's own sources.
+///
+/// * `lint_parse_workspace` — layer 1+2 alone: lex and parse every source
+///   file into the AST. The `accesses` column carries total source lines,
+///   so `accesses_per_sec` is parse throughput in lines/second.
+/// * `lint_semantic_workspace` — the full `ccsim lint` pass: parse plus
+///   symbol table, call graph, and every interprocedural rule. Its speedup
+///   reference is the parse-only time, so the ratio records how much of the
+///   wall the semantic layers cost on top of parsing (a per-mille value
+///   *below* 1000 — informational, not gated by the speedup floor).
+pub fn measure_lint(bench: &str) -> BenchSummary {
+    use ccsim_lint::{lint_workspace, LintConfig};
+
+    // The workspace root relative to this crate's manifest — independent of
+    // the directory the bench binary is invoked from.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files = ccsim_lint::source::workspace_files(&root).expect("enumerate workspace sources");
+    let lines: u64 = files
+        .iter()
+        .map(|p| {
+            std::fs::read_to_string(p)
+                .map(|s| s.lines().count() as u64)
+                .unwrap_or(0)
+        })
+        .sum();
+
+    let (parse_us, parsed) = timed(|| {
+        files
+            .iter()
+            .filter_map(|p| std::fs::read_to_string(p).ok())
+            .map(|src| {
+                ccsim_lint::parse::parse(&ccsim_lint::lexer::lex(&src).tokens)
+                    .items
+                    .len()
+            })
+            .sum::<usize>()
+    });
+    assert!(parsed > 0, "parser must recover items from the workspace");
+
+    let cfg = LintConfig::workspace();
+    let (lint_us, diags) = timed(|| lint_workspace(&root, &cfg).expect("lint workspace"));
+    assert!(
+        diags.is_empty(),
+        "the workspace must stay clean under its own linter: {diags:?}"
+    );
+
+    BenchSummary {
+        bench: bench.to_string(),
+        scale: "quick".to_string(),
+        metrics: vec![
+            BenchMetric::from_timing("lint_parse_workspace", parse_us, lines, None),
+            BenchMetric::from_timing("lint_semantic_workspace", lint_us, lines, Some(parse_us)),
+        ],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

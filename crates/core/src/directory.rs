@@ -62,6 +62,7 @@ pub struct DirStats {
 }
 
 impl DirStats {
+    // ccsim-lint: allow(panic-path): read-miss class maps to one of four counter slots fixed at construction
     pub(crate) fn classify(&mut self, c: ReadMissClass) {
         let i = match c {
             ReadMissClass::Clean => 0,

@@ -140,6 +140,7 @@ fn ownership_tag_rule(cfg: &ProtocolConfig, stats: &mut DirStats, e: &mut DirEnt
 }
 
 /// A global read action from `p` arrives at the home.
+// ccsim-lint: allow(panic-path): the panic marks a protocol-table hole; reaching it is a checker bug, not a recoverable input
 pub fn read(cfg: &ProtocolConfig, stats: &mut DirStats, e: &mut DirEntry, p: NodeId) -> ReadStep {
     stats.global_reads += 1;
     // DSI: serve reads of torn blocks as uncached copies while the home
@@ -222,6 +223,7 @@ pub fn read(cfg: &ProtocolConfig, stats: &mut DirStats, e: &mut DirEntry, p: Nod
 ///   unwritten dirty handoff): a downgrade needs a sharing writeback.
 ///
 /// `owner_wrote` implies `owner_dirty`.
+// ccsim-lint: allow(panic-path): the panic marks a protocol-table hole; reaching it is a checker bug, not a recoverable input
 pub fn read_forward_result(
     cfg: &ProtocolConfig,
     stats: &mut DirStats,
@@ -354,6 +356,7 @@ pub fn write(cfg: &ProtocolConfig, stats: &mut DirStats, e: &mut DirEntry, p: No
 
 /// Conclude a forwarded write: the previous owner invalidates and ships
 /// data + ownership to the requester.
+// ccsim-lint: allow(panic-path): the panic marks a protocol-table hole; reaching it is a checker bug, not a recoverable input
 pub fn write_forward_result(
     stats: &mut DirStats,
     e: &mut DirEntry,
@@ -509,6 +512,7 @@ pub enum LocalReadExcl {
 }
 
 /// Read-exclusive against the local cache state (`None` = miss).
+// ccsim-lint: allow(panic-path): the panic marks a protocol-table hole; reaching it is a checker bug, not a recoverable input
 pub fn read_exclusive_probe(copy: Option<CopyState>) -> LocalReadExcl {
     match copy {
         Some(s) if s.is_exclusive() => LocalReadExcl::Hit,
@@ -600,6 +604,7 @@ impl SafetyRule {
 pub const SWMR_SITE: (&str, u32) = (file!(), line!());
 pub const DIRECTORY_ENTRY_SITE: (&str, u32) = (file!(), line!());
 pub const STATE_AGREEMENT_SITE: (&str, u32) = (file!(), line!());
+// ccsim-lint: allow(panic-path): holder indices come from enumerate over the same slice they index
 pub fn copy_violations(
     protocol: ProtocolKind,
     block: BlockAddr,

@@ -317,6 +317,7 @@ impl InvariantChecker {
         }
     }
 
+    // ccsim-lint: allow(panic-path): a coherence invariant violation is fatal by design; committing further frames would corrupt the replay
     fn record(&mut self, v: InvariantViolation) {
         if self.mode == InvariantMode::Strict {
             panic!("coherence invariant violated: {v}");

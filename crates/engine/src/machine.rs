@@ -318,6 +318,7 @@ impl Machine {
     /// Install a block in `p`'s hierarchy, handling the L2 victim: notify
     /// the victim's home (replacement hint or writeback) and update the
     /// false-sharing tracker.
+    // ccsim-lint: allow(panic-path): node and block indices are bounded by the validated machine geometry
     fn fill(&mut self, p: NodeId, block: BlockAddr, state: LineState, t: u64) {
         if let Some(ev) = self.caches[p.idx()].fill(block, state) {
             self.emit(p, EventKind::Evict { block: ev.block });
@@ -350,6 +351,7 @@ impl Machine {
     }
 
     /// All caches currently holding `block`, with their line states.
+    // ccsim-lint: allow(panic-path): node and block indices are bounded by the validated machine geometry
     fn holders(&self, block: BlockAddr) -> Vec<(NodeId, LineState)> {
         (0..self.cfg.nodes)
             .filter_map(|n| self.caches[n as usize].state(block).map(|s| (NodeId(n), s)))
@@ -375,6 +377,7 @@ impl Machine {
     }
 
     /// (owner_wrote, owner_dirty) for a forwarded request.
+    // ccsim-lint: allow(panic-path): node and block indices are bounded by the validated machine geometry
     fn owner_state(&self, owner: NodeId, block: BlockAddr) -> (bool, bool) {
         let copy = self.caches[owner.idx()].state(block);
         copy.and_then(|s| rules::owner_report(copy_state(s)))
@@ -387,6 +390,7 @@ impl Machine {
 
     /// A load by processor `p` starting at time `t0`. Returns the loaded
     /// value, the completion time, and the stall attribution.
+    // ccsim-lint: allow(panic-path): node and block indices are bounded by the validated machine geometry
     pub fn load(&mut self, p: NodeId, addr: Addr, t0: u64) -> (u64, u64, StallKind) {
         let block = self.block_of(addr);
         let lat = self.cfg.latency;
@@ -423,6 +427,7 @@ impl Machine {
         );
     }
 
+    // ccsim-lint: allow(panic-path): node and block indices are bounded by the validated machine geometry
     fn global_read(&mut self, p: NodeId, addr: Addr, block: BlockAddr, t0: u64, value: u64) -> u64 {
         let lat = self.cfg.latency;
         let home = self.home(addr);
@@ -548,6 +553,7 @@ impl Machine {
     /// upgrades), matching what a fictive exclusive load does in hardware.
     /// The oracle records the *read* here; the later silent store is the
     /// eliminated global write.
+    // ccsim-lint: allow(panic-path): node and block indices are bounded by the validated machine geometry
     pub fn load_exclusive(&mut self, p: NodeId, addr: Addr, t0: u64) -> (u64, u64, StallKind) {
         let block = self.block_of(addr);
         let lat = self.cfg.latency;
@@ -582,6 +588,7 @@ impl Machine {
 
     /// A store by processor `p` starting at time `t0`. Returns the
     /// completion time and the stall attribution.
+    // ccsim-lint: allow(panic-path): node and block indices are bounded by the validated machine geometry
     pub fn write(
         &mut self,
         p: NodeId,
@@ -657,6 +664,7 @@ impl Machine {
     }
 
     #[allow(clippy::too_many_arguments)]
+    // ccsim-lint: allow(panic-path): node and block indices are bounded by the validated machine geometry
     fn global_acquire(
         &mut self,
         p: NodeId,

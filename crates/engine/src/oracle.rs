@@ -306,6 +306,7 @@ impl FalseSharing {
     }
 
     /// Every store (global or silent) by `writer` to `addr`.
+    // ccsim-lint: allow(panic-path): sharer-word indices are sized from the node count the oracle was built with
     pub fn on_store(&mut self, b: BlockAddr, addr: ccsim_types::Addr, writer: NodeId) {
         let mask = b.word_mask(addr, self.block_bytes);
         let e = self.block(b);
@@ -317,6 +318,7 @@ impl FalseSharing {
     }
 
     /// `node`'s cached copy was invalidated by the coherence protocol.
+    // ccsim-lint: allow(panic-path): sharer-word indices are sized from the node count the oracle was built with
     pub fn on_invalidated(&mut self, b: BlockAddr, node: NodeId) {
         let e = self.block(b);
         e.lost_by_inval[node.idx()] = true;
@@ -324,12 +326,14 @@ impl FalseSharing {
     }
 
     /// `node` replaced its copy for capacity/conflict reasons.
+    // ccsim-lint: allow(panic-path): sharer-word indices are sized from the node count the oracle was built with
     pub fn on_replaced(&mut self, b: BlockAddr, node: NodeId) {
         let e = self.block(b);
         e.lost_by_inval[node.idx()] = false;
     }
 
     /// `node` missed globally on `addr`; classify the miss.
+    // ccsim-lint: allow(panic-path): sharer-word indices are sized from the node count the oracle was built with
     pub fn on_miss(&mut self, b: BlockAddr, addr: ccsim_types::Addr, node: NodeId) {
         let mask = b.word_mask(addr, self.block_bytes);
         let e = self.block(b);

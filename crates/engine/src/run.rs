@@ -114,6 +114,7 @@ struct Inner {
 impl Inner {
     /// The unique processor allowed to execute next: the lowest-numbered
     /// active processor inside the current scheduling window.
+    // ccsim-lint: allow(panic-path): per-proc slots are indexed by ids the spawn loop itself assigned, always in range
     fn next_runner(&self) -> Option<usize> {
         let min = self
             .clocks
@@ -126,6 +127,7 @@ impl Inner {
         (0..self.clocks.len()).find(|&q| self.active[q] && self.clocks[q] < window_end)
     }
 
+    // ccsim-lint: allow(panic-path): per-proc slots are indexed by ids the spawn loop itself assigned, always in range
     fn record(&mut self, proc: u16, op: TraceOp) {
         if self.recent.len() == RECENT_WINDOW {
             self.recent.pop_front();
@@ -137,6 +139,7 @@ impl Inner {
         }
     }
 
+    // ccsim-lint: allow(panic-path): proc ids come from the spawn loop and the stall-kind panic is unreachable by construction
     fn attribute(&mut self, p: usize, t0: u64, t1: u64, stall: StallKind) {
         let dt = t1 - t0;
         if dt > self.watchdog {
@@ -210,6 +213,7 @@ impl Shared {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    // ccsim-lint: allow(panic-path): per-proc slots are indexed by ids the spawn loop itself assigned, always in range
     fn wake_next(&self, g: &Inner, me: usize) {
         if let Some(next) = g.next_runner() {
             if next != me {
@@ -247,6 +251,7 @@ pub struct Proc {
 }
 
 impl Proc {
+    // ccsim-lint: allow(panic-path): per-proc slots are indexed by ids the spawn loop itself assigned, always in range
     fn turn<R>(&self, f: impl FnOnce(&mut Inner) -> R) -> R {
         let me = self.id.idx();
         match &self.backend {
@@ -317,6 +322,7 @@ impl Proc {
     }
 
     /// Spend `cycles` of pure compute time.
+    // ccsim-lint: allow(panic-path): per-proc slots are indexed by ids the spawn loop itself assigned, always in range
     pub fn busy(&self, cycles: u64) {
         if cycles == 0 {
             return;
@@ -346,6 +352,7 @@ impl Proc {
     }
 
     /// Load the word at `addr`.
+    // ccsim-lint: allow(panic-path): per-proc slots are indexed by ids the spawn loop itself assigned, always in range
     pub fn load(&self, addr: Addr) -> u64 {
         let me = self.id.idx();
         self.turn(|g| {
@@ -359,6 +366,7 @@ impl Proc {
     }
 
     /// Store `value` to the word at `addr`.
+    // ccsim-lint: allow(panic-path): per-proc slots are indexed by ids the spawn loop itself assigned, always in range
     pub fn store(&self, addr: Addr, value: u64) {
         let me = self.id.idx();
         self.turn(|g| {
@@ -377,6 +385,7 @@ impl Proc {
     /// instruction-centric technique). Works under every protocol,
     /// including Baseline — that combination is the "static" comparison
     /// point for LS.
+    // ccsim-lint: allow(panic-path): per-proc slots are indexed by ids the spawn loop itself assigned, always in range
     pub fn load_exclusive(&self, addr: Addr) -> u64 {
         let me = self.id.idx();
         self.turn(|g| {
@@ -420,6 +429,7 @@ impl Proc {
     /// Atomic read-modify-write: load, apply `f`, store if `f` returns
     /// `Some`. The two halves execute with no intervening access from any
     /// other processor. Returns the loaded (old) value.
+    // ccsim-lint: allow(panic-path): per-proc slots are indexed by ids the spawn loop itself assigned, always in range
     pub fn rmw(&self, addr: Addr, f: impl FnOnce(u64) -> Option<u64>) -> u64 {
         let me = self.id.idx();
         self.turn(|g| {

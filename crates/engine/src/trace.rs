@@ -365,6 +365,7 @@ impl ReplayState {
     }
 
     /// Commit one captured event.
+    // ccsim-lint: allow(panic-path): replay ops index per-proc tables sized from the trace header at load time
     pub(crate) fn apply(&mut self, e: &TraceEvent) {
         let p = e.proc as usize;
         let id = NodeId(e.proc);

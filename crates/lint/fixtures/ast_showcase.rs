@@ -1,0 +1,62 @@
+//! AST showcase fixture: cfg gates, nested closures, and macro-call
+//! skipping. The golden snapshot (`ast_showcase.ast`) pins the rendered
+//! shape byte for byte — see `tests/parse.rs`.
+#![allow(dead_code)]
+
+use std::collections::BTreeMap;
+
+#[cfg(feature = "testing")]
+pub mod gated {
+    /// Only present under the testing feature.
+    pub fn probe() -> u32 {
+        42
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    weights: BTreeMap<String, u64>,
+}
+
+impl Sampler {
+    pub fn new() -> Self {
+        Self {
+            weights: BTreeMap::new(),
+            #[cfg(feature = "testing")]
+            _probe: 0,
+        }
+    }
+
+    /// Nested closures: the outer closure captures `bias`, the inner one
+    /// maps each weight through it.
+    pub fn normalized(&self, bias: u64) -> Vec<f64> {
+        let total: u64 = self.weights.values().sum();
+        self.weights
+            .values()
+            .map(|w| {
+                let scaled = (0..*w).map(|i| i + bias).fold(0u64, |acc, v| acc + v);
+                scaled as f64 / total.max(1) as f64
+            })
+            .collect()
+    }
+
+    pub fn describe(&self) -> String {
+        // Macro calls are opaque: arguments are skipped, not parsed.
+        format!("sampler with {} keys", self.weights.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sampler_normalizes_to_nothing() {
+        let s = Sampler::new();
+        assert!(s.normalized(1).is_empty());
+        #[cfg(feature = "testing")]
+        {
+            assert_eq!(gated::probe(), 42);
+        }
+    }
+}

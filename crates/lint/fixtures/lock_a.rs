@@ -1,0 +1,23 @@
+//! Seeded lock-order-global violation, file A of two. `enqueue` acquires
+//! `Pipeline.queue` and then — still holding it — calls `flush_stats`,
+//! whose lock closure acquires `Pipeline.stats`. File B acquires the same
+//! two locks in the opposite order, closing a workspace-wide cycle that
+//! neither file exhibits alone.
+
+pub struct Pipeline {
+    queue: Mutex<Vec<u64>>,
+    stats: Mutex<Stats>,
+}
+
+impl Pipeline {
+    pub fn enqueue(&self, item: u64) {
+        let mut q = self.queue.lock();
+        q.push(item);
+        self.flush_stats();
+    }
+
+    pub fn flush_stats(&self) {
+        let mut s = self.stats.lock();
+        s.flushes += 1;
+    }
+}

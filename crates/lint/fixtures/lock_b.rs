@@ -1,0 +1,11 @@
+//! Seeded lock-order-global violation, file B of two: the reverse
+//! acquisition order of file A, in a different translation unit — only the
+//! workspace-wide lock graph sees the cycle.
+
+impl Pipeline {
+    pub fn drain_report(&self) -> u64 {
+        let s = self.stats.lock();
+        let q = self.queue.lock();
+        s.flushes + q.len() as u64
+    }
+}

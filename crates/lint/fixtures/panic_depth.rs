@@ -1,0 +1,18 @@
+//! Seeded panic-path violation: an unchecked indexed store two calls below
+//! the `commit_frame` replay entry.
+
+pub struct Frame {
+    slots: Vec<u64>,
+}
+
+pub fn commit_frame(f: &mut Frame, i: usize) {
+    step_one(f, i);
+}
+
+fn step_one(f: &mut Frame, i: usize) {
+    touch_slot(f, i);
+}
+
+fn touch_slot(f: &mut Frame, i: usize) {
+    f.slots[i] = 1;
+}

@@ -1,0 +1,13 @@
+//! Seeded determinism-taint violation: a wall-clock read in `stamp_nanos`
+//! flows through one call hop into the `to_json` export sink in
+//! `export_results`.
+
+fn stamp_nanos() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn export_results(rows: &[u64]) -> String {
+    let stamp = stamp_nanos();
+    to_json(stamp, rows)
+}

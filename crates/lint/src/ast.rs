@@ -1,0 +1,789 @@
+//! A lossy-but-faithful Rust AST for the semantic lint passes.
+//!
+//! The shape is deliberately smaller than real Rust: types, generics, and
+//! patterns are reduced to what the rules need (names, binding lists, line
+//! numbers), and macro invocation bodies are opaque (`MacroCall` records the
+//! name and skips the tokens — see DESIGN.md §6e for the soundness caveats
+//! that follow). What *is* kept is kept faithfully: item structure, `use` /
+//! `mod` nesting, attributes with their cfg gates, and full expression trees
+//! for function bodies including closures, control flow, and call/method/
+//! field/index chains — everything the call graph, taint, and lock-order
+//! passes walk.
+//!
+//! Every node carries the 1-based source line it starts on so diagnostics
+//! pin exact locations. The `render` functions produce a stable, indented
+//! s-expression-like text used by the golden snapshot tests.
+
+/// One parsed source file.
+#[derive(Clone, Debug, Default)]
+pub struct SourceFile {
+    /// Inner (`#![...]`) attributes at file scope.
+    pub inner_attrs: Vec<Attr>,
+    pub items: Vec<Item>,
+    /// Parse errors. Empty on every workspace file (pinned by the parser
+    /// self-check test); non-empty means the parser lost sync and recovered.
+    pub errors: Vec<ParseError>,
+}
+
+#[derive(Clone, Debug)]
+pub struct ParseError {
+    pub line: u32,
+    pub msg: String,
+}
+
+/// An attribute (`#[...]` or `#![...]`), reduced to its rendered token text
+/// plus the two classifications the rules care about.
+#[derive(Clone, Debug)]
+pub struct Attr {
+    pub line: u32,
+    /// Rendered token text of the bracket body, e.g. `cfg(test)`.
+    pub text: String,
+    /// Marks test-only code: `#[test]`, `#[cfg(test)]`, `feature = "testing"`.
+    pub testish: bool,
+}
+
+#[derive(Clone, Debug)]
+pub struct Item {
+    pub attrs: Vec<Attr>,
+    /// Line of the item keyword (not its attributes).
+    pub line: u32,
+    pub kind: ItemKind,
+}
+
+#[derive(Clone, Debug)]
+pub enum ItemKind {
+    /// `mod name;` (items `None`) or `mod name { ... }`.
+    Mod {
+        name: String,
+        items: Option<Vec<Item>>,
+    },
+    /// `use` tree, rendered as flat text (`std::sync::{Arc, Mutex}`).
+    Use {
+        tree: String,
+    },
+    Fn(FnDef),
+    /// `impl Ty { .. }` / `impl Trait for Ty { .. }`. `ty` is the base type
+    /// name with generics stripped (`Machine`, not `Machine<'a, B>`).
+    Impl {
+        ty: String,
+        trait_name: Option<String>,
+        items: Vec<Item>,
+    },
+    Trait {
+        name: String,
+        items: Vec<Item>,
+    },
+    Struct {
+        name: String,
+    },
+    Enum {
+        name: String,
+    },
+    Union {
+        name: String,
+    },
+    /// `const NAME: T = init;` — `init` kept so string constants (env var
+    /// names) can be resolved by the taint pass. `None` in trait position.
+    Const {
+        name: String,
+        init: Option<Expr>,
+    },
+    Static {
+        name: String,
+        init: Option<Expr>,
+    },
+    TypeAlias {
+        name: String,
+    },
+    /// `macro_rules! name { ... }` — body skipped.
+    MacroDef {
+        name: String,
+    },
+    /// Item-position macro invocation, body skipped.
+    MacroCall {
+        name: String,
+    },
+    /// `extern "C" { ... }` foreign block.
+    ExternBlock {
+        items: Vec<Item>,
+    },
+    /// `extern crate name;`
+    ExternCrate {
+        name: String,
+    },
+}
+
+#[derive(Clone, Debug)]
+pub struct FnDef {
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Parameter binding names in order. A receiver is recorded as `self`;
+    /// destructuring patterns contribute every bound name.
+    pub params: Vec<String>,
+    /// `None` for bodiless trait/extern declarations.
+    pub body: Option<Block>,
+}
+
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    pub line: u32,
+    pub stmts: Vec<Stmt>,
+}
+
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    Let {
+        line: u32,
+        /// Names bound by the pattern (`let (a, b) = ..` binds both).
+        binds: Vec<String>,
+        init: Option<Expr>,
+        /// `let .. else { .. }` diverging block.
+        else_block: Option<Block>,
+    },
+    /// Expression statement. `semi: false` on the last statement of a block
+    /// makes it the block's value (tail expression).
+    Expr {
+        expr: Expr,
+        semi: bool,
+    },
+    Item(Item),
+}
+
+#[derive(Clone, Debug)]
+pub enum LitKind {
+    Str(String),
+    Num(String),
+}
+
+/// A match arm. Patterns are reduced to their bound names.
+#[derive(Clone, Debug)]
+pub struct Arm {
+    pub line: u32,
+    pub binds: Vec<String>,
+    pub guard: Option<Box<Expr>>,
+    pub body: Expr,
+}
+
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// Possibly-qualified path: `x`, `self.y` is *not* a path (see `Field`),
+    /// `ccsim_util::FxHashMap` has segs `["ccsim_util", "FxHashMap"]`.
+    Path {
+        line: u32,
+        segs: Vec<String>,
+    },
+    Lit {
+        line: u32,
+        kind: LitKind,
+    },
+    Call {
+        line: u32,
+        callee: Box<Expr>,
+        args: Vec<Expr>,
+    },
+    MethodCall {
+        line: u32,
+        recv: Box<Expr>,
+        method: String,
+        args: Vec<Expr>,
+    },
+    Field {
+        line: u32,
+        base: Box<Expr>,
+        name: String,
+    },
+    Index {
+        line: u32,
+        base: Box<Expr>,
+        index: Box<Expr>,
+    },
+    /// Macro invocation in expression position; arguments are opaque.
+    MacroCall {
+        line: u32,
+        name: String,
+    },
+    StructLit {
+        line: u32,
+        path: Vec<String>,
+        /// `(field_name, value)`; shorthand `Foo { x }` yields `("x", Path x)`.
+        fields: Vec<(String, Expr)>,
+        /// `..base` functional-update expression.
+        rest: Option<Box<Expr>>,
+    },
+    Closure {
+        line: u32,
+        params: Vec<String>,
+        body: Box<Expr>,
+    },
+    Block(Block),
+    If {
+        line: u32,
+        /// Names bound by an `if let` pattern (empty for a plain `if`).
+        binds: Vec<String>,
+        cond: Box<Expr>,
+        then: Block,
+        els: Option<Box<Expr>>,
+    },
+    Match {
+        line: u32,
+        scrutinee: Box<Expr>,
+        arms: Vec<Arm>,
+    },
+    While {
+        line: u32,
+        binds: Vec<String>,
+        cond: Box<Expr>,
+        body: Block,
+    },
+    Loop {
+        line: u32,
+        body: Block,
+    },
+    For {
+        line: u32,
+        binds: Vec<String>,
+        iter: Box<Expr>,
+        body: Block,
+    },
+    /// `lhs op rhs` for binary operators (`+`, `==`, `&&`, ...).
+    Binary {
+        line: u32,
+        op: String,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    /// Prefix `-x`, `!x`, `*x`, `&x`, `&mut x` (op `-`/`!`/`*`/`&`).
+    Unary {
+        line: u32,
+        op: char,
+        expr: Box<Expr>,
+    },
+    /// `lhs = rhs` or compound `lhs += rhs` (op `"="`, `"+="`, ...).
+    Assign {
+        line: u32,
+        op: String,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    Range {
+        line: u32,
+        lo: Option<Box<Expr>>,
+        hi: Option<Box<Expr>>,
+    },
+    /// `expr?`
+    Try {
+        line: u32,
+        expr: Box<Expr>,
+    },
+    /// `expr as T` — the type is dropped.
+    Cast {
+        line: u32,
+        expr: Box<Expr>,
+    },
+    Return {
+        line: u32,
+        expr: Option<Box<Expr>>,
+    },
+    Break {
+        line: u32,
+        expr: Option<Box<Expr>>,
+    },
+    Continue {
+        line: u32,
+    },
+    Tuple {
+        line: u32,
+        elems: Vec<Expr>,
+    },
+    Array {
+        line: u32,
+        elems: Vec<Expr>,
+    },
+    /// A construct the parser recognized but does not model (e.g. `..` in a
+    /// position it cannot classify). Never produced for workspace code.
+    Unknown {
+        line: u32,
+    },
+}
+
+impl Expr {
+    pub fn line(&self) -> u32 {
+        match self {
+            Expr::Path { line, .. }
+            | Expr::Lit { line, .. }
+            | Expr::Call { line, .. }
+            | Expr::MethodCall { line, .. }
+            | Expr::Field { line, .. }
+            | Expr::Index { line, .. }
+            | Expr::MacroCall { line, .. }
+            | Expr::StructLit { line, .. }
+            | Expr::Closure { line, .. }
+            | Expr::If { line, .. }
+            | Expr::Match { line, .. }
+            | Expr::While { line, .. }
+            | Expr::Loop { line, .. }
+            | Expr::For { line, .. }
+            | Expr::Binary { line, .. }
+            | Expr::Unary { line, .. }
+            | Expr::Assign { line, .. }
+            | Expr::Range { line, .. }
+            | Expr::Try { line, .. }
+            | Expr::Cast { line, .. }
+            | Expr::Return { line, .. }
+            | Expr::Break { line, .. }
+            | Expr::Continue { line }
+            | Expr::Tuple { line, .. }
+            | Expr::Array { line, .. }
+            | Expr::Unknown { line } => *line,
+            Expr::Block(b) => b.line,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pre-order traversal for the fact-gathering passes.
+// ---------------------------------------------------------------------------
+
+/// Visit every expression in `b` in pre-order (approximating source/execution
+/// order). Nested items inside the block are *not* entered — they are
+/// separate declarations in the workspace table.
+pub fn walk_block<'a>(b: &'a Block, f: &mut impl FnMut(&'a Expr)) {
+    for s in &b.stmts {
+        match s {
+            Stmt::Let {
+                init, else_block, ..
+            } => {
+                if let Some(e) = init {
+                    walk_expr(e, f);
+                }
+                if let Some(b) = else_block {
+                    walk_block(b, f);
+                }
+            }
+            Stmt::Expr { expr, .. } => walk_expr(expr, f),
+            Stmt::Item(_) => {}
+        }
+    }
+}
+
+/// Pre-order visit of `e` and all subexpressions (including closure bodies).
+pub fn walk_expr<'a>(e: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
+    f(e);
+    match e {
+        Expr::Path { .. }
+        | Expr::Lit { .. }
+        | Expr::MacroCall { .. }
+        | Expr::Continue { .. }
+        | Expr::Unknown { .. } => {}
+        Expr::Call { callee, args, .. } => {
+            walk_expr(callee, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::MethodCall { recv, args, .. } => {
+            walk_expr(recv, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Field { base, .. } => walk_expr(base, f),
+        Expr::Index { base, index, .. } => {
+            walk_expr(base, f);
+            walk_expr(index, f);
+        }
+        Expr::StructLit { fields, rest, .. } => {
+            for (_, v) in fields {
+                walk_expr(v, f);
+            }
+            if let Some(r) = rest {
+                walk_expr(r, f);
+            }
+        }
+        Expr::Closure { body, .. } => walk_expr(body, f),
+        Expr::Block(b) => walk_block(b, f),
+        Expr::If {
+            cond, then, els, ..
+        } => {
+            walk_expr(cond, f);
+            walk_block(then, f);
+            if let Some(e) = els {
+                walk_expr(e, f);
+            }
+        }
+        Expr::Match {
+            scrutinee, arms, ..
+        } => {
+            walk_expr(scrutinee, f);
+            for arm in arms {
+                if let Some(g) = &arm.guard {
+                    walk_expr(g, f);
+                }
+                walk_expr(&arm.body, f);
+            }
+        }
+        Expr::While { cond, body, .. } => {
+            walk_expr(cond, f);
+            walk_block(body, f);
+        }
+        Expr::Loop { body, .. } => walk_block(body, f),
+        Expr::For { iter, body, .. } => {
+            walk_expr(iter, f);
+            walk_block(body, f);
+        }
+        Expr::Binary { lhs, rhs, .. } | Expr::Assign { lhs, rhs, .. } => {
+            walk_expr(lhs, f);
+            walk_expr(rhs, f);
+        }
+        Expr::Unary { expr, .. } | Expr::Try { expr, .. } | Expr::Cast { expr, .. } => {
+            walk_expr(expr, f)
+        }
+        Expr::Range { lo, hi, .. } => {
+            if let Some(e) = lo {
+                walk_expr(e, f);
+            }
+            if let Some(e) = hi {
+                walk_expr(e, f);
+            }
+        }
+        Expr::Return { expr, .. } | Expr::Break { expr, .. } => {
+            if let Some(e) = expr {
+                walk_expr(e, f);
+            }
+        }
+        Expr::Tuple { elems, .. } | Expr::Array { elems, .. } => {
+            for e in elems {
+                walk_expr(e, f);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stable rendering for golden snapshot tests.
+// ---------------------------------------------------------------------------
+
+impl SourceFile {
+    pub fn render(&self) -> String {
+        let mut out = String::from("file\n");
+        for a in &self.inner_attrs {
+            out.push_str(&format!("  inner-attr[{}] {}\n", a.line, a.text));
+        }
+        for item in &self.items {
+            render_item(item, 1, &mut out);
+        }
+        for e in &self.errors {
+            out.push_str(&format!("  error[{}] {}\n", e.line, e.msg));
+        }
+        out
+    }
+}
+
+fn pad(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render_item(item: &Item, depth: usize, out: &mut String) {
+    for a in &item.attrs {
+        pad(depth, out);
+        let gate = if a.testish { " (testish)" } else { "" };
+        out.push_str(&format!("attr[{}] {}{}\n", a.line, a.text, gate));
+    }
+    pad(depth, out);
+    match &item.kind {
+        ItemKind::Mod { name, items } => {
+            out.push_str(&format!("mod[{}] {}\n", item.line, name));
+            if let Some(items) = items {
+                for it in items {
+                    render_item(it, depth + 1, out);
+                }
+            }
+        }
+        ItemKind::Use { tree } => out.push_str(&format!("use[{}] {}\n", item.line, tree)),
+        ItemKind::Fn(f) => {
+            out.push_str(&format!(
+                "fn[{}] {}({})\n",
+                f.line,
+                f.name,
+                f.params.join(", ")
+            ));
+            if let Some(b) = &f.body {
+                render_block(b, depth + 1, out);
+            }
+        }
+        ItemKind::Impl {
+            ty,
+            trait_name,
+            items,
+        } => {
+            match trait_name {
+                Some(t) => out.push_str(&format!("impl[{}] {} for {}\n", item.line, t, ty)),
+                None => out.push_str(&format!("impl[{}] {}\n", item.line, ty)),
+            }
+            for it in items {
+                render_item(it, depth + 1, out);
+            }
+        }
+        ItemKind::Trait { name, items } => {
+            out.push_str(&format!("trait[{}] {}\n", item.line, name));
+            for it in items {
+                render_item(it, depth + 1, out);
+            }
+        }
+        ItemKind::Struct { name } => out.push_str(&format!("struct[{}] {}\n", item.line, name)),
+        ItemKind::Enum { name } => out.push_str(&format!("enum[{}] {}\n", item.line, name)),
+        ItemKind::Union { name } => out.push_str(&format!("union[{}] {}\n", item.line, name)),
+        ItemKind::Const { name, init } => {
+            out.push_str(&format!("const[{}] {}\n", item.line, name));
+            if let Some(e) = init {
+                render_expr(e, depth + 1, out);
+            }
+        }
+        ItemKind::Static { name, init } => {
+            out.push_str(&format!("static[{}] {}\n", item.line, name));
+            if let Some(e) = init {
+                render_expr(e, depth + 1, out);
+            }
+        }
+        ItemKind::TypeAlias { name } => out.push_str(&format!("type[{}] {}\n", item.line, name)),
+        ItemKind::MacroDef { name } => {
+            out.push_str(&format!("macro-def[{}] {}\n", item.line, name))
+        }
+        ItemKind::MacroCall { name } => {
+            out.push_str(&format!("macro-item[{}] {}!\n", item.line, name))
+        }
+        ItemKind::ExternBlock { items } => {
+            out.push_str(&format!("extern-block[{}]\n", item.line));
+            for it in items {
+                render_item(it, depth + 1, out);
+            }
+        }
+        ItemKind::ExternCrate { name } => {
+            out.push_str(&format!("extern-crate[{}] {}\n", item.line, name))
+        }
+    }
+}
+
+fn render_block(b: &Block, depth: usize, out: &mut String) {
+    pad(depth, out);
+    out.push_str(&format!("block[{}]\n", b.line));
+    for s in &b.stmts {
+        match s {
+            Stmt::Let {
+                line,
+                binds,
+                init,
+                else_block,
+            } => {
+                pad(depth + 1, out);
+                out.push_str(&format!("let[{}] {}\n", line, binds.join(", ")));
+                if let Some(e) = init {
+                    render_expr(e, depth + 2, out);
+                }
+                if let Some(b) = else_block {
+                    pad(depth + 2, out);
+                    out.push_str("else\n");
+                    render_block(b, depth + 2, out);
+                }
+            }
+            Stmt::Expr { expr, semi } => {
+                pad(depth + 1, out);
+                out.push_str(if *semi { "semi\n" } else { "tail\n" });
+                render_expr(expr, depth + 2, out);
+            }
+            Stmt::Item(it) => render_item(it, depth + 1, out),
+        }
+    }
+}
+
+fn render_expr(e: &Expr, depth: usize, out: &mut String) {
+    pad(depth, out);
+    match e {
+        Expr::Path { line, segs } => out.push_str(&format!("path[{}] {}\n", line, segs.join("::"))),
+        Expr::Lit { line, kind } => match kind {
+            LitKind::Str(s) => out.push_str(&format!("str[{}] {:?}\n", line, s)),
+            LitKind::Num(n) => out.push_str(&format!("num[{}] {}\n", line, n)),
+        },
+        Expr::Call { line, callee, args } => {
+            out.push_str(&format!("call[{}]\n", line));
+            render_expr(callee, depth + 1, out);
+            for a in args {
+                render_expr(a, depth + 1, out);
+            }
+        }
+        Expr::MethodCall {
+            line,
+            recv,
+            method,
+            args,
+        } => {
+            out.push_str(&format!("method[{}] .{}\n", line, method));
+            render_expr(recv, depth + 1, out);
+            for a in args {
+                render_expr(a, depth + 1, out);
+            }
+        }
+        Expr::Field { line, base, name } => {
+            out.push_str(&format!("field[{}] .{}\n", line, name));
+            render_expr(base, depth + 1, out);
+        }
+        Expr::Index { line, base, index } => {
+            out.push_str(&format!("index[{}]\n", line));
+            render_expr(base, depth + 1, out);
+            render_expr(index, depth + 1, out);
+        }
+        Expr::MacroCall { line, name } => out.push_str(&format!("macro[{}] {}!\n", line, name)),
+        Expr::StructLit {
+            line,
+            path,
+            fields,
+            rest,
+        } => {
+            out.push_str(&format!("struct-lit[{}] {}\n", line, path.join("::")));
+            for (name, val) in fields {
+                pad(depth + 1, out);
+                out.push_str(&format!("field-init {}\n", name));
+                render_expr(val, depth + 2, out);
+            }
+            if let Some(r) = rest {
+                pad(depth + 1, out);
+                out.push_str("rest\n");
+                render_expr(r, depth + 2, out);
+            }
+        }
+        Expr::Closure { line, params, body } => {
+            out.push_str(&format!("closure[{}] |{}|\n", line, params.join(", ")));
+            render_expr(body, depth + 1, out);
+        }
+        Expr::Block(b) => {
+            out.push_str("block-expr\n");
+            render_block(b, depth + 1, out);
+        }
+        Expr::If {
+            line,
+            binds,
+            cond,
+            then,
+            els,
+        } => {
+            if binds.is_empty() {
+                out.push_str(&format!("if[{}]\n", line));
+            } else {
+                out.push_str(&format!("if-let[{}] {}\n", line, binds.join(", ")));
+            }
+            render_expr(cond, depth + 1, out);
+            render_block(then, depth + 1, out);
+            if let Some(e) = els {
+                pad(depth + 1, out);
+                out.push_str("else\n");
+                render_expr(e, depth + 2, out);
+            }
+        }
+        Expr::Match {
+            line,
+            scrutinee,
+            arms,
+        } => {
+            out.push_str(&format!("match[{}]\n", line));
+            render_expr(scrutinee, depth + 1, out);
+            for arm in arms {
+                pad(depth + 1, out);
+                out.push_str(&format!("arm[{}] {}\n", arm.line, arm.binds.join(", ")));
+                if let Some(g) = &arm.guard {
+                    pad(depth + 2, out);
+                    out.push_str("guard\n");
+                    render_expr(g, depth + 3, out);
+                }
+                render_expr(&arm.body, depth + 2, out);
+            }
+        }
+        Expr::While {
+            line,
+            binds,
+            cond,
+            body,
+        } => {
+            if binds.is_empty() {
+                out.push_str(&format!("while[{}]\n", line));
+            } else {
+                out.push_str(&format!("while-let[{}] {}\n", line, binds.join(", ")));
+            }
+            render_expr(cond, depth + 1, out);
+            render_block(body, depth + 1, out);
+        }
+        Expr::Loop { line, body } => {
+            out.push_str(&format!("loop[{}]\n", line));
+            render_block(body, depth + 1, out);
+        }
+        Expr::For {
+            line,
+            binds,
+            iter,
+            body,
+        } => {
+            out.push_str(&format!("for[{}] {}\n", line, binds.join(", ")));
+            render_expr(iter, depth + 1, out);
+            render_block(body, depth + 1, out);
+        }
+        Expr::Binary { line, op, lhs, rhs } => {
+            out.push_str(&format!("binary[{}] {}\n", line, op));
+            render_expr(lhs, depth + 1, out);
+            render_expr(rhs, depth + 1, out);
+        }
+        Expr::Unary { line, op, expr } => {
+            out.push_str(&format!("unary[{}] {}\n", line, op));
+            render_expr(expr, depth + 1, out);
+        }
+        Expr::Assign { line, op, lhs, rhs } => {
+            out.push_str(&format!("assign[{}] {}\n", line, op));
+            render_expr(lhs, depth + 1, out);
+            render_expr(rhs, depth + 1, out);
+        }
+        Expr::Range { line, lo, hi } => {
+            out.push_str(&format!("range[{}]\n", line));
+            if let Some(e) = lo {
+                render_expr(e, depth + 1, out);
+            }
+            if let Some(e) = hi {
+                render_expr(e, depth + 1, out);
+            }
+        }
+        Expr::Try { line, expr } => {
+            out.push_str(&format!("try[{}]\n", line));
+            render_expr(expr, depth + 1, out);
+        }
+        Expr::Cast { line, expr } => {
+            out.push_str(&format!("cast[{}]\n", line));
+            render_expr(expr, depth + 1, out);
+        }
+        Expr::Return { line, expr } => {
+            out.push_str(&format!("return[{}]\n", line));
+            if let Some(e) = expr {
+                render_expr(e, depth + 1, out);
+            }
+        }
+        Expr::Break { line, expr } => {
+            out.push_str(&format!("break[{}]\n", line));
+            if let Some(e) = expr {
+                render_expr(e, depth + 1, out);
+            }
+        }
+        Expr::Continue { line } => out.push_str(&format!("continue[{}]\n", line)),
+        Expr::Tuple { line, elems } => {
+            out.push_str(&format!("tuple[{}]\n", line));
+            for e in elems {
+                render_expr(e, depth + 1, out);
+            }
+        }
+        Expr::Array { line, elems } => {
+            out.push_str(&format!("array[{}]\n", line));
+            for e in elems {
+                render_expr(e, depth + 1, out);
+            }
+        }
+        Expr::Unknown { line } => out.push_str(&format!("unknown[{}]\n", line)),
+    }
+}

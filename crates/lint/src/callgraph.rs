@@ -1,0 +1,545 @@
+//! Approximate workspace call graph plus the per-function facts the
+//! interprocedural rules consume.
+//!
+//! Resolution is name-based (no type inference — see DESIGN.md §6e):
+//!
+//! - a path call `Ty::f(..)` (or `Self::f(..)`) resolves to the workspace
+//!   functions with that exact qualified name;
+//! - a module-path or bare call `m::f(..)` / `f(..)` resolves to free
+//!   functions named `f`;
+//! - a method call `recv.f(..)` resolves to every workspace method named `f`
+//!   — narrowed to the caller's own impl when the receiver is `self` and the
+//!   impl defines `f`, and dropped entirely for [`STD_COMMON`] names (which
+//!   would otherwise wire every `.len()` to every container in the repo).
+//!
+//! Over-approximation (spurious edges from name collisions) makes the
+//! panic-path and lock-order rules conservative; the `STD_COMMON` cutoff is
+//! the one deliberate under-approximation, and it only hides panics inside
+//! workspace functions that shadow ubiquitous std names.
+
+use crate::ast::{walk_block, Expr};
+use crate::resolve::{FnDecl, Workspace};
+
+/// Method names so ubiquitous in std that name-matching them would wire the
+/// whole workspace together. Method calls with these names resolve to
+/// nothing unless the receiver is `self` and the caller's impl defines them.
+pub const STD_COMMON: &[&str] = &[
+    "as_bytes",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "borrow",
+    "borrow_mut",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "default",
+    "drain",
+    "ends_with",
+    "entry",
+    "enumerate",
+    "eq",
+    "extend",
+    "filter",
+    "filter_map",
+    "find",
+    "flat_map",
+    "flatten",
+    "fmt",
+    "fold",
+    "for_each",
+    "from",
+    "get",
+    "get_mut",
+    "hash",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "is_none",
+    "is_some",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "map",
+    "max",
+    "min",
+    "next",
+    "parse",
+    "partial_cmp",
+    "pop",
+    "position",
+    "push",
+    "push_str",
+    "remove",
+    "rev",
+    "skip",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "split",
+    "starts_with",
+    "sum",
+    "take",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "trim",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "windows",
+    "zip",
+];
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PanicKind {
+    Unwrap,
+    Expect,
+    PanicMacro,
+    Index,
+}
+
+impl PanicKind {
+    pub fn describe(self) -> &'static str {
+        match self {
+            PanicKind::Unwrap => "`.unwrap()`",
+            PanicKind::Expect => "`.expect(..)`",
+            PanicKind::PanicMacro => "an explicit panic macro",
+            PanicKind::Index => "a bounds-checked index (`[..]`)",
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct PanicSite {
+    pub line: u32,
+    pub kind: PanicKind,
+}
+
+/// One ordered event in a function body: a lock acquisition or a call (with
+/// its resolved callees). Pre-order walk order approximates execution order.
+#[derive(Clone, Debug)]
+pub enum Event {
+    Acquire { line: u32, lock: String },
+    Call { line: u32, callees: Vec<usize> },
+}
+
+/// Per-function facts plus the resolved out-edges.
+#[derive(Clone, Debug, Default)]
+pub struct FnFacts {
+    /// `(line, callee_id, label)` for every resolved call; `label` is the
+    /// rendered call text (`Machine.step(..)`) for witness chains.
+    pub calls: Vec<(u32, usize, String)>,
+    /// Ordered acquire/call events for the global lock-order rule.
+    pub events: Vec<Event>,
+    pub panics: Vec<PanicSite>,
+}
+
+#[derive(Clone, Debug, Default)]
+pub struct CallGraph {
+    /// Indexed by `FnDecl::id`.
+    pub facts: Vec<FnFacts>,
+}
+
+/// Panic macros: diverging by design. Assertions are deliberately excluded —
+/// they are the codebase's safety net, not an accident to lint away.
+fn is_panic_macro(name: &str) -> bool {
+    matches!(name, "panic" | "unreachable" | "todo" | "unimplemented")
+}
+
+/// Render the receiver chain of a lock acquisition as a stable lock name:
+/// `self.inner.lock()` in `impl Machine` → `Machine.inner`;
+/// `shared.slots[i].lock()` → `shared.slots[_]`.
+pub fn lock_name(recv: &Expr, impl_ty: Option<&str>) -> String {
+    fn go(e: &Expr, impl_ty: Option<&str>, out: &mut String) {
+        match e {
+            Expr::Path { segs, .. } => {
+                let joined = segs.join("::");
+                if joined == "self" {
+                    out.push_str(impl_ty.unwrap_or("self"));
+                } else {
+                    out.push_str(&joined);
+                }
+            }
+            Expr::Field { base, name, .. } => {
+                go(base, impl_ty, out);
+                out.push('.');
+                out.push_str(name);
+            }
+            Expr::Index { base, .. } => {
+                go(base, impl_ty, out);
+                out.push_str("[_]");
+            }
+            Expr::MethodCall { recv, method, .. } => {
+                go(recv, impl_ty, out);
+                out.push('.');
+                out.push_str(method);
+                out.push_str("()");
+            }
+            Expr::Call { callee, .. } => {
+                go(callee, impl_ty, out);
+                out.push_str("()");
+            }
+            Expr::Unary { expr, .. } | Expr::Try { expr, .. } | Expr::Cast { expr, .. } => {
+                go(expr, impl_ty, out)
+            }
+            _ => out.push('?'),
+        }
+    }
+    let mut s = String::new();
+    go(recv, impl_ty, &mut s);
+    s
+}
+
+/// Leftmost root of a receiver chain (`self.pool.lock()` → `self`).
+pub fn recv_root(e: &Expr) -> Option<&str> {
+    match e {
+        Expr::Path { segs, .. } => segs.first().map(String::as_str),
+        Expr::Field { base, .. }
+        | Expr::Index { base, .. }
+        | Expr::MethodCall { recv: base, .. } => recv_root(base),
+        Expr::Call { callee, .. } => recv_root(callee),
+        Expr::Unary { expr, .. } | Expr::Try { expr, .. } | Expr::Cast { expr, .. } => {
+            recv_root(expr)
+        }
+        _ => None,
+    }
+}
+
+/// Resolve a path call `segs(..)` made from a function in `impl_ty`.
+pub fn resolve_path_call(ws: &Workspace, impl_ty: Option<&str>, segs: &[String]) -> Vec<usize> {
+    let Some(last) = segs.last() else {
+        return Vec::new();
+    };
+    if segs.len() >= 2 {
+        let prev = &segs[segs.len() - 2];
+        let ty = if prev == "Self" {
+            impl_ty.map(str::to_string)
+        } else if prev.starts_with(|c: char| c.is_ascii_uppercase()) {
+            Some(prev.clone())
+        } else {
+            None
+        };
+        if let Some(ty) = ty {
+            return ws.qualified(&format!("{}::{}", ty, last)).to_vec();
+        }
+    }
+    // Bare or module-qualified call: free functions only.
+    ws.named(last)
+        .iter()
+        .copied()
+        .filter(|&id| ws.fns[id].impl_ty.is_none())
+        .collect()
+}
+
+/// Resolve a method call `recv.name(..)` made from a function in `impl_ty`.
+pub fn resolve_method_call(
+    ws: &Workspace,
+    impl_ty: Option<&str>,
+    recv_is_self: bool,
+    name: &str,
+) -> Vec<usize> {
+    if recv_is_self {
+        if let Some(ty) = impl_ty {
+            let own = ws.qualified(&format!("{}::{}", ty, name));
+            if !own.is_empty() {
+                return own.to_vec();
+            }
+        }
+    }
+    if STD_COMMON.contains(&name) {
+        return Vec::new();
+    }
+    ws.named(name)
+        .iter()
+        .copied()
+        .filter(|&id| ws.fns[id].has_self())
+        .collect()
+}
+
+impl CallGraph {
+    pub fn build(ws: &Workspace) -> CallGraph {
+        let mut facts = Vec::with_capacity(ws.fns.len());
+        for f in &ws.fns {
+            facts.push(gather(ws, f));
+        }
+        CallGraph { facts }
+    }
+
+    /// BFS over call edges from `entries`, skipping test-only functions.
+    /// Returns, for each function, `Some((parent, call_line))` on the
+    /// shortest path from an entry (entries point to themselves).
+    pub fn reach(&self, ws: &Workspace, entries: &[usize]) -> Vec<Option<(usize, u32)>> {
+        let mut parent: Vec<Option<(usize, u32)>> = vec![None; ws.fns.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for &e in entries {
+            if parent[e].is_none() {
+                parent[e] = Some((e, ws.fns[e].line));
+                queue.push_back(e);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for (line, v, _) in &self.facts[u].calls {
+                if parent[*v].is_none() && !ws.fns[*v].test_only {
+                    parent[*v] = Some((u, *line));
+                    queue.push_back(*v);
+                }
+            }
+        }
+        parent
+    }
+
+    /// Reconstruct the entry → `target` chain of qualified names.
+    pub fn chain(
+        &self,
+        ws: &Workspace,
+        parent: &[Option<(usize, u32)>],
+        target: usize,
+    ) -> Vec<String> {
+        let mut names = Vec::new();
+        let mut cur = target;
+        let mut hops = 0;
+        while let Some((p, _)) = parent[cur] {
+            names.push(ws.fns[cur].qual_name());
+            if p == cur || hops > 64 {
+                break;
+            }
+            cur = p;
+            hops += 1;
+        }
+        names.reverse();
+        names
+    }
+
+    /// Locks acquired by each function or anything it (transitively) calls.
+    pub fn locks_closure(&self, ws: &Workspace) -> Vec<Vec<String>> {
+        let n = ws.fns.len();
+        let mut locks: Vec<Vec<String>> = vec![Vec::new(); n];
+        for (id, fx) in self.facts.iter().enumerate() {
+            for ev in &fx.events {
+                if let Event::Acquire { lock, .. } = ev {
+                    if !locks[id].contains(lock) {
+                        locks[id].push(lock.clone());
+                    }
+                }
+            }
+        }
+        // Bounded fixpoint: propagate callee locks up to callers.
+        for _ in 0..n.max(8) {
+            let mut changed = false;
+            for (id, fx) in self.facts.iter().enumerate() {
+                for (_, callee, _) in &fx.calls {
+                    let add: Vec<String> = locks[*callee]
+                        .iter()
+                        .filter(|l| !locks[id].contains(*l))
+                        .cloned()
+                        .collect();
+                    if !add.is_empty() {
+                        locks[id].extend(add);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        locks
+    }
+}
+
+fn gather(ws: &Workspace, f: &FnDecl) -> FnFacts {
+    let mut fx = FnFacts::default();
+    let Some(body) = &f.body else {
+        return fx;
+    };
+    let impl_ty = f.impl_ty.as_deref();
+    walk_block(body, &mut |e| match e {
+        Expr::Call { line, callee, .. } => {
+            if let Expr::Path { segs, .. } = callee.as_ref() {
+                let callees = resolve_path_call(ws, impl_ty, segs);
+                if !callees.is_empty() {
+                    let label = format!("{}(..)", segs.join("::"));
+                    for &c in &callees {
+                        fx.calls.push((*line, c, label.clone()));
+                    }
+                    fx.events.push(Event::Call {
+                        line: *line,
+                        callees,
+                    });
+                }
+            }
+        }
+        Expr::MethodCall {
+            line,
+            recv,
+            method,
+            args,
+            ..
+        } => {
+            if method == "lock" && args.is_empty() {
+                fx.events.push(Event::Acquire {
+                    line: *line,
+                    lock: lock_name(recv, impl_ty),
+                });
+            } else {
+                match method.as_str() {
+                    "unwrap" => fx.panics.push(PanicSite {
+                        line: *line,
+                        kind: PanicKind::Unwrap,
+                    }),
+                    "expect" => fx.panics.push(PanicSite {
+                        line: *line,
+                        kind: PanicKind::Expect,
+                    }),
+                    _ => {}
+                }
+                let is_self = recv_root(recv) == Some("self");
+                let callees = resolve_method_call(ws, impl_ty, is_self, method);
+                if !callees.is_empty() {
+                    let label = format!("{}.{}(..)", lock_name(recv, impl_ty), method);
+                    for &c in &callees {
+                        fx.calls.push((*line, c, label.clone()));
+                    }
+                    fx.events.push(Event::Call {
+                        line: *line,
+                        callees,
+                    });
+                }
+            }
+        }
+        Expr::MacroCall { line, name, .. } if is_panic_macro(name) => {
+            fx.panics.push(PanicSite {
+                line: *line,
+                kind: PanicKind::PanicMacro,
+            });
+        }
+        Expr::Index { line, .. } => {
+            fx.panics.push(PanicSite {
+                line: *line,
+                kind: PanicKind::Index,
+            });
+        }
+        _ => {}
+    });
+    fx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse;
+
+    fn build(src: &str) -> (Workspace, CallGraph) {
+        let ast = parse(&lex(src).tokens);
+        let ws = Workspace::build(&[("crates/x/src/lib.rs".to_string(), ast)]);
+        let cg = CallGraph::build(&ws);
+        (ws, cg)
+    }
+
+    fn id(ws: &Workspace, name: &str) -> usize {
+        ws.named(name)[0]
+    }
+
+    #[test]
+    fn free_and_qualified_calls_resolve() {
+        let (ws, cg) =
+            build("fn a() { b(); C::go(); }\nfn b() {}\nstruct C;\nimpl C { fn go() {} }");
+        let a = id(&ws, "a");
+        let targets: Vec<usize> = cg.facts[a].calls.iter().map(|c| c.1).collect();
+        assert_eq!(targets, vec![id(&ws, "b"), id(&ws, "go")]);
+    }
+
+    #[test]
+    fn self_method_calls_prefer_own_impl() {
+        let (ws, cg) = build(
+            "struct A; struct B;\nimpl A { fn f(&self) { self.g() } fn g(&self) {} }\nimpl B { fn g(&self) {} }",
+        );
+        let f = id(&ws, "f");
+        assert_eq!(cg.facts[f].calls.len(), 1);
+        assert_eq!(ws.fns[cg.facts[f].calls[0].1].qual_name(), "A::g");
+    }
+
+    #[test]
+    fn std_common_methods_do_not_resolve_cross_type() {
+        let (ws, cg) = build(
+            "struct A;\nimpl A { fn f(&self, v: Vec<u32>) { v.len(); v.step(); } }\nstruct B;\nimpl B { fn len(&self) {} fn step(&self) {} }",
+        );
+        let f = id(&ws, "f");
+        let names: Vec<String> = cg.facts[f]
+            .calls
+            .iter()
+            .map(|c| ws.fns[c.1].qual_name())
+            .collect();
+        assert_eq!(names, vec!["B::step"]); // len blocked, step wired
+    }
+
+    #[test]
+    fn panic_sites_are_collected_with_kinds() {
+        let (ws, cg) = build(
+            "fn f(v: Vec<u32>, i: usize) -> u32 { let x = v.first().unwrap(); if i > 9 { panic!(\"no\") } v[i] + x }",
+        );
+        let f = id(&ws, "f");
+        let kinds: Vec<PanicKind> = cg.facts[f].panics.iter().map(|p| p.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![PanicKind::Unwrap, PanicKind::PanicMacro, PanicKind::Index]
+        );
+    }
+
+    #[test]
+    fn reach_skips_test_only_fns_and_builds_chains() {
+        let (ws, cg) = build(
+            "fn entry() { mid() }\nfn mid() { deep() }\nfn deep() {}\n#[cfg(test)]\nmod t { pub fn probe() {} }",
+        );
+        let entry = id(&ws, "entry");
+        let parent = cg.reach(&ws, &[entry]);
+        let deep = id(&ws, "deep");
+        let probe = id(&ws, "probe");
+        assert!(parent[deep].is_some());
+        assert!(parent[probe].is_none());
+        assert_eq!(
+            cg.chain(&ws, &parent, deep),
+            vec!["entry".to_string(), "mid".to_string(), "deep".to_string()]
+        );
+    }
+
+    #[test]
+    fn lock_events_use_impl_qualified_names() {
+        let (ws, cg) = build(
+            "struct M { inner: Mutex<u32> }\nimpl M { fn f(&self) { let g = self.inner.lock().unwrap(); drop(g); } }",
+        );
+        let f = id(&ws, "f");
+        let locks: Vec<&str> = cg.facts[f]
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Acquire { lock, .. } => Some(lock.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(locks, vec!["M.inner"]);
+    }
+
+    #[test]
+    fn locks_closure_propagates_through_calls() {
+        let (ws, cg) = build(
+            "struct M { a: Mutex<u32> }\nimpl M { fn outer(&self) { self.helper() } fn helper(&self) { let _g = self.a.lock().unwrap(); } }",
+        );
+        let locks = cg.locks_closure(&ws);
+        assert_eq!(locks[id(&ws, "outer")], vec!["M.a".to_string()]);
+    }
+}

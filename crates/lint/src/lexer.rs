@@ -17,22 +17,28 @@
 //! - lifetimes (`'a`) are distinguished from char literals (`'a'`) so a
 //!   generic parameter never desynchronizes the scanner.
 
-/// One lexed token. Numbers and lifetimes are scanned but not emitted — no
-/// lint rule needs them, and dropping them keeps pattern matching simple.
+/// One lexed token. Lifetimes are scanned but not emitted — no consumer
+/// needs them, and dropping them keeps pattern matching simple.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Tok {
     /// Identifier or keyword (`fn`, `HashMap`, `unwrap`, ...).
     Ident(String),
     /// String literal contents (cooked, raw, or byte), escapes untouched.
     Str(String),
+    /// Numeric literal, raw text including suffix (`42`, `1.5e3`, `0xFFu64`).
+    Num(String),
     /// Single punctuation character (`.`, `<`, `#`, `(`, ...).
     Sym(char),
 }
 
-/// A token plus the 1-based source line it starts on.
+/// A token plus the 1-based source line and 0-based byte column it starts on.
+/// The column lets the parser distinguish glued multi-character operators
+/// (`::`, `->`, `..`) from spaced single symbols (`: :`), since the lexer
+/// deliberately emits punctuation one character at a time.
 #[derive(Clone, Debug)]
 pub struct Token {
     pub line: u32,
+    pub col: u32,
     pub tok: Tok,
 }
 
@@ -60,8 +66,17 @@ pub fn lex(src: &str) -> Lexed {
     let b = src.as_bytes();
     let mut i = 0usize;
     let mut line = 1u32;
+    let mut line_start = 0usize;
     let mut tokens = Vec::new();
     let mut allows = Vec::new();
+    // Recompute the current line's start after a construct that may have
+    // swallowed newlines (multiline strings, block comments).
+    let start_of_line = |j: usize| -> usize {
+        b[..j]
+            .iter()
+            .rposition(|&c| c == b'\n')
+            .map_or(0, |p| p + 1)
+    };
     // A shebang (`#!` on the very first line, not followed by `[`) is legal
     // in a Rust source file and is not Rust syntax: skip the whole line so
     // its text never becomes tokens. `#![...]` is an inner attribute and
@@ -73,9 +88,11 @@ pub fn lex(src: &str) -> Lexed {
     }
     while i < b.len() {
         let c = b[i];
+        let col = (i - line_start) as u32;
         if c == b'\n' {
             line += 1;
             i += 1;
+            line_start = i;
         } else if c.is_ascii_whitespace() {
             i += 1;
         } else if c == b'/' && b.get(i + 1) == Some(&b'/') {
@@ -109,42 +126,59 @@ pub fn lex(src: &str) -> Lexed {
                 }
             }
             i = j;
+            line_start = start_of_line(i.min(b.len()));
         } else if c == b'"' {
             let start_line = line;
             let (text, j, newlines) = scan_cooked_string(src, i + 1);
             tokens.push(Token {
                 line: start_line,
+                col,
                 tok: Tok::Str(text),
             });
             line += newlines;
             i = j;
+            if newlines > 0 {
+                line_start = start_of_line(i.min(b.len()));
+            }
         } else if c == b'r' || c == b'b' {
             if let Some((tok, j, newlines)) = scan_prefixed_literal(src, i) {
-                tokens.push(Token { line, tok });
+                tokens.push(Token { line, col, tok });
                 line += newlines;
                 i = j;
+                if newlines > 0 {
+                    line_start = start_of_line(i.min(b.len()));
+                }
             } else {
                 let (id, j) = scan_ident(src, i);
                 tokens.push(Token {
                     line,
+                    col,
                     tok: Tok::Ident(id),
                 });
                 i = j;
             }
         } else if c == b'\'' {
-            i = scan_quote(src, i, line, &mut tokens);
+            i = scan_quote(src, i, line, col, &mut tokens);
         } else if c == b'_' || c.is_ascii_alphabetic() {
             let (id, j) = scan_ident(src, i);
             tokens.push(Token {
                 line,
+                col,
                 tok: Tok::Ident(id),
             });
             i = j;
         } else if c.is_ascii_digit() {
-            i = scan_number(b, i);
+            let j = scan_number(b, i);
+            tokens.push(Token {
+                line,
+                col,
+                tok: Tok::Num(src[i..j].to_string()),
+            });
+            i = j;
         } else {
             tokens.push(Token {
                 line,
+                col,
                 tok: Tok::Sym(c as char),
             });
             i += 1;
@@ -274,16 +308,23 @@ fn scan_prefixed_literal(src: &str, i: usize) -> Option<(Tok, usize, u32)> {
     }
 }
 
-/// At a `'`: decide char literal vs lifetime. Char literals are skipped
-/// (emitting nothing — no rule inspects them); lifetimes skip the tick and
-/// let the following identifier lex normally (it is harmless in the stream).
-fn scan_quote(src: &str, i: usize, _line: u32, _tokens: &mut [Token]) -> usize {
+/// At a `'`: decide char literal vs lifetime. Char literals lex as a `Str`
+/// token (so the parser sees a literal in expression position — `('(', ')')`
+/// must not leave holes in the stream); lifetimes skip the tick and let the
+/// following identifier lex normally (it is harmless in the stream).
+fn scan_quote(src: &str, i: usize, line: u32, col: u32, tokens: &mut Vec<Token>) -> usize {
     let b = src.as_bytes();
-    match b.get(i + 1) {
+    let end = match b.get(i + 1) {
         Some(&b'\\') => skip_char_literal(b, i + 1),
         Some(c) if b.get(i + 2) == Some(&b'\'') && *c != b'\'' => i + 3,
-        _ => i + 1, // lifetime tick (or stray quote): skip just the tick
-    }
+        _ => return i + 1, // lifetime tick (or stray quote): skip just the tick
+    };
+    tokens.push(Token {
+        line,
+        col,
+        tok: Tok::Str(src[i + 1..end.saturating_sub(1).max(i + 1)].to_string()),
+    });
+    end
 }
 
 /// Skip past a char-literal body starting at `start` (just past the opening
@@ -309,7 +350,7 @@ fn scan_ident(src: &str, i: usize) -> (String, usize) {
     (src[i..j].to_string(), j)
 }
 
-/// Skip a numeric literal. Consumes digits/underscores/suffix letters, plus
+/// Scan a numeric literal. Consumes digits/underscores/suffix letters, plus
 /// one fractional part when the dot is followed by a digit — so `0..n` and
 /// `self.0.unwrap()` leave their dots (and the tokens after them) intact.
 fn scan_number(b: &[u8], i: usize) -> usize {
@@ -373,6 +414,43 @@ mod tests {
                 .any(|t| matches!(&t.tok, Tok::Ident(s) if s == name))
         };
         assert!(has("unwrap"));
+        let nums: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Num(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, ["0", "0", "10", "1.5e3"]);
+    }
+
+    #[test]
+    fn columns_expose_operator_adjacency() {
+        let lexed = lex("a::b . c\nx->y");
+        let toks: Vec<(u32, u32, &Tok)> = lexed
+            .tokens
+            .iter()
+            .map(|t| (t.line, t.col, &t.tok))
+            .collect();
+        // `::` is glued (cols 1 and 2); the spaced `.` is not adjacent to
+        // either neighbor; `->` on line 2 is glued at cols 1 and 2.
+        assert_eq!(toks[1], (1, 1, &Tok::Sym(':')));
+        assert_eq!(toks[2], (1, 2, &Tok::Sym(':')));
+        assert_eq!(toks[4], (1, 5, &Tok::Sym('.')));
+        assert_eq!(toks[7], (2, 1, &Tok::Sym('-')));
+        assert_eq!(toks[8], (2, 2, &Tok::Sym('>')));
+    }
+
+    #[test]
+    fn columns_recover_after_multiline_strings_and_comments() {
+        let lexed = lex("let s = \"a\nb\";\n  /* x\ny */ t");
+        let t = lexed
+            .tokens
+            .iter()
+            .find(|t| matches!(&t.tok, Tok::Ident(s) if s == "t"))
+            .expect("t token");
+        assert_eq!((t.line, t.col), (4, 5));
     }
 
     #[test]
@@ -426,7 +504,8 @@ mod tests {
             lexed.tokens.first(),
             Some(Token {
                 tok: Tok::Sym('#'),
-                line: 1
+                line: 1,
+                ..
             })
         ));
         assert!(idents("#![allow(dead_code)]").contains(&"allow".to_string()));

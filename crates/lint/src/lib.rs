@@ -3,14 +3,20 @@
 //! Two passes, surfaced as the `ccsim lint` and `ccsim analyze`
 //! subcommands:
 //!
-//! - [`source`] (pass 1) lints the workspace's Rust sources with a
-//!   hand-rolled token scanner ([`lexer`]) for determinism and
-//!   race-hazard laws: no `RandomState`-hashed maps or sets outside tests,
-//!   no wall-clock reads in simulator crates, no `unwrap`/`expect` on the
-//!   protocol paths of `crates/core` and `crates/engine`, and
-//!   `testing`-feature hygiene for corruption hooks. Violations are
-//!   suppressible only via justified `// ccsim-lint: allow(<rule>): <why>`
-//!   comments.
+//! - [`source`] (pass 1) lints the workspace's Rust sources for
+//!   determinism and race-hazard laws. It is a three-layer semantic
+//!   analyzer: a hand-rolled token scanner ([`lexer`]), a lossy
+//!   recursive-descent parser ([`parse`] → [`ast`]) that recovers item
+//!   structure and full expression trees, and a workspace pass
+//!   ([`resolve`] → [`callgraph`] → [`taint`]) that builds a symbol table
+//!   and approximate call graph to run interprocedural rules: global
+//!   lock-order cycle detection, nondeterminism taint tracking from
+//!   sources (wall clock, `RandomState`, unvetted env reads) into
+//!   determinism sinks (canonical JSON, cache keys, event logs), and
+//!   panic-path reachability from the replay-commit and
+//!   directory-mutation entry points. Violations are suppressible only
+//!   via justified `// ccsim-lint: allow(<rule>): <why>` comments.
+//!   [`sarif`] renders diagnostics as SARIF 2.1.0 for code-scanning UIs.
 //! - [`analysis`] (pass 2) statically classifies a captured access trace
 //!   per the paper's sharing-pattern taxonomy and replays its coherence
 //!   consequences without timing, yielding counters that exactly match the
@@ -18,8 +24,14 @@
 //!   as [`ccsim_stats::AnalysisSummary`].
 
 pub mod analysis;
+pub mod ast;
+pub mod callgraph;
 pub mod lexer;
+pub mod parse;
+pub mod resolve;
+pub mod sarif;
 pub mod source;
+pub mod taint;
 
 pub use analysis::analyze;
-pub use source::{explain, lint_file, lint_workspace, Diagnostic, LintConfig, RULES};
+pub use source::{explain, lint_file, lint_sources, lint_workspace, Diagnostic, LintConfig, RULES};

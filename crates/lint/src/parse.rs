@@ -1,0 +1,1920 @@
+//! Pass 0.5: a zero-dependency recursive-descent parser over the lexer's
+//! token stream, producing the lossy AST in [`crate::ast`].
+//!
+//! Design constraints, in order:
+//! 1. **Never fabricate structure.** Anything the parser is unsure about
+//!    becomes `Unknown` or an opaque `MacroCall` — the semantic rules treat
+//!    both conservatively.
+//! 2. **Zero errors on the workspace.** The parser self-check test pins
+//!    `errors.is_empty()` for every `.rs` file in this repository, so parse
+//!    errors are a recovery path for fixtures and foreign code only.
+//! 3. **Lossy where it is safe to be.** Types, generics, and lifetimes are
+//!    skipped (with `<>` balancing guarded against `->`); patterns are
+//!    reduced to their bound names; macro bodies are skipped entirely.
+//!
+//! Multi-character operators do not exist in the token stream (the lexer
+//! emits punctuation one `Sym` at a time); the parser reconstructs them from
+//! byte-column adjacency (`::` is two glued `:` tokens), which is also how
+//! `a = = b` (never valid) and `a == b` stay distinguishable.
+
+use crate::ast::*;
+use crate::lexer::{Tok, Token};
+
+/// Parse one file's token stream.
+pub fn parse(toks: &[Token]) -> SourceFile {
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        errors: Vec::new(),
+    };
+    let mut file = SourceFile::default();
+    while !p.eof() {
+        if p.at_sym('#') && p.nth_is_sym(1, '!') {
+            if let Some(a) = p.parse_one_attr() {
+                file.inner_attrs.push(a);
+            }
+            continue;
+        }
+        let before = p.pos;
+        match p.parse_item() {
+            Some(item) => file.items.push(item),
+            None => {
+                if p.pos == before {
+                    p.bump(); // ensure progress past an unrecognized token
+                }
+            }
+        }
+    }
+    file.errors = p.errors;
+    file
+}
+
+/// All multi-character operators the parser reconstructs from adjacency,
+/// longest first so munching prefers `..=` over `..`.
+const OPS3: &[&str] = &["<<=", ">>=", "..="];
+const OPS2: &[&str] = &[
+    "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=", "-=", "*=", "/=", "%=",
+    "^=", "&=", "|=", "..",
+];
+
+/// Binary operator precedence (higher binds tighter). `=`/compound-assign
+/// and `..` ranges are handled at their own levels, not here.
+fn bin_prec(op: &str) -> Option<u8> {
+    Some(match op {
+        "||" => 1,
+        "&&" => 2,
+        "==" | "!=" | "<" | ">" | "<=" | ">=" => 3,
+        "|" => 4,
+        "^" => 5,
+        "&" => 6,
+        "<<" | ">>" => 7,
+        "+" | "-" => 8,
+        "*" | "/" | "%" => 9,
+        _ => return None,
+    })
+}
+
+fn is_assign_op(op: &str) -> bool {
+    matches!(
+        op,
+        "=" | "+=" | "-=" | "*=" | "/=" | "%=" | "^=" | "&=" | "|=" | "<<=" | ">>="
+    )
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+    errors: Vec<ParseError>,
+}
+
+impl<'a> Parser<'a> {
+    // -- token primitives ---------------------------------------------------
+
+    fn eof(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn cur(&self) -> Option<&'a Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn nth(&self, n: usize) -> Option<&'a Token> {
+        self.toks.get(self.pos + n)
+    }
+
+    fn line(&self) -> u32 {
+        self.cur()
+            .map_or(self.toks.last().map_or(1, |t| t.line), |t| t.line)
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    fn at_sym(&self, c: char) -> bool {
+        matches!(self.cur(), Some(Token { tok: Tok::Sym(s), .. }) if *s == c)
+    }
+
+    fn nth_is_sym(&self, n: usize, c: char) -> bool {
+        matches!(self.nth(n), Some(Token { tok: Tok::Sym(s), .. }) if *s == c)
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.cur(), Some(Token { tok: Tok::Ident(s), .. }) if s == kw)
+    }
+
+    fn nth_is_kw(&self, n: usize, kw: &str) -> bool {
+        matches!(self.nth(n), Some(Token { tok: Tok::Ident(s), .. }) if s == kw)
+    }
+
+    fn eat_sym(&mut self, c: char) -> bool {
+        if self.at_sym(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Option<String> {
+        if let Some(Token {
+            tok: Tok::Ident(s), ..
+        }) = self.cur()
+        {
+            let s = s.clone();
+            self.bump();
+            Some(s)
+        } else {
+            None
+        }
+    }
+
+    fn error(&mut self, msg: &str) {
+        let line = self.line();
+        // Collapse runs of errors on one line — recovery often stumbles a few
+        // tokens before resynchronizing.
+        if self.errors.last().is_some_and(|e| e.line == line) {
+            return;
+        }
+        self.errors.push(ParseError {
+            line,
+            msg: msg.to_string(),
+        });
+    }
+
+    /// Display width of token `i` (0 for strings, whose source width is not
+    /// recoverable — nothing ever needs to glue onto a string).
+    fn width(t: &Token) -> u32 {
+        match &t.tok {
+            Tok::Ident(s) | Tok::Num(s) => s.len() as u32,
+            Tok::Sym(_) => 1,
+            Tok::Str(_) => 0,
+        }
+    }
+
+    /// Is token `pos + n + 1` glued directly after token `pos + n`?
+    fn glued(&self, n: usize) -> bool {
+        match (self.nth(n), self.nth(n + 1)) {
+            (Some(a), Some(b)) => {
+                a.line == b.line && Self::width(a) > 0 && b.col == a.col + Self::width(a)
+            }
+            _ => false,
+        }
+    }
+
+    /// Munch the longest operator starting at the cursor without consuming
+    /// it. Returns the operator text (single symbols yield themselves).
+    fn peek_op(&self) -> Option<String> {
+        let Token {
+            tok: Tok::Sym(a), ..
+        } = self.cur()?
+        else {
+            return None;
+        };
+        let mut s = a.to_string();
+        if self.glued(0) {
+            if let Some(Token {
+                tok: Tok::Sym(b), ..
+            }) = self.nth(1)
+            {
+                s.push(*b);
+                if self.glued(1) {
+                    if let Some(Token {
+                        tok: Tok::Sym(c), ..
+                    }) = self.nth(2)
+                    {
+                        let s3 = format!("{s}{c}");
+                        if OPS3.contains(&s3.as_str()) {
+                            return Some(s3);
+                        }
+                    }
+                }
+                if OPS2.contains(&s.as_str()) {
+                    return Some(s);
+                }
+            }
+        }
+        Some(a.to_string())
+    }
+
+    fn at_op(&self, op: &str) -> bool {
+        self.peek_op().as_deref() == Some(op)
+    }
+
+    fn eat_op(&mut self, op: &str) -> bool {
+        if self.at_op(op) {
+            self.pos += op.len(); // all ops are 1 token per char
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Index of the matching close for the open bracket at `self.pos`.
+    fn matching(&self, oc: char, cc: char) -> usize {
+        let mut depth = 0usize;
+        let mut i = self.pos;
+        while i < self.toks.len() {
+            if let Tok::Sym(s) = self.toks[i].tok {
+                if s == oc {
+                    depth += 1;
+                } else if s == cc {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+            }
+            i += 1;
+        }
+        self.toks.len().saturating_sub(1)
+    }
+
+    /// Skip a balanced delimiter group starting at the cursor (`(`, `[`, or
+    /// `{`). No-op when the cursor is not on an opener.
+    fn skip_delimited(&mut self) -> bool {
+        let (oc, cc) = match self.cur() {
+            Some(Token {
+                tok: Tok::Sym('('), ..
+            }) => ('(', ')'),
+            Some(Token {
+                tok: Tok::Sym('['), ..
+            }) => ('[', ']'),
+            Some(Token {
+                tok: Tok::Sym('{'), ..
+            }) => ('{', '}'),
+            _ => return false,
+        };
+        self.pos = self.matching(oc, cc) + 1;
+        true
+    }
+
+    /// Render a token slice as flat text (used for `use` trees and
+    /// attribute bodies). Deterministic, not source-faithful.
+    fn render_tokens(toks: &[Token]) -> String {
+        let mut out = String::new();
+        let mut prev_wordish = false;
+        for t in toks {
+            match &t.tok {
+                Tok::Ident(s) | Tok::Num(s) => {
+                    if prev_wordish {
+                        out.push(' ');
+                    }
+                    out.push_str(s);
+                    prev_wordish = true;
+                }
+                Tok::Str(s) => {
+                    out.push_str(&format!("{s:?}"));
+                    prev_wordish = true;
+                }
+                Tok::Sym(',') => {
+                    out.push_str(", ");
+                    prev_wordish = false;
+                }
+                Tok::Sym(c) => {
+                    out.push(*c);
+                    prev_wordish = false;
+                }
+            }
+        }
+        out
+    }
+
+    // -- attributes ---------------------------------------------------------
+
+    /// Parse one `#[...]` / `#![...]` at the cursor.
+    fn parse_one_attr(&mut self) -> Option<Attr> {
+        let line = self.line();
+        if !self.eat_sym('#') {
+            return None;
+        }
+        self.eat_sym('!');
+        if !self.at_sym('[') {
+            self.error("expected `[` after `#`");
+            return None;
+        }
+        let close = self.matching('[', ']');
+        let body = &self.toks[self.pos + 1..close];
+        let attr = Attr {
+            line,
+            text: Self::render_tokens(body),
+            testish: crate::source::attr_is_testish(body),
+        };
+        self.pos = close + 1;
+        Some(attr)
+    }
+
+    fn parse_outer_attrs(&mut self) -> Vec<Attr> {
+        let mut attrs = Vec::new();
+        while self.at_sym('#') && !self.nth_is_sym(1, '!') {
+            match self.parse_one_attr() {
+                Some(a) => attrs.push(a),
+                None => break,
+            }
+        }
+        attrs
+    }
+
+    // -- types and generics (skipped, with balancing) -----------------------
+
+    /// Skip a `<...>` generic-argument/parameter list starting at `<`.
+    /// `->` inside (`Fn() -> T`) never closes the list.
+    fn skip_generics(&mut self) {
+        debug_assert!(self.at_sym('<'));
+        let mut depth = 0i32;
+        while !self.eof() {
+            if self.at_op("->") || self.at_op("=>") {
+                self.pos += 2;
+                continue;
+            }
+            match self.cur().map(|t| &t.tok) {
+                Some(Tok::Sym('<')) => {
+                    depth += 1;
+                    self.bump();
+                }
+                Some(Tok::Sym('>')) => {
+                    depth -= 1;
+                    self.bump();
+                    if depth == 0 {
+                        return;
+                    }
+                }
+                Some(Tok::Sym('(')) | Some(Tok::Sym('[')) | Some(Tok::Sym('{')) => {
+                    self.skip_delimited();
+                }
+                Some(_) => self.bump(),
+                None => return,
+            }
+        }
+    }
+
+    /// Skip a type, stopping (without consuming) at any of `stops` or the
+    /// identifier keywords in `kw_stops` at angle/paren/bracket depth 0. A
+    /// `>` at depth 0 also stops (it closes the caller's generic list).
+    fn skip_type(&mut self, stops: &[char], kw_stops: &[&str]) {
+        let mut depth = 0i32;
+        while !self.eof() {
+            if self.at_op("->") {
+                self.pos += 2;
+                continue;
+            }
+            match self.cur().map(|t| &t.tok) {
+                Some(Tok::Sym('<')) => {
+                    depth += 1;
+                    self.bump();
+                }
+                Some(Tok::Sym('>')) => {
+                    if depth == 0 {
+                        return;
+                    }
+                    depth -= 1;
+                    self.bump();
+                }
+                Some(Tok::Sym(c)) if depth == 0 && stops.contains(c) => return,
+                Some(Tok::Sym('(')) | Some(Tok::Sym('[')) => {
+                    self.skip_delimited();
+                }
+                Some(Tok::Sym(')')) | Some(Tok::Sym(']')) | Some(Tok::Sym('}')) if depth == 0 => {
+                    return; // unbalanced close belongs to the caller
+                }
+                Some(Tok::Ident(s)) if depth == 0 && kw_stops.contains(&s.as_str()) => return,
+                Some(_) => self.bump(),
+                None => return,
+            }
+        }
+    }
+
+    /// Skip the type of an `expr as Type` cast: prefix (`&`, `*const`,
+    /// `*mut`), then a path with optional glued generics, or a parenthesized
+    /// type. Deliberately minimal — cast types are simple in practice, and
+    /// a following binary operator (`x as usize * 2`) must survive.
+    fn skip_cast_type(&mut self) {
+        while self.at_sym('&')
+            || self.at_sym('*')
+            || self.at_kw("mut")
+            || self.at_kw("const")
+            || self.at_kw("dyn")
+        {
+            self.bump();
+        }
+        if self.at_sym('(') {
+            self.skip_delimited();
+            return;
+        }
+        while matches!(
+            self.cur(),
+            Some(Token {
+                tok: Tok::Ident(_),
+                ..
+            })
+        ) {
+            let glued_lt = self.glued(0) && self.nth_is_sym(1, '<');
+            self.bump();
+            if glued_lt {
+                self.skip_generics();
+            }
+            if self.at_op("::") {
+                self.pos += 2;
+            } else {
+                break;
+            }
+        }
+    }
+
+    // -- patterns (reduced to bound names) ----------------------------------
+
+    /// Walk pattern tokens, collecting likely bindings, until one of the
+    /// operator `stops` or keyword `kw_stops` appears at bracket depth 0 (or
+    /// an unbalanced close). Stops are not consumed.
+    fn collect_pat_binds(&mut self, stops: &[&str], kw_stops: &[&str]) -> Vec<String> {
+        let mut binds: Vec<String> = Vec::new();
+        let mut depth = 0i32;
+        let mut brace_depth = 0i32;
+        while !self.eof() {
+            if depth == 0 {
+                if let Some(op) = self.peek_op() {
+                    if stops.contains(&op.as_str()) {
+                        break;
+                    }
+                }
+            }
+            match self.cur().map(|t| &t.tok) {
+                Some(Tok::Sym(c)) if matches!(c, '(' | '[' | '{') => {
+                    if *c == '{' {
+                        brace_depth += 1;
+                    }
+                    depth += 1;
+                    self.bump();
+                }
+                Some(Tok::Sym(c)) if matches!(c, ')' | ']' | '}') => {
+                    if depth == 0 {
+                        break;
+                    }
+                    if *c == '}' {
+                        brace_depth -= 1;
+                    }
+                    depth -= 1;
+                    self.bump();
+                }
+                Some(Tok::Ident(s)) => {
+                    if depth == 0 && kw_stops.contains(&s.as_str()) {
+                        break;
+                    }
+                    let s = s.clone();
+                    let is_path_seg = self.glued_or_not_op_colons();
+                    // Inside a struct pattern (`Foo { x: pat }`), an ident
+                    // before a single `:` is a field name, not a binding.
+                    // Outside braces a single `:` is type ascription and the
+                    // ident *is* the binding.
+                    let is_field_name = brace_depth > 0 && self.next_single_colon();
+                    let next_is_call = self.nth_is_sym(1, '(');
+                    let kw = matches!(
+                        s.as_str(),
+                        "mut" | "ref" | "box" | "true" | "false" | "const" | "dyn" | "_"
+                    );
+                    let binds_here = !kw
+                        && !is_path_seg
+                        && !is_field_name
+                        && !next_is_call
+                        && s.starts_with(|c: char| c.is_ascii_lowercase() || c == '_');
+                    if binds_here && !binds.contains(&s) {
+                        binds.push(s);
+                    }
+                    self.bump();
+                }
+                Some(_) => {
+                    // Consume glued operators whole: bumping `::` one colon
+                    // at a time would leave a lone `:` that masquerades as a
+                    // type-ascription stop.
+                    if let Some(op) = self.peek_op() {
+                        self.pos += op.len();
+                    } else {
+                        self.bump();
+                    }
+                }
+                None => break,
+            }
+        }
+        binds
+    }
+
+    /// After an identifier at the cursor: is the following token pair `::`?
+    fn glued_or_not_op_colons(&self) -> bool {
+        self.nth_is_sym(1, ':') && self.nth_is_sym(2, ':')
+    }
+
+    /// After an identifier at the cursor: is the next token a single `:`
+    /// (struct-field name position), not `::`?
+    fn next_single_colon(&self) -> bool {
+        self.nth_is_sym(1, ':') && !self.nth_is_sym(2, ':')
+    }
+
+    // -- items --------------------------------------------------------------
+
+    fn parse_item(&mut self) -> Option<Item> {
+        let attrs = self.parse_outer_attrs();
+        let line = self.line();
+        // Visibility.
+        if self.eat_kw("pub") && self.at_sym('(') {
+            self.skip_delimited();
+        }
+        // Leading qualifiers (`const fn`, `unsafe fn`, `extern "C" fn`,
+        // `default fn`). `const`/`extern` double as item keywords, so only
+        // consume them as qualifiers when a `fn` can still follow.
+        loop {
+            let plain_qualifier = self.at_kw("unsafe")
+                || self.at_kw("default")
+                || (self.at_kw("const")
+                    && (self.nth_is_kw(1, "fn")
+                        || self.nth_is_kw(1, "unsafe")
+                        || self.nth_is_kw(1, "extern")));
+            if plain_qualifier {
+                self.bump();
+            } else if self.at_kw("extern")
+                && (matches!(
+                    self.nth(1),
+                    Some(Token {
+                        tok: Tok::Str(_),
+                        ..
+                    })
+                ) && self.nth_is_kw(2, "fn")
+                    || self.nth_is_kw(1, "fn"))
+            {
+                self.bump();
+                if matches!(
+                    self.cur(),
+                    Some(Token {
+                        tok: Tok::Str(_),
+                        ..
+                    })
+                ) {
+                    self.bump();
+                }
+            } else {
+                break;
+            }
+        }
+
+        let kind = if self.at_kw("fn") {
+            ItemKind::Fn(self.parse_fn()?)
+        } else if self.at_kw("mod") {
+            self.bump();
+            let name = self.ident().unwrap_or_default();
+            if self.eat_sym(';') {
+                ItemKind::Mod { name, items: None }
+            } else if self.at_sym('{') {
+                self.bump();
+                let mut items = Vec::new();
+                while !self.eof() && !self.at_sym('}') {
+                    let before = self.pos;
+                    match self.parse_item() {
+                        Some(it) => items.push(it),
+                        None => {
+                            if self.pos == before {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                self.eat_sym('}');
+                ItemKind::Mod {
+                    name,
+                    items: Some(items),
+                }
+            } else {
+                self.error("expected `;` or `{` after mod name");
+                return None;
+            }
+        } else if self.at_kw("use") {
+            self.bump();
+            let start = self.pos;
+            while !self.eof() && !self.at_sym(';') {
+                if !self.skip_delimited() {
+                    self.bump();
+                }
+            }
+            let tree = Self::render_tokens(&self.toks[start..self.pos]);
+            self.eat_sym(';');
+            ItemKind::Use { tree }
+        } else if self.at_kw("struct")
+            || self.at_kw("enum")
+            || self.at_kw("union")
+            || self.at_kw("trait")
+        {
+            let kw = self.ident().unwrap_or_default();
+            let name = self.ident().unwrap_or_default();
+            if self.at_sym('<') {
+                self.skip_generics();
+            }
+            // Supertrait bounds (`trait FromJson: Sized`).
+            if self.at_sym(':') && !self.nth_is_sym(1, ':') {
+                self.bump();
+                self.skip_type(&['{', ';'], &["where"]);
+            }
+            if self.at_kw("where") {
+                self.skip_type(&['{', ';'], &[]);
+            }
+            match kw.as_str() {
+                "trait" => {
+                    let mut items = Vec::new();
+                    if self.at_sym('{') {
+                        self.bump();
+                        while !self.eof() && !self.at_sym('}') {
+                            let before = self.pos;
+                            match self.parse_item() {
+                                Some(it) => items.push(it),
+                                None => {
+                                    if self.pos == before {
+                                        self.bump();
+                                    }
+                                }
+                            }
+                        }
+                        self.eat_sym('}');
+                    }
+                    ItemKind::Trait { name, items }
+                }
+                _ => {
+                    // Tuple struct `(..)` [+ `;`], unit struct `;`, or a
+                    // brace body (fields/variants are not modeled).
+                    if self.at_sym('(') {
+                        self.skip_delimited();
+                        if self.at_kw("where") {
+                            self.skip_type(&[';'], &[]);
+                        }
+                    }
+                    if !self.eat_sym(';') {
+                        self.skip_delimited();
+                    }
+                    match kw.as_str() {
+                        "struct" => ItemKind::Struct { name },
+                        "enum" => ItemKind::Enum { name },
+                        _ => ItemKind::Union { name },
+                    }
+                }
+            }
+        } else if self.at_kw("impl") {
+            self.bump();
+            if self.at_sym('<') {
+                self.skip_generics();
+            }
+            // First type path (trait or self type).
+            let first_start = self.pos;
+            self.skip_type(&['{'], &["for", "where"]);
+            let first = self.toks[first_start..self.pos].to_vec();
+            let (trait_name, ty) = if self.eat_kw("for") {
+                let ty_start = self.pos;
+                self.skip_type(&['{'], &["where"]);
+                let ty = Self::base_type_name(&self.toks[ty_start..self.pos]);
+                (Some(Self::base_type_name(&first)), ty)
+            } else {
+                (None, Self::base_type_name(&first))
+            };
+            if self.at_kw("where") {
+                self.skip_type(&['{'], &[]);
+            }
+            let mut items = Vec::new();
+            if self.at_sym('{') {
+                self.bump();
+                while !self.eof() && !self.at_sym('}') {
+                    let before = self.pos;
+                    match self.parse_item() {
+                        Some(it) => items.push(it),
+                        None => {
+                            if self.pos == before {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                self.eat_sym('}');
+            }
+            ItemKind::Impl {
+                ty,
+                trait_name,
+                items,
+            }
+        } else if self.at_kw("const") || self.at_kw("static") {
+            let kw = self.ident().unwrap_or_default();
+            self.eat_kw("mut");
+            let name = self.ident().unwrap_or_default();
+            if self.eat_sym(':') {
+                self.skip_type(&['=', ';'], &[]);
+            }
+            let init = if self.eat_sym('=') {
+                Some(self.expr(false))
+            } else {
+                None
+            };
+            if !self.eat_sym(';') {
+                self.error("expected `;` after const/static");
+                self.recover_to_semi();
+            }
+            if kw == "const" {
+                ItemKind::Const { name, init }
+            } else {
+                ItemKind::Static { name, init }
+            }
+        } else if self.at_kw("type") {
+            self.bump();
+            let name = self.ident().unwrap_or_default();
+            while !self.eof() && !self.at_sym(';') {
+                if !self.skip_delimited() {
+                    self.bump();
+                }
+            }
+            self.eat_sym(';');
+            ItemKind::TypeAlias { name }
+        } else if self.at_kw("macro_rules") {
+            self.bump();
+            self.eat_sym('!');
+            let name = self.ident().unwrap_or_default();
+            let paren_form = self.at_sym('(') || self.at_sym('[');
+            self.skip_delimited();
+            if paren_form {
+                self.eat_sym(';');
+            }
+            ItemKind::MacroDef { name }
+        } else if self.at_kw("extern") {
+            self.bump();
+            if self.at_kw("crate") {
+                self.bump();
+                let name = self.ident().unwrap_or_default();
+                while !self.eof() && !self.at_sym(';') {
+                    self.bump();
+                }
+                self.eat_sym(';');
+                ItemKind::ExternCrate { name }
+            } else {
+                if matches!(
+                    self.cur(),
+                    Some(Token {
+                        tok: Tok::Str(_),
+                        ..
+                    })
+                ) {
+                    self.bump();
+                }
+                let mut items = Vec::new();
+                if self.at_sym('{') {
+                    self.bump();
+                    while !self.eof() && !self.at_sym('}') {
+                        let before = self.pos;
+                        match self.parse_item() {
+                            Some(it) => items.push(it),
+                            None => {
+                                if self.pos == before {
+                                    self.bump();
+                                }
+                            }
+                        }
+                    }
+                    self.eat_sym('}');
+                } else {
+                    self.error("expected `{` or `crate` after extern");
+                }
+                ItemKind::ExternBlock { items }
+            }
+        } else if matches!(
+            self.cur(),
+            Some(Token {
+                tok: Tok::Ident(_),
+                ..
+            })
+        ) {
+            // Item-position macro invocation: `path::name! ( .. );`
+            let start = self.pos;
+            let mut last = self.ident().unwrap_or_default();
+            while self.at_op("::")
+                && matches!(
+                    self.nth(2),
+                    Some(Token {
+                        tok: Tok::Ident(_),
+                        ..
+                    })
+                )
+            {
+                self.pos += 2;
+                last = self.ident().unwrap_or_default();
+            }
+            if self.eat_sym('!') {
+                let paren_form = self.at_sym('(') || self.at_sym('[');
+                self.skip_delimited();
+                if paren_form {
+                    self.eat_sym(';');
+                }
+                ItemKind::MacroCall { name: last }
+            } else {
+                self.pos = start;
+                self.error("unrecognized item");
+                self.recover_to_semi();
+                return None;
+            }
+        } else if self.at_sym(';') {
+            self.bump();
+            return None; // stray semicolon — not an item
+        } else {
+            self.error("unrecognized item");
+            self.recover_to_semi();
+            return None;
+        };
+
+        Some(Item { attrs, line, kind })
+    }
+
+    /// Last identifier at angle-depth 0 of a type token slice (`Vec<T>` →
+    /// `Vec`, `fmt::Display` → `Display`); falls back to the last identifier
+    /// anywhere (`[u8]` → `u8`).
+    fn base_type_name(toks: &[Token]) -> String {
+        let mut depth = 0i32;
+        let mut top: Option<&str> = None;
+        let mut any: Option<&str> = None;
+        for t in toks {
+            match &t.tok {
+                Tok::Sym('<') => depth += 1,
+                Tok::Sym('>') => depth -= 1,
+                Tok::Ident(s) if s != "mut" && s != "dyn" => {
+                    any = Some(s);
+                    if depth == 0 {
+                        top = Some(s);
+                    }
+                }
+                _ => {}
+            }
+        }
+        top.or(any).unwrap_or("?").to_string()
+    }
+
+    /// Skip tokens to just past the next statement-level `;` (or stop before
+    /// a `}`): coarse error recovery.
+    fn recover_to_semi(&mut self) {
+        while !self.eof() {
+            if self.at_sym(';') {
+                self.bump();
+                return;
+            }
+            if self.at_sym('}') {
+                return;
+            }
+            if !self.skip_delimited() {
+                self.bump();
+            }
+        }
+    }
+
+    fn parse_fn(&mut self) -> Option<FnDef> {
+        let line = self.line();
+        if !self.eat_kw("fn") {
+            return None;
+        }
+        let name = self.ident().unwrap_or_else(|| {
+            self.error("expected fn name");
+            String::from("?")
+        });
+        if self.at_sym('<') {
+            self.skip_generics();
+        }
+        let mut params = Vec::new();
+        if self.at_sym('(') {
+            let close = self.matching('(', ')');
+            self.bump();
+            while self.pos < close {
+                // One parameter: attrs, then pattern up to `:`, then type.
+                while self.at_sym('#') {
+                    self.parse_one_attr();
+                }
+                let pat_binds = self.parse_param_pattern(close);
+                params.extend(pat_binds);
+                if self.at_sym(':') {
+                    self.bump();
+                    self.skip_type(&[','], &[]);
+                }
+                if !self.eat_sym(',') {
+                    break;
+                }
+            }
+            self.pos = close + 1;
+        } else {
+            self.error("expected `(` after fn name");
+        }
+        if self.at_op("->") {
+            self.pos += 2;
+            self.skip_type(&['{', ';'], &["where"]);
+        }
+        if self.at_kw("where") {
+            self.skip_type(&['{', ';'], &[]);
+        }
+        let body = if self.at_sym('{') {
+            Some(self.parse_block())
+        } else {
+            self.eat_sym(';');
+            None
+        };
+        Some(FnDef {
+            name,
+            line,
+            params,
+            body,
+        })
+    }
+
+    /// Pattern part of one fn parameter (everything before the `:`). A
+    /// receiver (`self`, `&self`, `&mut self`, `mut self`) yields `self` —
+    /// special-cased because the lexer reduces `&'a self` to `& a self` and
+    /// the generic walker would bind the lifetime name.
+    fn parse_param_pattern(&mut self, close: usize) -> Vec<String> {
+        // Scan ahead for a bare `self` before the param's `:`/`,`.
+        let mut j = self.pos;
+        let mut depth = 0i32;
+        let mut saw_self = false;
+        while j < close {
+            match &self.toks[j].tok {
+                Tok::Sym('(') | Tok::Sym('[') | Tok::Sym('{') => depth += 1,
+                Tok::Sym(')') | Tok::Sym(']') | Tok::Sym('}') => depth -= 1,
+                Tok::Sym(':') | Tok::Sym(',') if depth == 0 => break,
+                Tok::Ident(s) if depth == 0 && s == "self" => saw_self = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if saw_self {
+            self.pos = j;
+            return vec!["self".to_string()];
+        }
+        self.collect_pat_binds(&[":", ","], &[])
+    }
+
+    // -- blocks and statements ----------------------------------------------
+
+    fn parse_block(&mut self) -> Block {
+        let line = self.line();
+        let mut block = Block {
+            line,
+            stmts: Vec::new(),
+        };
+        if !self.eat_sym('{') {
+            self.error("expected `{`");
+            return block;
+        }
+        while !self.eof() && !self.at_sym('}') {
+            if self.eat_sym(';') {
+                continue;
+            }
+            // Inner attrs inside blocks (`#![allow(..)]`) — skip.
+            if self.at_sym('#') && self.nth_is_sym(1, '!') {
+                self.parse_one_attr();
+                continue;
+            }
+            let before = self.pos;
+            if let Some(stmt) = self.parse_stmt() {
+                block.stmts.push(stmt);
+            }
+            if self.pos == before {
+                self.bump(); // guarantee progress
+            }
+        }
+        self.eat_sym('}');
+        block
+    }
+
+    fn at_item_start(&self) -> bool {
+        if self.at_sym('#') && !self.nth_is_sym(1, '!') {
+            return true;
+        }
+        let Some(Token {
+            tok: Tok::Ident(s), ..
+        }) = self.cur()
+        else {
+            return false;
+        };
+        match s.as_str() {
+            "fn" | "use" | "mod" | "struct" | "enum" | "trait" | "impl" | "static" | "pub"
+            | "macro_rules" | "type" => true,
+            // `const NAME` / `const fn` are items; `const` elsewhere is not.
+            "const" => matches!(
+                self.nth(1),
+                Some(Token {
+                    tok: Tok::Ident(_),
+                    ..
+                })
+            ),
+            "extern" => true,
+            "union" => {
+                matches!(
+                    self.nth(1),
+                    Some(Token {
+                        tok: Tok::Ident(_),
+                        ..
+                    })
+                ) && self.nth_is_sym(2, '{')
+            }
+            _ => false,
+        }
+    }
+
+    fn parse_stmt(&mut self) -> Option<Stmt> {
+        // Outer attributes on a statement (`#[cfg(feature = "x")] { .. }`):
+        // consume them here so an attributed expression statement is not
+        // mistaken for an item. If an item does follow, it keeps the attrs.
+        let attrs = self.parse_outer_attrs();
+        if self.at_kw("let") {
+            return Some(self.parse_let());
+        }
+        if self.at_item_start() {
+            return self.parse_item().map(|mut it| {
+                let mut all = attrs;
+                all.extend(it.attrs);
+                it.attrs = all;
+                Stmt::Item(it)
+            });
+        }
+        let expr = self.expr(false);
+        if self.eat_sym(';') {
+            return Some(Stmt::Expr { expr, semi: true });
+        }
+        if self.at_sym('}') {
+            return Some(Stmt::Expr { expr, semi: false });
+        }
+        // Block-like expressions are valid statements without `;`.
+        if matches!(
+            expr,
+            Expr::If { .. }
+                | Expr::Match { .. }
+                | Expr::While { .. }
+                | Expr::Loop { .. }
+                | Expr::For { .. }
+                | Expr::Block(_)
+        ) {
+            return Some(Stmt::Expr { expr, semi: true });
+        }
+        self.error("expected `;` after expression statement");
+        self.recover_to_semi();
+        Some(Stmt::Expr { expr, semi: true })
+    }
+
+    fn parse_let(&mut self) -> Stmt {
+        let line = self.line();
+        self.eat_kw("let");
+        let binds = self.collect_pat_binds(&["=", ":", ";"], &["else"]);
+        if self.eat_sym(':') {
+            self.skip_type(&['=', ';'], &["else"]);
+        }
+        let init = if self.eat_op("=") {
+            Some(self.expr(false))
+        } else {
+            None
+        };
+        let else_block = if self.eat_kw("else") {
+            Some(self.parse_block())
+        } else {
+            None
+        };
+        if !self.eat_sym(';') {
+            self.error("expected `;` after let statement");
+            self.recover_to_semi();
+        }
+        Stmt::Let {
+            line,
+            binds,
+            init,
+            else_block,
+        }
+    }
+
+    // -- expressions --------------------------------------------------------
+
+    /// Full expression. `ns` ("no struct") suppresses struct-literal parsing
+    /// after paths, for `if`/`while`/`match`/`for` header positions where
+    /// `Foo {` must be the block, not a literal.
+    fn expr(&mut self, ns: bool) -> Expr {
+        let line = self.line();
+        let lhs = self.range_expr(ns);
+        if let Some(op) = self.peek_op() {
+            if is_assign_op(&op) {
+                self.pos += op.len();
+                let rhs = self.expr(ns);
+                return Expr::Assign {
+                    line,
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                };
+            }
+        }
+        lhs
+    }
+
+    fn starts_expr(&self) -> bool {
+        match self.cur().map(|t| &t.tok) {
+            Some(Tok::Ident(s)) => !matches!(s.as_str(), "else" | "in" | "where"),
+            Some(Tok::Num(_)) | Some(Tok::Str(_)) => true,
+            Some(Tok::Sym(c)) => matches!(c, '(' | '[' | '&' | '*' | '-' | '!' | '|' | '<'),
+            None => false,
+        }
+    }
+
+    fn range_expr(&mut self, ns: bool) -> Expr {
+        let line = self.line();
+        if let Some(op) = self.peek_op() {
+            if op == ".." || op == "..=" {
+                self.pos += op.len();
+                let hi = if self.starts_expr() {
+                    Some(Box::new(self.binary(ns, 1)))
+                } else {
+                    None
+                };
+                return Expr::Range { line, lo: None, hi };
+            }
+        }
+        let lhs = self.binary(ns, 1);
+        if let Some(op) = self.peek_op() {
+            if op == ".." || op == "..=" {
+                self.pos += op.len();
+                let hi = if self.starts_expr() {
+                    Some(Box::new(self.binary(ns, 1)))
+                } else {
+                    None
+                };
+                return Expr::Range {
+                    line,
+                    lo: Some(Box::new(lhs)),
+                    hi,
+                };
+            }
+        }
+        lhs
+    }
+
+    fn binary(&mut self, ns: bool, min_prec: u8) -> Expr {
+        let mut lhs = self.unary(ns);
+        while let Some(op) = self.peek_op() {
+            let Some(prec) = bin_prec(&op) else { break };
+            if prec < min_prec {
+                break;
+            }
+            let line = self.line();
+            self.pos += op.len();
+            let rhs = self.binary(ns, prec + 1);
+            lhs = Expr::Binary {
+                line,
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        lhs
+    }
+
+    fn unary(&mut self, ns: bool) -> Expr {
+        let line = self.line();
+        if self.at_sym('&') {
+            self.bump();
+            self.eat_kw("mut");
+            return Expr::Unary {
+                line,
+                op: '&',
+                expr: Box::new(self.unary(ns)),
+            };
+        }
+        for op in ['*', '-', '!'] {
+            if self.at_sym(op) {
+                self.bump();
+                return Expr::Unary {
+                    line,
+                    op,
+                    expr: Box::new(self.unary(ns)),
+                };
+            }
+        }
+        self.postfix(ns)
+    }
+
+    fn postfix(&mut self, ns: bool) -> Expr {
+        let mut e = self.primary(ns);
+        loop {
+            let line = self.line();
+            // A block-like expression in statement position terminates the
+            // expression: `for .. { .. }` followed by `[a, b]` is two
+            // statements, not an indexing. `.method()` chains still apply.
+            if matches!(
+                e,
+                Expr::If { .. }
+                    | Expr::Match { .. }
+                    | Expr::While { .. }
+                    | Expr::Loop { .. }
+                    | Expr::For { .. }
+                    | Expr::Block(_)
+            ) && matches!(self.peek_op().as_deref(), Some("(") | Some("["))
+            {
+                return e;
+            }
+            match self.peek_op().as_deref() {
+                Some(".") => {
+                    self.bump();
+                    match self.cur().map(|t| t.tok.clone()) {
+                        Some(Tok::Ident(name)) => {
+                            self.bump();
+                            // Turbofish on a method: `.collect::<Vec<_>>()`.
+                            if self.at_op("::") && self.nth_is_sym(2, '<') {
+                                self.pos += 2;
+                                self.skip_generics();
+                            }
+                            if self.at_sym('(') {
+                                let args = self.paren_args();
+                                e = Expr::MethodCall {
+                                    line,
+                                    recv: Box::new(e),
+                                    method: name,
+                                    args,
+                                };
+                            } else {
+                                e = Expr::Field {
+                                    line,
+                                    base: Box::new(e),
+                                    name,
+                                };
+                            }
+                        }
+                        Some(Tok::Num(n)) => {
+                            self.bump();
+                            e = Expr::Field {
+                                line,
+                                base: Box::new(e),
+                                name: n,
+                            };
+                        }
+                        _ => {
+                            self.error("expected field or method name after `.`");
+                            return e;
+                        }
+                    }
+                }
+                Some("(") => {
+                    let args = self.paren_args();
+                    e = Expr::Call {
+                        line,
+                        callee: Box::new(e),
+                        args,
+                    };
+                }
+                Some("[") => {
+                    self.bump();
+                    let index = self.expr(false);
+                    if !self.eat_sym(']') {
+                        self.error("expected `]`");
+                        self.recover_close(']');
+                    }
+                    e = Expr::Index {
+                        line,
+                        base: Box::new(e),
+                        index: Box::new(index),
+                    };
+                }
+                Some("?") => {
+                    self.bump();
+                    e = Expr::Try {
+                        line,
+                        expr: Box::new(e),
+                    };
+                }
+                _ => {
+                    if self.at_kw("as") {
+                        self.bump();
+                        self.skip_cast_type();
+                        e = Expr::Cast {
+                            line,
+                            expr: Box::new(e),
+                        };
+                        continue;
+                    }
+                    break;
+                }
+            }
+        }
+        e
+    }
+
+    fn recover_close(&mut self, close: char) {
+        while !self.eof() && !self.at_sym(close) {
+            if !self.skip_delimited() {
+                self.bump();
+            }
+        }
+        self.eat_sym(close);
+    }
+
+    /// `( expr, expr, ... )` call arguments. The `ns` restriction never
+    /// crosses parentheses.
+    fn paren_args(&mut self) -> Vec<Expr> {
+        let mut args = Vec::new();
+        if !self.eat_sym('(') {
+            return args;
+        }
+        while !self.eof() && !self.at_sym(')') {
+            args.push(self.expr(false));
+            if !self.eat_sym(',') {
+                break;
+            }
+        }
+        if !self.eat_sym(')') {
+            self.error("expected `)`");
+            self.recover_close(')');
+        }
+        args
+    }
+
+    fn primary(&mut self, ns: bool) -> Expr {
+        let line = self.line();
+        match self.cur().map(|t| t.tok.clone()) {
+            Some(Tok::Str(s)) => {
+                self.bump();
+                Expr::Lit {
+                    line,
+                    kind: LitKind::Str(s),
+                }
+            }
+            Some(Tok::Num(n)) => {
+                self.bump();
+                Expr::Lit {
+                    line,
+                    kind: LitKind::Num(n),
+                }
+            }
+            Some(Tok::Sym('(')) => {
+                self.bump();
+                let mut elems = Vec::new();
+                let mut trailing_comma = false;
+                while !self.eof() && !self.at_sym(')') {
+                    elems.push(self.expr(false));
+                    trailing_comma = self.eat_sym(',');
+                    if !trailing_comma {
+                        break;
+                    }
+                }
+                if !self.eat_sym(')') {
+                    self.error("expected `)`");
+                    self.recover_close(')');
+                }
+                if elems.len() == 1 && !trailing_comma {
+                    elems.pop().unwrap_or(Expr::Unknown { line })
+                } else {
+                    Expr::Tuple { line, elems }
+                }
+            }
+            Some(Tok::Sym('[')) => {
+                self.bump();
+                let mut elems = Vec::new();
+                while !self.eof() && !self.at_sym(']') {
+                    elems.push(self.expr(false));
+                    if self.eat_sym(';') {
+                        // `[elem; len]` repeat form.
+                        elems.push(self.expr(false));
+                        break;
+                    }
+                    if !self.eat_sym(',') {
+                        break;
+                    }
+                }
+                if !self.eat_sym(']') {
+                    self.error("expected `]`");
+                    self.recover_close(']');
+                }
+                Expr::Array { line, elems }
+            }
+            Some(Tok::Sym('{')) => Expr::Block(self.parse_block()),
+            Some(Tok::Sym('<')) => {
+                // Qualified path `<T as Trait>::assoc(..)`: skip qualifier,
+                // keep the trailing path.
+                self.skip_generics();
+                let mut segs = vec!["<qualified>".to_string()];
+                while self.at_op("::") {
+                    self.pos += 2;
+                    if let Some(id) = self.ident() {
+                        segs.push(id);
+                    } else {
+                        break;
+                    }
+                }
+                Expr::Path { line, segs }
+            }
+            Some(Tok::Sym('|')) => self.closure(line),
+            Some(Tok::Ident(id)) => self.ident_expr(ns, line, id),
+            _ => {
+                self.error("expected expression");
+                self.bump();
+                Expr::Unknown { line }
+            }
+        }
+    }
+
+    fn closure(&mut self, line: u32) -> Expr {
+        let mut params = Vec::new();
+        if self.at_op("||") {
+            self.pos += 2;
+        } else {
+            self.eat_sym('|');
+            while !self.eof() && !self.at_sym('|') {
+                params.extend(self.collect_pat_binds(&[":", ",", "|"], &[]));
+                if self.eat_sym(':') {
+                    self.skip_type(&[',', '|'], &[]);
+                }
+                if !self.eat_sym(',') {
+                    break;
+                }
+            }
+            self.eat_sym('|');
+        }
+        let body = if self.at_op("->") {
+            self.pos += 2;
+            self.skip_type(&['{'], &[]);
+            Expr::Block(self.parse_block())
+        } else {
+            self.expr(false)
+        };
+        Expr::Closure {
+            line,
+            params,
+            body: Box::new(body),
+        }
+    }
+
+    fn ident_expr(&mut self, ns: bool, line: u32, id: String) -> Expr {
+        match id.as_str() {
+            "if" => return self.if_expr(line),
+            "match" => {
+                self.bump();
+                let scrutinee = self.expr(true);
+                let mut arms = Vec::new();
+                if self.eat_sym('{') {
+                    while !self.eof() && !self.at_sym('}') {
+                        while self.at_sym('#') {
+                            self.parse_one_attr();
+                        }
+                        if self.at_sym('}') {
+                            break;
+                        }
+                        let arm_line = self.line();
+                        let binds = self.collect_pat_binds(&["=>"], &["if"]);
+                        let guard = if self.eat_kw("if") {
+                            Some(Box::new(self.expr(true)))
+                        } else {
+                            None
+                        };
+                        if !self.eat_op("=>") {
+                            self.error("expected `=>` in match arm");
+                            self.recover_to_semi();
+                            break;
+                        }
+                        let body = self.expr(false);
+                        self.eat_sym(',');
+                        arms.push(Arm {
+                            line: arm_line,
+                            binds,
+                            guard,
+                            body,
+                        });
+                    }
+                    self.eat_sym('}');
+                } else {
+                    self.error("expected `{` after match scrutinee");
+                }
+                return Expr::Match {
+                    line,
+                    scrutinee: Box::new(scrutinee),
+                    arms,
+                };
+            }
+            "while" => {
+                self.bump();
+                let (binds, cond) = if self.eat_kw("let") {
+                    let binds = self.collect_pat_binds(&["="], &[]);
+                    self.eat_op("=");
+                    (binds, self.expr(true))
+                } else {
+                    (Vec::new(), self.expr(true))
+                };
+                let body = self.parse_block();
+                return Expr::While {
+                    line,
+                    binds,
+                    cond: Box::new(cond),
+                    body,
+                };
+            }
+            "loop" => {
+                self.bump();
+                let body = self.parse_block();
+                return Expr::Loop { line, body };
+            }
+            "for" => {
+                self.bump();
+                let binds = self.collect_pat_binds(&[], &["in"]);
+                self.eat_kw("in");
+                let iter = self.expr(true);
+                let body = self.parse_block();
+                return Expr::For {
+                    line,
+                    binds,
+                    iter: Box::new(iter),
+                    body,
+                };
+            }
+            "return" => {
+                self.bump();
+                let expr = if self.starts_expr() {
+                    Some(Box::new(self.expr(false)))
+                } else {
+                    None
+                };
+                return Expr::Return { line, expr };
+            }
+            "break" => {
+                self.bump();
+                let mut expr = if self.starts_expr() {
+                    Some(Box::new(self.expr(false)))
+                } else {
+                    None
+                };
+                // `break 'label value`: the lexer drops the tick, so a label
+                // parses as a bare path; if another expression follows, the
+                // first was the label.
+                if matches!(expr.as_deref(), Some(Expr::Path { segs, .. }) if segs.len() == 1)
+                    && self.starts_expr()
+                {
+                    expr = Some(Box::new(self.expr(false)));
+                }
+                return Expr::Break { line, expr };
+            }
+            "continue" => {
+                self.bump();
+                // Optional label (tick dropped by the lexer).
+                if let Some(Token {
+                    tok: Tok::Ident(_), ..
+                }) = self.cur()
+                {
+                    if !self.at_item_start() && (self.nth_is_sym(1, ';') || self.nth_is_sym(1, '}'))
+                    {
+                        self.bump();
+                    }
+                }
+                return Expr::Continue { line };
+            }
+            "unsafe" => {
+                self.bump();
+                return Expr::Block(self.parse_block());
+            }
+            "move" => {
+                self.bump();
+                let l = self.line();
+                return self.closure(l);
+            }
+            _ => {}
+        }
+        // Loop label: `name : loop/while/for` (lexer dropped the tick).
+        if self.next_single_colon()
+            && (self.nth_is_kw(2, "loop") || self.nth_is_kw(2, "while") || self.nth_is_kw(2, "for"))
+        {
+            self.bump();
+            self.bump();
+            let l = self.line();
+            let Some(Token {
+                tok: Tok::Ident(kw),
+                ..
+            }) = self.cur()
+            else {
+                return Expr::Unknown { line: l };
+            };
+            let kw = kw.clone();
+            return self.ident_expr(ns, l, kw);
+        }
+
+        // Path, then macro call / struct literal / plain path.
+        let mut segs = vec![id];
+        self.bump();
+        loop {
+            if self.at_op("::") {
+                if self.nth_is_sym(2, '<') {
+                    self.pos += 2;
+                    self.skip_generics(); // turbofish
+                    continue;
+                }
+                if let Some(Token {
+                    tok: Tok::Ident(s), ..
+                }) = self.nth(2)
+                {
+                    let s = s.clone();
+                    self.pos += 3;
+                    segs.push(s);
+                    continue;
+                }
+            }
+            break;
+        }
+        if self.at_sym('!')
+            && (self.nth_is_sym(1, '(') || self.nth_is_sym(1, '[') || self.nth_is_sym(1, '{'))
+        {
+            self.bump();
+            self.skip_delimited();
+            return Expr::MacroCall {
+                line,
+                name: segs.pop().unwrap_or_default(),
+            };
+        }
+        if self.at_sym('{') && !ns {
+            return self.struct_lit(line, segs);
+        }
+        Expr::Path { line, segs }
+    }
+
+    fn if_expr(&mut self, line: u32) -> Expr {
+        self.eat_kw("if");
+        let (binds, cond) = if self.eat_kw("let") {
+            let binds = self.collect_pat_binds(&["="], &[]);
+            self.eat_op("=");
+            (binds, self.expr(true))
+        } else {
+            (Vec::new(), self.expr(true))
+        };
+        let then = self.parse_block();
+        let els = if self.eat_kw("else") {
+            if self.at_kw("if") {
+                let l = self.line();
+                Some(Box::new(self.if_expr(l)))
+            } else {
+                Some(Box::new(Expr::Block(self.parse_block())))
+            }
+        } else {
+            None
+        };
+        Expr::If {
+            line,
+            binds,
+            cond: Box::new(cond),
+            then,
+            els,
+        }
+    }
+
+    fn struct_lit(&mut self, line: u32, path: Vec<String>) -> Expr {
+        self.eat_sym('{');
+        let mut fields = Vec::new();
+        let mut rest = None;
+        while !self.eof() && !self.at_sym('}') {
+            // Field-level attributes (`#[cfg(feature = "testing")] field: v`).
+            self.parse_outer_attrs();
+            if self.at_op("..") {
+                self.pos += 2;
+                rest = Some(Box::new(self.expr(false)));
+                break;
+            }
+            let name = match self.cur().map(|t| t.tok.clone()) {
+                Some(Tok::Ident(s)) => {
+                    self.bump();
+                    s
+                }
+                Some(Tok::Num(n)) => {
+                    self.bump();
+                    n
+                }
+                _ => {
+                    self.error("expected field name in struct literal");
+                    break;
+                }
+            };
+            let value = if self.next_single_colon_at_cursor() {
+                self.bump();
+                self.expr(false)
+            } else {
+                Expr::Path {
+                    line: self.line(),
+                    segs: vec![name.clone()],
+                }
+            };
+            fields.push((name, value));
+            if !self.eat_sym(',') {
+                break;
+            }
+        }
+        if !self.eat_sym('}') {
+            self.error("expected `}` in struct literal");
+            self.recover_close('}');
+        }
+        Expr::StructLit {
+            line,
+            path,
+            fields,
+            rest,
+        }
+    }
+
+    /// Is the cursor itself a single `:` (not `::`)?
+    fn next_single_colon_at_cursor(&self) -> bool {
+        self.at_sym(':') && !self.nth_is_sym(1, ':')
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_ok(src: &str) -> SourceFile {
+        let f = parse(&lex(src).tokens);
+        assert!(f.errors.is_empty(), "parse errors: {:?}", f.errors);
+        f
+    }
+
+    #[test]
+    fn items_and_bodies_round_trip() {
+        let f = parse_ok(
+            "use std::sync::{Arc, Mutex};\n\
+             pub struct S { x: u64 }\n\
+             impl S {\n\
+                 pub fn get(&self, i: usize) -> u64 { self.xs[i] }\n\
+             }\n\
+             fn main() { let s = S { x: 1 }; s.get(0); }\n",
+        );
+        assert_eq!(f.items.len(), 4);
+        let r = f.render();
+        assert!(r.contains("use[1] std::sync::{Arc, Mutex}"), "{r}");
+        assert!(r.contains("impl[3] S"), "{r}");
+        assert!(r.contains("fn[4] get(self, i)"), "{r}");
+        assert!(r.contains("index[4]"), "{r}");
+        assert!(r.contains("struct-lit[6] S"), "{r}");
+    }
+
+    #[test]
+    fn no_struct_restriction_keeps_if_blocks() {
+        let f = parse_ok("fn f(x: u64) -> u64 { if x > 1 { x } else { 0 } }");
+        let r = f.render();
+        assert!(r.contains("if[1]"), "{r}");
+        assert!(r.contains("binary[1] >"), "{r}");
+        assert!(!r.contains("struct-lit"), "{r}");
+    }
+
+    #[test]
+    fn method_chains_turbofish_and_casts() {
+        let f = parse_ok(
+            "fn f(v: Vec<u64>) -> usize { v.iter().map(|x| *x as usize).collect::<Vec<_>>().len() }",
+        );
+        let r = f.render();
+        assert!(r.contains("method[1] .len"), "{r}");
+        assert!(r.contains("closure[1] |x|"), "{r}");
+        assert!(r.contains("cast[1]"), "{r}");
+    }
+
+    #[test]
+    fn cast_then_binary_operator_survives() {
+        let f = parse_ok("fn f(x: u8) -> usize { x as usize * 2 + 1 }");
+        let r = f.render();
+        assert!(r.contains("binary[1] *"), "{r}");
+        assert!(r.contains("binary[1] +"), "{r}");
+    }
+
+    #[test]
+    fn let_else_if_let_while_let() {
+        let f = parse_ok(
+            "fn f(o: Option<u32>) -> u32 {\n\
+                 let Some(x) = o else { return 0; };\n\
+                 if let Some(y) = o { y } else { x }\n\
+             }",
+        );
+        let r = f.render();
+        assert!(r.contains("let[2] x"), "{r}");
+        assert!(r.contains("if-let[3] y"), "{r}");
+    }
+
+    #[test]
+    fn match_arms_with_guards_and_ranges() {
+        let f = parse_ok(
+            "fn f(x: u32) -> u32 { match x { 0 => 1, n if n > 2 => n, 1..=2 => 0, _ => x } }",
+        );
+        let r = f.render();
+        assert!(r.contains("match[1]"), "{r}");
+        assert!(r.contains("arm[1] n"), "{r}");
+        assert!(r.contains("guard"), "{r}");
+    }
+
+    #[test]
+    fn macro_calls_are_opaque() {
+        let f = parse_ok(
+            "fn f() { println!(\"{} {}\", a, b); assert_eq!(1, 2); }\n\
+             macro_rules! m { () => {} }\n\
+             m!();",
+        );
+        let r = f.render();
+        assert!(r.contains("macro[1] println!"), "{r}");
+        assert!(r.contains("macro-def[2] m"), "{r}");
+        assert!(r.contains("macro-item[3] m!"), "{r}");
+    }
+
+    #[test]
+    fn labeled_loops_and_break_values() {
+        let f = parse_ok(
+            "fn f() -> u32 { 'outer: loop { loop { break 'outer 3; } } }\n\
+             fn g() { 'a: for i in 0..4 { if i > 2 { break 'a; } continue 'a; } }",
+        );
+        let r = f.render();
+        assert!(r.contains("loop[1]"), "{r}");
+        assert!(r.contains("for[2] i"), "{r}");
+    }
+
+    #[test]
+    fn ranges_and_arrays() {
+        let f = parse_ok("fn f() { let a = [0u8; 16]; for i in 0..a.len() { touch(&a[..i]); } }");
+        let r = f.render();
+        assert!(r.contains("array[1]"), "{r}");
+        assert!(r.contains("range[1]"), "{r}");
+    }
+
+    #[test]
+    fn generics_with_fn_arrows_do_not_desync() {
+        parse_ok(
+            "fn apply<F: Fn(u32) -> u32>(f: F, x: u32) -> u32 { f(x) }\n\
+             fn g(m: &HashMap<K, Box<dyn Fn(u8) -> u8>, S>) {}\n\
+             impl<T: ToJson> ToJson for Vec<T> { fn to_json(&self) -> Json { Json::Null } }",
+        );
+    }
+
+    #[test]
+    fn extern_blocks_and_unsafe_fns() {
+        let f = parse_ok(
+            "extern \"C\" { fn switch(a: *mut u8, b: *const u8); }\n\
+             unsafe extern \"C\" fn tramp() -> ! { loop {} }\n\
+             pub(crate) const unsafe fn danger() {}\n",
+        );
+        assert_eq!(f.items.len(), 3);
+        let r = f.render();
+        assert!(r.contains("extern-block[1]"), "{r}");
+        assert!(r.contains("fn[2] tramp"), "{r}");
+        assert!(r.contains("fn[3] danger"), "{r}");
+    }
+
+    #[test]
+    fn qualified_paths_parse() {
+        parse_ok("fn f() -> u32 { <Baseline as Rules>::apply(s) }");
+    }
+
+    #[test]
+    fn struct_literals_with_rest_and_shorthand() {
+        let f = parse_ok("fn f(x: u64, base: S) -> S { S { x, y: 2, ..base } }");
+        let r = f.render();
+        assert!(r.contains("field-init x"), "{r}");
+        assert!(r.contains("field-init y"), "{r}");
+        assert!(r.contains("rest"), "{r}");
+    }
+
+    #[test]
+    fn tail_vs_semi_statements() {
+        let f = parse_ok("fn f() -> u32 { g(); 3 }");
+        let r = f.render();
+        assert!(r.contains("semi\n"), "{r}");
+        assert!(r.contains("tail\n"), "{r}");
+    }
+
+    #[test]
+    fn nested_closures_capture_structure() {
+        let f = parse_ok(
+            "fn f(xs: Vec<u32>) -> u32 { xs.iter().map(|x| (0..*x).map(|y| y + 1).sum::<u32>()).sum() }",
+        );
+        let r = f.render();
+        assert!(r.matches("closure[").count() == 2, "{r}");
+    }
+
+    #[test]
+    fn errors_recover_and_record_lines() {
+        let f = parse(&lex("fn f() { let = ; }\nfn g() {}").tokens);
+        assert!(!f.errors.is_empty());
+        // g still parses after recovery.
+        assert!(f.render().contains("fn[2] g"), "{}", f.render());
+    }
+}

@@ -1,0 +1,238 @@
+//! Workspace resolution: a flat symbol table over every parsed source file.
+//!
+//! This is the middle layer of the semantic lint: [`crate::parse`] turns each
+//! file into an AST, `resolve` flattens the item trees of *all* files into a
+//! single list of function declarations ([`FnDecl`]) with enough context for
+//! name-based call resolution — the qualified name (`Ty::method` for inherent
+//! and trait impls), the module's test-ness, and the body. It also collects
+//! every `const NAME: &str = "...";` string constant so the taint pass can
+//! resolve `env::var(SOME_CONST)` back to the literal environment-variable
+//! name.
+//!
+//! Resolution here is deliberately approximate (no type inference, no import
+//! tracking): names are matched workspace-wide. DESIGN.md §6e spells out the
+//! soundness consequences.
+
+use crate::ast::{Attr, Block, Expr, Item, ItemKind, LitKind, SourceFile, Stmt};
+use std::collections::BTreeMap;
+
+/// One function declaration anywhere in the workspace.
+#[derive(Clone, Debug)]
+pub struct FnDecl {
+    /// Index into [`Workspace::fns`].
+    pub id: usize,
+    /// Repo-relative path of the defining file.
+    pub file: String,
+    /// Enclosing `impl` base type (`Machine` for `impl Machine` and
+    /// `impl Trait for Machine`), `None` for free functions.
+    pub impl_ty: Option<String>,
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// First line of the declaration including its attributes — fn-level
+    /// `ccsim-lint: allow(...)` comments anchor here.
+    pub span_start: u32,
+    /// Parameter binding names; a receiver appears as leading `self`.
+    pub params: Vec<String>,
+    pub body: Option<Block>,
+    /// Inside `#[cfg(test)]` / `#[test]` / `feature = "testing"` code, or a
+    /// `tests/` / `fixtures/` file: interprocedural rules skip these.
+    pub test_only: bool,
+}
+
+impl FnDecl {
+    /// `Ty::name` for methods, bare `name` for free functions.
+    pub fn qual_name(&self) -> String {
+        match &self.impl_ty {
+            Some(t) => format!("{}::{}", t, self.name),
+            None => self.name.clone(),
+        }
+    }
+
+    pub fn has_self(&self) -> bool {
+        self.params.first().is_some_and(|p| p == "self")
+    }
+}
+
+/// The flattened workspace: every function, indexed for name lookup, plus
+/// the string-constant table.
+#[derive(Clone, Debug, Default)]
+pub struct Workspace {
+    pub fns: Vec<FnDecl>,
+    /// Bare function name → ids (free functions and methods alike).
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// `Ty::name` → ids.
+    pub by_qual: BTreeMap<String, Vec<usize>>,
+    /// `const NAME: &str = "LIT";` anywhere in the workspace → `NAME → LIT`.
+    pub str_consts: BTreeMap<String, String>,
+}
+
+impl Workspace {
+    pub fn build(files: &[(String, SourceFile)]) -> Workspace {
+        let mut ws = Workspace::default();
+        for (path, ast) in files {
+            let file_test_only = path.starts_with("tests/")
+                || path.contains("/tests/")
+                || path.contains("/fixtures/");
+            for item in &ast.items {
+                ws.walk_item(path, item, None, file_test_only);
+            }
+        }
+        let mut by_name = BTreeMap::new();
+        let mut by_qual = BTreeMap::new();
+        for f in &ws.fns {
+            by_name
+                .entry(f.name.clone())
+                .or_insert_with(Vec::new)
+                .push(f.id);
+            by_qual
+                .entry(f.qual_name())
+                .or_insert_with(Vec::new)
+                .push(f.id);
+        }
+        ws.by_name = by_name;
+        ws.by_qual = by_qual;
+        ws
+    }
+
+    /// Ids of functions named `name` (any impl).
+    pub fn named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Ids of functions with qualified name `Ty::name`.
+    pub fn qualified(&self, qual: &str) -> &[usize] {
+        self.by_qual.get(qual).map_or(&[], |v| v.as_slice())
+    }
+
+    fn walk_item(&mut self, file: &str, item: &Item, impl_ty: Option<&str>, test_only: bool) {
+        let test_only = test_only || item.attrs.iter().any(|a| a.testish);
+        match &item.kind {
+            ItemKind::Fn(f) => {
+                let id = self.fns.len();
+                self.fns.push(FnDecl {
+                    id,
+                    file: file.to_string(),
+                    impl_ty: impl_ty.map(str::to_string),
+                    name: f.name.clone(),
+                    line: f.line,
+                    span_start: span_start(&item.attrs, f.line),
+                    params: f.params.clone(),
+                    body: f.body.clone(),
+                    test_only,
+                });
+                if let Some(b) = &f.body {
+                    self.walk_block_items(file, b, test_only);
+                }
+            }
+            ItemKind::Mod {
+                items: Some(items), ..
+            } => {
+                for it in items {
+                    self.walk_item(file, it, None, test_only);
+                }
+            }
+            ItemKind::Impl { ty, items, .. } => {
+                for it in items {
+                    self.walk_item(file, it, Some(ty), test_only);
+                }
+            }
+            ItemKind::Trait { name, items } => {
+                // Default trait methods get the trait name as their type.
+                for it in items {
+                    self.walk_item(file, it, Some(name), test_only);
+                }
+            }
+            ItemKind::Const { name, init } | ItemKind::Static { name, init } => {
+                if let Some(Expr::Lit {
+                    kind: LitKind::Str(s),
+                    ..
+                }) = init
+                {
+                    self.str_consts.insert(name.clone(), s.clone());
+                }
+            }
+            ItemKind::ExternBlock { items } => {
+                for it in items {
+                    self.walk_item(file, it, None, test_only);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Nested `fn` items inside bodies still become declarations.
+    fn walk_block_items(&mut self, file: &str, b: &Block, test_only: bool) {
+        for s in &b.stmts {
+            if let Stmt::Item(it) = s {
+                self.walk_item(file, it, None, test_only);
+            }
+        }
+    }
+}
+
+fn span_start(attrs: &[Attr], fn_line: u32) -> u32 {
+    attrs
+        .iter()
+        .map(|a| a.line)
+        .min()
+        .unwrap_or(fn_line)
+        .min(fn_line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse;
+
+    fn ws(src: &str) -> Workspace {
+        let ast = parse(&lex(src).tokens);
+        Workspace::build(&[("crates/x/src/lib.rs".to_string(), ast)])
+    }
+
+    #[test]
+    fn methods_get_qualified_names() {
+        let w = ws("struct A; impl A { fn go(&self) {} }\nfn free() {}");
+        assert_eq!(w.fns.len(), 2);
+        assert_eq!(w.fns[0].qual_name(), "A::go");
+        assert!(w.fns[0].has_self());
+        assert_eq!(w.fns[1].qual_name(), "free");
+        assert_eq!(w.qualified("A::go"), &[0]);
+        assert_eq!(w.named("go"), &[0]);
+    }
+
+    #[test]
+    fn cfg_test_mods_and_test_fns_are_test_only() {
+        let w = ws("fn live() {}\n#[cfg(test)]\nmod tests { fn helper() {} }\n#[test]\nfn t() {}");
+        let by: BTreeMap<_, _> = w
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.test_only))
+            .collect();
+        assert!(!by["live"]);
+        assert!(by["helper"]);
+        assert!(by["t"]);
+    }
+
+    #[test]
+    fn string_consts_are_collected() {
+        let w = ws("const ENV: &str = \"CCSIM_CHAOS_THREADS\";\nstatic OTHER: &str = \"x\";");
+        assert_eq!(w.str_consts["ENV"], "CCSIM_CHAOS_THREADS");
+        assert_eq!(w.str_consts["OTHER"], "x");
+    }
+
+    #[test]
+    fn span_start_covers_attribute_lines() {
+        let w = ws("#[inline]\n#[cold]\nfn f() {}");
+        assert_eq!(w.fns[0].line, 3);
+        assert_eq!(w.fns[0].span_start, 1);
+    }
+
+    #[test]
+    fn trait_default_methods_qualify_under_the_trait() {
+        let w = ws("trait T { fn d(&self) { self.r() } fn r(&self); }");
+        assert_eq!(w.fns[0].qual_name(), "T::d");
+        assert!(w.fns[1].body.is_none());
+    }
+}

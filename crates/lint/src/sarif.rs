@@ -1,0 +1,167 @@
+//! SARIF 2.1.0 rendering for lint diagnostics.
+//!
+//! Emits the minimal static-analysis interchange document that GitHub code
+//! scanning (and other SARIF viewers) accept: one run, one driver named
+//! `ccsim-lint`, the full rule table with short/full descriptions, and one
+//! `result` per diagnostic with a physical location. Built on
+//! [`ccsim_util::Json`] — no external serializer.
+
+use crate::source::{Diagnostic, RULES};
+use ccsim_util::Json;
+
+/// Render `diags` as a SARIF 2.1.0 log (pretty-printed JSON text).
+pub fn to_sarif(diags: &[Diagnostic]) -> String {
+    let rules: Vec<Json> = RULES
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("id", Json::Str(r.id.to_string())),
+                (
+                    "shortDescription",
+                    Json::obj(vec![("text", Json::Str(r.summary.to_string()))]),
+                ),
+                (
+                    "fullDescription",
+                    Json::obj(vec![("text", Json::Str(r.explain.to_string()))]),
+                ),
+                (
+                    "defaultConfiguration",
+                    Json::obj(vec![("level", Json::Str("error".to_string()))]),
+                ),
+            ])
+        })
+        .collect();
+    let results: Vec<Json> = diags
+        .iter()
+        .map(|d| {
+            let rule_index = RULES
+                .iter()
+                .position(|r| r.id == d.rule)
+                .map_or(Json::Null, |i| Json::U64(i as u64));
+            Json::obj(vec![
+                ("ruleId", Json::Str(d.rule.to_string())),
+                ("ruleIndex", rule_index),
+                ("level", Json::Str("error".to_string())),
+                (
+                    "message",
+                    Json::obj(vec![("text", Json::Str(d.message.clone()))]),
+                ),
+                (
+                    "locations",
+                    Json::Arr(vec![Json::obj(vec![(
+                        "physicalLocation",
+                        Json::obj(vec![
+                            (
+                                "artifactLocation",
+                                Json::obj(vec![
+                                    ("uri", Json::Str(d.file.clone())),
+                                    ("uriBaseId", Json::Str("SRCROOT".to_string())),
+                                ]),
+                            ),
+                            (
+                                "region",
+                                Json::obj(vec![("startLine", Json::U64(u64::from(d.line)))]),
+                            ),
+                        ]),
+                    )])]),
+                ),
+            ])
+        })
+        .collect();
+    let doc = Json::obj(vec![
+        (
+            "$schema",
+            Json::Str("https://json.schemastore.org/sarif-2.1.0.json".to_string()),
+        ),
+        ("version", Json::Str("2.1.0".to_string())),
+        (
+            "runs",
+            Json::Arr(vec![Json::obj(vec![
+                (
+                    "tool",
+                    Json::obj(vec![(
+                        "driver",
+                        Json::obj(vec![
+                            ("name", Json::Str("ccsim-lint".to_string())),
+                            ("rules", Json::Arr(rules)),
+                        ]),
+                    )]),
+                ),
+                (
+                    "originalUriBaseIds",
+                    Json::obj(vec![(
+                        "SRCROOT",
+                        Json::obj(vec![("uri", Json::Str("file:///".to_string()))]),
+                    )]),
+                ),
+                ("results", Json::Arr(results)),
+            ])]),
+        ),
+    ]);
+    doc.pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag() -> Diagnostic {
+        Diagnostic {
+            file: "crates/core/src/directory.rs".to_string(),
+            line: 42,
+            rule: "lock-order-global",
+            message: "cycle".to_string(),
+        }
+    }
+
+    #[test]
+    fn sarif_document_round_trips_and_pins_schema() {
+        let text = to_sarif(&[diag()]);
+        let j = Json::parse(&text).expect("valid JSON");
+        assert_eq!(
+            j.get("version").unwrap().as_str().unwrap(),
+            "2.1.0",
+            "{}",
+            text
+        );
+        let run = &j.get("runs").unwrap().as_arr().unwrap()[0];
+        let results = run.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(
+            results[0].get("ruleId").unwrap().as_str().unwrap(),
+            "lock-order-global"
+        );
+        let loc = &results[0].get("locations").unwrap().as_arr().unwrap()[0];
+        let phys = loc.get("physicalLocation").unwrap();
+        assert_eq!(
+            phys.get("artifactLocation")
+                .unwrap()
+                .get("uri")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "crates/core/src/directory.rs"
+        );
+        assert_eq!(
+            phys.get("region").unwrap().get("startLine").unwrap(),
+            &Json::U64(42)
+        );
+    }
+
+    #[test]
+    fn every_rule_appears_in_the_driver_table() {
+        let text = to_sarif(&[]);
+        let j = Json::parse(&text).unwrap();
+        let run = &j.get("runs").unwrap().as_arr().unwrap()[0];
+        let rules = run
+            .get("tool")
+            .unwrap()
+            .get("driver")
+            .unwrap()
+            .get("rules")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        assert_eq!(rules.len(), RULES.len());
+    }
+}

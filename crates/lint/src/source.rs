@@ -1,18 +1,33 @@
-//! Pass 1: source lints over the workspace token stream.
+//! Pass 1: source lints over the workspace — token stream and semantic.
 //!
 //! Every rule here guards a project law that the run cache, the fault-soak
 //! oracles, and the model checker's counterexample replay all depend on:
-//! bit-for-bit determinism and fail-loud protocol paths. Rules operate on the
-//! `lexer` token stream, so comments, strings, and test code never trigger
-//! false positives.
+//! bit-for-bit determinism and fail-loud protocol paths. The token rules
+//! (`randomstate`, `wall-clock`, `unwrap`, …) scan each file's lexed stream;
+//! the semantic rules (`lock-order`, `guard-across-fanout`,
+//! `lock-order-global`, `determinism-taint`, `panic-path`) run on the parsed
+//! ASTs of *all* files at once, through the [`crate::resolve`] symbol table,
+//! the [`crate::callgraph`] approximate call graph, and the [`crate::taint`]
+//! dataflow pass. Comments, strings, and test code never trigger false
+//! positives.
 //!
 //! Suppression is explicit only: a `// ccsim-lint: allow(<rule>): <why>`
-//! comment on the offending line or the line directly above it, and the
-//! justification text is mandatory — a bare `allow` is itself a violation
-//! (`bad-allow`).
+//! comment on the offending line, the line directly above it, or stacked
+//! with other allow comments directly above it; the justification text is
+//! mandatory — a bare `allow` is itself a violation (`bad-allow`). Two
+//! extensions for the interprocedural rules: an `allow(unwrap)` also covers
+//! the `panic-path` finding at the same site, and an `allow(panic-path)`
+//! placed on a function's attributes/header line covers every panic site in
+//! that function.
 
-use crate::lexer::{lex, Allow, Tok, Token};
+use crate::ast::{Block, Expr, SourceFile, Stmt};
+use crate::callgraph::{CallGraph, Event};
+use crate::lexer::{lex, Allow, Lexed, Tok, Token};
+use crate::parse::parse;
+use crate::resolve::{FnDecl, Workspace};
+use crate::taint;
 use ccsim_util::{Json, ToJson};
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 /// Rule identifiers, in reporting order.
@@ -22,6 +37,9 @@ pub const RULE_UNWRAP: &str = "unwrap";
 pub const RULE_TESTING_GATE: &str = "testing-gate";
 pub const RULE_LOCK_ORDER: &str = "lock-order";
 pub const RULE_GUARD_FANOUT: &str = "guard-across-fanout";
+pub const RULE_LOCK_ORDER_GLOBAL: &str = "lock-order-global";
+pub const RULE_DETERMINISM_TAINT: &str = "determinism-taint";
+pub const RULE_PANIC_PATH: &str = "panic-path";
 pub const RULE_UNBOUNDED_RETRY: &str = "unbounded-retry";
 pub const RULE_DEBUG_RESIDUE: &str = "debug-residue";
 pub const RULE_BAD_ALLOW: &str = "bad-allow";
@@ -98,6 +116,57 @@ same lock deadlocks the pool, and even when none does, the guard serializes \
 unrelated work behind an accident of scoping. Copy what you need out of the \
 guard and release it — an explicit drop(g) or a narrower block — before \
 fanning out.",
+    },
+    RuleInfo {
+        id: RULE_LOCK_ORDER_GLOBAL,
+        summary: "lock acquisitions must not form a cycle across the workspace call graph",
+        explain: "The per-file `lock-order` rule only sees a conflict when both orders \
+appear in one file. This rule builds the workspace-wide acquisition graph \
+instead: within every function it records which locks may still be held when \
+another lock is acquired — directly, or inside any function the code reaches \
+through the (approximate, name-resolved) call graph — and reports every cycle \
+in that graph. A cycle means two executions can each hold one lock while \
+waiting for the other: a deadlock that needs nothing beyond scheduling. The \
+diagnostic carries the full witness path — each edge with its file, line, and \
+function, including the call hop that imported a callee's locks. Break the \
+cycle by reordering acquisitions or narrowing a guard's scope. Two-lock \
+cycles confined to a single file stay the per-file `lock-order` rule's \
+report, not this one's.",
+    },
+    RuleInfo {
+        id: RULE_DETERMINISM_TAINT,
+        summary: "nondeterministic values must not flow into determinism sinks",
+        explain: "The token rules catch nondeterminism at its source; this rule follows \
+the value. A field-insensitive dataflow pass propagates taint from \
+nondeterminism sources (wall-clock reads, `RandomState` construction, \
+thread/process identity, environment reads whose variable name is not a \
+CCSIM_-prefixed literal) through assignments, returns, and workspace call \
+edges into determinism sinks: the run/serve cache keys, canonical JSON \
+export, the event emitter, and the fnv1a64 hasher. A nondeterministic value \
+reaching any of those breaks bit-for-bit reproducibility of run keys and \
+exported results. The diagnostic sits at the source site and names the sink \
+and the call path; annotate the source site with ccsim-lint: \
+allow(determinism-taint) when the flow is deliberate (e.g. bench wall-time \
+columns), or cut the flow. Known gap: taint routed exclusively through a \
+macro body (e.g. `format!`) is invisible — macro arguments are opaque to the \
+parser.",
+    },
+    RuleInfo {
+        id: RULE_PANIC_PATH,
+        summary: "no reachable panic on replay-commit or directory-mutation paths",
+        explain: "`unwrap` sees one call site at a time; this rule asks what the commit \
+entry points actually reach. Starting from the replay-commit entry \
+(`ReplayState::apply`) and every directory mutation (`Directory` and \
+`DirTable` `read`/`write`/`replacement`/`read_forward_result`/\
+`write_forward_result`), it walks the approximate call graph and reports \
+every potential panic site — `.unwrap()`, `.expect(..)`, panic-family \
+macros, and `[..]` indexing — in reachable protocol-crate code, each with \
+its entry → site call chain as a witness. A panic on these paths aborts a \
+simulation mid-commit with no structured report. Return errors instead, or \
+justify: a site-level allow(unwrap) also covers the panic-path finding at \
+the same site, and an allow(panic-path) on the function's attribute/header \
+lines covers every site in that function. `assert!`/`debug_assert!` are \
+deliberately not flagged — they are the safety net, not an accident.",
     },
     RuleInfo {
         id: RULE_UNBOUNDED_RETRY,
@@ -187,6 +256,11 @@ pub struct LintConfig {
     /// Path prefixes where the `debug-residue` rule applies (protocol paths
     /// the checkers prove things about).
     pub debug_residue_scope: Vec<String>,
+    /// Entry points of the `panic-path` reachability walk: `Ty::method`
+    /// qualified names, or bare names for free functions.
+    pub panic_entries: Vec<String>,
+    /// Path prefixes where reachable panic sites are reported.
+    pub panic_scope: Vec<String>,
 }
 
 impl LintConfig {
@@ -201,16 +275,37 @@ impl LintConfig {
                 "crates/engine/src/".into(),
                 "crates/model/src/".into(),
             ],
+            panic_entries: [
+                "ReplayState::apply",
+                "Directory::read",
+                "Directory::write",
+                "Directory::replacement",
+                "Directory::read_forward_result",
+                "Directory::write_forward_result",
+                "DirTable::read",
+                "DirTable::write",
+                "DirTable::replacement",
+                "DirTable::read_forward_result",
+                "DirTable::write_forward_result",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            panic_scope: vec!["crates/core/src/".into(), "crates/engine/src/".into()],
         }
     }
 
-    /// Every rule applies to every file — used to exercise fixtures.
+    /// Every rule applies to every file — used to exercise fixtures. The
+    /// `panic-path` walk starts from any function named `commit_frame`, the
+    /// fixture stand-in for the replay-commit entry.
     pub fn all_rules() -> Self {
         LintConfig {
             unwrap_scope: vec![String::new()],
             wall_clock_allowlist: Vec::new(),
             retry_scope: vec![String::new()],
             debug_residue_scope: vec![String::new()],
+            panic_entries: vec!["commit_frame".into()],
+            panic_scope: vec![String::new()],
         }
     }
 
@@ -238,76 +333,155 @@ impl LintConfig {
             .iter()
             .any(|p| file.starts_with(p.as_str()))
     }
+
+    fn panic_applies(&self, file: &str) -> bool {
+        self.panic_scope
+            .iter()
+            .any(|p| file.starts_with(p.as_str()))
+    }
 }
 
 /// Lint one file's source text. `file` is the workspace-relative path used
-/// both for scoping decisions and in diagnostics.
+/// both for scoping decisions and in diagnostics. Interprocedural rules see
+/// only this one file — use [`lint_sources`] for cross-file analysis.
 pub fn lint_file(file: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
-    let lexed = lex(src);
-    let toks = &lexed.tokens;
-    let exempt = exempt_mask(toks);
-    let mut diags = Vec::new();
+    lint_sources(&[(file.to_string(), src.to_string())], cfg)
+}
 
-    rule_randomstate(file, toks, &exempt, &mut diags);
-    if cfg.wall_clock_applies(file) {
-        rule_wall_clock(file, toks, &exempt, &mut diags);
-    }
-    if cfg.unwrap_applies(file) {
-        rule_unwrap(file, toks, &exempt, &mut diags);
-    }
-    rule_testing_gate(file, toks, &exempt, &mut diags);
-    rule_lock_order(file, toks, &exempt, &mut diags);
-    rule_guard_fanout(file, toks, &exempt, &mut diags);
-    if cfg.retry_applies(file) {
-        rule_unbounded_retry(file, toks, &exempt, &mut diags);
-    }
-    if cfg.debug_residue_applies(file) {
-        rule_debug_residue(file, toks, &exempt, &mut diags);
-    }
+/// A justified, known-rule allow with its resolved coverage. `target` is the
+/// first non-allow line at or below the comment: a stack of allow comments
+/// directly above a statement all cover that statement.
+struct AllowTarget<'a> {
+    allow: &'a Allow,
+    target: u32,
+}
 
-    // Apply suppressions: a well-formed, justified allow for the matching
-    // rule on the diagnostic's line or the line directly above.
-    let effective: Vec<&Allow> = lexed
-        .allows
+fn resolve_allow_targets(allows: &[Allow]) -> Vec<AllowTarget<'_>> {
+    let lines: BTreeSet<u32> = allows.iter().map(|a| a.line).collect();
+    allows
         .iter()
         .filter(|a| known_rule(&a.rule) && !a.justification.is_empty())
-        .collect();
-    diags.retain(|d| {
-        !effective
-            .iter()
-            .any(|a| a.rule == d.rule && (a.line == d.line || a.line + 1 == d.line))
-    });
+        .map(|a| {
+            let mut target = a.line + 1;
+            while lines.contains(&target) {
+                target += 1;
+            }
+            AllowTarget { allow: a, target }
+        })
+        .collect()
+}
 
-    for a in &lexed.allows {
-        if a.rule.is_empty() {
-            diags.push(Diagnostic {
-                file: file.to_string(),
-                line: a.line,
-                rule: RULE_BAD_ALLOW,
-                message: "malformed directive — expected `ccsim-lint: allow(<rule>): <why>`"
-                    .to_string(),
-            });
-        } else if !known_rule(&a.rule) {
-            diags.push(Diagnostic {
-                file: file.to_string(),
-                line: a.line,
-                rule: RULE_BAD_ALLOW,
-                message: format!("unknown rule `{}` in allow directive", a.rule),
-            });
-        } else if a.justification.is_empty() {
-            diags.push(Diagnostic {
-                file: file.to_string(),
-                line: a.line,
-                rule: RULE_BAD_ALLOW,
-                message: format!(
-                    "allow({}) without a justification — state why the suppression is sound",
-                    a.rule
-                ),
-            });
+/// Does an allow for `allow_rule` suppress a diagnostic of `diag_rule` at
+/// the same site? Identity, plus: `unwrap` allows carry over to `panic-path`
+/// (same site, same justification — the reachability finding adds the chain,
+/// not a new obligation).
+fn allow_covers_rule(allow_rule: &str, diag_rule: &str) -> bool {
+    allow_rule == diag_rule || (diag_rule == RULE_PANIC_PATH && allow_rule == RULE_UNWRAP)
+}
+
+/// Lint a set of sources as one workspace: per-file token rules, then the
+/// semantic rules (AST + symbol table + call graph + taint) across all
+/// files together. `files` holds `(workspace-relative path, source text)`;
+/// diagnostics come back grouped in input file order, sorted by line.
+pub fn lint_sources(files: &[(String, String)], cfg: &LintConfig) -> Vec<Diagnostic> {
+    let lexed: Vec<Lexed> = files.iter().map(|(_, src)| lex(src)).collect();
+    let asts: Vec<(String, SourceFile)> = files
+        .iter()
+        .zip(&lexed)
+        .map(|((path, _), lx)| (path.clone(), parse(&lx.tokens)))
+        .collect();
+    let mut diags = Vec::new();
+
+    // Layer 1: token rules, file by file.
+    for ((file, _), lx) in files.iter().zip(&lexed) {
+        let toks = &lx.tokens;
+        let exempt = exempt_mask(toks);
+        rule_randomstate(file, toks, &exempt, &mut diags);
+        if cfg.wall_clock_applies(file) {
+            rule_wall_clock(file, toks, &exempt, &mut diags);
+        }
+        if cfg.unwrap_applies(file) {
+            rule_unwrap(file, toks, &exempt, &mut diags);
+        }
+        rule_testing_gate(file, toks, &exempt, &mut diags);
+        if cfg.retry_applies(file) {
+            rule_unbounded_retry(file, toks, &exempt, &mut diags);
+        }
+        if cfg.debug_residue_applies(file) {
+            rule_debug_residue(file, toks, &exempt, &mut diags);
         }
     }
 
-    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    // Layers 2+3: the semantic rules over the whole input set.
+    let ws = Workspace::build(&asts);
+    let cg = CallGraph::build(&ws);
+    let allow_targets: BTreeMap<&str, Vec<AllowTarget>> = files
+        .iter()
+        .zip(&lexed)
+        .map(|((file, _), lx)| (file.as_str(), resolve_allow_targets(&lx.allows)))
+        .collect();
+    rule_lock_order(&ws, &cg, &mut diags);
+    rule_guard_fanout(&ws, &cg, &mut diags);
+    rule_lock_order_global(&ws, &cg, &mut diags);
+    rule_determinism_taint(&ws, cfg, &mut diags);
+    rule_panic_path(&ws, &cg, cfg, &allow_targets, &mut diags);
+
+    // Suppression: a justified allow for a covering rule on the diagnostic's
+    // line, or targeting it from (a stack of) comment lines directly above.
+    diags.retain(|d| {
+        let Some(allows) = allow_targets.get(d.file.as_str()) else {
+            return true;
+        };
+        !allows.iter().any(|a| {
+            allow_covers_rule(&a.allow.rule, d.rule)
+                && (a.allow.line == d.line || a.target == d.line)
+        })
+    });
+
+    // Malformed / unknown / unjustified allows are findings themselves.
+    for ((file, _), lx) in files.iter().zip(&lexed) {
+        for a in &lx.allows {
+            if a.rule.is_empty() {
+                diags.push(Diagnostic {
+                    file: file.to_string(),
+                    line: a.line,
+                    rule: RULE_BAD_ALLOW,
+                    message: "malformed directive — expected `ccsim-lint: allow(<rule>): <why>`"
+                        .to_string(),
+                });
+            } else if !known_rule(&a.rule) {
+                diags.push(Diagnostic {
+                    file: file.to_string(),
+                    line: a.line,
+                    rule: RULE_BAD_ALLOW,
+                    message: format!("unknown rule `{}` in allow directive", a.rule),
+                });
+            } else if a.justification.is_empty() {
+                diags.push(Diagnostic {
+                    file: file.to_string(),
+                    line: a.line,
+                    rule: RULE_BAD_ALLOW,
+                    message: format!(
+                        "allow({}) without a justification — state why the suppression is sound",
+                        a.rule
+                    ),
+                });
+            }
+        }
+    }
+
+    let rank: BTreeMap<&str, usize> = files
+        .iter()
+        .enumerate()
+        .map(|(i, (p, _))| (p.as_str(), i))
+        .collect();
+    diags.sort_by(|a, b| {
+        (rank.get(a.file.as_str()), a.line, a.rule).cmp(&(
+            rank.get(b.file.as_str()),
+            b.line,
+            b.rule,
+        ))
+    });
     diags
 }
 
@@ -351,19 +525,19 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Lint every workspace source file under `root`.
+/// Lint every workspace source file under `root` as one unit, so the
+/// interprocedural rules see cross-crate call edges.
 pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> std::io::Result<Vec<Diagnostic>> {
-    let mut diags = Vec::new();
+    let mut sources = Vec::new();
     for path in workspace_files(root)? {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
-        let src = std::fs::read_to_string(&path)?;
-        diags.extend(lint_file(&rel, &src, cfg));
+        sources.push((rel, std::fs::read_to_string(&path)?));
     }
-    Ok(diags)
+    Ok(lint_sources(&sources, cfg))
 }
 
 // ---------------------------------------------------------------------------
@@ -403,7 +577,7 @@ fn match_bracket(toks: &[Token], open: usize, oc: char, cc: char) -> usize {
 /// ident (covers `#[test]`, `#[cfg(test)]`, `#[cfg(any(test, ...))]`, and
 /// attr macros like `#[tokio::test]`) unless wrapped in `not(...)`, and for
 /// `feature = "testing"`.
-fn attr_is_testish(toks: &[Token]) -> bool {
+pub(crate) fn attr_is_testish(toks: &[Token]) -> bool {
     for k in 0..toks.len() {
         if let Tok::Ident(name) = &toks[k].tok {
             if name == "test" {
@@ -634,6 +808,7 @@ fn rule_unwrap(file: &str, toks: &[Token], exempt: &[bool], out: &mut Vec<Diagno
         let Some(Token {
             tok: Tok::Ident(name),
             line,
+            ..
         }) = toks.get(i + 1)
         else {
             continue;
@@ -669,6 +844,7 @@ fn rule_testing_gate(file: &str, toks: &[Token], exempt: &[bool], out: &mut Vec<
         let Some(Token {
             tok: Tok::Ident(name),
             line,
+            ..
         }) = toks.get(i + 1)
         else {
             continue;
@@ -687,70 +863,33 @@ fn rule_testing_gate(file: &str, toks: &[Token], exempt: &[bool], out: &mut Vec<
     }
 }
 
-/// The dotted receiver path of a `.lock(` call, given the index of the `.`
-/// directly before `lock`: `self.stats.lock()` → `"self.stats"`. Returns
-/// `None` for receivers with no stable name (call results, indexing,
-/// parenthesized expressions) — those carry no cross-site order information.
-fn receiver_path(toks: &[Token], dot: usize) -> Option<String> {
-    let mut parts: Vec<String> = Vec::new();
-    let mut j = dot; // toks[j] is the `.` whose receiver we are naming
-    loop {
-        let prev = j.checked_sub(1)?;
-        let Token {
-            tok: Tok::Ident(name),
-            ..
-        } = &toks[prev]
-        else {
-            return None;
-        };
-        parts.push(name.clone());
-        if prev >= 1 && is_sym(toks, prev - 1, '.') {
-            j = prev - 1;
-        } else {
-            break;
-        }
-    }
-    parts.reverse();
-    Some(parts.join("."))
+/// Locks with no stable cross-site identity — receivers that go through a
+/// call result (`s.get().lock()`) name a fresh object each time, so they
+/// carry no ordering information.
+fn nameable_lock(lock: &str) -> bool {
+    !lock.contains("()") && !lock.contains('?')
 }
 
-/// Is the token at `i` a lock acquisition — `<receiver>.lock(`?
-fn is_lock_call(toks: &[Token], i: usize) -> bool {
-    is_ident(toks, i, "lock") && i >= 1 && is_sym(toks, i - 1, '.') && is_sym(toks, i + 1, '(')
-}
-
-fn rule_lock_order(file: &str, toks: &[Token], exempt: &[bool], out: &mut Vec<Diagnostic>) {
-    use std::collections::{BTreeMap, BTreeSet};
-    // (first, second) → line where that acquisition order was first seen.
-    let mut seen: BTreeMap<(String, String), u32> = BTreeMap::new();
-    let mut flagged: BTreeSet<(String, String)> = BTreeSet::new();
-    let mut i = 0usize;
-    while i < toks.len() {
-        if exempt[i] || !is_ident(toks, i, "fn") {
-            i += 1;
+/// Per-file lock acquisition order, rebuilt on the call-graph's per-function
+/// event streams. Within each function the [`Event::Acquire`] sequence (in
+/// AST pre-order, closures folded in) is the acquisition order; any receiver
+/// pair observed in both orders anywhere in the same file is a conflict.
+fn rule_lock_order(ws: &Workspace, cg: &CallGraph, out: &mut Vec<Diagnostic>) {
+    // Per file: (first, second) → line where that order was first seen.
+    let mut seen: BTreeMap<(&str, String, String), u32> = BTreeMap::new();
+    let mut flagged: BTreeSet<(&str, String, String)> = BTreeSet::new();
+    for f in &ws.fns {
+        if f.test_only {
             continue;
         }
-        // Find the function body (or the `;` of a bodiless trait method).
-        let mut j = i + 1;
-        while j < toks.len() && !matches!(toks[j].tok, Tok::Sym(';') | Tok::Sym('{')) {
-            j += 1;
-        }
-        if j >= toks.len() || matches!(toks[j].tok, Tok::Sym(';')) {
-            i = j + 1;
-            continue;
-        }
-        let end = match_bracket(toks, j, '{', '}');
-        // Acquisition sequence in body order. Closures and nested items are
-        // deliberately folded into the enclosing function — the order still
-        // describes one syntactic code path.
-        let mut seq: Vec<(String, u32)> = Vec::new();
-        for k in j..=end {
-            if !exempt[k] && is_lock_call(toks, k) {
-                if let Some(path) = receiver_path(toks, k - 1) {
-                    seq.push((path, toks[k].line));
-                }
-            }
-        }
+        let seq: Vec<(&String, u32)> = cg.facts[f.id]
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Acquire { line, lock } if nameable_lock(lock) => Some((lock, *line)),
+                _ => None,
+            })
+            .collect();
         // Every ordered pair of distinct receivers is an observation that the
         // first is (possibly) held while the second is acquired.
         for a in 0..seq.len() {
@@ -760,12 +899,12 @@ fn rule_lock_order(file: &str, toks: &[Token], exempt: &[bool], out: &mut Vec<Di
                 if first == second {
                     continue;
                 }
-                let fwd = (first.clone(), second.clone());
-                let rev = (second.clone(), first.clone());
+                let fwd = (f.file.as_str(), (*first).clone(), (*second).clone());
+                let rev = (f.file.as_str(), (*second).clone(), (*first).clone());
                 if let Some(&prev_line) = seen.get(&rev) {
                     if flagged.insert(rev.clone()) {
                         out.push(Diagnostic {
-                            file: file.to_string(),
+                            file: f.file.clone(),
                             line: *line2,
                             rule: RULE_LOCK_ORDER,
                             message: format!(
@@ -780,110 +919,600 @@ keep one global lock order to rule out deadlock"
                 }
             }
         }
-        i = end + 1;
     }
 }
 
 /// Blocking fan-out entry points: `JobSet` methods plus the free
 /// `run_protocols` helper. Bare `run` only counts as a method call
-/// (`.run(`) so free functions named `run` elsewhere stay quiet.
+/// (`.run(..)`) so free functions named `run` elsewhere stay quiet.
 const FANOUT_CALLS: &[&str] = &["run", "run_with", "run_checked", "run_checked_with"];
 
-fn rule_guard_fanout(file: &str, toks: &[Token], exempt: &[bool], out: &mut Vec<Diagnostic>) {
-    // Brace depth per token: a token's depth is the nesting level it sits at;
-    // a `}` carries the depth *outside* the block it closes, so "depth drops
-    // below the `let`'s depth" is exactly "the guard's block has ended".
-    let mut depth = vec![0i32; toks.len()];
-    let mut d = 0i32;
-    for (k, t) in toks.iter().enumerate() {
-        match t.tok {
-            Tok::Sym('{') => {
-                depth[k] = d;
-                d += 1;
+/// Does evaluating this expression yield a live lock guard? `m.lock()` does,
+/// as does `.unwrap()`/`.expect(..)` chained onto one, a call to a function
+/// that returns one (workspace fixpoint in `guard_fns`), and a block/if/match
+/// whose value position yields one. A deref (`*m.lock()`) copies data out —
+/// the temporary guard dies at the statement's end, so it does not.
+fn yields_guard(e: &Expr, ws: &Workspace, guard_fns: &BTreeSet<usize>) -> bool {
+    match e {
+        Expr::MethodCall {
+            recv, method, args, ..
+        } => match method.as_str() {
+            "lock" if args.is_empty() => true,
+            "unwrap" | "expect" => yields_guard(recv, ws, guard_fns),
+            _ => ws
+                .named(method)
+                .iter()
+                .any(|id| guard_fns.contains(id) && ws.fns[*id].has_self()),
+        },
+        Expr::Call { callee, .. } => match callee.as_ref() {
+            Expr::Path { segs, .. } => segs
+                .last()
+                .map(|name| ws.named(name).iter().any(|id| guard_fns.contains(id)))
+                .unwrap_or(false),
+            _ => false,
+        },
+        Expr::Try { expr, .. } => yields_guard(expr, ws, guard_fns),
+        Expr::Block(b) => block_tail(b).is_some_and(|t| yields_guard(t, ws, guard_fns)),
+        Expr::If { then, els, .. } => {
+            block_tail(then).is_some_and(|t| yields_guard(t, ws, guard_fns))
+                || els.as_ref().is_some_and(|e| yields_guard(e, ws, guard_fns))
+        }
+        Expr::Match { arms, .. } => arms.iter().any(|a| yields_guard(&a.body, ws, guard_fns)),
+        _ => false,
+    }
+}
+
+fn block_tail(b: &Block) -> Option<&Expr> {
+    match b.stmts.last() {
+        Some(Stmt::Expr { expr, semi: false }) => Some(expr),
+        _ => None,
+    }
+}
+
+/// Workspace functions whose return value is (or contains) a lock guard —
+/// the helper-escape channel the token-based rule missed. Bounded fixpoint:
+/// a function joins the set when its tail expression or any `return` yields
+/// a guard given the current set.
+fn guard_returning_fns(ws: &Workspace) -> BTreeSet<usize> {
+    let mut guard_fns = BTreeSet::new();
+    for _ in 0..8 {
+        let mut changed = false;
+        for f in &ws.fns {
+            if guard_fns.contains(&f.id) {
+                continue;
             }
-            Tok::Sym('}') => {
-                d -= 1;
-                depth[k] = d;
+            let Some(body) = &f.body else { continue };
+            let mut returns_guard =
+                block_tail(body).is_some_and(|t| yields_guard(t, ws, &guard_fns));
+            if !returns_guard {
+                crate::ast::walk_block(body, &mut |e| {
+                    if let Expr::Return { expr: Some(r), .. } = e {
+                        if yields_guard(r, ws, &guard_fns) {
+                            returns_guard = true;
+                        }
+                    }
+                });
             }
-            _ => depth[k] = d,
+            if returns_guard {
+                guard_fns.insert(f.id);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
         }
     }
-    for i in 0..toks.len() {
-        if exempt[i] || !is_ident(toks, i, "let") {
-            continue;
-        }
-        // `let [mut] NAME [: Type] = <init> ;`
-        let mut j = i + 1;
-        if is_ident(toks, j, "mut") {
-            j += 1;
-        }
-        let Some(Token {
-            tok: Tok::Ident(name),
-            line: let_line,
-        }) = toks.get(j)
-        else {
-            continue;
-        };
-        // Skip an optional type ascription to reach the `=`.
-        let mut eq = j + 1;
-        while eq < toks.len() && !matches!(toks[eq].tok, Tok::Sym('=') | Tok::Sym(';')) {
-            eq += 1;
-        }
-        if eq >= toks.len() || matches!(toks[eq].tok, Tok::Sym(';')) {
-            continue;
-        }
-        // Find the statement-terminating `;`, skipping nested brackets.
-        let mut k = eq + 1;
-        let mut semi = None;
-        while k < toks.len() {
-            match toks[k].tok {
-                Tok::Sym('(') => k = match_bracket(toks, k, '(', ')'),
-                Tok::Sym('[') => k = match_bracket(toks, k, '[', ']'),
-                Tok::Sym('{') => k = match_bracket(toks, k, '{', '}'),
-                Tok::Sym(';') => {
-                    semi = Some(k);
-                    break;
-                }
-                _ => {}
-            }
-            k += 1;
-        }
-        let Some(semi) = semi else { continue };
-        if !(eq + 1..semi).any(|k| is_lock_call(toks, k)) {
-            continue;
-        }
-        // The guard is live from the `;` until its enclosing block closes or
-        // an explicit `drop(name)` releases it.
-        let live_depth = depth[i];
-        let mut k = semi + 1;
-        while k < toks.len() {
-            if depth[k] < live_depth {
-                break; // enclosing block closed — guard dropped
-            }
-            if is_ident(toks, k, "drop")
-                && is_sym(toks, k + 1, '(')
-                && matches!(toks.get(k + 2), Some(Token { tok: Tok::Ident(n), .. }) if n == name)
-                && is_sym(toks, k + 3, ')')
+    guard_fns
+}
+
+/// What the post-guard scan is looking for, in source order.
+enum GuardEvent {
+    /// `drop(<name>)` — the guard is explicitly released.
+    Drop,
+    /// A blocking fan-out call: line and callee label.
+    Fanout(u32, String),
+}
+
+/// Collect guard-relevant events from an expression tree in pre-order
+/// (approximating evaluation order).
+fn guard_events(e: &Expr, name: &str, out: &mut Vec<GuardEvent>) {
+    if let Expr::Call { callee, args, .. } = e {
+        if let Expr::Path { segs, .. } = callee.as_ref() {
+            let f = segs.last().map(String::as_str).unwrap_or("");
+            if f == "drop"
+                && matches!(args.as_slice(), [Expr::Path { segs, .. }] if segs.len() == 1 && segs[0] == name)
             {
-                break;
+                out.push(GuardEvent::Drop);
+                return;
             }
-            if let Tok::Ident(f) = &toks[k].tok {
-                let is_method_fanout =
-                    FANOUT_CALLS.contains(&f.as_str()) && k >= 1 && is_sym(toks, k - 1, '.');
-                if (is_method_fanout || f == "run_protocols") && is_sym(toks, k + 1, '(') {
-                    out.push(Diagnostic {
-                        file: file.to_string(),
-                        line: toks[k].line,
-                        rule: RULE_GUARD_FANOUT,
-                        message: format!(
-                            "lock guard `{name}` (acquired on line {let_line}) is still held \
-across `{f}(..)` — the fan-out blocks on worker threads, so drop the guard first"
-                        ),
-                    });
-                    break; // one report per guard is enough
+            if f == "run_protocols" {
+                out.push(GuardEvent::Fanout(e.line(), "run_protocols".to_string()));
+            }
+        }
+    }
+    if let Expr::MethodCall { line, method, .. } = e {
+        if FANOUT_CALLS.contains(&method.as_str()) {
+            out.push(GuardEvent::Fanout(*line, method.clone()));
+        }
+    }
+    each_child(e, &mut |c| guard_events(c, name, out));
+}
+
+/// Visit the direct child expressions of `e` in source order, entering
+/// nested blocks (but not nested `fn` items — those are their own
+/// functions).
+fn each_child<'a>(e: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
+    let block = |b: &'a Block, f: &mut dyn FnMut(&'a Expr)| {
+        for s in &b.stmts {
+            match s {
+                Stmt::Let { init, .. } => {
+                    if let Some(i) = init {
+                        f(i);
+                    }
+                }
+                Stmt::Expr { expr, .. } => f(expr),
+                Stmt::Item(_) => {}
+            }
+        }
+    };
+    match e {
+        Expr::Call { callee, args, .. } => {
+            f(callee);
+            args.iter().for_each(f);
+        }
+        Expr::MethodCall { recv, args, .. } => {
+            f(recv);
+            args.iter().for_each(f);
+        }
+        Expr::Field { base, .. } => f(base),
+        Expr::Index { base, index, .. } => {
+            f(base);
+            f(index);
+        }
+        Expr::StructLit { fields, rest, .. } => {
+            fields.iter().for_each(|(_, v)| f(v));
+            if let Some(r) = rest {
+                f(r);
+            }
+        }
+        Expr::Closure { body, .. } => f(body),
+        Expr::Block(b) => block(b, f),
+        Expr::If {
+            cond, then, els, ..
+        } => {
+            f(cond);
+            block(then, f);
+            if let Some(e) = els {
+                f(e);
+            }
+        }
+        Expr::Match {
+            scrutinee, arms, ..
+        } => {
+            f(scrutinee);
+            for a in arms {
+                if let Some(g) = &a.guard {
+                    f(g);
+                }
+                f(&a.body);
+            }
+        }
+        Expr::While { cond, body, .. } => {
+            f(cond);
+            block(body, f);
+        }
+        Expr::Loop { body, .. } => block(body, f),
+        Expr::For { iter, body, .. } => {
+            f(iter);
+            block(body, f);
+        }
+        Expr::Binary { lhs, rhs, .. } | Expr::Assign { lhs, rhs, .. } => {
+            f(lhs);
+            f(rhs);
+        }
+        Expr::Unary { expr, .. } | Expr::Try { expr, .. } | Expr::Cast { expr, .. } => f(expr),
+        Expr::Range { lo, hi, .. } => {
+            if let Some(e) = lo {
+                f(e);
+            }
+            if let Some(e) = hi {
+                f(e);
+            }
+        }
+        Expr::Return { expr, .. } | Expr::Break { expr, .. } => {
+            if let Some(e) = expr {
+                f(e);
+            }
+        }
+        Expr::Tuple { elems, .. } | Expr::Array { elems, .. } => elems.iter().for_each(f),
+        Expr::Path { .. }
+        | Expr::Lit { .. }
+        | Expr::MacroCall { .. }
+        | Expr::Continue { .. }
+        | Expr::Unknown { .. } => {}
+    }
+}
+
+/// Nested blocks directly inside an expression, without descending into the
+/// blocks themselves (the caller recurses).
+fn expr_blocks<'a>(e: &'a Expr, out: &mut Vec<&'a Block>) {
+    match e {
+        Expr::Block(b) | Expr::Loop { body: b, .. } => out.push(b),
+        Expr::If {
+            cond, then, els, ..
+        } => {
+            expr_blocks(cond, out);
+            out.push(then);
+            if let Some(e) = els {
+                expr_blocks(e, out);
+            }
+        }
+        Expr::While { cond, body, .. } => {
+            expr_blocks(cond, out);
+            out.push(body);
+        }
+        Expr::For { iter, body, .. } => {
+            expr_blocks(iter, out);
+            out.push(body);
+        }
+        Expr::Match {
+            scrutinee, arms, ..
+        } => {
+            expr_blocks(scrutinee, out);
+            for a in arms {
+                expr_blocks(&a.body, out);
+            }
+        }
+        Expr::Closure { body, .. } => expr_blocks(body, out),
+        _ => each_child(e, &mut |c| expr_blocks(c, out)),
+    }
+}
+
+/// Guard-across-fan-out, rebuilt on the AST. A guard is a single-name `let`
+/// whose initializer yields a lock guard — including through a
+/// guard-returning helper function, the escape the token scan could not see.
+/// The guard is live to the end of its enclosing block unless `drop(name)`
+/// releases it; any fan-out call in that window is a report.
+fn rule_guard_fanout(ws: &Workspace, cg: &CallGraph, out: &mut Vec<Diagnostic>) {
+    let _ = cg;
+    let guard_fns = guard_returning_fns(ws);
+    for f in &ws.fns {
+        if f.test_only {
+            continue;
+        }
+        let Some(body) = &f.body else { continue };
+        let mut blocks: Vec<&Block> = vec![body];
+        while let Some(b) = blocks.pop() {
+            for (i, s) in b.stmts.iter().enumerate() {
+                // Queue nested blocks for their own guard scans.
+                match s {
+                    Stmt::Let {
+                        init, else_block, ..
+                    } => {
+                        if let Some(e) = init {
+                            expr_blocks(e, &mut blocks);
+                        }
+                        if let Some(eb) = else_block {
+                            blocks.push(eb);
+                        }
+                    }
+                    Stmt::Expr { expr, .. } => expr_blocks(expr, &mut blocks),
+                    Stmt::Item(_) => {}
+                }
+                let Stmt::Let {
+                    line: let_line,
+                    binds,
+                    init: Some(init),
+                    ..
+                } = s
+                else {
+                    continue;
+                };
+                let [name] = binds.as_slice() else { continue };
+                if !yields_guard(init, ws, &guard_fns) {
+                    continue;
+                }
+                // Scan the rest of the enclosing block in source order.
+                let mut events = Vec::new();
+                'scan: for later in &b.stmts[i + 1..] {
+                    match later {
+                        Stmt::Let { init, .. } => {
+                            if let Some(e) = init {
+                                guard_events(e, name, &mut events);
+                            }
+                        }
+                        Stmt::Expr { expr, .. } => guard_events(expr, name, &mut events),
+                        Stmt::Item(_) => {}
+                    }
+                    // The first drop or fan-out decides the guard's fate —
+                    // one report per guard is enough.
+                    if let Some(ev) = events.first() {
+                        if let GuardEvent::Fanout(line, call) = ev {
+                            out.push(Diagnostic {
+                                file: f.file.clone(),
+                                line: *line,
+                                rule: RULE_GUARD_FANOUT,
+                                message: format!(
+                                    "lock guard `{name}` (acquired on line {let_line}) is \
+still held across `{call}(..)` — the fan-out blocks on worker threads, so \
+drop the guard first"
+                                ),
+                            });
+                        }
+                        break 'scan;
+                    }
                 }
             }
-            k += 1;
+        }
+    }
+}
+
+/// One edge of the workspace lock graph: `held` is still held when `then` is
+/// acquired, at `file:line` inside `in_fn` (possibly through a call into
+/// `via`).
+#[derive(Clone, Debug)]
+struct LockEdge {
+    file: String,
+    line: u32,
+    in_fn: String,
+    via: Option<String>,
+}
+
+/// Workspace-wide lock-order cycles. Edges come from two observations per
+/// function: a lock acquired while an earlier-acquired lock is still
+/// (conservatively) held, and a call made under a held lock into a function
+/// whose transitive closure acquires further locks. Any cycle in the
+/// resulting graph is a potential deadlock; cycles confined to one file with
+/// only two locks are left to the per-file `lock-order` rule.
+fn rule_lock_order_global(ws: &Workspace, cg: &CallGraph, out: &mut Vec<Diagnostic>) {
+    let closure = cg.locks_closure(ws);
+    let mut edges: BTreeMap<(String, String), LockEdge> = BTreeMap::new();
+    for f in &ws.fns {
+        if f.test_only {
+            continue;
+        }
+        let mut held: Vec<&String> = Vec::new();
+        for ev in &cg.facts[f.id].events {
+            match ev {
+                Event::Acquire { line, lock } => {
+                    if nameable_lock(lock) {
+                        for h in &held {
+                            if *h != lock {
+                                edges
+                                    .entry(((*h).clone(), lock.clone()))
+                                    .or_insert_with(|| LockEdge {
+                                        file: f.file.clone(),
+                                        line: *line,
+                                        in_fn: f.qual_name(),
+                                        via: None,
+                                    });
+                            }
+                        }
+                        if !held.contains(&lock) {
+                            held.push(lock);
+                        }
+                    }
+                }
+                Event::Call { line, callees } => {
+                    if held.is_empty() {
+                        continue;
+                    }
+                    for &c in callees {
+                        if ws.fns[c].test_only {
+                            continue;
+                        }
+                        for l in &closure[c] {
+                            if !nameable_lock(l) {
+                                continue;
+                            }
+                            for h in &held {
+                                if *h != l {
+                                    edges.entry(((*h).clone(), l.clone())).or_insert_with(|| {
+                                        LockEdge {
+                                            file: f.file.clone(),
+                                            line: *line,
+                                            in_fn: f.qual_name(),
+                                            via: Some(ws.fns[c].qual_name()),
+                                        }
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Successor map, then one shortest witness cycle per distinct cycle,
+    // anchored at its lexicographically smallest lock.
+    let mut succ: BTreeMap<&String, Vec<&String>> = BTreeMap::new();
+    for (from, to) in edges.keys().map(|(a, b)| (a, b)) {
+        succ.entry(from).or_default().push(to);
+    }
+    let nodes: BTreeSet<&String> = edges.keys().flat_map(|(a, b)| [a, b]).collect();
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for &start in &nodes {
+        // BFS from `start` back to itself.
+        let mut prev: BTreeMap<&String, &String> = BTreeMap::new();
+        let mut queue = std::collections::VecDeque::from([start]);
+        let mut cycle: Option<Vec<&String>> = None;
+        'bfs: while let Some(u) = queue.pop_front() {
+            for &v in succ.get(u).map_or(&[][..], |s| s.as_slice()) {
+                if v == start {
+                    let mut path = vec![u];
+                    while let Some(&p) = prev.get(path.last().unwrap()) {
+                        path.push(p);
+                    }
+                    path.reverse();
+                    cycle = Some(path); // start, ..., u
+                    break 'bfs;
+                }
+                if v != start && !prev.contains_key(v) && u != v {
+                    prev.insert(v, u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        let Some(cycle) = cycle else { continue };
+        // Anchor: only report each cycle once, from its smallest lock.
+        if cycle.iter().any(|n| *n < start) {
+            continue;
+        }
+        let key: Vec<String> = {
+            let mut k: Vec<String> = cycle.iter().map(|s| (*s).clone()).collect();
+            k.sort();
+            k
+        };
+        if !reported.insert(key) {
+            continue;
+        }
+        let edge_infos: Vec<(&String, &String, &LockEdge)> = (0..cycle.len())
+            .map(|i| {
+                let from = cycle[i];
+                let to = cycle[(i + 1) % cycle.len()];
+                (from, to, &edges[&(from.clone(), to.clone())])
+            })
+            .collect();
+        let files: BTreeSet<&str> = edge_infos.iter().map(|(_, _, e)| e.file.as_str()).collect();
+        if cycle.len() == 2 && files.len() == 1 {
+            continue; // the per-file lock-order rule owns this one
+        }
+        let witness: Vec<String> = edge_infos
+            .iter()
+            .map(|(from, to, e)| match &e.via {
+                Some(callee) => format!(
+                    "`{from}` → `{to}` at {}:{} (in `{}`, via call to `{}`)",
+                    e.file, e.line, e.in_fn, callee
+                ),
+                None => format!(
+                    "`{from}` → `{to}` at {}:{} (in `{}`)",
+                    e.file, e.line, e.in_fn
+                ),
+            })
+            .collect();
+        let (_, first_to, first_edge) = &edge_infos[0];
+        out.push(Diagnostic {
+            file: first_edge.file.clone(),
+            line: first_edge.line,
+            rule: RULE_LOCK_ORDER_GLOBAL,
+            message: format!(
+                "acquiring `{first_to}` while holding `{start}` completes a workspace-wide \
+lock cycle: {} — keep one global acquisition order to rule out deadlock",
+                witness.join("; ")
+            ),
+        });
+    }
+}
+
+/// Nondeterminism-taint flows, one diagnostic per (source site, sink name)
+/// pair with the shortest witness chain found. Sources inside the wall-clock
+/// allowlist (bench/harness measure host time on purpose) are skipped when
+/// the source *is* the wall clock; other source kinds there still count.
+fn rule_determinism_taint(ws: &Workspace, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+    let ta = taint::analyze(ws);
+    // (source site, sink name) → index of the shortest-chain flow. The
+    // fixpoint records one flow per distinct chain and sink site, so the
+    // same pair can appear many times.
+    let mut best: BTreeMap<(usize, u32, &str), usize> = BTreeMap::new();
+    for (i, flow) in ta.flows.iter().enumerate() {
+        let src = &ta.sources[flow.src];
+        let key = (src.fn_id, src.line, ta.sinks[flow.sink].name.as_str());
+        best.entry(key)
+            .and_modify(|b| {
+                if flow.chain.len() < ta.flows[*b].chain.len() {
+                    *b = i;
+                }
+            })
+            .or_insert(i);
+    }
+    for &i in best.values() {
+        let flow = &ta.flows[i];
+        let src = &ta.sources[flow.src];
+        let sink = &ta.sinks[flow.sink];
+        let src_fn = &ws.fns[src.fn_id];
+        let sink_fn = &ws.fns[sink.fn_id];
+        if src.kind.contains("wall clock") && !cfg.wall_clock_applies(&src_fn.file) {
+            continue;
+        }
+        let path = if flow.chain.len() > 1 {
+            format!(" via `{}`", flow.chain.join("` → `"))
+        } else {
+            String::new()
+        };
+        out.push(Diagnostic {
+            file: src_fn.file.clone(),
+            line: src.line,
+            rule: RULE_DETERMINISM_TAINT,
+            message: format!(
+                "{} flows into determinism sink `{}` ({}:{}){path} — nondeterminism here \
+breaks bit-for-bit reproducibility of keys and exported results",
+                src.kind, sink.name, sink_fn.file, sink.line
+            ),
+        });
+    }
+}
+
+/// Is a panic-path diagnostic inside `f` covered by a fn-level allow — one
+/// whose comment stack targets the function's attribute/header lines?
+fn fn_level_panic_allow(allows: &[AllowTarget], f: &FnDecl) -> bool {
+    allows
+        .iter()
+        .any(|a| a.allow.rule == RULE_PANIC_PATH && a.target >= f.span_start && a.target <= f.line)
+}
+
+/// Every potential panic site reachable from the configured entry points,
+/// reported with its call chain. Test-only code is outside the walk, and
+/// only files in `panic_scope` are reported (the walk itself crosses any
+/// file).
+fn rule_panic_path(
+    ws: &Workspace,
+    cg: &CallGraph,
+    cfg: &LintConfig,
+    allow_targets: &BTreeMap<&str, Vec<AllowTarget>>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut entries: Vec<usize> = Vec::new();
+    for e in &cfg.panic_entries {
+        let ids = if e.contains("::") {
+            ws.qualified(e)
+        } else {
+            ws.named(e)
+        };
+        entries.extend(ids.iter().copied().filter(|&id| !ws.fns[id].test_only));
+    }
+    if entries.is_empty() {
+        return;
+    }
+    let parent = cg.reach(ws, &entries);
+    for f in &ws.fns {
+        if f.test_only || parent[f.id].is_none() || !cfg.panic_applies(&f.file) {
+            continue;
+        }
+        if cg.facts[f.id].panics.is_empty() {
+            continue;
+        }
+        let no_allows = Vec::new();
+        let allows = allow_targets.get(f.file.as_str()).unwrap_or(&no_allows);
+        if fn_level_panic_allow(allows, f) {
+            continue;
+        }
+        let chain = cg.chain(ws, &parent, f.id);
+        let entry = chain.first().cloned().unwrap_or_else(|| f.qual_name());
+        let path = chain.join("` → `");
+        let mut sites: Vec<_> = cg.facts[f.id].panics.iter().collect();
+        sites.dedup_by_key(|s| s.line); // e.g. nested indexing on one line
+        for site in sites {
+            out.push(Diagnostic {
+                file: f.file.clone(),
+                line: site.line,
+                rule: RULE_PANIC_PATH,
+                message: format!(
+                    "{} can panic and is reachable from commit entry `{entry}` \
+(call chain `{path}`) — return a structured error or justify with an allow",
+                    site.kind.describe()
+                ),
+            });
         }
     }
 }
@@ -1257,6 +1886,105 @@ fn h() { unimplemented!() }
         let cfg = LintConfig::all_rules();
         let src = "fn f(set: JobSet, m: &Mutex<u64>) { let g: MutexGuard<u64> = m.lock(); set.run_with(2, mode, dir); }";
         assert_eq!(rules_of(&lint_file("x.rs", src, &cfg)), [RULE_GUARD_FANOUT]);
+    }
+
+    #[test]
+    fn guard_escaping_through_a_helper_is_flagged() {
+        let cfg = LintConfig::all_rules();
+        // The token-based scan could not see this: the guard is acquired by
+        // `hold`, not by a literal `.lock()` in `f`.
+        let src = "
+            fn hold(m: &Mutex<u64>) -> MutexGuard<u64> { m.lock() }
+            fn f(set: JobSet, m: &Mutex<u64>) { let g = hold(m); set.run(); }
+        ";
+        let diags = lint_file("x.rs", src, &cfg);
+        assert_eq!(rules_of(&diags), [RULE_GUARD_FANOUT], "{diags:?}");
+        assert!(diags[0].message.contains("`g`"), "{diags:?}");
+    }
+
+    #[test]
+    fn deref_of_a_lock_is_not_a_live_guard() {
+        let cfg = LintConfig::all_rules();
+        // `*m.lock()` copies the value out; the temporary guard dies at the
+        // end of the statement, so the fan-out does not run under it.
+        let src = "fn f(set: JobSet, m: &Mutex<u64>) { let v = *m.lock(); set.run(); }";
+        assert!(lint_file("x.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn panic_path_reports_the_call_chain_from_the_entry() {
+        let cfg = LintConfig::all_rules();
+        let src = "
+            fn commit_frame(v: &[u64], i: usize) -> u64 { step(v, i) }
+            fn step(v: &[u64], i: usize) -> u64 { v[i] }
+        ";
+        let diags = lint_file("crates/core/src/x.rs", src, &cfg);
+        assert_eq!(rules_of(&diags), [RULE_PANIC_PATH], "{diags:?}");
+        assert_eq!(diags[0].line, 3);
+        assert!(
+            diags[0].message.contains("`commit_frame` → `step`"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn panic_path_is_covered_by_an_unwrap_allow_at_the_site() {
+        let cfg = LintConfig::all_rules();
+        // An existing allow(unwrap) also covers the reachability finding at
+        // the same site — it adds a chain, not a new obligation.
+        let src = "
+            fn commit_frame(v: &[u64]) -> u64 {
+                // ccsim-lint: allow(unwrap): the slot was populated two lines up
+                v.first().unwrap() + 1
+            }
+        ";
+        assert!(lint_file("x.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn fn_level_panic_path_allow_covers_the_whole_function() {
+        let cfg = LintConfig::all_rules();
+        let src = "
+            // ccsim-lint: allow(panic-path): indices are bounded by construction
+            fn commit_frame(v: &[u64], i: usize) -> u64 { v[i] + v[i + 1] }
+        ";
+        assert!(lint_file("x.rs", src, &cfg).is_empty());
+        // ...but only that function: a second reachable site still reports.
+        let two = "
+            // ccsim-lint: allow(panic-path): indices are bounded by construction
+            fn commit_frame(v: &[u64], i: usize) -> u64 { helper(v, i) + v[i] }
+            fn helper(v: &[u64], i: usize) -> u64 { v[i] }
+        ";
+        let diags = lint_file("x.rs", two, &cfg);
+        assert_eq!(rules_of(&diags), [RULE_PANIC_PATH], "{diags:?}");
+        assert_eq!(diags[0].line, 4, "{diags:?}");
+    }
+
+    #[test]
+    fn stacked_allows_all_target_the_first_code_line_below() {
+        let cfg = LintConfig::all_rules();
+        let src = "
+            fn f() {
+                // ccsim-lint: allow(wall-clock): reporting only
+                // ccsim-lint: allow(randomstate): fixture exercises both rules
+                let (t, m) = (Instant::now(), HashMap::new());
+            }
+        ";
+        assert!(lint_file("x.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn determinism_taint_is_suppressed_at_the_source_site() {
+        let cfg = LintConfig::all_rules();
+        let src = "
+            fn f() -> String {
+                // ccsim-lint: allow(wall-clock): reporting only
+                // ccsim-lint: allow(determinism-taint): lands in a comment field
+                let t = Instant::now();
+                to_json(t)
+            }
+        ";
+        assert!(lint_file("x.rs", src, &cfg).is_empty());
     }
 
     #[test]

@@ -1,0 +1,616 @@
+//! Interprocedural nondeterminism taint: sources → assignments/returns/call
+//! edges → determinism sinks.
+//!
+//! The lattice is a set of origins per variable: `Param(i)` (the value
+//! depends on the i-th parameter) and `Src(s)` (the value carries
+//! nondeterminism from registered source site `s`). Everything else is
+//! bottom (deterministic). The analysis is field-insensitive — tainting any
+//! part of a value taints the whole value — and flow order inside a body is
+//! approximated by pre-order evaluation with monotone (`|=`) updates, so a
+//! variable once tainted stays tainted.
+//!
+//! Per-function summaries carry the interprocedural facts:
+//! - `ret_params`: the return value depends on parameter *i*;
+//! - `ret_sources`: the return value carries source *s*;
+//! - `param_sinks`: parameter *i* flows into sink *k* (directly or through
+//!   callees), with the call chain for the witness message.
+//!
+//! Summaries are iterated to a bounded fixpoint over the whole workspace.
+//! Unresolved calls (std, closures invoked via combinators) pass taint from
+//! arguments to result, and an unresolved *method* call additionally taints
+//! the receiver variable — the mutation approximation that catches
+//! `buf.push(wall_clock_value)`. Macro arguments are invisible (opaque
+//! bodies): a taint routed exclusively through `format!` is lost, which is
+//! the documented false-negative class (DESIGN.md §6e).
+//!
+//! Sources: wall clock (`Instant::now`, `SystemTime::now`), `RandomState`
+//! construction, thread identity (`thread::current`,
+//! `available_parallelism`, `process::id`), and environment reads whose
+//! variable name is not a `CCSIM_`-prefixed literal (string constants are
+//! resolved through the workspace const table).
+//!
+//! Sinks: deterministic-output functions by name — `run_key`, `serve_key`,
+//! `to_json`, `to_canonical_json`, `emit`, `fnv1a64`.
+
+use crate::ast::{Block, Expr, LitKind, Stmt};
+use crate::callgraph::{recv_root, resolve_method_call, resolve_path_call};
+use crate::resolve::Workspace;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Function names that feed determinism-critical output.
+pub const SINKS: &[&str] = &[
+    "run_key",
+    "serve_key",
+    "to_json",
+    "to_canonical_json",
+    "emit",
+    "fnv1a64",
+];
+
+/// A registered nondeterminism source site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SrcSite {
+    pub fn_id: usize,
+    pub line: u32,
+    /// Human description, e.g. "wall clock (`Instant::now`)".
+    pub kind: String,
+}
+
+/// A registered sink site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SinkSite {
+    pub fn_id: usize,
+    pub line: u32,
+    pub name: String,
+}
+
+/// A source-to-sink flow with the sink-side call chain (qualified fn names,
+/// outermost first, ending at the function containing the sink).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Flow {
+    pub src: usize,
+    pub sink: usize,
+    pub chain: Vec<String>,
+}
+
+#[derive(Clone, Debug, Default)]
+pub struct TaintAnalysis {
+    pub sources: Vec<SrcSite>,
+    pub sinks: Vec<SinkSite>,
+    pub flows: Vec<Flow>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Origin {
+    Param(usize),
+    Src(usize),
+}
+
+type Origins = BTreeSet<Origin>;
+
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct Summary {
+    ret_params: BTreeSet<usize>,
+    ret_sources: BTreeSet<usize>,
+    /// (param index, sink id) → call chain from this fn to the sink's fn.
+    param_sinks: BTreeMap<(usize, usize), Vec<String>>,
+}
+
+pub fn analyze(ws: &Workspace) -> TaintAnalysis {
+    let mut st = State {
+        ws,
+        sources: Vec::new(),
+        sinks: Vec::new(),
+        flows: BTreeSet::new(),
+        summaries: vec![Summary::default(); ws.fns.len()],
+    };
+    // Bounded fixpoint. Sites are registered on first encounter keyed by
+    // (fn, line, text), so ids are stable across rounds.
+    for round in 0..12 {
+        let mut changed = false;
+        for f in &ws.fns {
+            if f.test_only || f.body.is_none() {
+                continue;
+            }
+            let summary = st.eval_fn(f.id);
+            if st.summaries[f.id] != summary {
+                st.summaries[f.id] = summary;
+                changed = true;
+            }
+        }
+        if !changed && round > 0 {
+            break;
+        }
+    }
+    TaintAnalysis {
+        sources: st.sources,
+        sinks: st.sinks,
+        flows: st.flows.into_iter().collect(),
+    }
+}
+
+struct State<'w> {
+    ws: &'w Workspace,
+    sources: Vec<SrcSite>,
+    sinks: Vec<SinkSite>,
+    flows: BTreeSet<Flow>,
+    summaries: Vec<Summary>,
+}
+
+impl State<'_> {
+    fn src_id(&mut self, fn_id: usize, line: u32, kind: &str) -> usize {
+        if let Some(i) = self
+            .sources
+            .iter()
+            .position(|s| s.fn_id == fn_id && s.line == line && s.kind == kind)
+        {
+            return i;
+        }
+        self.sources.push(SrcSite {
+            fn_id,
+            line,
+            kind: kind.to_string(),
+        });
+        self.sources.len() - 1
+    }
+
+    fn sink_id(&mut self, fn_id: usize, line: u32, name: &str) -> usize {
+        if let Some(i) = self
+            .sinks
+            .iter()
+            .position(|s| s.fn_id == fn_id && s.line == line && s.name == name)
+        {
+            return i;
+        }
+        self.sinks.push(SinkSite {
+            fn_id,
+            line,
+            name: name.to_string(),
+        });
+        self.sinks.len() - 1
+    }
+
+    fn eval_fn(&mut self, fn_id: usize) -> Summary {
+        let f = &self.ws.fns[fn_id];
+        let body = f.body.clone().expect("checked by caller");
+        let impl_ty = f.impl_ty.clone();
+        let env = f
+            .params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), BTreeSet::from([Origin::Param(i)])))
+            .collect();
+        let mut ev = Eval {
+            st: self,
+            fn_id,
+            impl_ty,
+            env,
+            ret: Origins::new(),
+            summary: Summary::default(),
+        };
+        let tail = ev.block(&body);
+        ev.ret.extend(tail);
+        let ret = std::mem::take(&mut ev.ret);
+        let mut summary = std::mem::take(&mut ev.summary);
+        for o in ret {
+            match o {
+                Origin::Param(i) => {
+                    summary.ret_params.insert(i);
+                }
+                Origin::Src(s) => {
+                    summary.ret_sources.insert(s);
+                }
+            }
+        }
+        summary
+    }
+}
+
+struct Eval<'a, 'w> {
+    st: &'a mut State<'w>,
+    fn_id: usize,
+    impl_ty: Option<String>,
+    env: BTreeMap<String, Origins>,
+    ret: Origins,
+    summary: Summary,
+}
+
+impl Eval<'_, '_> {
+    fn qual(&self) -> String {
+        self.st.ws.fns[self.fn_id].qual_name()
+    }
+
+    fn block(&mut self, b: &Block) -> Origins {
+        let mut tail = Origins::new();
+        for (i, s) in b.stmts.iter().enumerate() {
+            match s {
+                Stmt::Let {
+                    binds,
+                    init,
+                    else_block,
+                    ..
+                } => {
+                    let o = init.as_ref().map(|e| self.eval(e)).unwrap_or_default();
+                    for bind in binds {
+                        self.env.entry(bind.clone()).or_default().extend(o.clone());
+                    }
+                    if let Some(e) = else_block {
+                        self.block(e);
+                    }
+                }
+                Stmt::Expr { expr, semi } => {
+                    let o = self.eval(expr);
+                    if !semi && i + 1 == b.stmts.len() {
+                        tail = o;
+                    }
+                }
+                Stmt::Item(_) => {}
+            }
+        }
+        tail
+    }
+
+    fn eval(&mut self, e: &Expr) -> Origins {
+        match e {
+            Expr::Path { segs, .. } => {
+                if segs.len() == 1 {
+                    self.env.get(&segs[0]).cloned().unwrap_or_default()
+                } else {
+                    Origins::new()
+                }
+            }
+            Expr::Lit { .. } | Expr::Continue { .. } | Expr::Unknown { .. } => Origins::new(),
+            Expr::MacroCall { .. } => Origins::new(), // opaque args: documented caveat
+            Expr::Call { line, callee, args } => {
+                if let Expr::Path { segs, .. } = callee.as_ref() {
+                    if let Some(kind) = self.source_kind(segs, args) {
+                        let id = self.st.src_id(self.fn_id, *line, &kind);
+                        return Origins::from([Origin::Src(id)]);
+                    }
+                    let arg_origins: Vec<Origins> = args.iter().map(|a| self.eval(a)).collect();
+                    let name = segs.last().map(String::as_str).unwrap_or("");
+                    if SINKS.contains(&name) {
+                        return self.feed_sink(*line, name, &arg_origins);
+                    }
+                    let callees = resolve_path_call(self.st.ws, self.impl_ty.as_deref(), segs);
+                    return self.through_call(&callees, &arg_origins);
+                }
+                let mut out = self.eval(callee);
+                for a in args {
+                    out.extend(self.eval(a));
+                }
+                out
+            }
+            Expr::MethodCall {
+                line,
+                recv,
+                method,
+                args,
+            } => {
+                let mut arg_origins = vec![self.eval(recv)];
+                for a in args {
+                    arg_origins.push(self.eval(a));
+                }
+                if SINKS.contains(&method.as_str()) {
+                    return self.feed_sink(*line, method, &arg_origins);
+                }
+                let is_self = recv_root(recv) == Some("self");
+                let callees =
+                    resolve_method_call(self.st.ws, self.impl_ty.as_deref(), is_self, method);
+                if callees.is_empty() {
+                    // Unresolved method: taint passes through, and the
+                    // receiver variable absorbs argument taint (mutation
+                    // approximation for `buf.push(tainted)`).
+                    let union: Origins = arg_origins.iter().flatten().copied().collect();
+                    if let Some(root) = recv_root(recv) {
+                        if self.env.contains_key(root) {
+                            let arg_taint: Origins =
+                                arg_origins[1..].iter().flatten().copied().collect();
+                            self.env
+                                .entry(root.to_string())
+                                .or_default()
+                                .extend(arg_taint);
+                        }
+                    }
+                    return union;
+                }
+                self.through_call(&callees, &arg_origins)
+            }
+            Expr::Field { base, .. } => self.eval(base),
+            Expr::Index { base, index, .. } => {
+                let mut o = self.eval(base);
+                o.extend(self.eval(index));
+                o
+            }
+            Expr::StructLit { fields, rest, .. } => {
+                let mut o = Origins::new();
+                for (_, v) in fields {
+                    o.extend(self.eval(v));
+                }
+                if let Some(r) = rest {
+                    o.extend(self.eval(r));
+                }
+                o
+            }
+            // A closure's value carries whatever its body computes: calling
+            // it through an unresolved combinator then unions it onward.
+            Expr::Closure { body, .. } => self.eval(body),
+            Expr::Block(b) => self.block(b),
+            Expr::If {
+                cond, then, els, ..
+            } => {
+                let mut o = self.eval(cond);
+                o.extend(self.block(then));
+                if let Some(e) = els {
+                    o.extend(self.eval(e));
+                }
+                o
+            }
+            Expr::Match {
+                scrutinee, arms, ..
+            } => {
+                let scrut = self.eval(scrutinee);
+                let mut o = scrut.clone();
+                for arm in arms {
+                    // Arm bindings inherit the scrutinee's taint.
+                    for b in &arm.binds {
+                        self.env.entry(b.clone()).or_default().extend(scrut.clone());
+                    }
+                    if let Some(g) = &arm.guard {
+                        self.eval(g);
+                    }
+                    o.extend(self.eval(&arm.body));
+                }
+                o
+            }
+            Expr::While { cond, body, .. } => {
+                let mut o = self.eval(cond);
+                o.extend(self.block(body));
+                o
+            }
+            Expr::Loop { body, .. } => self.block(body),
+            Expr::For {
+                binds, iter, body, ..
+            } => {
+                let it = self.eval(iter);
+                for b in binds {
+                    self.env.entry(b.clone()).or_default().extend(it.clone());
+                }
+                let mut o = it;
+                o.extend(self.block(body));
+                o
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                let mut o = self.eval(lhs);
+                o.extend(self.eval(rhs));
+                o
+            }
+            Expr::Unary { expr, .. } | Expr::Try { expr, .. } | Expr::Cast { expr, .. } => {
+                self.eval(expr)
+            }
+            Expr::Assign { lhs, rhs, .. } => {
+                let o = self.eval(rhs);
+                if let Some(root) = recv_root(lhs) {
+                    self.env
+                        .entry(root.to_string())
+                        .or_default()
+                        .extend(o.clone());
+                }
+                o
+            }
+            Expr::Range { lo, hi, .. } => {
+                let mut o = Origins::new();
+                if let Some(e) = lo {
+                    o.extend(self.eval(e));
+                }
+                if let Some(e) = hi {
+                    o.extend(self.eval(e));
+                }
+                o
+            }
+            Expr::Return { expr, .. } => {
+                if let Some(e) = expr {
+                    let o = self.eval(e);
+                    self.ret.extend(o);
+                }
+                Origins::new()
+            }
+            Expr::Break { expr, .. } => expr.as_ref().map(|e| self.eval(e)).unwrap_or_default(),
+            Expr::Tuple { elems, .. } | Expr::Array { elems, .. } => {
+                let mut o = Origins::new();
+                for e in elems {
+                    o.extend(self.eval(e));
+                }
+                o
+            }
+        }
+    }
+
+    /// All origins in `arg_origins` reach the sink at `line`; sources become
+    /// flows, params become summary facts. Returns the union (a key derived
+    /// from a tainted value is itself tainted).
+    fn feed_sink(&mut self, line: u32, name: &str, arg_origins: &[Origins]) -> Origins {
+        let sink = self.st.sink_id(self.fn_id, line, name);
+        let here = vec![self.qual()];
+        let union: Origins = arg_origins.iter().flatten().copied().collect();
+        for o in &union {
+            match o {
+                Origin::Src(s) => {
+                    self.st.flows.insert(Flow {
+                        src: *s,
+                        sink,
+                        chain: here.clone(),
+                    });
+                }
+                Origin::Param(i) => {
+                    self.summary
+                        .param_sinks
+                        .entry((*i, sink))
+                        .or_insert_with(|| here.clone());
+                }
+            }
+        }
+        union
+    }
+
+    /// Propagate through a resolved call: callee summaries translate
+    /// argument origins into result origins and sink flows.
+    fn through_call(&mut self, callees: &[usize], arg_origins: &[Origins]) -> Origins {
+        if callees.is_empty() {
+            return arg_origins.iter().flatten().copied().collect();
+        }
+        let mut out = Origins::new();
+        for &c in callees {
+            let summary = self.st.summaries[c].clone();
+            for s in &summary.ret_sources {
+                out.insert(Origin::Src(*s));
+            }
+            for i in &summary.ret_params {
+                if let Some(o) = arg_origins.get(*i) {
+                    out.extend(o.iter().copied());
+                }
+            }
+            for ((i, sink), chain) in &summary.param_sinks {
+                let Some(origins) = arg_origins.get(*i) else {
+                    continue;
+                };
+                for o in origins {
+                    match o {
+                        Origin::Src(s) => {
+                            let mut full = vec![self.qual()];
+                            full.extend(chain.iter().cloned());
+                            self.st.flows.insert(Flow {
+                                src: *s,
+                                sink: *sink,
+                                chain: full,
+                            });
+                        }
+                        Origin::Param(p) => {
+                            let mut full = vec![self.qual()];
+                            full.extend(chain.iter().cloned());
+                            self.summary.param_sinks.entry((*p, *sink)).or_insert(full);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Classify a path call as a nondeterminism source.
+    fn source_kind(&self, segs: &[String], args: &[Expr]) -> Option<String> {
+        let n = segs.len();
+        let last = segs.last()?.as_str();
+        let prev = if n >= 2 { segs[n - 2].as_str() } else { "" };
+        match (prev, last) {
+            ("Instant", "now") => return Some("wall clock (`Instant::now`)".into()),
+            ("SystemTime", "now") => return Some("wall clock (`SystemTime::now`)".into()),
+            ("RandomState", "new") | ("RandomState", "default") => {
+                return Some("randomized hasher (`RandomState`)".into())
+            }
+            ("thread", "current") => return Some("thread identity (`thread::current`)".into()),
+            ("process", "id") => return Some("process id (`process::id`)".into()),
+            (_, "available_parallelism") => {
+                return Some("host parallelism (`available_parallelism`)".into())
+            }
+            ("env", "var") | ("env", "var_os") => {}
+            _ => return None,
+        }
+        // Environment read: vetted iff the variable name is a literal (or a
+        // resolvable string constant) with the CCSIM_ prefix.
+        let name = match args.first() {
+            Some(Expr::Lit {
+                kind: LitKind::Str(s),
+                ..
+            }) => Some(s.clone()),
+            Some(Expr::Path { segs, .. }) if segs.len() == 1 => {
+                self.st.ws.str_consts.get(&segs[0]).cloned()
+            }
+            _ => None,
+        };
+        match name {
+            Some(n) if n.starts_with("CCSIM_") => None,
+            Some(n) => Some(format!("environment read (`{}`)", n)),
+            None => Some("environment read (dynamic variable name)".into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse;
+
+    fn run(src: &str) -> (Workspace, TaintAnalysis) {
+        let ast = parse(&lex(src).tokens);
+        let ws = Workspace::build(&[("crates/x/src/lib.rs".to_string(), ast)]);
+        let ta = analyze(&ws);
+        (ws, ta)
+    }
+
+    #[test]
+    fn direct_source_to_sink_flow() {
+        let (ws, ta) = run(
+            "fn f() { let t = Instant::now(); emit_key(t); }\nfn emit_key(x: u64) { fnv1a64(x); }",
+        );
+        assert_eq!(ta.flows.len(), 1);
+        let f = &ta.flows[0];
+        assert_eq!(ta.sources[f.src].kind, "wall clock (`Instant::now`)");
+        assert_eq!(ta.sinks[f.sink].name, "fnv1a64");
+        assert_eq!(f.chain, vec!["f".to_string(), "emit_key".to_string()]);
+        let _ = ws;
+    }
+
+    #[test]
+    fn taint_through_return_value_of_helper() {
+        let (_, ta) = run(
+            "fn wall_ms() -> u64 { Instant::now().elapsed().as_millis() as u64 }\nfn export() { let t = wall_ms(); run_key(t); }",
+        );
+        assert_eq!(ta.flows.len(), 1);
+        assert_eq!(ta.flows[0].chain, vec!["export".to_string()]);
+    }
+
+    #[test]
+    fn ccsim_env_reads_are_vetted() {
+        let (_, ta) = run(
+            "const E: &str = \"CCSIM_THREADS\";\nfn f() { let a = std::env::var(E); let b = std::env::var(\"CCSIM_MODE\"); run_key(a); run_key(b); }",
+        );
+        assert!(ta.flows.is_empty(), "{:?}", ta.flows);
+    }
+
+    #[test]
+    fn foreign_env_reads_are_sources() {
+        let (_, ta) = run("fn f() { let a = std::env::var(\"HOME\"); run_key(a); }");
+        assert_eq!(ta.flows.len(), 1);
+        assert!(ta.sources[ta.flows[0].src].kind.contains("HOME"));
+    }
+
+    #[test]
+    fn mutation_approximation_taints_receiver() {
+        let (_, ta) = run(
+            "fn f() { let mut buf = Vec::new(); buf.push(SystemTime::now()); serve_key(buf); }",
+        );
+        assert_eq!(ta.flows.len(), 1);
+        assert_eq!(ta.sinks[ta.flows[0].sink].name, "serve_key");
+    }
+
+    #[test]
+    fn test_only_code_is_not_analyzed() {
+        let (_, ta) = run("#[cfg(test)]\nmod t { fn f() { run_key(Instant::now()); } }");
+        assert!(ta.flows.is_empty());
+    }
+
+    #[test]
+    fn to_json_sink_catches_tainted_receiver() {
+        let (_, ta) = run("fn f() { let t = Instant::now(); let _ = t.to_json(); }");
+        assert_eq!(ta.flows.len(), 1);
+        assert_eq!(ta.sinks[ta.flows[0].sink].name, "to_json");
+    }
+
+    #[test]
+    fn deterministic_data_does_not_flow() {
+        let (_, ta) = run("fn f(n: u64) { run_key(n + 1); }");
+        assert!(ta.flows.is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Parser self-check: every `.rs` file in this repository must parse with
+//! zero errors (tier-1), plus golden AST snapshots for a fixture exercising
+//! cfg gates, nested closures, and macro-call skipping.
+//!
+//! The self-check is the parser's real test suite: the workspace is the
+//! corpus, and any Rust construct the codebase adopts that the parser cannot
+//! handle fails CI here with the file and line. The walk is wider than
+//! `lint`'s (`tests/`, `benches/`, `examples/` included) so the parser stays
+//! ahead of where the rules currently bind.
+
+use ccsim_lint::lexer::lex;
+use ccsim_lint::parse::parse;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    // crates/lint → workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            if p.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Every `.rs` file in the workspace — sources, tests, benches, fixtures —
+/// parses with zero errors.
+#[test]
+fn every_workspace_file_parses_clean() {
+    let root = repo_root();
+    let mut files = Vec::new();
+    for top in ["src", "tests", "benches", "examples"] {
+        collect_rs(&root.join(top), &mut files);
+    }
+    let crates_dir = root.join("crates");
+    let mut members: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+        .expect("crates dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    members.sort();
+    for m in members {
+        for sub in ["src", "tests", "benches", "examples", "fixtures"] {
+            collect_rs(&m.join(sub), &mut files);
+        }
+    }
+    assert!(
+        files.len() > 50,
+        "workspace walk looks broken: only {} files",
+        files.len()
+    );
+    let mut failures = Vec::new();
+    for path in &files {
+        let src = std::fs::read_to_string(path).expect("read source");
+        let ast = parse(&lex(&src).tokens);
+        for e in &ast.errors {
+            failures.push(format!("{}:{}: {}", path.display(), e.line, e.msg));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "parse errors in {} locations:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// Golden AST snapshot: the showcase fixture covers cfg gates, nested
+/// closures, and macro-call skipping; its rendered AST is pinned byte for
+/// byte. Regenerate deliberately with:
+/// `UPDATE_GOLDEN=1 cargo test -p ccsim-lint --test parse`
+#[test]
+fn golden_ast_snapshot_for_showcase_fixture() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let src = std::fs::read_to_string(dir.join("ast_showcase.rs")).expect("fixture");
+    let ast = parse(&lex(&src).tokens);
+    assert!(
+        ast.errors.is_empty(),
+        "showcase must parse: {:?}",
+        ast.errors
+    );
+    let rendered = ast.render();
+    let golden_path = dir.join("ast_showcase.ast");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path).expect("golden snapshot");
+    assert_eq!(
+        rendered, golden,
+        "AST snapshot drifted — run UPDATE_GOLDEN=1 cargo test -p ccsim-lint --test parse"
+    );
+}

@@ -300,6 +300,7 @@ pub fn verify(cfg: &ModelConfig) -> Result<Verification, String> {
     let pcfg = local.protocol()?;
 
     // ccsim-lint: allow(wall-clock): wall_ms is reporting-only, never feeds the fixpoint
+    // ccsim-lint: allow(determinism-taint): elapsed time lands in reporting fields only, never in keys or exported state
     let t0 = std::time::Instant::now();
 
     let init = AbsBlock::project(&rules::fresh_entry(&pcfg), &[])

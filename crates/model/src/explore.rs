@@ -82,6 +82,7 @@ pub fn explore(cfg: &ModelConfig) -> Result<Exploration, String> {
 pub fn explore_keeping_states(cfg: &ModelConfig) -> Result<(Exploration, Vec<AbsState>), String> {
     let pcfg = cfg.protocol()?;
     // ccsim-lint: allow(wall-clock): wall_ms is reporting-only, never feeds exploration order
+    // ccsim-lint: allow(determinism-taint): elapsed time lands in reporting fields only, never in keys or exported state
     let start = std::time::Instant::now();
     let mut stats = DirStats::default();
 

@@ -610,8 +610,12 @@ fn main() {
                         );
                     }
                 }
+                // SARIF 2.1.0 for code-scanning UIs and CI artifacts.
+                Some("sarif") => {
+                    println!("{}", lint::sarif::to_sarif(&diags));
+                }
                 Some(other) => {
-                    eprintln!("unknown lint format {other} (github)");
+                    eprintln!("unknown lint format {other} (github|sarif)");
                     exit(2);
                 }
                 None if o.json => {

@@ -252,6 +252,9 @@ fn lint_explain_describes_each_rule() {
         "testing-gate",
         "lock-order",
         "guard-across-fanout",
+        "lock-order-global",
+        "determinism-taint",
+        "panic-path",
         "unbounded-retry",
         "bad-allow",
     ] {
@@ -279,8 +282,27 @@ fn lint_github_format_emits_no_annotations_on_a_clean_tree() {
 }
 
 #[test]
+fn lint_sarif_format_emits_a_valid_log() {
+    let (ok, stdout, _) = ccsim(&[
+        "lint",
+        "--format",
+        "sarif",
+        "--root",
+        env!("CARGO_MANIFEST_DIR"),
+    ]);
+    assert!(ok, "stdout: {stdout}");
+    assert!(
+        stdout.contains("\"version\": \"2.1.0\""),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("ccsim-lint"), "stdout: {stdout}");
+    // The driver advertises every rule even when the tree is clean.
+    assert!(stdout.contains("lock-order-global"), "stdout: {stdout}");
+}
+
+#[test]
 fn lint_rejects_an_unknown_format() {
-    let (ok, _, stderr) = ccsim(&["lint", "--format", "sarif"]);
+    let (ok, _, stderr) = ccsim(&["lint", "--format", "xml"]);
     assert!(!ok);
     assert!(stderr.contains("unknown lint format"));
 }
